@@ -1,0 +1,135 @@
+//! ECDH key agreement over secp256k1 — the "encryption" side of the
+//! paper's §1 PKC motivation (ECIES-style shared-secret derivation).
+
+use modsram_bigint::UBig;
+use modsram_ecc::curve::Curve;
+use modsram_ecc::curves::secp256k1_fast;
+use modsram_ecc::scalar::mul_scalar_ladder;
+use modsram_ecc::{FieldCtx, Fp256Ctx};
+
+use crate::ecdsa::EcdsaError;
+use crate::sha256::sha256;
+
+/// One party's ECDH key pair.
+pub struct EcdhKey {
+    curve: Curve<Fp256Ctx>,
+    d: UBig,
+    /// Public point x-coordinate.
+    pub px: UBig,
+    /// Public point y parity.
+    pub py_odd: bool,
+}
+
+impl core::fmt::Debug for EcdhKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EcdhKey {{ px: {} }}", self.px)
+    }
+}
+
+impl EcdhKey {
+    /// Creates a key pair from a private scalar `d ∈ [1, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPrivateKey`] when out of range.
+    pub fn new(d: &UBig) -> Result<Self, EcdsaError> {
+        let curve = secp256k1_fast();
+        if d.is_zero() || d >= curve.order() {
+            return Err(EcdsaError::InvalidPrivateKey);
+        }
+        // Secret-dependent scalar multiplications use the Montgomery
+        // ladder: one add + one double per bit regardless of d's bit
+        // pattern (see `modsram_ecc::scalar::mul_scalar_ladder`).
+        let bits = curve.order().bit_len();
+        let p = curve.to_affine(&mul_scalar_ladder(&curve, &curve.generator(), d, bits));
+        let (px, py_odd) = curve.compress(&p).expect("d != 0 so P is finite");
+        Ok(EcdhKey {
+            curve,
+            d: d.clone(),
+            px,
+            py_odd,
+        })
+    }
+
+    /// Derives the 32-byte shared secret with a peer's compressed public
+    /// key: `SHA-256(x(d·Q))`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPublicKey`] when the peer's point is not on
+    /// the curve.
+    pub fn shared_secret(&self, peer_x: &UBig, peer_y_odd: bool) -> Result<[u8; 32], EcdsaError> {
+        let peer = self
+            .curve
+            .decompress(peer_x, peer_y_odd)
+            .ok_or(EcdsaError::InvalidPublicKey)?;
+        let bits = self.curve.order().bit_len();
+        let shared = mul_scalar_ladder(&self.curve, &self.curve.from_affine(&peer), &self.d, bits);
+        let aff = self.curve.to_affine(&shared);
+        if aff.infinity {
+            // Only reachable with a malicious low-order-ish input; the
+            // group is prime order so this means peer == identity-adjacent.
+            return Err(EcdsaError::InvalidPublicKey);
+        }
+        let x = self.curve.ctx().to_ubig(&aff.x);
+        let mut bytes = [0u8; 32];
+        for (i, slot) in bytes.iter_mut().enumerate() {
+            *slot = ((&x >> (8 * (31 - i))).low_u64() & 0xff) as u8;
+        }
+        Ok(sha256(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_ecc::scalar::mul_scalar_wnaf;
+
+    #[test]
+    fn both_parties_derive_the_same_secret() {
+        let alice = EcdhKey::new(&UBig::from_hex("a11cea11cea11ce").unwrap()).unwrap();
+        let bob = EcdhKey::new(&UBig::from_hex("b0bb0bb0bb0b").unwrap()).unwrap();
+        let s1 = alice.shared_secret(&bob.px, bob.py_odd).unwrap();
+        let s2 = bob.shared_secret(&alice.px, alice.py_odd).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_peers_give_different_secrets() {
+        let alice = EcdhKey::new(&UBig::from(111_111u64)).unwrap();
+        let bob = EcdhKey::new(&UBig::from(222_222u64)).unwrap();
+        let carol = EcdhKey::new(&UBig::from(333_333u64)).unwrap();
+        let s_ab = alice.shared_secret(&bob.px, bob.py_odd).unwrap();
+        let s_ac = alice.shared_secret(&carol.px, carol.py_odd).unwrap();
+        assert_ne!(s_ab, s_ac);
+    }
+
+    #[test]
+    fn ladder_public_key_matches_wnaf() {
+        // The hardened path and the fast path must agree on P = d·G.
+        let d = UBig::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let key = EcdhKey::new(&d).unwrap();
+        let curve = secp256k1_fast();
+        let fast = curve.to_affine(&mul_scalar_wnaf(&curve, &curve.generator(), &d));
+        let (px, _) = curve.compress(&fast).unwrap();
+        assert_eq!(key.px, px);
+    }
+
+    #[test]
+    fn off_curve_peer_rejected() {
+        let alice = EcdhKey::new(&UBig::from(5u64)).unwrap();
+        // x = 5 has no square root for x³+7 on secp256k1? Use a known
+        // non-residue probe: iterate until decompress fails.
+        let mut x = UBig::from(5u64);
+        loop {
+            if alice.curve.decompress(&x, false).is_none() {
+                break;
+            }
+            x = &x + &UBig::one();
+        }
+        assert_eq!(
+            alice.shared_secret(&x, false),
+            Err(EcdsaError::InvalidPublicKey)
+        );
+    }
+}

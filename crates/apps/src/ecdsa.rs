@@ -1,0 +1,296 @@
+//! ECDSA over secp256k1 — the paper's §1 "digital signature"
+//! application, built entirely on the workspace substrate.
+//!
+//! Nonces are derived deterministically from the key and message digest
+//! (in the spirit of RFC 6979, via SHA-256 with a retry counter; not
+//! bit-compatible with the RFC's HMAC-DRBG construction — documented
+//! simplification, signatures remain standard and verifiable).
+
+use core::fmt;
+
+use modsram_bigint::{mod_inv, mod_mul, UBig};
+use modsram_ecc::curve::Curve;
+use modsram_ecc::curves::secp256k1_fast;
+use modsram_ecc::scalar::{mul_double_scalar, mul_scalar_wnaf};
+use modsram_ecc::{FieldCtx, Fp256Ctx};
+
+use crate::sha256::sha256;
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// The x-coordinate residue.
+    pub r: UBig,
+    /// The proof scalar.
+    pub s: UBig,
+}
+
+/// Errors from signing/verification setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcdsaError {
+    /// The private scalar must be in `[1, n)`.
+    InvalidPrivateKey,
+    /// The public point must be on the curve and not the identity.
+    InvalidPublicKey,
+    /// Signature components must be in `[1, n)`.
+    InvalidSignature,
+}
+
+impl fmt::Display for EcdsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdsaError::InvalidPrivateKey => write!(f, "private key out of range"),
+            EcdsaError::InvalidPublicKey => write!(f, "public key not a valid curve point"),
+            EcdsaError::InvalidSignature => write!(f, "signature component out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EcdsaError {}
+
+/// A secp256k1 signing key.
+pub struct SigningKey {
+    curve: Curve<Fp256Ctx>,
+    d: UBig,
+}
+
+/// A secp256k1 verifying (public) key.
+pub struct VerifyingKey {
+    curve: Curve<Fp256Ctx>,
+    /// Affine public point coordinates (canonical integers).
+    pub x: UBig,
+    /// Affine y-coordinate.
+    pub y: UBig,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SigningKey {{ d: <redacted> }}")
+    }
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyingKey {{ x: {}, y: {} }}", self.x, self.y)
+    }
+}
+
+/// Digest → scalar: interpret the SHA-256 digest as a big-endian
+/// integer reduced mod the group order (bit lengths match, so no
+/// truncation step is needed).
+fn message_scalar(msg: &[u8], order: &UBig) -> UBig {
+    let digest = sha256(msg);
+    let mut z = UBig::zero();
+    for byte in digest {
+        z = &(&z << 8) + &UBig::from(byte as u64);
+    }
+    &z % order
+}
+
+impl SigningKey {
+    /// Creates a key from a private scalar `d ∈ [1, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPrivateKey`] when out of range.
+    pub fn new(d: &UBig) -> Result<Self, EcdsaError> {
+        let curve = secp256k1_fast();
+        if d.is_zero() || d >= curve.order() {
+            return Err(EcdsaError::InvalidPrivateKey);
+        }
+        Ok(SigningKey {
+            curve,
+            d: d.clone(),
+        })
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        let q = mul_scalar_wnaf(&self.curve, &self.curve.generator(), &self.d);
+        let aff = self.curve.to_affine(&q);
+        VerifyingKey {
+            x: self.curve.ctx().to_ubig(&aff.x),
+            y: self.curve.ctx().to_ubig(&aff.y),
+            curve: secp256k1_fast(),
+        }
+    }
+
+    /// Deterministic nonce: `SHA256(d_be ∥ z_be ∥ counter) mod n`,
+    /// retried until non-zero and until the resulting `r, s` are
+    /// non-zero.
+    fn nonce(&self, z: &UBig, counter: u8) -> UBig {
+        let mut input = Vec::with_capacity(65);
+        input.extend_from_slice(&to_be32(&self.d));
+        input.extend_from_slice(&to_be32(z));
+        input.push(counter);
+        let mut k = UBig::zero();
+        for byte in sha256(&input) {
+            k = &(&k << 8) + &UBig::from(byte as u64);
+        }
+        &k % self.curve.order()
+    }
+
+    /// Signs a message (its SHA-256 digest).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let n = self.curve.order().clone();
+        let z = message_scalar(msg, &n);
+        for counter in 0..=u8::MAX {
+            let k = self.nonce(&z, counter);
+            if k.is_zero() {
+                continue;
+            }
+            let point = mul_scalar_wnaf(&self.curve, &self.curve.generator(), &k);
+            let aff = self.curve.to_affine(&point);
+            let r = &self.curve.ctx().to_ubig(&aff.x) % &n;
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = mod_inv(&k, &n).expect("prime order");
+            // s = k⁻¹ (z + r·d) mod n
+            let s = mod_mul(&k_inv, &(&z + &mod_mul(&r, &self.d, &n)), &n);
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+        unreachable!("256 nonce retries cannot all collide");
+    }
+}
+
+impl VerifyingKey {
+    /// Builds a verifying key from affine coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPublicKey`] when the point is off-curve.
+    pub fn new(x: &UBig, y: &UBig) -> Result<Self, EcdsaError> {
+        let curve = secp256k1_fast();
+        let aff = modsram_ecc::Affine {
+            x: curve.ctx().from_ubig(x),
+            y: curve.ctx().from_ubig(y),
+            infinity: false,
+        };
+        if !curve.is_on_curve(&aff) {
+            return Err(EcdsaError::InvalidPublicKey);
+        }
+        Ok(VerifyingKey {
+            curve,
+            x: x.clone(),
+            y: y.clone(),
+        })
+    }
+
+    /// Verifies a signature over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidSignature`] for out-of-range `r`/`s`; a
+    /// well-formed but wrong signature returns `Ok(false)`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<bool, EcdsaError> {
+        let n = self.curve.order().clone();
+        if sig.r.is_zero() || sig.r >= n || sig.s.is_zero() || sig.s >= n {
+            return Err(EcdsaError::InvalidSignature);
+        }
+        let z = message_scalar(msg, &n);
+        let w = mod_inv(&sig.s, &n).expect("prime order");
+        let u1 = mod_mul(&z, &w, &n);
+        let u2 = mod_mul(&sig.r, &w, &n);
+        let q = self.curve.from_affine(&modsram_ecc::Affine {
+            x: self.curve.ctx().from_ubig(&self.x),
+            y: self.curve.ctx().from_ubig(&self.y),
+            infinity: false,
+        });
+        // u1·G + u2·Q in one shared pass (Shamir's trick).
+        let point = mul_double_scalar(&self.curve, &self.curve.generator(), &u1, &q, &u2);
+        if self.curve.is_identity(&point) {
+            return Ok(false);
+        }
+        let aff = self.curve.to_affine(&point);
+        Ok(&self.curve.ctx().to_ubig(&aff.x) % &n == sig.r)
+    }
+}
+
+/// Big-endian 32-byte encoding of a value < 2²⁵⁶.
+fn to_be32(v: &UBig) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((v >> (8 * (31 - i))).low_u64() & 0xff) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SigningKey {
+        SigningKey::new(
+            &UBig::from_hex("c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721")
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"sample message");
+        assert_eq!(vk.verify(b"sample message", &sig), Ok(true));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"message one");
+        assert_eq!(vk.verify(b"message two", &sig), Ok(false));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let mut sig = sk.sign(b"message");
+        sig.s = &sig.s + &UBig::one();
+        assert_eq!(vk.verify(b"message", &sig), Ok(false));
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let sk = key();
+        assert_eq!(sk.sign(b"m"), sk.sign(b"m"));
+        assert_ne!(sk.sign(b"m"), sk.sign(b"m2"));
+    }
+
+    #[test]
+    fn out_of_range_components_error() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = Signature {
+            r: UBig::zero(),
+            s: UBig::one(),
+        };
+        assert_eq!(vk.verify(b"m", &sig), Err(EcdsaError::InvalidSignature));
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        assert_eq!(
+            SigningKey::new(&UBig::zero()).err(),
+            Some(EcdsaError::InvalidPrivateKey)
+        );
+        assert_eq!(
+            VerifyingKey::new(&UBig::from(1u64), &UBig::from(1u64)).err(),
+            Some(EcdsaError::InvalidPublicKey)
+        );
+    }
+
+    #[test]
+    fn cross_key_verification_fails() {
+        let sk1 = key();
+        let sk2 = SigningKey::new(&UBig::from(12345u64)).unwrap();
+        let sig = sk1.sign(b"msg");
+        assert_eq!(sk2.verifying_key().verify(b"msg", &sig), Ok(false));
+    }
+}

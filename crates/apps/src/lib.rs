@@ -1,0 +1,52 @@
+//! Application layer of the ModSRAM reproduction: the security
+//! protocols the paper's introduction motivates (public-key
+//! cryptography, digital signatures, ZKP building blocks), running on
+//! the workspace's own substrate — and, where it matters, on the
+//! simulated accelerator itself.
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 from scratch (message digests for
+//!   signatures).
+//! * [`ecdsa`] — ECDSA over secp256k1 with deterministic nonces.
+//! * [`ecdh`] — ECDH shared-secret derivation (ECIES-style).
+//! * [`schnorr`] — Schnorr signatures (BIP-340-flavoured).
+//! * [`merkle`] — SHA-256 Merkle trees with membership proofs
+//!   (domain-separated, odd-node promotion).
+//! * [`pedersen`] — Pedersen vector commitments via multi-scalar
+//!   multiplication (the ZKP workload of Figure 7 put to work).
+//! * [`ipa`] — a Bulletproofs-style inner-product argument: a complete
+//!   ZKP building block with `2·log₂ n` proof size.
+//! * [`modexp`] — square-and-multiply modular exponentiation executed
+//!   multiplication-by-multiplication on the cycle-accurate ModSRAM
+//!   device, with full cycle accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_apps::sha256::sha256;
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! fn hex(b: &[u8; 32]) -> String {
+//!     b.iter().map(|x| format!("{x:02x}")).collect()
+//! }
+//! ```
+
+pub mod ecdh;
+pub mod ecdsa;
+pub mod ipa;
+pub mod merkle;
+pub mod modexp;
+pub mod pedersen;
+pub mod schnorr;
+pub mod sha256;
+
+pub use ecdh::EcdhKey;
+pub use ecdsa::{EcdsaError, Signature, SigningKey, VerifyingKey};
+pub use ipa::{IpaParams, IpaProof};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use modexp::modexp_on_device;
+pub use pedersen::PedersenCommitter;
+pub use schnorr::{SchnorrKey, SchnorrSignature};
+pub use sha256::sha256;

@@ -1,0 +1,163 @@
+//! Pedersen vector commitments over BN254 — the MSM workload of
+//! Figure 7 doing real cryptographic work.
+//!
+//! `commit(v, r) = Σ vᵢ·Gᵢ + r·H` with independent bases derived by
+//! hash-to-scalar from a domain tag. Hiding comes from the blinding
+//! factor `r`; binding from the discrete log relation between the
+//! bases being unknown.
+
+use modsram_bigint::{ubig_below, UBig};
+use modsram_ecc::curve::{Affine, Curve, Jacobian};
+use modsram_ecc::curves::bn254_fast;
+use modsram_ecc::msm::msm;
+use modsram_ecc::scalar::mul_scalar_wnaf;
+use modsram_ecc::{FieldCtx, Fp256Ctx};
+use rand::Rng;
+
+use crate::sha256::sha256;
+
+/// A Pedersen committer with `size` value bases plus one blinding base.
+pub struct PedersenCommitter {
+    curve: Curve<Fp256Ctx>,
+    bases: Vec<Affine<<Fp256Ctx as FieldCtx>::El>>,
+    blinding_base: Affine<<Fp256Ctx as FieldCtx>::El>,
+}
+
+impl core::fmt::Debug for PedersenCommitter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PedersenCommitter {{ size: {} }}", self.bases.len())
+    }
+}
+
+impl PedersenCommitter {
+    /// Derives `size` bases deterministically from a domain tag:
+    /// `Gᵢ = hash(tag, i)·G`. (Nothing-up-my-sleeve in spirit; a
+    /// production system would hash directly to curve points.)
+    pub fn new(size: usize, tag: &[u8]) -> Self {
+        let curve = bn254_fast();
+        let g = curve.generator();
+        let derive = |index: u64| {
+            let mut input = tag.to_vec();
+            input.extend_from_slice(&index.to_be_bytes());
+            let mut k = UBig::zero();
+            for byte in sha256(&input) {
+                k = &(&k << 8) + &UBig::from(byte as u64);
+            }
+            let k = &(&k % &(curve.order() - &UBig::one())) + &UBig::one();
+            curve.to_affine(&mul_scalar_wnaf(&curve, &g, &k))
+        };
+        let bases = (0..size as u64).map(derive).collect();
+        let blinding_base = derive(u64::MAX);
+        PedersenCommitter {
+            curve,
+            bases,
+            blinding_base,
+        }
+    }
+
+    /// Number of value slots.
+    pub fn size(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The underlying curve (for point comparisons in callers).
+    pub fn curve(&self) -> &Curve<Fp256Ctx> {
+        &self.curve
+    }
+
+    /// Commits to `values` with blinding factor `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.size()`.
+    pub fn commit(&self, values: &[UBig], r: &UBig) -> Jacobian<<Fp256Ctx as FieldCtx>::El> {
+        assert_eq!(values.len(), self.size(), "value count must match bases");
+        let mut points = self.bases.clone();
+        points.push(self.blinding_base.clone());
+        let mut scalars: Vec<UBig> = values.iter().map(|v| v % self.curve.order()).collect();
+        scalars.push(r % self.curve.order());
+        msm(&self.curve, &points, &scalars).0
+    }
+
+    /// Commits with a random blinding factor, returning `(commitment, r)`.
+    pub fn commit_hiding<R: Rng + ?Sized>(
+        &self,
+        values: &[UBig],
+        rng: &mut R,
+    ) -> (Jacobian<<Fp256Ctx as FieldCtx>::El>, UBig) {
+        let r = ubig_below(rng, self.curve.order());
+        (self.commit(values, &r), r)
+    }
+
+    /// Verifies an opening `(values, r)` against a commitment.
+    pub fn open(
+        &self,
+        commitment: &Jacobian<<Fp256Ctx as FieldCtx>::El>,
+        values: &[UBig],
+        r: &UBig,
+    ) -> bool {
+        self.curve.points_equal(commitment, &self.commit(values, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn committer() -> PedersenCommitter {
+        PedersenCommitter::new(4, b"modsram-test")
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let c = committer();
+        let values: Vec<UBig> = (1..=4u64).map(UBig::from).collect();
+        let r = UBig::from(987_654_321u64);
+        let com = c.commit(&values, &r);
+        assert!(c.open(&com, &values, &r));
+    }
+
+    #[test]
+    fn wrong_opening_rejected() {
+        let c = committer();
+        let values: Vec<UBig> = (1..=4u64).map(UBig::from).collect();
+        let r = UBig::from(42u64);
+        let com = c.commit(&values, &r);
+        let mut tampered = values.clone();
+        tampered[2] = UBig::from(99u64);
+        assert!(!c.open(&com, &tampered, &r));
+        assert!(!c.open(&com, &values, &UBig::from(43u64)));
+    }
+
+    #[test]
+    fn additively_homomorphic() {
+        // commit(a, ra) + commit(b, rb) == commit(a + b, ra + rb).
+        let c = committer();
+        let a: Vec<UBig> = (1..=4u64).map(UBig::from).collect();
+        let b: Vec<UBig> = (10..=13u64).map(UBig::from).collect();
+        let (ra, rb) = (UBig::from(111u64), UBig::from(222u64));
+        let lhs = c.curve().add(&c.commit(&a, &ra), &c.commit(&b, &rb));
+        let sum: Vec<UBig> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let rhs = c.commit(&sum, &(&ra + &rb));
+        assert!(c.curve().points_equal(&lhs, &rhs));
+    }
+
+    #[test]
+    fn hiding_blinds_equal_values() {
+        let c = committer();
+        let values: Vec<UBig> = vec![UBig::from(7u64); 4];
+        let mut rng = SmallRng::seed_from_u64(55);
+        let (com1, r1) = c.commit_hiding(&values, &mut rng);
+        let (com2, r2) = c.commit_hiding(&values, &mut rng);
+        assert_ne!(r1, r2);
+        assert!(!c.curve().points_equal(&com1, &com2));
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn size_mismatch_panics() {
+        committer().commit(&[UBig::one()], &UBig::one());
+    }
+}

@@ -1,0 +1,181 @@
+//! Schnorr signatures over secp256k1 (BIP-340-flavoured, simplified):
+//! the other mainstream signature scheme built on the same
+//! large-number modular multiplications the paper accelerates.
+//!
+//! `sign`: `R = k·G`, `e = H(R.x ∥ P.x ∥ m)`, `s = k + e·d (mod n)`.
+//! `verify`: `s·G == R + e·P`.
+//!
+//! Simplifications vs BIP-340 (documented): no x-only even-Y
+//! normalisation, nonce derived like our ECDSA's deterministic scheme.
+
+use modsram_bigint::{mod_mul, UBig};
+use modsram_ecc::curve::Curve;
+use modsram_ecc::curves::secp256k1_fast;
+use modsram_ecc::scalar::{mul_double_scalar, mul_scalar_wnaf};
+use modsram_ecc::{FieldCtx, Fp256Ctx};
+
+use crate::ecdsa::EcdsaError;
+use crate::sha256::sha256;
+
+/// A Schnorr signature `(r_x, s)` where `r_x` is the nonce point's
+/// x-coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchnorrSignature {
+    /// Nonce point x-coordinate.
+    pub r_x: UBig,
+    /// Nonce point y parity (kept explicit instead of BIP-340's even-Y
+    /// convention).
+    pub r_y_odd: bool,
+    /// Response scalar.
+    pub s: UBig,
+}
+
+/// A Schnorr key pair over secp256k1.
+pub struct SchnorrKey {
+    curve: Curve<Fp256Ctx>,
+    d: UBig,
+    /// Public point coordinates.
+    pub px: UBig,
+    /// Public y-coordinate.
+    pub py: UBig,
+}
+
+impl core::fmt::Debug for SchnorrKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SchnorrKey {{ px: {} }}", self.px)
+    }
+}
+
+fn hash_to_scalar(parts: &[&[u8]], order: &UBig) -> UBig {
+    let mut input = Vec::new();
+    for p in parts {
+        input.extend_from_slice(p);
+    }
+    let mut z = UBig::zero();
+    for byte in sha256(&input) {
+        z = &(&z << 8) + &UBig::from(byte as u64);
+    }
+    &z % order
+}
+
+fn be32(v: &UBig) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((v >> (8 * (31 - i))).low_u64() & 0xff) as u8;
+    }
+    out
+}
+
+impl SchnorrKey {
+    /// Creates a key from a private scalar `d ∈ [1, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPrivateKey`] when out of range.
+    pub fn new(d: &UBig) -> Result<Self, EcdsaError> {
+        let curve = secp256k1_fast();
+        if d.is_zero() || d >= curve.order() {
+            return Err(EcdsaError::InvalidPrivateKey);
+        }
+        let p = curve.to_affine(&mul_scalar_wnaf(&curve, &curve.generator(), d));
+        Ok(SchnorrKey {
+            px: curve.ctx().to_ubig(&p.x),
+            py: curve.ctx().to_ubig(&p.y),
+            curve,
+            d: d.clone(),
+        })
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, msg: &[u8]) -> SchnorrSignature {
+        let n = self.curve.order().clone();
+        for counter in 0..=u8::MAX {
+            let k = hash_to_scalar(&[&be32(&self.d), msg, &[counter]], &n);
+            if k.is_zero() {
+                continue;
+            }
+            let r = self
+                .curve
+                .to_affine(&mul_scalar_wnaf(&self.curve, &self.curve.generator(), &k));
+            let r_x = self.curve.ctx().to_ubig(&r.x);
+            let r_y_odd = self.curve.ctx().to_ubig(&r.y).bit(0);
+            let e = hash_to_scalar(&[&be32(&r_x), &be32(&self.px), msg], &n);
+            let s = &(&k + &mod_mul(&e, &self.d, &n)) % &n;
+            return SchnorrSignature { r_x, r_y_odd, s };
+        }
+        unreachable!("256 nonce retries cannot all be zero");
+    }
+
+    /// Verifies a signature over `msg` against this key's public point.
+    pub fn verify(&self, msg: &[u8], sig: &SchnorrSignature) -> bool {
+        let n = self.curve.order().clone();
+        if sig.s >= n {
+            return false;
+        }
+        // Reconstruct R from its compressed form.
+        let Some(r_aff) = self.curve.decompress(&sig.r_x, sig.r_y_odd) else {
+            return false;
+        };
+        let e = hash_to_scalar(&[&be32(&sig.r_x), &be32(&self.px), msg], &n);
+        // s·G must equal R + e·P  ⇔  s·G + (n−e)·P == R.
+        let p_point = self.curve.from_affine(
+            &self
+                .curve
+                .decompress(&self.px, self.py.bit(0))
+                .expect("own public key is on-curve"),
+        );
+        let lhs = mul_double_scalar(
+            &self.curve,
+            &self.curve.generator(),
+            &sig.s,
+            &p_point,
+            &(&n - &e),
+        );
+        self.curve.points_equal(&lhs, &self.curve.from_affine(&r_aff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SchnorrKey {
+        SchnorrKey::new(&UBig::from_hex("b0b0b0b0cafe1234").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = key();
+        let sig = k.sign(b"schnorr message");
+        assert!(k.verify(b"schnorr message", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let k = key();
+        let sig = k.sign(b"one");
+        assert!(!k.verify(b"two", &sig));
+    }
+
+    #[test]
+    fn tampered_s_rejected() {
+        let k = key();
+        let mut sig = k.sign(b"msg");
+        sig.s = &sig.s + &UBig::one();
+        assert!(!k.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let k = key();
+        assert_eq!(k.sign(b"m"), k.sign(b"m"));
+    }
+
+    #[test]
+    fn cross_key_rejected() {
+        let k1 = key();
+        let k2 = SchnorrKey::new(&UBig::from(999u64)).unwrap();
+        let sig = k1.sign(b"msg");
+        assert!(!k2.verify(b"msg", &sig));
+    }
+}

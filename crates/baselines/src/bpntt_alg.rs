@@ -1,0 +1,181 @@
+//! A functional model of BP-NTT's *algorithm*: bit-serial Montgomery
+//! multiplication executed as row-parallel SRAM operations.
+//!
+//! BP-NTT keeps operands in the Montgomery domain and assumes the
+//! transform in/out of the domain is precomputed; §5.4's criticism is
+//! that at ECC bitwidths that assumption breaks down. This engine
+//! executes the same shift-right Montgomery recurrence
+//!
+//! ```text
+//! T ← (T + aᵢ·B + qᵢ·p) / 2        qᵢ = parity of (T + aᵢ·B)
+//! ```
+//!
+//! and performs the *real* domain conversions with the same primitive —
+//! so the conversion overhead the original paper ignored is measured by
+//! the [`BpNttAlgorithm::conversion_ops`] counter.
+
+use modsram_bigint::UBig;
+
+use crate::bpntt::BpNttModel;
+use modsram_modmul::{CycleModel, ModMulEngine, ModMulError};
+
+/// Bit-serial Montgomery engine in the style of BP-NTT.
+#[derive(Debug, Clone, Default)]
+pub struct BpNttAlgorithm {
+    /// Domain conversions performed (2 in + 1 out per multiplication).
+    pub conversion_ops: u64,
+    /// Core Montgomery products performed (excludes conversions).
+    pub core_ops: u64,
+    /// Row-level operations executed by the most recent call (adds,
+    /// conditional adds, shifts across all phases).
+    pub last_row_ops: u64,
+}
+
+impl BpNttAlgorithm {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One bit-serial Montgomery product `a·b·2⁻ⁿ mod p` (n = bit width
+    /// of `p`), counting row operations: one unconditional add, one
+    /// parity-conditional add, and one shift per bit, plus the final
+    /// conditional subtraction.
+    fn mont_bitserial(&mut self, a: &UBig, b: &UBig, p: &UBig, n: usize) -> UBig {
+        let mut t = UBig::zero();
+        for i in 0..n {
+            if a.bit(i) {
+                t = &t + b;
+            }
+            self.last_row_ops += 1;
+            if t.bit(0) {
+                t = &t + p;
+            }
+            self.last_row_ops += 1;
+            t = &t >> 1;
+            self.last_row_ops += 1;
+        }
+        if t >= *p {
+            t = &t - p;
+        }
+        self.last_row_ops += 1;
+        t
+    }
+}
+
+impl ModMulEngine for BpNttAlgorithm {
+    fn name(&self) -> &'static str {
+        "bpntt-bitserial-montgomery"
+    }
+
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`;
+    /// [`ModMulError::EvenModulus`] for even `p` (Montgomery needs
+    /// `gcd(p, 2) = 1`).
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if p.is_even() {
+            return Err(ModMulError::EvenModulus);
+        }
+        if p.is_one() {
+            return Ok(UBig::zero());
+        }
+        self.last_row_ops = 0;
+        let n = p.bit_len();
+        let a = a % p;
+        let b = b % p;
+        let r2 = &UBig::pow2(2 * n) % p;
+
+        // Into the domain: x·R = mont(x, R²).
+        let am = self.mont_bitserial(&a, &r2, p, n);
+        let bm = self.mont_bitserial(&b, &r2, p, n);
+        self.conversion_ops += 2;
+        // Core product stays in the domain.
+        let cm = self.mont_bitserial(&am, &bm, p, n);
+        self.core_ops += 1;
+        // Out of the domain: mont(x, 1).
+        let out = self.mont_bitserial(&cm, &UBig::one(), p, n);
+        self.conversion_ops += 1;
+        Ok(out)
+    }
+}
+
+impl CycleModel for BpNttAlgorithm {
+    /// Delegates to the published-number scaling (1465 @ 256 b) — the
+    /// *core* product only, as BP-NTT reported it. The measured
+    /// `last_row_ops` shows the 4× multiplier hiding in the conversions.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        BpNttModel::new().cycles(n_bits)
+    }
+
+    fn model_description(&self) -> &'static str {
+        "published BP-NTT scaling; conversions excluded (their assumption), measured here"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_modmul::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_odd_moduli() {
+        let mut e = BpNttAlgorithm::new();
+        let mut oracle = DirectEngine::new();
+        for p in (3u64..=25).step_by(2) {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_overhead_is_three_quarters() {
+        // The §5.4 point, measured: 3 of the 4 bit-serial passes per
+        // multiplication are domain conversions.
+        let mut e = BpNttAlgorithm::new();
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = &UBig::pow2(200) + &UBig::from(9u64);
+        let b = &UBig::pow2(100) + &UBig::from(7u64);
+        assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+        assert_eq!(e.conversion_ops, 3);
+        assert_eq!(e.core_ops, 1);
+        // 4 passes × (3 row ops per bit × 256 + 1) row operations.
+        assert_eq!(e.last_row_ops, 4 * (3 * 256 + 1));
+    }
+
+    #[test]
+    fn rejects_even_moduli() {
+        let mut e = BpNttAlgorithm::new();
+        assert_eq!(
+            e.mod_mul(&UBig::one(), &UBig::one(), &UBig::from(8u64)),
+            Err(ModMulError::EvenModulus)
+        );
+    }
+
+    #[test]
+    fn row_ops_per_bit_bracket_published_scaling() {
+        // Our 3-ops/bit schedule for the core pass sits below the
+        // published 5.72 cycles/bit fit (which includes their real
+        // array timing); the model brackets rather than contradicts it.
+        let mut e = BpNttAlgorithm::new();
+        let p = UBig::from(0xffff_fffb_u64);
+        e.mod_mul(&UBig::from(12345u64), &UBig::from(67890u64), &p)
+            .unwrap();
+        let per_core_pass = e.last_row_ops as f64 / 4.0 / 32.0;
+        assert!((3.0..5.72).contains(&per_core_pass));
+    }
+}

@@ -1,0 +1,117 @@
+//! Data-organisation comparison (Figure 6): how each SRAM PIM lays out
+//! the operands, intermediates, and tables of one 256-bit modular
+//! multiplication.
+
+/// Row/column budget of one design's layout at a given bitwidth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignDataOrg {
+    /// Design name.
+    pub name: &'static str,
+    /// `true` when operands lie along bitlines (bit-serial, MeNTT) rather
+    /// than along wordlines.
+    pub bit_serial: bool,
+    /// Wordlines (or rows, for bit-serial layouts) holding input
+    /// operands (A, B, p and any transform constants).
+    pub operand_rows: usize,
+    /// Rows holding intermediate values during the computation.
+    pub intermediate_rows: usize,
+    /// Rows holding reusable look-up tables.
+    pub lut_rows: usize,
+    /// Rows the published array organisation offers per bank.
+    pub rows_available: usize,
+}
+
+impl DesignDataOrg {
+    /// Total rows the layout occupies.
+    pub fn rows_used(&self) -> usize {
+        self.operand_rows + self.intermediate_rows + self.lut_rows
+    }
+
+    /// `true` when the layout fits the published array.
+    pub fn fits(&self) -> bool {
+        self.rows_used() <= self.rows_available
+    }
+}
+
+/// The Figure 6 comparison at bitwidth `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataOrg {
+    /// ModSRAM, MeNTT, BP-NTT in paper order.
+    pub designs: [DesignDataOrg; 3],
+    /// Bitwidth the comparison is drawn for.
+    pub n_bits: usize,
+}
+
+impl DataOrg {
+    /// Builds the comparison for `n`-bit operands (the paper draws it at
+    /// 256).
+    pub fn at_bits(n_bits: usize) -> Self {
+        DataOrg {
+            designs: [
+                // ModSRAM (§5.2): A, B, p on one wordline each; sum and
+                // carry intermediates; 13 reusable LUT wordlines.
+                DesignDataOrg {
+                    name: "ModSRAM",
+                    bit_serial: false,
+                    operand_rows: 3,
+                    intermediate_rows: 2,
+                    lut_rows: 13,
+                    rows_available: 64,
+                },
+                // MeNTT: bit-serial — every operand occupies n rows of
+                // one bitline; five live values plus two control rows
+                // (§5.4's 1282-row argument).
+                DesignDataOrg {
+                    name: "MeNTT",
+                    bit_serial: true,
+                    operand_rows: 3 * n_bits,
+                    intermediate_rows: 2 * n_bits + 2,
+                    lut_rows: 0,
+                    rows_available: 4 * 162,
+                },
+                // BP-NTT: bit-parallel Montgomery — operands on
+                // wordlines, plus Montgomery-form copies of the inputs
+                // and reduction intermediates (scratch-pad rows in
+                // Figure 6).
+                DesignDataOrg {
+                    name: "BP-NTT",
+                    bit_serial: false,
+                    operand_rows: 3 + 2, // A, B, p + Montgomery-form A, B
+                    intermediate_rows: 3,
+                    lut_rows: 0,
+                    rows_available: 256,
+                },
+            ],
+            n_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modsram_uses_18_wordlines_at_256() {
+        let org = DataOrg::at_bits(256);
+        let ours = &org.designs[0];
+        assert_eq!(ours.rows_used(), 18);
+        assert!(ours.fits());
+    }
+
+    #[test]
+    fn mentt_does_not_fit_at_256() {
+        let org = DataOrg::at_bits(256);
+        let mentt = &org.designs[1];
+        assert_eq!(mentt.rows_used(), 1282);
+        assert!(!mentt.fits());
+    }
+
+    #[test]
+    fn only_modsram_carries_luts() {
+        let org = DataOrg::at_bits(256);
+        assert!(org.designs[0].lut_rows > 0);
+        assert_eq!(org.designs[1].lut_rows, 0);
+        assert_eq!(org.designs[2].lut_rows, 0);
+    }
+}

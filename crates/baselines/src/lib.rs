@@ -1,0 +1,22 @@
+//! Published-number models of the prior PIM designs the paper compares
+//! against (Table 3, Figures 1 and 6).
+//!
+//! None of these designs have open-source artifacts; following the paper
+//! (§5.4), each model encodes the *reported* metrics of the original
+//! publication plus the scaling rule the ModSRAM authors used to bring
+//! cycle counts to a common 256-bit operand width. Every constant cites
+//! its source in the item documentation.
+
+pub mod bpntt;
+pub mod bpntt_alg;
+pub mod dataorg;
+pub mod mentt;
+pub mod reram;
+pub mod table3;
+
+pub use bpntt::BpNttModel;
+pub use bpntt_alg::BpNttAlgorithm;
+pub use dataorg::{DataOrg, DesignDataOrg};
+pub use mentt::MenttModel;
+pub use reram::{ReramDesign, CRYPTO_PIM, RM_NTT, X_POLY};
+pub use table3::{table3_rows, Table3Row};

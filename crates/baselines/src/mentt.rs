@@ -1,0 +1,93 @@
+//! MeNTT (Li et al., TVLSI 2022): a bit-serial 6T SRAM PIM for PQC NTT.
+//!
+//! The paper scales MeNTT's bit-serial modular multiplication to 256-bit
+//! operands as `(n+1)²` cycles (66 049 at n = 256, Figure 1 and Table 3)
+//! and notes the bit-serial data layout would need 1282 rows — more than
+//! an SRAM bank offers (§5.4).
+
+use modsram_modmul::CycleModel;
+
+/// Published-number model of MeNTT.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MenttModel;
+
+impl MenttModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        MenttModel
+    }
+
+    /// Reported clock frequency, MHz (Table 3).
+    pub const FREQ_MHZ: f64 = 151.0;
+    /// Reported technology node, nm (Table 3).
+    pub const NODE_NM: f64 = 65.0;
+    /// Reported area, mm² (Table 3).
+    pub const AREA_MM2: f64 = 0.36;
+    /// Native bitwidths of the published design.
+    pub const NATIVE_BITS: [usize; 3] = [14, 16, 32];
+    /// Reported array organisation (Table 3): 4 banks of 162×256.
+    pub const ARRAY: &'static str = "4x162x256";
+
+    /// Rows the bit-serial layout needs for one `n`-bit modular
+    /// multiplication: five operands stored along bitlines (A, B, p and
+    /// two intermediates) plus two control rows — 1282 at 256 bits, the
+    /// §5.4 infeasibility argument.
+    pub fn rows_required(&self, n_bits: usize) -> usize {
+        5 * n_bits + 2
+    }
+
+    /// Rows available in the published 4×162×256 organisation.
+    pub fn rows_available(&self) -> usize {
+        4 * 162
+    }
+
+    /// `true` when the bit-serial layout fits the published array.
+    pub fn feasible(&self, n_bits: usize) -> bool {
+        self.rows_required(n_bits) <= self.rows_available()
+    }
+
+    /// The "MeNTT projected" curve of Figure 1: quadratic scaling from
+    /// the published 16-bit design point (`17² = 289` cycles) instead of
+    /// the analytic `(n+1)²` — the two bracket the design's behaviour.
+    pub fn projected_cycles(&self, n_bits: usize) -> u64 {
+        let base = 17u64 * 17;
+        base * (n_bits as u64 / 16).pow(2).max(1)
+    }
+}
+
+impl CycleModel for MenttModel {
+    /// `(n+1)²` cycles — the paper's scaling of MeNTT's bit-serial
+    /// multiplier (66 049 at n = 256).
+    fn cycles(&self, n_bits: usize) -> u64 {
+        (n_bits as u64 + 1).pow(2)
+    }
+
+    fn model_description(&self) -> &'static str {
+        "bit-serial multiplier scaled as (n+1)^2 per the ModSRAM paper"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table3_at_256() {
+        assert_eq!(MenttModel::new().cycles(256), 66_049);
+    }
+
+    #[test]
+    fn row_requirement_matches_section_5_4() {
+        let m = MenttModel::new();
+        assert_eq!(m.rows_required(256), 1282);
+        assert!(!m.feasible(256));
+        assert!(m.feasible(16)); // fine at its native bitwidth
+    }
+
+    #[test]
+    fn projected_tracks_quadratic() {
+        let m = MenttModel::new();
+        assert_eq!(m.projected_cycles(16), 289);
+        assert_eq!(m.projected_cycles(256), 289 * 256);
+    }
+}

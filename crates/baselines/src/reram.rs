@@ -1,0 +1,90 @@
+//! ReRAM compute-in-memory baselines (Table 3, right-hand columns).
+//!
+//! RM-NTT, CryptoPIM and X-Poly publish latency/area for NTT kernels but
+//! no per-multiplication cycle counts (they reduce after multiplying, so
+//! the ModSRAM paper lists their cycles as "-"); §5.4 also notes the
+//! ADC-dominated area (> 70 %) of the lossless designs.
+
+/// Static published metrics of a ReRAM design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReramDesign {
+    /// Design name.
+    pub name: &'static str,
+    /// Target application per Table 3.
+    pub application: &'static str,
+    /// Reduction method.
+    pub method: &'static str,
+    /// Technology node, nm.
+    pub node_nm: f64,
+    /// Array organisation string.
+    pub array: &'static str,
+    /// Clock, MHz.
+    pub freq_mhz: f64,
+    /// Native bitwidths.
+    pub bits: &'static str,
+    /// Reported area, mm² (`None` where the paper lists "-").
+    pub area_mm2: Option<f64>,
+    /// Fraction of area spent on ADCs (§5.4: "more than 70%" for the
+    /// lossless designs; `None` where not applicable/reported).
+    pub adc_area_fraction: Option<f64>,
+}
+
+/// RM-NTT (Park et al., JxCDC 2022).
+pub const RM_NTT: ReramDesign = ReramDesign {
+    name: "RM-NTT",
+    application: "HE NTT",
+    method: "Montgomery",
+    node_nm: 28.0,
+    array: "64x4x128x128",
+    freq_mhz: 400.0,
+    bits: "14/16",
+    area_mm2: None,
+    adc_area_fraction: Some(0.70),
+};
+
+/// CryptoPIM (Nejatollahi et al., DAC 2020).
+pub const CRYPTO_PIM: ReramDesign = ReramDesign {
+    name: "CryptoPIM",
+    application: "PQC NTT",
+    method: "Montgomery/Barrett",
+    node_nm: 45.0,
+    array: "512x512",
+    freq_mhz: 909.0,
+    bits: "16/32",
+    area_mm2: Some(0.152),
+    adc_area_fraction: None,
+};
+
+/// X-Poly (Li et al., 2023).
+pub const X_POLY: ReramDesign = ReramDesign {
+    name: "X-Poly",
+    application: "PQC NTT",
+    method: "Barrett",
+    node_nm: 45.0,
+    array: "16x128x128",
+    freq_mhz: 400.0,
+    bits: "16",
+    area_mm2: Some(0.27),
+    adc_area_fraction: Some(0.70),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_table3() {
+        assert_eq!(RM_NTT.node_nm, 28.0);
+        assert_eq!(CRYPTO_PIM.freq_mhz, 909.0);
+        assert_eq!(X_POLY.area_mm2, Some(0.27));
+        assert_eq!(CRYPTO_PIM.area_mm2, Some(0.152));
+        assert_eq!(RM_NTT.area_mm2, None);
+    }
+
+    #[test]
+    fn lossless_designs_are_adc_dominated() {
+        for d in [RM_NTT, X_POLY] {
+            assert!(d.adc_area_fraction.unwrap() >= 0.7, "{}", d.name);
+        }
+    }
+}

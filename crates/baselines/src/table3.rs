@@ -1,0 +1,161 @@
+//! The Table 3 comparison rows, assembled from the design models.
+
+use modsram_modmul::CycleModel;
+
+use crate::{BpNttModel, MenttModel, CRYPTO_PIM, RM_NTT, X_POLY};
+
+/// One column of the paper's Table 3 (one design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Design name.
+    pub reference: &'static str,
+    /// Application type.
+    pub application: &'static str,
+    /// Computation (reduction) method.
+    pub method: &'static str,
+    /// Technology node, nm.
+    pub node_nm: f64,
+    /// Cell type.
+    pub cell: &'static str,
+    /// Array organisation.
+    pub array: &'static str,
+    /// Clock frequency, MHz.
+    pub freq_mhz: f64,
+    /// Bitwidths supported.
+    pub bitwidth: &'static str,
+    /// Cycles for one 256-bit modular multiplication (scaled as in the
+    /// paper); `None` where the paper lists "-".
+    pub cycles_256: Option<u64>,
+    /// Area in mm²; `None` where the paper lists "-".
+    pub area_mm2: Option<f64>,
+}
+
+/// Builds all six Table 3 rows. `modsram_cycles` and `modsram_area_mm2`
+/// come from the measured run and the area model so the table is
+/// *regenerated*, not transcribed; pass the paper's 767 / 0.053 to
+/// reproduce it verbatim.
+pub fn table3_rows(modsram_cycles: u64, modsram_area_mm2: f64) -> Vec<Table3Row> {
+    let mentt = MenttModel::new();
+    let bpntt = BpNttModel::new();
+    vec![
+        Table3Row {
+            reference: "This work (ModSRAM)",
+            application: "ECC",
+            method: "direct",
+            node_nm: 65.0,
+            cell: "8T SRAM",
+            array: "64x256",
+            freq_mhz: 420.0,
+            bitwidth: "256",
+            cycles_256: Some(modsram_cycles),
+            area_mm2: Some(modsram_area_mm2),
+        },
+        Table3Row {
+            reference: "MeNTT",
+            application: "PQC NTT",
+            method: "direct",
+            node_nm: MenttModel::NODE_NM,
+            cell: "6T SRAM",
+            array: MenttModel::ARRAY,
+            freq_mhz: MenttModel::FREQ_MHZ,
+            bitwidth: "14/16/32",
+            cycles_256: Some(mentt.cycles(256)),
+            area_mm2: Some(MenttModel::AREA_MM2),
+        },
+        Table3Row {
+            reference: "BP-NTT",
+            application: "PQC NTT",
+            method: "Montgomery",
+            node_nm: BpNttModel::NODE_NM,
+            cell: "6T SRAM",
+            array: BpNttModel::ARRAY,
+            freq_mhz: BpNttModel::FREQ_MHZ,
+            bitwidth: "2/4/8/16/32/64",
+            cycles_256: Some(bpntt.cycles(256)),
+            area_mm2: Some(BpNttModel::AREA_MM2),
+        },
+        Table3Row {
+            reference: RM_NTT.name,
+            application: RM_NTT.application,
+            method: RM_NTT.method,
+            node_nm: RM_NTT.node_nm,
+            cell: "ReRAM",
+            array: RM_NTT.array,
+            freq_mhz: RM_NTT.freq_mhz,
+            bitwidth: RM_NTT.bits,
+            cycles_256: None,
+            area_mm2: RM_NTT.area_mm2,
+        },
+        Table3Row {
+            reference: CRYPTO_PIM.name,
+            application: CRYPTO_PIM.application,
+            method: CRYPTO_PIM.method,
+            node_nm: CRYPTO_PIM.node_nm,
+            cell: "ReRAM",
+            array: CRYPTO_PIM.array,
+            freq_mhz: CRYPTO_PIM.freq_mhz,
+            bitwidth: CRYPTO_PIM.bits,
+            cycles_256: None,
+            area_mm2: CRYPTO_PIM.area_mm2,
+        },
+        Table3Row {
+            reference: X_POLY.name,
+            application: X_POLY.application,
+            method: X_POLY.method,
+            node_nm: X_POLY.node_nm,
+            cell: "ReRAM",
+            array: X_POLY.array,
+            freq_mhz: X_POLY.freq_mhz,
+            bitwidth: X_POLY.bits,
+            cycles_256: None,
+            area_mm2: X_POLY.area_mm2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_in_paper_order() {
+        let rows = table3_rows(767, 0.053);
+        let names: Vec<&str> = rows.iter().map(|r| r.reference).collect();
+        assert_eq!(
+            names,
+            vec![
+                "This work (ModSRAM)",
+                "MeNTT",
+                "BP-NTT",
+                "RM-NTT",
+                "CryptoPIM",
+                "X-Poly"
+            ]
+        );
+    }
+
+    #[test]
+    fn cycle_column_matches_paper() {
+        let rows = table3_rows(767, 0.053);
+        assert_eq!(rows[0].cycles_256, Some(767));
+        assert_eq!(rows[1].cycles_256, Some(66_049));
+        assert_eq!(rows[2].cycles_256, Some(1465));
+        assert_eq!(rows[3].cycles_256, None);
+    }
+
+    #[test]
+    fn cycle_reduction_vs_best_prior() {
+        let rows = table3_rows(767, 0.053);
+        let ours = rows[0].cycles_256.unwrap() as f64;
+        let best_prior = rows[1..]
+            .iter()
+            .filter_map(|r| r.cycles_256)
+            .min()
+            .unwrap() as f64;
+        let reduction = 1.0 - ours / best_prior;
+        // The abstract's "52% cycle reduction" claim: our measured count
+        // against the best scaled prior work (BP-NTT) gives ≈ 47.6%; the
+        // shape (≈ 2× win) reproduces. See EXPERIMENTS.md.
+        assert!(reduction > 0.45, "reduction {reduction}");
+    }
+}

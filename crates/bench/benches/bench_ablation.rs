@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * `abl1` — carry-save vs carry-propagate inner loops (R4CSA-LUT vs
+//!   Algorithm 2 vs Algorithm 1) and LUT reuse vs rebuild.
+//! * `abl2` — radix-2 vs radix-4 recoding (radix-8 digit counts are
+//!   covered by unit tests; no engine variant exists because the paper's
+//!   LUT holds only radix-4 multiples).
+//! * constant-time vs data-dependent iteration policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsram_bigint::{ubig_below, UBig};
+use modsram_core::ModSram;
+use modsram_baselines::BpNttAlgorithm;
+use modsram_modmul::{
+    InterleavedEngine, ModMulEngine, R4CsaLutEngine, Radix4Engine, Radix8Engine, TimingPolicy,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn secp_p() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
+}
+
+fn bench_algorithm_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl1_algorithm_family_256b");
+    group.sample_size(20);
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let a = ubig_below(&mut rng, &p);
+    let b = ubig_below(&mut rng, &p);
+
+    let mut interleaved = InterleavedEngine::new();
+    group.bench_function("radix2_interleaved", |bench| {
+        bench.iter(|| black_box(interleaved.mod_mul(&a, &b, &p).unwrap()))
+    });
+    let mut radix4 = Radix4Engine::new();
+    group.bench_function("radix4_carry_propagate", |bench| {
+        bench.iter(|| black_box(radix4.mod_mul(&a, &b, &p).unwrap()))
+    });
+    let mut radix8 = Radix8Engine::new();
+    group.bench_function("radix8_carry_propagate", |bench| {
+        bench.iter(|| black_box(radix8.mod_mul(&a, &b, &p).unwrap()))
+    });
+    let mut r4csa = R4CsaLutEngine::new();
+    group.bench_function("radix4_carry_save_lut", |bench| {
+        bench.iter(|| black_box(r4csa.mod_mul(&a, &b, &p).unwrap()))
+    });
+    let mut bpntt = BpNttAlgorithm::new();
+    group.bench_function("bpntt_bitserial_montgomery", |bench| {
+        bench.iter(|| black_box(bpntt.mod_mul(&a, &b, &p).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_lut_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl1_lut_reuse_256b");
+    group.sample_size(10);
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a = ubig_below(&mut rng, &p);
+    let b = ubig_below(&mut rng, &p);
+
+    // Same multiplicand every call: the LUT precompute amortises away.
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    dev.load_multiplicand(&b).unwrap();
+    group.bench_function("reuse_lut", |bench| {
+        bench.iter(|| black_box(dev.mod_mul_loaded(&a).unwrap()))
+    });
+
+    // New multiplicand every call: pays the Table 1b fill each time.
+    let mut dev2 = ModSram::for_modulus(&p).unwrap();
+    let mut i = 0u64;
+    group.bench_function("rebuild_lut_each_call", |bench| {
+        bench.iter(|| {
+            i += 1;
+            let b_i = &b + &UBig::from(i);
+            black_box(dev2.mod_mul(&a, &b_i).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_timing_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl2_timing_policy_256b");
+    group.sample_size(20);
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let a = ubig_below(&mut rng, &p);
+    let b = ubig_below(&mut rng, &p);
+
+    let mut dd = R4CsaLutEngine::with_policy(TimingPolicy::DataDependent);
+    group.bench_function("data_dependent", |bench| {
+        bench.iter(|| black_box(dd.mod_mul(&a, &b, &p).unwrap()))
+    });
+    let mut ct = R4CsaLutEngine::with_policy(TimingPolicy::ConstantTime);
+    group.bench_function("constant_time", |bench| {
+        bench.iter(|| black_box(ct.mod_mul(&a, &b, &p).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm_family,
+    bench_lut_reuse,
+    bench_timing_policy
+);
+criterion_main!(benches);

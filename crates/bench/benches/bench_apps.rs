@@ -1,0 +1,74 @@
+//! Application-layer benchmarks: hashing, signatures, commitments, and
+//! the inner-product argument — the workloads the paper's §1 motivates,
+//! measured end to end on this stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modsram_apps::{sha256, IpaParams, PedersenCommitter, SchnorrKey, SigningKey};
+use modsram_bigint::UBig;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    group.sample_size(30);
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::new("digest", size), &size, |b, _| {
+            b.iter(|| black_box(sha256(black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signatures_secp256k1");
+    group.sample_size(10);
+    let ecdsa_key = SigningKey::new(&UBig::from_hex("1234567890abcdef1234567890abcdef").unwrap())
+        .unwrap();
+    let vk = ecdsa_key.verifying_key();
+    let sig = ecdsa_key.sign(b"benchmark message");
+    group.bench_function("ecdsa_sign", |b| {
+        b.iter(|| black_box(ecdsa_key.sign(black_box(b"benchmark message"))))
+    });
+    group.bench_function("ecdsa_verify", |b| {
+        b.iter(|| black_box(vk.verify(b"benchmark message", &sig).unwrap()))
+    });
+
+    let schnorr_key =
+        SchnorrKey::new(&UBig::from_hex("fedcba9876543210fedcba9876543210").unwrap()).unwrap();
+    let ssig = schnorr_key.sign(b"benchmark message");
+    group.bench_function("schnorr_sign", |b| {
+        b.iter(|| black_box(schnorr_key.sign(black_box(b"benchmark message"))))
+    });
+    group.bench_function("schnorr_verify", |b| {
+        b.iter(|| black_box(schnorr_key.verify(b"benchmark message", &ssig)))
+    });
+    group.finish();
+}
+
+fn bench_zkp_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zkp_primitives_bn254");
+    group.sample_size(10);
+
+    let committer = PedersenCommitter::new(8, b"bench");
+    let values: Vec<UBig> = (1..=8u64).map(UBig::from).collect();
+    let r = UBig::from(424_242u64);
+    group.bench_function("pedersen_commit_8", |b| {
+        b.iter(|| black_box(committer.commit(black_box(&values), &r)))
+    });
+
+    let params = IpaParams::new(8, b"bench");
+    let a: Vec<UBig> = (0..8u64).map(|i| UBig::from(3 * i + 7)).collect();
+    let bvec: Vec<UBig> = (0..8u64).map(|i| UBig::from(11 * i + 1)).collect();
+    let commitment = params.commit(&a, &bvec);
+    let proof = params.prove(&a, &bvec);
+    group.bench_function("ipa_prove_8", |b| {
+        b.iter(|| black_box(params.prove(black_box(&a), black_box(&bvec))))
+    });
+    group.bench_function("ipa_verify_8", |b| {
+        b.iter(|| black_box(params.verify(&commitment, &proof)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_signatures, bench_zkp_primitives);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Area/frequency model evaluation across geometries (Figure 5's model,
+//! swept to show how the breakdown shifts with array shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modsram_phys::{AreaModel, DeviceAreas, FreqModel};
+use std::hint::black_box;
+
+fn bench_area_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("area_model");
+    group.sample_size(30);
+    for (rows, cols) in [(64usize, 256usize), (128, 256), (64, 512), (256, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("breakdown", format!("{rows}x{cols}")),
+            &(rows, cols),
+            |b, &(r, co)| {
+                b.iter(|| {
+                    let model = AreaModel::new(DeviceAreas::tsmc65(), r, co);
+                    let bd = model.modsram_breakdown();
+                    black_box((bd.total_mm2(), model.overhead_vs_plain()))
+                })
+            },
+        );
+    }
+    group.bench_function("freq_model", |b| {
+        b.iter(|| black_box(FreqModel::tsmc65().fmax_mhz()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_area_sweep);
+criterion_main!(benches);

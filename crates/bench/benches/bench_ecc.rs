@@ -1,0 +1,63 @@
+//! Elliptic-curve operation benchmarks on the fast field backend, plus
+//! one point addition running entirely on the simulated accelerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsram_bigint::ubig_below;
+use modsram_core::{ModSram, ModSramConfig};
+use modsram_ecc::curves::{secp256k1_fast, secp256k1_with_engine};
+use modsram_ecc::scalar::{mul_scalar_wnaf, mul_scalar};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_point_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secp256k1_fast");
+    group.sample_size(20);
+    let curve = secp256k1_fast();
+    let g = curve.generator();
+    let p2 = curve.double(&g);
+    let p2_aff = curve.to_affine(&p2);
+
+    group.bench_function("double", |b| b.iter(|| black_box(curve.double(black_box(&g)))));
+    group.bench_function("add", |b| {
+        b.iter(|| black_box(curve.add(black_box(&g), black_box(&p2))))
+    });
+    group.bench_function("add_mixed", |b| {
+        b.iter(|| black_box(curve.add_mixed(black_box(&g), black_box(&p2_aff))))
+    });
+
+    let mut rng = SmallRng::seed_from_u64(3);
+    let k = ubig_below(&mut rng, curve.order());
+    group.bench_function("scalar_mul_binary", |b| {
+        b.iter(|| black_box(mul_scalar(&curve, black_box(&g), black_box(&k))))
+    });
+    group.bench_function("scalar_mul_wnaf4", |b| {
+        b.iter(|| black_box(mul_scalar_wnaf(&curve, black_box(&g), black_box(&k))))
+    });
+    group.finish();
+}
+
+fn bench_point_add_on_accelerator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secp256k1_on_modsram");
+    group.sample_size(10);
+    // Unverified device keeps the benchmark about the datapath model.
+    let dev = ModSram::new(ModSramConfig {
+        n_bits: 256,
+        verify: false,
+        ..Default::default()
+    })
+    .unwrap();
+    let curve = secp256k1_with_engine(Box::new(dev));
+    let g = curve.generator();
+    let p2 = curve.double(&g);
+    group.bench_function("point_add_in_sram", |b| {
+        b.iter(|| black_box(curve.add(black_box(&g), black_box(&p2))))
+    });
+    group.bench_function("point_double_in_sram", |b| {
+        b.iter(|| black_box(curve.double(black_box(&g))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_point_add_on_accelerator);
+criterion_main!(benches);

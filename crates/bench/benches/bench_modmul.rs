@@ -1,0 +1,77 @@
+//! Wall-clock benchmarks of every modular-multiplication engine across
+//! bitwidths (the simulator-side companion of Figure 1 / Table 3: cycle
+//! counts come from the report binaries; these measure our models'
+//! throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modsram_bigint::{ubig_below, UBig};
+use modsram_core::ModSram;
+use modsram_modmul::all_engines;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn prime_for_bits(bits: usize) -> UBig {
+    match bits {
+        64 => UBig::from(0xffff_ffff_ffff_ffc5u64), // largest 64-bit prime
+        256 => UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap(),
+        _ => panic!("unsupported width"),
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modmul_engines");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(1);
+    for bits in [64usize, 256] {
+        let p = prime_for_bits(bits);
+        let a = ubig_below(&mut rng, &p);
+        let b = ubig_below(&mut rng, &p);
+        for engine in all_engines().iter_mut() {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), bits),
+                &bits,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(engine.mod_mul(black_box(&a), black_box(&b), &p).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_modsram_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modsram_device");
+    group.sample_size(10);
+    let p = prime_for_bits(256);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let a = ubig_below(&mut rng, &p);
+    let b = ubig_below(&mut rng, &p);
+
+    let mut verified = ModSram::for_modulus(&p).unwrap();
+    verified.load_multiplicand(&b).unwrap();
+    group.bench_function("cycle_accurate_verified_256b", |bench| {
+        bench.iter(|| black_box(verified.mod_mul_loaded(black_box(&a)).unwrap()))
+    });
+
+    let mut unverified = ModSram::new(modsram_core::ModSramConfig {
+        n_bits: 256,
+        verify: false,
+        ..Default::default()
+    })
+    .unwrap();
+    unverified.load_modulus(&p).unwrap();
+    unverified.load_multiplicand(&b).unwrap();
+    group.bench_function("cycle_accurate_unverified_256b", |bench| {
+        bench.iter(|| black_box(unverified.mod_mul_loaded(black_box(&a)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_modsram_device);
+criterion_main!(benches);

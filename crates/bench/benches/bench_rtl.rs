@@ -1,0 +1,92 @@
+//! Benchmarks for the gate-level substrate: netlist construction,
+//! evaluation throughput, equivalence sweeps, timing analysis, and
+//! Verilog emission.
+//!
+//! These have no paper counterpart — they guard the simulator's own
+//! performance (a 64-vector exhaustive LEC of the decoder touches
+//! 64 × 210 cells; evaluation must stay allocation-free per vector).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modsram_rtl::cells::CellLibrary;
+use modsram_rtl::{circuits, equiv, timing, verilog};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtl_evaluate");
+    let booth = circuits::booth_encoder();
+    group.bench_function("booth_encoder", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            booth.evaluate_into(black_box(&[true, false, true]), &mut scratch);
+            black_box(scratch.len())
+        })
+    });
+    for width in [64usize, 257] {
+        let csa = circuits::carry_save_adder(width);
+        let inputs = vec![true; 3 * width];
+        group.bench_with_input(BenchmarkId::new("csa_row", width), &width, |b, _| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                csa.evaluate_into(black_box(&inputs), &mut scratch);
+                black_box(scratch.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtl_equivalence");
+    group.sample_size(20);
+    let decoder = circuits::wl_decoder(6);
+    group.bench_function("wl_decoder_6_exhaustive", |b| {
+        b.iter(|| {
+            equiv::check_equiv(black_box(&decoder), |bits| {
+                let addr: usize = (0..6).map(|i| (bits[i] as usize) << i).sum();
+                (0..64).map(|row| bits[6] && row == addr).collect()
+            })
+            .expect("decoder equivalence")
+        })
+    });
+    group.finish();
+}
+
+fn bench_timing_and_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtl_backend");
+    group.sample_size(20);
+    let lib = CellLibrary::tsmc65();
+    let adder = circuits::final_adder(257);
+    group.bench_function("sta_final_adder_257", |b| {
+        b.iter(|| black_box(timing::analyze(&adder, &lib).critical_ps))
+    });
+    group.bench_function("emit_verilog_final_adder_257", |b| {
+        b.iter(|| black_box(verilog::emit_module(&adder).len()))
+    });
+    group.bench_function("build_wl_decoder_6", |b| {
+        b.iter(|| black_box(circuits::wl_decoder(6).cell_count()))
+    });
+    group.bench_function("optimize_wl_decoder_6", |b| {
+        let nl = circuits::wl_decoder(6);
+        b.iter(|| black_box(modsram_rtl::optimize(&nl).1.cells_after))
+    });
+    group.finish();
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtl_fsm");
+    group.sample_size(20);
+    group.bench_function("sequencer_schedule_k128", |b| {
+        let mut seq = modsram_rtl::fsm::sequencer(8);
+        b.iter(|| black_box(modsram_rtl::fsm::run_sequencer(&mut seq, 128).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_equivalence,
+    bench_timing_and_export,
+    bench_fsm
+);
+criterion_main!(benches);

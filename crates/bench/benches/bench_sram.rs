@@ -1,0 +1,41 @@
+//! Throughput of the SRAM PIM simulator primitives (the substrate under
+//! every accelerator experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsram_sram::{SramArray, SramConfig};
+use std::hint::black_box;
+
+fn bench_array_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_array");
+    group.sample_size(30);
+    let mut array = SramArray::new(SramConfig::modsram_64x256());
+    let pattern = [0x0123_4567_89ab_cdefu64; 4];
+    array.write_row(0, &pattern);
+    array.write_row(1, &[0xaaaa_aaaa_aaaa_aaaau64; 4]);
+    array.write_row(2, &[0x5555_5555_5555_5555u64; 4]);
+
+    group.bench_function("write_row_256b", |b| {
+        b.iter(|| array.write_row(black_box(5), black_box(&pattern)))
+    });
+    group.bench_function("read_row_256b", |b| {
+        b.iter(|| black_box(array.read_row(black_box(0))))
+    });
+    group.bench_function("activate3_logic_sa_256b", |b| {
+        b.iter(|| black_box(array.activate(black_box(&[0, 1, 2]))))
+    });
+
+    // Noisy sensing is the Monte-Carlo robustness path.
+    let mut noisy_cfg = SramConfig::modsram_64x256();
+    noisy_cfg.fault.sa_offset_sigma = 0.1;
+    let mut noisy = SramArray::new(noisy_cfg);
+    noisy.write_row(0, &pattern);
+    noisy.write_row(1, &[1u64; 4]);
+    noisy.write_row(2, &[2u64; 4]);
+    group.bench_function("activate3_noisy_sa_256b", |b| {
+        b.iter(|| black_box(noisy.activate(black_box(&[0, 1, 2]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_ops);
+criterion_main!(benches);

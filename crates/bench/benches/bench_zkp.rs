@@ -1,0 +1,57 @@
+//! ZKP component kernels (Figure 7's NTT and MSM) at bench-friendly
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modsram_bigint::{ubig_below, UBig};
+use modsram_ecc::curves::{bn254_fast, bn254_fr_ctx};
+use modsram_ecc::msm::msm;
+use modsram_ecc::{FieldCtx, NttPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_bn254_fr");
+    group.sample_size(10);
+    let ctx = bn254_fr_ctx();
+    let mut rng = SmallRng::seed_from_u64(4);
+    for log_n in [8usize, 10, 12] {
+        let plan = NttPlan::new(&ctx, log_n, &UBig::from(5u64)).unwrap();
+        let data: Vec<_> = (0..1usize << log_n)
+            .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", 1 << log_n), &log_n, |b, _| {
+            b.iter(|| {
+                let mut work = data.clone();
+                plan.forward(&mut work);
+                black_box(work)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm_bn254");
+    group.sample_size(10);
+    let curve = bn254_fast();
+    let mut rng = SmallRng::seed_from_u64(5);
+    for log_n in [6usize, 8] {
+        let n = 1usize << log_n;
+        let g = curve.generator();
+        let mut points = Vec::with_capacity(n);
+        let mut cur = g.clone();
+        for _ in 0..n {
+            points.push(curve.to_affine(&cur));
+            cur = curve.add(&cur, &g);
+        }
+        let scalars: Vec<UBig> = (0..n).map(|_| ubig_below(&mut rng, curve.order())).collect();
+        group.bench_with_input(BenchmarkId::new("pippenger", n), &log_n, |b, _| {
+            b.iter(|| black_box(msm(&curve, black_box(&points), black_box(&scalars))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_msm);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Figure 1: modular-multiplication cycles vs bitwidth for
+//! R4CSA-LUT against the MeNTT and BP-NTT scalings.
+
+use modsram_bench::{fig1_data, print_table, write_json_artifact};
+
+fn main() {
+    let data = fig1_data();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|p| {
+            vec![
+                p.bits.to_string(),
+                p.ours.to_string(),
+                p.mentt.to_string(),
+                p.mentt_projected.to_string(),
+                p.bpntt.to_string(),
+                format!("{:.1}x", p.mentt as f64 / p.ours as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1: cycles per modular multiplication vs bitwidth",
+        &[
+            "bits",
+            "ours (3n-1)",
+            "MeNTT ((n+1)^2)",
+            "MeNTT projected",
+            "BP-NTT",
+            "MeNTT/ours",
+        ],
+        &rows,
+    );
+    println!("\nPQC operates at 14-16 bits (left of the plot); ECC needs 224-512 bits");
+    println!("(right), where the quadratic curves become impractical — the paper's point.");
+
+    let json = serde_json::json!(data
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "bits": p.bits,
+                "ours": p.ours,
+                "mentt": p.mentt,
+                "mentt_projected": p.mentt_projected,
+                "bpntt": p.bpntt,
+            })
+        })
+        .collect::<Vec<_>>());
+    let path = write_json_artifact("fig1", &json);
+    println!("\nartifact: {path}");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: the 5-bit R4CSA-LUT dataflow walkthrough
+//! (A = 10101, B = 10010, p = 11000) on the cycle-accurate device.
+
+use modsram_bench::fig3_trace;
+
+fn main() {
+    println!("== Figure 3: 5-bit R4CSA-LUT dataflow on ModSRAM ==");
+    println!("A = 10101 (21), B = 10010 (18), p = 11000 (24)\n");
+    let (lines, result) = fig3_trace();
+    for line in &lines {
+        println!("{line}");
+    }
+    println!("\nfinal C = A*B mod p = {result} (expect 378 mod 24 = 18)");
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 5: the area breakdown of the ModSRAM macro, plus
+//! the §5.3 overhead and frequency numbers.
+
+use modsram_bench::{fig5_data, print_table, write_json_artifact};
+
+fn main() {
+    let d = fig5_data();
+    let rows: Vec<Vec<String>> = d
+        .components
+        .iter()
+        .map(|(name, um2, share)| {
+            vec![
+                name.to_string(),
+                format!("{um2:.0}"),
+                format!("{:.1}%", share * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: ModSRAM area breakdown (64x256, 65 nm model)",
+        &["component", "area (um^2)", "share"],
+        &rows,
+    );
+    println!("\ntotal area       : {:.4} mm^2   (paper: 0.053 mm^2)", d.total_mm2);
+    println!(
+        "overhead vs SRAM : {:.1}%      (paper: 32%)",
+        d.overhead * 100.0
+    );
+    println!("modelled clock   : {:.0} MHz    (paper: 420 MHz)", d.fmax_mhz);
+
+    let json = serde_json::json!({
+        "components": d.components.iter().map(|(n, a, s)| serde_json::json!({
+            "name": n, "area_um2": a, "share": s,
+        })).collect::<Vec<_>>(),
+        "total_mm2": d.total_mm2,
+        "overhead": d.overhead,
+        "fmax_mhz": d.fmax_mhz,
+    });
+    let path = write_json_artifact("fig5", &json);
+    println!("\nartifact: {path}");
+}

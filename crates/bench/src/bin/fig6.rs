@@ -1,0 +1,61 @@
+//! Regenerates Figure 6: data organisation of ModSRAM vs MeNTT vs
+//! BP-NTT for one 256-bit modular multiplication.
+
+use modsram_bench::{fig6_data, print_table, write_json_artifact};
+
+fn main() {
+    let org = fig6_data();
+    let rows: Vec<Vec<String>> = org
+        .designs
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                if d.bit_serial { "bit-serial" } else { "wordline" }.to_string(),
+                d.operand_rows.to_string(),
+                d.intermediate_rows.to_string(),
+                d.lut_rows.to_string(),
+                d.rows_used().to_string(),
+                d.rows_available.to_string(),
+                if d.fits() { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 6: data organisation at {} bits (rows per multiplication context)",
+            org.n_bits
+        ),
+        &[
+            "design",
+            "layout",
+            "operands",
+            "intermediates",
+            "LUT",
+            "used",
+            "available",
+            "fits",
+        ],
+        &rows,
+    );
+    println!("\nMeNTT's bit-serial layout needs 1282 rows at 256 bits — infeasible for");
+    println!("an SRAM bank (§5.4); ModSRAM's 13 reusable LUT wordlines plus 5 operand/");
+    println!("intermediate wordlines fit comfortably in 64 rows.");
+
+    let json = serde_json::json!(org
+        .designs
+        .iter()
+        .map(|d| serde_json::json!({
+            "name": d.name,
+            "bit_serial": d.bit_serial,
+            "operand_rows": d.operand_rows,
+            "intermediate_rows": d.intermediate_rows,
+            "lut_rows": d.lut_rows,
+            "rows_used": d.rows_used(),
+            "rows_available": d.rows_available,
+            "fits": d.fits(),
+        }))
+        .collect::<Vec<_>>());
+    let path = write_json_artifact("fig6", &json);
+    println!("\nartifact: {path}");
+}

@@ -1,0 +1,124 @@
+//! Runs every experiment and writes all JSON artifacts under
+//! `results/` — the one-command regeneration of the paper's evaluation.
+//!
+//! `MODSRAM_FIG7_LOGN` (default 12 here, 15 in the fig7 binary) bounds
+//! the ZKP workload size so the full report stays quick.
+
+use modsram_bench::{
+    fig1_data, fig3_trace, fig5_data, fig6_data, fig7_data, lut_usage, measured_modsram_run,
+    table3_data, write_json_artifact,
+};
+
+fn main() {
+    println!("ModSRAM reproduction report");
+    println!("===========================\n");
+
+    // Headline numbers.
+    let stats = measured_modsram_run();
+    println!("256-bit modular multiplication (measured, cycle-accurate):");
+    println!("  cycles            : {} (paper: 767)", stats.cycles);
+    println!("  iterations        : {}", stats.iterations);
+    println!("  SRAM activations  : {}", stats.activations);
+    println!("  SRAM row writes   : {}", stats.row_writes);
+    println!("  register writes   : {}", stats.register_writes);
+    println!("  energy (modelled) : {:.1} pJ", stats.energy_pj);
+
+    let f5 = fig5_data();
+    println!("\narea model:");
+    println!("  total             : {:.4} mm^2 (paper: 0.053)", f5.total_mm2);
+    println!("  overhead          : {:.1}% (paper: 32%)", f5.overhead * 100.0);
+    println!("  clock             : {:.0} MHz (paper: 420)", f5.fmax_mhz);
+
+    // Artifacts.
+    let fig1 = fig1_data();
+    write_json_artifact(
+        "fig1",
+        &serde_json::json!(fig1
+            .iter()
+            .map(|p| serde_json::json!({
+                "bits": p.bits, "ours": p.ours, "mentt": p.mentt,
+                "mentt_projected": p.mentt_projected, "bpntt": p.bpntt,
+            }))
+            .collect::<Vec<_>>()),
+    );
+    let (trace_lines, _) = fig3_trace();
+    write_json_artifact("fig3", &serde_json::json!(trace_lines));
+    write_json_artifact(
+        "fig5",
+        &serde_json::json!({
+            "total_mm2": f5.total_mm2, "overhead": f5.overhead, "fmax_mhz": f5.fmax_mhz,
+            "components": f5.components.iter().map(|(n, a, s)| serde_json::json!({
+                "name": n, "area_um2": a, "share": s })).collect::<Vec<_>>(),
+        }),
+    );
+    let f6 = fig6_data();
+    write_json_artifact(
+        "fig6",
+        &serde_json::json!(f6
+            .designs
+            .iter()
+            .map(|d| serde_json::json!({
+                "name": d.name, "rows_used": d.rows_used(),
+                "rows_available": d.rows_available, "fits": d.fits(),
+            }))
+            .collect::<Vec<_>>()),
+    );
+
+    let log_n: usize = std::env::var("MODSRAM_FIG7_LOGN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    println!("\nrunning ZKP workloads at 2^{log_n}...");
+    let f7 = fig7_data(log_n);
+    write_json_artifact(
+        "fig7",
+        &serde_json::json!(f7
+            .iter()
+            .map(|w| serde_json::json!({
+                "component": w.name, "size": w.size, "modmuls": w.modmuls,
+                "modadds": w.modadds, "mem_accesses": w.mem_accesses,
+                "reg_writes": w.reg_writes,
+            }))
+            .collect::<Vec<_>>()),
+    );
+    for w in &f7 {
+        println!(
+            "  {}: {} modmuls, {} mem accesses, {} reg writes",
+            w.name, w.modmuls, w.mem_accesses, w.reg_writes
+        );
+    }
+
+    let t3 = table3_data();
+    write_json_artifact(
+        "table3",
+        &serde_json::json!(t3
+            .iter()
+            .map(|r| serde_json::json!({
+                "reference": r.reference, "cycles_256": r.cycles_256,
+                "area_mm2": r.area_mm2,
+            }))
+            .collect::<Vec<_>>()),
+    );
+
+    println!("\nrunning lut_usage sweep (500 samples)...");
+    let usage = lut_usage(500, 0xBEEF);
+    write_json_artifact(
+        "table2_lut_usage",
+        &serde_json::json!({
+            "samples": usage.samples, "max_index": usage.max_index,
+            "within_paper_table": usage.within_paper_table,
+            "histogram": usage.histogram.to_vec(),
+        }),
+    );
+    println!(
+        "  max overflow index: {} ({})",
+        usage.max_index,
+        if usage.within_paper_table {
+            "within the paper's 8-entry Table 2"
+        } else {
+            "required spill rows"
+        }
+    );
+
+    println!("\nall artifacts written to results/*.json");
+}

@@ -1,0 +1,110 @@
+//! Gate-level report for the peripheral logic (reproduction extension):
+//! per-block cell census, NAND2-equivalent area, static-timing critical
+//! path, and Verilog export with self-checking testbenches.
+//!
+//! The paper synthesizes these blocks with Design Compiler but reports
+//! only the aggregate near-memory area (Figure 5); this binary shows
+//! the per-block numbers behind that aggregate and writes the Verilog
+//! sources under `results/rtl/` so the design can be re-simulated with
+//! any external Verilog simulator.
+
+use modsram_bench::{print_table, write_json_artifact};
+use modsram_phys::FreqModel;
+use modsram_rtl::cells::CellLibrary;
+use modsram_rtl::{circuits, timing, verilog, Netlist};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let lib = CellLibrary::tsmc65();
+    let blocks: Vec<Netlist> = vec![
+        circuits::booth_encoder(),
+        circuits::overflow_index_logic(),
+        circuits::logic_sa_decoder(),
+        circuits::wl_decoder(6),
+        circuits::carry_save_adder(257),
+        circuits::final_adder(257),
+    ];
+
+    let out_dir = Path::new("results/rtl");
+    fs::create_dir_all(out_dir).expect("create results/rtl");
+
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for nl in &blocks {
+        let report = timing::analyze(nl, &lib);
+        let area = nl.area_um2(&lib);
+        let (optimized, opt_stats) = modsram_rtl::optimize(nl);
+        rows.push(vec![
+            nl.name().to_string(),
+            nl.cell_count().to_string(),
+            format!("{} (-{:.0}%)", optimized.cell_count(), opt_stats.savings() * 100.0),
+            format!("{area:.1}"),
+            format!("{:.0}", report.critical_ps),
+            report.levels().to_string(),
+            format!("{:.0}", report.fmax_mhz),
+        ]);
+
+        let module_path = out_dir.join(format!("{}.v", nl.name()));
+        fs::write(&module_path, verilog::emit_module(nl)).expect("write module");
+        let vectors = verilog::golden_vectors(nl, 12, 256, 0x6d6f_6473);
+        let tb_path = out_dir.join(format!("tb_{}.v", nl.name()));
+        fs::write(&tb_path, verilog::emit_testbench(nl, &vectors)).expect("write testbench");
+
+        artifacts.push(serde_json::json!({
+            "block": nl.name(),
+            "cells": nl.cell_count(),
+            "cells_optimized": optimized.cell_count(),
+            "area_um2": area,
+            "critical_ps": report.critical_ps,
+            "levels": report.levels(),
+            "fmax_mhz": report.fmax_mhz,
+            "verilog": module_path.display().to_string(),
+            "testbench": tb_path.display().to_string(),
+            "vectors": vectors.len(),
+        }));
+    }
+
+    print_table(
+        "Gate-level peripheral logic (65 nm cell library)",
+        &["block", "cells", "opt cells", "area (um^2)", "crit (ps)", "levels", "fmax (MHz)"],
+        &rows,
+    );
+
+    // The controller FSM: clocked export + schedule check.
+    let mut fsm = modsram_rtl::fsm::controller_fsm();
+    let fsm_src = modsram_rtl::verilog::emit_seq_module(&fsm);
+    let fsm_path = out_dir.join("modsram_ctrl_fsm.v");
+    fs::write(&fsm_path, fsm_src).expect("write fsm");
+    let trace = modsram_rtl::fsm::run_schedule(&mut fsm, 128);
+    println!(
+        "\ncontroller FSM: {} cells, 8 one-hot states, k=128 schedule = {} cycles (paper: 767) → {}",
+        fsm.comb().cell_count(),
+        trace.len(),
+        fsm_path.display()
+    );
+
+    // The self-contained sequencer (FSM + gate-level digit counter).
+    let mut seq = modsram_rtl::fsm::sequencer(8);
+    let seq_src = modsram_rtl::verilog::emit_seq_module(&seq);
+    let seq_path = out_dir.join("modsram_sequencer_8.v");
+    fs::write(&seq_path, seq_src).expect("write sequencer");
+    let seq_trace = modsram_rtl::fsm::run_sequencer(&mut seq, 128);
+    println!(
+        "full sequencer: {} cells incl. 8-bit digit counter, schedule = {} cycles → {}",
+        seq.comb().cell_count(),
+        seq_trace.len(),
+        seq_path.display()
+    );
+
+    let array_cycle_ps = 1e6 / FreqModel::tsmc65().fmax_mhz();
+    println!(
+        "\narray read-path cycle: {array_cycle_ps:.0} ps ({:.0} MHz) — every NMC block \
+         above must fit inside it; only the once-per-multiplication final adder comes close.",
+        FreqModel::tsmc65().fmax_mhz()
+    );
+    println!("Verilog + self-checking testbenches written under results/rtl/.");
+
+    let path = write_json_artifact("rtl_blocks", &serde_json::json!({ "blocks": artifacts }));
+    println!("artifact: {path}");
+}

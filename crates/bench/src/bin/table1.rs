@@ -1,0 +1,74 @@
+//! Regenerates Table 1: (a) the radix-4 Booth encoder truth table and
+//! (b) the radix-4 precomputation LUT, shown for the paper's Figure 3
+//! example operands and for secp256k1-sized operands.
+
+use modsram_bench::print_table;
+use modsram_bigint::{Radix4Digit, UBig};
+use modsram_modmul::LutRadix4;
+
+fn main() {
+    // Table 1a.
+    let rows: Vec<Vec<String>> = (0u8..8)
+        .map(|bits| {
+            let (a1, a0, am1) = (bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let enc = Radix4Digit::encode(a1, a0, am1).value();
+            vec![
+                format!("{}", a1 as u8),
+                format!("{}", a0 as u8),
+                format!("{}", am1 as u8),
+                format!("{enc:+}").replace("+0", "0"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1a: radix-4 Booth encoder",
+        &["a_{i+1}", "a_i", "a_{i-1}", "ENC"],
+        &rows,
+    );
+
+    // Table 1b for the Figure 3 example (B = 18, p = 24).
+    let b = UBig::from(18u64);
+    let p = UBig::from(24u64);
+    let lut = LutRadix4::new(&b, &p).expect("valid modulus");
+    let digit_names = ["0", "+1", "+2", "-2", "-1"];
+    let rows: Vec<Vec<String>> = Radix4Digit::all()
+        .iter()
+        .zip(digit_names)
+        .map(|(d, name)| {
+            vec![
+                name.to_string(),
+                format!("{}", lut.value(*d)),
+                lut.value(*d).to_bin(5),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1b: LUT-radix4 for B=18, p=24 (the Figure 3 example)",
+        &["ENC", "digit*B mod p", "binary"],
+        &rows,
+    );
+
+    // Table 1b at production scale.
+    let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("const");
+    let b = &UBig::pow2(200) + &UBig::from(12345u64);
+    let lut = LutRadix4::new(&b, &p).expect("valid modulus");
+    let rows: Vec<Vec<String>> = Radix4Digit::all()
+        .iter()
+        .zip(digit_names)
+        .map(|(d, name)| {
+            let v = lut.value(*d).to_hex();
+            let short = if v.len() > 20 {
+                format!("{}…{}", &v[..10], &v[v.len() - 8..])
+            } else {
+                v
+            };
+            vec![name.to_string(), short]
+        })
+        .collect();
+    print_table(
+        "Table 1b at 256 bits (secp256k1 prime; 3 of 5 entries need computation)",
+        &["ENC", "digit*B mod p (hex, abbreviated)"],
+        &rows,
+    );
+}

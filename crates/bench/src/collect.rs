@@ -1,0 +1,220 @@
+//! Data collection for every table and figure in the paper's evaluation.
+
+use modsram_baselines::{BpNttModel, DataOrg, MenttModel};
+use modsram_bigint::{ubig_below, UBig};
+use modsram_core::{ModSram, ModSramConfig, RunStats};
+use modsram_modmul::{CycleModel, LutOverflow, R4CsaLutEngine};
+use modsram_phys::{AreaModel, Component, FreqModel};
+use modsram_zkp::{figure7, MsmPreset, WorkloadCounts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One bitwidth point of Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig1Point {
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// R4CSA-LUT (this work): `3n − 1`.
+    pub ours: u64,
+    /// MeNTT analytic: `(n+1)²`.
+    pub mentt: u64,
+    /// MeNTT projected from its 16-bit design point.
+    pub mentt_projected: u64,
+    /// BP-NTT linear model.
+    pub bpntt: u64,
+}
+
+/// Figure 1: cycles vs bitwidth for the algorithm comparison.
+pub fn fig1_data() -> Vec<Fig1Point> {
+    let ours = R4CsaLutEngine::new();
+    let mentt = MenttModel::new();
+    let bpntt = BpNttModel::new();
+    [8usize, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|&bits| Fig1Point {
+            bits,
+            ours: ours.cycles(bits),
+            mentt: mentt.cycles(bits),
+            mentt_projected: mentt.projected_cycles(bits),
+            bpntt: bpntt.cycles(bits),
+        })
+        .collect()
+}
+
+/// Figure 3: the 5-bit dataflow trace (A=10101, B=10010, p=11000),
+/// rendered one line per cycle.
+pub fn fig3_trace() -> (Vec<String>, UBig) {
+    let config = ModSramConfig {
+        n_bits: 5,
+        trace: true,
+        ..Default::default()
+    };
+    let mut dev = ModSram::new(config).expect("64 rows suffice");
+    dev.load_modulus(&UBig::from(0b11000u64)).expect("valid p");
+    let (result, _) = dev
+        .mod_mul(&UBig::from(0b10101u64), &UBig::from(0b10010u64))
+        .expect("paper example");
+    let lines = dev.last_trace.iter().map(|s| s.render(6)).collect();
+    (lines, result)
+}
+
+/// Figure 5: component areas (µm²), shares, total, and overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Data {
+    /// `(component name, area µm², share)` in Figure 5 order.
+    pub components: Vec<(&'static str, f64, f64)>,
+    /// Total area, mm².
+    pub total_mm2: f64,
+    /// Overhead vs a plain SRAM macro (§5.3's 32 %).
+    pub overhead: f64,
+    /// Modelled clock, MHz (§5.3's 420 MHz).
+    pub fmax_mhz: f64,
+}
+
+/// Figure 5 + the §5.3 frequency/overhead numbers.
+pub fn fig5_data() -> Fig5Data {
+    let model = AreaModel::modsram_default();
+    let b = model.modsram_breakdown();
+    let components = Component::all()
+        .iter()
+        .zip(b.component_um2.iter())
+        .map(|(&c, &um2)| (c.name(), um2, b.share(c)))
+        .collect();
+    Fig5Data {
+        components,
+        total_mm2: b.total_mm2(),
+        overhead: model.overhead_vs_plain(),
+        fmax_mhz: FreqModel::tsmc65().fmax_mhz(),
+    }
+}
+
+/// Figure 6: the data-organisation comparison at 256 bits.
+pub fn fig6_data() -> DataOrg {
+    DataOrg::at_bits(256)
+}
+
+/// Figure 7: measured NTT/MSM op counts. `log_n = 15` reproduces the
+/// paper's operating point (takes a few seconds in release builds).
+pub fn fig7_data(log_n: usize) -> [WorkloadCounts; 2] {
+    figure7(log_n, MsmPreset::Auto)
+}
+
+/// A measured 256-bit multiplication on the cycle-accurate device,
+/// returning its stats (cycles = 767 for MSB-clear multipliers).
+pub fn measured_modsram_run() -> RunStats {
+    let p =
+        UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .expect("const");
+    let mut dev = ModSram::for_modulus(&p).expect("default geometry");
+    let a = &UBig::pow2(255) - &UBig::from(3u64);
+    let b = &UBig::pow2(254) + &UBig::from(5u64);
+    // Clear bit 255 so the paper's ⌈n/2⌉ iteration count applies.
+    let a = a.with_bit(255, false);
+    let (_, stats) = dev.mod_mul(&a, &b).expect("in-range operands");
+    stats
+}
+
+/// Table 3 rows with our measured cycle count and modelled area.
+pub fn table3_data() -> Vec<modsram_baselines::Table3Row> {
+    let stats = measured_modsram_run();
+    let area = AreaModel::modsram_default().modsram_breakdown().total_mm2();
+    modsram_baselines::table3_rows(stats.cycles, area)
+}
+
+/// The `lut_usage` experiment: a random-operand sweep recording which
+/// overflow-LUT indices the exact-accounting algorithm touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutUsage {
+    /// Histogram over all 16 allocated entries.
+    pub histogram: [u64; LutOverflow::ENTRIES],
+    /// Highest index observed.
+    pub max_index: usize,
+    /// Multiplications performed.
+    pub samples: u64,
+    /// `true` when everything stayed within the paper's 8-entry Table 2.
+    pub within_paper_table: bool,
+}
+
+/// Runs the `lut_usage` sweep: `samples` random 256-bit multiplications.
+pub fn lut_usage(samples: u64, seed: u64) -> LutUsage {
+    use modsram_modmul::ModMulEngine;
+    let p =
+        UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .expect("const");
+    let mut engine = R4CsaLutEngine::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let a = ubig_below(&mut rng, &p);
+        let b = ubig_below(&mut rng, &p);
+        engine.mod_mul(&a, &b, &p).expect("valid modulus");
+    }
+    let histogram = *engine.cumulative_ov_histogram();
+    let max_index = histogram
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    LutUsage {
+        histogram,
+        max_index,
+        samples,
+        within_paper_table: max_index < LutOverflow::PAPER_ENTRIES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_paper_anchors() {
+        let data = fig1_data();
+        let at256 = data.iter().find(|p| p.bits == 256).unwrap();
+        assert_eq!(at256.ours, 767);
+        assert_eq!(at256.mentt, 66_049);
+        assert_eq!(at256.bpntt, 1465);
+        // Crossover shape: ours scales linearly, MeNTT quadratically.
+        let at8 = data.iter().find(|p| p.bits == 8).unwrap();
+        assert!(at256.ours / at8.ours < 40);
+        assert!(at256.mentt / at8.mentt > 500);
+    }
+
+    #[test]
+    fn fig3_reproduces_the_worked_example() {
+        let (lines, result) = fig3_trace();
+        assert_eq!(result, UBig::from(18u64)); // 21·18 mod 24
+        assert_eq!(lines.len(), 18); // 17 cycles + finalize marker
+        assert!(lines[0].contains("fetch"));
+    }
+
+    #[test]
+    fn fig5_matches_paper_shape() {
+        let d = fig5_data();
+        assert!((d.total_mm2 - 0.053).abs() < 0.003);
+        assert!((d.overhead - 0.32).abs() < 0.04);
+        assert!((d.fmax_mhz - 420.0).abs() < 10.0);
+        assert!((d.components[0].2 - 0.67).abs() < 0.03); // array share
+    }
+
+    #[test]
+    fn measured_run_hits_767() {
+        assert_eq!(measured_modsram_run().cycles, 767);
+    }
+
+    #[test]
+    fn lut_usage_small_sweep() {
+        let usage = lut_usage(20, 42);
+        assert_eq!(usage.samples, 20);
+        assert!(usage.max_index <= 11);
+        assert!(usage.histogram.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn fig7_small_scale() {
+        let [ntt, msm] = fig7_data(6);
+        assert_eq!(ntt.modmuls, WorkloadCounts::ntt_modmul_model(6));
+        assert!(msm.modmuls > ntt.modmuls);
+    }
+}

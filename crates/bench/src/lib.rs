@@ -1,0 +1,13 @@
+//! Shared harness code for the paper-regeneration binaries and the
+//! Criterion benches: data collection for every table/figure, plain-text
+//! table rendering, and JSON artifact output.
+//!
+//! Each paper artifact has a `collect::*` function returning plain data,
+//! a `src/bin/*.rs` binary that prints it in the paper's shape, and
+//! (where meaningful) an integration test pinning the headline numbers.
+
+pub mod collect;
+pub mod render;
+
+pub use collect::*;
+pub use render::{print_table, write_json_artifact};

@@ -1,0 +1,47 @@
+//! Plain-text tables and JSON artifacts.
+
+use std::fs;
+use std::path::Path;
+
+/// Prints an aligned text table with a title line.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes a JSON artifact under `results/` (creating the directory),
+/// returning the path written.
+///
+/// # Panics
+///
+/// Panics on I/O failure — artifact generation is a batch process where
+/// silent loss is worse than an abort.
+pub fn write_json_artifact(name: &str, value: &serde_json::Value) -> String {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+        .expect("write artifact");
+    path.display().to_string()
+}

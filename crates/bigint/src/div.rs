@@ -1,0 +1,187 @@
+//! Division and remainder via Knuth's Algorithm D (TAOCP vol. 2, §4.3.1).
+
+use crate::UBig;
+
+/// Computes `(u / v, u % v)`.
+///
+/// # Panics
+///
+/// Panics if `v` is zero.
+pub(crate) fn divrem(u: &UBig, v: &UBig) -> (UBig, UBig) {
+    assert!(!v.is_zero(), "UBig division by zero");
+    if u < v {
+        return (UBig::zero(), u.clone());
+    }
+    if v.limbs().len() == 1 {
+        return divrem_by_limb(u, v.limbs()[0]);
+    }
+    knuth_d(u, v)
+}
+
+fn divrem_by_limb(u: &UBig, d: u64) -> (UBig, UBig) {
+    let mut q = vec![0u64; u.limbs().len()];
+    let mut rem: u64 = 0;
+    for (i, &l) in u.limbs().iter().enumerate().rev() {
+        let cur = ((rem as u128) << 64) | l as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = (cur % d as u128) as u64;
+    }
+    (UBig::from_limbs(q), UBig::from(rem))
+}
+
+fn knuth_d(u: &UBig, v: &UBig) -> (UBig, UBig) {
+    let n = v.limbs().len();
+    let m = u.limbs().len() - n;
+
+    // D1: normalise so the divisor's top bit is set.
+    let shift = v.limbs()[n - 1].leading_zeros() as usize;
+    let vn: Vec<u64> = (v << shift).limbs().to_vec();
+    debug_assert_eq!(vn.len(), n);
+    let mut un: Vec<u64> = (u << shift).limbs().to_vec();
+    un.resize(u.limbs().len() + 1, 0);
+
+    let vn1 = vn[n - 1] as u128;
+    let vn2 = vn[n - 2] as u128;
+    let mut q = vec![0u64; m + 1];
+
+    // D2..D7: one quotient limb per iteration, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend limbs.
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = num / vn1;
+        let mut rhat = num % vn1;
+        loop {
+            if qhat >= (1u128 << 64)
+                || qhat * vn2 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn1;
+                if rhat < (1u128 << 64) {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // D4: multiply and subtract q̂·v from the current window of u.
+        let mut mul_carry: u128 = 0;
+        let mut borrow: u64 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + mul_carry;
+            mul_carry = p >> 64;
+            let (d1, b1) = un[i + j].overflowing_sub(p as u64);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            un[i + j] = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        let (d1, b1) = un[j + n].overflowing_sub(mul_carry as u64);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        un[j + n] = d2;
+
+        if b1 || b2 {
+            // D6: q̂ was one too large — add v back once.
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let (s1, c1) = un[i + j].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                un[i + j] = s2;
+                carry = (c1 | c2) as u64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalise the remainder.
+    let rem = UBig::from_limbs(un[..n].to_vec()) >> shift;
+    (UBig::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(u: &UBig, v: &UBig) {
+        let (q, r) = divrem(u, v);
+        assert!(r < *v, "remainder not reduced");
+        assert_eq!(&(&q * v) + &r, *u, "q*v + r != u for u={u:?} v={v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        divrem(&UBig::one(), &UBig::zero());
+    }
+
+    #[test]
+    fn small_cases() {
+        check(&UBig::from(17u64), &UBig::from(5u64));
+        check(&UBig::from(5u64), &UBig::from(17u64));
+        check(&UBig::from(0u64), &UBig::from(17u64));
+        check(&UBig::from(u64::MAX), &UBig::from(1u64));
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let u = UBig::pow2(200) + UBig::from(123_456_789u64);
+        check(&u, &UBig::from(97u64));
+        check(&u, &UBig::from(u64::MAX));
+    }
+
+    #[test]
+    fn multi_limb_exact_division() {
+        let v = UBig::pow2(100) + UBig::from(3u64);
+        let q = UBig::pow2(130) + UBig::from(77u64);
+        let u = &v * &q;
+        let (qq, rr) = divrem(&u, &v);
+        assert_eq!(qq, q);
+        assert!(rr.is_zero());
+    }
+
+    #[test]
+    fn add_back_branch_is_reachable() {
+        // This classic pattern (dividend with long runs of ones against a
+        // divisor just below a power of two) exercises the D6 correction.
+        let u = UBig::from_limbs(vec![0, u64::MAX - 1, u64::MAX]);
+        let v = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        check(&u, &v);
+        let u2 = UBig::from_limbs(vec![3, 0, 0x8000_0000_0000_0000]);
+        let v2 = UBig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        check(&u2, &v2);
+    }
+
+    #[test]
+    fn pseudo_random_sweep() {
+        let mut x = 0x243f6a8885a308d3u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for ulen in 1..8usize {
+            for vlen in 1..5usize {
+                let u = UBig::from_limbs((0..ulen).map(|_| next()).collect());
+                let v = UBig::from_limbs((0..vlen).map(|_| next()).collect());
+                if !v.is_zero() {
+                    check(&u, &v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_u128_semantics() {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x as u128) << 37 | x as u128;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x as u128) | 1;
+            let (q, r) = divrem(&UBig::from(a), &UBig::from(b));
+            assert_eq!(q, UBig::from(a / b));
+            assert_eq!(r, UBig::from(a % b));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Parsing and formatting: hex and decimal, plus `Debug`/`Display`.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::UBig;
+
+/// Error returned when parsing a [`UBig`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUBigError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUBigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string has no integer value"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl Error for ParseUBigError {}
+
+impl UBig {
+    /// Parses a hexadecimal string. Underscores are ignored; an optional
+    /// `0x` prefix is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUBigError`] when the string is empty (after
+    /// stripping) or contains a non-hex character.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modsram_bigint::UBig;
+    /// let v = UBig::from_hex("0xff").unwrap();
+    /// assert_eq!(v, UBig::from(255u64));
+    /// ```
+    pub fn from_hex(s: &str) -> Result<Self, ParseUBigError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseUBigError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut limbs: Vec<u64> = Vec::with_capacity(digits.len() / 16 + 1);
+        let mut cur: u64 = 0;
+        let mut nbits = 0usize;
+        for &c in digits.iter().rev() {
+            let d = c.to_digit(16).ok_or(ParseUBigError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })? as u64;
+            cur |= d << nbits;
+            nbits += 4;
+            if nbits == 64 {
+                limbs.push(cur);
+                cur = 0;
+                nbits = 0;
+            }
+        }
+        if nbits > 0 {
+            limbs.push(cur);
+        }
+        Ok(UBig::from_limbs(limbs))
+    }
+
+    /// Parses a decimal string. Underscores are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUBigError`] when the string is empty (after
+    /// stripping) or contains a non-decimal character.
+    pub fn from_dec(s: &str) -> Result<Self, ParseUBigError> {
+        let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseUBigError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let ten = UBig::from(10u64);
+        let mut acc = UBig::zero();
+        for &c in &digits {
+            let d = c.to_digit(10).ok_or(ParseUBigError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })? as u64;
+            acc = &(&acc * &ten) + &UBig::from(d);
+        }
+        Ok(acc)
+    }
+
+    /// Lowercase hexadecimal representation without a prefix.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = String::new();
+        for (i, &l) in self.limbs().iter().enumerate().rev() {
+            if i == self.limbs().len() - 1 {
+                s.push_str(&format!("{l:x}"));
+            } else {
+                s.push_str(&format!("{l:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Decimal representation.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        // Repeated division by 10^19 (the largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = UBig::from(CHUNK);
+        let mut v = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !v.is_zero() {
+            let (q, r) = (&v / &chunk, &v % &chunk);
+            parts.push(r.low_u64());
+            v = q;
+        }
+        let mut s = format!("{}", parts.pop().unwrap());
+        while let Some(p) = parts.pop() {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+
+    /// Binary string of exactly `width` characters, MSB first — handy for
+    /// dataflow traces like the paper's Figure 3.
+    pub fn to_bin(&self, width: usize) -> String {
+        (0..width)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec())
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Binary for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_bin(self.bit_len().max(1)))
+    }
+}
+
+impl core::str::FromStr for UBig {
+    type Err = ParseUBigError;
+
+    /// Parses decimal by default, or hex with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            UBig::from_hex(s)
+        } else {
+            UBig::from_dec(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = UBig::from_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn hex_prefix_and_underscores() {
+        assert_eq!(
+            UBig::from_hex("0xdead_beef").unwrap(),
+            UBig::from(0xdead_beefu64)
+        );
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        ] {
+            let v = UBig::from_dec(s).unwrap();
+            assert_eq!(v.to_dec(), s, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn dec_hex_agree() {
+        let v = UBig::from_dec("255").unwrap();
+        assert_eq!(v.to_hex(), "ff");
+        let big = UBig::from_hex("100000000000000000000000000000000").unwrap();
+        assert_eq!(big, UBig::pow2(128));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(UBig::from_hex("").is_err());
+        assert!(UBig::from_hex("xyz").is_err());
+        assert!(UBig::from_dec("12a").is_err());
+        assert!("".parse::<UBig>().is_err());
+    }
+
+    #[test]
+    fn from_str_dispatch() {
+        assert_eq!("0xff".parse::<UBig>().unwrap(), UBig::from(255u64));
+        assert_eq!("255".parse::<UBig>().unwrap(), UBig::from(255u64));
+    }
+
+    #[test]
+    fn binary_fixed_width() {
+        let v = UBig::from(0b10010u64);
+        assert_eq!(v.to_bin(5), "10010");
+        assert_eq!(v.to_bin(8), "00010010");
+        assert_eq!(format!("{v:b}"), "10010");
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_zero() {
+        assert_eq!(format!("{:?}", UBig::zero()), "UBig(0x0)");
+        assert_eq!(format!("{}", UBig::zero()), "0");
+    }
+}

@@ -1,0 +1,356 @@
+//! Modular helper operations on [`UBig`]: the "mathematical oracle" used to
+//! validate every hardware-oriented algorithm in this workspace.
+
+use crate::UBig;
+
+/// `(a + b) mod p`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_add(a: &UBig, b: &UBig, p: &UBig) -> UBig {
+    &(&(a % p) + &(b % p)) % p
+}
+
+/// `(a - b) mod p`, wrapping into `[0, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_sub(a: &UBig, b: &UBig, p: &UBig) -> UBig {
+    let a = a % p;
+    let b = b % p;
+    if a >= b {
+        &a - &b
+    } else {
+        &(&a + p) - &b
+    }
+}
+
+/// `(-a) mod p`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_neg(a: &UBig, p: &UBig) -> UBig {
+    let a = a % p;
+    if a.is_zero() {
+        a
+    } else {
+        p - &a
+    }
+}
+
+/// `(a * b) mod p` using full multiplication followed by division — the
+/// reference against which the interleaved/CSA/Montgomery/Barrett engines
+/// are tested.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_mul(a: &UBig, b: &UBig, p: &UBig) -> UBig {
+    &(a * b) % p
+}
+
+/// `base^exp mod p` by square-and-multiply (MSB first).
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_pow(base: &UBig, exp: &UBig, p: &UBig) -> UBig {
+    if p.is_one() {
+        return UBig::zero();
+    }
+    let mut acc = UBig::one();
+    let base = base % p;
+    for i in (0..exp.bit_len()).rev() {
+        acc = mod_mul(&acc, &acc, p);
+        if exp.bit(i) {
+            acc = mod_mul(&acc, &base, p);
+        }
+    }
+    acc
+}
+
+/// Modular square root by Tonelli–Shanks: returns `x` with
+/// `x² ≡ a (mod p)`, or `None` when `a` is a non-residue. Requires an
+/// odd prime `p` (callers use curve field primes).
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_sqrt(a: &UBig, p: &UBig) -> Option<UBig> {
+    assert!(!p.is_zero(), "modulus must be non-zero");
+    let a = a % p;
+    if a.is_zero() {
+        return Some(UBig::zero());
+    }
+    if *p == UBig::from(2u64) {
+        return Some(a);
+    }
+    // Euler criterion: a^((p−1)/2) must be 1.
+    let one = UBig::one();
+    let p_minus_1 = p - &one;
+    let legendre = mod_pow(&a, &(&p_minus_1 >> 1), p);
+    if legendre != one {
+        return None;
+    }
+    // p ≡ 3 (mod 4): x = a^((p+1)/4).
+    if p.bit(1) {
+        let x = mod_pow(&a, &(&(p + &one) >> 2), p);
+        return Some(x);
+    }
+    // General Tonelli–Shanks: write p−1 = q·2^s with q odd.
+    let mut q = p_minus_1.clone();
+    let mut s = 0usize;
+    while q.is_even() {
+        q = &q >> 1;
+        s += 1;
+    }
+    // Find a quadratic non-residue z.
+    let mut z = UBig::from(2u64);
+    while mod_pow(&z, &(&p_minus_1 >> 1), p) == one {
+        z = &z + &one;
+    }
+    let mut m = s;
+    let mut c = mod_pow(&z, &q, p);
+    let mut t = mod_pow(&a, &q, p);
+    let mut r = mod_pow(&a, &(&(&q + &one) >> 1), p);
+    while t != one {
+        // Least i with t^(2^i) = 1.
+        let mut i = 0usize;
+        let mut t2 = t.clone();
+        while t2 != one {
+            t2 = mod_mul(&t2, &t2, p);
+            i += 1;
+        }
+        let mut b = c.clone();
+        for _ in 0..m - i - 1 {
+            b = mod_mul(&b, &b, p);
+        }
+        m = i;
+        c = mod_mul(&b, &b, p);
+        t = mod_mul(&t, &c, p);
+        r = mod_mul(&r, &b, p);
+    }
+    Some(r)
+}
+
+/// Greatest common divisor by the binary-free Euclid algorithm.
+pub fn gcd(a: &UBig, b: &UBig) -> UBig {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Modular inverse `a⁻¹ mod p`, or `None` when `gcd(a, p) ≠ 1`.
+///
+/// Uses the extended Euclidean algorithm with signed bookkeeping done on
+/// unsigned values (tracking the sign separately), since [`UBig`] is
+/// unsigned.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn mod_inv(a: &UBig, p: &UBig) -> Option<UBig> {
+    assert!(!p.is_zero(), "modulus must be non-zero");
+    if p.is_one() {
+        return Some(UBig::zero());
+    }
+    let mut r0 = p.clone();
+    let mut r1 = a % p;
+    // Coefficients of `a` in each remainder, as (magnitude, is_negative).
+    let mut t0 = (UBig::zero(), false);
+    let mut t1 = (UBig::one(), false);
+
+    while !r1.is_zero() {
+        let (q, r2) = (&r0 / &r1, &r0 % &r1);
+        // t2 = t0 - q*t1 with explicit sign handling.
+        let qt1 = (&q * &t1.0, t1.1);
+        let t2 = signed_sub(&t0, &qt1);
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+
+    if !r0.is_one() {
+        return None;
+    }
+    let (mag, neg) = t0;
+    let m = &mag % p;
+    Some(if neg { mod_neg(&m, p) } else { m })
+}
+
+/// `(a.0 * sign(a)) - (b.0 * sign(b))` on sign-magnitude pairs.
+fn signed_sub(a: &(UBig, bool), b: &(UBig, bool)) -> (UBig, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, false)
+            } else {
+                (&b.0 - &a.0, true)
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (&a.0 + &b.0, false),
+        // -a - b = -(a + b).
+        (true, false) => (&a.0 + &b.0, true),
+        // -a + b = b - a.
+        (true, true) => {
+            if b.0 >= a.0 {
+                (&b.0 - &a.0, false)
+            } else {
+                (&a.0 - &b.0, true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_add_sub_neg_basics() {
+        let p = UBig::from(97u64);
+        assert_eq!(
+            mod_add(&UBig::from(96u64), &UBig::from(5u64), &p),
+            UBig::from(4u64)
+        );
+        assert_eq!(
+            mod_sub(&UBig::from(3u64), &UBig::from(5u64), &p),
+            UBig::from(95u64)
+        );
+        assert_eq!(mod_neg(&UBig::from(1u64), &p), UBig::from(96u64));
+        assert_eq!(mod_neg(&UBig::zero(), &p), UBig::zero());
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 (mod p) for prime p and gcd(a,p)=1.
+        let p = UBig::from(1_000_000_007u64);
+        for a in [2u64, 3, 65537, 999_999_999] {
+            let e = &p - &UBig::one();
+            assert_eq!(mod_pow(&UBig::from(a), &e, &p), UBig::one());
+        }
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let p = UBig::from(13u64);
+        assert_eq!(mod_pow(&UBig::from(5u64), &UBig::zero(), &p), UBig::one());
+        assert_eq!(mod_pow(&UBig::zero(), &UBig::from(5u64), &p), UBig::zero());
+        assert_eq!(
+            mod_pow(&UBig::from(5u64), &UBig::one(), &UBig::one()),
+            UBig::zero()
+        );
+    }
+
+    #[test]
+    fn mod_inv_matches_fermat() {
+        let p = UBig::from(1_000_000_007u64);
+        for a in [1u64, 2, 3, 12345, 999_999_006] {
+            let inv = mod_inv(&UBig::from(a), &p).unwrap();
+            assert_eq!(mod_mul(&UBig::from(a), &inv, &p), UBig::one());
+            let fermat = mod_pow(&UBig::from(a), &(&p - &UBig::from(2u64)), &p);
+            assert_eq!(inv, fermat);
+        }
+    }
+
+    #[test]
+    fn mod_inv_of_non_coprime_is_none() {
+        let p = UBig::from(100u64);
+        assert_eq!(mod_inv(&UBig::from(10u64), &p), None);
+        assert_eq!(mod_inv(&UBig::zero(), &p), None);
+        assert!(mod_inv(&UBig::from(3u64), &p).is_some());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            gcd(&UBig::from(48u64), &UBig::from(18u64)),
+            UBig::from(6u64)
+        );
+        assert_eq!(gcd(&UBig::zero(), &UBig::from(5u64)), UBig::from(5u64));
+        assert_eq!(gcd(&UBig::from(5u64), &UBig::zero()), UBig::from(5u64));
+    }
+
+    #[test]
+    fn mod_sqrt_small_primes_exhaustive() {
+        // Includes both p ≡ 3 (mod 4) (7, 11, 19, 23) and p ≡ 1 (mod 4)
+        // (13, 17, 29) — the latter exercises full Tonelli–Shanks.
+        for p in [7u64, 11, 13, 17, 19, 23, 29] {
+            let pp = UBig::from(p);
+            for a in 0..p {
+                let aa = UBig::from(a);
+                match mod_sqrt(&aa, &pp) {
+                    Some(x) => assert_eq!(
+                        mod_mul(&x, &x, &pp),
+                        aa,
+                        "sqrt({a}) mod {p} gave {x}"
+                    ),
+                    None => {
+                        // Verify it truly is a non-residue.
+                        for x in 0..p {
+                            assert_ne!(x * x % p, a, "missed sqrt({a}) mod {p}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_sqrt_secp256k1() {
+        // secp256k1's p ≡ 3 (mod 4): the fast path. y² = x³ + 7 at the
+        // generator must give back ±Gy.
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let gx = UBig::from_hex(
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+        )
+        .unwrap();
+        let gy = UBig::from_hex(
+            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+        )
+        .unwrap();
+        let rhs = &(&mod_mul(&mod_mul(&gx, &gx, &p), &gx, &p) + &UBig::from(7u64)) % &p;
+        let y = mod_sqrt(&rhs, &p).unwrap();
+        assert!(y == gy || y == &p - &gy);
+    }
+
+    #[test]
+    fn mod_sqrt_bn254_high_two_adicity() {
+        // BN254 Fr − 1 has 2-adicity 28: the slow Tonelli–Shanks loop.
+        let r = UBig::from_dec(
+            "21888242871839275222246405745257275088548364400416034343698204186575808495617",
+        )
+        .unwrap();
+        let a = UBig::from(1234_5678u64);
+        let sq = mod_mul(&a, &a, &r);
+        let x = mod_sqrt(&sq, &r).unwrap();
+        assert!(x == a || x == &r - &a);
+    }
+
+    #[test]
+    fn large_modulus_inverse() {
+        // secp256k1 field prime.
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = UBig::from_hex("deadbeef00112233445566778899aabbccddeeff0102030405060708090a0b0c")
+            .unwrap();
+        let inv = mod_inv(&a, &p).unwrap();
+        assert_eq!(mod_mul(&a, &inv, &p), UBig::one());
+    }
+}

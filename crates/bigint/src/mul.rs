@@ -1,0 +1,111 @@
+//! Multiplication: schoolbook with a Karatsuba split above a threshold.
+
+use crate::UBig;
+
+/// Limb count above which Karatsuba is used instead of schoolbook.
+///
+/// 256-bit operands (4 limbs) stay on the schoolbook path, which is faster
+/// at that size; the threshold matters for the 2n- and 3n-bit intermediates
+/// of Barrett reduction at large widths and for stress tests.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+pub(crate) fn mul(a: &UBig, b: &UBig) -> UBig {
+    if a.is_zero() || b.is_zero() {
+        return UBig::zero();
+    }
+    if a.limbs().len() >= KARATSUBA_THRESHOLD && b.limbs().len() >= KARATSUBA_THRESHOLD {
+        karatsuba(a, b)
+    } else {
+        schoolbook(a.limbs(), b.limbs())
+    }
+}
+
+fn schoolbook(a: &[u64], b: &[u64]) -> UBig {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    UBig::from_limbs(out)
+}
+
+/// Karatsuba split: `a·b = hi·hi·B² + ((a₀+a₁)(b₀+b₁) − hi·hi − lo·lo)·B + lo·lo`.
+fn karatsuba(a: &UBig, b: &UBig) -> UBig {
+    let split = a.limbs().len().min(b.limbs().len()) / 2;
+    let bits = split * 64;
+
+    let a0 = a.low_bits(bits);
+    let a1 = a >> bits;
+    let b0 = b.low_bits(bits);
+    let b1 = b >> bits;
+
+    let lo = mul(&a0, &b0);
+    let hi = mul(&a1, &b1);
+    let mid_full = mul(&(&a0 + &a1), &(&b0 + &b1));
+    let mid = &(&mid_full - &lo) - &hi;
+
+    &(&(&hi << (2 * bits)) + &(&mid << bits)) + &lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(&UBig::from(7u64) * &UBig::from(6u64), UBig::from(42u64));
+        assert_eq!(&UBig::zero() * &UBig::from(6u64), UBig::zero());
+        assert_eq!(&UBig::one() * &UBig::from(6u64), UBig::from(6u64));
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        let a = UBig::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expect = &(&UBig::pow2(128) - &UBig::pow2(65)) + &UBig::one();
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands big enough to trigger the Karatsuba path.
+        let mut limbs_a = Vec::new();
+        let mut limbs_b = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..64u64 {
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(i);
+            limbs_a.push(x);
+            x = x.rotate_left(17) ^ i;
+            limbs_b.push(x);
+        }
+        let a = UBig::from_limbs(limbs_a);
+        let b = UBig::from_limbs(limbs_b);
+        assert!(a.limbs().len() >= KARATSUBA_THRESHOLD);
+        assert_eq!(karatsuba(&a, &b), schoolbook(a.limbs(), b.limbs()));
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = UBig::from(0x1234_5678_9abc_def0u64);
+        let b = UBig::pow2(100) + UBig::from(999u64);
+        let c = UBig::pow2(70) + UBig::from(1u64);
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        assert_eq!(lhs, rhs);
+    }
+}

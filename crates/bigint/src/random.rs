@@ -1,0 +1,76 @@
+//! Random generation of [`UBig`] values for workloads and property tests.
+
+use rand::Rng;
+
+use crate::UBig;
+
+/// Uniformly samples a value in `[0, bound)` by rejection sampling over
+/// the bound's bit length.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn ubig_below<R: Rng + ?Sized>(rng: &mut R, bound: &UBig) -> UBig {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_len();
+    loop {
+        let candidate = ubig_with_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Samples a value with at most `bits` bits (uniform over `[0, 2^bits)`).
+pub fn ubig_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> UBig {
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.random()).collect();
+    let extra = limbs * 64 - bits;
+    if extra > 0 {
+        if let Some(top) = v.last_mut() {
+            *top >>= extra;
+        }
+    }
+    UBig::from_limbs(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bound = UBig::from(1000u64);
+        for _ in 0..200 {
+            assert!(ubig_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn with_bits_respects_width() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for bits in [1usize, 5, 63, 64, 65, 255, 256, 300] {
+            for _ in 0..20 {
+                assert!(ubig_with_bits(&mut rng, bits).bit_len() <= bits);
+            }
+        }
+    }
+
+    #[test]
+    fn with_bits_hits_top_bit_sometimes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..200)
+            .filter(|_| ubig_with_bits(&mut rng, 128).bit(127))
+            .count();
+        assert!(hits > 50, "top bit should be set about half the time");
+    }
+
+    #[test]
+    fn below_one_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(ubig_below(&mut rng, &UBig::one()).is_zero());
+    }
+}

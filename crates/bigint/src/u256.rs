@@ -1,0 +1,246 @@
+//! Fixed-width 256-/512-bit values for elliptic-curve hot paths.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::UBig;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+///
+/// This type exists for the workloads that perform millions of field
+/// multiplications (MSM, NTT): it is `Copy`, allocation-free, and pairs
+/// with [`crate::MontCtx256`] for fast modular multiplication.
+///
+/// # Examples
+///
+/// ```
+/// use modsram_bigint::{U256, UBig};
+/// let a = U256::from_u64(5);
+/// let b = U256::from_u64(7);
+/// let (sum, carry) = a.overflowing_add(&b);
+/// assert_eq!(sum, U256::from_u64(12));
+/// assert!(!carry);
+/// assert_eq!(UBig::from(a), UBig::from(5u64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// A 512-bit unsigned integer: the widening-product type of [`U256`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Creates a value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// The bit at position `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + 64 - self.0[i].leading_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// `self + rhs` with a carry-out flag.
+    #[allow(clippy::needless_range_loop)] // indexed loop mirrors the carry chain
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// `self - rhs` with a borrow-out flag.
+    #[allow(clippy::needless_range_loop)] // indexed loop mirrors the borrow chain
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// `self - rhs`, wrapping modulo 2²⁵⁶.
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Full 256×256 → 512-bit product.
+    pub fn widening_mul(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let t = out[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<U256> for UBig {
+    fn from(v: U256) -> UBig {
+        UBig::from_limbs(v.0.to_vec())
+    }
+}
+
+impl TryFrom<&UBig> for U256 {
+    type Error = U256Overflow;
+
+    fn try_from(v: &UBig) -> Result<U256, U256Overflow> {
+        if v.bit_len() > 256 {
+            return Err(U256Overflow);
+        }
+        let mut out = [0u64; 4];
+        for (i, &l) in v.limbs().iter().enumerate() {
+            out[i] = l;
+        }
+        Ok(U256(out))
+    }
+}
+
+impl From<U512> for UBig {
+    fn from(v: U512) -> UBig {
+        UBig::from_limbs(v.0.to_vec())
+    }
+}
+
+/// Error returned when converting a [`UBig`] wider than 256 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U256Overflow;
+
+impl fmt::Display for U256Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value does not fit in 256 bits")
+    }
+}
+
+impl std::error::Error for U256Overflow {}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{})", UBig::from(*self).to_hex())
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(0x{})", UBig::from(*self).to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256([u64::MAX, u64::MAX, 0, 0]);
+        let b = U256::ONE;
+        let (s, c) = a.overflowing_add(&b);
+        assert!(!c);
+        assert_eq!(s, U256([0, 0, 1, 0]));
+        let (d, bo) = s.overflowing_sub(&b);
+        assert!(!bo);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn carry_out_at_full_width() {
+        let max = U256([u64::MAX; 4]);
+        let (s, c) = max.overflowing_add(&U256::ONE);
+        assert!(c);
+        assert!(s.is_zero());
+        let (_, borrow) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(borrow);
+    }
+
+    #[test]
+    fn widening_mul_matches_ubig() {
+        let a = U256([0x1234_5678, u64::MAX, 7, 0x8000_0000_0000_0000]);
+        let b = U256([u64::MAX, 0, 42, 1]);
+        let prod = a.widening_mul(&b);
+        assert_eq!(UBig::from(prod), &UBig::from(a) * &UBig::from(b));
+    }
+
+    #[test]
+    fn bit_access_and_len() {
+        let v = U256([0, 0, 0, 1]);
+        assert!(v.bit(192));
+        assert!(!v.bit(191));
+        assert_eq!(v.bit_len(), 193);
+        assert_eq!(U256::ZERO.bit_len(), 0);
+    }
+
+    #[test]
+    fn ubig_conversion_roundtrip() {
+        let v = UBig::from_hex("deadbeefcafebabe1122334455667788").unwrap();
+        let w = U256::try_from(&v).unwrap();
+        assert_eq!(UBig::from(w), v);
+        assert_eq!(U256::try_from(&UBig::pow2(256)), Err(U256Overflow));
+        assert_eq!(
+            U256::try_from(&(&UBig::pow2(256) - &UBig::one())).map(|x| x.bit_len()),
+            Ok(256)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert_eq!(U256::from_u64(5).cmp(&U256::from_u64(5)), Ordering::Equal);
+    }
+}

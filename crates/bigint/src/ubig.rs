@@ -1,0 +1,559 @@
+//! The arbitrary-precision unsigned integer type.
+
+use core::cmp::Ordering;
+use core::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Rem, Shl, Shr, Sub};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with no trailing zero limbs
+/// (a canonical empty limb vector represents zero). All arithmetic is
+/// implemented in this workspace — no external bignum crate is used —
+/// because the ModSRAM algorithms need bit-level access to every
+/// intermediate value.
+///
+/// # Examples
+///
+/// ```
+/// use modsram_bigint::UBig;
+///
+/// let a = UBig::from(10u64);
+/// let b = UBig::from(4u64);
+/// assert_eq!(&a + &b, UBig::from(14u64));
+/// assert_eq!(&a - &b, UBig::from(6u64));
+/// assert_eq!(&a * &b, UBig::from(40u64));
+/// assert_eq!(&a / &b, UBig::from(2u64));
+/// assert_eq!(&a % &b, UBig::from(2u64));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Creates a value from little-endian limbs; trailing zero limbs are
+    /// stripped so the representation stays canonical.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Little-endian limb view of the value (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `2^k`.
+    pub fn pow2(k: usize) -> Self {
+        let mut limbs = vec![0u64; k / 64 + 1];
+        limbs[k / 64] = 1u64 << (k % 64);
+        UBig::from_limbs(limbs)
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits; zero has bit length 0.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The bit at position `i` (LSB is position 0). Out-of-range bits are 0.
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Returns a copy with bit `i` set to `v`, growing as needed.
+    pub fn with_bit(&self, i: usize, v: bool) -> Self {
+        let mut limbs = self.limbs.clone();
+        if i / 64 >= limbs.len() {
+            if !v {
+                return self.clone();
+            }
+            limbs.resize(i / 64 + 1, 0);
+        }
+        if v {
+            limbs[i / 64] |= 1u64 << (i % 64);
+        } else {
+            limbs[i / 64] &= !(1u64 << (i % 64));
+        }
+        UBig::from_limbs(limbs)
+    }
+
+    /// Low 64 bits of the value.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// The whole value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The whole value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Keeps only the low `k` bits (i.e. the value modulo `2^k`).
+    pub fn low_bits(&self, k: usize) -> Self {
+        if self.bit_len() <= k {
+            return self.clone();
+        }
+        let full = k / 64;
+        let rem = k % 64;
+        let mut limbs: Vec<u64> = self.limbs[..full.min(self.limbs.len())].to_vec();
+        if rem > 0 {
+            if let Some(&l) = self.limbs.get(full) {
+                limbs.push(l & ((1u64 << rem) - 1));
+            }
+        }
+        UBig::from_limbs(limbs)
+    }
+
+    /// Checked subtraction: `self - rhs`, or `None` when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &UBig) -> Option<UBig> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(UBig::from_limbs(out))
+    }
+
+    /// Adds `rhs` into `self` in place.
+    pub fn add_assign(&mut self, rhs: &UBig) {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = self.limbs[i].overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 | c2) as u64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Number of one bits in the value.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Bitwise majority of three values: each output bit is 1 iff at least
+    /// two of the corresponding input bits are 1. This is the carry word of
+    /// a carry-save addition and one of the two in-memory primitives the
+    /// ModSRAM logic-SA computes.
+    pub fn maj3(a: &UBig, b: &UBig, c: &UBig) -> UBig {
+        let n = a.limbs.len().max(b.limbs.len()).max(c.limbs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = *a.limbs.get(i).unwrap_or(&0);
+            let y = *b.limbs.get(i).unwrap_or(&0);
+            let z = *c.limbs.get(i).unwrap_or(&0);
+            out.push((x & y) | (x & z) | (y & z));
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Bitwise XOR of three values: the sum word of a carry-save addition,
+    /// the other in-memory primitive of the ModSRAM logic-SA.
+    pub fn xor3(a: &UBig, b: &UBig, c: &UBig) -> UBig {
+        let n = a.limbs.len().max(b.limbs.len()).max(c.limbs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = *a.limbs.get(i).unwrap_or(&0);
+            let y = *b.limbs.get(i).unwrap_or(&0);
+            let z = *c.limbs.get(i).unwrap_or(&0);
+            out.push(x ^ y ^ z);
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Add for UBig {
+    type Output = UBig;
+    fn add(mut self, rhs: UBig) -> UBig {
+        self.add_assign(&rhs);
+        self
+    }
+}
+
+impl Sub for &UBig {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`UBig::checked_sub`] for a fallible
+    /// version.
+    type Output = UBig;
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs)
+            .expect("UBig subtraction underflowed; use checked_sub")
+    }
+}
+
+impl Sub for UBig {
+    type Output = UBig;
+    fn sub(self, rhs: UBig) -> UBig {
+        &self - &rhs
+    }
+}
+
+impl Mul for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        crate::mul::mul(self, rhs)
+    }
+}
+
+impl Mul for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        &self * &rhs
+    }
+}
+
+impl Div for &UBig {
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    type Output = UBig;
+    fn div(self, rhs: &UBig) -> UBig {
+        crate::div::divrem(self, rhs).0
+    }
+}
+
+impl Div for UBig {
+    type Output = UBig;
+    fn div(self, rhs: UBig) -> UBig {
+        &self / &rhs
+    }
+}
+
+impl Rem for &UBig {
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    type Output = UBig;
+    fn rem(self, rhs: &UBig) -> UBig {
+        crate::div::divrem(self, rhs).1
+    }
+}
+
+impl Rem for UBig {
+    type Output = UBig;
+    fn rem(self, rhs: UBig) -> UBig {
+        &self % &rhs
+    }
+}
+
+impl Shl<usize> for &UBig {
+    type Output = UBig;
+    fn shl(self, k: usize) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let limb_shift = k / 64;
+        let bit_shift = k % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for UBig {
+    type Output = UBig;
+    fn shl(self, k: usize) -> UBig {
+        &self << k
+    }
+}
+
+impl Shr<usize> for &UBig {
+    type Output = UBig;
+    fn shr(self, k: usize) -> UBig {
+        let limb_shift = k / 64;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = k % 64;
+        let rest = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(rest.len());
+        for i in 0..rest.len() {
+            let mut v = rest[i] >> bit_shift;
+            if bit_shift > 0 && i + 1 < rest.len() {
+                v |= rest[i + 1] << (64 - bit_shift);
+            }
+            out.push(v);
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for UBig {
+    type Output = UBig;
+    fn shr(self, k: usize) -> UBig {
+        &self >> k
+    }
+}
+
+macro_rules! mixed_ref_impl {
+    ($trait:ident, $method:ident) => {
+        impl $trait<&UBig> for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<UBig> for &UBig {
+            type Output = UBig;
+            fn $method(self, rhs: UBig) -> UBig {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+mixed_ref_impl!(Add, add);
+mixed_ref_impl!(Sub, sub);
+mixed_ref_impl!(Mul, mul);
+mixed_ref_impl!(Div, div);
+mixed_ref_impl!(Rem, rem);
+
+macro_rules! bitwise_impl {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                let n = self.limbs.len().max(rhs.limbs.len());
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let a = *self.limbs.get(i).unwrap_or(&0);
+                    let b = *rhs.limbs.get(i).unwrap_or(&0);
+                    out.push(a $op b);
+                }
+                UBig::from_limbs(out)
+            }
+        }
+        impl $trait for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: UBig) -> UBig {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+bitwise_impl!(BitAnd, bitand, &);
+bitwise_impl!(BitOr, bitor, |);
+bitwise_impl!(BitXor, bitxor, ^);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::from_limbs(vec![0, 0, 0]), UBig::zero());
+        assert_eq!(UBig::zero().bit_len(), 0);
+        assert_eq!(UBig::default(), UBig::zero());
+    }
+
+    #[test]
+    fn bit_len_and_bit_access() {
+        let v = UBig::from(0b1011u64);
+        assert_eq!(v.bit_len(), 4);
+        assert!(v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(64));
+        assert_eq!(UBig::pow2(200).bit_len(), 201);
+    }
+
+    #[test]
+    fn with_bit_roundtrip() {
+        let v = UBig::zero().with_bit(100, true);
+        assert!(v.bit(100));
+        assert_eq!(v, UBig::pow2(100));
+        assert_eq!(v.with_bit(100, false), UBig::zero());
+    }
+
+    #[test]
+    fn add_sub_roundtrip_with_carries() {
+        let a = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = UBig::one();
+        let s = &a + &b;
+        assert_eq!(s, UBig::pow2(128));
+        assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert_eq!(UBig::from(3u64).checked_sub(&UBig::from(4u64)), None);
+        assert_eq!(
+            UBig::from(4u64).checked_sub(&UBig::from(4u64)),
+            Some(UBig::zero())
+        );
+    }
+
+    #[test]
+    fn ordering_ignores_length_padding() {
+        let a = UBig::from_limbs(vec![5, 0, 0]);
+        let b = UBig::from(5u64);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert!(UBig::pow2(64) > UBig::from(u64::MAX));
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let v = UBig::from(0xdead_beefu64);
+        assert_eq!(&(&v << 131) >> 131, v);
+        assert_eq!(&v >> 64, UBig::zero());
+        assert_eq!(&UBig::zero() << 100, UBig::zero());
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let v = UBig::from(0b11111111u64);
+        assert_eq!(v.low_bits(3), UBig::from(0b111u64));
+        assert_eq!(v.low_bits(64), v);
+        let w = UBig::pow2(130) + UBig::from(7u64);
+        assert_eq!(w.low_bits(128), UBig::from(7u64));
+    }
+
+    #[test]
+    fn xor3_maj3_truth_table() {
+        // Exhaustive over single bits: CSA identity a+b+c = xor3 + 2*maj3.
+        for a in 0u64..2 {
+            for b in 0u64..2 {
+                for c in 0u64..2 {
+                    let x = UBig::xor3(&a.into(), &b.into(), &c.into());
+                    let m = UBig::maj3(&a.into(), &b.into(), &c.into());
+                    let lhs = a + b + c;
+                    let rhs = x.low_u64() + 2 * m.low_u64();
+                    assert_eq!(lhs, rhs, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u128_conversions() {
+        let v = u128::MAX - 5;
+        assert_eq!(UBig::from(v).to_u128(), Some(v));
+        assert_eq!(UBig::pow2(128).to_u128(), None);
+        assert_eq!(UBig::from(7u64).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn is_even() {
+        assert!(UBig::zero().is_even());
+        assert!(!UBig::one().is_even());
+        assert!(UBig::from(10u64).is_even());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the big-integer substrate.
+//!
+//! Strategy: generate random limb vectors of varied lengths and check ring
+//! axioms, division identities, parsing roundtrips, Booth recoding value
+//! preservation, and Montgomery/naive agreement.
+
+use modsram_bigint::{
+    mod_inv, mod_mul, mod_pow, radix4_digits_msb_first, radix8_digits_msb_first, MontCtx256,
+    UBig, U256,
+};
+use proptest::prelude::*;
+
+fn ubig_strategy(max_limbs: usize) -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(UBig::from_limbs)
+}
+
+fn nonzero_ubig(max_limbs: usize) -> impl Strategy<Value = UBig> {
+    ubig_strategy(max_limbs).prop_map(|v| if v.is_zero() { UBig::one() } else { v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in ubig_strategy(6), b in ubig_strategy(6)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in ubig_strategy(5), b in ubig_strategy(5), c in ubig_strategy(5)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig_strategy(5), b in ubig_strategy(5)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig_strategy(4), b in ubig_strategy(4), c in ubig_strategy(4)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in ubig_strategy(6), b in ubig_strategy(6)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn division_identity(u in ubig_strategy(8), v in nonzero_ubig(5)) {
+        let q = &u / &v;
+        let r = &u % &v;
+        prop_assert!(r < v);
+        prop_assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn shift_mul_equivalence(a in ubig_strategy(4), k in 0usize..200) {
+        prop_assert_eq!(&a << k, &a * &UBig::pow2(k));
+    }
+
+    #[test]
+    fn shr_is_division_by_pow2(a in ubig_strategy(6), k in 0usize..200) {
+        prop_assert_eq!(&a >> k, &a / &UBig::pow2(k));
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig_strategy(6)) {
+        prop_assert_eq!(UBig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn dec_roundtrip(a in ubig_strategy(6)) {
+        prop_assert_eq!(UBig::from_dec(&a.to_dec()).unwrap(), a);
+    }
+
+    #[test]
+    fn low_bits_is_mod_pow2(a in ubig_strategy(6), k in 0usize..300) {
+        prop_assert_eq!(a.low_bits(k), &a % &UBig::pow2(k));
+    }
+
+    #[test]
+    fn csa_identity_wordwise(a in ubig_strategy(5), b in ubig_strategy(5), c in ubig_strategy(5)) {
+        // a + b + c == xor3(a,b,c) + 2*maj3(a,b,c) — the carry-save identity
+        // the whole ModSRAM design rests on.
+        let x = UBig::xor3(&a, &b, &c);
+        let m = UBig::maj3(&a, &b, &c);
+        prop_assert_eq!(&(&a + &b) + &c, &x + &(&m << 1));
+    }
+
+    #[test]
+    fn booth_radix4_preserves_value(a in ubig_strategy(5)) {
+        let n = a.bit_len().max(1);
+        let digits = radix4_digits_msb_first(&a, n);
+        let mut pos = UBig::zero();
+        let mut neg = UBig::zero();
+        for d in &digits {
+            pos = &pos * &UBig::from(4u64);
+            neg = &neg * &UBig::from(4u64);
+            let v = d.value();
+            if v >= 0 { pos = &pos + &UBig::from(v as u64); }
+            else { neg = &neg + &UBig::from((-v) as u64); }
+        }
+        prop_assert!(pos >= neg);
+        prop_assert_eq!(&pos - &neg, a);
+    }
+
+    #[test]
+    fn booth_radix8_preserves_value(a in ubig_strategy(5)) {
+        let n = a.bit_len().max(1);
+        let digits = radix8_digits_msb_first(&a, n);
+        let mut pos = UBig::zero();
+        let mut neg = UBig::zero();
+        for d in &digits {
+            pos = &pos * &UBig::from(8u64);
+            neg = &neg * &UBig::from(8u64);
+            let v = d.value();
+            if v >= 0 { pos = &pos + &UBig::from(v as u64); }
+            else { neg = &neg + &UBig::from((-v) as u64); }
+        }
+        prop_assert!(pos >= neg);
+        prop_assert_eq!(&pos - &neg, a);
+    }
+
+    #[test]
+    fn mod_pow_add_exponents(
+        base in ubig_strategy(3),
+        e1 in 0u64..50,
+        e2 in 0u64..50,
+        p in nonzero_ubig(3),
+    ) {
+        // base^(e1+e2) == base^e1 * base^e2 (mod p)
+        let lhs = mod_pow(&base, &UBig::from(e1 + e2), &p);
+        let a = mod_pow(&base, &UBig::from(e1), &p);
+        let b = mod_pow(&base, &UBig::from(e2), &p);
+        prop_assert_eq!(lhs, mod_mul(&a, &b, &p));
+    }
+
+    #[test]
+    fn mont_matches_naive(a_limbs in prop::collection::vec(any::<u64>(), 4), b_limbs in prop::collection::vec(any::<u64>(), 4)) {
+        // secp256k1 prime.
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        ).unwrap();
+        let ctx = MontCtx256::new(&p).unwrap();
+        let a = &UBig::from_limbs(a_limbs) % &p;
+        let b = &UBig::from_limbs(b_limbs) % &p;
+        let am = ctx.to_mont(&U256::try_from(&a).unwrap());
+        let bm = ctx.to_mont(&U256::try_from(&b).unwrap());
+        let got = UBig::from(ctx.from_mont(&ctx.mont_mul(&am, &bm)));
+        prop_assert_eq!(got, mod_mul(&a, &b, &p));
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in nonzero_ubig(3)) {
+        // Work modulo a prime so every non-zero residue is invertible.
+        let p = UBig::from(0xffff_fffb_u64); // 4294967291, largest 32-bit prime
+        let a = &a % &p;
+        if !a.is_zero() {
+            let inv = mod_inv(&a, &p).unwrap();
+            prop_assert_eq!(mod_mul(&a, &inv, &p), UBig::one());
+        }
+    }
+}

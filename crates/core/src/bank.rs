@@ -1,0 +1,183 @@
+//! Multi-bank ModSRAM — the paper's §6 system-level direction, modelled:
+//! several independent 64×256 macros executing a batch of modular
+//! multiplications in parallel (the shape of an MSM/NTT accelerator
+//! built from ModSRAM tiles).
+
+use modsram_bigint::UBig;
+
+use crate::error::CoreError;
+use crate::modsram::{ModSram, ModSramConfig};
+
+/// Aggregate statistics of one batch execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Multiplications executed.
+    pub multiplications: u64,
+    /// Makespan in cycles: the busiest bank's total (multiplication +
+    /// LUT precompute when the multiplicand changes).
+    pub makespan_cycles: u64,
+    /// Per-bank accumulated cycles.
+    pub per_bank_cycles: Vec<u64>,
+    /// Total energy across banks, picojoules.
+    pub energy_pj: f64,
+}
+
+impl BatchStats {
+    /// Parallel speedup vs executing the same batch on one bank.
+    pub fn speedup(&self) -> f64 {
+        let total: u64 = self.per_bank_cycles.iter().sum();
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            total as f64 / self.makespan_cycles as f64
+        }
+    }
+}
+
+/// A tile of independent ModSRAM macros sharing a modulus.
+#[derive(Debug)]
+pub struct BankedModSram {
+    banks: Vec<ModSram>,
+}
+
+impl BankedModSram {
+    /// Builds `n_banks` identical devices and loads `p` into each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction/load errors; `n_banks` must be at
+    /// least 1 or [`CoreError::NotEnoughRows`]-style misuse is reported
+    /// as a panic (programmer error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_banks == 0`.
+    pub fn new(n_banks: usize, config: ModSramConfig, p: &UBig) -> Result<Self, CoreError> {
+        assert!(n_banks > 0, "need at least one bank");
+        let mut banks = Vec::with_capacity(n_banks);
+        for _ in 0..n_banks {
+            let mut dev = ModSram::new(config.clone())?;
+            dev.load_modulus(p)?;
+            banks.push(dev);
+        }
+        Ok(BankedModSram { banks })
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Access to an individual bank.
+    pub fn bank(&self, index: usize) -> &ModSram {
+        &self.banks[index]
+    }
+
+    /// Executes a batch of multiplications, round-robin across banks
+    /// (all multiplications are the same length, so round-robin is
+    /// within one job of optimal). Returns results in input order plus
+    /// the aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error encountered.
+    pub fn mod_mul_batch(
+        &mut self,
+        pairs: &[(UBig, UBig)],
+    ) -> Result<(Vec<UBig>, BatchStats), CoreError> {
+        let n_banks = self.banks.len();
+        let mut results = Vec::with_capacity(pairs.len());
+        let mut stats = BatchStats {
+            per_bank_cycles: vec![0; n_banks],
+            ..Default::default()
+        };
+        let energy_before: f64 = self.banks.iter().map(|b| b.array().stats().energy_pj).sum();
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            let bank = &mut self.banks[i % n_banks];
+            let pre_before = bank.precompute_total.cycles;
+            let (c, run) = bank.mod_mul(a, b)?;
+            let pre_cycles = bank.precompute_total.cycles - pre_before;
+            stats.per_bank_cycles[i % n_banks] += run.cycles + pre_cycles;
+            stats.multiplications += 1;
+            results.push(c);
+        }
+        let energy_after: f64 = self.banks.iter().map(|b| b.array().stats().energy_pj).sum();
+        stats.energy_pj = energy_after - energy_before;
+        stats.makespan_cycles = stats.per_bank_cycles.iter().copied().max().unwrap_or(0);
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_bigint::ubig_below;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config() -> ModSramConfig {
+        ModSramConfig {
+            n_bits: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_results_match_oracle() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let mut tile = BankedModSram::new(4, config(), &p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let pairs: Vec<(UBig, UBig)> = (0..13)
+            .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+            .collect();
+        let (results, stats) = tile.mod_mul_batch(&pairs).unwrap();
+        assert_eq!(results.len(), 13);
+        for ((a, b), c) in pairs.iter().zip(&results) {
+            assert_eq!(c, &(&(a * b) % &p));
+        }
+        assert_eq!(stats.multiplications, 13);
+        assert_eq!(stats.per_bank_cycles.len(), 4);
+    }
+
+    #[test]
+    fn parallel_speedup_approaches_bank_count() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let pairs: Vec<(UBig, UBig)> = (0..32)
+            .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+            .collect();
+
+        let mut one = BankedModSram::new(1, config(), &p).unwrap();
+        let (_, s1) = one.mod_mul_batch(&pairs).unwrap();
+        let mut eight = BankedModSram::new(8, config(), &p).unwrap();
+        let (_, s8) = eight.mod_mul_batch(&pairs).unwrap();
+
+        assert!(s8.makespan_cycles < s1.makespan_cycles);
+        let speedup = s1.makespan_cycles as f64 / s8.makespan_cycles as f64;
+        assert!(speedup > 6.0, "speedup {speedup}");
+        assert!((s8.speedup() - speedup).abs() / speedup < 0.2);
+    }
+
+    #[test]
+    fn energy_scales_with_work_not_banks() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let pairs: Vec<(UBig, UBig)> = (0..8)
+            .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+            .collect();
+        let mut one = BankedModSram::new(1, config(), &p).unwrap();
+        let (_, s1) = one.mod_mul_batch(&pairs).unwrap();
+        let mut four = BankedModSram::new(4, config(), &p).unwrap();
+        let (_, s4) = four.mod_mul_batch(&pairs).unwrap();
+        // Same multiplications → comparable total energy (LUT refills
+        // differ slightly since each bank fills its own tables).
+        let ratio = s4.energy_pj / s1.energy_pj;
+        assert!(ratio > 0.8 && ratio < 1.6, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = BankedModSram::new(0, config(), &UBig::from(97u64));
+    }
+}

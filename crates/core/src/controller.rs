@@ -1,0 +1,307 @@
+//! The controller FSM: micro-op schedule and cycle accounting (§4.3–4.4).
+//!
+//! Schedule for `k` Booth digits:
+//!
+//! ```text
+//! cycle 1                : fetch multiplier row → NMC FF
+//! iteration 1 (4 cycles) : [activate lut4 | wb sum | activate lutov₀+sum | wb sum]
+//! iterations 2..k (6 ea.): [activate lut4+sum(+carry) | wb sum | wb carry |
+//!                           activate lutov+sum+carry  | wb sum | wb carry]
+//! total                  : 6k − 1     (= 767 at n = 256, k = 128)
+//! ```
+//!
+//! The first iteration's two carry write-backs are elided because the
+//! carry word is *structurally* zero until iteration 2's radix-4 phase
+//! (`MAJ(x, 0, 0) = 0`); for the same reason the controller omits
+//! known-zero rows from activations, which also means stale sum/carry
+//! wordlines from a previous multiplication are never observed.
+//!
+//! The shift-by-two of Algorithm 3 lines 4–5 is fused into the previous
+//! iteration's write-back path (the FF→shifter→write-port route of
+//! §4.3), so the rows are always pre-shifted when the next activation
+//! reads them; the last iteration writes back unshifted so the finisher
+//! sees the true `(sum, carry)`.
+
+use modsram_bigint::{radix4_digits_msb_first, UBig};
+use modsram_modmul::{R4CsaStepper, TimingPolicy};
+
+use crate::error::CoreError;
+use crate::memmap::MemoryMap;
+use crate::modsram::ModSram;
+use crate::stats::RunStats;
+use crate::trace::{DataflowSnapshot, Phase};
+
+/// Executes one in-SRAM modular multiplication of `a` by the loaded
+/// multiplicand, modulo the loaded modulus.
+pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), CoreError> {
+    let p = dev.modulus.clone().ok_or(CoreError::NoModulus)?;
+    let b = dev.multiplicand.clone().ok_or(CoreError::NoMultiplicand)?;
+    let n = dev.config.n_bits;
+    let w = n + 1;
+    let a_c = a % &p;
+
+    // FF reset lines clear the overflow state left by a previous run.
+    dev.nmc.ov_sum_ff = 0;
+    dev.nmc.ov_carry_ff = 0;
+    dev.nmc.pending_ff = 0;
+    dev.sum_msb = false;
+    dev.carry_msb = false;
+    dev.last_trace.clear();
+
+    let digits = {
+        let mut d = radix4_digits_msb_first(&a_c, n);
+        if dev.config.policy == TimingPolicy::ConstantTime {
+            let want = (n + 1).div_ceil(2);
+            while d.len() < want {
+                d.insert(0, modsram_bigint::Radix4Digit::encode(false, false, false));
+            }
+        }
+        d
+    };
+    let k = digits.len();
+
+    // Lock-step ground truth (only consulted when verification is on).
+    let mut stepper = if dev.config.verify {
+        Some(R4CsaStepper::with_width(&b, &p, n)?)
+    } else {
+        None
+    };
+
+    let start_sram = dev.array.stats().clone();
+    let start_regs = dev.nmc.register_writes;
+    let mut stats = RunStats::default();
+    let mut cycle: u64 = 0;
+
+    // Operand load: A's wordline (memory traffic, not multiply cycles).
+    dev.array.write_row(MemoryMap::A, a_c.limbs());
+
+    // Cycle 1: fetch the multiplier into the near-memory FF.
+    let fetched = UBig::from_limbs(dev.array.read_row(MemoryMap::A));
+    dev.nmc.load_multiplier(&fetched, k);
+    cycle += 1;
+    snapshot(dev, cycle, 0, Phase::Fetch, "read A row into multiplier FF", vec![MemoryMap::A]);
+
+    let mut carry_written = false;
+    let mut sum_written = false;
+
+    for i in 1..=k as u64 {
+        let digit = dev.nmc.next_digit();
+        if dev.config.verify && digit != digits[(i - 1) as usize] {
+            return Err(CoreError::ModelDivergence {
+                iteration: i,
+                what: "booth digit",
+            });
+        }
+        let trace = stepper.as_mut().map(|s| s.step(digit));
+
+        // ---- Radix-4 phase -------------------------------------------
+        if let Some(t) = &trace {
+            if dev.nmc.ov_sum_ff != t.ov_sum {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "ov_sum FF" });
+            }
+            if dev.nmc.ov_carry_ff != t.ov_carry {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "ov_carry FF" });
+            }
+        }
+        let lut_row = dev.map.lut4_row(modsram_modmul::LutRadix4::index_of(digit));
+        let (xor_full, maj_full) = activate_csa(dev, lut_row, sum_written, carry_written);
+        cycle += 1;
+        stats.activations += 1;
+        snapshot(dev, cycle, i, Phase::Radix4, "activate LUT-radix4 + sum + carry; sense XOR3/MAJ", vec![lut_row]);
+
+        let csa1_msb_out = ((&maj_full << 1).bit(w)) as u8;
+        let carry_value = (&maj_full << 1).low_bits(w);
+        if let Some(t) = &trace {
+            if xor_full != t.after_radix4.0 {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 XOR3" });
+            }
+            if carry_value != t.after_radix4.1 {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 MAJ" });
+            }
+            if csa1_msb_out != t.csa1_msb_out {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 carry-out" });
+            }
+        }
+
+        dev.store_sum(&xor_full);
+        sum_written = true;
+        cycle += 1;
+        stats.row_writes += 1;
+        snapshot(dev, cycle, i, Phase::Radix4, "write back sum", vec![MemoryMap::SUM]);
+
+        if i > 1 {
+            dev.store_carry(&carry_value);
+            carry_written = true;
+            cycle += 1;
+            stats.row_writes += 1;
+            snapshot(dev, cycle, i, Phase::Radix4, "write back carry (≪1)", vec![MemoryMap::CARRY]);
+        }
+
+        // ---- Overflow phase ------------------------------------------
+        let ov_index = dev.nmc.take_overflow_index(csa1_msb_out);
+        if let Some(t) = &trace {
+            if ov_index != t.ov_index {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow index" });
+            }
+        }
+        stats.max_ov_index = stats.max_ov_index.max(ov_index);
+        if MemoryMap::is_spill_weight(ov_index) {
+            stats.ov_spill_touches += 1;
+        }
+
+        let ov_row = dev.map.lutov_row(ov_index);
+        let (xor2_full, maj2_full) = activate_csa(dev, ov_row, sum_written, carry_written);
+        cycle += 1;
+        stats.activations += 1;
+        snapshot(dev, cycle, i, Phase::Overflow, "activate LUT-overflow + sum + carry; sense XOR3/MAJ", vec![ov_row]);
+
+        let pending_out = ((&maj2_full << 1).bit(w)) as u8;
+        let carry2_value = (&maj2_full << 1).low_bits(w);
+        if let Some(t) = &trace {
+            if xor2_full != t.after_overflow.0 {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow XOR3" });
+            }
+            if carry2_value != t.after_overflow.1 {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow MAJ" });
+            }
+            if pending_out != t.pending_out {
+                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow carry-out" });
+            }
+        }
+
+        // Fused shift: pre-shift by two for the next iteration; the last
+        // iteration leaves the true values for the finisher.
+        let shift = if (i as usize) < k { 2 } else { 0 };
+
+        let esc_s = if shift == 2 {
+            ((&xor2_full >> (w - 2)).low_u64() & 3) as u8
+        } else {
+            0
+        };
+        dev.store_sum(&(&xor2_full << shift).low_bits(w));
+        cycle += 1;
+        stats.row_writes += 1;
+        dev.nmc.set_ov_sum(esc_s);
+        snapshot(dev, cycle, i, Phase::Overflow, "write back sum (≪2 pre-shift)", vec![MemoryMap::SUM]);
+
+        let esc_c = if shift == 2 {
+            ((&carry2_value >> (w - 2)).low_u64() & 3) as u8
+        } else {
+            0
+        };
+        if i > 1 {
+            dev.store_carry(&(&carry2_value << shift).low_bits(w));
+            carry_written = true;
+            cycle += 1;
+            stats.row_writes += 1;
+            snapshot(dev, cycle, i, Phase::Overflow, "write back carry (≪1, ≪2 pre-shift)", vec![MemoryMap::CARRY]);
+        } else {
+            debug_assert!(carry2_value.is_zero(), "iteration-1 carry must be zero");
+        }
+        dev.nmc.set_ov_carry(esc_c);
+        dev.nmc.set_pending(pending_out);
+    }
+
+    // ---- Near-memory finisher (Alg. 3 line 14) -----------------------
+    let sum_full = dev.peek_sum();
+    let carry_full = if carry_written {
+        dev.peek_carry()
+    } else {
+        UBig::zero()
+    };
+    let mut total = &sum_full + &carry_full;
+    if dev.nmc.pending_ff != 0 {
+        total = &total + &UBig::pow2(w);
+    }
+    // The conditional-subtract chain of the near-memory finisher; when
+    // the array width matches the modulus this is at most 12 steps, but
+    // a wide array with a narrow modulus would need many, so compute the
+    // count by division.
+    let subs = (&total / &p).to_u64().unwrap_or(u64::MAX);
+    total = &total % &p;
+
+    if let Some(s) = &stepper {
+        let (want, _) = s.finalize();
+        if total != want {
+            return Err(CoreError::ModelDivergence {
+                iteration: k as u64,
+                what: "final result",
+            });
+        }
+    }
+
+    stats.cycles = cycle;
+    stats.iterations = k as u64;
+    stats.final_subtractions = subs;
+    stats.final_add_cycles = if dev.config.charge_final_add {
+        2 + subs
+    } else {
+        0
+    };
+    stats.extra_msb_digit =
+        dev.config.policy == TimingPolicy::DataDependent && k > n.div_ceil(2);
+    stats.row_reads = dev.array.stats().row_reads - start_sram.row_reads;
+    stats.row_writes = dev.array.stats().row_writes - start_sram.row_writes;
+    stats.energy_pj = dev.array.stats().energy_pj - start_sram.energy_pj;
+    stats.register_writes = dev.nmc.register_writes - start_regs;
+    debug_assert_eq!(stats.cycles, 6 * k as u64 - 1, "schedule invariant");
+
+    snapshot(dev, cycle, k as u64, Phase::Finalize, "near-memory add + reduce", vec![]);
+    dev.last_run = Some(stats.clone());
+    Ok((total, stats))
+}
+
+/// One logic-SA activation over the LUT row plus whichever of sum/carry
+/// are live, returning the full `W`-bit XOR3 and MAJ words (array columns
+/// + the NMC top-bit logic of §4.3).
+fn activate_csa(
+    dev: &mut ModSram,
+    lut_row: usize,
+    sum_live: bool,
+    carry_live: bool,
+) -> (UBig, UBig) {
+    let n = dev.config.n_bits;
+    let mut rows = vec![lut_row];
+    if sum_live {
+        rows.push(MemoryMap::SUM);
+    }
+    if carry_live {
+        rows.push(MemoryMap::CARRY);
+    }
+    let out = dev.array.activate(&rows);
+    let xor_cols = UBig::from_limbs(out.xor.clone());
+    let maj_cols = UBig::from_limbs(out.maj.clone());
+
+    // Top-bit (bit n) logic: LUT rows are < p < 2^n so their bit n is 0;
+    // the stored MSBs live in NMC flip-flops.
+    let s_msb = sum_live && dev.sum_msb;
+    let c_msb = carry_live && dev.carry_msb;
+    let xor_full = xor_cols.with_bit(n, s_msb ^ c_msb);
+    let maj_full = maj_cols.with_bit(n, s_msb & c_msb);
+    dev.nmc.latch_sense(xor_full.clone(), maj_full.clone());
+    (xor_full, maj_full)
+}
+
+fn snapshot(
+    dev: &mut ModSram,
+    cycle: u64,
+    iteration: u64,
+    phase: Phase,
+    micro_op: &str,
+    rows: Vec<usize>,
+) {
+    if !dev.config.trace {
+        return;
+    }
+    let snap = DataflowSnapshot {
+        cycle,
+        iteration,
+        phase,
+        micro_op: micro_op.to_string(),
+        rows,
+        sum: dev.peek_sum(),
+        carry: dev.peek_carry(),
+        ov_ffs: (dev.nmc.ov_sum_ff, dev.nmc.ov_carry_ff, dev.nmc.pending_ff),
+    };
+    dev.last_trace.push(snap);
+}

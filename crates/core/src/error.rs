@@ -1,0 +1,108 @@
+//! Error type for the accelerator.
+
+use core::fmt;
+
+use modsram_modmul::ModMulError;
+
+/// Errors produced by the ModSRAM device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The configured array cannot hold the requested operand width.
+    WidthExceedsArray {
+        /// Requested operand bits.
+        n_bits: usize,
+        /// Available columns.
+        cols: usize,
+    },
+    /// The configured array has too few wordlines for the memory map.
+    NotEnoughRows {
+        /// Rows required by the memory map.
+        required: usize,
+        /// Rows available.
+        available: usize,
+    },
+    /// An operand exceeded the configured width.
+    OperandTooWide {
+        /// Bits of the offending operand.
+        operand_bits: usize,
+        /// Configured width.
+        n_bits: usize,
+    },
+    /// No modulus has been loaded yet.
+    NoModulus,
+    /// No multiplicand has been loaded yet (LUT-radix4 rows are empty).
+    NoMultiplicand,
+    /// An algorithm-level error (zero modulus etc.).
+    ModMul(ModMulError),
+    /// A structurally invalid micro-program (see [`crate::isa`]).
+    Program(crate::isa::ProgramError),
+    /// Lock-step verification against the functional model diverged —
+    /// only possible when fault injection is enabled.
+    ModelDivergence {
+        /// Loop iteration (1-based) where the divergence was detected.
+        iteration: u64,
+        /// Which value diverged.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WidthExceedsArray { n_bits, cols } => {
+                write!(f, "operand width {n_bits} exceeds array columns {cols}")
+            }
+            CoreError::NotEnoughRows {
+                required,
+                available,
+            } => write!(f, "memory map needs {required} rows, array has {available}"),
+            CoreError::OperandTooWide {
+                operand_bits,
+                n_bits,
+            } => write!(
+                f,
+                "operand has {operand_bits} bits, device is configured for {n_bits}"
+            ),
+            CoreError::NoModulus => write!(f, "no modulus loaded"),
+            CoreError::NoMultiplicand => write!(f, "no multiplicand loaded"),
+            CoreError::ModMul(e) => write!(f, "{e}"),
+            CoreError::Program(e) => write!(f, "{e}"),
+            CoreError::ModelDivergence { iteration, what } => write!(
+                f,
+                "in-SRAM result diverged from the functional model at iteration {iteration} ({what})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::ModMul(e) => Some(e),
+            CoreError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModMulError> for CoreError {
+    fn from(e: ModMulError) -> Self {
+        CoreError::ModMul(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::WidthExceedsArray {
+            n_bits: 300,
+            cols: 256,
+        };
+        assert_eq!(e.to_string(), "operand width 300 exceeds array columns 256");
+        let e: CoreError = ModMulError::ZeroModulus.into();
+        assert_eq!(e.to_string(), "modulus must be non-zero");
+    }
+}

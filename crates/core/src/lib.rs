@@ -1,0 +1,61 @@
+//! The ModSRAM accelerator: a cycle-accurate model of the paper's
+//! architecture (§4) executing R4CSA-LUT inside a simulated 8T SRAM
+//! array.
+//!
+//! The pieces mirror Figure 4:
+//!
+//! * [`MemoryMap`] — wordline allocation on the 64×256 array: operands
+//!   `A`/`B`/`p`, the `sum`/`carry` intermediate rows, the 13 LUT
+//!   wordlines (5 radix-4 + 8 overflow), instrumented spill rows, and the
+//!   scratch region sized for an elliptic-curve point addition (§5.2).
+//! * [`Nmc`] — the near-memory circuit: Booth encoder, overflow
+//!   combinational logic, the three full-width flip-flops (multiplier,
+//!   sum, carry) plus small overflow FFs, and the shift-by-1/2 write-back
+//!   paths. Counts its register writes (Figure 7's metric).
+//! * `controller` — the FSM micro-op schedule. One multiplier fetch,
+//!   then six cycles per radix-4 digit (two LUT phases, each
+//!   activate-and-sense / write-back sum / write-back carry), with the
+//!   two provably-zero carry write-backs of the first iteration elided:
+//!   `1 + 4 + 6·(k−1) = 6k − 1` cycles — **767** at 256 bits, the
+//!   paper's Table 3 headline.
+//! * [`ModSram`] — the top-level device: owns the array, runs
+//!   precomputation (LUT fill, reused across calls while `B`/`p` are
+//!   unchanged — the paper's data-reuse claim), executes multiplications,
+//!   and optionally verifies every phase against the word-level
+//!   functional model from `modsram-modmul` in lock-step.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_core::ModSram;
+//! use modsram_bigint::UBig;
+//!
+//! let p = UBig::from(0xffff_fffb_u64); // a 32-bit prime
+//! let mut dev = ModSram::for_modulus(&p).unwrap();
+//! let (c, stats) = dev
+//!     .mod_mul(&UBig::from(0x5ead_beefu64), &UBig::from(0x1234_5678u64))
+//!     .unwrap();
+//! assert_eq!(c, UBig::from((0x5ead_beefu64 * 0x1234_5678u64) % 0xffff_fffb));
+//! assert_eq!(stats.cycles, 6 * 16 - 1); // ⌈32/2⌉ digits, MSB-clear multiplier
+//! ```
+
+pub mod bank;
+mod controller;
+mod error;
+pub mod isa;
+mod memmap;
+mod modsram;
+mod nmc;
+pub mod session;
+mod stats;
+pub mod trace;
+
+pub use bank::{BankedModSram, BatchStats};
+pub use error::CoreError;
+pub use isa::{Executor, MicroOp, Program, ProgramError};
+pub use session::{ScratchSession, SessionStats, StagedPoint};
+pub use memmap::{MemoryMap, PointAddWorkingSet};
+pub use modsram::{ModSram, ModSramConfig};
+pub use nmc::Nmc;
+pub use stats::{PrecomputeStats, RunStats};
+pub use trace::{DataflowSnapshot, Phase};

@@ -1,0 +1,242 @@
+//! Wordline allocation on the ModSRAM array (§5.2, Figure 6).
+
+use modsram_modmul::LutOverflow;
+
+/// Fixed wordline map for one modular-multiplication context.
+///
+/// Mirrors the paper's §5.2 data organisation: each wordline stores one
+/// full operand; the radix-4 and overflow LUTs occupy 13 wordlines that
+/// are *reused* across iterations and across multiplications sharing the
+/// same multiplicand/modulus. Four extra instrumented "spill" rows hold
+/// the overflow entries 8–11 that exact accounting can touch (see
+/// DESIGN.md §3.2); the `lut_usage` experiment reports whether they are
+/// ever used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMap {
+    rows: usize,
+    cols: usize,
+}
+
+impl MemoryMap {
+    /// Modulus row.
+    pub const P: usize = 0;
+    /// Multiplicand row (`B`).
+    pub const B: usize = 1;
+    /// Multiplier row (`A`).
+    pub const A: usize = 2;
+    /// Sum intermediate row.
+    pub const SUM: usize = 3;
+    /// Carry intermediate row.
+    pub const CARRY: usize = 4;
+    /// First radix-4 LUT row; the five rows follow Table 1b order
+    /// (`0, +B, +2B, −2B, −B`).
+    pub const LUT4_BASE: usize = 5;
+    /// First overflow LUT row; entries `w = 0..8` (Table 2).
+    pub const LUTOV_BASE: usize = 10;
+    /// First instrumented spill row (overflow entries 8..12).
+    pub const LUTOV_SPILL_BASE: usize = 18;
+    /// Number of spill rows allocated.
+    pub const LUTOV_SPILL_ROWS: usize = 4;
+    /// First free scratch row (elliptic-curve working set).
+    pub const SCRATCH_BASE: usize = 22;
+
+    /// Builds the map for an array of `rows` × `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has fewer than [`Self::required_rows`] rows.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= Self::required_rows(),
+            "array needs at least {} rows",
+            Self::required_rows()
+        );
+        MemoryMap { rows, cols }
+    }
+
+    /// Minimum wordlines the map needs (operands + intermediates + LUTs
+    /// + spill).
+    pub fn required_rows() -> usize {
+        Self::SCRATCH_BASE
+    }
+
+    /// Wordlines used by the paper's accounting: 3 operands + 2
+    /// intermediates + 13 LUT rows = 18.
+    pub fn paper_rows_used() -> usize {
+        3 + 2 + Self::lut_rows_paper()
+    }
+
+    /// The paper's LUT wordline budget: 5 radix-4 + 8 overflow = 13.
+    pub fn lut_rows_paper() -> usize {
+        5 + LutOverflow::PAPER_ENTRIES
+    }
+
+    /// The radix-4 LUT row for a Table 1b index (0..5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    pub fn lut4_row(&self, index: usize) -> usize {
+        assert!(index < 5, "radix-4 LUT has 5 rows");
+        Self::LUT4_BASE + index
+    }
+
+    /// The overflow LUT row for weight `w` (0..12); weights 8..12 map to
+    /// the instrumented spill rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= 12` (exact accounting bounds the index by 11).
+    pub fn lutov_row(&self, w: usize) -> usize {
+        if w < LutOverflow::PAPER_ENTRIES {
+            Self::LUTOV_BASE + w
+        } else {
+            let spill = w - LutOverflow::PAPER_ENTRIES;
+            assert!(
+                spill < Self::LUTOV_SPILL_ROWS,
+                "overflow weight {w} outside even the spill range"
+            );
+            Self::LUTOV_SPILL_BASE + spill
+        }
+    }
+
+    /// `true` when the given overflow weight lives on a spill row (i.e.
+    /// beyond the paper's Table 2).
+    pub fn is_spill_weight(w: usize) -> bool {
+        w >= LutOverflow::PAPER_ENTRIES
+    }
+
+    /// Number of scratch rows available for application working sets.
+    pub fn scratch_rows(&self) -> usize {
+        self.rows - Self::SCRATCH_BASE
+    }
+
+    /// A scratch row by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= scratch_rows()`.
+    pub fn scratch_row(&self, index: usize) -> usize {
+        assert!(index < self.scratch_rows(), "scratch row out of range");
+        Self::SCRATCH_BASE + index
+    }
+
+    /// Array geometry.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array geometry.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The working set of an elliptic-curve point addition staged in the
+    /// array (§5.2: "accommodated to fit operands of a point addition").
+    pub fn point_add_working_set(&self) -> PointAddWorkingSet {
+        PointAddWorkingSet::for_map(self)
+    }
+}
+
+/// Row budget for one Jacobian point addition staged entirely in-array.
+///
+/// A mixed Jacobian+affine point addition needs the 6 input coordinates,
+/// 3 output coordinates, and up to 7 live temporaries; every temporary is
+/// one wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointAddWorkingSet {
+    /// Input/output coordinate rows.
+    pub coordinate_rows: usize,
+    /// Temporary rows.
+    pub temporary_rows: usize,
+    /// Scratch rows the map actually has available.
+    pub available_rows: usize,
+}
+
+impl PointAddWorkingSet {
+    fn for_map(map: &MemoryMap) -> Self {
+        PointAddWorkingSet {
+            coordinate_rows: 9,
+            temporary_rows: 7,
+            available_rows: map.scratch_rows(),
+        }
+    }
+
+    /// Total rows the working set needs.
+    pub fn required(&self) -> usize {
+        self.coordinate_rows + self.temporary_rows
+    }
+
+    /// `true` when the array can hold the whole working set at once.
+    pub fn fits(&self) -> bool {
+        self.required() <= self.available_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_is_13_lut_rows_18_total() {
+        assert_eq!(MemoryMap::lut_rows_paper(), 13);
+        assert_eq!(MemoryMap::paper_rows_used(), 18);
+    }
+
+    #[test]
+    fn rows_do_not_collide() {
+        let map = MemoryMap::new(64, 256);
+        let mut seen = std::collections::HashSet::new();
+        let mut check = |r: usize| assert!(seen.insert(r), "row {r} allocated twice");
+        for r in [
+            MemoryMap::P,
+            MemoryMap::B,
+            MemoryMap::A,
+            MemoryMap::SUM,
+            MemoryMap::CARRY,
+        ] {
+            check(r);
+        }
+        for i in 0..5 {
+            check(map.lut4_row(i));
+        }
+        for w in 0..12 {
+            check(map.lutov_row(w));
+        }
+        for s in 0..map.scratch_rows() {
+            check(map.scratch_row(s));
+        }
+        assert!(seen.iter().all(|&r| r < 64));
+    }
+
+    #[test]
+    fn spill_rows_start_after_paper_entries() {
+        let map = MemoryMap::new(64, 256);
+        assert_eq!(map.lutov_row(7), MemoryMap::LUTOV_BASE + 7);
+        assert_eq!(map.lutov_row(8), MemoryMap::LUTOV_SPILL_BASE);
+        assert!(MemoryMap::is_spill_weight(8));
+        assert!(!MemoryMap::is_spill_weight(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "spill range")]
+    fn weight_12_is_rejected() {
+        MemoryMap::new(64, 256).lutov_row(12);
+    }
+
+    #[test]
+    fn point_add_fits_the_64_row_array() {
+        // §5.2: the design fits an EC point addition's operands.
+        let map = MemoryMap::new(64, 256);
+        let ws = map.point_add_working_set();
+        assert_eq!(map.scratch_rows(), 42);
+        assert!(ws.fits());
+        assert_eq!(ws.required(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_array_panics() {
+        MemoryMap::new(8, 256);
+    }
+}

@@ -1,0 +1,364 @@
+//! The top-level ModSRAM device model.
+
+use modsram_bigint::UBig;
+use modsram_modmul::{
+    CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError, TimingPolicy,
+};
+use modsram_sram::{CellKind, FaultConfig, SramArray, SramConfig};
+
+use crate::controller;
+use crate::error::CoreError;
+use crate::memmap::MemoryMap;
+use crate::nmc::Nmc;
+use crate::stats::{PrecomputeStats, RunStats};
+use crate::trace::DataflowSnapshot;
+
+/// Device configuration. [`ModSramConfig::default`] is the paper's macro:
+/// 64 wordlines, 256-bit operands, 8T cells, no faults, lock-step
+/// verification on.
+#[derive(Debug, Clone)]
+pub struct ModSramConfig {
+    /// Operand bitwidth `n` (array columns). The sum/carry MSB (bit `n`)
+    /// lives in a near-memory flip-flop, as in §4.3.
+    pub n_bits: usize,
+    /// Array wordlines.
+    pub rows: usize,
+    /// Bit-cell flavour (6T exists to reproduce the read-disturb failure).
+    pub cell: CellKind,
+    /// Fault-injection knobs.
+    pub fault: FaultConfig,
+    /// Verify every phase against the word-level functional model.
+    pub verify: bool,
+    /// Charge cycles for the near-memory final add + reduction instead of
+    /// assuming it pipelines with the next operation (the paper's 767
+    /// count corresponds to `false`).
+    pub charge_final_add: bool,
+    /// Capture per-cycle [`DataflowSnapshot`]s (Figure 3).
+    pub trace: bool,
+    /// Iteration-count policy (see `modsram-modmul`).
+    pub policy: TimingPolicy,
+}
+
+impl Default for ModSramConfig {
+    fn default() -> Self {
+        ModSramConfig {
+            n_bits: 256,
+            rows: 64,
+            cell: CellKind::EightT,
+            fault: FaultConfig::default(),
+            verify: true,
+            charge_final_add: false,
+            trace: false,
+            policy: TimingPolicy::DataDependent,
+        }
+    }
+}
+
+/// The ModSRAM accelerator (Figure 4): SRAM array + in-memory logic-SA +
+/// near-memory circuit + controller.
+///
+/// Typical use: [`ModSram::for_modulus`], then [`ModSram::mod_mul`]
+/// repeatedly; LUT precomputation is cached while the multiplicand and
+/// modulus are unchanged.
+#[derive(Debug, Clone)]
+pub struct ModSram {
+    pub(crate) array: SramArray,
+    pub(crate) map: MemoryMap,
+    pub(crate) nmc: Nmc,
+    pub(crate) config: ModSramConfig,
+    pub(crate) sum_msb: bool,
+    pub(crate) carry_msb: bool,
+    pub(crate) modulus: Option<UBig>,
+    pub(crate) multiplicand: Option<UBig>,
+    pub(crate) lut4: Option<LutRadix4>,
+    pub(crate) lutov: Option<LutOverflow>,
+    /// Precompute statistics accumulated since construction.
+    pub precompute_total: PrecomputeStats,
+    /// Statistics of the most recent multiplication.
+    pub last_run: Option<RunStats>,
+    /// Dataflow snapshots of the most recent run (when tracing).
+    pub last_trace: Vec<DataflowSnapshot>,
+}
+
+impl ModSram {
+    /// Builds a device from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotEnoughRows`] if the array cannot hold the memory
+    /// map.
+    pub fn new(config: ModSramConfig) -> Result<Self, CoreError> {
+        if config.rows < MemoryMap::required_rows() {
+            return Err(CoreError::NotEnoughRows {
+                required: MemoryMap::required_rows(),
+                available: config.rows,
+            });
+        }
+        let n = config.n_bits.max(1);
+        let sram_config = SramConfig {
+            rows: config.rows,
+            cols: n,
+            cell: config.cell,
+            fault: config.fault.clone(),
+            energy: Default::default(),
+        };
+        let map = MemoryMap::new(config.rows, n);
+        Ok(ModSram {
+            array: SramArray::new(sram_config),
+            map,
+            nmc: Nmc::new(n + 1),
+            config,
+            sum_msb: false,
+            carry_msb: false,
+            modulus: None,
+            multiplicand: None,
+            lut4: None,
+            lutov: None,
+            precompute_total: PrecomputeStats::default(),
+            last_run: None,
+            last_trace: Vec::new(),
+        })
+    }
+
+    /// Builds a device sized for modulus `p` (width = `bit_len(p)`, 64
+    /// rows) and loads the modulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::ModMul`] for a zero modulus.
+    pub fn for_modulus(p: &UBig) -> Result<Self, CoreError> {
+        let config = ModSramConfig {
+            n_bits: p.bit_len().max(1),
+            ..Default::default()
+        };
+        let mut dev = ModSram::new(config)?;
+        dev.load_modulus(p)?;
+        Ok(dev)
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ModSramConfig {
+        &self.config
+    }
+
+    /// The wordline map.
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Read access to the underlying array (stats, trace, geometry).
+    pub fn array(&self) -> &SramArray {
+        &self.array
+    }
+
+    /// The currently loaded modulus.
+    pub fn modulus(&self) -> Option<&UBig> {
+        self.modulus.as_ref()
+    }
+
+    /// The currently loaded (canonical) multiplicand.
+    pub fn multiplicand(&self) -> Option<&UBig> {
+        self.multiplicand.as_ref()
+    }
+
+    /// Loads modulus `p`: writes the `p` wordline and fills the overflow
+    /// LUT rows (Table 2). Reused by every subsequent multiplication —
+    /// the §3.2 data-reuse claim.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ModMul`] for a zero modulus;
+    /// [`CoreError::OperandTooWide`] if `p` does not fit the array.
+    pub fn load_modulus(&mut self, p: &UBig) -> Result<PrecomputeStats, CoreError> {
+        if p.is_zero() {
+            return Err(CoreError::ModMul(ModMulError::ZeroModulus));
+        }
+        let n = self.config.n_bits;
+        if p.bit_len() > n {
+            return Err(CoreError::OperandTooWide {
+                operand_bits: p.bit_len(),
+                n_bits: n,
+            });
+        }
+        let lutov = LutOverflow::new(p, n + 1)?;
+        let mut stats = PrecomputeStats::default();
+
+        self.write_row_counted(MemoryMap::P, p, &mut stats);
+        // Deriving 2^(n+1) mod p near-memory: one shift-compare-subtract
+        // chain, modelled as two adder ops; each further entry is one add
+        // and one conditional subtract.
+        stats.nmc_adds += 2;
+        for w in 0..LutOverflow::PAPER_ENTRIES {
+            let row = self.map.lutov_row(w);
+            let value = lutov.value(w).clone();
+            self.write_row_counted(row, &value, &mut stats);
+            if w > 0 {
+                stats.nmc_adds += 2;
+            }
+        }
+        for w in LutOverflow::PAPER_ENTRIES..(LutOverflow::PAPER_ENTRIES + MemoryMap::LUTOV_SPILL_ROWS)
+        {
+            let row = self.map.lutov_row(w);
+            let value = lutov.value(w).clone();
+            self.write_row_counted(row, &value, &mut stats);
+            stats.nmc_adds += 2;
+        }
+        stats.cycles = stats.row_writes + stats.nmc_adds;
+
+        self.modulus = Some(p.clone());
+        self.lutov = Some(lutov);
+        // A new modulus invalidates the multiplicand table.
+        self.multiplicand = None;
+        self.lut4 = None;
+        self.precompute_total.merge(&stats);
+        Ok(stats)
+    }
+
+    /// Loads multiplicand `b`: writes the `B` wordline and fills the five
+    /// radix-4 LUT rows (Table 1b). Reused while `b` is unchanged — e.g.
+    /// across the many multiplications by the same operand inside an
+    /// elliptic-curve point addition.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoModulus`] if no modulus is loaded.
+    pub fn load_multiplicand(&mut self, b: &UBig) -> Result<PrecomputeStats, CoreError> {
+        let p = self.modulus.clone().ok_or(CoreError::NoModulus)?;
+        let lut4 = LutRadix4::new(b, &p)?;
+        let mut stats = PrecomputeStats::default();
+
+        self.write_row_counted(MemoryMap::B, lut4.multiplicand(), &mut stats);
+        for (i, value) in lut4.rows().clone().iter().enumerate() {
+            let row = self.map.lut4_row(i);
+            self.write_row_counted(row, value, &mut stats);
+        }
+        // 2B (add + conditional subtract), −B, −2B (one subtract each).
+        stats.nmc_adds += 4;
+        stats.cycles = stats.row_writes + stats.nmc_adds;
+
+        self.multiplicand = Some(lut4.multiplicand().clone());
+        self.lut4 = Some(lut4);
+        self.precompute_total.merge(&stats);
+        Ok(stats)
+    }
+
+    /// Multiplies `a` by the *loaded* multiplicand modulo the loaded
+    /// modulus, cycle-accurately. Returns the canonical product and the
+    /// run statistics (767 cycles at 256 bits with an MSB-clear
+    /// multiplier — Table 3).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoModulus`] if [`ModSram::load_modulus`] has not run;
+    /// [`CoreError::NoModulus`] (via multiplicand check) if no
+    /// multiplicand is loaded; [`CoreError::ModelDivergence`] when
+    /// verification is on and fault injection corrupted the computation.
+    pub fn mod_mul_loaded(&mut self, a: &UBig) -> Result<(UBig, RunStats), CoreError> {
+        controller::execute(self, a)
+    }
+
+    /// Convenience: (re)loads `b` if needed, then multiplies. This is the
+    /// common entry point; LUT precomputation only happens when `b`
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModSram::mod_mul_loaded`] and [`ModSram::load_multiplicand`].
+    pub fn mod_mul(&mut self, a: &UBig, b: &UBig) -> Result<(UBig, RunStats), CoreError> {
+        let p = self.modulus.clone().ok_or(CoreError::NoModulus)?;
+        let b_canonical = b % &p;
+        if self.multiplicand.as_ref() != Some(&b_canonical) {
+            self.load_multiplicand(&b_canonical)?;
+        }
+        self.mod_mul_loaded(a)
+    }
+
+    pub(crate) fn write_row_counted(
+        &mut self,
+        row: usize,
+        value: &UBig,
+        stats: &mut PrecomputeStats,
+    ) {
+        self.array.write_row(row, value.limbs());
+        stats.row_writes += 1;
+    }
+
+    /// Stores a `W`-bit value into the sum row + MSB flip-flop.
+    pub(crate) fn store_sum(&mut self, v: &UBig) {
+        let n = self.config.n_bits;
+        self.array.write_row(MemoryMap::SUM, v.low_bits(n).limbs());
+        self.sum_msb = v.bit(n);
+        self.nmc.register_writes += 1; // the MSB FF load
+    }
+
+    /// Stores a `W`-bit value into the carry row + MSB flip-flop.
+    pub(crate) fn store_carry(&mut self, v: &UBig) {
+        let n = self.config.n_bits;
+        self.array
+            .write_row(MemoryMap::CARRY, v.low_bits(n).limbs());
+        self.carry_msb = v.bit(n);
+        self.nmc.register_writes += 1;
+    }
+
+    /// Reads the full `W`-bit sum (row + MSB FF) without touching stats.
+    pub(crate) fn peek_sum(&self) -> UBig {
+        let n = self.config.n_bits;
+        let row = UBig::from_limbs(self.array.peek_row(MemoryMap::SUM));
+        row.with_bit(n, self.sum_msb)
+    }
+
+    /// Reads the full `W`-bit carry (row + MSB FF) without touching stats.
+    pub(crate) fn peek_carry(&self) -> UBig {
+        let n = self.config.n_bits;
+        let row = UBig::from_limbs(self.array.peek_row(MemoryMap::CARRY));
+        row.with_bit(n, self.carry_msb)
+    }
+}
+
+impl ModMulEngine for ModSram {
+    fn name(&self) -> &'static str {
+        "modsram"
+    }
+
+    /// Full-service entry point: loads `p` and `b` when they differ from
+    /// the cached ones, then runs the in-SRAM multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Maps device errors onto [`ModMulError`]; a model divergence (only
+    /// possible under fault injection) surfaces as a panic because the
+    /// trait cannot express it — use [`ModSram::mod_mul`] for fault
+    /// studies.
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if self.modulus.as_ref() != Some(p) {
+            if p.bit_len() > self.config.n_bits {
+                return Err(ModMulError::OperandTooWide {
+                    operand_bits: p.bit_len(),
+                    limit_bits: self.config.n_bits,
+                });
+            }
+            self.load_modulus(p).map_err(|e| match e {
+                CoreError::ModMul(m) => m,
+                other => panic!("unexpected load error: {other}"),
+            })?;
+        }
+        let (c, _) = self
+            .mod_mul(a, b)
+            .unwrap_or_else(|e| panic!("in-SRAM multiplication failed: {e}"));
+        Ok(c)
+    }
+}
+
+impl CycleModel for ModSram {
+    /// Same closed form as the functional model: `6·⌈n/2⌉ − 1`.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        6 * (n_bits as u64).div_ceil(2) - 1
+    }
+
+    fn model_description(&self) -> &'static str {
+        "cycle-accurate controller: 1 fetch + 4 first-iteration + 6 per further digit"
+    }
+}

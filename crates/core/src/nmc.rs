@@ -1,0 +1,171 @@
+//! Near-memory circuit model (§4.3): Booth encoder, overflow logic,
+//! flip-flops, and shift write-back paths.
+//!
+//! The NMC is deliberately tiny — that is the paper's area story (11 % of
+//! the macro). It holds three full-width flip-flops (multiplier, sum,
+//! carry), a handful of overflow FFs, the radix-4 Booth encoder fed by
+//! the top three bits of the multiplier FF, and the combinational logic
+//! that assembles the overflow LUT index. Every flip-flop load increments
+//! `register_writes` — the Figure 7 metric ModSRAM minimises.
+
+use modsram_bigint::{Radix4Digit, UBig};
+
+/// Near-memory flip-flops and combinational helpers.
+#[derive(Debug, Clone)]
+pub struct Nmc {
+    /// Register window width `W = n + 1`.
+    width: usize,
+    /// Multiplier FF, alignment window of `2k + 1` bits; the Booth
+    /// encoder reads its top three bits and it shifts left by two every
+    /// iteration (§4.3).
+    mult_ff: UBig,
+    mult_window: usize,
+    /// Sum FF (latched from the sense amplifiers + MSB logic).
+    pub sum_ff: UBig,
+    /// Carry FF.
+    pub carry_ff: UBig,
+    /// Shift-overflow FFs: the two bits that fell out of the sum row on
+    /// the last shifted write-back.
+    pub ov_sum_ff: u8,
+    /// Shift-overflow FFs for the carry row.
+    pub ov_carry_ff: u8,
+    /// Deferred overflow-phase carry-out (weight `2^W` before the next
+    /// shift).
+    pub pending_ff: u8,
+    /// Total flip-flop load operations.
+    pub register_writes: u64,
+}
+
+impl Nmc {
+    /// Creates the NMC for register window `width` (= n + 1).
+    pub fn new(width: usize) -> Self {
+        Nmc {
+            width,
+            mult_ff: UBig::zero(),
+            mult_window: 0,
+            sum_ff: UBig::zero(),
+            carry_ff: UBig::zero(),
+            ov_sum_ff: 0,
+            ov_carry_ff: 0,
+            pending_ff: 0,
+            register_writes: 0,
+        }
+    }
+
+    /// Loads the multiplier fetched from SRAM and aligns it for `k`
+    /// Booth digits (one FF load).
+    pub fn load_multiplier(&mut self, a: &UBig, k: usize) {
+        // Booth digit i reads bits (2i+1, 2i, 2i−1) of A; shifting A left
+        // by one makes that the top three bits of a 2k+1-bit window for
+        // i = k−1.
+        self.mult_window = 2 * k + 1;
+        self.mult_ff = (a << 1).low_bits(self.mult_window);
+        self.register_writes += 1;
+    }
+
+    /// Booth-encodes the top three bits of the multiplier FF, then shifts
+    /// the FF left by two for the next iteration (one FF load).
+    pub fn next_digit(&mut self) -> Radix4Digit {
+        let w = self.mult_window;
+        let digit = Radix4Digit::encode(
+            self.mult_ff.bit(w - 1),
+            self.mult_ff.bit(w - 2),
+            self.mult_ff.bit(w - 3),
+        );
+        self.mult_ff = (&self.mult_ff << 2).low_bits(w);
+        self.register_writes += 1;
+        digit
+    }
+
+    /// Latches the sense-amplifier outputs (plus the MSB bits computed by
+    /// the NMC's top-bit logic) into the sum/carry FFs — two FF loads.
+    pub fn latch_sense(&mut self, sum: UBig, carry: UBig) {
+        debug_assert!(sum.bit_len() <= self.width);
+        debug_assert!(carry.bit_len() <= self.width + 1);
+        self.sum_ff = sum;
+        self.carry_ff = carry;
+        self.register_writes += 2;
+    }
+
+    /// The combinational overflow word (Alg. 3 line 6):
+    /// `ov_sum + ov_carry + csa1_msb_out + 4·pending`, consuming the FFs.
+    pub fn take_overflow_index(&mut self, csa1_msb_out: u8) -> usize {
+        let ov = self.ov_sum_ff as usize
+            + self.ov_carry_ff as usize
+            + csa1_msb_out as usize
+            + 4 * self.pending_ff as usize;
+        self.ov_sum_ff = 0;
+        self.ov_carry_ff = 0;
+        self.pending_ff = 0;
+        ov
+    }
+
+    /// Stores the two shifted-out bits of a shifted sum write-back (one
+    /// small-FF load).
+    pub fn set_ov_sum(&mut self, bits: u8) {
+        self.ov_sum_ff = bits;
+        self.register_writes += 1;
+    }
+
+    /// Stores the two shifted-out bits of a shifted carry write-back.
+    pub fn set_ov_carry(&mut self, bits: u8) {
+        self.ov_carry_ff = bits;
+        self.register_writes += 1;
+    }
+
+    /// Stores the deferred overflow-phase carry-out.
+    pub fn set_pending(&mut self, bit: u8) {
+        self.pending_ff = bit;
+        self.register_writes += 1;
+    }
+
+    /// Register window width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_bigint::radix4_digits_msb_first;
+
+    #[test]
+    fn booth_ff_reproduces_recoder() {
+        // The shift-by-two FF datapath must produce the same digit stream
+        // as the offline recoder.
+        for a in [0u64, 1, 21, 0b10101, 0xdead_beef, u64::MAX] {
+            let big = UBig::from(a);
+            let n = big.bit_len().max(1);
+            let digits = radix4_digits_msb_first(&big, n);
+            let mut nmc = Nmc::new(n + 1);
+            nmc.load_multiplier(&big, digits.len());
+            for (i, want) in digits.iter().enumerate() {
+                assert_eq!(nmc.next_digit(), *want, "a={a} digit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_index_assembly() {
+        let mut nmc = Nmc::new(10);
+        nmc.set_ov_sum(3);
+        nmc.set_ov_carry(2);
+        nmc.set_pending(1);
+        assert_eq!(nmc.take_overflow_index(1), 3 + 2 + 1 + 4);
+        // Consumed after use.
+        assert_eq!(nmc.take_overflow_index(0), 0);
+    }
+
+    #[test]
+    fn register_writes_are_counted() {
+        let mut nmc = Nmc::new(10);
+        nmc.load_multiplier(&UBig::from(5u64), 2);
+        nmc.next_digit();
+        nmc.latch_sense(UBig::zero(), UBig::zero());
+        nmc.set_ov_sum(0);
+        nmc.set_ov_carry(0);
+        nmc.set_pending(0);
+        assert_eq!(nmc.register_writes, 1 + 1 + 2 + 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Scratch-row sessions: staging a whole computation's working set in
+//! the array, as §5.2 describes for elliptic-curve point addition
+//! ("our design is accommodated to fit operands of a point addition").
+//!
+//! A [`ScratchSession`] checks values in and out of the scratch
+//! wordlines with full traffic accounting; [`staged_jacobian_add`] runs
+//! the 12M+4S Jacobian point addition with every multiplication
+//! in-SRAM and every intermediate parked in a scratch row, then reports
+//! the peak wordline footprint (which must fit the Figure 6 budget).
+
+use modsram_bigint::UBig;
+
+use crate::error::CoreError;
+use crate::memmap::MemoryMap;
+use crate::modsram::ModSram;
+
+/// A handle to one occupied scratch wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchSlot(usize);
+
+/// Traffic and cycle accounting for a staged session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Values written into scratch rows.
+    pub slot_writes: u64,
+    /// Values read back from scratch rows.
+    pub slot_reads: u64,
+    /// In-SRAM multiplications executed.
+    pub multiplications: u64,
+    /// Multiplication cycles (the `6k − 1` loops).
+    pub mul_cycles: u64,
+    /// LUT precompute cycles (Table 1b refills as multiplicands change).
+    pub precompute_cycles: u64,
+    /// Near-memory add/sub operations (modelled one cycle each).
+    pub nmc_adds: u64,
+    /// Highest number of simultaneously live scratch slots.
+    pub peak_slots: usize,
+}
+
+impl SessionStats {
+    /// Total modelled cycles for the session.
+    pub fn total_cycles(&self) -> u64 {
+        self.mul_cycles + self.precompute_cycles + self.nmc_adds + self.slot_writes + self.slot_reads
+    }
+}
+
+/// A checked-out region of the scratch wordlines.
+#[derive(Debug)]
+pub struct ScratchSession<'a> {
+    dev: &'a mut ModSram,
+    in_use: Vec<bool>,
+    live: usize,
+    /// Session accounting (public for inspection mid-session).
+    pub stats: SessionStats,
+}
+
+impl<'a> ScratchSession<'a> {
+    /// Opens a session on a device (requires a loaded modulus).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoModulus`] when the device has no modulus loaded.
+    pub fn new(dev: &'a mut ModSram) -> Result<Self, CoreError> {
+        if dev.modulus().is_none() {
+            return Err(CoreError::NoModulus);
+        }
+        let slots = dev.memory_map().scratch_rows();
+        Ok(ScratchSession {
+            dev,
+            in_use: vec![false; slots],
+            live: 0,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Stores a value into a free scratch wordline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotEnoughRows`] when every scratch row is occupied.
+    pub fn store(&mut self, value: &UBig) -> Result<ScratchSlot, CoreError> {
+        let idx = self
+            .in_use
+            .iter()
+            .position(|used| !used)
+            .ok_or(CoreError::NotEnoughRows {
+                required: self.in_use.len() + 1,
+                available: self.in_use.len(),
+            })?;
+        self.in_use[idx] = true;
+        self.live += 1;
+        self.stats.peak_slots = self.stats.peak_slots.max(self.live);
+        let row = self.dev.memory_map().scratch_row(idx);
+        let p = self.dev.modulus().cloned().expect("checked in new");
+        let canonical = value % &p;
+        // Direct array write through the write port.
+        self.dev.array.write_row(row, canonical.limbs());
+        self.stats.slot_writes += 1;
+        Ok(ScratchSlot(idx))
+    }
+
+    /// Reads a slot's value back.
+    pub fn load(&mut self, slot: ScratchSlot) -> UBig {
+        assert!(self.in_use[slot.0], "slot already freed");
+        let row = self.dev.memory_map().scratch_row(slot.0);
+        self.stats.slot_reads += 1;
+        UBig::from_limbs(self.dev.array.read_row(row))
+    }
+
+    /// Releases a slot.
+    pub fn free(&mut self, slot: ScratchSlot) {
+        assert!(self.in_use[slot.0], "double free");
+        self.in_use[slot.0] = false;
+        self.live -= 1;
+    }
+
+    /// In-SRAM multiplication of two slots; the product lands in a new
+    /// slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors and slot exhaustion.
+    pub fn mul(&mut self, a: ScratchSlot, b: ScratchSlot) -> Result<ScratchSlot, CoreError> {
+        let av = self.load(a);
+        let bv = self.load(b);
+        let pre_before = self.dev.precompute_total.cycles;
+        let (c, run) = self.dev.mod_mul(&av, &bv)?;
+        self.stats.multiplications += 1;
+        self.stats.mul_cycles += run.cycles;
+        self.stats.precompute_cycles += self.dev.precompute_total.cycles - pre_before;
+        self.store(&c)
+    }
+
+    /// Near-memory modular addition of two slots into a new slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slot exhaustion.
+    pub fn add(&mut self, a: ScratchSlot, b: ScratchSlot) -> Result<ScratchSlot, CoreError> {
+        let p = self.dev.modulus().cloned().expect("checked in new");
+        let (av, bv) = (self.load(a), self.load(b));
+        let sum = {
+            let s = &av + &bv;
+            if s >= p {
+                &s - &p
+            } else {
+                s
+            }
+        };
+        self.stats.nmc_adds += 1;
+        self.store(&sum)
+    }
+
+    /// Near-memory modular subtraction `a − b` into a new slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slot exhaustion.
+    pub fn sub(&mut self, a: ScratchSlot, b: ScratchSlot) -> Result<ScratchSlot, CoreError> {
+        let p = self.dev.modulus().cloned().expect("checked in new");
+        let (av, bv) = (self.load(a), self.load(b));
+        let diff = if av >= bv {
+            &av - &bv
+        } else {
+            &(&av + &p) - &bv
+        };
+        self.stats.nmc_adds += 1;
+        self.store(&diff)
+    }
+
+    /// Live slot count.
+    pub fn live_slots(&self) -> usize {
+        self.live
+    }
+}
+
+/// A Jacobian point as canonical coordinate integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedPoint {
+    /// X coordinate.
+    pub x: UBig,
+    /// Y coordinate.
+    pub y: UBig,
+    /// Z coordinate (0 = infinity).
+    pub z: UBig,
+}
+
+/// General Jacobian + Jacobian addition staged entirely in the array
+/// (12 multiplications + 4 squarings in-SRAM, additions near-memory).
+/// Returns the sum and the session accounting. Doubling/identity cases
+/// are delegated to the caller (MSM-style workloads filter them first).
+///
+/// # Errors
+///
+/// Propagates device errors; [`CoreError::NotEnoughRows`] cannot occur
+/// for this sequence on a 64-row array (peak footprint ≤ 16 slots, the
+/// Figure 6 budget — asserted by tests).
+pub fn staged_jacobian_add(
+    dev: &mut ModSram,
+    p1: &StagedPoint,
+    p2: &StagedPoint,
+) -> Result<(StagedPoint, SessionStats), CoreError> {
+    let mut s = ScratchSession::new(dev)?;
+    // Check in the six input coordinates.
+    let x1 = s.store(&p1.x)?;
+    let y1 = s.store(&p1.y)?;
+    let z1 = s.store(&p1.z)?;
+    let x2 = s.store(&p2.x)?;
+    let y2 = s.store(&p2.y)?;
+    let z2 = s.store(&p2.z)?;
+
+    // u1 = x1·z2², u2 = x2·z1², s1 = y1·z2³, s2 = y2·z1³.
+    let z1z1 = s.mul(z1, z1)?;
+    let z2z2 = s.mul(z2, z2)?;
+    let u1 = s.mul(x1, z2z2)?;
+    let u2 = s.mul(x2, z1z1)?;
+    let z2cu = s.mul(z2z2, z2)?;
+    let z1cu = s.mul(z1z1, z1)?;
+    s.free(z2z2);
+    s.free(z1z1);
+    s.free(x1);
+    s.free(x2);
+    let s1 = s.mul(y1, z2cu)?;
+    let s2 = s.mul(y2, z1cu)?;
+    s.free(z2cu);
+    s.free(z1cu);
+    s.free(y1);
+    s.free(y2);
+
+    // h = u2 − u1, r = s2 − s1.
+    let h = s.sub(u2, u1)?;
+    let r = s.sub(s2, s1)?;
+    s.free(u2);
+    s.free(s2);
+
+    // x3 = r² − h³ − 2·u1·h², y3 = r(u1h² − x3) − s1h³, z3 = z1z2h.
+    let h2 = s.mul(h, h)?;
+    let h3 = s.mul(h2, h)?;
+    let u1h2 = s.mul(u1, h2)?;
+    s.free(h2);
+    s.free(u1);
+    let r2 = s.mul(r, r)?;
+    let t0 = s.sub(r2, h3)?;
+    s.free(r2);
+    let two_u1h2 = s.add(u1h2, u1h2)?;
+    let x3 = s.sub(t0, two_u1h2)?;
+    s.free(t0);
+    s.free(two_u1h2);
+    let t1 = s.sub(u1h2, x3)?;
+    s.free(u1h2);
+    let rt1 = s.mul(r, t1)?;
+    s.free(r);
+    s.free(t1);
+    let s1h3 = s.mul(s1, h3)?;
+    s.free(s1);
+    s.free(h3);
+    let y3 = s.sub(rt1, s1h3)?;
+    s.free(rt1);
+    s.free(s1h3);
+    let z1z2 = s.mul(z1, z2)?;
+    s.free(z1);
+    s.free(z2);
+    let z3 = s.mul(z1z2, h)?;
+    s.free(z1z2);
+    s.free(h);
+
+    let out = StagedPoint {
+        x: s.load(x3),
+        y: s.load(y3),
+        z: s.load(z3),
+    };
+    s.free(x3);
+    s.free(y3);
+    s.free(z3);
+    let stats = s.stats.clone();
+    debug_assert_eq!(s.live_slots(), 0, "slot leak");
+    // The §5.2 claim: the working set fits the point-addition budget.
+    debug_assert!(
+        stats.peak_slots <= MemoryMap::new(64, 256).point_add_working_set().required() + 2,
+        "peak {} slots",
+        stats.peak_slots
+    );
+    Ok((out, stats))
+}
+
+/// Jacobian point doubling staged in the array (3 multiplications + 4
+/// squarings in-SRAM for the `a = 0` curves the paper targets,
+/// additions near-memory). The caller guarantees `a = 0` (secp256k1 and
+/// BN254 both qualify).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn staged_jacobian_double(
+    dev: &mut ModSram,
+    p1: &StagedPoint,
+) -> Result<(StagedPoint, SessionStats), CoreError> {
+    if p1.z.is_zero() || p1.y.is_zero() {
+        return Ok((
+            StagedPoint {
+                x: UBig::one(),
+                y: UBig::one(),
+                z: UBig::zero(),
+            },
+            SessionStats::default(),
+        ));
+    }
+    let mut s = ScratchSession::new(dev)?;
+    let x1 = s.store(&p1.x)?;
+    let y1 = s.store(&p1.y)?;
+    let z1 = s.store(&p1.z)?;
+
+    // ysq = y², S = 4·x·ysq, M = 3·x², x3 = M² − 2S,
+    // y3 = M(S − x3) − 8·ysq², z3 = 2yz.
+    let ysq = s.mul(y1, y1)?;
+    let x_ysq = s.mul(x1, ysq)?;
+    let s2 = s.add(x_ysq, x_ysq)?;
+    let s4 = s.add(s2, s2)?; // S
+    s.free(x_ysq);
+    s.free(s2);
+    let xsq = s.mul(x1, x1)?;
+    let xsq2 = s.add(xsq, xsq)?;
+    let m = s.add(xsq2, xsq)?; // M = 3x²  (a = 0)
+    s.free(xsq);
+    s.free(xsq2);
+    s.free(x1);
+    let msq = s.mul(m, m)?;
+    let s_dbl = s.add(s4, s4)?;
+    let x3 = s.sub(msq, s_dbl)?;
+    s.free(msq);
+    s.free(s_dbl);
+    let t = s.sub(s4, x3)?;
+    s.free(s4);
+    let mt = s.mul(m, t)?;
+    s.free(m);
+    s.free(t);
+    let ysq2 = s.mul(ysq, ysq)?;
+    s.free(ysq);
+    let y4_2 = s.add(ysq2, ysq2)?;
+    let y4_4 = s.add(y4_2, y4_2)?;
+    let y4_8 = s.add(y4_4, y4_4)?;
+    s.free(ysq2);
+    s.free(y4_2);
+    s.free(y4_4);
+    let y3 = s.sub(mt, y4_8)?;
+    s.free(mt);
+    s.free(y4_8);
+    let yz = s.mul(y1, z1)?;
+    s.free(y1);
+    s.free(z1);
+    let z3 = s.add(yz, yz)?;
+    s.free(yz);
+
+    let out = StagedPoint {
+        x: s.load(x3),
+        y: s.load(y3),
+        z: s.load(z3),
+    };
+    s.free(x3);
+    s.free(y3);
+    s.free(z3);
+    let stats = s.stats.clone();
+    debug_assert_eq!(s.live_slots(), 0, "slot leak");
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modsram::ModSramConfig;
+
+    fn device(bits: usize, p: &UBig) -> ModSram {
+        let mut dev = ModSram::new(ModSramConfig {
+            n_bits: bits,
+            ..Default::default()
+        })
+        .unwrap();
+        dev.load_modulus(p).unwrap();
+        dev
+    }
+
+    #[test]
+    fn session_store_load_free() {
+        let p = UBig::from(1_000_003u64);
+        let mut dev = device(20, &p);
+        let mut s = ScratchSession::new(&mut dev).unwrap();
+        let a = s.store(&UBig::from(123u64)).unwrap();
+        let b = s.store(&UBig::from(456u64)).unwrap();
+        assert_eq!(s.load(a), UBig::from(123u64));
+        let c = s.mul(a, b).unwrap();
+        assert_eq!(s.load(c), UBig::from(123u64 * 456));
+        let d = s.add(a, b).unwrap();
+        assert_eq!(s.load(d), UBig::from(579u64));
+        let e = s.sub(a, b).unwrap();
+        assert_eq!(s.load(e), UBig::from(1_000_003 - 333u64));
+        assert_eq!(s.live_slots(), 5);
+        for slot in [a, b, c, d, e] {
+            s.free(slot);
+        }
+        assert_eq!(s.live_slots(), 0);
+        assert_eq!(s.stats.multiplications, 1);
+        assert!(s.stats.peak_slots >= 5);
+    }
+
+    #[test]
+    fn slot_exhaustion_is_an_error() {
+        let p = UBig::from(97u64);
+        let mut dev = device(7, &p);
+        let mut s = ScratchSession::new(&mut dev).unwrap();
+        let total = s.in_use.len();
+        for _ in 0..total {
+            s.store(&UBig::one()).unwrap();
+        }
+        assert!(matches!(
+            s.store(&UBig::one()),
+            Err(CoreError::NotEnoughRows { .. })
+        ));
+    }
+
+    #[test]
+    fn staged_add_matches_ecc_formula() {
+        // secp256k1-sized staged addition vs big-integer Jacobian math.
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let mut dev = device(256, &p);
+        // G and 2G on secp256k1 in Jacobian form (z = 1).
+        let g = StagedPoint {
+            x: UBig::from_hex(
+                "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+            )
+            .unwrap(),
+            y: UBig::from_hex(
+                "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+            )
+            .unwrap(),
+            z: UBig::one(),
+        };
+        let two_g = StagedPoint {
+            x: UBig::from_hex(
+                "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+            )
+            .unwrap(),
+            y: UBig::from_hex(
+                "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a",
+            )
+            .unwrap(),
+            z: UBig::one(),
+        };
+        let (sum, stats) = staged_jacobian_add(&mut dev, &g, &two_g).unwrap();
+
+        // Affine 3G (textbook constant), via z-normalisation.
+        use modsram_bigint::{mod_inv, mod_mul};
+        let zinv = mod_inv(&sum.z, &p).unwrap();
+        let zinv2 = mod_mul(&zinv, &zinv, &p);
+        let x_aff = mod_mul(&sum.x, &zinv2, &p);
+        assert_eq!(
+            x_aff.to_hex(),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+        );
+
+        // 16 in-SRAM multiplications, peak footprint within the §5.2
+        // point-addition budget.
+        assert_eq!(stats.multiplications, 16);
+        assert!(stats.peak_slots <= 16, "peak {}", stats.peak_slots);
+        assert!(stats.mul_cycles >= 16 * 761);
+    }
+
+    #[test]
+    fn staged_double_matches_known_2g() {
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let mut dev = device(256, &p);
+        let g = StagedPoint {
+            x: UBig::from_hex(
+                "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+            )
+            .unwrap(),
+            y: UBig::from_hex(
+                "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+            )
+            .unwrap(),
+            z: UBig::one(),
+        };
+        let (two_g, stats) = staged_jacobian_double(&mut dev, &g).unwrap();
+        use modsram_bigint::{mod_inv, mod_mul};
+        let zinv = mod_inv(&two_g.z, &p).unwrap();
+        let zinv2 = mod_mul(&zinv, &zinv, &p);
+        assert_eq!(
+            mod_mul(&two_g.x, &zinv2, &p).to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert_eq!(stats.multiplications, 7); // 3M + 4S with a = 0
+    }
+
+    #[test]
+    fn staged_double_of_infinity() {
+        let p = UBig::from(97u64);
+        let mut dev = device(7, &p);
+        let inf = StagedPoint {
+            x: UBig::one(),
+            y: UBig::one(),
+            z: UBig::zero(),
+        };
+        let (out, stats) = staged_jacobian_double(&mut dev, &inf).unwrap();
+        assert!(out.z.is_zero());
+        assert_eq!(stats.multiplications, 0);
+    }
+
+    #[test]
+    fn no_modulus_is_rejected() {
+        let mut dev = ModSram::new(ModSramConfig::default()).unwrap();
+        assert!(matches!(
+            ScratchSession::new(&mut dev),
+            Err(CoreError::NoModulus)
+        ));
+    }
+}

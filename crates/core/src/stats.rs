@@ -1,0 +1,95 @@
+//! Execution statistics for accelerator runs.
+
+/// Statistics for one in-SRAM modular multiplication.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Controller cycles for the multiplication proper (the paper's
+    /// Table 3 number: `6k − 1`, 767 at 256 bits).
+    pub cycles: u64,
+    /// Radix-4 loop iterations (`k`).
+    pub iterations: u64,
+    /// Multi-row logic activations issued.
+    pub activations: u64,
+    /// SRAM row writes issued (write-backs + operand loads).
+    pub row_writes: u64,
+    /// SRAM row reads issued (multiplier fetch etc.).
+    pub row_reads: u64,
+    /// Near-memory flip-flop loads during the run (Figure 7 metric).
+    pub register_writes: u64,
+    /// Energy accumulated by the array model, picojoules.
+    pub energy_pj: f64,
+    /// Largest overflow-LUT index touched during the run.
+    pub max_ov_index: usize,
+    /// Activations that hit an instrumented spill row (overflow weight
+    /// ≥ 8, beyond the paper's Table 2).
+    pub ov_spill_touches: u64,
+    /// Whether the multiplier's MSB forced the extra Booth digit
+    /// (+6 cycles over the paper's `3n − 1`).
+    pub extra_msb_digit: bool,
+    /// Conditional subtractions in the near-memory finisher.
+    pub final_subtractions: u64,
+    /// Cycles charged for the near-memory final add + reduction
+    /// (0 under the default pipelined-finisher assumption).
+    pub final_add_cycles: u64,
+}
+
+impl RunStats {
+    /// Total latency in seconds at clock `freq_mhz`.
+    pub fn latency_us(&self, freq_mhz: f64) -> f64 {
+        (self.cycles + self.final_add_cycles) as f64 / freq_mhz
+    }
+}
+
+/// Statistics for a LUT precomputation (reused across multiplications —
+/// the data-reuse benefit of §3.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrecomputeStats {
+    /// Controller cycles spent.
+    pub cycles: u64,
+    /// SRAM rows written.
+    pub row_writes: u64,
+    /// Near-memory adder operations used to derive the entries.
+    pub nmc_adds: u64,
+}
+
+impl PrecomputeStats {
+    /// Merges another precompute phase into this one.
+    pub fn merge(&mut self, other: &PrecomputeStats) {
+        self.cycles += other.cycles;
+        self.row_writes += other.row_writes;
+        self.nmc_adds += other.nmc_adds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_conversion() {
+        let stats = RunStats {
+            cycles: 767,
+            ..Default::default()
+        };
+        // 767 cycles at 420 MHz ≈ 1.826 µs.
+        let us = stats.latency_us(420.0);
+        assert!((us - 1.826).abs() < 0.01, "{us}");
+    }
+
+    #[test]
+    fn precompute_merge() {
+        let mut a = PrecomputeStats {
+            cycles: 10,
+            row_writes: 5,
+            nmc_adds: 3,
+        };
+        a.merge(&PrecomputeStats {
+            cycles: 1,
+            row_writes: 2,
+            nmc_adds: 4,
+        });
+        assert_eq!(a.cycles, 11);
+        assert_eq!(a.row_writes, 7);
+        assert_eq!(a.nmc_adds, 7);
+    }
+}

@@ -1,0 +1,62 @@
+//! Dataflow snapshots for the Figure 3 illustration.
+
+use modsram_bigint::UBig;
+
+/// Which half of the iteration a snapshot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Multiplier fetch into the near-memory FF.
+    Fetch,
+    /// Radix-4 LUT carry-save phase (Alg. 3 lines 7–9).
+    Radix4,
+    /// Overflow LUT carry-save phase (Alg. 3 lines 10–12).
+    Overflow,
+    /// Near-memory final addition and reduction (line 14).
+    Finalize,
+}
+
+/// One per-cycle snapshot of the architectural state, captured when
+/// tracing is enabled.
+#[derive(Debug, Clone)]
+pub struct DataflowSnapshot {
+    /// Controller cycle (1-based).
+    pub cycle: u64,
+    /// Loop iteration (1-based; 0 for fetch/finalize).
+    pub iteration: u64,
+    /// Phase within the iteration.
+    pub phase: Phase,
+    /// Human-readable description of the micro-op executed this cycle.
+    pub micro_op: String,
+    /// Wordlines involved.
+    pub rows: Vec<usize>,
+    /// Full sum value (SRAM row + MSB flip-flop).
+    pub sum: UBig,
+    /// Full carry value (SRAM row + MSB flip-flop).
+    pub carry: UBig,
+    /// Overflow FFs `(ov_sum, ov_carry, pending)`.
+    pub ov_ffs: (u8, u8, u8),
+}
+
+impl DataflowSnapshot {
+    /// Renders the snapshot as one fixed-width trace line (binary values
+    /// of `width` bits), in the spirit of Figure 3.
+    pub fn render(&self, width: usize) -> String {
+        format!(
+            "cyc {:>4} it {:>3} {:<8} sum:{} carry:{} ov:({},{},{})  {}",
+            self.cycle,
+            self.iteration,
+            match self.phase {
+                Phase::Fetch => "fetch",
+                Phase::Radix4 => "radix4",
+                Phase::Overflow => "overflow",
+                Phase::Finalize => "finalize",
+            },
+            self.sum.to_bin(width),
+            self.carry.to_bin(width),
+            self.ov_ffs.0,
+            self.ov_ffs.1,
+            self.ov_ffs.2,
+            self.micro_op,
+        )
+    }
+}

@@ -1,0 +1,379 @@
+//! Integration tests for the cycle-accurate ModSRAM device.
+
+use modsram_bigint::{ubig_below, UBig};
+use modsram_core::{CoreError, MemoryMap, ModSram, ModSramConfig};
+use modsram_modmul::{CycleModel, ModMulEngine, TimingPolicy};
+use modsram_sram::{CellKind, StuckAt};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn secp_p() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
+}
+
+fn bn254_p() -> UBig {
+    UBig::from_dec(
+        "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+    )
+    .unwrap()
+}
+
+#[test]
+fn exhaustive_small_moduli_in_sram() {
+    for p in 2u64..=16 {
+        let pp = UBig::from(p);
+        let mut dev = ModSram::for_modulus(&pp).unwrap();
+        for b in 0..p {
+            dev.load_multiplicand(&UBig::from(b)).unwrap();
+            for a in 0..p {
+                let (c, _) = dev.mod_mul_loaded(&UBig::from(a)).unwrap();
+                assert_eq!(c, UBig::from(a * b % p), "a={a} b={b} p={p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_figure3_example_on_device() {
+    let p = UBig::from(0b11000u64);
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let (c, stats) = dev
+        .mod_mul(&UBig::from(0b10101u64), &UBig::from(0b10010u64))
+        .unwrap();
+    assert_eq!(c, UBig::from(18u64));
+    // n = 5 -> k = 3 digits -> 6*3 - 1 = 17 cycles.
+    assert_eq!(stats.cycles, 17);
+    assert_eq!(stats.iterations, 3);
+}
+
+#[test]
+fn paper_headline_767_cycles_at_256_bits() {
+    // A 256-bit modulus with an MSB-clear multiplier reproduces the
+    // Table 3 cycle count exactly.
+    let p = secp_p();
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let a = &UBig::pow2(255) - &UBig::one(); // 255 bits: MSB of the 256-bit window clear
+    let b = &UBig::pow2(200) + &UBig::from(12345u64);
+    let (c, stats) = dev.mod_mul(&a, &b).unwrap();
+    assert_eq!(c, &(&a * &b) % &p);
+    assert_eq!(stats.iterations, 128);
+    assert_eq!(stats.cycles, 767, "the Table 3 headline");
+    assert!(!stats.extra_msb_digit);
+
+    // Multiplier with bit 255 set: one extra Booth digit, +6 cycles.
+    let a2 = &p - &UBig::one();
+    let (c2, stats2) = dev.mod_mul(&a2, &b).unwrap();
+    assert_eq!(c2, &(&a2 * &b) % &p);
+    assert_eq!(stats2.cycles, 773);
+    assert!(stats2.extra_msb_digit);
+}
+
+#[test]
+fn cycle_model_matches_measurement() {
+    let p = UBig::from(0xffff_fffb_u64);
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let (_, stats) = dev
+        .mod_mul(&UBig::from(0x7fff_0001u64), &UBig::from(0x1234_5678u64))
+        .unwrap();
+    assert_eq!(stats.cycles, dev.cycles(32));
+}
+
+#[test]
+fn random_256bit_sweep_verified() {
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    for _ in 0..10 {
+        let a = ubig_below(&mut rng, &p);
+        let b = ubig_below(&mut rng, &p);
+        let (c, stats) = dev.mod_mul(&a, &b).unwrap();
+        assert_eq!(c, &(&a * &b) % &p);
+        assert!(stats.cycles == 767 || stats.cycles == 773);
+        assert!(stats.max_ov_index < 16);
+    }
+}
+
+#[test]
+fn bn254_cycle_counts() {
+    // BN254 is a 254-bit prime; ⌈254/2⌉ = 127 digits gives 761 cycles,
+    // or 767 when the multiplier's own bit 253 is set (extra Booth
+    // digit) — which happens for roughly half of all a < p.
+    let p = bn254_p();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    for _ in 0..5 {
+        let a = ubig_below(&mut rng, &p);
+        let b = ubig_below(&mut rng, &p);
+        let (c, stats) = dev.mod_mul(&a, &b).unwrap();
+        assert_eq!(c, &(&a * &b) % &p);
+        let expect = if a.bit(253) { 767 } else { 761 };
+        assert_eq!(stats.cycles, expect);
+    }
+    // An MSB-clear multiplier always hits 3n − 1 = 761.
+    let a = &UBig::pow2(253) - &UBig::one();
+    let b = UBig::from(12345u64);
+    let (_, stats) = dev.mod_mul(&a, &b).unwrap();
+    assert_eq!(stats.cycles, 761);
+}
+
+#[test]
+fn lut_reuse_avoids_precompute() {
+    let p = UBig::from(1_000_003u64);
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let b = UBig::from(999_999u64);
+    dev.mod_mul(&UBig::from(5u64), &b).unwrap();
+    let pre_after_first = dev.precompute_total.clone();
+    // Same multiplicand: no new precompute work.
+    dev.mod_mul(&UBig::from(6u64), &b).unwrap();
+    assert_eq!(dev.precompute_total, pre_after_first);
+    // New multiplicand: the radix-4 LUT is rebuilt.
+    dev.mod_mul(&UBig::from(6u64), &UBig::from(7u64)).unwrap();
+    assert!(dev.precompute_total.row_writes > pre_after_first.row_writes);
+}
+
+#[test]
+fn engine_trait_entry_point() {
+    let mut dev = ModSram::new(ModSramConfig::default()).unwrap();
+    let p = UBig::from(97u64);
+    let c = ModMulEngine::mod_mul(&mut dev, &UBig::from(55u64), &UBig::from(44u64), &p).unwrap();
+    assert_eq!(c, UBig::from(55u64 * 44 % 97));
+    assert_eq!(dev.name(), "modsram");
+}
+
+#[test]
+fn constant_time_policy_uniform_cycles() {
+    let p = UBig::from(0xffffu64);
+    let config = ModSramConfig {
+        n_bits: 16,
+        policy: TimingPolicy::ConstantTime,
+        ..Default::default()
+    };
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&p).unwrap();
+    let mut cycles = std::collections::HashSet::new();
+    for a in [0u64, 1, 0x8001, 0xfffe] {
+        let (_, stats) = dev.mod_mul(&UBig::from(a), &UBig::from(0x1234u64)).unwrap();
+        cycles.insert(stats.cycles);
+    }
+    assert_eq!(cycles.len(), 1, "constant-time must not leak |a|: {cycles:?}");
+}
+
+#[test]
+fn stats_account_memory_traffic() {
+    let p = UBig::from(1_000_003u64); // 20 bits -> k = 10
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let (_, stats) = dev.mod_mul(&UBig::from(999u64), &UBig::from(998u64)).unwrap();
+    // Two activations per iteration.
+    assert_eq!(stats.activations, 2 * stats.iterations);
+    // Writes: operand A + per-iteration write-backs (4 per iter, minus 2
+    // elided in iteration 1).
+    assert_eq!(stats.row_writes, 1 + 4 * stats.iterations - 2);
+    assert_eq!(stats.row_reads, 1); // the multiplier fetch
+    assert!(stats.register_writes > 0);
+    assert!(stats.energy_pj > 0.0);
+}
+
+#[test]
+fn trace_captures_every_cycle() {
+    let p = UBig::from(0b11000u64);
+    let config = ModSramConfig {
+        n_bits: 5,
+        trace: true,
+        ..Default::default()
+    };
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&p).unwrap();
+    let (_, stats) = dev
+        .mod_mul(&UBig::from(0b10101u64), &UBig::from(0b10010u64))
+        .unwrap();
+    // One snapshot per cycle plus the finalize marker.
+    assert_eq!(dev.last_trace.len() as u64, stats.cycles + 1);
+    let rendered = dev.last_trace[0].render(6);
+    assert!(rendered.contains("fetch"));
+}
+
+#[test]
+fn fault_injection_is_detected_by_verification() {
+    // A stuck-at fault on the sum row corrupts the computation; the
+    // lock-step verifier must catch it rather than return a wrong value.
+    let mut config = ModSramConfig {
+        n_bits: 24,
+        ..Default::default()
+    };
+    config.fault.stuck_at.push(StuckAt {
+        row: MemoryMap::SUM,
+        col: 3,
+        value: true,
+    });
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&UBig::from(16_000_057u64)).unwrap();
+    let err = dev
+        .mod_mul(&UBig::from(12_345_678u64), &UBig::from(9_876_543u64))
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::ModelDivergence { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn six_t_cells_with_disturb_corrupt_the_run() {
+    // The §4.2 argument for 8T cells: with 6T cells and read disturb,
+    // multi-row activation destroys the LUT rows mid-run.
+    let mut config = ModSramConfig {
+        n_bits: 24,
+        cell: CellKind::SixT,
+        ..Default::default()
+    };
+    config.fault.disturb_per_cell = 0.05;
+    config.fault.seed = 3;
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&UBig::from(16_000_057u64)).unwrap();
+    let result = dev.mod_mul(&UBig::from(12_345_678u64), &UBig::from(9_876_543u64));
+    assert!(
+        matches!(result, Err(CoreError::ModelDivergence { .. })),
+        "6T + disturb should diverge, got {result:?}"
+    );
+    assert!(dev.array().stats().disturb_flips > 0);
+}
+
+#[test]
+fn eight_t_cells_ignore_disturb_knob() {
+    let mut config = ModSramConfig {
+        n_bits: 24,
+        cell: CellKind::EightT,
+        ..Default::default()
+    };
+    config.fault.disturb_per_cell = 0.05;
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&UBig::from(16_000_057u64)).unwrap();
+    let (c, _) = dev
+        .mod_mul(&UBig::from(12_345_678u64), &UBig::from(9_876_543u64))
+        .unwrap();
+    assert_eq!(
+        c,
+        &(&UBig::from(12_345_678u64) * &UBig::from(9_876_543u64)) % &UBig::from(16_000_057u64)
+    );
+    assert_eq!(dev.array().stats().disturb_flips, 0);
+}
+
+#[test]
+fn error_paths() {
+    let mut dev = ModSram::new(ModSramConfig::default()).unwrap();
+    assert!(matches!(
+        dev.mod_mul(&UBig::one(), &UBig::one()),
+        Err(CoreError::NoModulus)
+    ));
+    assert!(matches!(
+        dev.mod_mul_loaded(&UBig::one()),
+        Err(CoreError::NoModulus)
+    ));
+    // Modulus wider than the array.
+    let too_wide = UBig::pow2(300);
+    assert!(matches!(
+        dev.load_modulus(&too_wide),
+        Err(CoreError::OperandTooWide { .. })
+    ));
+    // Too few rows.
+    let bad = ModSramConfig {
+        rows: 8,
+        ..Default::default()
+    };
+    assert!(matches!(
+        ModSram::new(bad),
+        Err(CoreError::NotEnoughRows { .. })
+    ));
+}
+
+#[test]
+fn memory_map_budget_matches_paper() {
+    let dev = ModSram::new(ModSramConfig::default()).unwrap();
+    assert_eq!(MemoryMap::lut_rows_paper(), 13); // §5.2
+    assert_eq!(dev.memory_map().rows(), 64);
+    assert_eq!(dev.memory_map().cols(), 256);
+    assert!(dev.memory_map().point_add_working_set().fits());
+}
+
+#[test]
+fn charge_final_add_adds_cycles() {
+    let p = UBig::from(1_000_003u64);
+    let config = ModSramConfig {
+        n_bits: 20,
+        charge_final_add: true,
+        ..Default::default()
+    };
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&p).unwrap();
+    let (_, stats) = dev.mod_mul(&UBig::from(999u64), &UBig::from(998u64)).unwrap();
+    assert!(stats.final_add_cycles >= 2);
+}
+
+#[test]
+fn unverified_mode_matches_verified() {
+    let p = UBig::from(0xffff_fffb_u64);
+    let a = UBig::from(0xdead_beefu64);
+    let b = UBig::from(0x1234_5678u64);
+    let mut verified = ModSram::for_modulus(&p).unwrap();
+    let mut unverified = ModSram::new(ModSramConfig {
+        n_bits: 32,
+        verify: false,
+        ..Default::default()
+    })
+    .unwrap();
+    unverified.load_modulus(&p).unwrap();
+    let (c1, s1) = verified.mod_mul(&a, &b).unwrap();
+    let (c2, s2) = unverified.mod_mul(&a, &b).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(s1.cycles, s2.cycles);
+}
+
+#[test]
+fn isa_executor_matches_fsm_at_256_bits() {
+    use modsram_core::{Executor, Program};
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(77);
+    for trial in 0..5 {
+        let a = ubig_below(&mut rng, &p);
+        let b = ubig_below(&mut rng, &p);
+
+        let mut fsm = ModSram::for_modulus(&p).unwrap();
+        let (c_fsm, s_fsm) = fsm.mod_mul(&a, &b).unwrap();
+
+        let mut isa = ModSram::for_modulus(&p).unwrap();
+        isa.load_multiplicand(&b).unwrap();
+        let mut exec = Executor::new();
+        let (c_isa, s_isa) = exec.run_mod_mul(&mut isa, &a).unwrap();
+
+        assert_eq!(c_isa, c_fsm, "trial {trial}");
+        assert_eq!(s_isa.cycles, s_fsm.cycles, "trial {trial}");
+        assert_eq!(s_isa.register_writes, s_fsm.register_writes, "trial {trial}");
+        assert_eq!(s_isa.activations, s_fsm.activations, "trial {trial}");
+        assert_eq!(s_isa.row_reads, s_fsm.row_reads, "trial {trial}");
+        assert_eq!(s_isa.row_writes, s_fsm.row_writes, "trial {trial}");
+
+        // The generated program is the paper's schedule.
+        let program = exec.last_program().unwrap();
+        assert_eq!(program.cycles(), s_isa.cycles);
+        let reparsed = Program::parse(&program.to_text()).unwrap();
+        assert_eq!(&reparsed, program);
+    }
+}
+
+#[test]
+fn isa_constant_time_policy_pads_to_767() {
+    use modsram_core::Executor;
+    let p = secp_p();
+    let config = ModSramConfig {
+        n_bits: 256,
+        policy: TimingPolicy::ConstantTime,
+        ..Default::default()
+    };
+    let mut dev = ModSram::new(config).unwrap();
+    dev.load_modulus(&p).unwrap();
+    dev.load_multiplicand(&UBig::from(3u64)).unwrap();
+    // A tiny multiplier still takes the full constant-time schedule:
+    // ⌈257/2⌉ = 129 digits → 6·129 − 1 = 773 cycles.
+    let (c, stats) = Executor::new().run_mod_mul(&mut dev, &UBig::from(2u64)).unwrap();
+    assert_eq!(c, UBig::from(6u64));
+    assert_eq!(stats.cycles, 6 * 129 - 1);
+}

@@ -1,0 +1,172 @@
+//! Fixed-base comb scalar multiplication.
+//!
+//! When the base point is known in advance (`G` in signing, the Pedersen
+//! bases in commitments), a one-time table of `2^w − 1` combined points
+//! reduces every subsequent `k·P` to `⌈λ/w⌉` doublings and at most the
+//! same number of additions — w× fewer doublings than double-and-add.
+//! This is the precompute-and-reuse philosophy of the paper's LUTs
+//! applied at the point level.
+
+use modsram_bigint::UBig;
+
+use crate::curve::{Curve, Jacobian};
+use crate::field::FieldCtx;
+
+/// A comb table for one fixed base point.
+#[derive(Debug)]
+pub struct CombTable<C: FieldCtx> {
+    /// `table[m − 1] = Σ_{j: bit j of m set} 2^(j·d)·P` for m in 1..2^w.
+    table: Vec<Jacobian<C::El>>,
+    /// Comb width (teeth).
+    width: usize,
+    /// Distance between teeth: `⌈λ/w⌉`.
+    spacing: usize,
+}
+
+impl<C: FieldCtx> CombTable<C> {
+    /// Builds a `width`-tooth comb for scalars up to `max_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8 (table sizes beyond
+    /// 2⁸ − 1 points are never worth it at 256-bit scalars).
+    pub fn new(curve: &Curve<C>, base: &Jacobian<C::El>, width: usize, max_bits: usize) -> Self {
+        assert!((1..=8).contains(&width), "comb width must be 1..=8");
+        let spacing = max_bits.div_ceil(width).max(1);
+        // strides[j] = 2^(j·spacing) · P.
+        let mut strides = Vec::with_capacity(width);
+        let mut cur = base.clone();
+        for j in 0..width {
+            if j > 0 {
+                for _ in 0..spacing {
+                    cur = curve.double(&cur);
+                }
+            }
+            strides.push(cur.clone());
+        }
+        // All 2^width − 1 subset sums.
+        let mut table: Vec<Jacobian<C::El>> = Vec::with_capacity((1 << width) - 1);
+        for m in 1usize..(1 << width) {
+            let lowest = m.trailing_zeros() as usize;
+            let rest = m & (m - 1);
+            let point = if rest == 0 {
+                strides[lowest].clone()
+            } else {
+                curve.add(&table[rest - 1], &strides[lowest])
+            };
+            table.push(point);
+        }
+        CombTable {
+            table,
+            width,
+            spacing,
+        }
+    }
+
+    /// Table size in points (the precompute-memory cost).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Computes `k·P` using the comb: `spacing` iterations of one
+    /// doubling plus at most one table addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has more bits than the table was built for.
+    pub fn mul(&self, curve: &Curve<C>, k: &UBig) -> Jacobian<C::El> {
+        assert!(
+            k.bit_len() <= self.width * self.spacing,
+            "scalar has {} bits, comb covers {}",
+            k.bit_len(),
+            self.width * self.spacing
+        );
+        let mut acc = curve.identity();
+        for i in (0..self.spacing).rev() {
+            acc = curve.double(&acc);
+            let mut m = 0usize;
+            for j in 0..self.width {
+                if k.bit(j * self.spacing + i) {
+                    m |= 1 << j;
+                }
+            }
+            if m != 0 {
+                acc = curve.add(&acc, &self.table[m - 1]);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::secp256k1_fast;
+    use crate::field::Fp256Ctx;
+    use crate::scalar::mul_scalar;
+
+    fn tiny() -> Curve<Fp256Ctx> {
+        Curve::new(
+            Fp256Ctx::new(&UBig::from(43u64)),
+            &UBig::zero(),
+            &UBig::from(7u64),
+            &UBig::from(2u64),
+            &UBig::from(12u64),
+            &UBig::from(31u64),
+            "tiny43",
+        )
+    }
+
+    #[test]
+    fn comb_matches_double_and_add_exhaustively() {
+        let c = tiny();
+        let g = c.generator();
+        for width in 1..=4usize {
+            let comb = CombTable::new(&c, &g, width, 6);
+            for k in 0u64..=33 {
+                let want = mul_scalar(&c, &g, &UBig::from(k));
+                let got = comb.mul(&c, &UBig::from(k));
+                assert!(c.points_equal(&got, &want), "w={width} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn comb_on_secp256k1() {
+        let c = secp256k1_fast();
+        let g = c.generator();
+        let comb = CombTable::new(&c, &g, 4, 256);
+        assert_eq!(comb.table_len(), 15);
+        let k = UBig::from_hex("deadbeef0123456789abcdefdeadbeef0123456789abcdef").unwrap();
+        let want = mul_scalar(&c, &g, &k);
+        assert!(c.points_equal(&comb.mul(&c, &k), &want));
+        // Order annihilates through the comb too.
+        assert!(c.is_identity(&comb.mul(&c, c.order())));
+    }
+
+    #[test]
+    fn comb_uses_fewer_multiplications() {
+        let c = secp256k1_fast();
+        let g = c.generator();
+        let comb = CombTable::new(&c, &g, 4, 256);
+        let k = &UBig::pow2(255) - &UBig::from(19u64);
+        c.ctx().reset_counts();
+        mul_scalar(&c, &g, &k);
+        let plain = c.ctx().counts().mul;
+        c.ctx().reset_counts();
+        comb.mul(&c, &k);
+        let combed = c.ctx().counts().mul;
+        assert!(
+            (combed as f64) < 0.45 * plain as f64,
+            "comb {combed} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "comb width")]
+    fn zero_width_rejected() {
+        let c = tiny();
+        let g = c.generator();
+        let _ = CombTable::new(&c, &g, 0, 5);
+    }
+}

@@ -1,0 +1,536 @@
+//! Short-Weierstrass curves and point arithmetic.
+//!
+//! Points use Jacobian projective coordinates internally
+//! (`x = X/Z², y = Y/Z³`) so the inner loops of scalar multiplication
+//! and MSM contain only the modular multiplications the paper
+//! accelerates — one inversion at the very end converts back to affine.
+
+use modsram_bigint::UBig;
+
+use crate::field::FieldCtx;
+
+/// An affine point, or the point at infinity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine<E> {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: E,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: E,
+    /// Point-at-infinity flag.
+    pub infinity: bool,
+}
+
+/// A Jacobian-coordinate point (`Z = 0` encodes infinity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jacobian<E> {
+    /// X coordinate.
+    pub x: E,
+    /// Y coordinate.
+    pub y: E,
+    /// Z coordinate.
+    pub z: E,
+}
+
+/// A short-Weierstrass curve `y² = x³ + a·x + b` over a prime field.
+#[derive(Debug)]
+pub struct Curve<C: FieldCtx> {
+    ctx: C,
+    a: C::El,
+    b: C::El,
+    a_is_zero: bool,
+    name: &'static str,
+    order: UBig,
+    gen: Affine<C::El>,
+}
+
+impl<C: FieldCtx> Curve<C> {
+    /// Defines a curve. `gen` must be an on-curve point of the given
+    /// prime `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator fails the curve equation.
+    pub fn new(
+        ctx: C,
+        a: &UBig,
+        b: &UBig,
+        gen_x: &UBig,
+        gen_y: &UBig,
+        order: &UBig,
+        name: &'static str,
+    ) -> Self {
+        let a_el = ctx.from_ubig(a);
+        let b_el = ctx.from_ubig(b);
+        let gen = Affine {
+            x: ctx.from_ubig(gen_x),
+            y: ctx.from_ubig(gen_y),
+            infinity: false,
+        };
+        let curve = Curve {
+            a_is_zero: ctx.is_zero(&a_el),
+            a: a_el,
+            b: b_el,
+            ctx,
+            name,
+            order: order.clone(),
+            gen,
+        };
+        assert!(curve.is_on_curve(&curve.gen), "generator not on {name}");
+        curve
+    }
+
+    /// The field context (for counter access).
+    pub fn ctx(&self) -> &C {
+        &self.ctx
+    }
+
+    /// Curve name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The (prime) group order.
+    pub fn order(&self) -> &UBig {
+        &self.order
+    }
+
+    /// The standard generator, as a Jacobian point.
+    pub fn generator(&self) -> Jacobian<C::El> {
+        self.from_affine(&self.gen)
+    }
+
+    /// The standard generator, affine.
+    pub fn generator_affine(&self) -> Affine<C::El> {
+        self.gen.clone()
+    }
+
+    /// The identity (point at infinity).
+    pub fn identity(&self) -> Jacobian<C::El> {
+        Jacobian {
+            x: self.ctx.one(),
+            y: self.ctx.one(),
+            z: self.ctx.zero(),
+        }
+    }
+
+    /// `true` iff the Jacobian point is the identity.
+    pub fn is_identity(&self, p: &Jacobian<C::El>) -> bool {
+        self.ctx.is_zero(&p.z)
+    }
+
+    /// Checks the affine curve equation (infinity counts as on-curve).
+    pub fn is_on_curve(&self, p: &Affine<C::El>) -> bool {
+        if p.infinity {
+            return true;
+        }
+        let ctx = &self.ctx;
+        let y2 = ctx.square(&p.y);
+        let x3 = ctx.mul(&ctx.square(&p.x), &p.x);
+        let rhs = ctx.add(&ctx.add(&x3, &ctx.mul(&self.a, &p.x)), &self.b);
+        y2 == rhs
+    }
+
+    /// Lifts an affine point to Jacobian coordinates.
+    pub fn from_affine(&self, p: &Affine<C::El>) -> Jacobian<C::El> {
+        if p.infinity {
+            return self.identity();
+        }
+        Jacobian {
+            x: p.x.clone(),
+            y: p.y.clone(),
+            z: self.ctx.one(),
+        }
+    }
+
+    /// Converts back to affine (one field inversion).
+    pub fn to_affine(&self, p: &Jacobian<C::El>) -> Affine<C::El> {
+        if self.is_identity(p) {
+            return Affine {
+                x: self.ctx.zero(),
+                y: self.ctx.zero(),
+                infinity: true,
+            };
+        }
+        let ctx = &self.ctx;
+        let zinv = ctx.inv(&p.z).expect("non-identity point has z != 0");
+        let zinv2 = ctx.square(&zinv);
+        let zinv3 = ctx.mul(&zinv2, &zinv);
+        Affine {
+            x: ctx.mul(&p.x, &zinv2),
+            y: ctx.mul(&p.y, &zinv3),
+            infinity: false,
+        }
+    }
+
+    /// Converts a whole batch to affine with a **single** field
+    /// inversion via Montgomery's trick
+    /// ([`crate::field::batch_inv`]) — `3(n−1) + 5n` multiplications
+    /// instead of `n` inversions. This is how MSM bucket sums and
+    /// precomputed tables are normalised in practice; identity points
+    /// pass through as the affine point at infinity.
+    pub fn batch_to_affine(&self, points: &[Jacobian<C::El>]) -> Vec<Affine<C::El>> {
+        let ctx = &self.ctx;
+        // Substitute 1 for identity z's so the batch inversion never
+        // sees a zero; the placeholder inverses are discarded.
+        let zs: Vec<C::El> = points
+            .iter()
+            .map(|p| {
+                if self.is_identity(p) {
+                    ctx.one()
+                } else {
+                    p.z.clone()
+                }
+            })
+            .collect();
+        let zinvs = crate::field::batch_inv(ctx, &zs)
+            .expect("all z values are non-zero by construction");
+        points
+            .iter()
+            .zip(&zinvs)
+            .map(|(p, zinv)| {
+                if self.is_identity(p) {
+                    Affine {
+                        x: ctx.zero(),
+                        y: ctx.zero(),
+                        infinity: true,
+                    }
+                } else {
+                    let zinv2 = ctx.square(zinv);
+                    let zinv3 = ctx.mul(&zinv2, zinv);
+                    Affine {
+                        x: ctx.mul(&p.x, &zinv2),
+                        y: ctx.mul(&p.y, &zinv3),
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Point doubling (Jacobian): 4M + 6S with general `a`, one squaring
+    /// fewer when `a = 0` (both of the paper's curves).
+    pub fn double(&self, p: &Jacobian<C::El>) -> Jacobian<C::El> {
+        let ctx = &self.ctx;
+        if self.is_identity(p) || ctx.is_zero(&p.y) {
+            return self.identity();
+        }
+        let y2 = ctx.square(&p.y);
+        let s = ctx.mul_small(&ctx.mul(&p.x, &y2), 4);
+        let m = if self.a_is_zero {
+            ctx.mul_small(&ctx.square(&p.x), 3)
+        } else {
+            let z2 = ctx.square(&p.z);
+            ctx.add(
+                &ctx.mul_small(&ctx.square(&p.x), 3),
+                &ctx.mul(&self.a, &ctx.square(&z2)),
+            )
+        };
+        let x3 = ctx.sub(&ctx.square(&m), &ctx.double(&s));
+        let y3 = ctx.sub(
+            &ctx.mul(&m, &ctx.sub(&s, &x3)),
+            &ctx.mul_small(&ctx.square(&y2), 8),
+        );
+        let z3 = ctx.mul(&ctx.double(&p.y), &p.z);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian + Jacobian addition (12M + 4S).
+    pub fn add(&self, p: &Jacobian<C::El>, q: &Jacobian<C::El>) -> Jacobian<C::El> {
+        let ctx = &self.ctx;
+        if self.is_identity(p) {
+            return q.clone();
+        }
+        if self.is_identity(q) {
+            return p.clone();
+        }
+        let z1z1 = ctx.square(&p.z);
+        let z2z2 = ctx.square(&q.z);
+        let u1 = ctx.mul(&p.x, &z2z2);
+        let u2 = ctx.mul(&q.x, &z1z1);
+        let s1 = ctx.mul(&ctx.mul(&p.y, &z2z2), &q.z);
+        let s2 = ctx.mul(&ctx.mul(&q.y, &z1z1), &p.z);
+        let h = ctx.sub(&u2, &u1);
+        let r = ctx.sub(&s2, &s1);
+        if ctx.is_zero(&h) {
+            return if ctx.is_zero(&r) {
+                self.double(p)
+            } else {
+                self.identity()
+            };
+        }
+        let h2 = ctx.square(&h);
+        let h3 = ctx.mul(&h2, &h);
+        let u1h2 = ctx.mul(&u1, &h2);
+        let x3 = ctx.sub(&ctx.sub(&ctx.square(&r), &h3), &ctx.double(&u1h2));
+        let y3 = ctx.sub(&ctx.mul(&r, &ctx.sub(&u1h2, &x3)), &ctx.mul(&s1, &h3));
+        let z3 = ctx.mul(&ctx.mul(&p.z, &q.z), &h);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition of a Jacobian and an affine point (8M + 3S): the
+    /// workhorse of MSM bucket accumulation, as in PipeZK.
+    pub fn add_mixed(&self, p: &Jacobian<C::El>, q: &Affine<C::El>) -> Jacobian<C::El> {
+        let ctx = &self.ctx;
+        if q.infinity {
+            return p.clone();
+        }
+        if self.is_identity(p) {
+            return self.from_affine(q);
+        }
+        let z1z1 = ctx.square(&p.z);
+        let u2 = ctx.mul(&q.x, &z1z1);
+        let s2 = ctx.mul(&ctx.mul(&q.y, &z1z1), &p.z);
+        let h = ctx.sub(&u2, &p.x);
+        let r = ctx.sub(&s2, &p.y);
+        if ctx.is_zero(&h) {
+            return if ctx.is_zero(&r) {
+                self.double(p)
+            } else {
+                self.identity()
+            };
+        }
+        let h2 = ctx.square(&h);
+        let h3 = ctx.mul(&h2, &h);
+        let u1h2 = ctx.mul(&p.x, &h2);
+        let x3 = ctx.sub(&ctx.sub(&ctx.square(&r), &h3), &ctx.double(&u1h2));
+        let y3 = ctx.sub(&ctx.mul(&r, &ctx.sub(&u1h2, &x3)), &ctx.mul(&p.y, &h3));
+        let z3 = ctx.mul(&p.z, &h);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negates a point.
+    pub fn neg(&self, p: &Jacobian<C::El>) -> Jacobian<C::El> {
+        Jacobian {
+            x: p.x.clone(),
+            y: self.ctx.neg(&p.y),
+            z: p.z.clone(),
+        }
+    }
+
+    /// Compresses an affine point to `(x, y_is_odd)` — the SEC1
+    /// compressed form's content. Returns `None` for infinity.
+    pub fn compress(&self, p: &Affine<C::El>) -> Option<(UBig, bool)> {
+        if p.infinity {
+            return None;
+        }
+        let y = self.ctx.to_ubig(&p.y);
+        Some((self.ctx.to_ubig(&p.x), y.bit(0)))
+    }
+
+    /// Decompresses `(x, y_is_odd)` back to an affine point by solving
+    /// `y² = x³ + a·x + b` with a modular square root. Returns `None`
+    /// when `x` is not on the curve.
+    pub fn decompress(&self, x: &UBig, y_is_odd: bool) -> Option<Affine<C::El>> {
+        let ctx = &self.ctx;
+        let xe = ctx.from_ubig(x);
+        let rhs = ctx.add(&ctx.add(&ctx.mul(&ctx.square(&xe), &xe), &ctx.mul(&self.a, &xe)), &self.b);
+        let y = modsram_bigint::mod_sqrt(&ctx.to_ubig(&rhs), ctx.modulus())?;
+        let y = if y.bit(0) == y_is_odd {
+            y
+        } else {
+            ctx.to_ubig(&ctx.neg(&ctx.from_ubig(&y)))
+        };
+        let point = Affine {
+            x: xe,
+            y: ctx.from_ubig(&y),
+            infinity: false,
+        };
+        self.is_on_curve(&point).then_some(point)
+    }
+
+    /// Structural equality via cross-multiplied coordinates (Jacobian
+    /// representations are not unique).
+    pub fn points_equal(&self, p: &Jacobian<C::El>, q: &Jacobian<C::El>) -> bool {
+        match (self.is_identity(p), self.is_identity(q)) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                let ctx = &self.ctx;
+                let pz2 = ctx.square(&p.z);
+                let qz2 = ctx.square(&q.z);
+                if ctx.mul(&p.x, &qz2) != ctx.mul(&q.x, &pz2) {
+                    return false;
+                }
+                let pz3 = ctx.mul(&pz2, &p.z);
+                let qz3 = ctx.mul(&qz2, &q.z);
+                ctx.mul(&p.y, &qz3) == ctx.mul(&q.y, &pz3)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Fp256Ctx;
+
+    /// A tiny curve for exhaustive checks: y² = x³ + 7 over F_43 has
+    /// exactly 31 points (including infinity); (2, 12) generates the
+    /// whole prime-order group. a = 0 like both production curves.
+    fn tiny() -> Curve<Fp256Ctx> {
+        Curve::new(
+            Fp256Ctx::new(&UBig::from(43u64)),
+            &UBig::zero(),
+            &UBig::from(7u64),
+            &UBig::from(2u64),
+            &UBig::from(12u64),
+            &UBig::from(31u64),
+            "tiny43",
+        )
+    }
+
+    #[test]
+    fn batch_to_affine_matches_single_conversion() {
+        let c = tiny();
+        let g = c.generator();
+        // Mix of regular points and identities.
+        let mut points = vec![c.identity()];
+        let mut acc = g.clone();
+        for _ in 0..6 {
+            points.push(acc.clone());
+            acc = c.add(&acc, &g);
+        }
+        points.push(c.identity());
+        let batch = c.batch_to_affine(&points);
+        assert_eq!(batch.len(), points.len());
+        for (p, got) in points.iter().zip(&batch) {
+            let want = c.to_affine(p);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn batch_to_affine_saves_inversions() {
+        let c = tiny();
+        let g = c.generator();
+        let points: Vec<_> = (0..8)
+            .scan(c.generator(), |acc, _| {
+                let out = acc.clone();
+                *acc = c.add(acc, &g);
+                Some(out)
+            })
+            .collect();
+        c.ctx().reset_counts();
+        let _ = c.batch_to_affine(&points);
+        assert_eq!(c.ctx().counts().inv, 1);
+        c.ctx().reset_counts();
+        for p in &points {
+            let _ = c.to_affine(p);
+        }
+        assert_eq!(c.ctx().counts().inv, 8);
+    }
+
+    #[test]
+    fn generator_has_claimed_order() {
+        let c = tiny();
+        let g = c.generator();
+        let mut acc = c.identity();
+        let mut count = 0;
+        loop {
+            acc = c.add(&acc, &g);
+            count += 1;
+            if c.is_identity(&acc) {
+                break;
+            }
+            assert!(count <= 100, "runaway order");
+            let aff = c.to_affine(&acc);
+            assert!(c.is_on_curve(&aff), "k·G off-curve at k={count}");
+        }
+        assert_eq!(UBig::from(count as u64), *c.order());
+    }
+
+    #[test]
+    fn double_matches_add_self_via_chord() {
+        let c = tiny();
+        let g = c.generator();
+        let two_g = c.double(&g);
+        // add(P, P) must detect the doubling case.
+        let two_g2 = c.add(&g, &g.clone());
+        assert!(c.points_equal(&two_g, &two_g2));
+    }
+
+    #[test]
+    fn mixed_add_agrees_with_general_add() {
+        let c = tiny();
+        let g = c.generator();
+        let g3 = c.add(&c.double(&g), &g);
+        let g_aff = c.generator_affine();
+        let via_mixed = c.add_mixed(&g3, &g_aff);
+        let via_general = c.add(&g3, &g);
+        assert!(c.points_equal(&via_mixed, &via_general));
+    }
+
+    #[test]
+    fn identity_laws() {
+        let c = tiny();
+        let g = c.generator();
+        let id = c.identity();
+        assert!(c.points_equal(&c.add(&g, &id), &g));
+        assert!(c.points_equal(&c.add(&id, &g), &g));
+        assert!(c.is_identity(&c.add(&g, &c.neg(&g))));
+        assert!(c.is_identity(&c.double(&id)));
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let c = tiny();
+        let p = c.double(&c.generator());
+        let aff = c.to_affine(&p);
+        assert!(c.points_equal(&c.from_affine(&aff), &p));
+        // Infinity roundtrip.
+        let inf = c.to_affine(&c.identity());
+        assert!(inf.infinity);
+        assert!(c.is_identity(&c.from_affine(&inf)));
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let c = tiny();
+        let mut point = c.generator();
+        for k in 1..=30 {
+            let aff = c.to_affine(&point);
+            let (x, odd) = c.compress(&aff).unwrap();
+            let back = c.decompress(&x, odd).unwrap();
+            assert_eq!(back, aff, "k={k}");
+            // The other parity gives the negated point.
+            let neg = c.decompress(&x, !odd).unwrap();
+            assert!(c.points_equal(
+                &c.from_affine(&neg),
+                &c.neg(&c.from_affine(&aff))
+            ));
+            point = c.add(&point, &c.generator());
+        }
+        assert_eq!(c.compress(&c.to_affine(&c.identity())), None);
+    }
+
+    #[test]
+    fn decompress_rejects_off_curve_x() {
+        let c = tiny();
+        // x = 1: 1 + 7 = 8, which is a non-residue mod 43.
+        assert!(c.decompress(&UBig::one(), false).is_none());
+    }
+
+    #[test]
+    fn addition_commutes_and_associates() {
+        let c = tiny();
+        let g = c.generator();
+        let p = c.double(&g);
+        let q = c.add(&p, &g); // 3G
+        assert!(c.points_equal(&c.add(&p, &q), &c.add(&q, &p)));
+        let lhs = c.add(&c.add(&g, &p), &q);
+        let rhs = c.add(&g, &c.add(&p, &q));
+        assert!(c.points_equal(&lhs, &rhs));
+    }
+}

@@ -1,0 +1,524 @@
+//! Field abstraction with operation counting.
+
+use core::cell::{Cell, RefCell};
+use core::fmt;
+
+use modsram_bigint::{mod_inv, MontCtx256, UBig, U256};
+use modsram_modmul::ModMulEngine;
+
+/// Field-operation counters (the raw data behind Figure 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Full modular multiplications (squarings included).
+    pub mul: u64,
+    /// Modular additions/subtractions/negations/doublings.
+    pub add: u64,
+    /// Modular inversions.
+    pub inv: u64,
+}
+
+impl OpCounts {
+    /// Component-wise sum.
+    pub fn merged(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            mul: self.mul + other.mul,
+            add: self.add + other.add,
+            inv: self.inv + other.inv,
+        }
+    }
+}
+
+/// A prime field with interchangeable arithmetic backends.
+///
+/// Methods take `&self`; implementations use interior mutability for
+/// their counters/caches, so contexts are cheap to share within a
+/// single-threaded workload run.
+pub trait FieldCtx {
+    /// Field-element representation.
+    type El: Clone + PartialEq + fmt::Debug;
+
+    /// The field modulus.
+    fn modulus(&self) -> &UBig;
+    /// Additive identity.
+    fn zero(&self) -> Self::El;
+    /// Multiplicative identity.
+    fn one(&self) -> Self::El;
+    /// Canonicalises an integer into the field.
+    #[allow(clippy::wrong_self_convention)] // ctx method, not a conversion on El
+    fn from_ubig(&self, v: &UBig) -> Self::El;
+    /// The canonical integer value of an element.
+    fn to_ubig(&self, el: &Self::El) -> UBig;
+    /// `a + b`.
+    fn add(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// `a - b`.
+    fn sub(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// `-a`.
+    fn neg(&self, a: &Self::El) -> Self::El;
+    /// `a · b`.
+    fn mul(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// `a⁻¹`, or `None` for zero.
+    fn inv(&self, a: &Self::El) -> Option<Self::El>;
+    /// `true` for the additive identity.
+    fn is_zero(&self, a: &Self::El) -> bool;
+    /// Counter snapshot.
+    fn counts(&self) -> OpCounts;
+    /// Resets the counters.
+    fn reset_counts(&self);
+
+    /// `a²` (counted as a multiplication).
+    fn square(&self, a: &Self::El) -> Self::El {
+        self.mul(a, a)
+    }
+
+    /// `2a`.
+    fn double(&self, a: &Self::El) -> Self::El {
+        self.add(a, a)
+    }
+
+    /// `a · k` for a small constant, via addition chains (keeps the
+    /// multiplication count honest — curve formulas use ×2, ×3, ×4, ×8).
+    fn mul_small(&self, a: &Self::El, k: u64) -> Self::El {
+        match k {
+            0 => self.zero(),
+            1 => a.clone(),
+            2 => self.double(a),
+            3 => self.add(&self.double(a), a),
+            4 => self.double(&self.double(a)),
+            8 => self.double(&self.double(&self.double(a))),
+            _ => {
+                let mut acc = self.zero();
+                for _ in 0..k {
+                    acc = self.add(&acc, a);
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Fast fixed-width backend: 256-bit Montgomery arithmetic
+/// ([`MontCtx256`]). Elements are `U256` values in Montgomery form.
+///
+/// Inversion uses Fermat's little theorem, so the modulus must be prime
+/// (true for every curve field in this workspace).
+pub struct Fp256Ctx {
+    mont: MontCtx256,
+    p: UBig,
+    mul_count: Cell<u64>,
+    add_count: Cell<u64>,
+    inv_count: Cell<u64>,
+}
+
+impl Fp256Ctx {
+    /// Builds the context for odd prime `p < 2²⁵⁶`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even, ≤ 1, or ≥ 2²⁵⁶ (curve moduli are fixed
+    /// constants, so this is a programmer error, not input validation).
+    pub fn new(p: &UBig) -> Self {
+        let mont = MontCtx256::new(p).expect("curve modulus must be a 256-bit odd prime");
+        Fp256Ctx {
+            mont,
+            p: p.clone(),
+            mul_count: Cell::new(0),
+            add_count: Cell::new(0),
+            inv_count: Cell::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for Fp256Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp256Ctx {{ p: {} }}", self.p)
+    }
+}
+
+impl FieldCtx for Fp256Ctx {
+    type El = U256;
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn zero(&self) -> U256 {
+        U256::ZERO
+    }
+
+    fn one(&self) -> U256 {
+        self.mont.one_mont()
+    }
+
+    fn from_ubig(&self, v: &UBig) -> U256 {
+        let canonical = v % &self.p;
+        self.mont
+            .to_mont(&U256::try_from(&canonical).expect("reduced below p"))
+    }
+
+    fn to_ubig(&self, el: &U256) -> UBig {
+        UBig::from(self.mont.from_mont(el))
+    }
+
+    fn add(&self, a: &U256, b: &U256) -> U256 {
+        self.add_count.set(self.add_count.get() + 1);
+        self.mont.add_mod(a, b)
+    }
+
+    fn sub(&self, a: &U256, b: &U256) -> U256 {
+        self.add_count.set(self.add_count.get() + 1);
+        self.mont.sub_mod(a, b)
+    }
+
+    fn neg(&self, a: &U256) -> U256 {
+        self.add_count.set(self.add_count.get() + 1);
+        self.mont.neg_mod(a)
+    }
+
+    fn mul(&self, a: &U256, b: &U256) -> U256 {
+        self.mul_count.set(self.mul_count.get() + 1);
+        self.mont.mont_mul(a, b)
+    }
+
+    fn inv(&self, a: &U256) -> Option<U256> {
+        self.inv_count.set(self.inv_count.get() + 1);
+        self.mont.mont_inv(a)
+    }
+
+    fn is_zero(&self, a: &U256) -> bool {
+        a.is_zero()
+    }
+
+    fn counts(&self) -> OpCounts {
+        OpCounts {
+            mul: self.mul_count.get(),
+            add: self.add_count.get(),
+            inv: self.inv_count.get(),
+        }
+    }
+
+    fn reset_counts(&self) {
+        self.mul_count.set(0);
+        self.add_count.set(0);
+        self.inv_count.set(0);
+    }
+}
+
+/// Engine-pluggable backend: elements are canonical [`UBig`] residues
+/// and every multiplication goes through a boxed
+/// [`ModMulEngine`] — including the cycle-accurate ModSRAM device.
+pub struct DynCtx {
+    p: UBig,
+    engine: RefCell<Box<dyn ModMulEngine>>,
+    mul_count: Cell<u64>,
+    add_count: Cell<u64>,
+    inv_count: Cell<u64>,
+}
+
+impl DynCtx {
+    /// Builds the context over `p` with the given engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or one.
+    pub fn new(p: &UBig, engine: Box<dyn ModMulEngine>) -> Self {
+        assert!(!p.is_zero() && !p.is_one(), "modulus must exceed one");
+        DynCtx {
+            p: p.clone(),
+            engine: RefCell::new(engine),
+            mul_count: Cell::new(0),
+            add_count: Cell::new(0),
+            inv_count: Cell::new(0),
+        }
+    }
+
+    /// The engine's name (for reports).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.borrow().name()
+    }
+}
+
+impl fmt::Debug for DynCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DynCtx {{ p: {}, engine: {} }}",
+            self.p,
+            self.engine_name()
+        )
+    }
+}
+
+impl FieldCtx for DynCtx {
+    type El = UBig;
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn zero(&self) -> UBig {
+        UBig::zero()
+    }
+
+    fn one(&self) -> UBig {
+        UBig::one()
+    }
+
+    fn from_ubig(&self, v: &UBig) -> UBig {
+        v % &self.p
+    }
+
+    fn to_ubig(&self, el: &UBig) -> UBig {
+        el.clone()
+    }
+
+    fn add(&self, a: &UBig, b: &UBig) -> UBig {
+        self.add_count.set(self.add_count.get() + 1);
+        let s = a + b;
+        if s >= self.p {
+            &s - &self.p
+        } else {
+            s
+        }
+    }
+
+    fn sub(&self, a: &UBig, b: &UBig) -> UBig {
+        self.add_count.set(self.add_count.get() + 1);
+        if a >= b {
+            a - b
+        } else {
+            &(a + &self.p) - b
+        }
+    }
+
+    fn neg(&self, a: &UBig) -> UBig {
+        self.add_count.set(self.add_count.get() + 1);
+        if a.is_zero() {
+            UBig::zero()
+        } else {
+            &self.p - a
+        }
+    }
+
+    fn mul(&self, a: &UBig, b: &UBig) -> UBig {
+        self.mul_count.set(self.mul_count.get() + 1);
+        self.engine
+            .borrow_mut()
+            .mod_mul(a, b, &self.p)
+            .expect("engine rejected a valid field multiplication")
+    }
+
+    fn inv(&self, a: &UBig) -> Option<UBig> {
+        self.inv_count.set(self.inv_count.get() + 1);
+        mod_inv(a, &self.p)
+    }
+
+    fn is_zero(&self, a: &UBig) -> bool {
+        a.is_zero()
+    }
+
+    fn counts(&self) -> OpCounts {
+        OpCounts {
+            mul: self.mul_count.get(),
+            add: self.add_count.get(),
+            inv: self.inv_count.get(),
+        }
+    }
+
+    fn reset_counts(&self) {
+        self.mul_count.set(0);
+        self.add_count.set(0);
+        self.inv_count.set(0);
+    }
+}
+
+/// Batch inversion by Montgomery's trick: inverts `n` field elements
+/// with `3(n − 1)` multiplications and a **single** inversion.
+///
+/// Inversion is by far the most expensive field operation (hundreds of
+/// multiplications via Fermat, or a full extended-GCD near memory), so
+/// amortising it matters wherever many inverses are needed at once —
+/// Jacobian→affine normalisation of MSM bucket sums being the ZKP-side
+/// showcase. Returns the inverses in input order.
+///
+/// Returns `None` if any element is zero (nothing is partially
+/// inverted — the caller's slice is untouched either way).
+///
+/// # Examples
+///
+/// ```
+/// use modsram_bigint::UBig;
+/// use modsram_ecc::field::{batch_inv, FieldCtx, Fp256Ctx};
+///
+/// let ctx = Fp256Ctx::new(&UBig::from(97u64));
+/// let elems: Vec<_> = [3u64, 10, 96].iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+/// let invs = batch_inv(&ctx, &elems).expect("all non-zero");
+/// for (e, i) in elems.iter().zip(&invs) {
+///     assert_eq!(ctx.to_ubig(&ctx.mul(e, i)), UBig::one());
+/// }
+/// ```
+pub fn batch_inv<C: FieldCtx>(ctx: &C, elems: &[C::El]) -> Option<Vec<C::El>> {
+    if elems.is_empty() {
+        return Some(Vec::new());
+    }
+    if elems.iter().any(|e| ctx.is_zero(e)) {
+        return None;
+    }
+    // Prefix products: prefix[i] = e₀·…·eᵢ.
+    let mut prefix = Vec::with_capacity(elems.len());
+    let mut acc = elems[0].clone();
+    prefix.push(acc.clone());
+    for e in &elems[1..] {
+        acc = ctx.mul(&acc, e);
+        prefix.push(acc.clone());
+    }
+    // One inversion of the grand product...
+    let mut suffix_inv = ctx
+        .inv(prefix.last().expect("non-empty"))
+        .expect("product of non-zero elements is non-zero");
+    // ...then peel it backwards: eᵢ⁻¹ = (e₀·…·eᵢ₋₁) · (e₀·…·eᵢ)⁻¹.
+    let mut out = vec![ctx.zero(); elems.len()];
+    for i in (1..elems.len()).rev() {
+        out[i] = ctx.mul(&suffix_inv, &prefix[i - 1]);
+        suffix_inv = ctx.mul(&suffix_inv, &elems[i]);
+    }
+    out[0] = suffix_inv;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_modmul::{DirectEngine, R4CsaLutEngine};
+
+    fn small_prime() -> UBig {
+        UBig::from(1_000_003u64)
+    }
+
+    #[test]
+    fn batch_inv_matches_individual_inverses() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let elems: Vec<_> = [2u64, 3, 999_999, 1, 500_000, 7]
+            .iter()
+            .map(|&v| ctx.from_ubig(&UBig::from(v)))
+            .collect();
+        let batch = batch_inv(&ctx, &elems).expect("all non-zero");
+        for (e, i) in elems.iter().zip(&batch) {
+            assert_eq!(ctx.to_ubig(&ctx.mul(e, i)), UBig::one());
+            assert_eq!(Some(*i), ctx.inv(e));
+        }
+    }
+
+    #[test]
+    fn batch_inv_rejects_zero_without_side_effects() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let elems = vec![ctx.one(), ctx.zero(), ctx.one()];
+        assert!(batch_inv(&ctx, &elems).is_none());
+    }
+
+    #[test]
+    fn batch_inv_empty_and_singleton() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        assert_eq!(batch_inv(&ctx, &[]), Some(Vec::new()));
+        let one = vec![ctx.from_ubig(&UBig::from(42u64))];
+        let inv = batch_inv(&ctx, &one).expect("non-zero");
+        assert_eq!(ctx.to_ubig(&ctx.mul(&one[0], &inv[0])), UBig::one());
+    }
+
+    #[test]
+    fn batch_inv_uses_one_inversion_and_3n_muls() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let n = 10usize;
+        let elems: Vec<_> = (2..2 + n as u64)
+            .map(|v| ctx.from_ubig(&UBig::from(v)))
+            .collect();
+        ctx.reset_counts();
+        let _ = batch_inv(&ctx, &elems).expect("non-zero");
+        let counts = ctx.counts();
+        assert_eq!(counts.inv, 1, "exactly one true inversion");
+        assert_eq!(counts.mul as usize, 3 * (n - 1), "Montgomery-trick bound");
+    }
+
+    #[test]
+    fn fp256_field_axioms_spot_check() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let a = ctx.from_ubig(&UBig::from(123_456u64));
+        let b = ctx.from_ubig(&UBig::from(654_321u64));
+        // a*b + a = a*(b+1)
+        let lhs = ctx.add(&ctx.mul(&a, &b), &a);
+        let rhs = ctx.mul(&a, &ctx.add(&b, &ctx.one()));
+        assert_eq!(lhs, rhs);
+        // a - a = 0, -0 = 0
+        assert!(ctx.is_zero(&ctx.sub(&a, &a)));
+        assert!(ctx.is_zero(&ctx.neg(&ctx.zero())));
+    }
+
+    #[test]
+    fn fp256_inverse() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let a = ctx.from_ubig(&UBig::from(98_765u64));
+        let inv = ctx.inv(&a).unwrap();
+        assert_eq!(ctx.mul(&a, &inv), ctx.one());
+        assert_eq!(ctx.inv(&ctx.zero()), None);
+    }
+
+    #[test]
+    fn dyn_and_fast_agree() {
+        let p = small_prime();
+        let fast = Fp256Ctx::new(&p);
+        let dynamic = DynCtx::new(&p, Box::new(R4CsaLutEngine::new()));
+        for (a, b) in [(5u64, 7u64), (999_999, 1_000_002), (0, 3), (123, 456)] {
+            let (au, bu) = (UBig::from(a), UBig::from(b));
+            let f = fast.to_ubig(&fast.mul(&fast.from_ubig(&au), &fast.from_ubig(&bu)));
+            let d = dynamic.mul(&dynamic.from_ubig(&au), &dynamic.from_ubig(&bu));
+            assert_eq!(f, d, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn counters_track_ops() {
+        let ctx = DynCtx::new(&small_prime(), Box::new(DirectEngine::new()));
+        let a = ctx.from_ubig(&UBig::from(2u64));
+        ctx.mul(&a, &a);
+        ctx.square(&a);
+        ctx.add(&a, &a);
+        ctx.inv(&a);
+        let c = ctx.counts();
+        assert_eq!(c.mul, 2);
+        assert_eq!(c.add, 1);
+        assert_eq!(c.inv, 1);
+        ctx.reset_counts();
+        assert_eq!(ctx.counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn mul_small_chains() {
+        let ctx = Fp256Ctx::new(&small_prime());
+        let a = ctx.from_ubig(&UBig::from(17u64));
+        for k in [0u64, 1, 2, 3, 4, 8, 5] {
+            assert_eq!(
+                ctx.to_ubig(&ctx.mul_small(&a, k)),
+                UBig::from(17 * k % 1_000_003),
+                "k={k}"
+            );
+        }
+        // No multiplications were used.
+        assert_eq!(ctx.counts().mul, 0);
+    }
+
+    #[test]
+    fn to_from_roundtrip() {
+        let p = small_prime();
+        let ctx = Fp256Ctx::new(&p);
+        for v in [0u64, 1, 999_999, 1_000_002] {
+            assert_eq!(
+                ctx.to_ubig(&ctx.from_ubig(&UBig::from(v))),
+                UBig::from(v)
+            );
+        }
+        // Values ≥ p are canonicalised.
+        assert_eq!(
+            ctx.to_ubig(&ctx.from_ubig(&UBig::from(1_000_003u64))),
+            UBig::zero()
+        );
+    }
+}

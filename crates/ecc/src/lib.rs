@@ -1,0 +1,52 @@
+//! Elliptic-curve and NTT substrate for the ModSRAM reproduction.
+//!
+//! ECC is the paper's target application (§1) and the source of its
+//! Figure 7 workload study; this crate provides everything needed to run
+//! those workloads on *any* modular-multiplication engine from
+//! `modsram-modmul` — including the cycle-accurate ModSRAM device:
+//!
+//! * [`field`] — the [`FieldCtx`] abstraction with two implementations:
+//!   [`Fp256Ctx`] (fast fixed-width Montgomery arithmetic, used for the
+//!   2¹⁵-element Figure 7 measurements) and [`DynCtx`] (any boxed
+//!   [`modsram_modmul::ModMulEngine`], used to run curve operations on
+//!   the simulated accelerator). Both count field operations.
+//! * [`curve`] — short-Weierstrass curves, affine/Jacobian points,
+//!   addition and doubling.
+//! * [`curves`] — the two curves the paper names (§5.2): secp256k1
+//!   (Bitcoin) and BN254 (Zcash/ZKP), plus NIST P-256 (the FIPS 186-5
+//!   curve behind the paper's ≥224-bit citation).
+//! * [`scalar`] — double-and-add, 4-bit wNAF, the constant-sequence
+//!   Montgomery ladder, and Shamir double-scalar multiplication;
+//!   [`comb`] — fixed-base comb tables.
+//! * [`mod@msm`] — Pippenger multi-scalar multiplication (the MSM component
+//!   of Figure 7, after PipeZK).
+//! * [`ntt`] — radix-2 number-theoretic transform over the BN254 scalar
+//!   field (the NTT component of Figure 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_ecc::curves::secp256k1_fast;
+//! use modsram_ecc::scalar::mul_scalar;
+//! use modsram_bigint::UBig;
+//!
+//! let curve = secp256k1_fast();
+//! let g = curve.generator();
+//! // 2·G has the well-known x-coordinate c6047f94...
+//! let two_g = curve.to_affine(&mul_scalar(&curve, &g, &UBig::from(2u64)));
+//! assert!(curve.is_on_curve(&two_g));
+//! ```
+
+pub mod comb;
+pub mod curve;
+pub mod curves;
+pub mod field;
+pub mod msm;
+pub mod ntt;
+pub mod scalar;
+
+pub use comb::CombTable;
+pub use curve::{Affine, Curve, Jacobian};
+pub use field::{batch_inv, DynCtx, FieldCtx, Fp256Ctx, OpCounts};
+pub use msm::{msm, MsmStats};
+pub use ntt::NttPlan;

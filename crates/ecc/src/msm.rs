@@ -1,0 +1,232 @@
+//! Pippenger multi-scalar multiplication — the MSM component of the
+//! paper's Figure 7 ZKP study, structured like PipeZK's windowed
+//! architecture.
+//!
+//! `MSM(P, k) = Σ kᵢ·Pᵢ`: scalars are cut into `⌈λ/c⌉` windows of `c`
+//! bits; each window accumulates points into `2^c − 1` buckets (one
+//! mixed addition per point), reduces the buckets with a running sum,
+//! and windows combine with `c` doublings each.
+
+use modsram_bigint::UBig;
+
+use crate::curve::{Affine, Curve, Jacobian};
+use crate::field::FieldCtx;
+
+/// Operation counts of one MSM execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsmStats {
+    /// Window width used (bits).
+    pub window_bits: usize,
+    /// Number of windows processed.
+    pub windows: u64,
+    /// Mixed additions during bucket accumulation.
+    pub bucket_adds: u64,
+    /// Additions during bucket reduction and window combination.
+    pub reduction_adds: u64,
+    /// Doublings during window combination.
+    pub doublings: u64,
+}
+
+impl MsmStats {
+    /// Total point additions of any kind.
+    pub fn total_adds(&self) -> u64 {
+        self.bucket_adds + self.reduction_adds
+    }
+}
+
+/// Heuristic window size: `≈ log₂(n) − 3`, clamped to `[2, 16]`. PipeZK
+/// uses a fixed 16-bit window in hardware; pass `Some(16)` to
+/// [`msm_with_window`] for that configuration.
+pub fn optimal_window(n_points: usize) -> usize {
+    if n_points < 8 {
+        2
+    } else {
+        ((usize::BITS - n_points.leading_zeros()) as usize).saturating_sub(3).clamp(2, 16)
+    }
+}
+
+/// Computes `Σ kᵢ·Pᵢ` with the heuristic window size.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+pub fn msm<C: FieldCtx>(
+    curve: &Curve<C>,
+    points: &[Affine<C::El>],
+    scalars: &[UBig],
+) -> (Jacobian<C::El>, MsmStats) {
+    msm_with_window(curve, points, scalars, optimal_window(points.len()))
+}
+
+/// Computes `Σ kᵢ·Pᵢ` with an explicit window size `c`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `c == 0` or `c > 24`.
+pub fn msm_with_window<C: FieldCtx>(
+    curve: &Curve<C>,
+    points: &[Affine<C::El>],
+    scalars: &[UBig],
+    c: usize,
+) -> (Jacobian<C::El>, MsmStats) {
+    assert_eq!(points.len(), scalars.len(), "points/scalars mismatch");
+    assert!((1..=24).contains(&c), "window must be 1..=24 bits");
+    let mut stats = MsmStats {
+        window_bits: c,
+        ..Default::default()
+    };
+    if points.is_empty() {
+        return (curve.identity(), stats);
+    }
+
+    let max_bits = scalars.iter().map(|s| s.bit_len()).max().unwrap_or(1).max(1);
+    let windows = max_bits.div_ceil(c);
+    stats.windows = windows as u64;
+
+    // Highest window first; each iteration shifts the accumulator left
+    // by c bits (c doublings) then adds this window's bucket total.
+    let mut acc = curve.identity();
+    for w in (0..windows).rev() {
+        if !curve.is_identity(&acc) || w != windows - 1 {
+            for _ in 0..c {
+                acc = curve.double(&acc);
+                stats.doublings += 1;
+            }
+        }
+
+        // Bucket accumulation.
+        let mut buckets: Vec<Jacobian<C::El>> = vec![curve.identity(); (1 << c) - 1];
+        for (point, scalar) in points.iter().zip(scalars) {
+            let digit = window_digit(scalar, w, c);
+            if digit != 0 {
+                buckets[digit - 1] = curve.add_mixed(&buckets[digit - 1], point);
+                stats.bucket_adds += 1;
+            }
+        }
+
+        // Running-sum reduction: Σ j·B_j with 2·(2^c − 1) additions.
+        let mut running = curve.identity();
+        let mut window_sum = curve.identity();
+        for bucket in buckets.iter().rev() {
+            running = curve.add(&running, bucket);
+            window_sum = curve.add(&window_sum, &running);
+            stats.reduction_adds += 2;
+        }
+        acc = curve.add(&acc, &window_sum);
+        stats.reduction_adds += 1;
+    }
+    (acc, stats)
+}
+
+/// Bits `[w·c, (w+1)·c)` of the scalar as an unsigned digit.
+fn window_digit(scalar: &UBig, w: usize, c: usize) -> usize {
+    let mut digit = 0usize;
+    for bit in 0..c {
+        if scalar.bit(w * c + bit) {
+            digit |= 1 << bit;
+        }
+    }
+    digit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::secp256k1_fast;
+    use crate::field::Fp256Ctx;
+    use crate::scalar::mul_scalar;
+    use modsram_bigint::ubig_below;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Curve<Fp256Ctx> {
+        Curve::new(
+            Fp256Ctx::new(&UBig::from(43u64)),
+            &UBig::zero(),
+            &UBig::from(7u64),
+            &UBig::from(2u64),
+            &UBig::from(12u64),
+            &UBig::from(31u64),
+            "tiny43",
+        )
+    }
+
+    fn naive<C: FieldCtx>(
+        curve: &Curve<C>,
+        points: &[Affine<C::El>],
+        scalars: &[UBig],
+    ) -> Jacobian<C::El> {
+        let mut acc = curve.identity();
+        for (p, k) in points.iter().zip(scalars) {
+            acc = curve.add(&acc, &mul_scalar(curve, &curve.from_affine(p), k));
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_naive_on_tiny_curve() {
+        let c = tiny();
+        let g = c.generator();
+        // Points: G, 2G, 3G, ...; scalars: assorted.
+        let mut pts = Vec::new();
+        let mut cur = g.clone();
+        for _ in 0..8 {
+            pts.push(c.to_affine(&cur));
+            cur = c.add(&cur, &g);
+        }
+        let scalars: Vec<UBig> = (0..8u64).map(|i| UBig::from(i * 5 + 3)).collect();
+        let want = naive(&c, &pts, &scalars);
+        for window in [1usize, 2, 3, 5] {
+            let (got, stats) = msm_with_window(&c, &pts, &scalars, window);
+            assert!(c.points_equal(&got, &want), "window {window}");
+            assert!(stats.bucket_adds <= 8 * stats.windows);
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_cases() {
+        let c = tiny();
+        let (r, _) = msm(&c, &[], &[]);
+        assert!(c.is_identity(&r));
+        let pts = vec![c.generator_affine()];
+        let (r2, stats) = msm(&c, &pts, &[UBig::zero()]);
+        assert!(c.is_identity(&r2));
+        assert_eq!(stats.bucket_adds, 0);
+    }
+
+    #[test]
+    fn secp256k1_msm_matches_naive() {
+        let c = secp256k1_fast();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let g = c.generator();
+        let mut pts = Vec::new();
+        let mut cur = g.clone();
+        for _ in 0..16 {
+            pts.push(c.to_affine(&cur));
+            cur = c.double(&cur);
+        }
+        let scalars: Vec<UBig> = (0..16).map(|_| ubig_below(&mut rng, c.order())).collect();
+        let want = naive(&c, &pts, &scalars);
+        let (got, _) = msm(&c, &pts, &scalars);
+        assert!(c.points_equal(&got, &want));
+    }
+
+    #[test]
+    fn window_heuristic_grows_with_n() {
+        assert_eq!(optimal_window(4), 2);
+        assert!(optimal_window(1 << 15) >= 10);
+        assert!(optimal_window(1 << 22) <= 16);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let c = tiny();
+        let pts = vec![c.generator_affine(); 10];
+        let scalars: Vec<UBig> = (1..=10u64).map(UBig::from).collect();
+        let (_, stats) = msm_with_window(&c, &pts, &scalars, 2);
+        // ≤ one bucket add per (point, window).
+        assert!(stats.bucket_adds <= 10 * stats.windows);
+        // Reduction: 2·(2^c − 1) + 1 per window.
+        assert_eq!(stats.reduction_adds, stats.windows * (2 * 3 + 1));
+    }
+}

@@ -1,0 +1,311 @@
+//! Radix-2 number-theoretic transform over a prime field — the NTT
+//! component of the paper's Figure 7 ZKP study.
+//!
+//! A classic in-place Cooley–Tukey butterfly network over `F_r` where
+//! `r − 1` is divisible by `2^s` (BN254's scalar field has `s = 28`,
+//! plenty for the paper's `2¹⁵`-point transforms).
+
+use modsram_bigint::{mod_pow, UBig};
+
+use crate::field::FieldCtx;
+
+/// A planned NTT of fixed size over a field context.
+///
+/// Twiddle factors are precomputed at plan time (the standard
+/// implementation choice, and what the paper's NTT references do), so a
+/// counted [`NttPlan::forward`] performs *exactly* `(n/2)·log₂ n` field
+/// multiplications — the Figure 7 "modular multiplication" metric.
+#[derive(Debug)]
+pub struct NttPlan<'a, C: FieldCtx> {
+    ctx: &'a C,
+    log_n: usize,
+    /// `twiddles[s][k] = w_len^k` for stage `s` (len = 2^(s+1)).
+    twiddles: Vec<Vec<C::El>>,
+    /// Same for the inverse transform.
+    twiddles_inv: Vec<Vec<C::El>>,
+    n_inv: C::El,
+}
+
+/// Errors from NTT planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// The field's 2-adicity cannot support this transform size.
+    SizeUnsupported {
+        /// Requested log₂ size.
+        log_n: usize,
+        /// The field's 2-adicity.
+        two_adicity: usize,
+    },
+}
+
+impl core::fmt::Display for NttError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NttError::SizeUnsupported { log_n, two_adicity } => write!(
+                f,
+                "transform of 2^{log_n} points needs 2-adicity {log_n}, field has {two_adicity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
+
+impl<'a, C: FieldCtx> NttPlan<'a, C> {
+    /// Plans a `2^log_n`-point transform, deriving a primitive root of
+    /// unity from `generator` (a multiplicative generator or any element
+    /// whose order is divisible by `2^log_n`; BN254 Fr uses 5).
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::SizeUnsupported`] when the field's 2-adicity is too
+    /// small.
+    pub fn new(ctx: &'a C, log_n: usize, generator: &UBig) -> Result<Self, NttError> {
+        let r = ctx.modulus();
+        let mut t = r - &UBig::one();
+        let mut two_adicity = 0usize;
+        while t.is_even() {
+            t = &t >> 1;
+            two_adicity += 1;
+        }
+        if log_n > two_adicity {
+            return Err(NttError::SizeUnsupported {
+                log_n,
+                two_adicity,
+            });
+        }
+        // ω = g^((r−1) / 2^log_n) has order exactly 2^log_n when g is a
+        // generator.
+        let exp = &(r - &UBig::one()) >> log_n;
+        let omega = mod_pow(generator, &exp, r);
+        let root = ctx.from_ubig(&omega);
+        let root_inv = ctx.inv(&root).expect("root of unity is invertible");
+        let n_inv_int = ctx
+            .inv(&ctx.from_ubig(&UBig::pow2(log_n)))
+            .expect("2^log_n invertible in odd field");
+        Ok(NttPlan {
+            twiddles: Self::build_tables(ctx, log_n, &root),
+            twiddles_inv: Self::build_tables(ctx, log_n, &root_inv),
+            ctx,
+            log_n,
+            n_inv: n_inv_int,
+        })
+    }
+
+    /// Per-stage twiddle tables: for stage `s` (butterfly span
+    /// `len = 2^(s+1)`), powers `w_len^k` for `k < len/2` where
+    /// `w_len = root^(n/len)`.
+    fn build_tables(ctx: &C, log_n: usize, root: &C::El) -> Vec<Vec<C::El>> {
+        let n = 1usize << log_n;
+        let mut tables = Vec::with_capacity(log_n);
+        for s in 0..log_n {
+            let len = 1usize << (s + 1);
+            let mut w_len = root.clone();
+            let mut hops = n / len;
+            while hops > 1 {
+                w_len = ctx.square(&w_len);
+                hops /= 2;
+            }
+            let mut table = Vec::with_capacity(len / 2);
+            let mut w = ctx.one();
+            for _ in 0..len / 2 {
+                table.push(w.clone());
+                w = ctx.mul(&w, &w_len);
+            }
+            tables.push(table);
+        }
+        tables
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// `true` for the degenerate 1-point plan.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward NTT: exactly `(n/2)·log₂ n` multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [C::El]) {
+        self.transform(data, &self.twiddles);
+    }
+
+    /// In-place inverse NTT (includes the `1/n` scaling: `n` extra
+    /// multiplications).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [C::El]) {
+        self.transform(data, &self.twiddles_inv);
+        for v in data.iter_mut() {
+            *v = self.ctx.mul(v, &self.n_inv);
+        }
+    }
+
+    /// Iterative Cooley–Tukey with bit-reversal permutation and
+    /// precomputed twiddles: one multiplication per butterfly.
+    fn transform(&self, data: &mut [C::El], twiddles: &[Vec<C::El>]) {
+        let n = self.len();
+        assert_eq!(data.len(), n, "data length must match the plan");
+        // Bit reversal.
+        for i in 0..n {
+            let j = bit_reverse(i, self.log_n);
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly stages.
+        let ctx = self.ctx;
+        for (s, table) in twiddles.iter().enumerate() {
+            let len = 1usize << (s + 1);
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let u = data[start + k].clone();
+                    let t = ctx.mul(&table[k], &data[start + k + len / 2]);
+                    data[start + k] = ctx.add(&u, &t);
+                    data[start + k + len / 2] = ctx.sub(&u, &t);
+                }
+            }
+        }
+    }
+}
+
+fn bit_reverse(mut v: usize, bits: usize) -> usize {
+    let mut out = 0;
+    for _ in 0..bits {
+        out = (out << 1) | (v & 1);
+        v >>= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::bn254_fr_ctx;
+    use crate::field::Fp256Ctx;
+    use modsram_bigint::ubig_below;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// F_97 has 2-adicity 5 (96 = 2^5·3); 5 is a generator.
+    fn f97() -> Fp256Ctx {
+        Fp256Ctx::new(&UBig::from(97u64))
+    }
+
+    #[test]
+    fn size_validation() {
+        let ctx = f97();
+        assert!(NttPlan::new(&ctx, 5, &UBig::from(5u64)).is_ok());
+        let err = NttPlan::new(&ctx, 6, &UBig::from(5u64)).unwrap_err();
+        assert_eq!(
+            err,
+            NttError::SizeUnsupported {
+                log_n: 6,
+                two_adicity: 5
+            }
+        );
+    }
+
+    #[test]
+    fn forward_matches_naive_dft() {
+        let ctx = f97();
+        let plan = NttPlan::new(&ctx, 3, &UBig::from(5u64)).unwrap();
+        let input: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut data: Vec<_> = input.iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+        // ω from the plan, reconstructed for the naive sum.
+        let omega = ctx.to_ubig(&{
+            let exp = &(&UBig::from(97u64) - &UBig::one()) >> 3;
+            ctx.from_ubig(&mod_pow(&UBig::from(5u64), &exp, &UBig::from(97u64)))
+        });
+        plan.forward(&mut data);
+        #[allow(clippy::needless_range_loop)] // k is the DFT bin index
+        for k in 0..8usize {
+            let mut want = 0u64;
+            for (j, &x) in input.iter().enumerate() {
+                let tw = mod_pow(
+                    &omega,
+                    &UBig::from((j * k) as u64),
+                    &UBig::from(97u64),
+                )
+                .low_u64();
+                want = (want + x * tw) % 97;
+            }
+            assert_eq!(ctx.to_ubig(&data[k]).low_u64(), want, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_field() {
+        let ctx = f97();
+        let plan = NttPlan::new(&ctx, 4, &UBig::from(5u64)).unwrap();
+        let original: Vec<_> = (0..16u64).map(|v| ctx.from_ubig(&UBig::from(v * 7 % 97))).collect();
+        let mut data = original.clone();
+        plan.forward(&mut data);
+        assert_ne!(data, original);
+        plan.inverse(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn roundtrip_bn254_fr() {
+        let ctx = bn254_fr_ctx();
+        let plan = NttPlan::new(&ctx, 8, &UBig::from(5u64)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let original: Vec<_> = (0..256)
+            .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+            .collect();
+        let mut data = original.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn convolution_theorem_spot_check() {
+        // NTT(a) ⊙ NTT(b) = NTT(a ⊛ b) for cyclic convolution.
+        let ctx = f97();
+        let plan = NttPlan::new(&ctx, 3, &UBig::from(5u64)).unwrap();
+        let a: Vec<u64> = vec![1, 2, 3, 0, 0, 0, 0, 0];
+        let b: Vec<u64> = vec![5, 6, 0, 0, 0, 0, 0, 0];
+        // Cyclic convolution by hand (degrees small enough not to wrap).
+        let mut conv = [0u64; 8];
+        for i in 0..8 {
+            for j in 0..8 {
+                conv[(i + j) % 8] = (conv[(i + j) % 8] + a[i] * b[j]) % 97;
+            }
+        }
+        let mut fa: Vec<_> = a.iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+        let mut fb: Vec<_> = b.iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut prod: Vec<_> = fa.iter().zip(&fb).map(|(x, y)| ctx.mul(x, y)).collect();
+        plan.inverse(&mut prod);
+        for k in 0..8 {
+            assert_eq!(ctx.to_ubig(&prod[k]).low_u64(), conv[k], "coef {k}");
+        }
+    }
+
+    #[test]
+    fn butterfly_count_is_exactly_half_n_log_n() {
+        let ctx = f97();
+        let plan = NttPlan::new(&ctx, 4, &UBig::from(5u64)).unwrap();
+        let mut data: Vec<_> = (0..16u64).map(|v| ctx.from_ubig(&UBig::from(v))).collect();
+        ctx.reset_counts();
+        plan.forward(&mut data);
+        // (n/2)·log n = 32 with precomputed twiddles — the Figure 7
+        // modular-multiplication count.
+        assert_eq!(ctx.counts().mul, 32);
+        ctx.reset_counts();
+        plan.inverse(&mut data);
+        // Inverse adds the n scaling multiplications.
+        assert_eq!(ctx.counts().mul, 32 + 16);
+    }
+}

@@ -1,0 +1,175 @@
+//! Barrett reduction: division replaced by multiplication with a
+//! precomputed reciprocal.
+//!
+//! §3 of the paper notes that Barrett reduction produces up to 3n-bit
+//! intermediates after the full multiplication — the memory-pressure
+//! argument for reducing *while* multiplying instead. The
+//! `peak_intermediate_bits` probe makes that argument measurable.
+
+use modsram_bigint::UBig;
+
+use crate::{CycleModel, ModMulEngine, ModMulError};
+
+/// Per-modulus precomputation: `µ = ⌊2^(2k) / p⌋` with `k = bit_len(p)`.
+#[derive(Debug, Clone)]
+struct BarrettCache {
+    p: UBig,
+    mu: UBig,
+    k: usize,
+}
+
+/// Barrett-reduction engine with a per-modulus cache.
+#[derive(Debug, Clone, Default)]
+pub struct BarrettEngine {
+    cache: Option<BarrettCache>,
+    /// Widest intermediate value (in bits) seen since construction —
+    /// demonstrates the 3n-bit blow-up of §3.
+    pub peak_intermediate_bits: usize,
+}
+
+impl BarrettEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cache_for(&mut self, p: &UBig) -> BarrettCache {
+        let stale = match &self.cache {
+            Some(c) => &c.p != p,
+            None => true,
+        };
+        if stale {
+            let k = p.bit_len();
+            let mu = &UBig::pow2(2 * k) / p;
+            self.cache = Some(BarrettCache {
+                p: p.clone(),
+                mu,
+                k,
+            });
+        }
+        self.cache.as_ref().expect("cache just filled").clone()
+    }
+}
+
+impl ModMulEngine for BarrettEngine {
+    fn name(&self) -> &'static str {
+        "barrett"
+    }
+
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if p.is_one() {
+            return Ok(UBig::zero());
+        }
+        let a = a % p;
+        let b = b % p;
+        let cache = self.cache_for(p);
+        let k = cache.k;
+
+        // Full 2n-bit product.
+        let x = &a * &b;
+        // q̂ = ⌊ ⌊x / 2^(k−1)⌋ · µ / 2^(k+1) ⌋  — the 3n-bit moment is x·µ.
+        let q1 = &x >> (k - 1);
+        let q_mu = &q1 * &cache.mu;
+        self.peak_intermediate_bits = self.peak_intermediate_bits.max(q_mu.bit_len() + (k - 1));
+        let qhat = &q_mu >> (k + 1);
+        // r = x − q̂·p, then at most two conditional subtractions.
+        let mut r = &x - &(&qhat * p);
+        let mut guard = 0;
+        while r >= *p {
+            r = &r - p;
+            guard += 1;
+            debug_assert!(guard <= 2, "Barrett bound violated");
+        }
+        Ok(r)
+    }
+}
+
+impl CycleModel for BarrettEngine {
+    /// Word-serial model: three `⌈n/64⌉²` multiplications (product, q̂·µ,
+    /// q̂·p) plus corrections on a 64-bit datapath.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        let words = (n_bits as u64).div_ceil(64);
+        3 * words * words + 2
+    }
+
+    fn model_description(&self) -> &'static str {
+        "word-serial Barrett: full product + two reciprocal multiplications"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_moduli() {
+        let mut e = BarrettEngine::new();
+        let mut oracle = DirectEngine::new();
+        for p in 2u64..=32 {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_prime_cross_check() {
+        let p = UBig::from_dec(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        )
+        .unwrap();
+        let a = &UBig::pow2(253) + &UBig::from(999u64);
+        let b = &UBig::pow2(252) + &UBig::from(1000u64);
+        let mut e = BarrettEngine::new();
+        assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+    }
+
+    #[test]
+    fn intermediate_blowup_reaches_3n() {
+        // §3: Barrett's x·µ intermediate approaches 3n bits.
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = &p - &UBig::one();
+        let mut e = BarrettEngine::new();
+        e.mod_mul(&a, &a, &p).unwrap();
+        assert!(
+            e.peak_intermediate_bits > 2 * 256 + 128,
+            "expected ≈3n-bit intermediate, saw {} bits",
+            e.peak_intermediate_bits
+        );
+    }
+
+    #[test]
+    fn works_with_even_modulus() {
+        // Unlike Montgomery, Barrett has no parity requirement.
+        let mut e = BarrettEngine::new();
+        let p = UBig::from(100u64);
+        assert_eq!(
+            e.mod_mul(&UBig::from(77u64), &UBig::from(88u64), &p).unwrap(),
+            UBig::from(77u64 * 88 % 100)
+        );
+    }
+
+    #[test]
+    fn modulus_one() {
+        let mut e = BarrettEngine::new();
+        assert_eq!(
+            e.mod_mul(&UBig::from(5u64), &UBig::from(5u64), &UBig::one())
+                .unwrap(),
+            UBig::zero()
+        );
+    }
+}

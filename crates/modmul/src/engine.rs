@@ -1,0 +1,152 @@
+//! The common engine interface and the direct-form reference engine.
+
+use core::fmt;
+
+use modsram_bigint::UBig;
+
+/// Error type shared by all modular-multiplication engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModMulError {
+    /// The modulus was zero.
+    ZeroModulus,
+    /// The engine requires an odd modulus (Montgomery family).
+    EvenModulus,
+    /// An operand exceeded the width the engine was configured for.
+    OperandTooWide {
+        /// Bits of the offending operand.
+        operand_bits: usize,
+        /// Width limit of the engine configuration.
+        limit_bits: usize,
+    },
+}
+
+impl fmt::Display for ModMulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModMulError::ZeroModulus => write!(f, "modulus must be non-zero"),
+            ModMulError::EvenModulus => write!(f, "engine requires an odd modulus"),
+            ModMulError::OperandTooWide {
+                operand_bits,
+                limit_bits,
+            } => write!(
+                f,
+                "operand has {operand_bits} bits but the engine is limited to {limit_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModMulError {}
+
+/// A modular-multiplication algorithm: computes `a·b mod p`.
+///
+/// Engines take `&mut self` because several of them keep per-modulus
+/// precomputation caches and instrumentation counters.
+pub trait ModMulEngine {
+    /// Short, stable engine name used in reports and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Computes `a·b mod p`. Operands are canonicalised (reduced mod `p`)
+    /// first, matching the paper's `0 ≤ A, B ≤ p` precondition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::ZeroModulus`] for `p = 0`; engine-specific
+    /// variants are documented on each implementation.
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError>;
+}
+
+/// Closed-form latency model of an engine at bitwidth `n`, used to
+/// regenerate Figure 1 and the cycle rows of Table 3.
+pub trait CycleModel {
+    /// Modelled cycle count for one `n`-bit modular multiplication.
+    fn cycles(&self, n_bits: usize) -> u64;
+
+    /// One-line description of the model's assumptions.
+    fn model_description(&self) -> &'static str;
+}
+
+/// Reference engine: full product followed by Knuth-D remainder.
+///
+/// This is the oracle every hardware-friendly algorithm is validated
+/// against; it corresponds to no hardware design.
+#[derive(Debug, Clone, Default)]
+pub struct DirectEngine;
+
+impl DirectEngine {
+    /// Creates the reference engine.
+    pub fn new() -> Self {
+        DirectEngine
+    }
+}
+
+impl ModMulEngine for DirectEngine {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        Ok(&(a * b) % p)
+    }
+}
+
+/// All functional engines, boxed, for cross-checking sweeps.
+///
+/// The Montgomery engine is included even though it rejects even moduli;
+/// sweep tests must either use odd moduli or skip
+/// [`ModMulError::EvenModulus`] results.
+pub fn all_engines() -> Vec<Box<dyn ModMulEngine>> {
+    vec![
+        Box::new(DirectEngine::new()),
+        Box::new(crate::InterleavedEngine::new()),
+        Box::new(crate::Radix4Engine::new()),
+        Box::new(crate::Radix8Engine::new()),
+        Box::new(crate::R4CsaLutEngine::new()),
+        Box::new(crate::MontgomeryEngine::new()),
+        Box::new(crate::BarrettEngine::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_engine_basics() {
+        let mut e = DirectEngine::new();
+        let p = UBig::from(7u64);
+        assert_eq!(
+            e.mod_mul(&UBig::from(5u64), &UBig::from(4u64), &p).unwrap(),
+            UBig::from(6u64)
+        );
+        assert_eq!(
+            e.mod_mul(&UBig::one(), &UBig::one(), &UBig::zero()),
+            Err(ModMulError::ZeroModulus)
+        );
+    }
+
+    #[test]
+    fn registry_contains_all_seven() {
+        let names: Vec<&str> = all_engines().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "direct",
+                "interleaved",
+                "radix4",
+                "radix8",
+                "r4csa-lut",
+                "montgomery",
+                "barrett"
+            ]
+        );
+    }
+
+    #[test]
+    fn error_display_is_lowercase() {
+        assert_eq!(ModMulError::ZeroModulus.to_string(), "modulus must be non-zero");
+    }
+}

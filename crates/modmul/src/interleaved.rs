@@ -1,0 +1,126 @@
+//! Algorithm 1: classical interleaved (Blakely) modular multiplication.
+//!
+//! The fundamental shift-add algorithm every other engine in this crate
+//! improves upon: one multiplier bit per iteration, one doubling and up to
+//! two conditional subtractions each time. Its hardware weakness — every
+//! iteration contains full-width carry-propagating add/subtract/compare —
+//! is exactly what R4CSA-LUT removes.
+
+use modsram_bigint::UBig;
+
+use crate::{CycleModel, ModMulEngine, ModMulError};
+
+/// Algorithm 1 of the paper (Blakely 1983).
+#[derive(Debug, Clone, Default)]
+pub struct InterleavedEngine {
+    /// Iterations executed by the most recent call.
+    pub last_iterations: u64,
+}
+
+impl InterleavedEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ModMulEngine for InterleavedEngine {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let a = a % p;
+        let b = b % p;
+        let mut c = UBig::zero();
+        let n = a.bit_len();
+        for i in (0..n).rev() {
+            // C ← 2C, reduce (C < p so 2C < 2p: one subtraction).
+            c = &c << 1;
+            if c >= *p {
+                c = &c - p;
+            }
+            // C ← C + aᵢ·B, reduce (C, B < p: one subtraction).
+            if a.bit(i) {
+                c = &c + &b;
+                if c >= *p {
+                    c = &c - p;
+                }
+            }
+        }
+        self.last_iterations = n as u64;
+        Ok(c)
+    }
+}
+
+impl CycleModel for InterleavedEngine {
+    /// Three full-width operations per bit (double, reduce, add/reduce)
+    /// on a single-cycle-per-op datapath: `3n` cycles. Each of those
+    /// cycles carries a full carry-propagate adder delay, which is the
+    /// latency problem §2.1 describes.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        3 * n_bits as u64
+    }
+
+    fn model_description(&self) -> &'static str {
+        "1 bit/iteration; 3 full-width carry-propagate ops per iteration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_moduli() {
+        let mut e = InterleavedEngine::new();
+        let mut oracle = DirectEngine::new();
+        for p in 1u64..=24 {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_canonical() {
+        let mut e = InterleavedEngine::new();
+        let p = UBig::from(24u64);
+        // 6 * 4 = 24 ≡ 0: must return 0, not p.
+        assert_eq!(
+            e.mod_mul(&UBig::from(6u64), &UBig::from(4u64), &p).unwrap(),
+            UBig::zero()
+        );
+    }
+
+    #[test]
+    fn large_operands() {
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = &UBig::pow2(255) + &UBig::from(12345u64);
+        let b = &UBig::pow2(254) + &UBig::from(99999u64);
+        let mut e = InterleavedEngine::new();
+        assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+        assert_eq!(e.last_iterations, 256);
+    }
+
+    #[test]
+    fn cycle_model_scales_linearly() {
+        let e = InterleavedEngine::new();
+        assert_eq!(e.cycles(256), 768);
+        assert_eq!(e.cycles(8), 24);
+    }
+}

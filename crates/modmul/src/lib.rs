@@ -1,0 +1,52 @@
+//! Modular-multiplication algorithm zoo for the ModSRAM reproduction.
+//!
+//! The paper's contribution, **R4CSA-LUT** (Algorithm 3), lives in
+//! [`r4csa`] as a bit-accurate functional model; the remaining modules
+//! implement every algorithm the paper builds on or compares against:
+//!
+//! * [`interleaved`] — Algorithm 1, the classical Blakely shift-add
+//!   interleaved modular multiplication.
+//! * [`radix4`] — Algorithm 2, Booth radix-4 interleaved multiplication
+//!   with the Table 1b look-up table.
+//! * [`r4csa`] — Algorithm 3: radix-4 + carry-save addition + LUTs, the
+//!   form executed in SRAM by `modsram-core`.
+//! * [`montgomery`] / [`barrett`] — the "reduce after multiplying" family
+//!   discussed in §3 (2n-/3n-bit intermediates, conversion costs).
+//! * [`csa`] — carry-save primitives (`XOR3`, `MAJ`) and the windowed
+//!   register model shared with the hardware simulator.
+//! * [`lut`] — the two precomputed tables (Tables 1b and 2).
+//!
+//! Every engine implements [`ModMulEngine`], so they are interchangeable
+//! in the ECC/NTT substrate and can be cross-checked against each other.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_modmul::{ModMulEngine, R4CsaLutEngine};
+//! use modsram_bigint::UBig;
+//!
+//! let mut engine = R4CsaLutEngine::new();
+//! let p = UBig::from(97u64);
+//! let c = engine.mod_mul(&UBig::from(55u64), &UBig::from(44u64), &p).unwrap();
+//! assert_eq!(c, UBig::from(55u64 * 44 % 97));
+//! ```
+
+pub mod barrett;
+pub mod csa;
+mod engine;
+pub mod interleaved;
+pub mod lut;
+pub mod montgomery;
+pub mod r4csa;
+pub mod radix4;
+pub mod radix8;
+
+pub use barrett::BarrettEngine;
+pub use csa::CsaState;
+pub use engine::{all_engines, CycleModel, DirectEngine, ModMulEngine, ModMulError};
+pub use interleaved::InterleavedEngine;
+pub use lut::{LutOverflow, LutRadix4};
+pub use montgomery::MontgomeryEngine;
+pub use r4csa::{R4CsaLutEngine, R4CsaStats, R4CsaStepper, StepTrace, TimingPolicy};
+pub use radix4::Radix4Engine;
+pub use radix8::{LutRadix8, Radix8Engine};

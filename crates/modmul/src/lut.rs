@@ -1,0 +1,267 @@
+//! The two precomputed look-up tables of R4CSA-LUT.
+//!
+//! * [`LutRadix4`] — Table 1b: the five possible per-digit addends
+//!   `{0, B, 2B, −2B, −B} mod p`. Reusable while the multiplicand `B`
+//!   stays the same (e.g. across the many multiplications of an
+//!   elliptic-curve point addition).
+//! * [`LutOverflow`] — Table 2: the re-injection values
+//!   `(w · 2^(n+1)) mod p` for the overflow bits shifted out of the
+//!   `(n+1)`-bit sum/carry window. Reusable while the modulus stays the
+//!   same.
+//!
+//! The paper's Table 2 lists 8 entries (a 3-bit overflow). Our exact
+//! accounting (see [`crate::r4csa`]) can produce indices up to 11 when a
+//! deferred carry-out coincides with large shift-out bits, so the table
+//! holds [`LutOverflow::ENTRIES`] = 16 entries; instrumentation in the
+//! engine records which indices actually occur so EXPERIMENTS.md can
+//! report whether the paper's 8 rows suffice in practice.
+
+use modsram_bigint::{Radix4Digit, UBig};
+
+use crate::ModMulError;
+
+/// Table 1b: radix-4 digit → `digit·B mod p`.
+#[derive(Debug, Clone)]
+pub struct LutRadix4 {
+    /// Entries indexed by Table 1b order: `[0, +1, +2, -2, -1]`.
+    entries: [UBig; 5],
+    b: UBig,
+    p: UBig,
+}
+
+impl LutRadix4 {
+    /// Precomputes the table for multiplicand `b` and modulus `p`.
+    /// `b` is canonicalised mod `p` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::ZeroModulus`] if `p` is zero.
+    pub fn new(b: &UBig, p: &UBig) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let b = b % p;
+        let two_b = {
+            let t = &b + &b;
+            if t >= *p {
+                &t - p
+            } else {
+                t
+            }
+        };
+        let neg = |v: &UBig| if v.is_zero() { UBig::zero() } else { p - v };
+        let entries = [
+            UBig::zero(),
+            b.clone(),
+            two_b.clone(),
+            neg(&two_b),
+            neg(&b),
+        ];
+        Ok(LutRadix4 {
+            entries,
+            b,
+            p: p.clone(),
+        })
+    }
+
+    /// The addend for a Booth digit: `digit·B mod p`, always in `[0, p)`.
+    pub fn value(&self, digit: Radix4Digit) -> &UBig {
+        &self.entries[Self::index_of(digit)]
+    }
+
+    /// Table 1b row index for a digit (`0, +1, +2, -2, -1` order).
+    pub fn index_of(digit: Radix4Digit) -> usize {
+        match digit.value() {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            -2 => 3,
+            -1 => 4,
+            _ => unreachable!("radix-4 digits are in -2..=2"),
+        }
+    }
+
+    /// The five rows in Table 1b order, for loading into SRAM wordlines.
+    pub fn rows(&self) -> &[UBig; 5] {
+        &self.entries
+    }
+
+    /// The canonicalised multiplicand this table was built for.
+    pub fn multiplicand(&self) -> &UBig {
+        &self.b
+    }
+
+    /// The modulus this table was built for.
+    pub fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    /// Number of entries that need arithmetic to build (the paper notes
+    /// only three of the five: `2B`, `−B`, `−2B`).
+    pub const COMPUTED_ENTRIES: usize = 3;
+}
+
+/// Table 2: overflow weight `w` → `(w · 2^width) mod p`.
+#[derive(Debug, Clone)]
+pub struct LutOverflow {
+    entries: Vec<UBig>,
+    width: usize,
+    p: UBig,
+}
+
+impl LutOverflow {
+    /// Total entries held (a superset of the paper's 8; see module docs).
+    pub const ENTRIES: usize = 16;
+
+    /// Entries listed in the paper's Table 2.
+    pub const PAPER_ENTRIES: usize = 8;
+
+    /// Precomputes the table for modulus `p` and register window `width`
+    /// (the paper's `n + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::ZeroModulus`] if `p` is zero.
+    pub fn new(p: &UBig, width: usize) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let base = &UBig::pow2(width) % p;
+        let mut entries = Vec::with_capacity(Self::ENTRIES);
+        let mut acc = UBig::zero();
+        for _ in 0..Self::ENTRIES {
+            entries.push(acc.clone());
+            acc = &acc + &base;
+            if acc >= *p {
+                acc = &acc - p;
+            }
+        }
+        Ok(LutOverflow {
+            entries,
+            width,
+            p: p.clone(),
+        })
+    }
+
+    /// The re-injection value for overflow weight `w`, in `[0, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= Self::ENTRIES` (the engine's exact accounting
+    /// guarantees `w ≤ 11`).
+    pub fn value(&self, w: usize) -> &UBig {
+        &self.entries[w]
+    }
+
+    /// All rows, for loading into SRAM wordlines.
+    pub fn rows(&self) -> &[UBig] {
+        &self.entries
+    }
+
+    /// The register window width the table was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The modulus this table was built for.
+    pub fn modulus(&self) -> &UBig {
+        &self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_bigint::mod_mul;
+
+    #[test]
+    fn radix4_entries_match_table_1b() {
+        let b = UBig::from(18u64); // 10010, the paper's Figure 3 example
+        let p = UBig::from(24u64); // 11000
+        let lut = LutRadix4::new(&b, &p).unwrap();
+        assert_eq!(lut.value(Radix4Digit::encode(false, false, false)), &UBig::zero());
+        assert_eq!(
+            lut.value(Radix4Digit::encode(false, false, true)),
+            &UBig::from(18u64)
+        ); // +1 -> B
+        assert_eq!(
+            lut.value(Radix4Digit::encode(false, true, true)),
+            &UBig::from(12u64)
+        ); // +2 -> 2B mod p = 36 mod 24
+        assert_eq!(
+            lut.value(Radix4Digit::encode(true, false, false)),
+            &UBig::from(12u64)
+        ); // -2 -> -36 mod 24 = 12
+        assert_eq!(
+            lut.value(Radix4Digit::encode(true, false, true)),
+            &UBig::from(6u64)
+        ); // -1 -> -18 mod 24 = 6
+    }
+
+    #[test]
+    fn radix4_entries_are_digit_times_b() {
+        let b = UBig::from(1234_5678u64);
+        let p = UBig::from(99_999_989u64); // prime
+        let lut = LutRadix4::new(&b, &p).unwrap();
+        for d in Radix4Digit::all() {
+            let expect = if d.value() >= 0 {
+                mod_mul(&UBig::from(d.value() as u64), &b, &p)
+            } else {
+                let pos = mod_mul(&UBig::from((-d.value()) as u64), &b, &p);
+                if pos.is_zero() {
+                    pos
+                } else {
+                    &p - &pos
+                }
+            };
+            assert_eq!(lut.value(d), &expect, "digit {}", d.value());
+        }
+    }
+
+    #[test]
+    fn radix4_canonicalises_b() {
+        let p = UBig::from(24u64);
+        let lut = LutRadix4::new(&UBig::from(18u64 + 24), &p).unwrap();
+        assert_eq!(lut.multiplicand(), &UBig::from(18u64));
+    }
+
+    #[test]
+    fn radix4_rejects_zero_modulus() {
+        assert!(LutRadix4::new(&UBig::one(), &UBig::zero()).is_err());
+    }
+
+    #[test]
+    fn overflow_entries_match_table_2() {
+        let p = UBig::from(24u64);
+        let lut = LutOverflow::new(&p, 6).unwrap();
+        for w in 0..LutOverflow::ENTRIES {
+            let expect = &(UBig::from(w as u64) << 6) % &p;
+            assert_eq!(lut.value(w), &expect, "w={w}");
+        }
+        assert_eq!(lut.value(0), &UBig::zero());
+    }
+
+    #[test]
+    fn overflow_large_modulus() {
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let lut = LutOverflow::new(&p, 257).unwrap();
+        for w in [1usize, 7, 11, 15] {
+            let expect = &(UBig::from(w as u64) << 257) % &p;
+            assert_eq!(lut.value(w), &expect);
+        }
+    }
+
+    #[test]
+    fn lut_row_counts_match_paper_budget() {
+        // §5.2: "Radix-4 and overflow LUTs require a total of 13 WLs"
+        // = 5 radix-4 rows + 8 overflow rows.
+        assert_eq!(
+            5 + LutOverflow::PAPER_ENTRIES,
+            13,
+            "paper wordline budget"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Montgomery multiplication over arbitrary-width odd moduli.
+//!
+//! The paper's §3 discusses why it avoids this family for PIM: the n-bit
+//! pre-multiplication produces 2n-bit intermediates, and entering/leaving
+//! Montgomery form costs real modular operations (the criticism levelled
+//! at BP-NTT in §5.4). This engine implements classic REDC so those
+//! costs can be measured rather than asserted; see the `conversions`
+//! counter.
+
+use modsram_bigint::{mod_inv, UBig};
+
+use crate::{CycleModel, ModMulEngine, ModMulError};
+
+/// Per-modulus precomputation for REDC.
+#[derive(Debug, Clone)]
+struct MontCache {
+    p: UBig,
+    /// Number of bits in `R = 2^r` (a multiple of 64, ≥ bit_len(p)).
+    r_bits: usize,
+    /// `-p⁻¹ mod R`.
+    p_inv_neg: UBig,
+    /// `R² mod p`, to enter Montgomery form with one REDC.
+    r2: UBig,
+}
+
+/// Montgomery-reduction engine with a per-modulus cache.
+#[derive(Debug, Clone, Default)]
+pub struct MontgomeryEngine {
+    cache: Option<MontCache>,
+    /// Count of to/from Montgomery-form conversions performed — the
+    /// transformation overhead the paper's comparison highlights.
+    pub conversions: u64,
+    /// Count of REDC reductions performed.
+    pub reductions: u64,
+}
+
+impl MontgomeryEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cache_for(&mut self, p: &UBig) -> Result<&MontCache, ModMulError> {
+        if p.is_even() {
+            return Err(ModMulError::EvenModulus);
+        }
+        let stale = match &self.cache {
+            Some(c) => &c.p != p,
+            None => true,
+        };
+        if stale {
+            let r_bits = p.bit_len().div_ceil(64) * 64;
+            let r = UBig::pow2(r_bits);
+            let p_inv = mod_inv(p, &r).expect("odd p is invertible mod 2^k");
+            let p_inv_neg = &r - &p_inv;
+            let r2 = &(&r * &r) % p;
+            self.cache = Some(MontCache {
+                p: p.clone(),
+                r_bits,
+                p_inv_neg,
+                r2,
+            });
+        }
+        Ok(self.cache.as_ref().expect("cache just filled"))
+    }
+
+    /// REDC: given `t < p·R`, returns `t·R⁻¹ mod p`.
+    fn redc(cache: &MontCache, t: &UBig) -> UBig {
+        // m = (t mod R) · (-p⁻¹) mod R
+        let m = (&t.low_bits(cache.r_bits) * &cache.p_inv_neg).low_bits(cache.r_bits);
+        // u = (t + m·p) / R
+        let u = &(t + &(&m * &cache.p)) >> cache.r_bits;
+        if u >= cache.p {
+            &u - &cache.p
+        } else {
+            u
+        }
+    }
+}
+
+impl ModMulEngine for MontgomeryEngine {
+    fn name(&self) -> &'static str {
+        "montgomery"
+    }
+
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::EvenModulus`] for even `p` (REDC requires
+    /// `gcd(p, R) = 1`) and [`ModMulError::ZeroModulus`] for `p = 0`.
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if p.is_one() {
+            return Ok(UBig::zero());
+        }
+        let a = a % p;
+        let b = b % p;
+        let cache = self.cache_for(p)?.clone();
+
+        // Enter Montgomery form (one REDC each), multiply, REDC, leave.
+        let am = Self::redc(&cache, &(&a * &cache.r2));
+        let bm = Self::redc(&cache, &(&b * &cache.r2));
+        self.conversions += 2;
+        let prod = Self::redc(&cache, &(&am * &bm));
+        self.reductions += 3;
+        let out = Self::redc(&cache, &prod);
+        self.conversions += 1;
+        self.reductions += 1;
+        Ok(out)
+    }
+}
+
+impl CycleModel for MontgomeryEngine {
+    /// Word-serial CIOS on a 64-bit datapath: `⌈n/64⌉²` multiply-add
+    /// steps for the product and the same again for the reduction, plus
+    /// per-call conversion overhead of two more multiplications. This is
+    /// a software-style model (the paper's PIM comparison instead uses
+    /// BP-NTT's bit-parallel Montgomery — see `modsram-baselines`).
+    fn cycles(&self, n_bits: usize) -> u64 {
+        let words = (n_bits as u64).div_ceil(64);
+        // product + interleaved reduction (2·w²) for the core multiply,
+        // ×3 for the two entry conversions and one exit REDC.
+        2 * words * words * 4
+    }
+
+    fn model_description(&self) -> &'static str {
+        "word-serial CIOS with Montgomery-form entry/exit charged per call"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_odd_moduli() {
+        let mut e = MontgomeryEngine::new();
+        let mut oracle = DirectEngine::new();
+        for p in (1u64..=31).step_by(2) {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_even_moduli() {
+        let mut e = MontgomeryEngine::new();
+        assert_eq!(
+            e.mod_mul(&UBig::one(), &UBig::one(), &UBig::from(10u64)),
+            Err(ModMulError::EvenModulus)
+        );
+    }
+
+    #[test]
+    fn conversion_counter_advances() {
+        let mut e = MontgomeryEngine::new();
+        let p = UBig::from(97u64);
+        e.mod_mul(&UBig::from(5u64), &UBig::from(6u64), &p).unwrap();
+        assert_eq!(e.conversions, 3); // two in, one out
+        e.mod_mul(&UBig::from(7u64), &UBig::from(8u64), &p).unwrap();
+        assert_eq!(e.conversions, 6);
+    }
+
+    #[test]
+    fn large_prime_cross_check() {
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = &UBig::pow2(255) + &UBig::from(12345u64);
+        let b = &UBig::pow2(200) + &UBig::from(6789u64);
+        let mut e = MontgomeryEngine::new();
+        assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+    }
+
+    #[test]
+    fn cache_reuse_across_moduli() {
+        let mut e = MontgomeryEngine::new();
+        let p1 = UBig::from(97u64);
+        let p2 = UBig::from(101u64);
+        assert_eq!(
+            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p1).unwrap(),
+            UBig::from(50u64 * 60 % 97)
+        );
+        assert_eq!(
+            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p2).unwrap(),
+            UBig::from(50u64 * 60 % 101)
+        );
+        assert_eq!(
+            e.mod_mul(&UBig::from(3u64), &UBig::from(4u64), &p1).unwrap(),
+            UBig::from(12u64)
+        );
+    }
+
+    #[test]
+    fn modulus_one() {
+        let mut e = MontgomeryEngine::new();
+        assert_eq!(
+            e.mod_mul(&UBig::from(5u64), &UBig::from(5u64), &UBig::one())
+                .unwrap(),
+            UBig::zero()
+        );
+    }
+}

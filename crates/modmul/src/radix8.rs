@@ -1,0 +1,226 @@
+//! Radix-8 Booth interleaved modular multiplication — the §2.1
+//! extension point ("radix-8 multipliers are very similar … total
+//! iterations are cut down by one-third").
+//!
+//! Digits come from four overlapping bits and lie in `{-4..=4}`, so the
+//! addend table grows to nine entries and — unlike radix-4 — needs a
+//! *real* multiple (`3B`) that cannot be formed by shifting alone. That
+//! extra precompute and the wider LUT are the classic radix-8
+//! trade-off; the `abl2` ablation bench quantifies it against radix-4.
+
+use modsram_bigint::{radix8_digits_msb_first, Radix8Digit, UBig};
+
+use crate::{CycleModel, ModMulEngine, ModMulError};
+
+/// Table-1b analogue for radix-8: digit → `digit·B mod p`.
+#[derive(Debug, Clone)]
+pub struct LutRadix8 {
+    /// Entries indexed `[0, +1, +2, +3, +4, -4, -3, -2, -1]`.
+    entries: [UBig; 9],
+    b: UBig,
+}
+
+impl LutRadix8 {
+    /// Number of entries that need arithmetic (`2B, 3B, 4B` and the four
+    /// negations — `3B` being the one that needs a real addition chain).
+    pub const COMPUTED_ENTRIES: usize = 7;
+
+    /// Precomputes the table for multiplicand `b` and modulus `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::ZeroModulus`] if `p` is zero.
+    pub fn new(b: &UBig, p: &UBig) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let b = b % p;
+        let reduce = |v: UBig| if v >= *p { &v - p } else { v };
+        let two_b = reduce(&b + &b);
+        let three_b = reduce(&two_b + &b);
+        let four_b = reduce(&two_b + &two_b);
+        let neg = |v: &UBig| if v.is_zero() { UBig::zero() } else { p - v };
+        let entries = [
+            UBig::zero(),
+            b.clone(),
+            two_b.clone(),
+            three_b.clone(),
+            four_b.clone(),
+            neg(&four_b),
+            neg(&three_b),
+            neg(&two_b),
+            neg(&b),
+        ];
+        Ok(LutRadix8 { entries, b })
+    }
+
+    /// The addend for a digit, in `[0, p)`.
+    pub fn value(&self, digit: Radix8Digit) -> &UBig {
+        let idx = match digit.value() {
+            d @ 0..=4 => d as usize,
+            d @ -4..=-1 => (9 + d as isize) as usize,
+            _ => unreachable!("radix-8 digits are in -4..=4"),
+        };
+        &self.entries[idx]
+    }
+
+    /// The canonicalised multiplicand.
+    pub fn multiplicand(&self) -> &UBig {
+        &self.b
+    }
+
+    /// All nine rows (for a hypothetical 9-wordline SRAM layout).
+    pub fn rows(&self) -> &[UBig; 9] {
+        &self.entries
+    }
+}
+
+/// Radix-8 Booth interleaved engine (carry-propagate accumulator, as in
+/// Algorithm 2 but three bits per step).
+#[derive(Debug, Clone, Default)]
+pub struct Radix8Engine {
+    /// Iterations executed by the most recent call.
+    pub last_iterations: u64,
+}
+
+impl Radix8Engine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ModMulEngine for Radix8Engine {
+    fn name(&self) -> &'static str {
+        "radix8"
+    }
+
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let a = a % p;
+        let lut = LutRadix8::new(b, p)?;
+        let n = p.bit_len().max(1);
+        let digits = radix8_digits_msb_first(&a, n);
+        self.last_iterations = digits.len() as u64;
+
+        let mut c = UBig::zero();
+        for d in digits {
+            // C ← 8C; C < p so 8C < 8p: up to seven subtractions,
+            // resolved by a top-bits table lookup in hardware.
+            c = &c << 3;
+            while c >= *p {
+                c = &c - p;
+            }
+            c = &c + lut.value(d);
+            if c >= *p {
+                c = &c - p;
+            }
+        }
+        Ok(c)
+    }
+}
+
+impl CycleModel for Radix8Engine {
+    /// Two full-width operations per digit over `⌈n/3⌉` digits. One
+    /// third fewer iterations than radix-4 — but each cycle still has a
+    /// full carry chain, the wider LUT costs four more wordlines, and
+    /// `3B` needs a real add in precompute.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        2 * (n_bits as u64).div_ceil(3) + 2
+    }
+
+    fn model_description(&self) -> &'static str {
+        "3 bits/iteration via Booth radix-8 digits; 2 full-width carry-propagate ops per iteration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_moduli() {
+        let mut e = Radix8Engine::new();
+        let mut oracle = DirectEngine::new();
+        for p in 1u64..=24 {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_entries_are_digit_multiples() {
+        let b = UBig::from(1_234_567u64);
+        let p = UBig::from(99_999_989u64);
+        let lut = LutRadix8::new(&b, &p).unwrap();
+        for d in -4i8..=4 {
+            let digit = match d {
+                0 => Radix8Digit::encode(false, false, false, false),
+                1 => Radix8Digit::encode(false, false, false, true),
+                2 => Radix8Digit::encode(false, true, false, false),
+                3 => Radix8Digit::encode(false, true, false, true),
+                4 => Radix8Digit::encode(false, true, true, true),
+                -1 => Radix8Digit::encode(true, true, true, false),
+                -2 => Radix8Digit::encode(true, true, false, false),
+                -3 => Radix8Digit::encode(true, false, true, false),
+                -4 => Radix8Digit::encode(true, false, false, false),
+                _ => unreachable!(),
+            };
+            assert_eq!(digit.value(), d, "encoding for digit {d}");
+            let expect = if d >= 0 {
+                &(&UBig::from(d as u64) * &b) % &p
+            } else {
+                let m = &(&UBig::from((-d) as u64) * &b) % &p;
+                if m.is_zero() {
+                    m
+                } else {
+                    &p - &m
+                }
+            };
+            assert_eq!(lut.value(digit), &expect, "digit {d}");
+        }
+    }
+
+    #[test]
+    fn iteration_count_is_a_third() {
+        let p = UBig::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = &UBig::pow2(250) + &UBig::from(5u64);
+        let mut e = Radix8Engine::new();
+        assert_eq!(e.mod_mul(&a, &UBig::from(3u64), &p).unwrap(), &(&a * &UBig::from(3u64)) % &p);
+        assert_eq!(e.last_iterations, 86); // ⌈256/3⌉
+    }
+
+    #[test]
+    fn large_cross_check() {
+        let p = UBig::from_dec(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        )
+        .unwrap();
+        let a = &UBig::pow2(253) - &UBig::from(11u64);
+        let b = &UBig::pow2(200) + &UBig::from(13u64);
+        let mut e = Radix8Engine::new();
+        assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+    }
+
+    #[test]
+    fn cycle_model_beats_radix4_on_count() {
+        use crate::Radix4Engine;
+        let r8 = Radix8Engine::new();
+        let r4 = Radix4Engine::new();
+        assert!(r8.cycles(256) < r4.cycles(256));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: every engine must agree with the direct oracle on
+//! random operands across bitwidths, and the R4CSA-LUT loop invariant
+//! must hold after every iteration.
+
+use modsram_bigint::{radix4_digits_msb_first, UBig};
+use modsram_modmul::{
+    all_engines, ModMulError, R4CsaLutEngine, R4CsaStepper, TimingPolicy,
+};
+use proptest::prelude::*;
+
+/// A random (a, b, p) triple with p of `limbs` limbs and a, b below p.
+fn triple(limbs: usize) -> impl Strategy<Value = (UBig, UBig, UBig)> {
+    (
+        prop::collection::vec(any::<u64>(), limbs),
+        prop::collection::vec(any::<u64>(), limbs),
+        prop::collection::vec(any::<u64>(), limbs),
+    )
+        .prop_map(|(a, b, p)| {
+            let mut p = UBig::from_limbs(p);
+            if p.is_zero() {
+                p = UBig::from(3u64);
+            }
+            let a = &UBig::from_limbs(a) % &p;
+            let b = &UBig::from_limbs(b) % &p;
+            (a, b, p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engines_agree_1_limb((a, b, p) in triple(1)) {
+        engines_agree(&a, &b, &p);
+    }
+
+    #[test]
+    fn engines_agree_4_limbs((a, b, p) in triple(4)) {
+        engines_agree(&a, &b, &p);
+    }
+
+    #[test]
+    fn engines_agree_8_limbs((a, b, p) in triple(8)) {
+        engines_agree(&a, &b, &p);
+    }
+
+    #[test]
+    fn r4csa_invariant_random((a, b, p) in triple(3)) {
+        let n = p.bit_len().max(1);
+        let mut stepper = R4CsaStepper::new(&b, &p).unwrap();
+        let mut reference = UBig::zero();
+        for d in radix4_digits_msb_first(&a, n) {
+            let trace = stepper.step(d);
+            reference = &(&reference << 2) % &p;
+            reference = &(&reference + stepper.lut_radix4().value(d)) % &p;
+            prop_assert_eq!(
+                &stepper.represented_value() % &p,
+                reference.clone(),
+                "invariant broken"
+            );
+            // The exact-accounting bound from DESIGN.md §3.2.
+            prop_assert!(trace.ov_index <= 11);
+        }
+        prop_assert_eq!(stepper.finalize().0, &(&a * &b) % &p);
+    }
+
+    #[test]
+    fn constant_time_matches_data_dependent((a, b, p) in triple(4)) {
+        let mut ct = R4CsaLutEngine::with_policy(TimingPolicy::ConstantTime);
+        let mut dd = R4CsaLutEngine::with_policy(TimingPolicy::DataDependent);
+        use modsram_modmul::ModMulEngine;
+        prop_assert_eq!(
+            ct.mod_mul(&a, &b, &p).unwrap(),
+            dd.mod_mul(&a, &b, &p).unwrap()
+        );
+    }
+
+    #[test]
+    fn mod_mul_is_commutative_per_engine((a, b, p) in triple(4)) {
+        for engine in all_engines().iter_mut() {
+            let ab = engine.mod_mul(&a, &b, &p);
+            let ba = engine.mod_mul(&b, &a, &p);
+            match (ab, ba) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{} not commutative", engine.name()),
+                (Err(ModMulError::EvenModulus), Err(ModMulError::EvenModulus)) => {}
+                (x, y) => prop_assert!(false, "inconsistent errors {x:?} {y:?}"),
+            }
+        }
+    }
+}
+
+fn engines_agree(a: &UBig, b: &UBig, p: &UBig) {
+    let want = &(a * b) % p;
+    for engine in all_engines().iter_mut() {
+        match engine.mod_mul(a, b, p) {
+            Ok(got) => assert_eq!(got, want, "{} disagrees with oracle", engine.name()),
+            Err(ModMulError::EvenModulus) => {
+                assert!(p.is_even(), "{} refused an odd modulus", engine.name())
+            }
+            Err(e) => panic!("{} unexpected error {e}", engine.name()),
+        }
+    }
+}
+
+/// Deterministic high-volume sweep of the overflow-index instrumentation
+/// across widths — the data behind the `lut_usage` experiment.
+#[test]
+fn lut_overflow_index_bounds_sweep() {
+    use modsram_modmul::ModMulEngine;
+    let mut engine = R4CsaLutEngine::new();
+    let mut x = 0x853c_49e6_748f_ea9bu64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for bits in [8usize, 16, 32, 64, 128, 256] {
+        for _ in 0..50 {
+            let limbs = bits.div_ceil(64);
+            let p = {
+                let mut v: Vec<u64> = (0..limbs).map(|_| next()).collect();
+                let top = bits % 64;
+                if top != 0 {
+                    v[limbs - 1] >>= 64 - top;
+                }
+                let mut p = UBig::from_limbs(v);
+                if p <= UBig::one() {
+                    p = UBig::from(3u64);
+                }
+                p
+            };
+            let a = &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % &p;
+            let b = &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % &p;
+            let got = engine.mod_mul(&a, &b, &p).unwrap();
+            assert_eq!(got, &(&a * &b) % &p);
+        }
+    }
+    let hist = engine.cumulative_ov_histogram();
+    let max_used = hist
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .unwrap();
+    // Exact accounting never exceeds index 11.
+    assert!(max_used <= 11, "histogram: {hist:?}");
+}

@@ -1,0 +1,218 @@
+//! Component-inventory area model (Figure 5, §5.3).
+
+use crate::device::DeviceAreas;
+
+/// The four Figure 5 components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The 8T SRAM array.
+    Array,
+    /// In-memory circuit: logic-SA (3 SAs/column), precharge, write
+    /// drivers, column mux.
+    InMemory,
+    /// Wordline decoders and drivers (3 RWL + 1 WWL).
+    Decoder,
+    /// Near-memory circuit: three full-width DFFs, shifters, Booth
+    /// encoder, overflow logic, controller.
+    NearMemory,
+}
+
+impl Component {
+    /// All components in Figure 5 order.
+    pub fn all() -> [Component; 4] {
+        [
+            Component::Array,
+            Component::InMemory,
+            Component::Decoder,
+            Component::NearMemory,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Array => "SRAM array",
+            Component::InMemory => "in-memory circuit",
+            Component::Decoder => "decoder",
+            Component::NearMemory => "near-memory circuit",
+        }
+    }
+}
+
+/// Computed areas for one macro configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    /// Component areas in µm², Figure 5 order (array, IMC, decoder, NMC).
+    pub component_um2: [f64; 4],
+}
+
+impl AreaBreakdown {
+    /// Total area, µm².
+    pub fn total_um2(&self) -> f64 {
+        self.component_um2.iter().sum()
+    }
+
+    /// Total area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1.0e6
+    }
+
+    /// A component's share of the total (0..1).
+    pub fn share(&self, c: Component) -> f64 {
+        let idx = Component::all().iter().position(|&x| x == c).expect("known");
+        self.component_um2[idx] / self.total_um2()
+    }
+}
+
+/// The ModSRAM area model: derives Figure 5 from a device inventory.
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    devices: DeviceAreas,
+    rows: usize,
+    cols: usize,
+}
+
+impl AreaModel {
+    /// The paper's macro: 64×256 at 65 nm.
+    pub fn modsram_default() -> Self {
+        AreaModel {
+            devices: DeviceAreas::tsmc65(),
+            rows: 64,
+            cols: 256,
+        }
+    }
+
+    /// A custom geometry with explicit device areas.
+    pub fn new(devices: DeviceAreas, rows: usize, cols: usize) -> Self {
+        AreaModel {
+            devices,
+            rows,
+            cols,
+        }
+    }
+
+    /// Gate inventory of one wordline decoder (6→64-style): one
+    /// NAND-equivalent per row plus predecoding.
+    fn decoder_gates(&self) -> f64 {
+        self.rows as f64 + 34.0
+    }
+
+    /// Full ModSRAM macro breakdown (Figure 5).
+    pub fn modsram_breakdown(&self) -> AreaBreakdown {
+        let d = &self.devices;
+        let rows = self.rows as f64;
+        let cols = self.cols as f64;
+        // Register window is cols + 1 (the MSB FFs live in the NMC).
+        let w = cols + 1.0;
+
+        let array = rows * cols * d.cell_8t;
+
+        // Logic-SA: 3 SAs per read bitline + column mux + precharge +
+        // write drivers (§4.2: "SAs constitute most of the area in the
+        // in-memory circuits, the MUX as two transistors negligible").
+        let imc = cols * (3.0 * d.sense_amp + d.mux2 + d.precharge_per_col + d.write_driver_per_col);
+
+        // Decoders: three RWL decoders (three simultaneous rows) + one
+        // WWL decoder, each with per-row drivers.
+        let one_decoder = self.decoder_gates() * d.gate + rows * d.wl_driver;
+        let decoder = 4.0 * one_decoder;
+
+        // NMC (§4.3): three full-width FFs (multiplier, sum, carry),
+        // shift write-back muxes on sum and carry, Booth encoder,
+        // overflow logic, small FFs, and the controller FSM.
+        let dffs = 3.0 * w * d.dff + 8.0 * d.dff; // + overflow/pending FFs
+        let shifters = 2.0 * w * d.mux2;
+        let booth = 15.0 * d.gate;
+        let ov_logic = 40.0 * d.gate;
+        let controller = 400.0 * d.gate;
+        let nmc = dffs + shifters + booth + ov_logic + controller;
+
+        AreaBreakdown {
+            component_um2: [array, imc, decoder, nmc],
+        }
+    }
+
+    /// A plain (non-PIM) SRAM macro of the same geometry: array, one SA
+    /// per column, precharge, write drivers, one RWL + one WWL decoder.
+    /// The §5.3 overhead baseline.
+    pub fn plain_sram_breakdown(&self) -> AreaBreakdown {
+        let d = &self.devices;
+        let rows = self.rows as f64;
+        let cols = self.cols as f64;
+        let array = rows * cols * d.cell_8t;
+        let imc = cols * (d.sense_amp + d.precharge_per_col + d.write_driver_per_col);
+        let one_decoder = self.decoder_gates() * d.gate + rows * d.wl_driver;
+        let decoder = 2.0 * one_decoder;
+        AreaBreakdown {
+            component_um2: [array, imc, decoder, 0.0],
+        }
+    }
+
+    /// Fractional area overhead of ModSRAM over the plain macro
+    /// (the paper's "only 32 % area overhead").
+    pub fn overhead_vs_plain(&self) -> f64 {
+        self.modsram_breakdown().total_um2() / self.plain_sram_breakdown().total_um2() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> AreaBreakdown {
+        AreaModel::modsram_default().modsram_breakdown()
+    }
+
+    #[test]
+    fn total_area_matches_paper() {
+        // Paper: 0.053 mm².
+        let total = breakdown().total_mm2();
+        assert!((total - 0.053).abs() < 0.003, "total {total} mm²");
+    }
+
+    #[test]
+    fn shares_match_figure5() {
+        let b = breakdown();
+        let checks = [
+            (Component::Array, 0.67, 0.03),
+            (Component::InMemory, 0.20, 0.03),
+            (Component::NearMemory, 0.11, 0.03),
+            (Component::Decoder, 0.02, 0.015),
+        ];
+        for (c, want, tol) in checks {
+            let got = b.share(c);
+            assert!(
+                (got - want).abs() <= tol,
+                "{}: got {:.3}, paper {:.2}",
+                c.name(),
+                got,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_matches_section_5_3() {
+        // Paper: "only 32% area overhead".
+        let overhead = AreaModel::modsram_default().overhead_vs_plain();
+        assert!(
+            (overhead - 0.32).abs() < 0.04,
+            "overhead {:.3}",
+            overhead
+        );
+    }
+
+    #[test]
+    fn array_dominates() {
+        let b = breakdown();
+        assert!(b.share(Component::Array) > 0.5);
+        assert!(b.share(Component::Decoder) < 0.05);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = breakdown();
+        let sum: f64 = Component::all().iter().map(|&c| b.share(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Critical-path frequency model (§5.3: 420 MHz at 65 nm).
+//!
+//! The controller's cycle is bounded by the in-memory read path:
+//! decode → wordline rise → bitline discharge (three stacked read
+//! ports) → sense → latch. Delays are modelled 65 nm estimates,
+//! calibrated to land on the published 420 MHz; the model's value is in
+//! exposing *which* stage limits the clock and how the paths compare
+//! across design variants (the ablation benches).
+
+/// Stage delays in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqModel {
+    /// Decoder and WL-driver delay.
+    pub decode_ns: f64,
+    /// Wordline RC rise.
+    pub wordline_ns: f64,
+    /// Read-bitline discharge with multi-level sensing margin.
+    pub bitline_ns: f64,
+    /// Latch-type SA resolution.
+    pub sense_ns: f64,
+    /// FF setup + clock margin.
+    pub latch_ns: f64,
+}
+
+impl FreqModel {
+    /// Calibrated 65 nm values for the ModSRAM read path.
+    pub fn tsmc65() -> Self {
+        FreqModel {
+            decode_ns: 0.35,
+            wordline_ns: 0.45,
+            bitline_ns: 0.90,
+            sense_ns: 0.50,
+            latch_ns: 0.18,
+        }
+    }
+
+    /// Total cycle time, ns.
+    pub fn cycle_ns(&self) -> f64 {
+        self.decode_ns + self.wordline_ns + self.bitline_ns + self.sense_ns + self.latch_ns
+    }
+
+    /// Maximum clock frequency, MHz.
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / self.cycle_ns()
+    }
+
+    /// The clock an `n`-bit single-cycle carry-propagate adder would
+    /// allow (for the CSA-vs-ripple ablation): gate delay × n plus
+    /// register margin.
+    pub fn ripple_adder_cycle_ns(n_bits: usize) -> f64 {
+        0.012 * n_bits as f64 + 0.35
+    }
+}
+
+impl Default for FreqModel {
+    fn default() -> Self {
+        Self::tsmc65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmax_matches_paper() {
+        let f = FreqModel::tsmc65().fmax_mhz();
+        assert!((f - 420.0).abs() < 10.0, "fmax {f} MHz");
+    }
+
+    #[test]
+    fn bitline_discharge_dominates() {
+        let m = FreqModel::tsmc65();
+        for d in [m.decode_ns, m.wordline_ns, m.sense_ns, m.latch_ns] {
+            assert!(m.bitline_ns >= d);
+        }
+    }
+
+    #[test]
+    fn csa_clock_beats_ripple_adder_at_256_bits() {
+        // The co-design argument: R4CSA's cycle has no carry chain, so
+        // its clock is ~1.4× faster than a 256-bit ripple-adder datapath.
+        let csa = FreqModel::tsmc65().cycle_ns();
+        let ripple = FreqModel::ripple_adder_cycle_ns(256);
+        assert!(ripple > csa, "ripple {ripple} vs csa {csa}");
+    }
+}

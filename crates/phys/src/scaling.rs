@@ -1,0 +1,51 @@
+//! First-order technology-node scaling, for the fair-comparison
+//! discussion around Table 3 (designs span 28–65 nm).
+
+/// Scales an area between nodes (∝ feature size squared).
+///
+/// # Panics
+///
+/// Panics if either node is non-positive.
+pub fn scale_area_mm2(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
+    assert!(from_nm > 0.0 && to_nm > 0.0, "nodes must be positive");
+    area_mm2 * (to_nm / from_nm).powi(2)
+}
+
+/// Scales a clock frequency between nodes (∝ 1 / feature size,
+/// constant-field first order).
+///
+/// # Panics
+///
+/// Panics if either node is non-positive.
+pub fn scale_freq_mhz(freq_mhz: f64, from_nm: f64, to_nm: f64) -> f64 {
+    assert!(from_nm > 0.0 && to_nm > 0.0, "nodes must be positive");
+    freq_mhz * (from_nm / to_nm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scaling_is_quadratic() {
+        let scaled = scale_area_mm2(0.063, 45.0, 65.0);
+        assert!((scaled - 0.063 * (65.0f64 / 45.0).powi(2)).abs() < 1e-12);
+        assert!(scaled > 0.063);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let a = scale_area_mm2(scale_area_mm2(0.5, 65.0, 28.0), 28.0, 65.0);
+        assert!((a - 0.5).abs() < 1e-12);
+        let f = scale_freq_mhz(scale_freq_mhz(420.0, 65.0, 28.0), 28.0, 65.0);
+        assert!((f - 420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bpntt_area_at_65nm_exceeds_modsram() {
+        // Scaling BP-NTT's 0.063 mm² @ 45 nm up to 65 nm for a fair
+        // comparison: ≈ 0.131 mm² vs ModSRAM's 0.053 mm².
+        let scaled = scale_area_mm2(0.063, 45.0, 65.0);
+        assert!(scaled > 2.0 * 0.053);
+    }
+}

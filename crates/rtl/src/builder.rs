@@ -1,0 +1,361 @@
+//! Netlist construction API.
+//!
+//! [`NetlistBuilder`] upholds the [`crate::netlist::Netlist`] invariants
+//! by construction: every gate references only nets that already exist,
+//! so the creation order is a valid topological order and cycles are
+//! unrepresentable. Multi-bit buses are plain `Vec<NetId>`, least
+//! significant bit first, with helpers for ripple/carry-save composition.
+
+use crate::cells::CellKind;
+use crate::netlist::{Driver, NetId, Netlist};
+
+/// Builds a [`Netlist`] gate by gate.
+///
+/// # Examples
+///
+/// Build a half adder and check it:
+///
+/// ```
+/// use modsram_rtl::builder::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let s = b.xor2(a, c);
+/// let co = b.and2(a, c);
+/// b.output("s", s);
+/// b.output("co", co);
+/// let nl = b.finish();
+/// assert_eq!(nl.evaluate(&[true, true]), vec![false, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    drivers: Vec<Driver>,
+    net_names: Vec<Option<String>>,
+    inputs: Vec<(String, NetId)>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty module named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            drivers: Vec::new(),
+            net_names: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, driver: Driver, name: Option<String>) -> NetId {
+        let id = NetId(self.drivers.len() as u32);
+        self.drivers.push(driver);
+        self.net_names.push(name);
+        id
+    }
+
+    fn assert_exists(&self, id: NetId) {
+        assert!(
+            (id.index()) < self.drivers.len(),
+            "net {id} does not exist in module `{}`",
+            self.name
+        );
+    }
+
+    /// Declares a primary input named `name`.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let pos = self.inputs.len();
+        let id = self.push(Driver::Input(pos), Some(name.clone()));
+        self.inputs.push((name, id));
+        id
+    }
+
+    /// Declares a little-endian bus of `width` primary inputs named
+    /// `name0, name1, ...`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}{i}"))).collect()
+    }
+
+    /// A constant 0/1 tie cell.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.push(Driver::Const(value), None)
+    }
+
+    /// Marks `net` as a primary output named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` was not created by this builder.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.assert_exists(net);
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Marks a little-endian bus of nets as outputs `name0, name1, ...`.
+    pub fn output_bus(&mut self, name: &str, nets: &[NetId]) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.output(format!("{name}{i}"), n);
+        }
+    }
+
+    /// Instantiates one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fan-in count differs from [`CellKind::arity`] or a
+    /// fan-in net does not exist.
+    pub fn cell(&mut self, kind: CellKind, fanins: &[NetId]) -> NetId {
+        assert_eq!(
+            fanins.len(),
+            kind.arity(),
+            "{kind} takes {} fan-ins in module `{}`",
+            kind.arity(),
+            self.name
+        );
+        for &f in fanins {
+            self.assert_exists(f);
+        }
+        self.push(Driver::Cell(kind, fanins.to_vec()), None)
+    }
+
+    /// Non-inverting buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.cell(CellKind::Buf, &[a])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.cell(CellKind::Not, &[a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::And2, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Or2, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Nand2, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Nor2, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Xnor2, &[a, b])
+    }
+
+    /// 2:1 mux: `sel ? b : a`.
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Mux2, &[sel, a, b])
+    }
+
+    /// 3-input AND as a balanced tree.
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let ab = self.and2(a, b);
+        self.and2(ab, c)
+    }
+
+    /// 3-input OR as a balanced tree.
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let ab = self.or2(a, b);
+        self.or2(ab, c)
+    }
+
+    /// 3-input XOR — the carry-save **sum** function (Alg. 3 line 7).
+    pub fn xor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let ab = self.xor2(a, b);
+        self.xor2(ab, c)
+    }
+
+    /// 3-input majority — the carry-save **carry** function (Alg. 3
+    /// line 8): `ab + ac + bc`.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let ab = self.and2(a, b);
+        let ac = self.and2(a, c);
+        let bc = self.and2(b, c);
+        let t = self.or2(ab, ac);
+        self.or2(t, bc)
+    }
+
+    /// Full adder returning `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let s = self.xor3(a, b, cin);
+        let co = self.maj3(a, b, cin);
+        (s, co)
+    }
+
+    /// Ripple-carry adder over two equal-width little-endian buses,
+    /// returning `(sum_bus, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width or are empty.
+    pub fn ripple_adder(&mut self, a: &[NetId], b: &[NetId]) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "ripple adder bus width mismatch");
+        assert!(!a.is_empty(), "ripple adder needs at least one bit");
+        let mut carry = self.constant(false);
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let (s, co) = self.full_adder(ai, bi, carry);
+            sum.push(s);
+            carry = co;
+        }
+        (sum, carry)
+    }
+
+    /// One column of carry-save addition over three buses: returns
+    /// `(xor3_bus, maj3_bus)` — the in-memory operation the logic-SA
+    /// performs across 256 columns in a single activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn carry_save_row(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        c: &[NetId],
+    ) -> (Vec<NetId>, Vec<NetId>) {
+        assert!(
+            a.len() == b.len() && b.len() == c.len(),
+            "carry-save bus width mismatch"
+        );
+        let mut xs = Vec::with_capacity(a.len());
+        let mut ms = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            xs.push(self.xor3(a[i], b[i], c[i]));
+            ms.push(self.maj3(a[i], b[i], c[i]));
+        }
+        (xs, ms)
+    }
+
+    /// Finalizes the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary output was declared (a netlist with no
+    /// outputs is always a construction bug).
+    pub fn finish(self) -> Netlist {
+        assert!(
+            !self.outputs.is_empty(),
+            "module `{}` has no outputs",
+            self.name
+        );
+        Netlist::from_parts(
+            self.name,
+            self.drivers,
+            self.net_names,
+            self.inputs,
+            self.outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut b = NetlistBuilder::new("fa");
+        let x = b.input("a");
+        let y = b.input("b");
+        let z = b.input("cin");
+        let (s, co) = b.full_adder(x, y, z);
+        b.output("s", s);
+        b.output("co", co);
+        let nl = b.finish();
+        for bits in 0..8u8 {
+            let (a, bb, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let total = a as u8 + bb as u8 + c as u8;
+            let got = nl.evaluate(&[a, bb, c]);
+            assert_eq!(got[0], total & 1 != 0, "sum at {bits:03b}");
+            assert_eq!(got[1], total >= 2, "carry at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let mut b = NetlistBuilder::new("add4");
+        let a = b.input_bus("a", 4);
+        let x = b.input_bus("b", 4);
+        let (sum, co) = b.ripple_adder(&a, &x);
+        b.output_bus("s", &sum);
+        b.output("co", co);
+        let nl = b.finish();
+        for a in 0..16u32 {
+            for x in 0..16u32 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push(a >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    inputs.push(x >> i & 1 != 0);
+                }
+                let out = nl.evaluate(&inputs);
+                let got = out[..4]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| (bit as u32) << i)
+                    .sum::<u32>()
+                    + ((out[4] as u32) << 4);
+                assert_eq!(got, a + x, "{a}+{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_save_row_is_xor3_maj3() {
+        let mut b = NetlistBuilder::new("csa2");
+        let a = b.input_bus("a", 2);
+        let x = b.input_bus("b", 2);
+        let c = b.input_bus("c", 2);
+        let (xs, ms) = b.carry_save_row(&a, &x, &c);
+        b.output_bus("x", &xs);
+        b.output_bus("m", &ms);
+        let nl = b.finish();
+        for bits in 0..64u8 {
+            let inputs: Vec<bool> = (0..6).map(|i| bits >> i & 1 != 0).collect();
+            let out = nl.evaluate(&inputs);
+            for col in 0..2 {
+                let k = inputs[col] as u8 + inputs[2 + col] as u8 + inputs[4 + col] as u8;
+                assert_eq!(out[col], k % 2 == 1, "xor col {col} bits {bits:06b}");
+                assert_eq!(out[2 + col], k >= 2, "maj col {col} bits {bits:06b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no outputs")]
+    fn finish_without_outputs_panics() {
+        let mut b = NetlistBuilder::new("empty");
+        b.input("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width mismatch")]
+    fn ripple_width_mismatch_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input_bus("a", 2);
+        let x = b.input_bus("b", 3);
+        let _ = b.ripple_adder(&a, &x);
+    }
+}

@@ -1,0 +1,213 @@
+//! The standard-cell library behind the gate-level models.
+//!
+//! Cell areas are expressed in NAND2-equivalents and converted to µm²
+//! through the same 65 nm `gate` constant that `modsram-phys` uses for
+//! the near-memory-circuit area budget, so a synthesized netlist and
+//! the paper-level area model ([Figure 5]) can be cross-checked
+//! (integration test `rtl_area_agrees_with_phys`). Delays are typical
+//! 65 nm standard-cell numbers in picoseconds; they feed the static
+//! timing analysis in [`crate::timing`].
+//!
+//! [Figure 5]: ../../modsram_phys/area/index.html
+
+use std::fmt;
+
+/// Combinational cell kinds available to [`crate::builder::NetlistBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; fan-in order is `(sel, a, b)`, output `sel ? b : a`.
+    Mux2,
+}
+
+impl CellKind {
+    /// All kinds, for census/iteration.
+    pub const ALL: [CellKind; 9] = [
+        CellKind::Buf,
+        CellKind::Not,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+    ];
+
+    /// Number of fan-in pins.
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Not => 1,
+            CellKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// The Verilog primitive/expression template name (for export).
+    pub fn verilog_name(self) -> &'static str {
+        match self {
+            CellKind::Buf => "buf",
+            CellKind::Not => "not",
+            CellKind::And2 => "and",
+            CellKind::Or2 => "or",
+            CellKind::Nand2 => "nand",
+            CellKind::Nor2 => "nor",
+            CellKind::Xor2 => "xor",
+            CellKind::Xnor2 => "xnor",
+            CellKind::Mux2 => "mux2",
+        }
+    }
+
+    /// Boolean function of the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len() != self.arity()`.
+    pub fn evaluate(self, pins: &[bool]) -> bool {
+        assert_eq!(pins.len(), self.arity(), "{self} expects {} pins", self.arity());
+        match self {
+            CellKind::Buf => pins[0],
+            CellKind::Not => !pins[0],
+            CellKind::And2 => pins[0] & pins[1],
+            CellKind::Or2 => pins[0] | pins[1],
+            CellKind::Nand2 => !(pins[0] & pins[1]),
+            CellKind::Nor2 => !(pins[0] | pins[1]),
+            CellKind::Xor2 => pins[0] ^ pins[1],
+            CellKind::Xnor2 => !(pins[0] ^ pins[1]),
+            CellKind::Mux2 => {
+                if pins[0] {
+                    pins[2]
+                } else {
+                    pins[1]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.verilog_name())
+    }
+}
+
+/// Area/delay characterization of the cell kinds at one process node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    /// µm² of one NAND2-equivalent (the `modsram-phys` `gate` constant).
+    pub nand2_equivalent_um2: f64,
+    /// Propagation delays in picoseconds, indexed by [`CellKind::ALL`] order.
+    delays_ps: [f64; 9],
+    /// Areas in NAND2-equivalents, same order.
+    nand_equivalents: [f64; 9],
+}
+
+impl CellLibrary {
+    /// 65 nm characterization consistent with
+    /// `modsram_phys::DeviceAreas::tsmc65()`.
+    pub fn tsmc65() -> Self {
+        CellLibrary {
+            nand2_equivalent_um2: modsram_phys::DeviceAreas::tsmc65().gate,
+            //            Buf   Not  And2  Or2  Nand2 Nor2  Xor2  Xnor2 Mux2
+            delays_ps: [22.0, 15.0, 32.0, 33.0, 24.0, 26.0, 45.0, 46.0, 52.0],
+            nand_equivalents: [0.75, 0.5, 1.25, 1.25, 1.0, 1.0, 2.25, 2.25, 2.5],
+        }
+    }
+
+    fn idx(kind: CellKind) -> usize {
+        CellKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+    }
+
+    /// Propagation delay of one cell, ps.
+    pub fn delay_ps(&self, kind: CellKind) -> f64 {
+        self.delays_ps[Self::idx(kind)]
+    }
+
+    /// Layout area of one cell, µm².
+    pub fn area_um2(&self, kind: CellKind) -> f64 {
+        self.nand_equivalents[Self::idx(kind)] * self.nand2_equivalent_um2
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::tsmc65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_evaluate_contract() {
+        for kind in CellKind::ALL {
+            let pins = vec![true; kind.arity()];
+            // Must not panic at the declared arity.
+            let _ = kind.evaluate(&pins);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 pins")]
+    fn wrong_pin_count_panics() {
+        CellKind::And2.evaluate(&[true]);
+    }
+
+    #[test]
+    fn inverting_cells_are_complementary() {
+        for (plain, inverted) in [
+            (CellKind::And2, CellKind::Nand2),
+            (CellKind::Or2, CellKind::Nor2),
+            (CellKind::Xor2, CellKind::Xnor2),
+        ] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_eq!(
+                        plain.evaluate(&[a, b]),
+                        !inverted.evaluate(&[a, b]),
+                        "{plain} vs {inverted} at ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn library_is_physically_plausible() {
+        let lib = CellLibrary::tsmc65();
+        for kind in CellKind::ALL {
+            assert!(lib.delay_ps(kind) > 0.0);
+            assert!(lib.area_um2(kind) > 0.0);
+        }
+        // XOR is the expensive primitive — the reason CSA (all-XOR/MAJ)
+        // still beats carry chains on *latency* is repetition count, not
+        // per-gate cost.
+        assert!(lib.delay_ps(CellKind::Xor2) > lib.delay_ps(CellKind::Nand2));
+        assert!(lib.area_um2(CellKind::Xor2) > lib.area_um2(CellKind::Nand2));
+    }
+
+    #[test]
+    fn nand_equivalent_ties_to_phys() {
+        let lib = CellLibrary::tsmc65();
+        assert_eq!(
+            lib.area_um2(CellKind::Nand2),
+            modsram_phys::DeviceAreas::tsmc65().gate
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! Gate-level implementations of ModSRAM's peripheral blocks (§4.3).
+//!
+//! Each function returns a self-contained [`Netlist`] for one block the
+//! paper implements "via Verilog" and synthesizes with Design Compiler:
+//!
+//! * [`booth_encoder`] — Table 1a, emitting one-hot LUT-radix4 wordline
+//!   selects in Table 1b row order;
+//! * [`overflow_index_logic`] — the Alg. 3 line 6 combinational adder
+//!   that assembles the LUT-overflow index from the shifted-out bits;
+//! * [`logic_sa_decoder`] — the per-column decode of the three
+//!   thermometer sense-amp outputs into `XOR3`/`MAJ`/`AND3`/`OR3`, with
+//!   a thermometer-violation flag the paper's analog model cannot
+//!   produce but a fault can;
+//! * [`wl_decoder`] — the n:2ⁿ read/write wordline decoder;
+//! * [`carry_save_adder`] — a w-column XOR3/MAJ row (what the SRAM
+//!   computes in-memory, reproduced in gates for the near-memory
+//!   ablation);
+//! * [`final_adder`] — the w-bit ripple adder for the final
+//!   `sum + carry` step (Alg. 3 line 14).
+//!
+//! Every block is equivalence-checked against its behavioural
+//! counterpart in this crate's tests, timed in [`crate::timing`], and
+//! exportable through [`crate::verilog`].
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::{NetId, Netlist};
+
+/// Output port order of [`booth_encoder`]: one-hot selects in Table 1b
+/// row order.
+pub const BOOTH_OUTPUTS: [&str; 5] = ["sel_zero", "sel_p1", "sel_p2", "sel_m2", "sel_m1"];
+
+/// The radix-4 Booth encoder of Table 1a as a one-hot LUT-wordline
+/// select.
+///
+/// Inputs, in order: `a_ip1, a_i, a_im1` (the three overlapping
+/// multiplier bits). Outputs, in order, are [`BOOTH_OUTPUTS`]: exactly
+/// one fires per input combination, naming the LUT-radix4 row
+/// (`0, +B, +2B, −2B, −B` — Table 1b) whose wordline the controller
+/// activates.
+///
+/// # Examples
+///
+/// ```
+/// use modsram_rtl::circuits::booth_encoder;
+///
+/// let enc = booth_encoder();
+/// // (0,1,1) encodes +2 (Table 1a row 4).
+/// assert_eq!(
+///     enc.evaluate(&[false, true, true]),
+///     vec![false, false, true, false, false]
+/// );
+/// ```
+pub fn booth_encoder() -> Netlist {
+    let mut b = NetlistBuilder::new("booth_encoder_r4");
+    let a2 = b.input("a_ip1");
+    let a1 = b.input("a_i");
+    let a0 = b.input("a_im1");
+
+    // digit 0   ⟺ all three bits equal.
+    let eq_hi = b.xnor2(a2, a1);
+    let eq_lo = b.xnor2(a1, a0);
+    let zero = b.and2(eq_hi, eq_lo);
+    // |digit| 1 ⟺ low two bits differ; sign from the top bit.
+    let low_diff = b.xor2(a1, a0);
+    let n2 = b.not(a2);
+    let p1 = b.and2(n2, low_diff);
+    let m1 = b.and2(a2, low_diff);
+    // +2 ⟺ 011; −2 ⟺ 100.
+    let p2 = b.and3(n2, a1, a0);
+    let n1 = b.not(a1);
+    let n0 = b.not(a0);
+    let m2 = b.and3(a2, n1, n0);
+
+    for (name, net) in BOOTH_OUTPUTS.iter().zip([zero, p1, p2, m2, m1]) {
+        b.output(*name, net);
+    }
+    b.finish()
+}
+
+/// The combinational overflow-index adder (Alg. 3 line 6).
+///
+/// Assembles `ov = ov_sum + ov_carry + msb + 4·pending` where `ov_sum`
+/// and `ov_carry` are the two bits shifted out of the sum/carry rows,
+/// `msb` is the phase-1 CSA carry-out bit, and `pending` is the
+/// deferred phase-2 carry-out (see the overflow-accounting note in
+/// DESIGN.md §3.2).
+///
+/// Inputs, in order: `ov_sum0, ov_sum1, ov_carry0, ov_carry1, msb,
+/// pending`. Outputs: `idx0..idx3`, the little-endian 4-bit
+/// LUT-overflow row index (range 0..=11).
+pub fn overflow_index_logic() -> Netlist {
+    let mut b = NetlistBuilder::new("overflow_index");
+    let os = b.input_bus("ov_sum", 2);
+    let oc = b.input_bus("ov_carry", 2);
+    let msb = b.input("msb");
+    let pending = b.input("pending");
+
+    // ov_sum + ov_carry: 2-bit ripple with carry out → 3 bits.
+    let (lo, c_out) = b.ripple_adder(&os, &oc);
+    // + msb: increment the 3-bit value {lo0, lo1, c_out}.
+    let s0 = b.xor2(lo[0], msb);
+    let c0 = b.and2(lo[0], msb);
+    let s1 = b.xor2(lo[1], c0);
+    let c1 = b.and2(lo[1], c0);
+    let s2 = b.xor2(c_out, c1);
+    let c2 = b.and2(c_out, c1);
+    // + 4·pending: adds at weight 4 (bit 2); max total 11 so bit 3 is
+    // the carry of bit 2 only.
+    let idx2 = b.xor2(s2, pending);
+    let c3 = b.and2(s2, pending);
+    let idx3 = b.or2(c2, c3);
+
+    b.output("idx0", s0);
+    b.output("idx1", s1);
+    b.output("idx2", idx2);
+    b.output("idx3", idx3);
+    b.finish()
+}
+
+/// Output port order of [`logic_sa_decoder`].
+pub const SA_DECODER_OUTPUTS: [&str; 5] = ["or3", "maj3", "and3", "xor3", "therm_err"];
+
+/// Decode of the three thermometer sense-amplifier outputs of one
+/// logic-SA column (Figure 2) into the bitwise logic results.
+///
+/// Inputs, in order: `sa1, sa2, sa3` where `saᵢ` fires iff at least `i`
+/// of the three activated cells conduct. Outputs ([`SA_DECODER_OUTPUTS`]):
+/// `or3 = sa1`, `maj3 = sa2`, `and3 = sa3`, `xor3 = sa1 ⊕ sa2 ⊕ sa3`,
+/// and `therm_err`, which fires iff the code is not a valid thermometer
+/// code (`sa2` without `sa1`, or `sa3` without `sa2`) — an SA-offset
+/// fault detector the behavioural model in `modsram-sram` can inject.
+pub fn logic_sa_decoder() -> Netlist {
+    let mut b = NetlistBuilder::new("logic_sa_decoder");
+    let sa1 = b.input("sa1");
+    let sa2 = b.input("sa2");
+    let sa3 = b.input("sa3");
+
+    let or3 = b.buf(sa1);
+    let maj3 = b.buf(sa2);
+    let and3 = b.buf(sa3);
+    let xor3 = b.xor3(sa1, sa2, sa3);
+    let n1 = b.not(sa1);
+    let n2 = b.not(sa2);
+    let v21 = b.and2(sa2, n1);
+    let v32 = b.and2(sa3, n2);
+    let err = b.or2(v21, v32);
+
+    for (name, net) in SA_DECODER_OUTPUTS.iter().zip([or3, maj3, and3, xor3, err]) {
+        b.output(*name, net);
+    }
+    b.finish()
+}
+
+/// An `addr_bits`:2^`addr_bits` one-hot wordline decoder with enable,
+/// built with 2-bit predecoding (the standard SRAM decoder structure —
+/// shared predecode lines keep the per-row AND fan-in at one gate per
+/// predecode group instead of one per address bit).
+///
+/// Inputs, in order: `addr0..addr{n−1}` (little-endian), then `en`.
+/// Outputs: `wl0..wl{2ⁿ−1}`; `wl[k]` fires iff `en` and `addr == k`.
+/// ModSRAM's read and write decoders are instances with
+/// `addr_bits = 6` (64 rows).
+///
+/// # Panics
+///
+/// Panics if `addr_bits` is 0 or greater than 10 (a 1024-row decoder is
+/// beyond any single SRAM bank modelled here).
+pub fn wl_decoder(addr_bits: usize) -> Netlist {
+    assert!(
+        (1..=10).contains(&addr_bits),
+        "addr_bits must be in 1..=10, got {addr_bits}"
+    );
+    let mut b = NetlistBuilder::new(format!("wl_decoder_{addr_bits}x{}", 1 << addr_bits));
+    let addr = b.input_bus("addr", addr_bits);
+    let en = b.input("en");
+    let addr_n: Vec<NetId> = addr.iter().map(|&a| b.not(a)).collect();
+
+    // Predecode: pairs of address bits become shared 1-of-4 lines
+    // (a trailing odd bit becomes a 1-of-2 group).
+    let mut groups: Vec<Vec<NetId>> = Vec::new();
+    let mut bit = 0;
+    while bit < addr_bits {
+        if bit + 1 < addr_bits {
+            let (a0, a1) = (addr[bit], addr[bit + 1]);
+            let (n0, n1) = (addr_n[bit], addr_n[bit + 1]);
+            groups.push(vec![
+                b.and2(n1, n0),
+                b.and2(n1, a0),
+                b.and2(a1, n0),
+                b.and2(a1, a0),
+            ]);
+            bit += 2;
+        } else {
+            groups.push(vec![addr_n[bit], addr[bit]]);
+            bit += 1;
+        }
+    }
+
+    for row in 0..1usize << addr_bits {
+        // AND one predecoded line per group, gated by enable.
+        let mut term = en;
+        let mut consumed = 0;
+        for group in &groups {
+            let width = group.len().trailing_zeros() as usize; // 2 or 1 bits
+            let sel = row >> consumed & (group.len() - 1);
+            term = b.and2(term, group[sel]);
+            consumed += width;
+        }
+        b.output(format!("wl{row}"), term);
+    }
+    b.finish()
+}
+
+/// A `width`-column carry-save adder row: `xor0..` = XOR3 and
+/// `maj0..` = MAJ of the three input buses.
+///
+/// This is the operation the logic-SA performs *in memory* across all
+/// 256 columns; the gate version exists for the near-memory ablation
+/// (what the NMC would cost if the CSA were pulled out of the array)
+/// and for timing comparison.
+///
+/// Inputs: buses `a`, `b`, `c` of `width` bits each. Outputs: buses
+/// `xor` then `maj`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn carry_save_adder(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("csa_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let c = b.input_bus("c", width);
+    let (xs, ms) = b.carry_save_row(&a, &x, &c);
+    b.output_bus("xor", &xs);
+    b.output_bus("maj", &ms);
+    b.finish()
+}
+
+/// The final `sum + carry` ripple adder (Alg. 3 line 14) over `width`
+/// bits, with carry out.
+///
+/// Inputs: buses `a` and `b`; outputs: bus `s` plus `cout`. The O(n)
+/// carry chain here is exactly what R4CSA-LUT pays **once** instead of
+/// every iteration — the crate's timing tests quantify that trade.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn final_adder(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("final_adder_{width}"));
+    let a = b.input_bus("a", width);
+    let x = b.input_bus("b", width);
+    let (sum, co) = b.ripple_adder(&a, &x);
+    b.output_bus("s", &sum);
+    b.output("cout", co);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsram_bigint::Radix4Digit;
+
+    #[test]
+    fn booth_encoder_matches_table_1a() {
+        let enc = booth_encoder();
+        for bits in 0..8u8 {
+            let a_ip1 = bits & 4 != 0;
+            let a_i = bits & 2 != 0;
+            let a_im1 = bits & 1 != 0;
+            let out = enc.evaluate(&[a_ip1, a_i, a_im1]);
+            let digit = Radix4Digit::encode(a_ip1, a_i, a_im1).value();
+            let want_hot = match digit {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                -2 => 3,
+                -1 => 4,
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                out.iter().filter(|&&b| b).count(),
+                1,
+                "one-hot violated at {bits:03b}"
+            );
+            assert!(out[want_hot], "digit {digit} at {bits:03b} → {out:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_index_matches_nmc_formula() {
+        let nl = overflow_index_logic();
+        for bits in 0..64u8 {
+            let ov_sum = bits & 3;
+            let ov_carry = bits >> 2 & 3;
+            let msb = bits >> 4 & 1;
+            let pending = bits >> 5 & 1;
+            let inputs = [
+                ov_sum & 1 != 0,
+                ov_sum & 2 != 0,
+                ov_carry & 1 != 0,
+                ov_carry & 2 != 0,
+                msb != 0,
+                pending != 0,
+            ];
+            let out = nl.evaluate(&inputs);
+            let got: u8 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u8) << i)
+                .sum();
+            // Same formula as `modsram_core::Nmc::take_overflow_index`.
+            let want = ov_sum + ov_carry + msb + 4 * pending;
+            assert_eq!(got, want, "bits {bits:06b}");
+        }
+    }
+
+    #[test]
+    fn sa_decoder_matches_sense_semantics() {
+        let nl = logic_sa_decoder();
+        // Valid thermometer codes correspond to k = 0..=3 conducting
+        // cells.
+        for k in 0..=3usize {
+            let inputs = [k >= 1, k >= 2, k >= 3];
+            let out = nl.evaluate(&inputs);
+            assert_eq!(out[0], k >= 1, "or3 at k={k}");
+            assert_eq!(out[1], k >= 2, "maj3 at k={k}");
+            assert_eq!(out[2], k >= 3, "and3 at k={k}");
+            assert_eq!(out[3], k % 2 == 1, "xor3 at k={k}");
+            assert!(!out[4], "therm_err must be clear at k={k}");
+        }
+    }
+
+    #[test]
+    fn sa_decoder_flags_invalid_codes() {
+        let nl = logic_sa_decoder();
+        let mut flagged = 0;
+        for bits in 0..8u8 {
+            let sa = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let valid = (!sa[1] || sa[0]) && (!sa[2] || sa[1]);
+            let out = nl.evaluate(&sa);
+            assert_eq!(out[4], !valid, "therm_err at {bits:03b}");
+            flagged += out[4] as u32;
+        }
+        assert_eq!(flagged, 4, "exactly half the codes are invalid");
+    }
+
+    #[test]
+    fn wl_decoder_is_one_hot() {
+        let nl = wl_decoder(3);
+        for addr in 0..8usize {
+            let mut inputs: Vec<bool> = (0..3).map(|b| addr >> b & 1 != 0).collect();
+            inputs.push(true); // en
+            let out = nl.evaluate(&inputs);
+            for (row, &fired) in out.iter().enumerate() {
+                assert_eq!(fired, row == addr, "addr {addr} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn wl_decoder_enable_gates_everything() {
+        let nl = wl_decoder(3);
+        for addr in 0..8usize {
+            let mut inputs: Vec<bool> = (0..3).map(|b| addr >> b & 1 != 0).collect();
+            inputs.push(false); // en low
+            assert!(
+                nl.evaluate(&inputs).iter().all(|&b| !b),
+                "addr {addr} with en=0"
+            );
+        }
+    }
+
+    #[test]
+    fn modsram_decoder_shape() {
+        // The 64-row array needs a 6:64 decoder.
+        let nl = wl_decoder(6);
+        assert_eq!(nl.inputs().len(), 7);
+        assert_eq!(nl.outputs().len(), 64);
+    }
+
+    #[test]
+    fn final_adder_adds_wide() {
+        let nl = final_adder(8);
+        for (a, b) in [(0u32, 0u32), (255, 1), (170, 85), (200, 100)] {
+            let mut inputs = Vec::new();
+            for i in 0..8 {
+                inputs.push(a >> i & 1 != 0);
+            }
+            for i in 0..8 {
+                inputs.push(b >> i & 1 != 0);
+            }
+            let out = nl.evaluate(&inputs);
+            let got: u32 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| (bit as u32) << i)
+                .sum();
+            assert_eq!(got, a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn csa_depth_is_width_independent() {
+        // The whole point of carry-save: constant depth per column.
+        assert_eq!(carry_save_adder(4).depth(), carry_save_adder(64).depth());
+    }
+
+    #[test]
+    fn ripple_depth_grows_with_width() {
+        assert!(final_adder(64).depth() > final_adder(8).depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "addr_bits")]
+    fn zero_width_decoder_rejected() {
+        wl_decoder(0);
+    }
+}

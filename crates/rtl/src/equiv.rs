@@ -1,0 +1,198 @@
+//! Combinational equivalence checking against behavioural references.
+//!
+//! The reproduction's safety net between abstraction levels: every
+//! gate-level block in [`crate::circuits`] is checked against the
+//! word-level behavioural model it implements — exhaustively where the
+//! input space allows ([`check_equiv`]), by seeded random sampling
+//! above [`EXHAUSTIVE_LIMIT`] inputs ([`check_equiv_random`]). This is
+//! the miniature of what a formal LEC run does in the paper's Design
+//! Compiler flow.
+
+use crate::netlist::Netlist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Maximum primary-input count for exhaustive checking (2²⁰ ≈ 1M
+/// vectors).
+pub const EXHAUSTIVE_LIMIT: usize = 20;
+
+/// A failing input assignment found by an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The input assignment, in primary-input order.
+    pub inputs: Vec<bool>,
+    /// What the netlist produced.
+    pub netlist_outputs: Vec<bool>,
+    /// What the reference produced.
+    pub reference_outputs: Vec<bool>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bits = |v: &[bool]| v.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+        write!(
+            f,
+            "inputs {} → netlist {} ≠ reference {}",
+            bits(&self.inputs),
+            bits(&self.netlist_outputs),
+            bits(&self.reference_outputs)
+        )
+    }
+}
+
+impl std::error::Error for Counterexample {}
+
+fn compare_at(
+    netlist: &Netlist,
+    reference: &dyn Fn(&[bool]) -> Vec<bool>,
+    inputs: &[bool],
+    scratch: &mut Vec<bool>,
+) -> Result<(), Counterexample> {
+    netlist.evaluate_into(inputs, scratch);
+    let got: Vec<bool> = netlist
+        .outputs()
+        .iter()
+        .map(|(_, id)| scratch[id.index()])
+        .collect();
+    let want = reference(inputs);
+    assert_eq!(
+        want.len(),
+        netlist.outputs().len(),
+        "reference must produce one bit per netlist output"
+    );
+    if got == want {
+        Ok(())
+    } else {
+        Err(Counterexample {
+            inputs: inputs.to_vec(),
+            netlist_outputs: got,
+            reference_outputs: want,
+        })
+    }
+}
+
+/// Exhaustively checks that `netlist` computes the same function as
+/// `reference` over **all** input assignments.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] in counting order if the two
+/// disagree anywhere.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than [`EXHAUSTIVE_LIMIT`] inputs
+/// (use [`check_equiv_random`]) or if `reference` returns the wrong
+/// number of outputs.
+pub fn check_equiv(
+    netlist: &Netlist,
+    reference: impl Fn(&[bool]) -> Vec<bool>,
+) -> Result<(), Counterexample> {
+    let n = netlist.inputs().len();
+    assert!(
+        n <= EXHAUSTIVE_LIMIT,
+        "{n} inputs exceeds the exhaustive limit of {EXHAUSTIVE_LIMIT}; use check_equiv_random"
+    );
+    let mut scratch = Vec::new();
+    let mut inputs = vec![false; n];
+    for pattern in 0..1u64 << n {
+        for (bit, slot) in inputs.iter_mut().enumerate() {
+            *slot = pattern >> bit & 1 == 1;
+        }
+        compare_at(netlist, &reference, &inputs, &mut scratch)?;
+    }
+    Ok(())
+}
+
+/// Checks `netlist` against `reference` on `trials` seeded-random input
+/// vectors — the fallback for blocks too wide to sweep.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] encountered.
+pub fn check_equiv_random(
+    netlist: &Netlist,
+    reference: impl Fn(&[bool]) -> Vec<bool>,
+    trials: usize,
+    seed: u64,
+) -> Result<(), Counterexample> {
+    let n = netlist.inputs().len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scratch = Vec::new();
+    let mut inputs = vec![false; n];
+    for _ in 0..trials {
+        for slot in inputs.iter_mut() {
+            *slot = rng.random();
+        }
+        compare_at(netlist, &reference, &inputs, &mut scratch)?;
+    }
+    Ok(())
+}
+
+/// Asserts equivalence, panicking with the counterexample on failure.
+/// Chooses exhaustive or random (4096 vectors) checking by input count.
+///
+/// # Panics
+///
+/// Panics with a formatted [`Counterexample`] if the check fails.
+pub fn assert_equiv(netlist: &Netlist, reference: impl Fn(&[bool]) -> Vec<bool>) {
+    let result = if netlist.inputs().len() <= EXHAUSTIVE_LIMIT {
+        check_equiv(netlist, reference)
+    } else {
+        check_equiv_random(netlist, reference, 4096, 0x6d6f_6473)
+    };
+    if let Err(cex) = result {
+        panic!("netlist `{}` is not equivalent: {cex}", netlist.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.xor2(a, c);
+        b.output("y", y);
+        b.finish()
+    }
+
+    #[test]
+    fn equivalent_passes() {
+        check_equiv(&xor_netlist(), |i| vec![i[0] ^ i[1]]).expect("xor is xor");
+    }
+
+    #[test]
+    fn inequivalent_yields_counterexample() {
+        let err = check_equiv(&xor_netlist(), |i| vec![i[0] & i[1]])
+            .expect_err("xor is not and");
+        // First disagreement in counting order: pattern 01.
+        assert_eq!(err.inputs, vec![true, false]);
+        assert_eq!(err.netlist_outputs, vec![true]);
+        assert_eq!(err.reference_outputs, vec![false]);
+        // Display is actionable.
+        assert!(err.to_string().contains("10"), "{err}");
+    }
+
+    #[test]
+    fn random_check_finds_gross_mismatch() {
+        let err = check_equiv_random(&xor_netlist(), |i| vec![!(i[0] ^ i[1])], 64, 7)
+            .expect_err("complement differs everywhere");
+        assert_eq!(err.inputs.len(), 2);
+    }
+
+    #[test]
+    fn random_check_passes_equivalent() {
+        check_equiv_random(&xor_netlist(), |i| vec![i[0] ^ i[1]], 256, 3).expect("still xor");
+    }
+
+    #[test]
+    #[should_panic(expected = "not equivalent")]
+    fn assert_equiv_panics_with_context() {
+        assert_equiv(&xor_netlist(), |_| vec![false]);
+    }
+}

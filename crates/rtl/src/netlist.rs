@@ -1,0 +1,338 @@
+//! Single-driver combinational netlists.
+//!
+//! A [`Netlist`] is a directed acyclic graph of logic gates over boolean
+//! nets, the data structure a synthesis tool hands to place-and-route.
+//! The paper's peripheral logic (Booth encoder, overflow adder, wordline
+//! decoders, controller datapath muxing — §4.3, "realized via Verilog")
+//! is reproduced here at gate level so that it can be
+//!
+//! * evaluated exhaustively against the behavioural models
+//!   ([`crate::equiv`]),
+//! * timed with a per-cell delay model ([`crate::timing`]), and
+//! * exported as structural Verilog ([`crate::verilog`]).
+//!
+//! Nets are identified by [`NetId`]; every net has exactly one driver
+//! (a primary input, a constant, or a gate output). Evaluation runs in
+//! topological order, computed once and cached at construction.
+
+use crate::cells::CellKind;
+use std::fmt;
+
+/// Identifier of one boolean net inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index of this net (also its position in evaluation
+    /// buffers).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The driver of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Driver {
+    /// Primary input with its position in the input vector.
+    Input(usize),
+    /// Constant 0 or 1 (tie cell).
+    Const(bool),
+    /// Output of a logic cell over the given fan-in nets.
+    Cell(CellKind, Vec<NetId>),
+}
+
+/// A named, validated, topologically sorted combinational netlist.
+///
+/// Construct with [`crate::builder::NetlistBuilder`]; the builder
+/// guarantees the single-driver and acyclicity invariants, so
+/// evaluation never fails.
+///
+/// # Examples
+///
+/// ```
+/// use modsram_rtl::builder::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("toy");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let y = b.xor2(a, c);
+/// b.output("y", y);
+/// let nl = b.finish();
+/// assert_eq!(nl.evaluate(&[true, false]), vec![true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    pub(crate) drivers: Vec<Driver>,
+    pub(crate) net_names: Vec<Option<String>>,
+    pub(crate) inputs: Vec<(String, NetId)>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+    /// Nets in dependency order (fan-ins before fan-outs).
+    pub(crate) topo: Vec<NetId>,
+}
+
+impl Netlist {
+    /// The module name used for display and Verilog export.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        drivers: Vec<Driver>,
+        net_names: Vec<Option<String>>,
+        inputs: Vec<(String, NetId)>,
+        outputs: Vec<(String, NetId)>,
+    ) -> Self {
+        let topo = (0..drivers.len() as u32).map(NetId).collect();
+        // The builder only ever references already-created nets as
+        // fan-ins, so creation order *is* a topological order.
+        Netlist {
+            name,
+            drivers,
+            net_names,
+            inputs,
+            outputs,
+            topo,
+        }
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[(String, NetId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Number of logic cells (excludes inputs and constants).
+    pub fn cell_count(&self) -> usize {
+        self.drivers
+            .iter()
+            .filter(|d| matches!(d, Driver::Cell(..)))
+            .count()
+    }
+
+    /// Count of cells of one kind.
+    pub fn count_of(&self, kind: CellKind) -> usize {
+        self.drivers
+            .iter()
+            .filter(|d| matches!(d, Driver::Cell(k, _) if *k == kind))
+            .count()
+    }
+
+    /// Iterates over `(output_net, cell_kind, fanin_nets)` for every
+    /// logic cell, in topological order.
+    pub fn cells(&self) -> impl Iterator<Item = (NetId, CellKind, &[NetId])> + '_ {
+        self.topo.iter().filter_map(move |&id| {
+            match &self.drivers[id.index()] {
+                Driver::Cell(kind, fanins) => Some((id, *kind, fanins.as_slice())),
+                _ => None,
+            }
+        })
+    }
+
+    /// The declared name of a net, if it has one.
+    pub fn net_name(&self, id: NetId) -> Option<&str> {
+        self.net_names[id.index()].as_deref()
+    }
+
+    /// Total cell area in µm² under the given standard-cell library.
+    pub fn area_um2(&self, lib: &crate::cells::CellLibrary) -> f64 {
+        self.cells().map(|(_, kind, _)| lib.area_um2(kind)).sum()
+    }
+
+    /// Evaluates the netlist for one input assignment.
+    ///
+    /// `inputs` must supply one bit per declared primary input, in
+    /// declaration order; returns one bit per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary
+    /// inputs.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.drivers.len()];
+        self.evaluate_into(inputs, &mut values);
+        self.outputs
+            .iter()
+            .map(|(_, id)| values[id.index()])
+            .collect()
+    }
+
+    /// Evaluates into a caller-provided scratch buffer (one slot per
+    /// net), avoiding per-call allocation in exhaustive sweeps. The
+    /// buffer is resized as needed.
+    pub fn evaluate_into(&self, inputs: &[bool], values: &mut Vec<bool>) {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "netlist `{}` expects {} inputs, got {}",
+            self.name,
+            self.inputs.len(),
+            inputs.len()
+        );
+        values.clear();
+        values.resize(self.drivers.len(), false);
+        for &id in &self.topo {
+            let v = match &self.drivers[id.index()] {
+                Driver::Input(pos) => inputs[*pos],
+                Driver::Const(c) => *c,
+                Driver::Cell(kind, fanins) => {
+                    let mut bits = [false; 3];
+                    for (slot, f) in bits.iter_mut().zip(fanins.iter()) {
+                        *slot = values[f.index()];
+                    }
+                    kind.evaluate(&bits[..fanins.len()])
+                }
+            };
+            values[id.index()] = v;
+        }
+    }
+
+    /// Logic depth in cells of the longest input→output path (unit
+    /// delay per cell). Constants and inputs have depth 0.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.drivers.len()];
+        for &id in &self.topo {
+            if let Driver::Cell(_, fanins) = &self.drivers[id.index()] {
+                depth[id.index()] = 1 + fanins
+                    .iter()
+                    .map(|f| depth[f.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|(_, id)| depth[id.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} in, {} out, {} cells, depth {}",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.cell_count(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+    use crate::cells::{CellKind, CellLibrary};
+
+    #[test]
+    fn evaluate_all_two_input_kinds() {
+        let mut b = NetlistBuilder::new("gates");
+        let a = b.input("a");
+        let c = b.input("b");
+        let outs = [
+            b.and2(a, c),
+            b.or2(a, c),
+            b.xor2(a, c),
+            b.nand2(a, c),
+            b.nor2(a, c),
+            b.xnor2(a, c),
+        ];
+        for (i, o) in outs.iter().enumerate() {
+            b.output(format!("y{i}"), *o);
+        }
+        let nl = b.finish();
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let got = nl.evaluate(&[x, y]);
+            assert_eq!(
+                got,
+                vec![x & y, x | y, x ^ y, !(x & y), !(x | y), !(x ^ y)],
+                "x={x} y={y}"
+            );
+        }
+    }
+
+    #[test]
+    fn constants_and_not() {
+        let mut b = NetlistBuilder::new("const");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let n = b.not(one);
+        b.output("n1", n);
+        b.output("c0", zero);
+        let nl = b.finish();
+        assert_eq!(nl.evaluate(&[]), vec![false, false]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.input("s");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.mux2(s, a, c);
+        b.output("y", y);
+        let nl = b.finish();
+        // sel = 0 → a; sel = 1 → b.
+        assert_eq!(nl.evaluate(&[false, true, false]), vec![true]);
+        assert_eq!(nl.evaluate(&[true, true, false]), vec![false]);
+        assert_eq!(nl.evaluate(&[true, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn depth_counts_longest_path() {
+        let mut b = NetlistBuilder::new("depth");
+        let a = b.input("a");
+        let mut x = a;
+        for _ in 0..5 {
+            x = b.not(x);
+        }
+        let shallow = b.not(a);
+        let y = b.and2(x, shallow);
+        b.output("y", y);
+        let nl = b.finish();
+        assert_eq!(nl.depth(), 6);
+    }
+
+    #[test]
+    fn cell_census_and_area() {
+        let mut b = NetlistBuilder::new("census");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let y = b.xor2(a, x);
+        b.output("y", y);
+        let nl = b.finish();
+        assert_eq!(nl.cell_count(), 2);
+        assert_eq!(nl.count_of(CellKind::And2), 1);
+        assert_eq!(nl.count_of(CellKind::Xor2), 1);
+        assert_eq!(nl.count_of(CellKind::Not), 0);
+        let lib = CellLibrary::tsmc65();
+        let want = lib.area_um2(CellKind::And2) + lib.area_um2(CellKind::Xor2);
+        assert!((nl.area_um2(&lib) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_input_arity_panics() {
+        let mut b = NetlistBuilder::new("arity");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        b.finish().evaluate(&[true]);
+    }
+}

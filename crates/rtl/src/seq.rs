@@ -1,0 +1,249 @@
+//! Clocked circuits: a combinational [`Netlist`] closed over a state
+//! register bank.
+//!
+//! A [`SeqCircuit`] follows the standard synchronous-design convention:
+//! the wrapped netlist's primary inputs are the external inputs
+//! followed by the current-state bits, and its primary outputs are the
+//! external outputs followed by the next-state bits. [`SeqCircuit::step`]
+//! evaluates one clock cycle; [`crate::verilog::emit_seq_module`]
+//! exports the whole thing as a synthesizable module with an
+//! `always @(posedge clk)` register bank and synchronous reset.
+
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// A synchronous circuit: combinational cloud + state registers.
+///
+/// # Examples
+///
+/// A toggle flip-flop (1 state bit, no external inputs):
+///
+/// ```
+/// use modsram_rtl::builder::NetlistBuilder;
+/// use modsram_rtl::seq::SeqCircuit;
+///
+/// let mut b = NetlistBuilder::new("toggle");
+/// let q = b.input("q");          // current state
+/// let nq = b.not(q);
+/// b.output("out", q);            // external output
+/// b.output("q_next", nq);        // next state
+/// let mut t = SeqCircuit::new(b.finish(), 0, 1, &[false]);
+/// assert_eq!(t.step(&[]), vec![false]);
+/// assert_eq!(t.step(&[]), vec![true]);
+/// assert_eq!(t.step(&[]), vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqCircuit {
+    comb: Netlist,
+    n_ext_in: usize,
+    n_ext_out: usize,
+    reset_state: Vec<bool>,
+    state: Vec<bool>,
+    cycle: u64,
+}
+
+impl SeqCircuit {
+    /// Wraps `comb` with `reset_state.len()` state registers.
+    ///
+    /// The netlist must declare `n_ext_in + reset_state.len()` inputs
+    /// (external first, then state) and `n_ext_out + reset_state.len()`
+    /// outputs (external first, then next-state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's port counts do not match that contract.
+    pub fn new(comb: Netlist, n_ext_in: usize, n_ext_out: usize, reset_state: &[bool]) -> Self {
+        let n_state = reset_state.len();
+        assert_eq!(
+            comb.inputs().len(),
+            n_ext_in + n_state,
+            "netlist `{}` must take {n_ext_in} external + {n_state} state inputs",
+            comb.name()
+        );
+        assert_eq!(
+            comb.outputs().len(),
+            n_ext_out + n_state,
+            "netlist `{}` must drive {n_ext_out} external + {n_state} next-state outputs",
+            comb.name()
+        );
+        SeqCircuit {
+            comb,
+            n_ext_in,
+            n_ext_out,
+            reset_state: reset_state.to_vec(),
+            state: reset_state.to_vec(),
+            cycle: 0,
+        }
+    }
+
+    /// The combinational cloud.
+    pub fn comb(&self) -> &Netlist {
+        &self.comb
+    }
+
+    /// External input count.
+    pub fn external_inputs(&self) -> usize {
+        self.n_ext_in
+    }
+
+    /// External output count.
+    pub fn external_outputs(&self) -> usize {
+        self.n_ext_out
+    }
+
+    /// Number of state registers.
+    pub fn state_bits(&self) -> usize {
+        self.reset_state.len()
+    }
+
+    /// The current register values.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// The reset value of state register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.state_bits()`.
+    pub fn reset_value(&self, i: usize) -> bool {
+        self.reset_state[i]
+    }
+
+    /// Clock cycles stepped since construction or the last
+    /// [`SeqCircuit::reset`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Synchronous reset: registers return to their reset values.
+    pub fn reset(&mut self) {
+        self.state = self.reset_state.clone();
+        self.cycle = 0;
+    }
+
+    /// One clock cycle: evaluates the cloud on `ext_inputs` + current
+    /// state, latches the next state, and returns the external outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ext_inputs.len() != self.external_inputs()`.
+    pub fn step(&mut self, ext_inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            ext_inputs.len(),
+            self.n_ext_in,
+            "expected {} external inputs",
+            self.n_ext_in
+        );
+        let mut inputs = Vec::with_capacity(self.n_ext_in + self.state.len());
+        inputs.extend_from_slice(ext_inputs);
+        inputs.extend_from_slice(&self.state);
+        let all = self.comb.evaluate(&inputs);
+        let (ext, next) = all.split_at(self.n_ext_out);
+        self.state.copy_from_slice(next);
+        self.cycle += 1;
+        ext.to_vec()
+    }
+
+    /// Combinational peek at the external outputs for the current state
+    /// and the given inputs, without advancing the clock.
+    pub fn peek(&self, ext_inputs: &[bool]) -> Vec<bool> {
+        let mut inputs = Vec::with_capacity(self.n_ext_in + self.state.len());
+        inputs.extend_from_slice(ext_inputs);
+        inputs.extend_from_slice(&self.state);
+        let all = self.comb.evaluate(&inputs);
+        all[..self.n_ext_out].to_vec()
+    }
+}
+
+impl fmt::Display for SeqCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ext in, {} ext out, {} state bits, cycle {}",
+            self.comb.name(),
+            self.n_ext_in,
+            self.n_ext_out,
+            self.state_bits(),
+            self.cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    /// 2-bit synchronous counter with enable.
+    fn counter2() -> SeqCircuit {
+        let mut b = NetlistBuilder::new("counter2");
+        let en = b.input("en");
+        let q0 = b.input("q0");
+        let q1 = b.input("q1");
+        // out = current count; next = count + en.
+        let n0 = b.xor2(q0, en);
+        let carry = b.and2(q0, en);
+        let n1 = b.xor2(q1, carry);
+        b.output("c0", q0);
+        b.output("c1", q1);
+        b.output("q0_next", n0);
+        b.output("q1_next", n1);
+        SeqCircuit::new(b.finish(), 1, 2, &[false, false])
+    }
+
+    #[test]
+    fn counter_counts_modulo_four() {
+        let mut c = counter2();
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let out = c.step(&[true]);
+            seen.push((out[0] as u8) + 2 * (out[1] as u8));
+        }
+        // step() returns the *pre-edge* outputs (Moore).
+        assert_eq!(seen, vec![0, 1, 2, 3, 0, 1]);
+        assert_eq!(c.cycle(), 6);
+    }
+
+    #[test]
+    fn enable_low_holds_state() {
+        let mut c = counter2();
+        c.step(&[true]);
+        c.step(&[true]);
+        let frozen = c.state().to_vec();
+        c.step(&[false]);
+        c.step(&[false]);
+        assert_eq!(c.state(), &frozen[..]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = counter2();
+        for _ in 0..3 {
+            c.step(&[true]);
+        }
+        c.reset();
+        assert_eq!(c.state(), &[false, false]);
+        assert_eq!(c.cycle(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut c = counter2();
+        c.step(&[true]); // state = 1
+        let before = c.state().to_vec();
+        let peeked = c.peek(&[true]);
+        assert_eq!(c.state(), &before[..]);
+        assert_eq!(peeked, vec![true, false]); // shows count = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "state inputs")]
+    fn port_contract_is_enforced() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        b.output("y", a);
+        // Claims 1 state bit but the netlist has no room for it.
+        let _ = SeqCircuit::new(b.finish(), 1, 1, &[false]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Static timing analysis over [`Netlist`]s.
+//!
+//! Computes per-net arrival times from the [`CellLibrary`] delay table
+//! and extracts the critical path — the gate-level counterpart of the
+//! stage-delay model in `modsram_phys::FreqModel`. The headline checks
+//! live in the crate's integration tests:
+//!
+//! * the NMC combinational blocks (Booth encoder, overflow adder,
+//!   SA decode) all fit comfortably inside the 420 MHz cycle the array
+//!   read path dictates, confirming §4.3's claim that the near-memory
+//!   logic is never the critical path;
+//! * a ripple `final_adder` grows linearly in width while the
+//!   carry-save row stays flat — the paper's motivation for CSA,
+//!   measured in picoseconds rather than asserted.
+
+use crate::cells::CellLibrary;
+use crate::netlist::{Driver, NetId, Netlist};
+
+/// One step of a critical path: a cell output and its accumulated
+/// arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// The net driven by this step.
+    pub net: NetId,
+    /// Cell kind name (`"input"` for primary inputs).
+    pub cell: String,
+    /// Arrival time at this net, ps.
+    pub arrival_ps: f64,
+}
+
+/// Result of a static timing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst arrival time over all primary outputs, ps.
+    pub critical_ps: f64,
+    /// The primary output name where the worst path ends.
+    pub critical_output: String,
+    /// The worst path, input → output.
+    pub path: Vec<PathStep>,
+    /// Maximum clock implied by the combinational delay alone, MHz.
+    pub fmax_mhz: f64,
+}
+
+impl TimingReport {
+    /// Logic levels on the critical path (cells only).
+    pub fn levels(&self) -> usize {
+        self.path.iter().filter(|s| s.cell != "input").count()
+    }
+}
+
+/// Runs static timing analysis on `netlist` under `lib`.
+///
+/// Primary inputs and constants arrive at t = 0; every cell adds its
+/// library delay; wire delay is folded into the cell numbers (standard
+/// for a pre-layout estimate).
+///
+/// # Panics
+///
+/// Panics if the netlist has no outputs (unreachable for netlists from
+/// [`crate::builder::NetlistBuilder`]).
+pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let n = netlist.drivers.len();
+    let mut arrival = vec![0.0f64; n];
+    // Predecessor on the worst path into each net.
+    let mut pred: Vec<Option<NetId>> = vec![None; n];
+
+    for &id in &netlist.topo {
+        if let Driver::Cell(kind, fanins) = &netlist.drivers[id.index()] {
+            let (worst_in, worst_t) = fanins
+                .iter()
+                .map(|f| (*f, arrival[f.index()]))
+                .fold((fanins[0], f64::NEG_INFINITY), |acc, cur| {
+                    if cur.1 > acc.1 {
+                        cur
+                    } else {
+                        acc
+                    }
+                });
+            arrival[id.index()] = worst_t.max(0.0) + lib.delay_ps(*kind);
+            pred[id.index()] = Some(worst_in);
+        }
+    }
+
+    let (critical_output, end) = netlist
+        .outputs
+        .iter()
+        .max_by(|a, b| {
+            arrival[a.1.index()]
+                .partial_cmp(&arrival[b.1.index()])
+                .expect("arrival times are finite")
+        })
+        .map(|(name, id)| (name.clone(), *id))
+        .expect("netlist has outputs");
+
+    // Walk the path back to an input.
+    let mut path = Vec::new();
+    let mut cursor = Some(end);
+    while let Some(id) = cursor {
+        let cell = match &netlist.drivers[id.index()] {
+            Driver::Cell(kind, _) => kind.to_string(),
+            Driver::Input(_) => "input".to_string(),
+            Driver::Const(_) => "const".to_string(),
+        };
+        path.push(PathStep {
+            net: id,
+            cell,
+            arrival_ps: arrival[id.index()],
+        });
+        cursor = pred[id.index()];
+    }
+    path.reverse();
+
+    let critical_ps = arrival[end.index()];
+    TimingReport {
+        critical_ps,
+        critical_output,
+        path,
+        fmax_mhz: if critical_ps > 0.0 {
+            1e6 / critical_ps
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cells::CellKind;
+    use crate::circuits;
+
+    #[test]
+    fn single_gate_delay() {
+        let mut b = NetlistBuilder::new("one");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.xor2(a, c);
+        b.output("y", y);
+        let lib = CellLibrary::tsmc65();
+        let report = analyze(&b.finish(), &lib);
+        assert_eq!(report.critical_ps, lib.delay_ps(CellKind::Xor2));
+        assert_eq!(report.levels(), 1);
+    }
+
+    #[test]
+    fn path_ends_at_worst_output() {
+        let mut b = NetlistBuilder::new("two");
+        let a = b.input("a");
+        let fast = b.not(a);
+        let mid = b.xor2(a, fast);
+        let slow = b.xor2(mid, fast);
+        b.output("fast", fast);
+        b.output("slow", slow);
+        let report = analyze(&b.finish(), &CellLibrary::tsmc65());
+        assert_eq!(report.critical_output, "slow");
+        // mid's worst fan-in is `fast` (one inverter late), so the path
+        // is not → xor → xor.
+        assert_eq!(report.levels(), 3);
+        // Path arrival is non-decreasing.
+        for pair in report.path.windows(2) {
+            assert!(pair[1].arrival_ps >= pair[0].arrival_ps);
+        }
+    }
+
+    #[test]
+    fn ripple_grows_linearly_csa_stays_flat() {
+        let lib = CellLibrary::tsmc65();
+        let r8 = analyze(&circuits::final_adder(8), &lib).critical_ps;
+        let r64 = analyze(&circuits::final_adder(64), &lib).critical_ps;
+        let r256 = analyze(&circuits::final_adder(256), &lib).critical_ps;
+        // Ripple: each extra bit adds roughly one majority stage.
+        assert!(r64 > r8 * 4.0, "ripple 64b {r64} vs 8b {r8}");
+        assert!(r256 > r64 * 2.0, "ripple 256b {r256} vs 64b {r64}");
+
+        let c8 = analyze(&circuits::carry_save_adder(8), &lib).critical_ps;
+        let c256 = analyze(&circuits::carry_save_adder(256), &lib).critical_ps;
+        assert_eq!(c8, c256, "CSA delay is width-independent");
+        assert!(c256 < r256 / 20.0, "CSA {c256} ps vs ripple {r256} ps");
+    }
+
+    #[test]
+    fn nmc_blocks_fit_the_420mhz_cycle() {
+        // §4.3: the near-memory logic must not limit the clock. The
+        // array read path fixes the cycle at ≈ 1/420 MHz ≈ 2380 ps.
+        let lib = CellLibrary::tsmc65();
+        let cycle_ps = 1e6 / modsram_phys::FreqModel::tsmc65().fmax_mhz();
+        for nl in [
+            circuits::booth_encoder(),
+            circuits::overflow_index_logic(),
+            circuits::logic_sa_decoder(),
+            circuits::wl_decoder(6),
+        ] {
+            let t = analyze(&nl, &lib).critical_ps;
+            assert!(
+                t < cycle_ps / 2.0,
+                "{} takes {t} ps of a {cycle_ps} ps cycle",
+                nl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fmax_is_reciprocal_of_delay() {
+        let report = analyze(&circuits::booth_encoder(), &CellLibrary::tsmc65());
+        let product = report.fmax_mhz * report.critical_ps;
+        assert!((product - 1e6).abs() < 1.0, "MHz × ps = 1e6, got {product}");
+    }
+}

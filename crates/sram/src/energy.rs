@@ -1,0 +1,74 @@
+//! Per-operation energy constants and accounting.
+//!
+//! These are modelled 65 nm estimates (documented, not measured): the
+//! paper reports no energy numbers, so the absolute values only matter
+//! for *relative* comparisons between designs; the accounting plumbing is
+//! what the experiments exercise.
+
+/// Energy constants in picojoules, parameterised per column so arrays of
+/// any width can be modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Precharging one bitline pair.
+    pub precharge_per_col_pj: f64,
+    /// One wordline pulse (per activated row, whole-row wire).
+    pub wl_pulse_pj: f64,
+    /// One sense-amplifier evaluation.
+    pub sa_eval_pj: f64,
+    /// Writing one cell.
+    pub write_per_col_pj: f64,
+}
+
+impl EnergyParams {
+    /// Modelled TSMC 65 nm constants.
+    pub fn tsmc65() -> Self {
+        EnergyParams {
+            precharge_per_col_pj: 0.0018,
+            wl_pulse_pj: 0.12,
+            sa_eval_pj: 0.0055,
+            write_per_col_pj: 0.0042,
+        }
+    }
+
+    /// Energy of a single-row read: precharge + one WL + one SA per
+    /// column.
+    pub fn read_row_pj(&self, cols: usize) -> f64 {
+        cols as f64 * (self.precharge_per_col_pj + self.sa_eval_pj) + self.wl_pulse_pj
+    }
+
+    /// Energy of a multi-row logic activation: precharge + `rows` WL
+    /// pulses + three SAs per column (the logic-SA module).
+    pub fn activate_pj(&self, cols: usize, rows: usize) -> f64 {
+        cols as f64 * (self.precharge_per_col_pj + 3.0 * self.sa_eval_pj)
+            + rows as f64 * self.wl_pulse_pj
+    }
+
+    /// Energy of a row write.
+    pub fn write_row_pj(&self, cols: usize) -> f64 {
+        cols as f64 * self.write_per_col_pj + self.wl_pulse_pj
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::tsmc65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_activation_costs_more_than_read() {
+        let e = EnergyParams::tsmc65();
+        assert!(e.activate_pj(256, 3) > e.read_row_pj(256));
+    }
+
+    #[test]
+    fn energy_scales_with_columns() {
+        let e = EnergyParams::tsmc65();
+        assert!(e.read_row_pj(256) > e.read_row_pj(64));
+        assert!(e.write_row_pj(256) > 4.0 * 0.9 * e.write_row_pj(64) / 4.0);
+    }
+}

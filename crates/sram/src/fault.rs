@@ -1,0 +1,41 @@
+//! Fault-injection configuration.
+
+/// A single stuck-at cell fault: the cell always reads as `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAt {
+    /// Wordline of the faulty cell.
+    pub row: usize,
+    /// Column of the faulty cell.
+    pub col: usize,
+    /// The value the cell is stuck at.
+    pub value: bool,
+}
+
+/// Fault-injection knobs; the default disables everything (ideal array).
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// For 6T cells: probability that a stored `1` on an activated row
+    /// flips during a multi-row activation (read disturb). Ignored for
+    /// 8T cells.
+    pub disturb_per_cell: f64,
+    /// Sense-amplifier offset sigma, in units of one RBL level
+    /// separation. `0.0` = ideal sensing.
+    pub sa_offset_sigma: f64,
+    /// Stuck-at cell faults applied on every read/activation.
+    pub stuck_at: Vec<StuckAt>,
+    /// Seed for the fault-injection RNG (deterministic runs).
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ideal() {
+        let f = FaultConfig::default();
+        assert_eq!(f.disturb_per_cell, 0.0);
+        assert_eq!(f.sa_offset_sigma, 0.0);
+        assert!(f.stuck_at.is_empty());
+    }
+}

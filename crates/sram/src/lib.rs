@@ -1,0 +1,49 @@
+//! Behavioural 8T SRAM processing-in-memory simulator.
+//!
+//! Models the digital contract of the ModSRAM macro (§4 of the paper):
+//!
+//! * an SRAM array with one read port and one write port per cell
+//!   ([`SramArray`]),
+//! * simultaneous activation of up to three read wordlines, sensed by the
+//!   **logic-SA** module — three sense amplifiers per read bitline whose
+//!   thresholds sit between the discharge levels so their outputs decode
+//!   to `OR3` / `MAJ` / `AND3`, and `XOR3` as the parity of the three
+//!   ([`SenseOut`]),
+//! * fault models: 6T read disturb under multi-row activation (the
+//!   paper's §4.2 argument for 8T cells) and Gaussian sense-amplifier
+//!   offset ([`fault`]),
+//! * per-operation energy and access accounting ([`SramStats`],
+//!   [`energy`]).
+//!
+//! Rows are plain little-endian `u64` words so the crate stays independent
+//! of the big-integer substrate; `modsram-core` converts.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_sram::{SramArray, SramConfig};
+//!
+//! let mut array = SramArray::new(SramConfig::modsram_64x256());
+//! array.write_row(0, &[0b101]);
+//! array.write_row(1, &[0b110]);
+//! array.write_row(2, &[0b011]);
+//! let out = array.activate(&[0, 1, 2]);
+//! assert_eq!(out.xor[0], 0b101 ^ 0b110 ^ 0b011);
+//! assert_eq!(out.maj[0], (0b101 & 0b110) | (0b101 & 0b011) | (0b110 & 0b011));
+//! ```
+
+mod array;
+pub mod energy;
+pub mod fault;
+pub mod montecarlo;
+mod sense;
+mod stats;
+mod trace;
+
+pub use array::{CellKind, SramArray, SramConfig};
+pub use energy::EnergyParams;
+pub use fault::{FaultConfig, StuckAt};
+pub use montecarlo::{sense_margin_sweep, MarginPoint};
+pub use sense::SenseOut;
+pub use stats::SramStats;
+pub use trace::{Event, OpKind};

@@ -1,0 +1,114 @@
+//! Monte-Carlo sense-margin study: how much SA offset the logic-SA
+//! multi-level read tolerates (the sizing question behind the paper's
+//! Wicht-style latch SA choice).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::array::{SramArray, SramConfig};
+
+/// Result of one offset-sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginPoint {
+    /// SA offset sigma, in units of one RBL level separation.
+    pub sigma: f64,
+    /// Activations performed.
+    pub trials: u64,
+    /// Activations with at least one wrong XOR3/MAJ column.
+    pub failures: u64,
+}
+
+impl MarginPoint {
+    /// Fraction of activations that decoded incorrectly.
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Sweeps SA offset sigmas, measuring logic-SA failure rates on random
+/// row contents. Deterministic for a given `seed`.
+pub fn sense_margin_sweep(
+    cols: usize,
+    sigmas: &[f64],
+    trials_per_sigma: u64,
+    seed: u64,
+) -> Vec<MarginPoint> {
+    use rand::Rng;
+    let mut data_rng = SmallRng::seed_from_u64(seed);
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let mut config = SramConfig::ideal(4, cols);
+            config.fault.sa_offset_sigma = sigma;
+            config.fault.seed = seed ^ 0x5eed;
+            let mut array = SramArray::new(config);
+            let words = cols.div_ceil(64);
+            let mask = |w: &mut Vec<u64>| {
+                let extra = words * 64 - cols;
+                if extra > 0 {
+                    if let Some(top) = w.last_mut() {
+                        *top &= u64::MAX >> extra;
+                    }
+                }
+            };
+            let mut failures = 0u64;
+            for _ in 0..trials_per_sigma {
+                let mut rows: Vec<Vec<u64>> = (0..3)
+                    .map(|_| (0..words).map(|_| data_rng.random()).collect())
+                    .collect();
+                for row in rows.iter_mut() {
+                    mask(row);
+                }
+                for (r, row) in rows.iter().enumerate() {
+                    array.write_row(r, row);
+                }
+                let out = array.activate(&[0, 1, 2]);
+                let wrong = (0..words).any(|w| {
+                    let (a, b, c) = (rows[0][w], rows[1][w], rows[2][w]);
+                    out.xor[w] != a ^ b ^ c || out.maj[w] != (a & b) | (a & c) | (b & c)
+                });
+                if wrong {
+                    failures += 1;
+                }
+            }
+            MarginPoint {
+                sigma,
+                trials: trials_per_sigma,
+                failures,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_rate_grows_with_sigma() {
+        let points = sense_margin_sweep(64, &[0.0, 0.05, 0.3, 1.0], 40, 99);
+        assert_eq!(points[0].failures, 0, "ideal sensing never fails");
+        assert_eq!(points[1].failures, 0, "5% of a level is comfortably safe");
+        assert!(points[3].failure_rate() > points[2].failure_rate() * 0.5);
+        assert!(points[3].failure_rate() > 0.9, "σ=1 breaks almost every 64-col read");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = sense_margin_sweep(32, &[0.2], 30, 7);
+        let b = sense_margin_sweep(32, &[0.2], 30, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_rows_fail_more_often() {
+        // Same per-column error probability, more columns per read.
+        let narrow = sense_margin_sweep(16, &[0.18], 60, 5);
+        let wide = sense_margin_sweep(256, &[0.18], 60, 5);
+        assert!(wide[0].failures >= narrow[0].failures);
+    }
+}

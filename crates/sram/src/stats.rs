@@ -1,0 +1,45 @@
+//! Access and energy counters.
+
+/// Counters accumulated by an [`crate::SramArray`] across its lifetime
+/// (or since the last [`crate::SramArray::reset_stats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SramStats {
+    /// Rows written through the write port.
+    pub row_writes: u64,
+    /// Single-row reads through the read port.
+    pub row_reads: u64,
+    /// Multi-row logic activations.
+    pub activations: u64,
+    /// Total wordline pulses (reads + activations, one per row involved).
+    pub wl_pulses: u64,
+    /// Sense-amplifier evaluations (3 per column per activation).
+    pub sa_fires: u64,
+    /// Cells flipped by 6T read disturb.
+    pub disturb_flips: u64,
+    /// Accumulated energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl SramStats {
+    /// Total SRAM accesses of any kind (the Figure 7 "memory access"
+    /// metric counts these).
+    pub fn total_accesses(&self) -> u64 {
+        self.row_writes + self.row_reads + self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_accesses_sums_kinds() {
+        let s = SramStats {
+            row_writes: 2,
+            row_reads: 3,
+            activations: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_accesses(), 10);
+    }
+}

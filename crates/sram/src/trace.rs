@@ -1,0 +1,23 @@
+//! Operation trace for dataflow illustrations (Figure 3).
+
+/// The kind of array operation an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A write through the write port.
+    WriteRow,
+    /// A single-row read through the read port.
+    ReadRow,
+    /// A multi-row logic-SA activation.
+    Activate,
+}
+
+/// One recorded array operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Sequence number (0-based, in execution order).
+    pub seq: u64,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Rows involved.
+    pub rows: Vec<usize>,
+}

@@ -1,0 +1,78 @@
+//! Conventional-datapath cost model for the Figure 7 memory-access and
+//! register-write bars.
+
+/// A conventional word-oriented datapath (CPU/ASIC pipeline with a
+/// register file), against which the paper contrasts in-SRAM execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchModel {
+    /// Register/memory word width in bits (64 for the modelled datapath).
+    pub limb_bits: usize,
+}
+
+impl ArchModel {
+    /// The 64-bit datapath used throughout the study.
+    pub fn conventional64() -> Self {
+        ArchModel { limb_bits: 64 }
+    }
+
+    /// Words per operand at `bits` operand width.
+    pub fn limbs(&self, bits: usize) -> u64 {
+        bits.div_ceil(self.limb_bits) as u64
+    }
+
+    /// Word-level memory accesses per modular multiplication: load both
+    /// operands, store the result (`3L`). Operand-sized traffic only —
+    /// intermediates are charged to the register file below.
+    pub fn mem_accesses_per_modmul(&self, bits: usize) -> u64 {
+        3 * self.limbs(bits)
+    }
+
+    /// Word-level register-file writes per modular multiplication on a
+    /// CIOS Montgomery datapath: each of the `L²` limb products updates
+    /// an accumulator word and a carry (`2L²`), and each of the `L`
+    /// reduction rounds writes `L + 2` words — `2L² + L(L+2) = 3L² + 2L`
+    /// (= 56 at 256 bits). This is the "intermediate register writes"
+    /// metric that in-SRAM execution avoids.
+    pub fn reg_writes_per_modmul(&self, bits: usize) -> u64 {
+        let l = self.limbs(bits);
+        3 * l * l + 2 * l
+    }
+
+    /// Memory accesses per modular addition (load 2, store 1).
+    pub fn mem_accesses_per_modadd(&self, bits: usize) -> u64 {
+        3 * self.limbs(bits)
+    }
+
+    /// Register writes per modular addition (sum words + carry flag
+    /// updates).
+    pub fn reg_writes_per_modadd(&self, bits: usize) -> u64 {
+        self.limbs(bits) + 1
+    }
+}
+
+impl Default for ArchModel {
+    fn default() -> Self {
+        Self::conventional64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_at_256_bits() {
+        let m = ArchModel::conventional64();
+        assert_eq!(m.limbs(256), 4);
+        assert_eq!(m.mem_accesses_per_modmul(256), 12);
+        assert_eq!(m.reg_writes_per_modmul(256), 56);
+        assert_eq!(m.reg_writes_per_modadd(256), 5);
+    }
+
+    #[test]
+    fn register_traffic_dominates_memory_traffic() {
+        // The Figure 7 ordering: reg writes ≫ memory accesses per op.
+        let m = ArchModel::conventional64();
+        assert!(m.reg_writes_per_modmul(256) > m.mem_accesses_per_modmul(256));
+    }
+}

@@ -1,0 +1,24 @@
+//! ZKP component workload study — Figure 7 of the paper.
+//!
+//! Figure 7 plots, for the two dominant components of a zero-knowledge
+//! proof (NTT and MSM) at input size 2¹⁵ with 256-bit operands:
+//!
+//! 1. **modular multiplications** — measured here by *running the real
+//!    kernels* from `modsram-ecc` with counting field contexts,
+//! 2. **memory accesses** and
+//! 3. **intermediate register writes** — modelled for a conventional
+//!    64-bit-limb datapath (the paper cites parametric-NTT simulations
+//!    and the PipeZK architecture for these; [`ArchModel`] documents our
+//!    per-operation constants).
+//!
+//! The crate also projects the in-SRAM savings: ModSRAM keeps the
+//! sum/carry intermediates inside the array, so the conventional
+//! datapath's per-multiplication register traffic disappears (§6).
+
+pub mod arch;
+pub mod projection;
+pub mod workload;
+
+pub use arch::ArchModel;
+pub use projection::{project, LatencyProjection};
+pub use workload::{figure7, msm_workload, ntt_workload, MsmPreset, WorkloadCounts};

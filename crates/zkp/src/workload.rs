@@ -1,0 +1,184 @@
+//! The measured workloads behind Figure 7.
+
+use modsram_bigint::{ubig_below, UBig};
+use modsram_ecc::curves::{bn254_fast, bn254_fr_ctx};
+use modsram_ecc::msm::msm_with_window;
+use modsram_ecc::{FieldCtx, NttPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::arch::ArchModel;
+
+/// Operation counts of one ZKP component run (one bar group of
+/// Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadCounts {
+    /// Component name (`"NTT"` / `"MSM"`).
+    pub name: &'static str,
+    /// Input vector size.
+    pub size: usize,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Modular multiplications — measured by running the kernel.
+    pub modmuls: u64,
+    /// Modular additions/subtractions — measured.
+    pub modadds: u64,
+    /// Word-level memory accesses on the conventional datapath
+    /// (modelled via [`ArchModel`]).
+    pub mem_accesses: u64,
+    /// Word-level intermediate register writes on the conventional
+    /// datapath (modelled via [`ArchModel`]).
+    pub reg_writes: u64,
+}
+
+impl WorkloadCounts {
+    fn from_measured(
+        name: &'static str,
+        size: usize,
+        bits: usize,
+        modmuls: u64,
+        modadds: u64,
+    ) -> Self {
+        let arch = ArchModel::conventional64();
+        WorkloadCounts {
+            name,
+            size,
+            bits,
+            modmuls,
+            modadds,
+            mem_accesses: modmuls * arch.mem_accesses_per_modmul(bits)
+                + modadds * arch.mem_accesses_per_modadd(bits),
+            reg_writes: modmuls * arch.reg_writes_per_modmul(bits)
+                + modadds * arch.reg_writes_per_modadd(bits),
+        }
+    }
+
+    /// Closed-form modular-multiplication count for an `2^log_n` NTT:
+    /// `(n/2)·log₂ n` butterflies.
+    pub fn ntt_modmul_model(log_n: usize) -> u64 {
+        ((1u64 << log_n) / 2) * log_n as u64
+    }
+}
+
+/// MSM windowing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsmPreset {
+    /// Heuristic window (`≈ log₂ n − 3`), the software-optimal choice.
+    Auto,
+    /// PipeZK's fixed 16-bit hardware window (the Figure 7 citation).
+    PipeZk16,
+}
+
+/// Runs a real `2^log_n`-point forward NTT over the BN254 scalar field
+/// and returns measured counts.
+///
+/// # Panics
+///
+/// Panics if `log_n` exceeds the field's 2-adicity (28).
+pub fn ntt_workload(log_n: usize) -> WorkloadCounts {
+    let ctx = bn254_fr_ctx();
+    let plan = NttPlan::new(&ctx, log_n, &UBig::from(5u64)).expect("2-adicity 28");
+    let mut rng = SmallRng::seed_from_u64(0xF167);
+    let mut data: Vec<_> = (0..1usize << log_n)
+        .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+        .collect();
+    ctx.reset_counts();
+    plan.forward(&mut data);
+    let counts = ctx.counts();
+    WorkloadCounts::from_measured(
+        "NTT",
+        1 << log_n,
+        ctx.modulus().bit_len(),
+        counts.mul,
+        counts.add,
+    )
+}
+
+/// Runs a real `2^log_n`-point MSM on BN254 G1 and returns measured
+/// counts. Base points are distinct (`G, 2G, 3G, …`); scalars are
+/// uniform below the group order.
+pub fn msm_workload(log_n: usize, preset: MsmPreset) -> WorkloadCounts {
+    let curve = bn254_fast();
+    let n = 1usize << log_n;
+    let mut rng = SmallRng::seed_from_u64(0xF167 + 1);
+
+    // Build distinct points cheaply: P_{i+1} = P_i + G.
+    let g = curve.generator();
+    let mut points = Vec::with_capacity(n);
+    let mut cur = g.clone();
+    for _ in 0..n {
+        points.push(curve.to_affine(&cur));
+        cur = curve.add(&cur, &g);
+    }
+    let scalars: Vec<UBig> = (0..n).map(|_| ubig_below(&mut rng, curve.order())).collect();
+
+    let window = match preset {
+        MsmPreset::Auto => modsram_ecc::msm::optimal_window(n),
+        MsmPreset::PipeZk16 => 16,
+    };
+    curve.ctx().reset_counts();
+    let (_, _stats) = msm_with_window(&curve, &points, &scalars, window);
+    let counts = curve.ctx().counts();
+    WorkloadCounts::from_measured(
+        "MSM",
+        n,
+        curve.ctx().modulus().bit_len(),
+        counts.mul,
+        counts.add,
+    )
+}
+
+/// The full Figure 7 data: NTT and MSM at `2^log_n` (the paper uses
+/// `log_n = 15`).
+pub fn figure7(log_n: usize, preset: MsmPreset) -> [WorkloadCounts; 2] {
+    [ntt_workload(log_n), msm_workload(log_n, preset)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntt_modmul_count_matches_closed_form() {
+        for log_n in [4usize, 6, 8] {
+            let w = ntt_workload(log_n);
+            assert_eq!(
+                w.modmuls,
+                WorkloadCounts::ntt_modmul_model(log_n),
+                "log_n={log_n}"
+            );
+            assert_eq!(w.size, 1 << log_n);
+        }
+    }
+
+    #[test]
+    fn ntt_at_2_15_scale_check() {
+        // The paper's operating point: (2^15/2)·15 = 245 760 ≈ 10^5.4.
+        assert_eq!(WorkloadCounts::ntt_modmul_model(15), 245_760);
+    }
+
+    #[test]
+    fn msm_counts_scale_with_size() {
+        let small = msm_workload(4, MsmPreset::Auto);
+        let large = msm_workload(6, MsmPreset::Auto);
+        assert!(large.modmuls > small.modmuls);
+        assert!(large.reg_writes > large.mem_accesses);
+        assert!(large.reg_writes > large.modmuls);
+    }
+
+    #[test]
+    fn msm_dominates_ntt() {
+        // Figure 7's visual: MSM op counts sit orders of magnitude above
+        // NTT at the same input size.
+        let [ntt, msm] = figure7(6, MsmPreset::Auto);
+        assert!(msm.modmuls > 10 * ntt.modmuls);
+    }
+
+    #[test]
+    fn pipezk_window_costs_more_at_small_n() {
+        // A fixed 16-bit window over-pays bucket reduction at small n.
+        let auto = msm_workload(6, MsmPreset::Auto);
+        let pipezk = msm_workload(6, MsmPreset::PipeZk16);
+        assert!(pipezk.modmuls > auto.modmuls);
+    }
+}

@@ -1,0 +1,55 @@
+//! Digital signatures — the paper's §1 motivating application — built
+//! end-to-end on this workspace: SHA-256 digest, ECDSA over secp256k1,
+//! and a projection of the signing latency if the field multiplications
+//! ran on ModSRAM.
+//!
+//! ```sh
+//! cargo run --release --example ecdsa_sign
+//! ```
+
+use modsram::apps::{sha256, SigningKey};
+use modsram::bigint::UBig;
+use modsram::ecc::curves::secp256k1_fast;
+use modsram::ecc::scalar::mul_scalar_wnaf;
+use modsram::ecc::FieldCtx;
+use modsram::modmul::CycleModel;
+use modsram::modmul::R4CsaLutEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let message = b"ModSRAM: in-memory modular multiplication for ECC";
+    println!("message digest: {}", hex(&sha256(message)));
+
+    let sk = SigningKey::new(&UBig::from_hex(
+        "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+    )?)?;
+    let vk = sk.verifying_key();
+    println!("public key x  : 0x{}", vk.x.to_hex());
+
+    let sig = sk.sign(message);
+    println!("signature r   : 0x{}", sig.r.to_hex());
+    println!("signature s   : 0x{}", sig.s.to_hex());
+    assert!(vk.verify(message, &sig)?);
+    println!("verification  : ok");
+    assert!(!vk.verify(b"forged message", &sig)?);
+    println!("forgery check : rejected as expected");
+
+    // How much modular multiplication is inside one signature?
+    let curve = secp256k1_fast();
+    curve.ctx().reset_counts();
+    mul_scalar_wnaf(&curve, &curve.generator(), &sig.s); // one k*G-scale op
+    let muls_per_scalar_mul = curve.ctx().counts().mul;
+    let cycles = R4CsaLutEngine::new().cycles(256);
+    println!(
+        "\none 256-bit scalar multiplication ≈ {muls_per_scalar_mul} field multiplications;"
+    );
+    println!(
+        "on ModSRAM that is {muls_per_scalar_mul} × {cycles} cycles ≈ {:.2} ms at 420 MHz —",
+        muls_per_scalar_mul as f64 * cycles as f64 / 420e6 * 1e3
+    );
+    println!("the dominant cost of signing, which is exactly what the paper accelerates.");
+    Ok(())
+}
+
+fn hex(b: &[u8; 32]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}

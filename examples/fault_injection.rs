@@ -1,0 +1,58 @@
+//! Robustness study: why the paper uses 8T cells (§4.2) and how much
+//! sense-amplifier offset the logic-SA scheme tolerates.
+//!
+//! Three experiments:
+//! 1. 6T cells + read disturb → multi-row activation corrupts the run
+//!    (caught by lock-step verification).
+//! 2. 8T cells + the same disturb knob → immune.
+//! 3. SA offset Monte-Carlo → error rate vs σ.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use modsram::arch::{ModSram, ModSramConfig};
+use modsram::bigint::UBig;
+use modsram::sram::CellKind;
+
+fn run_once(cell: CellKind, disturb: f64, sigma: f64, seed: u64) -> Result<(), String> {
+    let mut config = ModSramConfig {
+        n_bits: 32,
+        cell,
+        ..Default::default()
+    };
+    config.fault.disturb_per_cell = disturb;
+    config.fault.sa_offset_sigma = sigma;
+    config.fault.seed = seed;
+    let mut dev = ModSram::new(config).map_err(|e| e.to_string())?;
+    dev.load_modulus(&UBig::from(0xffff_fffb_u64))
+        .map_err(|e| e.to_string())?;
+    dev.mod_mul(&UBig::from(0x1234_5678u64), &UBig::from(0x0abc_def0u64))
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+fn main() {
+    println!("experiment 1: 6T cells, read-disturb probability 2% per activation");
+    match run_once(CellKind::SixT, 0.02, 0.0, 7) {
+        Ok(()) => println!("  survived (unlikely but possible at low disturb)"),
+        Err(e) => println!("  corrupted as expected -> {e}"),
+    }
+
+    println!("\nexperiment 2: 8T cells, same disturb knob");
+    match run_once(CellKind::EightT, 0.02, 0.0, 7) {
+        Ok(()) => println!("  clean run — the decoupled read port is immune (the §4.2 design point)"),
+        Err(e) => println!("  UNEXPECTED failure: {e}"),
+    }
+
+    println!("\nexperiment 3: sense-amplifier offset sweep (20 runs per σ)");
+    println!("  σ (level separations) | failed runs");
+    for sigma in [0.05f64, 0.10, 0.15, 0.20, 0.30, 0.50] {
+        let failures = (0..20)
+            .filter(|&seed| run_once(CellKind::EightT, 0.0, sigma, 100 + seed).is_err())
+            .count();
+        println!("  {sigma:>21.2} | {failures:>2}/20");
+    }
+    println!("\nsmall offsets sense cleanly; past ~0.2 level separations the 3-level");
+    println!("RBL discrimination starts to fail — the margin the SA design must hit.");
+}

@@ -1,0 +1,35 @@
+//! The ZKP motivation study (paper §1 and Figure 7): measure the
+//! operation counts of the two dominant proof components — NTT and MSM —
+//! and project what in-SRAM modular multiplication saves.
+//!
+//! ```sh
+//! cargo run --release --example zkp_workload        # 2^12 by default
+//! MODSRAM_ZKP_LOGN=15 cargo run --release --example zkp_workload
+//! ```
+
+use modsram::zkp::{figure7, ArchModel, MsmPreset};
+
+fn main() {
+    let log_n: usize = std::env::var("MODSRAM_ZKP_LOGN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    println!("running NTT and MSM at input size 2^{log_n}, 256-bit operands...\n");
+
+    let arch = ArchModel::conventional64();
+    for w in figure7(log_n, MsmPreset::Auto) {
+        println!("{} (n = 2^{log_n}):", w.name);
+        println!("  modular multiplications : {:>12}  (measured)", w.modmuls);
+        println!("  modular additions       : {:>12}  (measured)", w.modadds);
+        println!("  memory accesses         : {:>12}  (64-bit datapath model)", w.mem_accesses);
+        println!("  register writes         : {:>12}  (64-bit datapath model)", w.reg_writes);
+        let saved = w.modmuls * arch.reg_writes_per_modmul(w.bits);
+        println!(
+            "  -> in-SRAM execution avoids {saved} of those register writes\n     ({} per multiplication stay in the array as sum/carry rows)",
+            arch.reg_writes_per_modmul(w.bits)
+        );
+        println!();
+    }
+    println!("the MSM bars sit orders of magnitude above NTT — the paper's argument");
+    println!("for accelerating large-number modular multiplication first.");
+}

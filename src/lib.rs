@@ -1,0 +1,46 @@
+//! # ModSRAM — reproduction of the DAC 2024 paper
+//!
+//! *ModSRAM: Algorithm-Hardware Co-Design for Large Number Modular
+//! Multiplication in SRAM* (Ku et al., DAC 2024).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`bigint`] — big-integer arithmetic substrate ([`modsram_bigint`]).
+//! * [`modmul`] — the modular-multiplication algorithm zoo, including the
+//!   paper's R4CSA-LUT ([`modsram_modmul`]).
+//! * [`sram`] — the behavioural 8T SRAM PIM simulator ([`modsram_sram`]).
+//! * [`arch`] — the ModSRAM accelerator itself ([`modsram_core`]).
+//! * [`baselines`] — prior-work comparison models ([`modsram_baselines`]).
+//! * [`phys`] — 65 nm area/energy/frequency models ([`modsram_phys`]).
+//! * [`rtl`] — gate-level netlists of the peripheral logic with
+//!   equivalence checking, static timing, and Verilog export
+//!   ([`modsram_rtl`]).
+//! * [`ecc`] — elliptic curves, NTT, and MSM ([`modsram_ecc`]).
+//! * [`zkp`] — the ZKP component op-count study ([`modsram_zkp`]).
+//! * [`apps`] — application layer: SHA-256, ECDSA, Pedersen
+//!   commitments, on-device modular exponentiation ([`modsram_apps`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use modsram::arch::ModSram;
+//! use modsram::bigint::UBig;
+//!
+//! let p = UBig::from(97u64);
+//! let mut acc = ModSram::for_modulus(&p).unwrap();
+//! let (c, stats) = acc.mod_mul(&UBig::from(55u64), &UBig::from(44u64)).unwrap();
+//! assert_eq!(c, UBig::from((55u64 * 44) % 97));
+//! assert!(stats.cycles > 0);
+//! ```
+
+pub use modsram_apps as apps;
+pub use modsram_baselines as baselines;
+pub use modsram_bigint as bigint;
+pub use modsram_core as arch;
+pub use modsram_ecc as ecc;
+pub use modsram_modmul as modmul;
+pub use modsram_phys as phys;
+pub use modsram_rtl as rtl;
+pub use modsram_sram as sram;
+pub use modsram_zkp as zkp;

@@ -1,0 +1,115 @@
+//! End-to-end application tests: the paper's §1 use cases (signatures,
+//! ZKP commitments, exponentiation) running on the workspace stack, and
+//! the future-work features (banked tiles, staged point addition) at
+//! production operand sizes.
+
+use modsram::apps::{modexp_on_device, PedersenCommitter, SigningKey};
+use modsram::arch::session::{staged_jacobian_add, StagedPoint};
+use modsram::arch::{BankedModSram, ModSram, ModSramConfig};
+use modsram::bigint::{mod_pow, ubig_below, UBig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn secp_p() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
+}
+
+#[test]
+fn ecdsa_end_to_end_many_keys() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let order =
+        UBig::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+            .unwrap();
+    for i in 0..3 {
+        let d = ubig_below(&mut rng, &order);
+        let Ok(sk) = SigningKey::new(&d) else {
+            continue; // d == 0, astronomically unlikely
+        };
+        let vk = sk.verifying_key();
+        let msg = format!("message number {i}");
+        let sig = sk.sign(msg.as_bytes());
+        assert_eq!(vk.verify(msg.as_bytes(), &sig), Ok(true));
+        assert_eq!(vk.verify(b"different", &sig), Ok(false));
+    }
+}
+
+#[test]
+fn pedersen_commitment_binds_msm_workload() {
+    let committer = PedersenCommitter::new(8, b"integration");
+    let mut rng = SmallRng::seed_from_u64(32);
+    let values: Vec<UBig> = (0..8)
+        .map(|_| ubig_below(&mut rng, committer.curve().order()))
+        .collect();
+    let (commitment, r) = committer.commit_hiding(&values, &mut rng);
+    assert!(committer.open(&commitment, &values, &r));
+    let mut other = values.clone();
+    other[0] = &other[0] + &UBig::one();
+    assert!(!committer.open(&commitment, &other, &r));
+}
+
+#[test]
+fn modexp_on_256bit_device() {
+    let p = secp_p();
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let base = UBig::from(0xabcdefu64);
+    let exp = UBig::from(65537u64);
+    let (got, stats) = modexp_on_device(&mut dev, &base, &exp).unwrap();
+    assert_eq!(got, mod_pow(&base, &exp, &p));
+    // 65537 = 2^16 + 1: 17 squarings + 2 multiplies.
+    assert_eq!(stats.multiplications, 19);
+    assert!(stats.mul_cycles >= 19 * 761);
+    assert!(stats.precompute_cycles > 0, "LUT refills must be charged");
+}
+
+#[test]
+fn banked_tile_at_256_bits() {
+    let p = secp_p();
+    let mut rng = SmallRng::seed_from_u64(33);
+    let pairs: Vec<(UBig, UBig)> = (0..8)
+        .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+        .collect();
+    let mut tile = BankedModSram::new(4, ModSramConfig::default(), &p).unwrap();
+    let (results, stats) = tile.mod_mul_batch(&pairs).unwrap();
+    for ((a, b), c) in pairs.iter().zip(&results) {
+        assert_eq!(c, &(&(a * b) % &p));
+    }
+    assert!(stats.speedup() > 3.0, "speedup {}", stats.speedup());
+}
+
+#[test]
+fn staged_point_add_doubles_correctly_chained() {
+    // G + 2G = 3G, then 3G + G = 4G — chaining staged additions keeps
+    // the array's scratch space clean between calls.
+    let p = secp_p();
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let g = StagedPoint {
+        x: UBig::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+            .unwrap(),
+        y: UBig::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+            .unwrap(),
+        z: UBig::one(),
+    };
+    let two_g = StagedPoint {
+        x: UBig::from_hex("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+            .unwrap(),
+        y: UBig::from_hex("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a")
+            .unwrap(),
+        z: UBig::one(),
+    };
+    let (three_g, s1) = staged_jacobian_add(&mut dev, &g, &two_g).unwrap();
+    let (five_g, s2) = staged_jacobian_add(&mut dev, &three_g, &two_g).unwrap();
+    assert_eq!(s1.multiplications, 16);
+    assert_eq!(s2.multiplications, 16);
+
+    // Normalise 5G and check against the fast ECC backend.
+    use modsram::bigint::{mod_inv, mod_mul};
+    use modsram::ecc::curves::secp256k1_fast;
+    use modsram::ecc::scalar::mul_scalar;
+    use modsram::ecc::FieldCtx;
+    let zinv = mod_inv(&five_g.z, &p).unwrap();
+    let zinv2 = mod_mul(&zinv, &zinv, &p);
+    let x_aff = mod_mul(&five_g.x, &zinv2, &p);
+    let fast = secp256k1_fast();
+    let expect = fast.to_affine(&mul_scalar(&fast, &fast.generator(), &UBig::from(5u64)));
+    assert_eq!(x_aff, fast.ctx().to_ubig(&expect.x));
+}

@@ -1,0 +1,119 @@
+//! Cross-crate agreement: every functional engine AND the cycle-accurate
+//! SRAM device produce identical results across operand widths.
+
+use modsram::arch::{ModSram, ModSramConfig};
+use modsram::bigint::{ubig_below, ubig_with_bits, UBig};
+use modsram::modmul::{all_engines, ModMulEngine, ModMulError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_odd_modulus(rng: &mut SmallRng, bits: usize) -> UBig {
+    loop {
+        let p = ubig_with_bits(rng, bits).with_bit(0, true);
+        if p > UBig::one() {
+            return p;
+        }
+    }
+}
+
+#[test]
+fn engines_and_device_agree_across_widths() {
+    let mut rng = SmallRng::seed_from_u64(0xA11);
+    for bits in [8usize, 16, 32, 64, 128, 256] {
+        for _ in 0..5 {
+            let p = random_odd_modulus(&mut rng, bits);
+            let a = ubig_below(&mut rng, &p);
+            let b = ubig_below(&mut rng, &p);
+            let want = &(&a * &b) % &p;
+            for engine in all_engines().iter_mut() {
+                let got = engine.mod_mul(&a, &b, &p).unwrap();
+                assert_eq!(got, want, "{} at {bits} bits", engine.name());
+            }
+            let mut dev = ModSram::for_modulus(&p).unwrap();
+            let (got, _) = dev.mod_mul(&a, &b).unwrap();
+            assert_eq!(got, want, "modsram device at {bits} bits");
+        }
+    }
+}
+
+#[test]
+fn even_moduli_only_montgomery_refuses() {
+    let p = UBig::from(1000u64);
+    let a = UBig::from(123u64);
+    let b = UBig::from(456u64);
+    let want = UBig::from(123u64 * 456 % 1000);
+    for engine in all_engines().iter_mut() {
+        match engine.mod_mul(&a, &b, &p) {
+            Ok(got) => assert_eq!(got, want, "{}", engine.name()),
+            Err(ModMulError::EvenModulus) => {
+                assert_eq!(engine.name(), "montgomery");
+            }
+            Err(e) => panic!("{}: {e}", engine.name()),
+        }
+    }
+    // The device handles even moduli too (no Montgomery form needed).
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    assert_eq!(dev.mod_mul(&a, &b).unwrap().0, want);
+}
+
+#[test]
+fn device_engine_trait_in_generic_context() {
+    // The accelerator is a drop-in ModMulEngine.
+    fn run_engine(e: &mut dyn ModMulEngine) -> UBig {
+        e.mod_mul(&UBig::from(55u64), &UBig::from(44u64), &UBig::from(97u64))
+            .unwrap()
+    }
+    let mut dev = ModSram::new(ModSramConfig::default()).unwrap();
+    assert_eq!(run_engine(&mut dev), UBig::from(55u64 * 44 % 97));
+}
+
+#[test]
+fn boundary_operands() {
+    // a or b ∈ {0, 1, p−1, p} at a production modulus.
+    let p = UBig::from_hex(
+        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+    )
+    .unwrap();
+    let cases = [
+        UBig::zero(),
+        UBig::one(),
+        &p - &UBig::one(),
+        p.clone(),
+    ];
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    for a in &cases {
+        for b in &cases {
+            let want = &(a * b) % &p;
+            let (got, _) = dev.mod_mul(a, b).unwrap();
+            assert_eq!(got, want, "a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn p256_point_arithmetic_on_the_modsram_engine() {
+    use modsram::ecc::curves::{p256_fast, p256_with_engine};
+    use modsram::ecc::scalar::{mul_scalar, mul_scalar_ladder};
+    use modsram::ecc::FieldCtx;
+    use modsram::modmul::R4CsaLutEngine;
+
+    // Reference: fast Montgomery backend.
+    let fast = p256_fast();
+    let k = UBig::from(0xdecaf_c0ffeeu64);
+    let want = fast.to_affine(&mul_scalar(&fast, &fast.generator(), &k));
+
+    // Same computation with every modular multiplication routed through
+    // the paper's algorithm (functional model).
+    let slow = p256_with_engine(Box::new(R4CsaLutEngine::new()));
+    let got = slow.to_affine(&mul_scalar_ladder(&slow, &slow.generator(), &k, 52));
+    assert_eq!(
+        fast.ctx().to_ubig(&want.x),
+        slow.ctx().to_ubig(&got.x),
+        "x coordinates agree across engines"
+    );
+    assert_eq!(
+        fast.ctx().to_ubig(&want.y),
+        slow.ctx().to_ubig(&got.y),
+        "y coordinates agree across engines"
+    );
+}

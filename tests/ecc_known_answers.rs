@@ -1,0 +1,100 @@
+//! Known-answer tests for the ECC substrate on both named curves, and
+//! an end-to-end EC point addition executed on the simulated
+//! accelerator.
+
+use modsram::arch::{ModSram, ModSramConfig};
+use modsram::bigint::UBig;
+use modsram::ecc::curves::{
+    bn254_fast, bn254_with_engine, secp256k1_fast, secp256k1_with_engine,
+};
+use modsram::ecc::scalar::{mul_scalar, mul_scalar_wnaf};
+use modsram::ecc::FieldCtx;
+
+#[test]
+fn secp256k1_small_multiples_match_published_values() {
+    let c = secp256k1_fast();
+    let g = c.generator();
+    // 2G and 3G x-coordinates are textbook constants.
+    let two_g = c.to_affine(&c.double(&g));
+    assert_eq!(
+        c.ctx().to_ubig(&two_g.x).to_hex(),
+        "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+    );
+    let three_g = c.to_affine(&c.add(&c.double(&g), &g));
+    assert_eq!(
+        c.ctx().to_ubig(&three_g.x).to_hex(),
+        "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+    );
+    assert!(c.is_on_curve(&two_g));
+    assert!(c.is_on_curve(&three_g));
+}
+
+#[test]
+fn secp256k1_order_annihilates() {
+    let c = secp256k1_fast();
+    assert!(c.is_identity(&mul_scalar_wnaf(&c, &c.generator(), c.order())));
+    // (order − 1)·G = −G.
+    let minus_g = mul_scalar_wnaf(&c, &c.generator(), &(c.order() - &UBig::one()));
+    let sum = c.add(&minus_g, &c.generator());
+    assert!(c.is_identity(&sum));
+}
+
+#[test]
+fn bn254_generator_and_order() {
+    let c = bn254_fast();
+    let aff = c.generator_affine();
+    assert_eq!(c.ctx().to_ubig(&aff.x), UBig::one());
+    assert_eq!(c.ctx().to_ubig(&aff.y), UBig::from(2u64));
+    assert!(c.is_identity(&mul_scalar(&c, &c.generator(), c.order())));
+}
+
+#[test]
+fn scalar_mul_binary_vs_wnaf_on_both_curves() {
+    for make in [secp256k1_fast, bn254_fast] {
+        let c = make();
+        let k = UBig::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let a = mul_scalar(&c, &c.generator(), &k);
+        let b = mul_scalar_wnaf(&c, &c.generator(), &k);
+        assert!(c.points_equal(&a, &b), "{}", c.name());
+    }
+}
+
+#[test]
+fn point_addition_entirely_in_sram() {
+    // The paper's §5.2 scenario: EC point-addition operands staged in
+    // the array, every field multiplication in-SRAM and verified in
+    // lock-step against the functional model.
+    let dev = ModSram::new(ModSramConfig::default()).unwrap();
+    let c = secp256k1_with_engine(Box::new(dev));
+    let g = c.generator();
+    let five_g = {
+        let two = c.double(&g);
+        let four = c.double(&two);
+        c.add(&four, &g)
+    };
+    let aff = c.to_affine(&five_g);
+
+    let fast = secp256k1_fast();
+    let expect = fast.to_affine(&mul_scalar(&fast, &fast.generator(), &UBig::from(5u64)));
+    assert_eq!(
+        c.ctx().to_ubig(&aff.x),
+        fast.ctx().to_ubig(&expect.x),
+        "5G.x via in-SRAM multiplications"
+    );
+    assert_eq!(c.ctx().to_ubig(&aff.y), fast.ctx().to_ubig(&expect.y));
+}
+
+#[test]
+fn bn254_point_double_in_sram() {
+    let dev = ModSram::new(ModSramConfig {
+        n_bits: 254,
+        ..Default::default()
+    })
+    .unwrap();
+    let c = bn254_with_engine(Box::new(dev));
+    let two_g = c.to_affine(&c.double(&c.generator()));
+    let fast = bn254_fast();
+    let expect = fast.to_affine(&fast.double(&fast.generator()));
+    assert_eq!(c.ctx().to_ubig(&two_g.x), fast.ctx().to_ubig(&expect.x));
+    assert!(c.is_on_curve(&two_g));
+}

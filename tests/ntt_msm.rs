@@ -1,0 +1,104 @@
+//! Integration tests for the ZKP-component substrate: NTT round-trips,
+//! convolution, MSM vs naive, and the closed-form op-count cross-checks
+//! used by Figure 7.
+
+use modsram::bigint::{ubig_below, UBig};
+use modsram::ecc::curves::{bn254_fast, bn254_fr_ctx};
+use modsram::ecc::msm::{msm, msm_with_window};
+use modsram::ecc::scalar::mul_scalar;
+use modsram::ecc::{FieldCtx, NttPlan};
+use modsram::zkp::{ntt_workload, WorkloadCounts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn ntt_roundtrip_bn254_up_to_2_10() {
+    let ctx = bn254_fr_ctx();
+    let mut rng = SmallRng::seed_from_u64(11);
+    for log_n in [1usize, 4, 8, 10] {
+        let plan = NttPlan::new(&ctx, log_n, &UBig::from(5u64)).unwrap();
+        let original: Vec<_> = (0..1usize << log_n)
+            .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+            .collect();
+        let mut data = original.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_eq!(data, original, "log_n={log_n}");
+    }
+}
+
+#[test]
+fn ntt_linearity() {
+    // NTT(a + b) = NTT(a) + NTT(b).
+    let ctx = bn254_fr_ctx();
+    let plan = NttPlan::new(&ctx, 5, &UBig::from(5u64)).unwrap();
+    let mut rng = SmallRng::seed_from_u64(12);
+    let a: Vec<_> = (0..32)
+        .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+        .collect();
+    let b: Vec<_> = (0..32)
+        .map(|_| ctx.from_ubig(&ubig_below(&mut rng, ctx.modulus())))
+        .collect();
+    let mut sum: Vec<_> = a.iter().zip(&b).map(|(x, y)| ctx.add(x, y)).collect();
+    let mut fa = a.clone();
+    let mut fb = b.clone();
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    plan.forward(&mut sum);
+    for k in 0..32 {
+        assert_eq!(sum[k], ctx.add(&fa[k], &fb[k]), "bin {k}");
+    }
+}
+
+#[test]
+fn figure7_ntt_count_equals_closed_form_at_multiple_sizes() {
+    for log_n in [5usize, 9, 11] {
+        let w = ntt_workload(log_n);
+        assert_eq!(w.modmuls, WorkloadCounts::ntt_modmul_model(log_n));
+        // Butterflies do two additions each.
+        assert_eq!(w.modadds, 2 * w.modmuls);
+    }
+}
+
+#[test]
+fn msm_matches_naive_at_256_points() {
+    let c = bn254_fast();
+    let mut rng = SmallRng::seed_from_u64(13);
+    let n = 256;
+    let g = c.generator();
+    let mut points = Vec::with_capacity(n);
+    let mut cur = g.clone();
+    for _ in 0..n {
+        points.push(c.to_affine(&cur));
+        cur = c.add(&cur, &g);
+    }
+    let scalars: Vec<UBig> = (0..n).map(|_| ubig_below(&mut rng, c.order())).collect();
+
+    let mut naive = c.identity();
+    for (p, k) in points.iter().zip(&scalars) {
+        naive = c.add(&naive, &mul_scalar(&c, &c.from_affine(p), k));
+    }
+    let (fast, stats) = msm(&c, &points, &scalars);
+    assert!(c.points_equal(&fast, &naive));
+    assert!(stats.window_bits >= 2);
+
+    // Window size must not change the result.
+    let (w4, _) = msm_with_window(&c, &points, &scalars, 4);
+    let (w13, _) = msm_with_window(&c, &points, &scalars, 13);
+    assert!(c.points_equal(&w4, &naive));
+    assert!(c.points_equal(&w13, &naive));
+}
+
+#[test]
+fn msm_respects_linearity() {
+    // MSM([P], [a]) + MSM([P], [b]) == MSM([P, P], [a, b]).
+    let c = bn254_fast();
+    let g_aff = c.generator_affine();
+    let a = UBig::from(123_456u64);
+    let b = UBig::from(654_321u64);
+    let (lhs1, _) = msm(&c, std::slice::from_ref(&g_aff), std::slice::from_ref(&a));
+    let (lhs2, _) = msm(&c, std::slice::from_ref(&g_aff), std::slice::from_ref(&b));
+    let lhs = c.add(&lhs1, &lhs2);
+    let (rhs, _) = msm(&c, &[g_aff.clone(), g_aff], &[a, b]);
+    assert!(c.points_equal(&lhs, &rhs));
+}

@@ -1,0 +1,141 @@
+//! Pins every quantitative claim of the paper that this reproduction
+//! regenerates. If any of these fail, EXPERIMENTS.md is out of date.
+
+use modsram::arch::{MemoryMap, ModSram};
+use modsram::baselines::{table3_rows, BpNttModel, DataOrg, MenttModel};
+use modsram::bigint::UBig;
+use modsram::modmul::{CycleModel, R4CsaLutEngine};
+use modsram::phys::{AreaModel, Component, FreqModel};
+
+fn secp_p() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap()
+}
+
+#[test]
+fn headline_767_cycles_measured_not_modelled() {
+    let mut dev = ModSram::for_modulus(&secp_p()).unwrap();
+    let a = &UBig::pow2(255) - &UBig::one(); // MSB-clear multiplier
+    let b = &UBig::pow2(254) + &UBig::from(99u64);
+    let (c, stats) = dev.mod_mul(&a, &b).unwrap();
+    assert_eq!(c, &(&a * &b) % &secp_p());
+    assert_eq!(stats.cycles, 767, "Table 3 row 1");
+}
+
+#[test]
+fn figure1_cycle_models() {
+    // 3n − 1 for ours, (n+1)² for MeNTT, at every plotted bitwidth.
+    let ours = R4CsaLutEngine::new();
+    let mentt = MenttModel::new();
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        assert_eq!(ours.cycles(n), 3 * n as u64 - 1);
+        assert_eq!(mentt.cycles(n), ((n + 1) * (n + 1)) as u64);
+    }
+    assert_eq!(BpNttModel::new().cycles(256), 1465);
+}
+
+#[test]
+fn abstract_52_percent_claim_accounting() {
+    // Abstract: "52% cycle reduction compared to prior works".
+    // 767 vs BP-NTT's 1465 gives 47.6%; 767/1465 ≈ 0.524 — i.e. ModSRAM
+    // needs ~52% OF the best prior count. Both readings reproduce the
+    // ≈2× win; EXPERIMENTS.md documents the ambiguity.
+    let ours = 767f64;
+    let best_prior = 1465f64;
+    assert!((ours / best_prior - 0.524).abs() < 0.01);
+    assert!((1.0 - ours / best_prior - 0.476).abs() < 0.01);
+}
+
+#[test]
+fn section_5_2_memory_budget() {
+    // 13 LUT wordlines; operands of an EC point addition fit the array.
+    assert_eq!(MemoryMap::lut_rows_paper(), 13);
+    assert_eq!(MemoryMap::paper_rows_used(), 18);
+    let map = MemoryMap::new(64, 256);
+    assert!(map.point_add_working_set().fits());
+}
+
+#[test]
+fn section_5_4_mentt_infeasibility() {
+    // "Doing the computation in 256 bits requires a total of 1282 rows".
+    let mentt = MenttModel::new();
+    assert_eq!(mentt.rows_required(256), 1282);
+    assert!(!mentt.feasible(256));
+    let org = DataOrg::at_bits(256);
+    assert!(!org.designs[1].fits());
+    assert!(org.designs[0].fits());
+}
+
+#[test]
+fn figure5_area_breakdown() {
+    let model = AreaModel::modsram_default();
+    let b = model.modsram_breakdown();
+    assert!((b.total_mm2() - 0.053).abs() < 0.003, "total {}", b.total_mm2());
+    assert!((b.share(Component::Array) - 0.67).abs() < 0.03);
+    assert!((b.share(Component::InMemory) - 0.20).abs() < 0.03);
+    assert!((b.share(Component::NearMemory) - 0.11).abs() < 0.03);
+    assert!((b.share(Component::Decoder) - 0.02).abs() < 0.015);
+    assert!((model.overhead_vs_plain() - 0.32).abs() < 0.04);
+}
+
+#[test]
+fn section_5_3_clock_frequency() {
+    assert!((FreqModel::tsmc65().fmax_mhz() - 420.0).abs() < 10.0);
+}
+
+#[test]
+fn table3_assembles_with_measured_values() {
+    let rows = table3_rows(767, 0.053);
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].cycles_256, Some(767));
+    assert_eq!(rows[1].cycles_256, Some(66_049));
+    assert_eq!(rows[2].cycles_256, Some(1465));
+    // ReRAM designs publish no per-multiplication cycles.
+    assert!(rows[3..].iter().all(|r| r.cycles_256.is_none()));
+}
+
+#[test]
+fn complexity_is_linear_o_n() {
+    // §5.3: "R4CSA-LUT algorithm has a complexity of O(n)".
+    let e = R4CsaLutEngine::new();
+    let c64 = e.cycles(64) as f64;
+    let c256 = e.cycles(256) as f64;
+    let ratio = c256 / c64;
+    assert!((ratio - 4.0).abs() < 0.1, "cycles must scale ~linearly, got {ratio}");
+}
+
+#[test]
+fn gate_level_fsm_walks_the_767_cycle_schedule() {
+    // The §4.3 control path at gate level: both the FSM with an
+    // external digit counter and the self-contained sequencer walk the
+    // Table 3 schedule.
+    let mut fsm = modsram::rtl::fsm::controller_fsm();
+    assert_eq!(modsram::rtl::fsm::run_schedule(&mut fsm, 128).len(), 767);
+    let mut seq = modsram::rtl::fsm::sequencer(8);
+    assert_eq!(modsram::rtl::fsm::run_sequencer(&mut seq, 128).len(), 767);
+}
+
+#[test]
+fn gate_level_csa_is_constant_depth_ripple_is_not() {
+    // §2.1's carry-propagation argument, measured in picoseconds.
+    use modsram::rtl::cells::CellLibrary;
+    use modsram::rtl::{circuits, timing};
+    let lib = CellLibrary::tsmc65();
+    let csa_8 = timing::analyze(&circuits::carry_save_adder(8), &lib).critical_ps;
+    let csa_257 = timing::analyze(&circuits::carry_save_adder(257), &lib).critical_ps;
+    assert_eq!(csa_8, csa_257, "CSA depth is width-independent");
+    let ripple_257 = timing::analyze(&circuits::final_adder(257), &lib).critical_ps;
+    assert!(ripple_257 > 100.0 * csa_257, "the carry chain is the cost CSA removes");
+}
+
+#[test]
+fn isa_executor_reproduces_table3_headline() {
+    use modsram::arch::Executor;
+    let p = secp_p();
+    let mut dev = ModSram::for_modulus(&p).unwrap();
+    let b = &UBig::pow2(254) + &UBig::from(99u64);
+    dev.load_multiplicand(&b).unwrap();
+    let a = &UBig::pow2(255) - &UBig::one();
+    let (c, stats) = Executor::new().run_mod_mul(&mut dev, &a).unwrap();
+    assert_eq!(c, &(&a * &b) % &p);
+    assert_eq!(stats.cycles, 767, "micro-program path, Table 3 row 1");
+}

@@ -1,0 +1,162 @@
+//! Workspace-level property tests: randomised invariants that span
+//! multiple crates (device ↔ functional model ↔ oracle ↔ field layer
+//! ↔ micro-program executor ↔ gate level).
+
+use modsram::arch::{Executor, ModSram, Program};
+use modsram::bigint::UBig;
+use modsram::ecc::curves::secp256k1_fast;
+use modsram::ecc::field::batch_inv;
+use modsram::ecc::scalar::{mul_scalar, mul_scalar_ladder, mul_scalar_wnaf};
+use modsram::ecc::FieldCtx;
+use modsram::modmul::{ModMulEngine, R4CsaLutEngine};
+use proptest::prelude::*;
+
+fn modulus_strategy() -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 1..=4).prop_map(|limbs| {
+        let p = UBig::from_limbs(limbs);
+        if p <= UBig::one() {
+            UBig::from(3u64)
+        } else {
+            p
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn device_matches_oracle(
+        p in modulus_strategy(),
+        a_limbs in prop::collection::vec(any::<u64>(), 4),
+        b_limbs in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        let a = &UBig::from_limbs(a_limbs) % &p;
+        let b = &UBig::from_limbs(b_limbs) % &p;
+        let mut dev = ModSram::for_modulus(&p).unwrap();
+        let (got, stats) = dev.mod_mul(&a, &b).unwrap();
+        prop_assert_eq!(got, &(&a * &b) % &p);
+        // The schedule invariant: cycles = 6k − 1.
+        prop_assert_eq!(stats.cycles, 6 * stats.iterations - 1);
+        // Exact accounting stays within the instrumented LUT.
+        prop_assert!(stats.max_ov_index <= 11);
+    }
+
+    #[test]
+    fn device_and_functional_engine_agree(
+        p in modulus_strategy(),
+        a_limbs in prop::collection::vec(any::<u64>(), 4),
+        b_limbs in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        let a = &UBig::from_limbs(a_limbs) % &p;
+        let b = &UBig::from_limbs(b_limbs) % &p;
+        let mut dev = ModSram::for_modulus(&p).unwrap();
+        let mut engine = R4CsaLutEngine::new();
+        let (dev_result, _) = dev.mod_mul(&a, &b).unwrap();
+        let eng_result = engine.mod_mul(&a, &b, &p).unwrap();
+        prop_assert_eq!(dev_result, eng_result);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_addition(k1 in 1u64..1000, k2 in 1u64..1000) {
+        // (k1 + k2)·G == k1·G + k2·G on secp256k1.
+        let c = secp256k1_fast();
+        let g = c.generator();
+        let lhs = mul_scalar_wnaf(&c, &g, &UBig::from(k1 + k2));
+        let rhs = c.add(
+            &mul_scalar_wnaf(&c, &g, &UBig::from(k1)),
+            &mul_scalar_wnaf(&c, &g, &UBig::from(k2)),
+        );
+        prop_assert!(c.points_equal(&lhs, &rhs));
+    }
+
+    #[test]
+    fn field_ops_match_bigint((a, b) in (any::<u64>(), any::<u64>())) {
+        let c = secp256k1_fast();
+        let ctx = c.ctx();
+        let fa = ctx.from_ubig(&UBig::from(a));
+        let fb = ctx.from_ubig(&UBig::from(b));
+        prop_assert_eq!(
+            ctx.to_ubig(&ctx.mul(&fa, &fb)),
+            UBig::from(a as u128 * b as u128) % ctx.modulus()
+        );
+        prop_assert_eq!(
+            ctx.to_ubig(&ctx.add(&fa, &fb)),
+            UBig::from(a as u128 + b as u128) % ctx.modulus()
+        );
+    }
+
+    /// The micro-program executor and the FSM controller agree on
+    /// result AND every counter for arbitrary operands and widths.
+    #[test]
+    fn isa_executor_matches_fsm(
+        p in modulus_strategy(),
+        a_limbs in prop::collection::vec(any::<u64>(), 4),
+        b_limbs in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        let a = &UBig::from_limbs(a_limbs) % &p;
+        let b = &UBig::from_limbs(b_limbs) % &p;
+        let mut fsm = ModSram::for_modulus(&p).unwrap();
+        let (c_fsm, s_fsm) = fsm.mod_mul(&a, &b).unwrap();
+
+        let mut isa = ModSram::for_modulus(&p).unwrap();
+        isa.load_multiplicand(&b).unwrap();
+        let mut exec = Executor::new();
+        let (c_isa, s_isa) = exec.run_mod_mul(&mut isa, &a).unwrap();
+        prop_assert_eq!(c_isa, c_fsm);
+        prop_assert_eq!(s_isa.cycles, s_fsm.cycles);
+        prop_assert_eq!(s_isa.register_writes, s_fsm.register_writes);
+        prop_assert_eq!(s_isa.activations, s_fsm.activations);
+    }
+
+    /// The generated micro-program round-trips through the assembler
+    /// and charges the paper's cycle count at any digit count.
+    #[test]
+    fn microprogram_round_trips(k in 1usize..200) {
+        let program = Program::r4csa(k);
+        prop_assert_eq!(program.cycles(), 6 * k as u64 - 1);
+        let parsed = Program::parse(&program.to_text()).unwrap();
+        prop_assert_eq!(parsed, program);
+    }
+
+    /// Montgomery ladder agrees with double-and-add for random scalars.
+    #[test]
+    fn ladder_matches_double_and_add(limbs in prop::collection::vec(any::<u64>(), 1..=2)) {
+        let k = UBig::from_limbs(limbs);
+        let c = secp256k1_fast();
+        let g = c.generator();
+        let want = mul_scalar(&c, &g, &k);
+        let got = mul_scalar_ladder(&c, &g, &k, k.bit_len().max(1));
+        prop_assert!(c.points_equal(&got, &want));
+    }
+
+    /// Batch inversion agrees with element-wise inversion on random
+    /// non-zero field elements.
+    #[test]
+    fn batch_inversion_is_inversion(values in prop::collection::vec(1u64.., 1..12)) {
+        let c = secp256k1_fast();
+        let ctx = c.ctx();
+        let elems: Vec<_> = values.iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+        let batch = batch_inv(ctx, &elems).unwrap();
+        for (e, i) in elems.iter().zip(&batch) {
+            prop_assert_eq!(ctx.to_ubig(&ctx.mul(e, i)), UBig::one());
+        }
+    }
+
+    /// The gate-level controller FSM walks a 6k − 1 schedule for any
+    /// digit count.
+    #[test]
+    fn gate_fsm_schedule_length(k in 1usize..160) {
+        let mut fsm = modsram::rtl::fsm::controller_fsm();
+        let trace = modsram::rtl::fsm::run_schedule(&mut fsm, k);
+        prop_assert_eq!(trace.len() as u64, 6 * k as u64 - 1);
+        // Exactly one strobe fires per cycle (plus busy).
+        for s in &trace {
+            let fired = [s.fetch_en, s.act_r4, s.act_ov, s.wb_sum, s.wb_carry]
+                .iter()
+                .filter(|&&x| x)
+                .count();
+            prop_assert_eq!(fired, 1);
+        }
+    }
+}
