@@ -7,14 +7,27 @@
 //! simplification, signatures remain standard and verifiable).
 
 use core::fmt;
+use std::sync::Arc;
 
-use modsram_bigint::{mod_inv, mod_mul, UBig};
+use modsram_bigint::{mod_inv, UBig};
 use modsram_ecc::curve::Curve;
 use modsram_ecc::curves::secp256k1_fast;
 use modsram_ecc::scalar::{mul_double_scalar, mul_scalar_wnaf};
 use modsram_ecc::{FieldCtx, Fp256Ctx};
+use modsram_modmul::{DirectEngine, ModMulEngine, PreparedModMul};
 
 use crate::sha256::sha256;
+
+/// Prepares a scalar-field (mod `n`) context, defaulting to the direct
+/// engine; any engine accepted — the group order is odd, so even the
+/// Montgomery family qualifies.
+fn scalar_ctx(order: &UBig, engine: &dyn ModMulEngine) -> Arc<dyn PreparedModMul> {
+    Arc::from(
+        engine
+            .prepare(order)
+            .expect("group order is a fixed odd prime"),
+    )
+}
 
 /// An ECDSA signature `(r, s)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,14 +62,19 @@ impl fmt::Display for EcdsaError {
 impl std::error::Error for EcdsaError {}
 
 /// A secp256k1 signing key.
+///
+/// Scalar arithmetic mod the group order runs through a prepared engine
+/// context ([`PreparedModMul`]), prepared once at key construction.
 pub struct SigningKey {
     curve: Curve<Fp256Ctx>,
+    scalar: Arc<dyn PreparedModMul>,
     d: UBig,
 }
 
 /// A secp256k1 verifying (public) key.
 pub struct VerifyingKey {
     curve: Curve<Fp256Ctx>,
+    scalar: Arc<dyn PreparedModMul>,
     /// Affine public point coordinates (canonical integers).
     pub x: UBig,
     /// Affine y-coordinate.
@@ -94,12 +112,24 @@ impl SigningKey {
     ///
     /// [`EcdsaError::InvalidPrivateKey`] when out of range.
     pub fn new(d: &UBig) -> Result<Self, EcdsaError> {
+        Self::with_scalar_engine(d, &DirectEngine::new())
+    }
+
+    /// Creates a key whose mod-`n` scalar arithmetic runs through the
+    /// given engine (prepared once for the group order here).
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPrivateKey`] when `d` is out of range.
+    pub fn with_scalar_engine(d: &UBig, engine: &dyn ModMulEngine) -> Result<Self, EcdsaError> {
         let curve = secp256k1_fast();
         if d.is_zero() || d >= curve.order() {
             return Err(EcdsaError::InvalidPrivateKey);
         }
+        let scalar = scalar_ctx(curve.order(), engine);
         Ok(SigningKey {
             curve,
+            scalar,
             d: d.clone(),
         })
     }
@@ -112,6 +142,9 @@ impl SigningKey {
             x: self.curve.ctx().to_ubig(&aff.x),
             y: self.curve.ctx().to_ubig(&aff.y),
             curve: secp256k1_fast(),
+            // Verification shares the signing key's prepared context,
+            // so the configured engine carries over.
+            scalar: Arc::clone(&self.scalar),
         }
     }
 
@@ -146,8 +179,12 @@ impl SigningKey {
                 continue;
             }
             let k_inv = mod_inv(&k, &n).expect("prime order");
-            // s = k⁻¹ (z + r·d) mod n
-            let s = mod_mul(&k_inv, &(&z + &mod_mul(&r, &self.d, &n)), &n);
+            // s = k⁻¹ (z + r·d) mod n, through the prepared scalar ctx.
+            let rd = self.scalar.mod_mul(&r, &self.d).expect("prepared for n");
+            let s = self
+                .scalar
+                .mod_mul(&k_inv, &(&z + &rd))
+                .expect("prepared for n");
             if s.is_zero() {
                 continue;
             }
@@ -164,6 +201,20 @@ impl VerifyingKey {
     ///
     /// [`EcdsaError::InvalidPublicKey`] when the point is off-curve.
     pub fn new(x: &UBig, y: &UBig) -> Result<Self, EcdsaError> {
+        Self::with_scalar_engine(x, y, &DirectEngine::new())
+    }
+
+    /// Builds a verifying key whose mod-`n` arithmetic runs through the
+    /// given engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EcdsaError::InvalidPublicKey`] when the point is off-curve.
+    pub fn with_scalar_engine(
+        x: &UBig,
+        y: &UBig,
+        engine: &dyn ModMulEngine,
+    ) -> Result<Self, EcdsaError> {
         let curve = secp256k1_fast();
         let aff = modsram_ecc::Affine {
             x: curve.ctx().from_ubig(x),
@@ -173,8 +224,10 @@ impl VerifyingKey {
         if !curve.is_on_curve(&aff) {
             return Err(EcdsaError::InvalidPublicKey);
         }
+        let scalar = scalar_ctx(curve.order(), engine);
         Ok(VerifyingKey {
             curve,
+            scalar,
             x: x.clone(),
             y: y.clone(),
         })
@@ -193,8 +246,8 @@ impl VerifyingKey {
         }
         let z = message_scalar(msg, &n);
         let w = mod_inv(&sig.s, &n).expect("prime order");
-        let u1 = mod_mul(&z, &w, &n);
-        let u2 = mod_mul(&sig.r, &w, &n);
+        let u1 = self.scalar.mod_mul(&z, &w).expect("prepared for n");
+        let u2 = self.scalar.mod_mul(&sig.r, &w).expect("prepared for n");
         let q = self.curve.from_affine(&modsram_ecc::Affine {
             x: self.curve.ctx().from_ubig(&self.x),
             y: self.curve.ctx().from_ubig(&self.y),
@@ -284,6 +337,25 @@ mod tests {
             VerifyingKey::new(&UBig::from(1u64), &UBig::from(1u64)).err(),
             Some(EcdsaError::InvalidPublicKey)
         );
+    }
+
+    #[test]
+    fn scalar_engine_choice_does_not_change_signatures() {
+        use modsram_modmul::{BarrettEngine, MontgomeryEngine};
+        let d = UBig::from_hex("c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721")
+            .unwrap();
+        let reference = SigningKey::new(&d).unwrap().sign(b"engine-agnostic");
+        for engine in [
+            &MontgomeryEngine::new() as &dyn ModMulEngine,
+            &BarrettEngine::new(),
+        ] {
+            let sk = SigningKey::with_scalar_engine(&d, engine).unwrap();
+            let sig = sk.sign(b"engine-agnostic");
+            assert_eq!(sig, reference);
+            let vk = sk.verifying_key();
+            let vk2 = VerifyingKey::with_scalar_engine(&vk.x, &vk.y, engine).unwrap();
+            assert_eq!(vk2.verify(b"engine-agnostic", &sig), Ok(true));
+        }
     }
 
     #[test]

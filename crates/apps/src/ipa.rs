@@ -150,10 +150,14 @@ impl IpaParams {
         let r = self.curve.order().clone();
         let mut acc = self.curve.identity();
         for (ai, gi) in a.iter().zip(&self.g_vec) {
-            acc = self.curve.add(&acc, &mul_scalar(&self.curve, gi, &(ai % &r)));
+            acc = self
+                .curve
+                .add(&acc, &mul_scalar(&self.curve, gi, &(ai % &r)));
         }
         for (bi, hi) in b.iter().zip(&self.h_vec) {
-            acc = self.curve.add(&acc, &mul_scalar(&self.curve, hi, &(bi % &r)));
+            acc = self
+                .curve
+                .add(&acc, &mul_scalar(&self.curve, hi, &(bi % &r)));
         }
         let ip = inner_product(a, b, &r);
         self.curve.add(&acc, &mul_scalar(&self.curve, &self.q, &ip))
@@ -306,12 +310,7 @@ fn fold_points(
 ) -> Vec<Jacobian<El>> {
     lo.iter()
         .zip(hi)
-        .map(|(l, h)| {
-            curve.add(
-                &mul_scalar(curve, l, x_lo),
-                &mul_scalar(curve, h, x_hi),
-            )
-        })
+        .map(|(l, h)| curve.add(&mul_scalar(curve, l, x_lo), &mul_scalar(curve, h, x_hi)))
         .collect()
 }
 

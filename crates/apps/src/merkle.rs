@@ -98,7 +98,10 @@ impl MerkleTree {
                 levels: vec![vec![[0u8; 32]]],
             };
         }
-        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l.as_ref())).collect::<Vec<_>>()];
+        let mut levels = vec![leaves
+            .iter()
+            .map(|l| leaf_hash(l.as_ref()))
+            .collect::<Vec<_>>()];
         while levels.last().expect("non-empty").len() > 1 {
             let below = levels.last().expect("non-empty");
             let mut level = Vec::with_capacity(below.len().div_ceil(2));

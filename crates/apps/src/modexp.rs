@@ -9,6 +9,7 @@
 
 use modsram_bigint::UBig;
 use modsram_core::{CoreError, ModSram};
+use modsram_modmul::{ModMulError, PreparedModMul};
 
 /// Cycle accounting for one on-device exponentiation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -40,10 +41,7 @@ pub fn modexp_on_device(
     base: &UBig,
     exp: &UBig,
 ) -> Result<(UBig, ModExpStats), CoreError> {
-    let p = device
-        .modulus()
-        .cloned()
-        .ok_or(CoreError::NoModulus)?;
+    let p = device.modulus().cloned().ok_or(CoreError::NoModulus)?;
     let mut stats = ModExpStats::default();
     if p.is_one() {
         return Ok((UBig::zero(), stats));
@@ -55,26 +53,54 @@ pub fn modexp_on_device(
         let (sq, run) = device.mod_mul(&acc.clone(), &acc)?;
         stats.multiplications += 1;
         stats.mul_cycles += run.cycles;
-        stats.precompute_cycles +=
-            device.precompute_total.cycles - pre_before.cycles;
+        stats.precompute_cycles += device.precompute_total.cycles - pre_before.cycles;
         acc = sq;
         if exp.bit(i) {
             let pre_before = device.precompute_total.clone();
             let (prod, run) = device.mod_mul(&acc, base)?;
             stats.multiplications += 1;
             stats.mul_cycles += run.cycles;
-            stats.precompute_cycles +=
-                device.precompute_total.cycles - pre_before.cycles;
+            stats.precompute_cycles += device.precompute_total.cycles - pre_before.cycles;
             acc = prod;
         }
     }
     Ok((acc, stats))
 }
 
+/// Computes `base^exp mod p` through any prepared engine context,
+/// square-and-multiply MSB-first — the engine-agnostic counterpart of
+/// [`modexp_on_device`]. The per-modulus precompute was paid once in
+/// `prepare`, so chained workloads only pay the per-squaring work.
+///
+/// # Errors
+///
+/// Propagates engine errors (none for the functional engines once the
+/// context exists).
+pub fn modexp_prepared(
+    ctx: &dyn PreparedModMul,
+    base: &UBig,
+    exp: &UBig,
+) -> Result<UBig, ModMulError> {
+    let p = ctx.modulus();
+    if p.is_one() {
+        return Ok(UBig::zero());
+    }
+    let base = base % p;
+    let mut acc = UBig::one();
+    for i in (0..exp.bit_len()).rev() {
+        acc = ctx.mod_mul(&acc, &acc)?;
+        if exp.bit(i) {
+            acc = ctx.mod_mul(&acc, &base)?;
+        }
+    }
+    Ok(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use modsram_bigint::mod_pow;
+    use modsram_modmul::{all_engines, ModMulEngine};
 
     #[test]
     fn matches_reference_modpow() {
@@ -113,6 +139,36 @@ mod tests {
             modexp_on_device(&mut dev, &UBig::from(2u64), &UBig::from(1000u64)).unwrap();
         assert!(stats.precompute_cycles > 0);
         assert!(stats.total_cycles() > stats.mul_cycles);
+    }
+
+    #[test]
+    fn prepared_modexp_matches_reference_for_every_engine() {
+        let p = UBig::from(1_000_003u64);
+        for engine in all_engines() {
+            let ctx = engine.prepare(&p).unwrap();
+            for (b, e) in [(2u64, 10u64), (7, 100), (999_999, 65537), (0, 5), (5, 0)] {
+                let got = modexp_prepared(ctx.as_ref(), &UBig::from(b), &UBig::from(e)).unwrap();
+                assert_eq!(
+                    got,
+                    mod_pow(&UBig::from(b), &UBig::from(e), &p),
+                    "{} b={b} e={e}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_modexp_on_the_accelerator_context() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let dev = ModSram::for_modulus(&p).unwrap();
+        let ctx = dev.prepare(&p).unwrap();
+        let e = &p - &UBig::one();
+        // Fermat's little theorem through the prepared device context.
+        assert_eq!(
+            modexp_prepared(ctx.as_ref(), &UBig::from(123_456u64), &e).unwrap(),
+            UBig::one()
+        );
     }
 
     #[test]

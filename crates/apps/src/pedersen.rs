@@ -8,33 +8,53 @@
 
 use modsram_bigint::{ubig_below, UBig};
 use modsram_ecc::curve::{Affine, Curve, Jacobian};
-use modsram_ecc::curves::bn254_fast;
+use modsram_ecc::curves::{bn254_fast, bn254_with_engine};
 use modsram_ecc::msm::msm;
 use modsram_ecc::scalar::mul_scalar_wnaf;
-use modsram_ecc::{FieldCtx, Fp256Ctx};
+use modsram_ecc::{DynCtx, FieldCtx, Fp256Ctx};
+use modsram_modmul::ModMulEngine;
 use rand::Rng;
 
 use crate::sha256::sha256;
 
 /// A Pedersen committer with `size` value bases plus one blinding base.
-pub struct PedersenCommitter {
-    curve: Curve<Fp256Ctx>,
-    bases: Vec<Affine<<Fp256Ctx as FieldCtx>::El>>,
-    blinding_base: Affine<<Fp256Ctx as FieldCtx>::El>,
+///
+/// Generic over the field backend: the default is the fast 256-bit
+/// Montgomery context, and [`PedersenCommitter::new_with_engine`] runs
+/// every field multiplication through a prepared engine context instead
+/// (including the cycle-accurate ModSRAM device).
+pub struct PedersenCommitter<C: FieldCtx = Fp256Ctx> {
+    curve: Curve<C>,
+    bases: Vec<Affine<C::El>>,
+    blinding_base: Affine<C::El>,
 }
 
-impl core::fmt::Debug for PedersenCommitter {
+impl<C: FieldCtx> core::fmt::Debug for PedersenCommitter<C> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "PedersenCommitter {{ size: {} }}", self.bases.len())
     }
 }
 
-impl PedersenCommitter {
+impl PedersenCommitter<Fp256Ctx> {
     /// Derives `size` bases deterministically from a domain tag:
     /// `Gᵢ = hash(tag, i)·G`. (Nothing-up-my-sleeve in spirit; a
     /// production system would hash directly to curve points.)
     pub fn new(size: usize, tag: &[u8]) -> Self {
-        let curve = bn254_fast();
+        Self::with_curve(bn254_fast(), size, tag)
+    }
+}
+
+impl PedersenCommitter<DynCtx> {
+    /// As [`PedersenCommitter::new`], but every field multiplication
+    /// goes through `engine`, prepared once for the BN254 base field.
+    pub fn new_with_engine(size: usize, tag: &[u8], engine: Box<dyn ModMulEngine>) -> Self {
+        Self::with_curve(bn254_with_engine(engine), size, tag)
+    }
+}
+
+impl<C: FieldCtx> PedersenCommitter<C> {
+    /// Derives the bases over an explicit BN254 curve instance.
+    pub fn with_curve(curve: Curve<C>, size: usize, tag: &[u8]) -> Self {
         let g = curve.generator();
         let derive = |index: u64| {
             let mut input = tag.to_vec();
@@ -61,7 +81,7 @@ impl PedersenCommitter {
     }
 
     /// The underlying curve (for point comparisons in callers).
-    pub fn curve(&self) -> &Curve<Fp256Ctx> {
+    pub fn curve(&self) -> &Curve<C> {
         &self.curve
     }
 
@@ -70,7 +90,7 @@ impl PedersenCommitter {
     /// # Panics
     ///
     /// Panics if `values.len() != self.size()`.
-    pub fn commit(&self, values: &[UBig], r: &UBig) -> Jacobian<<Fp256Ctx as FieldCtx>::El> {
+    pub fn commit(&self, values: &[UBig], r: &UBig) -> Jacobian<C::El> {
         assert_eq!(values.len(), self.size(), "value count must match bases");
         let mut points = self.bases.clone();
         points.push(self.blinding_base.clone());
@@ -84,18 +104,13 @@ impl PedersenCommitter {
         &self,
         values: &[UBig],
         rng: &mut R,
-    ) -> (Jacobian<<Fp256Ctx as FieldCtx>::El>, UBig) {
+    ) -> (Jacobian<C::El>, UBig) {
         let r = ubig_below(rng, self.curve.order());
         (self.commit(values, &r), r)
     }
 
     /// Verifies an opening `(values, r)` against a commitment.
-    pub fn open(
-        &self,
-        commitment: &Jacobian<<Fp256Ctx as FieldCtx>::El>,
-        values: &[UBig],
-        r: &UBig,
-    ) -> bool {
+    pub fn open(&self, commitment: &Jacobian<C::El>, values: &[UBig], r: &UBig) -> bool {
         self.curve.points_equal(commitment, &self.commit(values, r))
     }
 }
@@ -159,5 +174,30 @@ mod tests {
     #[should_panic(expected = "value count")]
     fn size_mismatch_panics() {
         committer().commit(&[UBig::one()], &UBig::one());
+    }
+
+    #[test]
+    fn engine_backend_commits_to_the_same_point() {
+        use modsram_modmul::R4CsaLutEngine;
+        let fast = PedersenCommitter::new(2, b"modsram-engine");
+        let slow = PedersenCommitter::new_with_engine(
+            2,
+            b"modsram-engine",
+            Box::new(R4CsaLutEngine::new()),
+        );
+        let values: Vec<UBig> = [5u64, 9].map(UBig::from).to_vec();
+        let r = UBig::from(31337u64);
+        let fast_affine = fast.curve().to_affine(&fast.commit(&values, &r));
+        let slow_affine = slow.curve().to_affine(&slow.commit(&values, &r));
+        assert_eq!(
+            fast.curve().ctx().to_ubig(&fast_affine.x),
+            slow.curve().ctx().to_ubig(&slow_affine.x)
+        );
+        assert_eq!(
+            fast.curve().ctx().to_ubig(&fast_affine.y),
+            slow.curve().ctx().to_ubig(&slow_affine.y)
+        );
+        // The opening protocol works on the engine backend too.
+        assert!(slow.open(&slow.commit(&values, &r), &values, &r));
     }
 }

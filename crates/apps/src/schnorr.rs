@@ -94,9 +94,9 @@ impl SchnorrKey {
             if k.is_zero() {
                 continue;
             }
-            let r = self
-                .curve
-                .to_affine(&mul_scalar_wnaf(&self.curve, &self.curve.generator(), &k));
+            let r =
+                self.curve
+                    .to_affine(&mul_scalar_wnaf(&self.curve, &self.curve.generator(), &k));
             let r_x = self.curve.ctx().to_ubig(&r.x);
             let r_y_odd = self.curve.ctx().to_ubig(&r.y).bit(0);
             let e = hash_to_scalar(&[&be32(&r_x), &be32(&self.px), msg], &n);
@@ -131,7 +131,8 @@ impl SchnorrKey {
             &p_point,
             &(&n - &e),
         );
-        self.curve.points_equal(&lhs, &self.curve.from_affine(&r_aff))
+        self.curve
+            .points_equal(&lhs, &self.curve.from_affine(&r_aff))
     }
 }
 

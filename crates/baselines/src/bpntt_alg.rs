@@ -17,7 +17,7 @@
 use modsram_bigint::UBig;
 
 use crate::bpntt::BpNttModel;
-use modsram_modmul::{CycleModel, ModMulEngine, ModMulError};
+use modsram_modmul::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
 /// Bit-serial Montgomery engine in the style of BP-NTT.
 #[derive(Debug, Clone, Default)]
@@ -63,9 +63,86 @@ impl BpNttAlgorithm {
     }
 }
 
+/// Thread-safe prepared context for the BP-NTT-style bit-serial
+/// Montgomery engine: `R² mod p` (the conversion constant the original
+/// paper assumes away) is computed once per modulus.
+#[derive(Debug, Clone)]
+pub struct PreparedBpNtt {
+    p: UBig,
+    n: usize,
+    r2: UBig,
+}
+
+impl PreparedBpNtt {
+    /// Performs the per-modulus precomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`;
+    /// [`ModMulError::EvenModulus`] for even `p`.
+    pub fn new(p: &UBig) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if p.is_even() {
+            return Err(ModMulError::EvenModulus);
+        }
+        let n = p.bit_len();
+        Ok(PreparedBpNtt {
+            p: p.clone(),
+            n,
+            r2: &UBig::pow2(2 * n) % p,
+        })
+    }
+
+    /// Uncounted bit-serial Montgomery product `a·b·2⁻ⁿ mod p`.
+    fn mont_bitserial(&self, a: &UBig, b: &UBig) -> UBig {
+        let mut t = UBig::zero();
+        for i in 0..self.n {
+            if a.bit(i) {
+                t = &t + b;
+            }
+            if t.bit(0) {
+                t = &t + &self.p;
+            }
+            t = &t >> 1;
+        }
+        if t >= self.p {
+            t = &t - &self.p;
+        }
+        t
+    }
+}
+
+impl PreparedModMul for PreparedBpNtt {
+    fn engine_name(&self) -> &'static str {
+        "bpntt-bitserial-montgomery"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        if self.p.is_one() {
+            return Ok(UBig::zero());
+        }
+        let a = if *a < self.p { a.clone() } else { a % &self.p };
+        let b = if *b < self.p { b.clone() } else { b % &self.p };
+        // aR = mont(a, R²), then mont(aR, b) = a·b mod p — one entry
+        // conversion fused with the core product.
+        let am = self.mont_bitserial(&a, &self.r2);
+        Ok(self.mont_bitserial(&am, &b))
+    }
+}
+
 impl ModMulEngine for BpNttAlgorithm {
     fn name(&self) -> &'static str {
         "bpntt-bitserial-montgomery"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedBpNtt::new(p)?))
     }
 
     /// # Errors
@@ -144,10 +221,8 @@ mod tests {
         // The §5.4 point, measured: 3 of the 4 bit-serial passes per
         // multiplication are domain conversions.
         let mut e = BpNttAlgorithm::new();
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::pow2(200) + &UBig::from(9u64);
         let b = &UBig::pow2(100) + &UBig::from(7u64);
         assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
@@ -164,6 +239,26 @@ mod tests {
             e.mod_mul(&UBig::one(), &UBig::one(), &UBig::from(8u64)),
             Err(ModMulError::EvenModulus)
         );
+        assert_eq!(
+            e.prepare(&UBig::from(8u64)).err(),
+            Some(ModMulError::EvenModulus)
+        );
+    }
+
+    #[test]
+    fn prepared_agrees_with_instrumented_engine() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let prep = PreparedBpNtt::new(&p).unwrap();
+        let mut legacy = BpNttAlgorithm::new();
+        for (a, b) in [(0u64, 0u64), (1, 1), (12345, 67890), (0xffff_fffa, 2)] {
+            let (a, b) = (UBig::from(a), UBig::from(b));
+            assert_eq!(
+                prep.mod_mul(&a, &b).unwrap(),
+                legacy.mod_mul(&a, &b, &p).unwrap()
+            );
+        }
+        assert_eq!(prep.modulus(), &p);
+        assert_eq!(prep.engine_name(), legacy.name());
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod reram;
 pub mod table3;
 
 pub use bpntt::BpNttModel;
-pub use bpntt_alg::BpNttAlgorithm;
+pub use bpntt_alg::{BpNttAlgorithm, PreparedBpNtt};
 pub use dataorg::{DataOrg, DesignDataOrg};
 pub use mentt::MenttModel;
 pub use reram::{ReramDesign, CRYPTO_PIM, RM_NTT, X_POLY};

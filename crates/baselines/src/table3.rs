@@ -147,11 +147,7 @@ mod tests {
     fn cycle_reduction_vs_best_prior() {
         let rows = table3_rows(767, 0.053);
         let ours = rows[0].cycles_256.unwrap() as f64;
-        let best_prior = rows[1..]
-            .iter()
-            .filter_map(|r| r.cycles_256)
-            .min()
-            .unwrap() as f64;
+        let best_prior = rows[1..].iter().filter_map(|r| r.cycles_256).min().unwrap() as f64;
         let reduction = 1.0 - ours / best_prior;
         // The abstract's "52% cycle reduction" claim: our measured count
         // against the best scaled prior work (BP-NTT) gives ≈ 47.6%; the

@@ -8,9 +8,9 @@
 //! * constant-time vs data-dependent iteration policies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use modsram_baselines::BpNttAlgorithm;
 use modsram_bigint::{ubig_below, UBig};
 use modsram_core::ModSram;
-use modsram_baselines::BpNttAlgorithm;
 use modsram_modmul::{
     InterleavedEngine, ModMulEngine, R4CsaLutEngine, Radix4Engine, Radix8Engine, TimingPolicy,
 };

@@ -22,8 +22,8 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_signatures(c: &mut Criterion) {
     let mut group = c.benchmark_group("signatures_secp256k1");
     group.sample_size(10);
-    let ecdsa_key = SigningKey::new(&UBig::from_hex("1234567890abcdef1234567890abcdef").unwrap())
-        .unwrap();
+    let ecdsa_key =
+        SigningKey::new(&UBig::from_hex("1234567890abcdef1234567890abcdef").unwrap()).unwrap();
     let vk = ecdsa_key.verifying_key();
     let sig = ecdsa_key.sign(b"benchmark message");
     group.bench_function("ecdsa_sign", |b| {
@@ -70,5 +70,10 @@ fn bench_zkp_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_signatures, bench_zkp_primitives);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_signatures,
+    bench_zkp_primitives
+);
 criterion_main!(benches);

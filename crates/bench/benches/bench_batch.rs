@@ -1,0 +1,59 @@
+//! Wall-clock comparison of the three engine execution modes: legacy
+//! per-call (`mod_mul(&mut self, a, b, p)`), prepared per-call
+//! (`prepare` once, then `mod_mul(&self, a, b)`), and prepared batch
+//! (`mod_mul_batch`). The spread between the first and the last is the
+//! amortised-precompute win the prepare/execute split exists for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use modsram_bigint::{ubig_below, UBig};
+use modsram_modmul::engine_by_name;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const PAIRS: usize = 64;
+
+fn secp_prime() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("const")
+}
+
+fn operand_pairs(p: &UBig) -> Vec<(UBig, UBig)> {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+    (0..PAIRS)
+        .map(|_| (ubig_below(&mut rng, p), ubig_below(&mut rng, p)))
+        .collect()
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let p = secp_prime();
+    let pairs = operand_pairs(&p);
+    let mut group = c.benchmark_group("batch_modes_256b");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PAIRS as u64));
+    for name in ["montgomery", "barrett", "r4csa-lut"] {
+        let mut engine = engine_by_name(name).expect("registered");
+        group.bench_with_input(BenchmarkId::new("per_call", name), &(), |b, ()| {
+            b.iter(|| {
+                for (a, bb) in &pairs {
+                    black_box(engine.mod_mul(black_box(a), black_box(bb), &p).unwrap());
+                }
+            })
+        });
+        let prep = engine.prepare(&p).expect("odd prime");
+        group.bench_with_input(BenchmarkId::new("prepared", name), &(), |b, ()| {
+            b.iter(|| {
+                for (a, bb) in &pairs {
+                    black_box(prep.mod_mul(black_box(a), black_box(bb)).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", name), &(), |b, ()| {
+            b.iter(|| black_box(prep.mod_mul_batch(black_box(&pairs)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

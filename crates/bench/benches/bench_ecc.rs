@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use modsram_bigint::ubig_below;
 use modsram_core::{ModSram, ModSramConfig};
 use modsram_ecc::curves::{secp256k1_fast, secp256k1_with_engine};
-use modsram_ecc::scalar::{mul_scalar_wnaf, mul_scalar};
+use modsram_ecc::scalar::{mul_scalar, mul_scalar_wnaf};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -18,7 +18,9 @@ fn bench_point_ops(c: &mut Criterion) {
     let p2 = curve.double(&g);
     let p2_aff = curve.to_affine(&p2);
 
-    group.bench_function("double", |b| b.iter(|| black_box(curve.double(black_box(&g)))));
+    group.bench_function("double", |b| {
+        b.iter(|| black_box(curve.double(black_box(&g))))
+    });
     group.bench_function("add", |b| {
         b.iter(|| black_box(curve.add(black_box(&g), black_box(&p2))))
     });

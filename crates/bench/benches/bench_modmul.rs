@@ -14,10 +14,8 @@ use std::hint::black_box;
 fn prime_for_bits(bits: usize) -> UBig {
     match bits {
         64 => UBig::from(0xffff_ffff_ffff_ffc5u64), // largest 64-bit prime
-        256 => UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap(),
+        256 => UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap(),
         _ => panic!("unsupported width"),
     }
 }
@@ -31,15 +29,9 @@ fn bench_engines(c: &mut Criterion) {
         let a = ubig_below(&mut rng, &p);
         let b = ubig_below(&mut rng, &p);
         for engine in all_engines().iter_mut() {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), bits),
-                &bits,
-                |bench, _| {
-                    bench.iter(|| {
-                        black_box(engine.mod_mul(black_box(&a), black_box(&b), &p).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), bits), &bits, |bench, _| {
+                bench.iter(|| black_box(engine.mod_mul(black_box(&a), black_box(&b), &p).unwrap()))
+            });
         }
     }
     group.finish();

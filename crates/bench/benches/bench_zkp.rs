@@ -45,7 +45,9 @@ fn bench_msm(c: &mut Criterion) {
             points.push(curve.to_affine(&cur));
             cur = curve.add(&cur, &g);
         }
-        let scalars: Vec<UBig> = (0..n).map(|_| ubig_below(&mut rng, curve.order())).collect();
+        let scalars: Vec<UBig> = (0..n)
+            .map(|_| ubig_below(&mut rng, curve.order()))
+            .collect();
         group.bench_with_input(BenchmarkId::new("pippenger", n), &log_n, |b, _| {
             b.iter(|| black_box(msm(&curve, black_box(&points), black_box(&scalars))))
         });

@@ -1,0 +1,45 @@
+//! The batch-throughput sweep: amortised-precompute speedup of the
+//! prepare/execute engine API over the legacy per-call path.
+//!
+//! ```sh
+//! cargo run --release --bin batch
+//! ```
+
+use modsram_bench::{batch_throughput, print_table, write_json_artifact};
+
+fn main() {
+    let mut artifacts = Vec::new();
+    for bits in [64usize, 256] {
+        let rows = batch_throughput(bits, 256, 0xBA7C4);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.to_string(),
+                    format!("{:.0}", r.per_call_ns),
+                    format!("{:.0}", r.prepared_ns),
+                    format!("{:.0}", r.batch_ns),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Batch throughput at {bits} bits (256 pairs, ns/multiplication)"),
+            &["engine", "per-call", "prepared", "batch", "speedup"],
+            &table,
+        );
+        for r in &rows {
+            artifacts.push(serde_json::json!({
+                "engine": r.engine,
+                "bits": r.bits,
+                "pairs": r.pairs,
+                "per_call_ns": r.per_call_ns,
+                "prepared_ns": r.prepared_ns,
+                "batch_ns": r.batch_ns,
+                "speedup": r.speedup,
+            }));
+        }
+    }
+    let path = write_json_artifact("batch_throughput", &serde_json::json!(artifacts));
+    println!("\nartifact: {path}");
+}

@@ -21,12 +21,18 @@ fn main() {
         &["component", "area (um^2)", "share"],
         &rows,
     );
-    println!("\ntotal area       : {:.4} mm^2   (paper: 0.053 mm^2)", d.total_mm2);
+    println!(
+        "\ntotal area       : {:.4} mm^2   (paper: 0.053 mm^2)",
+        d.total_mm2
+    );
     println!(
         "overhead vs SRAM : {:.1}%      (paper: 32%)",
         d.overhead * 100.0
     );
-    println!("modelled clock   : {:.0} MHz    (paper: 420 MHz)", d.fmax_mhz);
+    println!(
+        "modelled clock   : {:.0} MHz    (paper: 420 MHz)",
+        d.fmax_mhz
+    );
 
     let json = serde_json::json!({
         "components": d.components.iter().map(|(n, a, s)| serde_json::json!({

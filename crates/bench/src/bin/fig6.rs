@@ -11,7 +11,12 @@ fn main() {
         .map(|d| {
             vec![
                 d.name.to_string(),
-                if d.bit_serial { "bit-serial" } else { "wordline" }.to_string(),
+                if d.bit_serial {
+                    "bit-serial"
+                } else {
+                    "wordline"
+                }
+                .to_string(),
                 d.operand_rows.to_string(),
                 d.intermediate_rows.to_string(),
                 d.lut_rows.to_string(),

@@ -32,7 +32,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("{} at 2^{log_n}: {} modular multiplications", w.name, w.modmuls),
+            &format!(
+                "{} at 2^{log_n}: {} modular multiplications",
+                w.name, w.modmuls
+            ),
             &["design", "cycles/modmul", "MHz", "banks", "latency (ms)"],
             &rows,
         );

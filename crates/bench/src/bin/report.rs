@@ -25,8 +25,14 @@ fn main() {
 
     let f5 = fig5_data();
     println!("\narea model:");
-    println!("  total             : {:.4} mm^2 (paper: 0.053)", f5.total_mm2);
-    println!("  overhead          : {:.1}% (paper: 32%)", f5.overhead * 100.0);
+    println!(
+        "  total             : {:.4} mm^2 (paper: 0.053)",
+        f5.total_mm2
+    );
+    println!(
+        "  overhead          : {:.1}% (paper: 32%)",
+        f5.overhead * 100.0
+    );
     println!("  clock             : {:.0} MHz (paper: 420)", f5.fmax_mhz);
 
     // Artifacts.

@@ -38,7 +38,11 @@ fn main() {
         rows.push(vec![
             nl.name().to_string(),
             nl.cell_count().to_string(),
-            format!("{} (-{:.0}%)", optimized.cell_count(), opt_stats.savings() * 100.0),
+            format!(
+                "{} (-{:.0}%)",
+                optimized.cell_count(),
+                opt_stats.savings() * 100.0
+            ),
             format!("{area:.1}"),
             format!("{:.0}", report.critical_ps),
             report.levels().to_string(),
@@ -67,7 +71,15 @@ fn main() {
 
     print_table(
         "Gate-level peripheral logic (65 nm cell library)",
-        &["block", "cells", "opt cells", "area (um^2)", "crit (ps)", "levels", "fmax (MHz)"],
+        &[
+            "block",
+            "cells",
+            "opt cells",
+            "area (um^2)",
+            "crit (ps)",
+            "levels",
+            "fmax (MHz)",
+        ],
         &rows,
     );
 

@@ -42,8 +42,14 @@ fn main() {
     let ours = rows_data[0].cycles_256.unwrap() as f64;
     let bpntt = rows_data[2].cycles_256.unwrap() as f64;
     let mentt = rows_data[1].cycles_256.unwrap() as f64;
-    println!("\ncycle reduction vs BP-NTT : {:.1}%", (1.0 - ours / bpntt) * 100.0);
-    println!("cycle reduction vs MeNTT  : {:.1}%", (1.0 - ours / mentt) * 100.0);
+    println!(
+        "\ncycle reduction vs BP-NTT : {:.1}%",
+        (1.0 - ours / bpntt) * 100.0
+    );
+    println!(
+        "cycle reduction vs MeNTT  : {:.1}%",
+        (1.0 - ours / mentt) * 100.0
+    );
     println!("(the abstract's \"52% fewer cycles\" claim; our measured ratio vs the");
     println!(" best prior is ~47.6% — see EXPERIMENTS.md for the accounting)");
 

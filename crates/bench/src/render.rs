@@ -24,7 +24,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -41,7 +44,10 @@ pub fn write_json_artifact(name: &str, value: &serde_json::Value) -> String {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-        .expect("write artifact");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialise"),
+    )
+    .expect("write artifact");
     path.display().to_string()
 }

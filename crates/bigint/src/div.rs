@@ -51,9 +51,7 @@ fn knuth_d(u: &UBig, v: &UBig) -> (UBig, UBig) {
         let mut qhat = num / vn1;
         let mut rhat = num % vn1;
         loop {
-            if qhat >= (1u128 << 64)
-                || qhat * vn2 > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            if qhat >= (1u128 << 64) || qhat * vn2 > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vn1;
                 if rhat < (1u128 << 64) {

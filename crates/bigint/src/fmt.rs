@@ -45,7 +45,10 @@ impl UBig {
     /// assert_eq!(v, UBig::from(255u64));
     /// ```
     pub fn from_hex(s: &str) -> Result<Self, ParseUBigError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
         if digits.is_empty() {
             return Err(ParseUBigError {
@@ -188,7 +191,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = UBig::from_hex(s).unwrap();
             assert_eq!(v.to_hex(), s);
         }

@@ -291,11 +291,7 @@ mod tests {
             for a in 0..p {
                 let aa = UBig::from(a);
                 match mod_sqrt(&aa, &pp) {
-                    Some(x) => assert_eq!(
-                        mod_mul(&x, &x, &pp),
-                        aa,
-                        "sqrt({a}) mod {p} gave {x}"
-                    ),
+                    Some(x) => assert_eq!(mod_mul(&x, &x, &pp), aa, "sqrt({a}) mod {p} gave {x}"),
                     None => {
                         // Verify it truly is a non-residue.
                         for x in 0..p {
@@ -311,18 +307,12 @@ mod tests {
     fn mod_sqrt_secp256k1() {
         // secp256k1's p ≡ 3 (mod 4): the fast path. y² = x³ + 7 at the
         // generator must give back ±Gy.
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
-        let gx = UBig::from_hex(
-            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-        )
-        .unwrap();
-        let gy = UBig::from_hex(
-            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        let gx = UBig::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+            .unwrap();
+        let gy = UBig::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+            .unwrap();
         let rhs = &(&mod_mul(&mod_mul(&gx, &gx, &p), &gx, &p) + &UBig::from(7u64)) % &p;
         let y = mod_sqrt(&rhs, &p).unwrap();
         assert!(y == gy || y == &p - &gy);
@@ -344,10 +334,8 @@ mod tests {
     #[test]
     fn large_modulus_inverse() {
         // secp256k1 field prime.
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = UBig::from_hex("deadbeef00112233445566778899aabbccddeeff0102030405060708090a0b0c")
             .unwrap();
         let inv = mod_inv(&a, &p).unwrap();

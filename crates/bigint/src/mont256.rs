@@ -7,7 +7,7 @@
 
 use core::fmt;
 
-use crate::{U256, UBig};
+use crate::{UBig, U256};
 
 /// Precomputed constants for CIOS Montgomery multiplication modulo an odd
 /// 256-bit prime-like modulus `p`.

@@ -5,8 +5,8 @@
 //! preservation, and Montgomery/naive agreement.
 
 use modsram_bigint::{
-    mod_inv, mod_mul, mod_pow, radix4_digits_msb_first, radix8_digits_msb_first, MontCtx256,
-    UBig, U256,
+    mod_inv, mod_mul, mod_pow, radix4_digits_msb_first, radix8_digits_msb_first, MontCtx256, UBig,
+    U256,
 };
 use proptest::prelude::*;
 

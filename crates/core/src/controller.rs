@@ -22,7 +22,7 @@
 //! reads them; the last iteration writes back unshifted so the finisher
 //! sees the true `(sum, carry)`.
 
-use modsram_bigint::{radix4_digits_msb_first, UBig};
+use modsram_bigint::UBig;
 use modsram_modmul::{R4CsaStepper, TimingPolicy};
 
 use crate::error::CoreError;
@@ -48,16 +48,10 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
     dev.carry_msb = false;
     dev.last_trace.clear();
 
-    let digits = {
-        let mut d = radix4_digits_msb_first(&a_c, n);
-        if dev.config.policy == TimingPolicy::ConstantTime {
-            let want = (n + 1).div_ceil(2);
-            while d.len() < want {
-                d.insert(0, modsram_bigint::Radix4Digit::encode(false, false, false));
-            }
-        }
-        d
-    };
+    // The digit stream (including constant-time padding) comes from the
+    // shared TimingPolicy rule so the controller can never drift from
+    // the stepper it verifies itself against.
+    let digits = dev.config.policy.digits(&a_c, n);
     let k = digits.len();
 
     // Lock-step ground truth (only consulted when verification is on).
@@ -79,7 +73,14 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
     let fetched = UBig::from_limbs(dev.array.read_row(MemoryMap::A));
     dev.nmc.load_multiplier(&fetched, k);
     cycle += 1;
-    snapshot(dev, cycle, 0, Phase::Fetch, "read A row into multiplier FF", vec![MemoryMap::A]);
+    snapshot(
+        dev,
+        cycle,
+        0,
+        Phase::Fetch,
+        "read A row into multiplier FF",
+        vec![MemoryMap::A],
+    );
 
     let mut carry_written = false;
     let mut sum_written = false;
@@ -97,29 +98,51 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
         // ---- Radix-4 phase -------------------------------------------
         if let Some(t) = &trace {
             if dev.nmc.ov_sum_ff != t.ov_sum {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "ov_sum FF" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "ov_sum FF",
+                });
             }
             if dev.nmc.ov_carry_ff != t.ov_carry {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "ov_carry FF" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "ov_carry FF",
+                });
             }
         }
         let lut_row = dev.map.lut4_row(modsram_modmul::LutRadix4::index_of(digit));
         let (xor_full, maj_full) = activate_csa(dev, lut_row, sum_written, carry_written);
         cycle += 1;
         stats.activations += 1;
-        snapshot(dev, cycle, i, Phase::Radix4, "activate LUT-radix4 + sum + carry; sense XOR3/MAJ", vec![lut_row]);
+        snapshot(
+            dev,
+            cycle,
+            i,
+            Phase::Radix4,
+            "activate LUT-radix4 + sum + carry; sense XOR3/MAJ",
+            vec![lut_row],
+        );
 
         let csa1_msb_out = ((&maj_full << 1).bit(w)) as u8;
         let carry_value = (&maj_full << 1).low_bits(w);
         if let Some(t) = &trace {
             if xor_full != t.after_radix4.0 {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 XOR3" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "radix-4 XOR3",
+                });
             }
             if carry_value != t.after_radix4.1 {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 MAJ" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "radix-4 MAJ",
+                });
             }
             if csa1_msb_out != t.csa1_msb_out {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "radix-4 carry-out" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "radix-4 carry-out",
+                });
             }
         }
 
@@ -127,21 +150,38 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
         sum_written = true;
         cycle += 1;
         stats.row_writes += 1;
-        snapshot(dev, cycle, i, Phase::Radix4, "write back sum", vec![MemoryMap::SUM]);
+        snapshot(
+            dev,
+            cycle,
+            i,
+            Phase::Radix4,
+            "write back sum",
+            vec![MemoryMap::SUM],
+        );
 
         if i > 1 {
             dev.store_carry(&carry_value);
             carry_written = true;
             cycle += 1;
             stats.row_writes += 1;
-            snapshot(dev, cycle, i, Phase::Radix4, "write back carry (≪1)", vec![MemoryMap::CARRY]);
+            snapshot(
+                dev,
+                cycle,
+                i,
+                Phase::Radix4,
+                "write back carry (≪1)",
+                vec![MemoryMap::CARRY],
+            );
         }
 
         // ---- Overflow phase ------------------------------------------
         let ov_index = dev.nmc.take_overflow_index(csa1_msb_out);
         if let Some(t) = &trace {
             if ov_index != t.ov_index {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow index" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "overflow index",
+                });
             }
         }
         stats.max_ov_index = stats.max_ov_index.max(ov_index);
@@ -153,19 +193,35 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
         let (xor2_full, maj2_full) = activate_csa(dev, ov_row, sum_written, carry_written);
         cycle += 1;
         stats.activations += 1;
-        snapshot(dev, cycle, i, Phase::Overflow, "activate LUT-overflow + sum + carry; sense XOR3/MAJ", vec![ov_row]);
+        snapshot(
+            dev,
+            cycle,
+            i,
+            Phase::Overflow,
+            "activate LUT-overflow + sum + carry; sense XOR3/MAJ",
+            vec![ov_row],
+        );
 
         let pending_out = ((&maj2_full << 1).bit(w)) as u8;
         let carry2_value = (&maj2_full << 1).low_bits(w);
         if let Some(t) = &trace {
             if xor2_full != t.after_overflow.0 {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow XOR3" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "overflow XOR3",
+                });
             }
             if carry2_value != t.after_overflow.1 {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow MAJ" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "overflow MAJ",
+                });
             }
             if pending_out != t.pending_out {
-                return Err(CoreError::ModelDivergence { iteration: i, what: "overflow carry-out" });
+                return Err(CoreError::ModelDivergence {
+                    iteration: i,
+                    what: "overflow carry-out",
+                });
             }
         }
 
@@ -182,7 +238,14 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
         cycle += 1;
         stats.row_writes += 1;
         dev.nmc.set_ov_sum(esc_s);
-        snapshot(dev, cycle, i, Phase::Overflow, "write back sum (≪2 pre-shift)", vec![MemoryMap::SUM]);
+        snapshot(
+            dev,
+            cycle,
+            i,
+            Phase::Overflow,
+            "write back sum (≪2 pre-shift)",
+            vec![MemoryMap::SUM],
+        );
 
         let esc_c = if shift == 2 {
             ((&carry2_value >> (w - 2)).low_u64() & 3) as u8
@@ -194,7 +257,14 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
             carry_written = true;
             cycle += 1;
             stats.row_writes += 1;
-            snapshot(dev, cycle, i, Phase::Overflow, "write back carry (≪1, ≪2 pre-shift)", vec![MemoryMap::CARRY]);
+            snapshot(
+                dev,
+                cycle,
+                i,
+                Phase::Overflow,
+                "write back carry (≪1, ≪2 pre-shift)",
+                vec![MemoryMap::CARRY],
+            );
         } else {
             debug_assert!(carry2_value.is_zero(), "iteration-1 carry must be zero");
         }
@@ -238,15 +308,21 @@ pub(crate) fn execute(dev: &mut ModSram, a: &UBig) -> Result<(UBig, RunStats), C
     } else {
         0
     };
-    stats.extra_msb_digit =
-        dev.config.policy == TimingPolicy::DataDependent && k > n.div_ceil(2);
+    stats.extra_msb_digit = dev.config.policy == TimingPolicy::DataDependent && k > n.div_ceil(2);
     stats.row_reads = dev.array.stats().row_reads - start_sram.row_reads;
     stats.row_writes = dev.array.stats().row_writes - start_sram.row_writes;
     stats.energy_pj = dev.array.stats().energy_pj - start_sram.energy_pj;
     stats.register_writes = dev.nmc.register_writes - start_regs;
     debug_assert_eq!(stats.cycles, 6 * k as u64 - 1, "schedule invariant");
 
-    snapshot(dev, cycle, k as u64, Phase::Finalize, "near-memory add + reduce", vec![]);
+    snapshot(
+        dev,
+        cycle,
+        k as u64,
+        Phase::Finalize,
+        "near-memory add + reduce",
+        vec![],
+    );
     dev.last_run = Some(stats.clone());
     Ok((total, stats))
 }

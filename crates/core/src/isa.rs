@@ -281,13 +281,13 @@ impl Program {
                 "fetch" => MicroOp::FetchMultiplier,
                 "finish" => MicroOp::Finalize,
                 "act.r4" => {
-                    let (sum, carry) =
-                        parse_live(&rest).map_err(|message| ProgramError::Parse { line, message })?;
+                    let (sum, carry) = parse_live(&rest)
+                        .map_err(|message| ProgramError::Parse { line, message })?;
                     MicroOp::ActivateRadix4 { sum, carry }
                 }
                 "act.ov" => {
-                    let (sum, carry) =
-                        parse_live(&rest).map_err(|message| ProgramError::Parse { line, message })?;
+                    let (sum, carry) = parse_live(&rest)
+                        .map_err(|message| ProgramError::Parse { line, message })?;
                     MicroOp::ActivateOverflow { sum, carry }
                 }
                 "wb.sum" => MicroOp::WritebackSum {
@@ -643,10 +643,7 @@ mod tests {
     fn parse_accepts_comments_and_blanks() {
         let text = "; a comment\n\nload.a\nfetch ; trailing\n";
         let p = Program::parse(text).expect("parses");
-        assert_eq!(
-            p.ops(),
-            &[MicroOp::LoadOperand, MicroOp::FetchMultiplier]
-        );
+        assert_eq!(p.ops(), &[MicroOp::LoadOperand, MicroOp::FetchMultiplier]);
     }
 
     #[test]
@@ -693,7 +690,10 @@ mod tests {
         let err = Executor::new()
             .run(&mut dev, &program, &UBig::from(55u64))
             .expect_err("no finish");
-        assert!(matches!(err, CoreError::Program(ProgramError::MissingFinalize)));
+        assert!(matches!(
+            err,
+            CoreError::Program(ProgramError::MissingFinalize)
+        ));
     }
 
     #[test]
@@ -745,7 +745,10 @@ mod tests {
             .to_string(),
             "act.r4 +sum"
         );
-        assert_eq!(MicroOp::WritebackCarry { shift: 2 }.to_string(), "wb.carry <<2");
+        assert_eq!(
+            MicroOp::WritebackCarry { shift: 2 }.to_string(),
+            "wb.carry <<2"
+        );
         let p = Program::r4csa(2);
         assert!(p.to_string().contains("cycles"));
     }

@@ -53,9 +53,9 @@ pub mod trace;
 pub use bank::{BankedModSram, BatchStats};
 pub use error::CoreError;
 pub use isa::{Executor, MicroOp, Program, ProgramError};
-pub use session::{ScratchSession, SessionStats, StagedPoint};
 pub use memmap::{MemoryMap, PointAddWorkingSet};
-pub use modsram::{ModSram, ModSramConfig};
+pub use modsram::{ModSram, ModSramConfig, PreparedModSram};
 pub use nmc::Nmc;
+pub use session::{ScratchSession, SessionStats, StagedPoint};
 pub use stats::{PrecomputeStats, RunStats};
 pub use trace::{DataflowSnapshot, Phase};

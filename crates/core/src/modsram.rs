@@ -1,8 +1,10 @@
 //! The top-level ModSRAM device model.
 
+use std::sync::Mutex;
+
 use modsram_bigint::UBig;
 use modsram_modmul::{
-    CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError, TimingPolicy,
+    CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError, PreparedModMul, TimingPolicy,
 };
 use modsram_sram::{CellKind, FaultConfig, SramArray, SramConfig};
 
@@ -196,7 +198,8 @@ impl ModSram {
                 stats.nmc_adds += 2;
             }
         }
-        for w in LutOverflow::PAPER_ENTRIES..(LutOverflow::PAPER_ENTRIES + MemoryMap::LUTOV_SPILL_ROWS)
+        for w in
+            LutOverflow::PAPER_ENTRIES..(LutOverflow::PAPER_ENTRIES + MemoryMap::LUTOV_SPILL_ROWS)
         {
             let row = self.map.lutov_row(w);
             let value = lutov.value(w).clone();
@@ -315,9 +318,127 @@ impl ModSram {
     }
 }
 
+/// A prepared accelerator context: a device with the modulus loaded
+/// (Table 2 wordlines written once), held behind a mutex so the context
+/// satisfies the `Send + Sync` contract of [`PreparedModMul`].
+///
+/// The SRAM array is inherently stateful — each multiplication streams
+/// through its sum/carry wordlines — so unlike the functional engines
+/// the hardware model serialises concurrent callers. That mirrors the
+/// real device: one macro executes one multiplication at a time, and
+/// parallelism comes from banking (see [`crate::BankedModSram`]).
+#[derive(Debug)]
+pub struct PreparedModSram {
+    dev: Mutex<ModSram>,
+    p: UBig,
+}
+
+impl PreparedModSram {
+    /// Builds a fresh device sized for `p` (inheriting `config`'s cell,
+    /// fault, verification, and timing knobs) and loads the modulus.
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`.
+    pub fn new(p: &UBig, config: &ModSramConfig) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let config = ModSramConfig {
+            n_bits: p.bit_len().max(1),
+            ..config.clone()
+        };
+        let mut dev = ModSram::new(config).map_err(|e| match e {
+            CoreError::ModMul(m) => m,
+            other => panic!("device construction failed: {other}"),
+        })?;
+        dev.load_modulus(p).map_err(|e| match e {
+            CoreError::ModMul(m) => m,
+            other => panic!("modulus load failed: {other}"),
+        })?;
+        Ok(PreparedModSram {
+            dev: Mutex::new(dev),
+            p: p.clone(),
+        })
+    }
+
+    /// Runs `f` on the locked device (stats inspection, fault injection).
+    pub fn with_device<T>(&self, f: impl FnOnce(&mut ModSram) -> T) -> T {
+        f(&mut self.dev.lock().expect("device lock poisoned"))
+    }
+
+    /// Maps a device error onto the engine error space — **after** the
+    /// lock has been released, so a divergence panic (only possible
+    /// under fault injection) cannot poison the shared mutex and
+    /// cascade into every other thread holding this context.
+    fn unwrap_run(
+        outcome: Result<(UBig, crate::stats::RunStats), CoreError>,
+    ) -> Result<UBig, ModMulError> {
+        match outcome {
+            Ok((c, _)) => Ok(c),
+            Err(CoreError::ModMul(m)) => Err(m),
+            Err(other) => panic!("in-SRAM multiplication failed: {other}"),
+        }
+    }
+}
+
+impl PreparedModMul for PreparedModSram {
+    fn engine_name(&self) -> &'static str {
+        "modsram"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    /// # Panics
+    ///
+    /// Panics (with the mutex already released) when the device reports
+    /// a model divergence — only possible with fault injection enabled.
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let outcome = {
+            let mut dev = self.dev.lock().expect("device lock poisoned");
+            dev.mod_mul(a, b)
+        };
+        Self::unwrap_run(outcome)
+    }
+
+    /// Batch override: the device is locked once for the whole stream,
+    /// so consecutive pairs sharing a multiplicand reuse the Table 1b
+    /// wordlines without re-entrant locking.
+    ///
+    /// # Panics
+    ///
+    /// As [`PreparedModSram::mod_mul`]; the lock is released before any
+    /// panic propagates.
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let outcomes = {
+            let mut dev = self.dev.lock().expect("device lock poisoned");
+            let mut outcomes = Vec::with_capacity(pairs.len());
+            for (a, b) in pairs {
+                let outcome = dev.mod_mul(a, b);
+                let stop = outcome.is_err();
+                outcomes.push(outcome);
+                if stop {
+                    break;
+                }
+            }
+            outcomes
+        };
+        outcomes.into_iter().map(Self::unwrap_run).collect()
+    }
+}
+
 impl ModMulEngine for ModSram {
     fn name(&self) -> &'static str {
         "modsram"
+    }
+
+    /// Prepares a fresh, independently-stateful device for `p`; `self`
+    /// only contributes its configuration knobs. The paper's load-once
+    /// precompute (§3.2) happens here.
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedModSram::new(p, &self.config)?))
     }
 
     /// Full-service entry point: loads `p` and `b` when they differ from

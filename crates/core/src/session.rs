@@ -40,7 +40,11 @@ pub struct SessionStats {
 impl SessionStats {
     /// Total modelled cycles for the session.
     pub fn total_cycles(&self) -> u64 {
-        self.mul_cycles + self.precompute_cycles + self.nmc_adds + self.slot_writes + self.slot_reads
+        self.mul_cycles
+            + self.precompute_cycles
+            + self.nmc_adds
+            + self.slot_writes
+            + self.slot_reads
     }
 }
 
@@ -420,32 +424,22 @@ mod tests {
     #[test]
     fn staged_add_matches_ecc_formula() {
         // secp256k1-sized staged addition vs big-integer Jacobian math.
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let mut dev = device(256, &p);
         // G and 2G on secp256k1 in Jacobian form (z = 1).
         let g = StagedPoint {
-            x: UBig::from_hex(
-                "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-            )
-            .unwrap(),
-            y: UBig::from_hex(
-                "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
-            )
-            .unwrap(),
+            x: UBig::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .unwrap(),
+            y: UBig::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                .unwrap(),
             z: UBig::one(),
         };
         let two_g = StagedPoint {
-            x: UBig::from_hex(
-                "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
-            )
-            .unwrap(),
-            y: UBig::from_hex(
-                "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a",
-            )
-            .unwrap(),
+            x: UBig::from_hex("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+                .unwrap(),
+            y: UBig::from_hex("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a")
+                .unwrap(),
             z: UBig::one(),
         };
         let (sum, stats) = staged_jacobian_add(&mut dev, &g, &two_g).unwrap();
@@ -469,20 +463,14 @@ mod tests {
 
     #[test]
     fn staged_double_matches_known_2g() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let mut dev = device(256, &p);
         let g = StagedPoint {
-            x: UBig::from_hex(
-                "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
-            )
-            .unwrap(),
-            y: UBig::from_hex(
-                "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
-            )
-            .unwrap(),
+            x: UBig::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .unwrap(),
+            y: UBig::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                .unwrap(),
             z: UBig::one(),
         };
         let (two_g, stats) = staged_jacobian_double(&mut dev, &g).unwrap();

@@ -12,10 +12,8 @@ fn secp_p() -> UBig {
 }
 
 fn bn254_p() -> UBig {
-    UBig::from_dec(
-        "21888242871839275222246405745257275088696311157297823662689037894645226208583",
-    )
-    .unwrap()
+    UBig::from_dec("21888242871839275222246405745257275088696311157297823662689037894645226208583")
+        .unwrap()
 }
 
 #[test]
@@ -155,14 +153,20 @@ fn constant_time_policy_uniform_cycles() {
         let (_, stats) = dev.mod_mul(&UBig::from(a), &UBig::from(0x1234u64)).unwrap();
         cycles.insert(stats.cycles);
     }
-    assert_eq!(cycles.len(), 1, "constant-time must not leak |a|: {cycles:?}");
+    assert_eq!(
+        cycles.len(),
+        1,
+        "constant-time must not leak |a|: {cycles:?}"
+    );
 }
 
 #[test]
 fn stats_account_memory_traffic() {
     let p = UBig::from(1_000_003u64); // 20 bits -> k = 10
     let mut dev = ModSram::for_modulus(&p).unwrap();
-    let (_, stats) = dev.mod_mul(&UBig::from(999u64), &UBig::from(998u64)).unwrap();
+    let (_, stats) = dev
+        .mod_mul(&UBig::from(999u64), &UBig::from(998u64))
+        .unwrap();
     // Two activations per iteration.
     assert_eq!(stats.activations, 2 * stats.iterations);
     // Writes: operand A + per-iteration write-backs (4 per iter, minus 2
@@ -304,7 +308,9 @@ fn charge_final_add_adds_cycles() {
     };
     let mut dev = ModSram::new(config).unwrap();
     dev.load_modulus(&p).unwrap();
-    let (_, stats) = dev.mod_mul(&UBig::from(999u64), &UBig::from(998u64)).unwrap();
+    let (_, stats) = dev
+        .mod_mul(&UBig::from(999u64), &UBig::from(998u64))
+        .unwrap();
     assert!(stats.final_add_cycles >= 2);
 }
 
@@ -346,7 +352,10 @@ fn isa_executor_matches_fsm_at_256_bits() {
 
         assert_eq!(c_isa, c_fsm, "trial {trial}");
         assert_eq!(s_isa.cycles, s_fsm.cycles, "trial {trial}");
-        assert_eq!(s_isa.register_writes, s_fsm.register_writes, "trial {trial}");
+        assert_eq!(
+            s_isa.register_writes, s_fsm.register_writes,
+            "trial {trial}"
+        );
         assert_eq!(s_isa.activations, s_fsm.activations, "trial {trial}");
         assert_eq!(s_isa.row_reads, s_fsm.row_reads, "trial {trial}");
         assert_eq!(s_isa.row_writes, s_fsm.row_writes, "trial {trial}");
@@ -373,7 +382,9 @@ fn isa_constant_time_policy_pads_to_767() {
     dev.load_multiplicand(&UBig::from(3u64)).unwrap();
     // A tiny multiplier still takes the full constant-time schedule:
     // ⌈257/2⌉ = 129 digits → 6·129 − 1 = 773 cycles.
-    let (c, stats) = Executor::new().run_mod_mul(&mut dev, &UBig::from(2u64)).unwrap();
+    let (c, stats) = Executor::new()
+        .run_mod_mul(&mut dev, &UBig::from(2u64))
+        .unwrap();
     assert_eq!(c, UBig::from(6u64));
     assert_eq!(stats.cycles, 6 * 129 - 1);
 }

@@ -182,8 +182,8 @@ impl<C: FieldCtx> Curve<C> {
                 }
             })
             .collect();
-        let zinvs = crate::field::batch_inv(ctx, &zs)
-            .expect("all z values are non-zero by construction");
+        let zinvs =
+            crate::field::batch_inv(ctx, &zs).expect("all z values are non-zero by construction");
         points
             .iter()
             .zip(&zinvs)
@@ -335,7 +335,10 @@ impl<C: FieldCtx> Curve<C> {
     pub fn decompress(&self, x: &UBig, y_is_odd: bool) -> Option<Affine<C::El>> {
         let ctx = &self.ctx;
         let xe = ctx.from_ubig(x);
-        let rhs = ctx.add(&ctx.add(&ctx.mul(&ctx.square(&xe), &xe), &ctx.mul(&self.a, &xe)), &self.b);
+        let rhs = ctx.add(
+            &ctx.add(&ctx.mul(&ctx.square(&xe), &xe), &ctx.mul(&self.a, &xe)),
+            &self.b,
+        );
         let y = modsram_bigint::mod_sqrt(&ctx.to_ubig(&rhs), ctx.modulus())?;
         let y = if y.bit(0) == y_is_odd {
             y
@@ -506,10 +509,7 @@ mod tests {
             assert_eq!(back, aff, "k={k}");
             // The other parity gives the negated point.
             let neg = c.decompress(&x, !odd).unwrap();
-            assert!(c.points_equal(
-                &c.from_affine(&neg),
-                &c.neg(&c.from_affine(&aff))
-            ));
+            assert!(c.points_equal(&c.from_affine(&neg), &c.neg(&c.from_affine(&aff))));
             point = c.add(&point, &c.generator());
         }
         assert_eq!(c.compress(&c.to_affine(&c.identity())), None);

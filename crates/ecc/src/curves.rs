@@ -5,23 +5,19 @@
 //! (FIPS 186-5).
 
 use modsram_bigint::UBig;
-use modsram_modmul::ModMulEngine;
+use modsram_modmul::{ModMulEngine, PreparedModMul};
 
 use crate::curve::Curve;
 use crate::field::{DynCtx, Fp256Ctx};
 
 /// secp256k1 field prime `2²⁵⁶ − 2³² − 977`.
-pub const SECP256K1_P: &str =
-    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+pub const SECP256K1_P: &str = "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
 /// secp256k1 group order.
-pub const SECP256K1_N: &str =
-    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+pub const SECP256K1_N: &str = "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
 /// secp256k1 generator x.
-pub const SECP256K1_GX: &str =
-    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+pub const SECP256K1_GX: &str = "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
 /// secp256k1 generator y.
-pub const SECP256K1_GY: &str =
-    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+pub const SECP256K1_GY: &str = "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
 
 /// BN254 (alt_bn128) base-field prime.
 pub const BN254_P: &str =
@@ -31,20 +27,15 @@ pub const BN254_FR: &str =
     "21888242871839275222246405745257275088548364400416034343698204186575808495617";
 
 /// NIST P-256 field prime `2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1`.
-pub const P256_P: &str =
-    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+pub const P256_P: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
 /// NIST P-256 curve coefficient `b` (`a = −3`).
-pub const P256_B: &str =
-    "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+pub const P256_B: &str = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
 /// NIST P-256 generator x.
-pub const P256_GX: &str =
-    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+pub const P256_GX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
 /// NIST P-256 generator y.
-pub const P256_GY: &str =
-    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+pub const P256_GY: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
 /// NIST P-256 group order.
-pub const P256_N: &str =
-    "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+pub const P256_N: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
 
 fn secp_params() -> (UBig, UBig, UBig, UBig, UBig, UBig) {
     (
@@ -75,10 +66,30 @@ pub fn secp256k1_fast() -> Curve<Fp256Ctx> {
 }
 
 /// secp256k1 over an arbitrary modular-multiplication engine (e.g. the
-/// cycle-accurate ModSRAM device).
+/// cycle-accurate ModSRAM device). The engine is prepared for the field
+/// prime once, up front.
 pub fn secp256k1_with_engine(engine: Box<dyn ModMulEngine>) -> Curve<DynCtx> {
     let (p, a, b, gx, gy, n) = secp_params();
     Curve::new(DynCtx::new(&p, engine), &a, &b, &gx, &gy, &n, "secp256k1")
+}
+
+/// secp256k1 over an already-prepared context for the field prime.
+///
+/// # Panics
+///
+/// Panics if the context was prepared for a different modulus.
+pub fn secp256k1_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
+    let (p, a, b, gx, gy, n) = secp_params();
+    assert_eq!(prepared.modulus(), &p, "context prepared for wrong modulus");
+    Curve::new(
+        DynCtx::from_prepared(prepared),
+        &a,
+        &b,
+        &gx,
+        &gy,
+        &n,
+        "secp256k1",
+    )
 }
 
 /// BN254 G1 over the fast Montgomery backend.
@@ -91,6 +102,25 @@ pub fn bn254_fast() -> Curve<Fp256Ctx> {
 pub fn bn254_with_engine(engine: Box<dyn ModMulEngine>) -> Curve<DynCtx> {
     let (p, a, b, gx, gy, n) = bn254_params();
     Curve::new(DynCtx::new(&p, engine), &a, &b, &gx, &gy, &n, "bn254")
+}
+
+/// BN254 G1 over an already-prepared context for the base-field prime.
+///
+/// # Panics
+///
+/// Panics if the context was prepared for a different modulus.
+pub fn bn254_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
+    let (p, a, b, gx, gy, n) = bn254_params();
+    assert_eq!(prepared.modulus(), &p, "context prepared for wrong modulus");
+    Curve::new(
+        DynCtx::from_prepared(prepared),
+        &a,
+        &b,
+        &gx,
+        &gy,
+        &n,
+        "bn254",
+    )
 }
 
 /// The BN254 scalar field `Fr` (for NTT workloads).
@@ -123,6 +153,25 @@ pub fn p256_with_engine(engine: Box<dyn ModMulEngine>) -> Curve<DynCtx> {
     Curve::new(DynCtx::new(&p, engine), &a, &b, &gx, &gy, &n, "p256")
 }
 
+/// NIST P-256 over an already-prepared context for the field prime.
+///
+/// # Panics
+///
+/// Panics if the context was prepared for a different modulus.
+pub fn p256_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
+    let (p, a, b, gx, gy, n) = p256_params();
+    assert_eq!(prepared.modulus(), &p, "context prepared for wrong modulus");
+    Curve::new(
+        DynCtx::from_prepared(prepared),
+        &a,
+        &b,
+        &gx,
+        &gy,
+        &n,
+        "p256",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +184,56 @@ mod tests {
         let b = bn254_fast();
         assert!(s.is_on_curve(&s.generator_affine()));
         assert!(b.is_on_curve(&b.generator_affine()));
+    }
+
+    #[test]
+    fn prepared_constructors_match_fast_backends() {
+        use crate::scalar::mul_scalar;
+        use modsram_modmul::{DirectEngine, ModMulEngine};
+
+        let k = UBig::from(77_777u64);
+        let prepare = |p: &UBig| DirectEngine::new().prepare(p).expect("valid prime");
+
+        // Build each curve through its prepared-context constructor and
+        // check a scalar multiple against the fast Montgomery backend.
+        let cases: [(Curve<DynCtx>, UBig); 3] = [
+            (
+                secp256k1_with_prepared(prepare(&UBig::from_hex(SECP256K1_P).unwrap())),
+                {
+                    let c = secp256k1_fast();
+                    let aff = c.to_affine(&mul_scalar(&c, &c.generator(), &k));
+                    c.ctx().to_ubig(&aff.x)
+                },
+            ),
+            (
+                bn254_with_prepared(prepare(&UBig::from_dec(BN254_P).unwrap())),
+                {
+                    let c = bn254_fast();
+                    let aff = c.to_affine(&mul_scalar(&c, &c.generator(), &k));
+                    c.ctx().to_ubig(&aff.x)
+                },
+            ),
+            (
+                p256_with_prepared(prepare(&UBig::from_hex(P256_P).unwrap())),
+                {
+                    let c = p256_fast();
+                    let aff = c.to_affine(&mul_scalar(&c, &c.generator(), &k));
+                    c.ctx().to_ubig(&aff.x)
+                },
+            ),
+        ];
+        for (curve, fast_x) in cases {
+            let aff = curve.to_affine(&mul_scalar(&curve, &curve.generator(), &k));
+            assert_eq!(curve.ctx().to_ubig(&aff.x), fast_x, "{}", curve.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong modulus")]
+    fn prepared_constructor_rejects_mismatched_modulus() {
+        use modsram_modmul::{DirectEngine, ModMulEngine};
+        let wrong = DirectEngine::new().prepare(&UBig::from(97u64)).unwrap();
+        let _ = secp256k1_with_prepared(wrong);
     }
 
     #[test]
@@ -182,8 +281,11 @@ mod tests {
             c.ctx().to_ubig(&two_g.y).to_hex(),
             "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
         );
-        let three_g =
-            c.to_affine(&crate::scalar::mul_scalar(&c, &c.generator(), &UBig::from(3u64)));
+        let three_g = c.to_affine(&crate::scalar::mul_scalar(
+            &c,
+            &c.generator(),
+            &UBig::from(3u64),
+        ));
         assert_eq!(
             c.ctx().to_ubig(&three_g.x).to_hex(),
             "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c"

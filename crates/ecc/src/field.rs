@@ -1,10 +1,10 @@
 //! Field abstraction with operation counting.
 
-use core::cell::{Cell, RefCell};
+use core::cell::Cell;
 use core::fmt;
 
 use modsram_bigint::{mod_inv, MontCtx256, UBig, U256};
-use modsram_modmul::ModMulEngine;
+use modsram_modmul::{ModMulEngine, PreparedModMul};
 
 /// Field-operation counters (the raw data behind Figure 7).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -204,27 +204,49 @@ impl FieldCtx for Fp256Ctx {
 }
 
 /// Engine-pluggable backend: elements are canonical [`UBig`] residues
-/// and every multiplication goes through a boxed
-/// [`ModMulEngine`] — including the cycle-accurate ModSRAM device.
+/// and every multiplication goes through a [`PreparedModMul`] context —
+/// including the cycle-accurate ModSRAM device.
+///
+/// Construction runs [`ModMulEngine::prepare`] once, so the hot path is
+/// a plain `&self` call with no interior-mutability workaround (the
+/// seed's `RefCell<Box<dyn ModMulEngine>>` is gone; only the `Cell`
+/// op counters remain, and those are instrumentation, not engine state).
 pub struct DynCtx {
     p: UBig,
-    engine: RefCell<Box<dyn ModMulEngine>>,
+    prepared: Box<dyn PreparedModMul>,
     mul_count: Cell<u64>,
     add_count: Cell<u64>,
     inv_count: Cell<u64>,
 }
 
 impl DynCtx {
-    /// Builds the context over `p` with the given engine.
+    /// Builds the context over `p`, preparing the engine for it.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is zero or one.
+    /// Panics if `p` is zero or one, or if the engine rejects `p`
+    /// (e.g. Montgomery over an even modulus) — field moduli are fixed
+    /// constants, so this is a programmer error, not input validation.
     pub fn new(p: &UBig, engine: Box<dyn ModMulEngine>) -> Self {
         assert!(!p.is_zero() && !p.is_one(), "modulus must exceed one");
+        let prepared = engine
+            .prepare(p)
+            .expect("engine must accept the field modulus");
+        Self::from_prepared(prepared)
+    }
+
+    /// Builds the context directly from an already-prepared engine
+    /// context (e.g. one shared with other subsystems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prepared modulus is zero or one.
+    pub fn from_prepared(prepared: Box<dyn PreparedModMul>) -> Self {
+        let p = prepared.modulus().clone();
+        assert!(!p.is_zero() && !p.is_one(), "modulus must exceed one");
         DynCtx {
-            p: p.clone(),
-            engine: RefCell::new(engine),
+            p,
+            prepared,
             mul_count: Cell::new(0),
             add_count: Cell::new(0),
             inv_count: Cell::new(0),
@@ -233,7 +255,12 @@ impl DynCtx {
 
     /// The engine's name (for reports).
     pub fn engine_name(&self) -> &'static str {
-        self.engine.borrow().name()
+        self.prepared.engine_name()
+    }
+
+    /// The underlying prepared context (e.g. for batch calls).
+    pub fn prepared(&self) -> &dyn PreparedModMul {
+        self.prepared.as_ref()
     }
 }
 
@@ -301,9 +328,8 @@ impl FieldCtx for DynCtx {
 
     fn mul(&self, a: &UBig, b: &UBig) -> UBig {
         self.mul_count.set(self.mul_count.get() + 1);
-        self.engine
-            .borrow_mut()
-            .mod_mul(a, b, &self.p)
+        self.prepared
+            .mod_mul(a, b)
             .expect("engine rejected a valid field multiplication")
     }
 
@@ -475,6 +501,23 @@ mod tests {
     }
 
     #[test]
+    fn dyn_ctx_from_prepared_context() {
+        let p = small_prime();
+        let prepared = modsram_modmul::MontgomeryEngine::new().prepare(&p).unwrap();
+        let ctx = DynCtx::from_prepared(prepared);
+        assert_eq!(ctx.engine_name(), "montgomery");
+        let a = ctx.from_ubig(&UBig::from(1234u64));
+        let b = ctx.from_ubig(&UBig::from(5678u64));
+        assert_eq!(ctx.mul(&a, &b), UBig::from(1234u64 * 5678 % 1_000_003));
+        // The batch path is reachable through the context.
+        let pairs = vec![(a.clone(), b.clone()); 3];
+        assert_eq!(
+            ctx.prepared().mod_mul_batch(&pairs).unwrap(),
+            vec![UBig::from(1234u64 * 5678 % 1_000_003); 3]
+        );
+    }
+
+    #[test]
     fn counters_track_ops() {
         let ctx = DynCtx::new(&small_prime(), Box::new(DirectEngine::new()));
         let a = ctx.from_ubig(&UBig::from(2u64));
@@ -510,10 +553,7 @@ mod tests {
         let p = small_prime();
         let ctx = Fp256Ctx::new(&p);
         for v in [0u64, 1, 999_999, 1_000_002] {
-            assert_eq!(
-                ctx.to_ubig(&ctx.from_ubig(&UBig::from(v))),
-                UBig::from(v)
-            );
+            assert_eq!(ctx.to_ubig(&ctx.from_ubig(&UBig::from(v))), UBig::from(v));
         }
         // Values ≥ p are canonicalised.
         assert_eq!(

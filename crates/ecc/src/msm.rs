@@ -41,7 +41,9 @@ pub fn optimal_window(n_points: usize) -> usize {
     if n_points < 8 {
         2
     } else {
-        ((usize::BITS - n_points.leading_zeros()) as usize).saturating_sub(3).clamp(2, 16)
+        ((usize::BITS - n_points.leading_zeros()) as usize)
+            .saturating_sub(3)
+            .clamp(2, 16)
     }
 }
 
@@ -79,7 +81,12 @@ pub fn msm_with_window<C: FieldCtx>(
         return (curve.identity(), stats);
     }
 
-    let max_bits = scalars.iter().map(|s| s.bit_len()).max().unwrap_or(1).max(1);
+    let max_bits = scalars
+        .iter()
+        .map(|s| s.bit_len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let windows = max_bits.div_ceil(c);
     stats.windows = windows as u64;
 

@@ -69,10 +69,7 @@ impl<'a, C: FieldCtx> NttPlan<'a, C> {
             two_adicity += 1;
         }
         if log_n > two_adicity {
-            return Err(NttError::SizeUnsupported {
-                log_n,
-                two_adicity,
-            });
+            return Err(NttError::SizeUnsupported { log_n, two_adicity });
         }
         // ω = g^((r−1) / 2^log_n) has order exactly 2^log_n when g is a
         // generator.
@@ -219,7 +216,10 @@ mod tests {
         let ctx = f97();
         let plan = NttPlan::new(&ctx, 3, &UBig::from(5u64)).unwrap();
         let input: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
-        let mut data: Vec<_> = input.iter().map(|&v| ctx.from_ubig(&UBig::from(v))).collect();
+        let mut data: Vec<_> = input
+            .iter()
+            .map(|&v| ctx.from_ubig(&UBig::from(v)))
+            .collect();
         // ω from the plan, reconstructed for the naive sum.
         let omega = ctx.to_ubig(&{
             let exp = &(&UBig::from(97u64) - &UBig::one()) >> 3;
@@ -230,12 +230,7 @@ mod tests {
         for k in 0..8usize {
             let mut want = 0u64;
             for (j, &x) in input.iter().enumerate() {
-                let tw = mod_pow(
-                    &omega,
-                    &UBig::from((j * k) as u64),
-                    &UBig::from(97u64),
-                )
-                .low_u64();
+                let tw = mod_pow(&omega, &UBig::from((j * k) as u64), &UBig::from(97u64)).low_u64();
                 want = (want + x * tw) % 97;
             }
             assert_eq!(ctx.to_ubig(&data[k]).low_u64(), want, "bin {k}");
@@ -246,7 +241,9 @@ mod tests {
     fn roundtrip_small_field() {
         let ctx = f97();
         let plan = NttPlan::new(&ctx, 4, &UBig::from(5u64)).unwrap();
-        let original: Vec<_> = (0..16u64).map(|v| ctx.from_ubig(&UBig::from(v * 7 % 97))).collect();
+        let original: Vec<_> = (0..16u64)
+            .map(|v| ctx.from_ubig(&UBig::from(v * 7 % 97)))
+            .collect();
         let mut data = original.clone();
         plan.forward(&mut data);
         assert_ne!(data, original);

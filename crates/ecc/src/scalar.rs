@@ -7,11 +7,7 @@ use crate::curve::{Curve, Jacobian};
 use crate::field::FieldCtx;
 
 /// Left-to-right double-and-add `k·P`.
-pub fn mul_scalar<C: FieldCtx>(
-    curve: &Curve<C>,
-    p: &Jacobian<C::El>,
-    k: &UBig,
-) -> Jacobian<C::El> {
+pub fn mul_scalar<C: FieldCtx>(curve: &Curve<C>, p: &Jacobian<C::El>, k: &UBig) -> Jacobian<C::El> {
     let mut acc = curve.identity();
     for i in (0..k.bit_len()).rev() {
         acc = curve.double(&acc);

@@ -4,24 +4,122 @@
 //! §3 of the paper notes that Barrett reduction produces up to 3n-bit
 //! intermediates after the full multiplication — the memory-pressure
 //! argument for reducing *while* multiplying instead. The
-//! `peak_intermediate_bits` probe makes that argument measurable.
+//! `peak_intermediate_bits` probe makes that argument measurable on both
+//! the legacy engine and the thread-safe prepared context (where it is
+//! an atomic, so concurrent callers still get an exact running maximum).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use modsram_bigint::UBig;
 
-use crate::{CycleModel, ModMulEngine, ModMulError};
+use crate::prepared::{canonical, check_modulus};
+use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
-/// Per-modulus precomputation: `µ = ⌊2^(2k) / p⌋` with `k = bit_len(p)`.
-#[derive(Debug, Clone)]
-struct BarrettCache {
+/// Thread-safe per-modulus Barrett context:
+/// `µ = ⌊2^(2k) / p⌋` with `k = bit_len(p)`.
+#[derive(Debug)]
+pub struct PreparedBarrett {
     p: UBig,
     mu: UBig,
     k: usize,
+    /// Widest intermediate (bits) seen since preparation — demonstrates
+    /// the 3n-bit blow-up of §3 even on the shared hot path.
+    peak_intermediate_bits: AtomicUsize,
+}
+
+impl Clone for PreparedBarrett {
+    fn clone(&self) -> Self {
+        PreparedBarrett {
+            p: self.p.clone(),
+            mu: self.mu.clone(),
+            k: self.k,
+            peak_intermediate_bits: AtomicUsize::new(
+                self.peak_intermediate_bits.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+impl PreparedBarrett {
+    /// Performs the per-modulus precomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`.
+    pub fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        let k = p.bit_len();
+        let mu = &UBig::pow2(2 * k) / p;
+        Ok(PreparedBarrett {
+            p: p.clone(),
+            mu,
+            k,
+            peak_intermediate_bits: AtomicUsize::new(0),
+        })
+    }
+
+    /// The widest intermediate observed so far, in bits.
+    pub fn peak_intermediate_bits(&self) -> usize {
+        self.peak_intermediate_bits.load(Ordering::Relaxed)
+    }
+
+    /// One reduction of canonical operands, recording the intermediate
+    /// width.
+    fn mul_canonical(&self, a: &UBig, b: &UBig) -> UBig {
+        let k = self.k;
+        // Full 2n-bit product.
+        let x = a * b;
+        // q̂ = ⌊ ⌊x / 2^(k−1)⌋ · µ / 2^(k+1) ⌋ — the 3n-bit moment is x·µ.
+        let q1 = &x >> (k - 1);
+        let q_mu = &q1 * &self.mu;
+        self.peak_intermediate_bits
+            .fetch_max(q_mu.bit_len() + (k - 1), Ordering::Relaxed);
+        let qhat = &q_mu >> (k + 1);
+        // r = x − q̂·p, then at most two conditional subtractions.
+        let mut r = &x - &(&qhat * &self.p);
+        let mut guard = 0;
+        while r >= self.p {
+            r = &r - &self.p;
+            guard += 1;
+            debug_assert!(guard <= 2, "Barrett bound violated");
+        }
+        r
+    }
+}
+
+impl PreparedModMul for PreparedBarrett {
+    fn engine_name(&self) -> &'static str {
+        "barrett"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        if self.p.is_one() {
+            return Ok(UBig::zero());
+        }
+        Ok(self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+    }
+
+    /// Batch override: the `p = 1` check is hoisted out of the loop and
+    /// each pair runs the same path as [`PreparedModMul::mod_mul`].
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if self.p.is_one() {
+            return Ok(vec![UBig::zero(); pairs.len()]);
+        }
+        Ok(pairs
+            .iter()
+            .map(|(a, b)| self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+            .collect())
+    }
 }
 
 /// Barrett-reduction engine with a per-modulus cache.
 #[derive(Debug, Clone, Default)]
 pub struct BarrettEngine {
-    cache: Option<BarrettCache>,
+    cache: Option<PreparedBarrett>,
     /// Widest intermediate value (in bits) seen since construction —
     /// demonstrates the 3n-bit blow-up of §3.
     pub peak_intermediate_bits: usize,
@@ -33,27 +131,25 @@ impl BarrettEngine {
         Self::default()
     }
 
-    fn cache_for(&mut self, p: &UBig) -> BarrettCache {
+    fn cache_for(&mut self, p: &UBig) -> &PreparedBarrett {
         let stale = match &self.cache {
-            Some(c) => &c.p != p,
+            Some(c) => c.modulus() != p,
             None => true,
         };
         if stale {
-            let k = p.bit_len();
-            let mu = &UBig::pow2(2 * k) / p;
-            self.cache = Some(BarrettCache {
-                p: p.clone(),
-                mu,
-                k,
-            });
+            self.cache = Some(PreparedBarrett::new(p).expect("caller checked p != 0"));
         }
-        self.cache.as_ref().expect("cache just filled").clone()
+        self.cache.as_ref().expect("cache just filled")
     }
 }
 
 impl ModMulEngine for BarrettEngine {
     fn name(&self) -> &'static str {
         "barrett"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedBarrett::new(p)?))
     }
 
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
@@ -65,25 +161,17 @@ impl ModMulEngine for BarrettEngine {
         }
         let a = a % p;
         let b = b % p;
-        let cache = self.cache_for(p);
-        let k = cache.k;
-
-        // Full 2n-bit product.
-        let x = &a * &b;
-        // q̂ = ⌊ ⌊x / 2^(k−1)⌋ · µ / 2^(k+1) ⌋  — the 3n-bit moment is x·µ.
-        let q1 = &x >> (k - 1);
-        let q_mu = &q1 * &cache.mu;
-        self.peak_intermediate_bits = self.peak_intermediate_bits.max(q_mu.bit_len() + (k - 1));
-        let qhat = &q_mu >> (k + 1);
-        // r = x − q̂·p, then at most two conditional subtractions.
-        let mut r = &x - &(&qhat * p);
-        let mut guard = 0;
-        while r >= *p {
-            r = &r - p;
-            guard += 1;
-            debug_assert!(guard <= 2, "Barrett bound violated");
-        }
-        Ok(r)
+        let out = {
+            let cache = self.cache_for(p);
+            cache.mul_canonical(&a, &b)
+        };
+        self.peak_intermediate_bits = self.peak_intermediate_bits.max(
+            self.cache
+                .as_ref()
+                .expect("filled")
+                .peak_intermediate_bits(),
+        );
+        Ok(out)
     }
 }
 
@@ -124,6 +212,22 @@ mod tests {
     }
 
     #[test]
+    fn prepared_exhaustive_small_moduli() {
+        for p in 2u64..=32 {
+            let prep = PreparedBarrett::new(&UBig::from(p)).unwrap();
+            for a in 0..p {
+                for b in 0..p {
+                    assert_eq!(
+                        prep.mod_mul(&UBig::from(a), &UBig::from(b)).unwrap(),
+                        UBig::from(a * b % p),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn large_prime_cross_check() {
         let p = UBig::from_dec(
             "21888242871839275222246405745257275088696311157297823662689037894645226208583",
@@ -138,10 +242,8 @@ mod tests {
     #[test]
     fn intermediate_blowup_reaches_3n() {
         // §3: Barrett's x·µ intermediate approaches 3n bits.
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &p - &UBig::one();
         let mut e = BarrettEngine::new();
         e.mod_mul(&a, &a, &p).unwrap();
@@ -150,6 +252,10 @@ mod tests {
             "expected ≈3n-bit intermediate, saw {} bits",
             e.peak_intermediate_bits
         );
+        // The prepared context records the same probe.
+        let prep = PreparedBarrett::new(&p).unwrap();
+        prep.mod_mul(&a, &a).unwrap();
+        assert!(prep.peak_intermediate_bits() > 2 * 256 + 128);
     }
 
     #[test]
@@ -158,7 +264,14 @@ mod tests {
         let mut e = BarrettEngine::new();
         let p = UBig::from(100u64);
         assert_eq!(
-            e.mod_mul(&UBig::from(77u64), &UBig::from(88u64), &p).unwrap(),
+            e.mod_mul(&UBig::from(77u64), &UBig::from(88u64), &p)
+                .unwrap(),
+            UBig::from(77u64 * 88 % 100)
+        );
+        let prep = PreparedBarrett::new(&p).unwrap();
+        assert_eq!(
+            prep.mod_mul(&UBig::from(77u64), &UBig::from(88u64))
+                .unwrap(),
             UBig::from(77u64 * 88 % 100)
         );
     }

@@ -1,8 +1,12 @@
-//! The common engine interface and the direct-form reference engine.
+//! The common engine interface, the engine registry, and the
+//! direct-form reference engine.
 
 use core::fmt;
 
 use modsram_bigint::UBig;
+
+use crate::prepared::PreparedDirect;
+use crate::PreparedModMul;
 
 /// Error type shared by all modular-multiplication engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,11 +44,27 @@ impl std::error::Error for ModMulError {}
 
 /// A modular-multiplication algorithm: computes `a·b mod p`.
 ///
-/// Engines take `&mut self` because several of them keep per-modulus
-/// precomputation caches and instrumentation counters.
+/// The API is split into two phases. [`ModMulEngine::prepare`] performs
+/// every piece of per-modulus precomputation once (Montgomery `R²` and
+/// `−p⁻¹`, Barrett `µ`, R4CSA overflow-LUT rows, radix widths) and
+/// returns an immutable, `Send + Sync` [`PreparedModMul`] whose hot path
+/// takes `&self`. The legacy single-call [`ModMulEngine::mod_mul`] stays
+/// available for instrumented, exploratory use; it takes `&mut self`
+/// because several engines keep per-modulus caches and instrumentation
+/// counters behind it.
 pub trait ModMulEngine {
     /// Short, stable engine name used in reports and benchmark labels.
     fn name(&self) -> &'static str;
+
+    /// Performs all per-modulus precomputation and returns the
+    /// thread-safe execution context for `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModMulError::ZeroModulus`] for `p = 0`;
+    /// [`ModMulError::EvenModulus`] where the algorithm needs an odd
+    /// modulus (Montgomery family).
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError>;
 
     /// Computes `a·b mod p`. Operands are canonicalised (reduced mod `p`)
     /// first, matching the paper's `0 ≤ A, B ≤ p` precondition.
@@ -85,6 +105,10 @@ impl ModMulEngine for DirectEngine {
         "direct"
     }
 
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedDirect::new(p)?))
+    }
+
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
         if p.is_zero() {
             return Err(ModMulError::ZeroModulus);
@@ -93,21 +117,54 @@ impl ModMulEngine for DirectEngine {
     }
 }
 
-/// All functional engines, boxed, for cross-checking sweeps.
+/// A boxed-engine constructor, as stored in [`ENGINE_REGISTRY`].
+pub type EngineCtor = fn() -> Box<dyn ModMulEngine>;
+
+macro_rules! registry_ctor {
+    ($name:ident, $ty:ty) => {
+        fn $name() -> Box<dyn ModMulEngine> {
+            Box::new(<$ty>::new())
+        }
+    };
+}
+
+registry_ctor!(make_direct, DirectEngine);
+registry_ctor!(make_interleaved, crate::InterleavedEngine);
+registry_ctor!(make_radix4, crate::Radix4Engine);
+registry_ctor!(make_radix8, crate::Radix8Engine);
+registry_ctor!(make_r4csa, crate::R4CsaLutEngine);
+registry_ctor!(make_montgomery, crate::MontgomeryEngine);
+registry_ctor!(make_barrett, crate::BarrettEngine);
+
+/// The engine registry: `(name, constructor)` for every functional
+/// engine, in sweep/report order. Sweeps iterate this; lookup by name is
+/// [`engine_by_name`].
+pub const ENGINE_REGISTRY: &[(&str, EngineCtor)] = &[
+    ("direct", make_direct),
+    ("interleaved", make_interleaved),
+    ("radix4", make_radix4),
+    ("radix8", make_radix8),
+    ("r4csa-lut", make_r4csa),
+    ("montgomery", make_montgomery),
+    ("barrett", make_barrett),
+];
+
+/// All functional engines, boxed, for cross-checking sweeps — a thin
+/// view over [`ENGINE_REGISTRY`].
 ///
 /// The Montgomery engine is included even though it rejects even moduli;
 /// sweep tests must either use odd moduli or skip
 /// [`ModMulError::EvenModulus`] results.
 pub fn all_engines() -> Vec<Box<dyn ModMulEngine>> {
-    vec![
-        Box::new(DirectEngine::new()),
-        Box::new(crate::InterleavedEngine::new()),
-        Box::new(crate::Radix4Engine::new()),
-        Box::new(crate::Radix8Engine::new()),
-        Box::new(crate::R4CsaLutEngine::new()),
-        Box::new(crate::MontgomeryEngine::new()),
-        Box::new(crate::BarrettEngine::new()),
-    ]
+    ENGINE_REGISTRY.iter().map(|(_, ctor)| ctor()).collect()
+}
+
+/// Constructs the registered engine called `name`, if any.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn ModMulEngine>> {
+    ENGINE_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, ctor)| ctor())
 }
 
 #[cfg(test)]
@@ -146,7 +203,23 @@ mod tests {
     }
 
     #[test]
+    fn registry_names_match_engine_names() {
+        for (name, ctor) in ENGINE_REGISTRY {
+            assert_eq!(ctor().name(), *name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(engine_by_name("barrett").unwrap().name(), "barrett");
+        assert!(engine_by_name("no-such-engine").is_none());
+    }
+
+    #[test]
     fn error_display_is_lowercase() {
-        assert_eq!(ModMulError::ZeroModulus.to_string(), "modulus must be non-zero");
+        assert_eq!(
+            ModMulError::ZeroModulus.to_string(),
+            "modulus must be non-zero"
+        );
     }
 }

@@ -8,7 +8,8 @@
 
 use modsram_bigint::UBig;
 
-use crate::{CycleModel, ModMulEngine, ModMulError};
+use crate::prepared::PreparedInterleaved;
+use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
 /// Algorithm 1 of the paper (Blakely 1983).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +28,10 @@ impl InterleavedEngine {
 impl ModMulEngine for InterleavedEngine {
     fn name(&self) -> &'static str {
         "interleaved"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedInterleaved::new(p)?))
     }
 
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
@@ -106,10 +111,8 @@ mod tests {
 
     #[test]
     fn large_operands() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::pow2(255) + &UBig::from(12345u64);
         let b = &UBig::pow2(254) + &UBig::from(99999u64);
         let mut e = InterleavedEngine::new();

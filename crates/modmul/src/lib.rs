@@ -19,15 +19,27 @@
 //! Every engine implements [`ModMulEngine`], so they are interchangeable
 //! in the ECC/NTT substrate and can be cross-checked against each other.
 //!
+//! # The prepare/execute split
+//!
+//! The engine API has two phases. [`ModMulEngine::prepare`] performs all
+//! per-modulus precomputation once and returns a [`PreparedModMul`] —
+//! an immutable, `Send + Sync` context whose `mod_mul(&self, a, b)` hot
+//! path and `mod_mul_batch` stream serve a fixed prime, the access
+//! pattern of ZKP/ECC workloads. The legacy
+//! `mod_mul(&mut self, a, b, p)` entry point remains for instrumented,
+//! exploratory use.
+//!
 //! # Examples
 //!
 //! ```
 //! use modsram_modmul::{ModMulEngine, R4CsaLutEngine};
 //! use modsram_bigint::UBig;
 //!
-//! let mut engine = R4CsaLutEngine::new();
 //! let p = UBig::from(97u64);
-//! let c = engine.mod_mul(&UBig::from(55u64), &UBig::from(44u64), &p).unwrap();
+//! // Phase 1: per-modulus precomputation (Table 2 rows, widths).
+//! let ctx = R4CsaLutEngine::new().prepare(&p).unwrap();
+//! // Phase 2: the immutable hot path.
+//! let c = ctx.mod_mul(&UBig::from(55u64), &UBig::from(44u64)).unwrap();
 //! assert_eq!(c, UBig::from(55u64 * 44 % 97));
 //! ```
 
@@ -37,16 +49,23 @@ mod engine;
 pub mod interleaved;
 pub mod lut;
 pub mod montgomery;
+pub mod prepared;
 pub mod r4csa;
 pub mod radix4;
 pub mod radix8;
 
-pub use barrett::BarrettEngine;
+pub use barrett::{BarrettEngine, PreparedBarrett};
 pub use csa::CsaState;
-pub use engine::{all_engines, CycleModel, DirectEngine, ModMulEngine, ModMulError};
+pub use engine::{
+    all_engines, engine_by_name, CycleModel, DirectEngine, EngineCtor, ModMulEngine, ModMulError,
+    ENGINE_REGISTRY,
+};
 pub use interleaved::InterleavedEngine;
 pub use lut::{LutOverflow, LutRadix4};
-pub use montgomery::MontgomeryEngine;
-pub use r4csa::{R4CsaLutEngine, R4CsaStats, R4CsaStepper, StepTrace, TimingPolicy};
+pub use montgomery::{MontgomeryEngine, PreparedMontgomery};
+pub use prepared::{
+    PreparedDirect, PreparedInterleaved, PreparedModMul, PreparedRadix4, PreparedRadix8,
+};
+pub use r4csa::{PreparedR4Csa, R4CsaLutEngine, R4CsaStats, R4CsaStepper, StepTrace, TimingPolicy};
 pub use radix4::Radix4Engine;
 pub use radix8::{LutRadix8, Radix8Engine};

@@ -50,13 +50,7 @@ impl LutRadix4 {
             }
         };
         let neg = |v: &UBig| if v.is_zero() { UBig::zero() } else { p - v };
-        let entries = [
-            UBig::zero(),
-            b.clone(),
-            two_b.clone(),
-            neg(&two_b),
-            neg(&b),
-        ];
+        let entries = [UBig::zero(), b.clone(), two_b.clone(), neg(&two_b), neg(&b)];
         Ok(LutRadix4 {
             entries,
             b,
@@ -179,7 +173,10 @@ mod tests {
         let b = UBig::from(18u64); // 10010, the paper's Figure 3 example
         let p = UBig::from(24u64); // 11000
         let lut = LutRadix4::new(&b, &p).unwrap();
-        assert_eq!(lut.value(Radix4Digit::encode(false, false, false)), &UBig::zero());
+        assert_eq!(
+            lut.value(Radix4Digit::encode(false, false, false)),
+            &UBig::zero()
+        );
         assert_eq!(
             lut.value(Radix4Digit::encode(false, false, true)),
             &UBig::from(18u64)
@@ -243,10 +240,8 @@ mod tests {
 
     #[test]
     fn overflow_large_modulus() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let lut = LutOverflow::new(&p, 257).unwrap();
         for w in [1usize, 7, 11, 15] {
             let expect = &(UBig::from(w as u64) << 257) % &p;
@@ -258,10 +253,6 @@ mod tests {
     fn lut_row_counts_match_paper_budget() {
         // §5.2: "Radix-4 and overflow LUTs require a total of 13 WLs"
         // = 5 radix-4 rows + 8 overflow rows.
-        assert_eq!(
-            5 + LutOverflow::PAPER_ENTRIES,
-            13,
-            "paper wordline budget"
-        );
+        assert_eq!(5 + LutOverflow::PAPER_ENTRIES, 13, "paper wordline budget");
     }
 }

@@ -3,17 +3,25 @@
 //! The paper's §3 discusses why it avoids this family for PIM: the n-bit
 //! pre-multiplication produces 2n-bit intermediates, and entering/leaving
 //! Montgomery form costs real modular operations (the criticism levelled
-//! at BP-NTT in §5.4). This engine implements classic REDC so those
-//! costs can be measured rather than asserted; see the `conversions`
-//! counter.
+//! at BP-NTT in §5.4). The legacy engine implements classic REDC with
+//! the domain conversions spelled out so those costs can be measured
+//! rather than asserted; see the `conversions` counter.
+//!
+//! The prepared context ([`PreparedMontgomery`]) is the
+//! performance-oriented path: `R²` and `−p⁻¹` are computed once in
+//! [`crate::ModMulEngine::prepare`], and each multiplication fuses the
+//! domain round-trip into two REDC passes (`REDC(a·R²) = aR`, then
+//! `REDC(aR·b) = a·b mod p`), which is algebraically identical to the
+//! enter/multiply/leave sequence the instrumented engine performs.
 
 use modsram_bigint::{mod_inv, UBig};
 
-use crate::{CycleModel, ModMulEngine, ModMulError};
+use crate::prepared::{canonical, check_modulus};
+use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
-/// Per-modulus precomputation for REDC.
+/// Thread-safe per-modulus Montgomery context (`R²`, `−p⁻¹ mod R`).
 #[derive(Debug, Clone)]
-struct MontCache {
+pub struct PreparedMontgomery {
     p: UBig,
     /// Number of bits in `R = 2^r` (a multiple of 64, ≥ bit_len(p)).
     r_bits: usize,
@@ -23,10 +31,92 @@ struct MontCache {
     r2: UBig,
 }
 
-/// Montgomery-reduction engine with a per-modulus cache.
+impl PreparedMontgomery {
+    /// Performs the per-modulus precomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`;
+    /// [`ModMulError::EvenModulus`] for even `p` (REDC requires
+    /// `gcd(p, R) = 1`).
+    pub fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        if p.is_even() {
+            return Err(ModMulError::EvenModulus);
+        }
+        let r_bits = p.bit_len().div_ceil(64) * 64;
+        let r = UBig::pow2(r_bits);
+        let p_inv = mod_inv(p, &r).expect("odd p is invertible mod 2^k");
+        let p_inv_neg = &r - &p_inv;
+        let r2 = &(&r * &r) % p;
+        Ok(PreparedMontgomery {
+            p: p.clone(),
+            r_bits,
+            p_inv_neg,
+            r2,
+        })
+    }
+
+    /// REDC: given `t < p·R`, returns `t·R⁻¹ mod p`.
+    pub(crate) fn redc(&self, t: &UBig) -> UBig {
+        // m = (t mod R) · (-p⁻¹) mod R
+        let m = (&t.low_bits(self.r_bits) * &self.p_inv_neg).low_bits(self.r_bits);
+        // u = (t + m·p) / R
+        let u = &(t + &(&m * &self.p)) >> self.r_bits;
+        if u >= self.p {
+            &u - &self.p
+        } else {
+            u
+        }
+    }
+
+    /// `R² mod p` — entry into Montgomery form costs one REDC of `x·r2`.
+    pub(crate) fn r2(&self) -> &UBig {
+        &self.r2
+    }
+
+    /// One fused multiplication on canonical operands: 2 REDC passes.
+    fn mul_canonical(&self, a: &UBig, b: &UBig) -> UBig {
+        // aR = REDC(a · R²); REDC(aR · b) = a·b mod p.
+        let am = self.redc(&(a * &self.r2));
+        self.redc(&(&am * b))
+    }
+}
+
+impl PreparedModMul for PreparedMontgomery {
+    fn engine_name(&self) -> &'static str {
+        "montgomery"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        if self.p.is_one() {
+            return Ok(UBig::zero());
+        }
+        Ok(self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+    }
+
+    /// Batch override: the `p = 1` check is hoisted out of the loop and
+    /// each pair runs the same fused path as [`PreparedModMul::mod_mul`].
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if self.p.is_one() {
+            return Ok(vec![UBig::zero(); pairs.len()]);
+        }
+        Ok(pairs
+            .iter()
+            .map(|(a, b)| self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+            .collect())
+    }
+}
+
+/// Montgomery-reduction engine with a per-modulus cache and
+/// conversion-cost instrumentation.
 #[derive(Debug, Clone, Default)]
 pub struct MontgomeryEngine {
-    cache: Option<MontCache>,
+    cache: Option<PreparedMontgomery>,
     /// Count of to/from Montgomery-form conversions performed — the
     /// transformation overhead the paper's comparison highlights.
     pub conversions: u64,
@@ -40,47 +130,25 @@ impl MontgomeryEngine {
         Self::default()
     }
 
-    fn cache_for(&mut self, p: &UBig) -> Result<&MontCache, ModMulError> {
-        if p.is_even() {
-            return Err(ModMulError::EvenModulus);
-        }
+    fn cache_for(&mut self, p: &UBig) -> Result<&PreparedMontgomery, ModMulError> {
         let stale = match &self.cache {
-            Some(c) => &c.p != p,
+            Some(c) => c.modulus() != p,
             None => true,
         };
         if stale {
-            let r_bits = p.bit_len().div_ceil(64) * 64;
-            let r = UBig::pow2(r_bits);
-            let p_inv = mod_inv(p, &r).expect("odd p is invertible mod 2^k");
-            let p_inv_neg = &r - &p_inv;
-            let r2 = &(&r * &r) % p;
-            self.cache = Some(MontCache {
-                p: p.clone(),
-                r_bits,
-                p_inv_neg,
-                r2,
-            });
+            self.cache = Some(PreparedMontgomery::new(p)?);
         }
         Ok(self.cache.as_ref().expect("cache just filled"))
-    }
-
-    /// REDC: given `t < p·R`, returns `t·R⁻¹ mod p`.
-    fn redc(cache: &MontCache, t: &UBig) -> UBig {
-        // m = (t mod R) · (-p⁻¹) mod R
-        let m = (&t.low_bits(cache.r_bits) * &cache.p_inv_neg).low_bits(cache.r_bits);
-        // u = (t + m·p) / R
-        let u = &(t + &(&m * &cache.p)) >> cache.r_bits;
-        if u >= cache.p {
-            &u - &cache.p
-        } else {
-            u
-        }
     }
 }
 
 impl ModMulEngine for MontgomeryEngine {
     fn name(&self) -> &'static str {
         "montgomery"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedMontgomery::new(p)?))
     }
 
     /// # Errors
@@ -98,13 +166,14 @@ impl ModMulEngine for MontgomeryEngine {
         let b = b % p;
         let cache = self.cache_for(p)?.clone();
 
-        // Enter Montgomery form (one REDC each), multiply, REDC, leave.
-        let am = Self::redc(&cache, &(&a * &cache.r2));
-        let bm = Self::redc(&cache, &(&b * &cache.r2));
+        // Enter Montgomery form (one REDC each), multiply, REDC, leave —
+        // spelled out so the conversion overhead is observable.
+        let am = cache.redc(&(&a * cache.r2()));
+        let bm = cache.redc(&(&b * cache.r2()));
         self.conversions += 2;
-        let prod = Self::redc(&cache, &(&am * &bm));
+        let prod = cache.redc(&(&am * &bm));
         self.reductions += 3;
-        let out = Self::redc(&cache, &prod);
+        let out = cache.redc(&prod);
         self.conversions += 1;
         self.reductions += 1;
         Ok(out)
@@ -153,11 +222,32 @@ mod tests {
     }
 
     #[test]
+    fn prepared_exhaustive_small_odd_moduli() {
+        for p in (3u64..=31).step_by(2) {
+            let pp = UBig::from(p);
+            let prep = PreparedMontgomery::new(&pp).unwrap();
+            for a in 0..p {
+                for b in 0..p {
+                    assert_eq!(
+                        prep.mod_mul(&UBig::from(a), &UBig::from(b)).unwrap(),
+                        UBig::from(a * b % p),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rejects_even_moduli() {
         let mut e = MontgomeryEngine::new();
         assert_eq!(
             e.mod_mul(&UBig::one(), &UBig::one(), &UBig::from(10u64)),
             Err(ModMulError::EvenModulus)
+        );
+        assert_eq!(
+            e.prepare(&UBig::from(10u64)).err(),
+            Some(ModMulError::EvenModulus)
         );
     }
 
@@ -173,14 +263,14 @@ mod tests {
 
     #[test]
     fn large_prime_cross_check() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::pow2(255) + &UBig::from(12345u64);
         let b = &UBig::pow2(200) + &UBig::from(6789u64);
         let mut e = MontgomeryEngine::new();
         assert_eq!(e.mod_mul(&a, &b, &p).unwrap(), &(&a * &b) % &p);
+        let prep = PreparedMontgomery::new(&p).unwrap();
+        assert_eq!(prep.mod_mul(&a, &b).unwrap(), &(&a * &b) % &p);
     }
 
     #[test]
@@ -189,15 +279,18 @@ mod tests {
         let p1 = UBig::from(97u64);
         let p2 = UBig::from(101u64);
         assert_eq!(
-            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p1).unwrap(),
+            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p1)
+                .unwrap(),
             UBig::from(50u64 * 60 % 97)
         );
         assert_eq!(
-            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p2).unwrap(),
+            e.mod_mul(&UBig::from(50u64), &UBig::from(60u64), &p2)
+                .unwrap(),
             UBig::from(50u64 * 60 % 101)
         );
         assert_eq!(
-            e.mod_mul(&UBig::from(3u64), &UBig::from(4u64), &p1).unwrap(),
+            e.mod_mul(&UBig::from(3u64), &UBig::from(4u64), &p1)
+                .unwrap(),
             UBig::from(12u64)
         );
     }
@@ -210,5 +303,29 @@ mod tests {
                 .unwrap(),
             UBig::zero()
         );
+        let prep = PreparedMontgomery::new(&UBig::one()).unwrap();
+        assert_eq!(
+            prep.mod_mul(&UBig::from(5u64), &UBig::from(5u64)).unwrap(),
+            UBig::zero()
+        );
+    }
+
+    #[test]
+    fn fused_and_instrumented_paths_agree() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let prep = PreparedMontgomery::new(&p).unwrap();
+        let mut legacy = MontgomeryEngine::new();
+        for (a, b) in [
+            (1u64, 1u64),
+            (12345, 67890),
+            (0xffff_fffa, 0xffff_fffa),
+            (0, 7),
+        ] {
+            let (a, b) = (UBig::from(a), UBig::from(b));
+            assert_eq!(
+                prep.mod_mul(&a, &b).unwrap(),
+                legacy.mod_mul(&a, &b, &p).unwrap()
+            );
+        }
     }
 }

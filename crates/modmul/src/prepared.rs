@@ -1,0 +1,380 @@
+//! The prepare/execute split of the engine API.
+//!
+//! ZKP and ECC workloads multiply millions of operand pairs over **one
+//! fixed prime**, so everything that depends only on the modulus —
+//! Montgomery `R²` and `−p⁻¹`, Barrett `µ`, the R4CSA overflow LUT —
+//! should be computed once, not re-checked on every call. The paper
+//! makes the same observation in hardware terms: Table 2 wordlines are
+//! written when the modulus is loaded and reused for every subsequent
+//! multiplication (§3.2).
+//!
+//! [`crate::ModMulEngine::prepare`] performs that per-modulus work and
+//! returns a [`PreparedModMul`]: an immutable, `Send + Sync` execution
+//! context whose hot path borrows `&self`, so one prepared context can
+//! serve many threads without locks or `RefCell` workarounds.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_bigint::UBig;
+//! use modsram_modmul::{ModMulEngine, MontgomeryEngine};
+//!
+//! let p = UBig::from(1_000_003u64);
+//! let ctx = MontgomeryEngine::new().prepare(&p).unwrap();
+//! // Hot path: immutable, shareable across threads.
+//! assert_eq!(
+//!     ctx.mod_mul(&UBig::from(2024u64), &UBig::from(4096u64)).unwrap(),
+//!     UBig::from(2024u64 * 4096 % 1_000_003)
+//! );
+//! // Batch path: one call, canonicalisation hoisted.
+//! let pairs = vec![(UBig::from(3u64), UBig::from(5u64)); 4];
+//! assert_eq!(ctx.mod_mul_batch(&pairs).unwrap(), vec![UBig::from(15u64); 4]);
+//! ```
+
+use modsram_bigint::{radix4_digits_msb_first, radix8_digits_msb_first, UBig};
+
+use crate::{LutRadix4, LutRadix8, ModMulError};
+
+/// An execution context bound to one modulus: all per-modulus
+/// precomputation is done, only per-operand work remains.
+///
+/// Implementations are immutable and thread-safe (`Send + Sync`); the
+/// instrumented, single-threaded counterparts live on the engines
+/// themselves behind the legacy `mod_mul(&mut self, a, b, p)` entry
+/// point.
+pub trait PreparedModMul: Send + Sync {
+    /// Name of the engine that prepared this context.
+    fn engine_name(&self) -> &'static str;
+
+    /// The modulus this context was prepared for.
+    fn modulus(&self) -> &UBig;
+
+    /// Computes `a·b mod p`. Operands are canonicalised first, matching
+    /// the paper's `0 ≤ A, B ≤ p` precondition.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; the modulus itself was validated by `prepare`,
+    /// so the common case is infallible.
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError>;
+
+    /// Computes `aᵢ·bᵢ mod p` for every pair, in order.
+    ///
+    /// The default implementation loops over [`PreparedModMul::mod_mul`];
+    /// engines override it to hoist per-call overhead (canonicalisation
+    /// checks, output allocation) out of the loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first failing pair, as per [`PreparedModMul::mod_mul`].
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
+    }
+}
+
+/// Canonicalises `v` into `[0, p)`, skipping the division when the
+/// operand is already reduced — the common case on a hot path fed by
+/// field arithmetic.
+pub(crate) fn canonical(v: &UBig, p: &UBig) -> UBig {
+    if *v < *p {
+        v.clone()
+    } else {
+        v % p
+    }
+}
+
+/// Validates a modulus at prepare time.
+pub(crate) fn check_modulus(p: &UBig) -> Result<(), ModMulError> {
+    if p.is_zero() {
+        Err(ModMulError::ZeroModulus)
+    } else {
+        Ok(())
+    }
+}
+
+/// Prepared form of [`crate::DirectEngine`]: full product + remainder.
+#[derive(Debug, Clone)]
+pub struct PreparedDirect {
+    p: UBig,
+}
+
+impl PreparedDirect {
+    pub(crate) fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        Ok(PreparedDirect { p: p.clone() })
+    }
+}
+
+impl PreparedModMul for PreparedDirect {
+    fn engine_name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        Ok(&(a * b) % &self.p)
+    }
+}
+
+/// Prepared form of [`crate::InterleavedEngine`] (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct PreparedInterleaved {
+    p: UBig,
+}
+
+impl PreparedInterleaved {
+    pub(crate) fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        Ok(PreparedInterleaved { p: p.clone() })
+    }
+}
+
+impl PreparedModMul for PreparedInterleaved {
+    fn engine_name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let p = &self.p;
+        let a = canonical(a, p);
+        let b = canonical(b, p);
+        let mut c = UBig::zero();
+        for i in (0..a.bit_len()).rev() {
+            c = &c << 1;
+            if c >= *p {
+                c = &c - p;
+            }
+            if a.bit(i) {
+                c = &c + &b;
+                if c >= *p {
+                    c = &c - p;
+                }
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// Prepared form of [`crate::Radix4Engine`] (Algorithm 2).
+///
+/// Only the modulus-derived width is precomputed here — Table 1b depends
+/// on the multiplicand and is rebuilt per call, exactly as the hardware
+/// rewrites its `B` wordlines when the multiplicand changes.
+#[derive(Debug, Clone)]
+pub struct PreparedRadix4 {
+    p: UBig,
+    n: usize,
+}
+
+impl PreparedRadix4 {
+    pub(crate) fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        Ok(PreparedRadix4 {
+            p: p.clone(),
+            n: p.bit_len().max(1),
+        })
+    }
+}
+
+impl PreparedRadix4 {
+    /// The Algorithm 2 digit loop over a canonical multiplier and a
+    /// prebuilt Table 1b — shared by the per-call and batch paths.
+    fn mul_with_lut(&self, a: &UBig, lut: &LutRadix4) -> UBig {
+        let p = &self.p;
+        let a = canonical(a, p);
+        let mut c = UBig::zero();
+        for d in radix4_digits_msb_first(&a, self.n) {
+            c = &c << 2;
+            while c >= *p {
+                c = &c - p;
+            }
+            c = &c + lut.value(d);
+            if c >= *p {
+                c = &c - p;
+            }
+        }
+        c
+    }
+}
+
+impl PreparedModMul for PreparedRadix4 {
+    fn engine_name(&self) -> &'static str {
+        "radix4"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let lut = LutRadix4::new(b, &self.p)?;
+        Ok(self.mul_with_lut(a, &lut))
+    }
+
+    /// Rebuilds Table 1b only when the multiplicand changes between
+    /// consecutive pairs — the access pattern of repeated-multiplicand
+    /// workloads such as point addition. The reuse check compares the
+    /// raw multiplicand, so a repeated `b` costs one equality test, not
+    /// a canonicalising division, per pair.
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut lut: Option<(UBig, LutRadix4)> = None;
+        for (a, b) in pairs {
+            let rebuild = match &lut {
+                Some((cached_b, _)) => cached_b != b,
+                None => true,
+            };
+            if rebuild {
+                lut = Some((b.clone(), LutRadix4::new(b, &self.p)?));
+            }
+            let (_, table) = lut.as_ref().expect("just built");
+            out.push(self.mul_with_lut(a, table));
+        }
+        Ok(out)
+    }
+}
+
+/// Prepared form of [`crate::Radix8Engine`].
+#[derive(Debug, Clone)]
+pub struct PreparedRadix8 {
+    p: UBig,
+    n: usize,
+}
+
+impl PreparedRadix8 {
+    pub(crate) fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        Ok(PreparedRadix8 {
+            p: p.clone(),
+            n: p.bit_len().max(1),
+        })
+    }
+}
+
+impl PreparedModMul for PreparedRadix8 {
+    fn engine_name(&self) -> &'static str {
+        "radix8"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let p = &self.p;
+        let a = canonical(a, p);
+        let lut = LutRadix8::new(b, p)?;
+        let mut c = UBig::zero();
+        for d in radix8_digits_msb_first(&a, self.n) {
+            c = &c << 3;
+            while c >= *p {
+                c = &c - p;
+            }
+            c = &c + lut.value(d);
+            if c >= *p {
+                c = &c - p;
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_engines, DirectEngine, ModMulEngine};
+
+    #[test]
+    fn canonical_skips_division_when_reduced() {
+        let p = UBig::from(97u64);
+        assert_eq!(canonical(&UBig::from(5u64), &p), UBig::from(5u64));
+        assert_eq!(canonical(&UBig::from(100u64), &p), UBig::from(3u64));
+        assert_eq!(canonical(&p, &p), UBig::zero());
+    }
+
+    #[test]
+    fn every_engine_prepares_and_agrees_with_oracle() {
+        let p = UBig::from(1_000_003u64);
+        let oracle = DirectEngine::new().prepare(&p).unwrap();
+        for engine in all_engines() {
+            let prep = engine.prepare(&p).unwrap();
+            assert_eq!(prep.engine_name(), engine.name());
+            assert_eq!(prep.modulus(), &p);
+            for (a, b) in [
+                (3u64, 7u64),
+                (999_999, 1_000_002),
+                (0, 5),
+                (123_456, 654_321),
+            ] {
+                let (a, b) = (UBig::from(a), UBig::from(b));
+                assert_eq!(
+                    prep.mod_mul(&a, &b).unwrap(),
+                    oracle.mod_mul(&a, &b).unwrap(),
+                    "{} a={a} b={b}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_zero_modulus() {
+        for engine in all_engines() {
+            assert_eq!(
+                engine.prepare(&UBig::zero()).err(),
+                Some(ModMulError::ZeroModulus),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_equals_per_call_on_every_engine() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let pairs: Vec<(UBig, UBig)> = (0..16u64)
+            .map(|i| (UBig::from(i * 7919 + 3), UBig::from(i * 104729 + 11)))
+            .collect();
+        for engine in all_engines() {
+            let prep = engine.prepare(&p).unwrap();
+            let batch = prep.mod_mul_batch(&pairs).unwrap();
+            for ((a, b), got) in pairs.iter().zip(&batch) {
+                assert_eq!(got, &prep.mod_mul(a, b).unwrap(), "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn radix4_batch_reuses_lut_across_repeated_multiplicand() {
+        let p = UBig::from(1_000_003u64);
+        let prep = crate::Radix4Engine::new().prepare(&p).unwrap();
+        let b = UBig::from(777_777u64);
+        let pairs: Vec<(UBig, UBig)> = (0..8u64)
+            .map(|i| (UBig::from(i * 3 + 1), b.clone()))
+            .collect();
+        let batch = prep.mod_mul_batch(&pairs).unwrap();
+        for ((a, b), got) in pairs.iter().zip(&batch) {
+            assert_eq!(got, &(&(a * b) % &p));
+        }
+    }
+
+    #[test]
+    fn prepared_contexts_are_object_safe_and_share() {
+        let p = UBig::from(97u64);
+        let ctx: Box<dyn PreparedModMul> = DirectEngine::new().prepare(&p).unwrap();
+        let borrowed: &dyn PreparedModMul = ctx.as_ref();
+        assert_eq!(
+            borrowed
+                .mod_mul(&UBig::from(55u64), &UBig::from(44u64))
+                .unwrap(),
+            UBig::from(55u64 * 44 % 97)
+        );
+    }
+}

@@ -35,9 +35,14 @@
 //! indices actually used — see DESIGN.md §3.2 and EXPERIMENTS.md
 //! (`lut_usage`).
 
+use std::sync::Arc;
+
 use modsram_bigint::{radix4_digits_msb_first, Radix4Digit, UBig};
 
-use crate::{CsaState, CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError};
+use crate::prepared::{canonical, check_modulus};
+use crate::{
+    CsaState, CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError, PreparedModMul,
+};
 
 /// Iteration-count policy for the R4CSA-LUT loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +54,27 @@ pub enum TimingPolicy {
     /// Always `⌈(n+1)/2⌉` iterations regardless of the multiplier value
     /// (constant-time variant for side-channel-sensitive uses).
     ConstantTime,
+}
+
+impl TimingPolicy {
+    /// The Booth digit stream for multiplier `a` at declared width `n`
+    /// under this policy — the single definition of the constant-time
+    /// zero-digit padding rule, shared by the functional engine, the
+    /// prepared context, and the cycle-accurate controller (which
+    /// verifies itself digit-by-digit against the stepper, so all
+    /// copies must agree).
+    pub fn digits(&self, a: &UBig, n: usize) -> Vec<Radix4Digit> {
+        let mut digits = radix4_digits_msb_first(a, n);
+        if *self == TimingPolicy::ConstantTime {
+            let want = (n + 1).div_ceil(2);
+            if digits.len() < want {
+                let pad = want - digits.len();
+                let zero = Radix4Digit::encode(false, false, false);
+                digits.splice(0..0, std::iter::repeat_n(zero, pad));
+            }
+        }
+        digits
+    }
 }
 
 /// Everything one loop iteration did — used for dataflow traces
@@ -126,7 +152,7 @@ pub struct R4CsaStepper {
     state: CsaState,
     pending: u8,
     lut4: LutRadix4,
-    lutov: LutOverflow,
+    lutov: Arc<LutOverflow>,
     p: UBig,
     width: usize,
 }
@@ -165,11 +191,42 @@ impl R4CsaStepper {
             });
         }
         let width = n.max(1) + 1;
+        Self::with_overflow_lut(b, p, n, Arc::new(LutOverflow::new(p, width)?))
+    }
+
+    /// Builds the stepper reusing an already-computed overflow LUT
+    /// (Table 2 depends only on the modulus, so a prepared context
+    /// computes it once and hands it to each multiplication — the §3.2
+    /// data-reuse claim in software form).
+    ///
+    /// # Errors
+    ///
+    /// As [`R4CsaStepper::with_width`]; additionally requires `lutov` to
+    /// have been built for the same modulus and window, which is a
+    /// programmer error and asserted.
+    pub fn with_overflow_lut(
+        b: &UBig,
+        p: &UBig,
+        n: usize,
+        lutov: Arc<LutOverflow>,
+    ) -> Result<Self, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        if p.bit_len() > n {
+            return Err(ModMulError::OperandTooWide {
+                operand_bits: p.bit_len(),
+                limit_bits: n,
+            });
+        }
+        let width = n.max(1) + 1;
+        assert_eq!(lutov.modulus(), p, "overflow LUT modulus mismatch");
+        assert_eq!(lutov.width(), width, "overflow LUT window mismatch");
         Ok(R4CsaStepper {
             state: CsaState::new(width),
             pending: 0,
             lut4: LutRadix4::new(b, p)?,
-            lutov: LutOverflow::new(p, width)?,
+            lutov,
             p: p.clone(),
             width,
         })
@@ -197,7 +254,7 @@ impl R4CsaStepper {
 
     /// The overflow LUT (Table 2) built for this modulus.
     pub fn lut_overflow(&self) -> &LutOverflow {
-        &self.lutov
+        self.lutov.as_ref()
     }
 
     /// Executes one loop iteration for `digit`, returning the full trace.
@@ -303,22 +360,101 @@ impl R4CsaLutEngine {
         self.cumulative_ov = [0; LutOverflow::ENTRIES];
         self.last_stats = None;
     }
+}
 
-    fn digits_for(&self, a: &UBig, n: usize) -> Vec<Radix4Digit> {
-        let mut digits = radix4_digits_msb_first(a, n);
-        if self.policy == TimingPolicy::ConstantTime {
-            let want = (n + 1).div_ceil(2);
-            while digits.len() < want {
-                digits.insert(0, Radix4Digit::encode(false, false, false));
-            }
+/// Thread-safe prepared context for R4CSA-LUT: the overflow LUT
+/// (Table 2) and register window are fixed per modulus; Table 1b is
+/// rebuilt per multiplicand, exactly as the hardware rewrites its `B`
+/// wordlines.
+///
+/// The prepared hot path carries no instrumentation; use the engine's
+/// legacy `mod_mul` for histograms and step traces.
+#[derive(Debug, Clone)]
+pub struct PreparedR4Csa {
+    p: UBig,
+    n: usize,
+    lutov: Arc<LutOverflow>,
+    policy: TimingPolicy,
+}
+
+impl PreparedR4Csa {
+    /// Performs the per-modulus precomputation (Table 2 rows).
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`.
+    pub fn new(p: &UBig, policy: TimingPolicy) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        let n = p.bit_len().max(1);
+        Ok(PreparedR4Csa {
+            p: p.clone(),
+            n,
+            lutov: Arc::new(LutOverflow::new(p, n + 1)?),
+            policy,
+        })
+    }
+
+    fn run(&self, a: &UBig, stepper: &mut R4CsaStepper) -> UBig {
+        for d in self.policy.digits(a, self.n) {
+            stepper.step(d);
         }
-        digits
+        stepper.finalize().0
+    }
+}
+
+impl PreparedModMul for PreparedR4Csa {
+    fn engine_name(&self) -> &'static str {
+        "r4csa-lut"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let a = canonical(a, &self.p);
+        let mut stepper = R4CsaStepper::with_overflow_lut(b, &self.p, self.n, self.lutov.clone())?;
+        Ok(self.run(&a, &mut stepper))
+    }
+
+    /// Batch override: Table 2 is shared by construction; Table 1b is
+    /// rebuilt only when the multiplicand changes between consecutive
+    /// pairs (the repeated-`B` pattern of point addition). The reuse
+    /// check compares the raw multiplicand, so a repeated `b` costs one
+    /// equality test, not a canonicalising division, per pair.
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut current: Option<(UBig, R4CsaStepper)> = None;
+        for (a, b) in pairs {
+            let rebuild = match &current {
+                Some((cached_b, _)) => cached_b != b,
+                None => true,
+            };
+            if rebuild {
+                let stepper =
+                    R4CsaStepper::with_overflow_lut(b, &self.p, self.n, self.lutov.clone())?;
+                current = Some((b.clone(), stepper));
+            }
+            let (_, template) = current.as_ref().expect("just built");
+            // The stepper accumulates state, so each pair runs on a
+            // fresh copy of the precomputed template (the overflow LUT
+            // is behind an Arc, so only Table 1b and the accumulator
+            // are actually copied).
+            let mut stepper = template.clone();
+            let a = canonical(a, &self.p);
+            out.push(self.run(&a, &mut stepper));
+        }
+        Ok(out)
     }
 }
 
 impl ModMulEngine for R4CsaLutEngine {
     fn name(&self) -> &'static str {
         "r4csa-lut"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedR4Csa::new(p, self.policy)?))
     }
 
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
@@ -328,7 +464,7 @@ impl ModMulEngine for R4CsaLutEngine {
         let a = a % p;
         let n = p.bit_len().max(1);
         let mut stepper = R4CsaStepper::new(b, p)?;
-        let digits = self.digits_for(&a, n);
+        let digits = self.policy.digits(&a, n);
 
         let mut stats = R4CsaStats {
             iterations: digits.len() as u64,
@@ -426,10 +562,8 @@ mod tests {
 
     #[test]
     fn secp256k1_sized_operands() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::from_hex("e0e1e2e3e4e5e6e7e8e9eaebecedeeeff0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
             .unwrap()
             % &p;
@@ -508,10 +642,7 @@ mod tests {
     fn operands_equal_to_p_are_canonicalised() {
         let p = UBig::from(24u64);
         let mut e = R4CsaLutEngine::new();
-        assert_eq!(
-            e.mod_mul(&p, &UBig::from(5u64), &p).unwrap(),
-            UBig::zero()
-        );
+        assert_eq!(e.mod_mul(&p, &UBig::from(5u64), &p).unwrap(), UBig::zero());
     }
 
     #[test]

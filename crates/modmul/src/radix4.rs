@@ -8,7 +8,8 @@
 
 use modsram_bigint::{radix4_digits_msb_first, UBig};
 
-use crate::{CycleModel, LutRadix4, ModMulEngine, ModMulError};
+use crate::prepared::PreparedRadix4;
+use crate::{CycleModel, LutRadix4, ModMulEngine, ModMulError, PreparedModMul};
 
 /// Algorithm 2 of the paper (Booth radix-4 interleaved, after Javeed & Wang).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +28,10 @@ impl Radix4Engine {
 impl ModMulEngine for Radix4Engine {
     fn name(&self) -> &'static str {
         "radix4"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedRadix4::new(p)?))
     }
 
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
@@ -98,10 +103,8 @@ mod tests {
 
     #[test]
     fn iteration_count_is_half_of_interleaved() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::pow2(254) + &UBig::from(7u64); // MSB clear at n=256
         let b = UBig::from(3u64);
         let mut e = Radix4Engine::new();

@@ -10,7 +10,8 @@
 
 use modsram_bigint::{radix8_digits_msb_first, Radix8Digit, UBig};
 
-use crate::{CycleModel, ModMulEngine, ModMulError};
+use crate::prepared::PreparedRadix8;
+use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
 /// Table-1b analogue for radix-8: digit → `digit·B mod p`.
 #[derive(Debug, Clone)]
@@ -93,6 +94,10 @@ impl Radix8Engine {
 impl ModMulEngine for Radix8Engine {
     fn name(&self) -> &'static str {
         "radix8"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedRadix8::new(p)?))
     }
 
     fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
@@ -194,13 +199,14 @@ mod tests {
 
     #[test]
     fn iteration_count_is_a_third() {
-        let p = UBig::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = &UBig::pow2(250) + &UBig::from(5u64);
         let mut e = Radix8Engine::new();
-        assert_eq!(e.mod_mul(&a, &UBig::from(3u64), &p).unwrap(), &(&a * &UBig::from(3u64)) % &p);
+        assert_eq!(
+            e.mod_mul(&a, &UBig::from(3u64), &p).unwrap(),
+            &(&a * &UBig::from(3u64)) % &p
+        );
         assert_eq!(e.last_iterations, 86); // ⌈256/3⌉
     }
 

@@ -58,7 +58,12 @@ fn adversarial_patterns_at_64_bits() {
         0xffff_ffff_ffff_ffc5,    // largest 64-bit prime: tight window
         0xc000_0000_0000_0021,
     ] {
-        for a in [p - 1, p - 2, 0xaaaa_aaaa_aaaa_aaaa % p, 0x5555_5555_5555_5555 % p] {
+        for a in [
+            p - 1,
+            p - 2,
+            0xaaaa_aaaa_aaaa_aaaa % p,
+            0x5555_5555_5555_5555 % p,
+        ] {
             for b in [p - 1, 0xffff_ffff_0000_0001 % p, 1] {
                 global_max = global_max.max(max_ov(a, b, p, 64));
             }

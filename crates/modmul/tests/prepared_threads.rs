@@ -1,0 +1,104 @@
+//! Thread-safety of prepared contexts: one `PreparedModMul` shared by
+//! reference across `std::thread::scope` threads must produce results
+//! identical to a single-threaded run — the contract that lets a server
+//! hold one context per modulus and fan requests out across cores.
+
+use modsram_bigint::UBig;
+use modsram_modmul::{all_engines, ModMulError, PreparedModMul};
+
+fn secp256k1_prime() -> UBig {
+    UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("const")
+}
+
+/// Deterministic unreduced operand stream.
+fn operands(count: usize) -> Vec<(UBig, UBig)> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..count)
+        .map(|_| {
+            let a = &(&UBig::from(next()) << 192) + &UBig::from(next());
+            let b = &(&UBig::from(next()) << 128) + &UBig::from(next());
+            (a, b)
+        })
+        .collect()
+}
+
+#[test]
+fn prepared_context_shared_across_scoped_threads() {
+    let p = secp256k1_prime();
+    let pairs = operands(24);
+    for engine in all_engines() {
+        let prep: Box<dyn PreparedModMul> = engine.prepare(&p).expect("odd prime");
+        let serial: Vec<UBig> = pairs
+            .iter()
+            .map(|(a, b)| prep.mod_mul(a, b).expect("prepared"))
+            .collect();
+
+        // Four threads share &prep, each computing every pair.
+        let shared: &dyn PreparedModMul = prep.as_ref();
+        let mut per_thread: Vec<Vec<UBig>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        pairs
+                            .iter()
+                            .map(|(a, b)| shared.mod_mul(a, b).expect("prepared"))
+                            .collect::<Vec<UBig>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_thread.push(handle.join().expect("no panics"));
+            }
+        });
+        for result in &per_thread {
+            assert_eq!(result, &serial, "{} diverged across threads", engine.name());
+        }
+    }
+}
+
+#[test]
+fn batch_splits_across_threads_match_one_batch() {
+    // Sharding a batch across threads (the server pattern) returns the
+    // same values as one straight mod_mul_batch call.
+    let p = secp256k1_prime();
+    let pairs = operands(32);
+    for engine in all_engines() {
+        let prep = engine.prepare(&p).expect("odd prime");
+        let whole = prep.mod_mul_batch(&pairs).expect("prepared");
+        let shared: &dyn PreparedModMul = prep.as_ref();
+        let chunks: Vec<&[(UBig, UBig)]> = pairs.chunks(8).collect();
+        let mut sharded: Vec<UBig> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move || shared.mod_mul_batch(chunk).expect("prepared")))
+                .collect();
+            for handle in handles {
+                sharded.extend(handle.join().expect("no panics"));
+            }
+        });
+        assert_eq!(sharded, whole, "{}", engine.name());
+    }
+}
+
+#[test]
+fn prepare_requires_valid_modulus_up_front() {
+    // The execute phase is infallible for in-range inputs because the
+    // prepare phase front-loads validation.
+    for engine in all_engines() {
+        assert_eq!(
+            engine.prepare(&UBig::zero()).err(),
+            Some(ModMulError::ZeroModulus),
+            "{}",
+            engine.name()
+        );
+    }
+}

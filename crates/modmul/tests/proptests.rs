@@ -4,7 +4,8 @@
 
 use modsram_bigint::{radix4_digits_msb_first, UBig};
 use modsram_modmul::{
-    all_engines, ModMulError, R4CsaLutEngine, R4CsaStepper, TimingPolicy,
+    all_engines, DirectEngine, ModMulEngine, ModMulError, R4CsaLutEngine, R4CsaStepper,
+    TimingPolicy,
 };
 use proptest::prelude::*;
 
@@ -68,7 +69,6 @@ proptest! {
     fn constant_time_matches_data_dependent((a, b, p) in triple(4)) {
         let mut ct = R4CsaLutEngine::with_policy(TimingPolicy::ConstantTime);
         let mut dd = R4CsaLutEngine::with_policy(TimingPolicy::DataDependent);
-        use modsram_modmul::ModMulEngine;
         prop_assert_eq!(
             ct.mod_mul(&a, &b, &p).unwrap(),
             dd.mod_mul(&a, &b, &p).unwrap()
@@ -87,6 +87,65 @@ proptest! {
             }
         }
     }
+
+    /// The prepare/execute contract: for every engine and random
+    /// odd/even moduli, `mod_mul_batch` ≡ per-call prepared `mod_mul`
+    /// ≡ the direct-engine oracle. Operands are *not* pre-reduced, so
+    /// canonicalisation inside the prepared paths is exercised too.
+    #[test]
+    fn prepared_batch_equals_per_call_equals_oracle(batch in batch_input(3)) {
+        let (pairs, p) = batch;
+        let oracle = DirectEngine::new().prepare(&p).expect("non-zero modulus");
+        for engine in all_engines() {
+            let prep = match engine.prepare(&p) {
+                Ok(prep) => prep,
+                Err(ModMulError::EvenModulus) => {
+                    prop_assert!(p.is_even(), "{} refused an odd modulus", engine.name());
+                    continue;
+                }
+                Err(e) => panic!("{} unexpected error {e}", engine.name()),
+            };
+            prop_assert_eq!(prep.modulus(), &p);
+            let batch = prep.mod_mul_batch(&pairs).expect("prepared context");
+            prop_assert_eq!(batch.len(), pairs.len());
+            for ((a, b), got) in pairs.iter().zip(&batch) {
+                let want = oracle.mod_mul(a, b).expect("oracle");
+                prop_assert_eq!(got, &want, "{} batch diverged", engine.name());
+                prop_assert_eq!(
+                    &prep.mod_mul(a, b).expect("prepared context"),
+                    &want,
+                    "{} per-call diverged",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Random unreduced operand pairs plus a modulus that is even half the
+/// time (drawn unconstrained from limbs).
+fn batch_input(limbs: usize) -> impl Strategy<Value = (Vec<(UBig, UBig)>, UBig)> {
+    (
+        prop::collection::vec(
+            (
+                prop::collection::vec(any::<u64>(), limbs),
+                prop::collection::vec(any::<u64>(), limbs),
+            ),
+            0..6,
+        ),
+        prop::collection::vec(any::<u64>(), limbs),
+    )
+        .prop_map(|(raw_pairs, p)| {
+            let mut p = UBig::from_limbs(p);
+            if p.is_zero() {
+                p = UBig::from(4u64);
+            }
+            let pairs = raw_pairs
+                .into_iter()
+                .map(|(a, b)| (UBig::from_limbs(a), UBig::from_limbs(b)))
+                .collect();
+            (pairs, p)
+        })
 }
 
 fn engines_agree(a: &UBig, b: &UBig, p: &UBig) {
@@ -106,7 +165,6 @@ fn engines_agree(a: &UBig, b: &UBig, p: &UBig) {
 /// across widths — the data behind the `lut_usage` experiment.
 #[test]
 fn lut_overflow_index_bounds_sweep() {
-    use modsram_modmul::ModMulEngine;
     let mut engine = R4CsaLutEngine::new();
     let mut x = 0x853c_49e6_748f_ea9bu64;
     let mut next = || {

@@ -59,7 +59,10 @@ impl AreaBreakdown {
 
     /// A component's share of the total (0..1).
     pub fn share(&self, c: Component) -> f64 {
-        let idx = Component::all().iter().position(|&x| x == c).expect("known");
+        let idx = Component::all()
+            .iter()
+            .position(|&x| x == c)
+            .expect("known");
         self.component_um2[idx] / self.total_um2()
     }
 }
@@ -110,7 +113,8 @@ impl AreaModel {
         // Logic-SA: 3 SAs per read bitline + column mux + precharge +
         // write drivers (§4.2: "SAs constitute most of the area in the
         // in-memory circuits, the MUX as two transistors negligible").
-        let imc = cols * (3.0 * d.sense_amp + d.mux2 + d.precharge_per_col + d.write_driver_per_col);
+        let imc =
+            cols * (3.0 * d.sense_amp + d.mux2 + d.precharge_per_col + d.write_driver_per_col);
 
         // Decoders: three RWL decoders (three simultaneous rows) + one
         // WWL decoder, each with per-row drivers.
@@ -195,11 +199,7 @@ mod tests {
     fn overhead_matches_section_5_3() {
         // Paper: "only 32% area overhead".
         let overhead = AreaModel::modsram_default().overhead_vs_plain();
-        assert!(
-            (overhead - 0.32).abs() < 0.04,
-            "overhead {:.3}",
-            overhead
-        );
+        assert!((overhead - 0.32).abs() < 0.04, "overhead {:.3}", overhead);
     }
 
     #[test]

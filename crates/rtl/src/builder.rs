@@ -76,7 +76,9 @@ impl NetlistBuilder {
     /// Declares a little-endian bus of `width` primary inputs named
     /// `name0, name1, ...`.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}{i}"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}{i}")))
+            .collect()
     }
 
     /// A constant 0/1 tie cell.

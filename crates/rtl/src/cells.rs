@@ -79,7 +79,12 @@ impl CellKind {
     ///
     /// Panics if `pins.len() != self.arity()`.
     pub fn evaluate(self, pins: &[bool]) -> bool {
-        assert_eq!(pins.len(), self.arity(), "{self} expects {} pins", self.arity());
+        assert_eq!(
+            pins.len(),
+            self.arity(),
+            "{self} expects {} pins",
+            self.arity()
+        );
         match self {
             CellKind::Buf => pins[0],
             CellKind::Not => !pins[0],
@@ -130,7 +135,10 @@ impl CellLibrary {
     }
 
     fn idx(kind: CellKind) -> usize {
-        CellKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+        CellKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL")
     }
 
     /// Propagation delay of one cell, ps.

@@ -306,11 +306,7 @@ mod tests {
                 pending != 0,
             ];
             let out = nl.evaluate(&inputs);
-            let got: u8 = out
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| (b as u8) << i)
-                .sum();
+            let got: u8 = out.iter().enumerate().map(|(i, &b)| (b as u8) << i).sum();
             // Same formula as `modsram_core::Nmc::take_overflow_index`.
             let want = ov_sum + ov_carry + msb + 4 * pending;
             assert_eq!(got, want, "bits {bits:06b}");

@@ -30,7 +30,11 @@ pub struct Counterexample {
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let bits = |v: &[bool]| v.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+        let bits = |v: &[bool]| {
+            v.iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect::<String>()
+        };
         write!(
             f,
             "inputs {} → netlist {} ≠ reference {}",
@@ -168,8 +172,7 @@ mod tests {
 
     #[test]
     fn inequivalent_yields_counterexample() {
-        let err = check_equiv(&xor_netlist(), |i| vec![i[0] & i[1]])
-            .expect_err("xor is not and");
+        let err = check_equiv(&xor_netlist(), |i| vec![i[0] & i[1]]).expect_err("xor is not and");
         // First disagreement in counting order: pattern 01.
         assert_eq!(err.inputs, vec![true, false]);
         assert_eq!(err.netlist_outputs, vec![true]);

@@ -123,7 +123,14 @@ pub fn controller_fsm() -> SeqCircuit {
         b.output(*name, net);
     }
     for (i, next) in [
-        n_idle, n_fetch, n_act_r4, n_wb_sum1, n_wb_carry1, n_act_ov, n_wb_sum2, n_wb_carry2,
+        n_idle,
+        n_fetch,
+        n_act_r4,
+        n_wb_sum1,
+        n_wb_carry1,
+        n_act_ov,
+        n_wb_sum2,
+        n_wb_carry2,
     ]
     .into_iter()
     .enumerate()
@@ -270,7 +277,14 @@ pub fn sequencer(k_bits: usize) -> SeqCircuit {
         b.output(*name, net);
     }
     for (i, next) in [
-        n_idle, n_fetch, n_act_r4, n_wb_sum1, n_wb_carry1, n_act_ov, n_wb_sum2, n_wb_carry2,
+        n_idle,
+        n_fetch,
+        n_act_r4,
+        n_wb_sum1,
+        n_wb_carry1,
+        n_act_ov,
+        n_wb_sum2,
+        n_wb_carry2,
     ]
     .into_iter()
     .enumerate()
@@ -504,7 +518,11 @@ mod tests {
             let carries = trace.iter().filter(|s| s.wb_carry).count();
             assert_eq!(acts, 2 * k, "activations at k={k}");
             assert_eq!(sums, 2 * k, "sum write-backs at k={k}");
-            assert_eq!(carries, 2 * (k.saturating_sub(1)), "carry write-backs at k={k}");
+            assert_eq!(
+                carries,
+                2 * (k.saturating_sub(1)),
+                "carry write-backs at k={k}"
+            );
         }
     }
 }

@@ -132,12 +132,12 @@ impl Netlist {
     /// Iterates over `(output_net, cell_kind, fanin_nets)` for every
     /// logic cell, in topological order.
     pub fn cells(&self) -> impl Iterator<Item = (NetId, CellKind, &[NetId])> + '_ {
-        self.topo.iter().filter_map(move |&id| {
-            match &self.drivers[id.index()] {
+        self.topo
+            .iter()
+            .filter_map(move |&id| match &self.drivers[id.index()] {
                 Driver::Cell(kind, fanins) => Some((id, *kind, fanins.as_slice())),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// The declared name of a net, if it has one.
@@ -204,11 +204,7 @@ impl Netlist {
         let mut depth = vec![0usize; self.drivers.len()];
         for &id in &self.topo {
             if let Driver::Cell(_, fanins) = &self.drivers[id.index()] {
-                depth[id.index()] = 1 + fanins
-                    .iter()
-                    .map(|f| depth[f.index()])
-                    .max()
-                    .unwrap_or(0);
+                depth[id.index()] = 1 + fanins.iter().map(|f| depth[f.index()]).max().unwrap_or(0);
             }
         }
         self.outputs

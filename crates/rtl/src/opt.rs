@@ -101,10 +101,7 @@ pub fn optimize(netlist: &Netlist) -> (Netlist, OptStats) {
             Driver::Input(_) => continue, // already mapped
             Driver::Const(c) => Value::Const(*c),
             Driver::Cell(kind, fanins) => {
-                let vals: Vec<Value> = fanins
-                    .iter()
-                    .map(|f| values[f].to_owned())
-                    .collect();
+                let vals: Vec<Value> = fanins.iter().map(|f| values[f].to_owned()).collect();
                 match fold(*kind, &vals) {
                     Folded::Const(c) => {
                         stats.folded += 1;
@@ -167,7 +164,11 @@ pub fn optimize(netlist: &Netlist) -> (Netlist, OptStats) {
     // a reachability sweep to count true liveness; rebuild if it helps.
     let first = b.finish();
     let (live, second) = sweep_dead(&first);
-    let final_nl = if live < stats.cells_after { second } else { first };
+    let final_nl = if live < stats.cells_after {
+        second
+    } else {
+        first
+    };
     stats.cells_after = final_nl.cell_count();
     (final_nl, stats)
 }

@@ -66,16 +66,16 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
 
     for &id in &netlist.topo {
         if let Driver::Cell(kind, fanins) = &netlist.drivers[id.index()] {
-            let (worst_in, worst_t) = fanins
-                .iter()
-                .map(|f| (*f, arrival[f.index()]))
-                .fold((fanins[0], f64::NEG_INFINITY), |acc, cur| {
+            let (worst_in, worst_t) = fanins.iter().map(|f| (*f, arrival[f.index()])).fold(
+                (fanins[0], f64::NEG_INFINITY),
+                |acc, cur| {
                     if cur.1 > acc.1 {
                         cur
                     } else {
                         acc
                     }
-                });
+                },
+            );
             arrival[id.index()] = worst_t.max(0.0) + lib.delay_ps(*kind);
             pred[id.index()] = Some(worst_in);
         }

@@ -101,8 +101,7 @@ pub fn emit_module(netlist: &Netlist) -> String {
                 let _ = writeln!(s, "  assign {out} = {sel} ? {b} : {a};");
             }
             _ => {
-                let pins: Vec<String> =
-                    fanins.iter().map(|&f| net_ref(netlist, f)).collect();
+                let pins: Vec<String> = fanins.iter().map(|&f| net_ref(netlist, f)).collect();
                 let _ = writeln!(
                     s,
                     "  {} g{instance} ({out}, {});",
@@ -292,12 +291,7 @@ pub fn emit_testbench(netlist: &Netlist, vectors: &[TestVector]) -> String {
     let _ = writeln!(s, "  initial begin");
     let _ = writeln!(s, "    errors = 0;");
     for v in vectors {
-        let _ = writeln!(
-            s,
-            "    stim = {}'b{}; #1;",
-            n_in,
-            bits_literal(&v.inputs)
-        );
+        let _ = writeln!(s, "    stim = {}'b{}; #1;", n_in, bits_literal(&v.inputs));
         let _ = writeln!(
             s,
             "    if (resp !== {}'b{}) begin errors = errors + 1; $display(\"MISMATCH stim=%b resp=%b\", stim, resp); end",

@@ -196,7 +196,13 @@ fn fsm_strobes_match_behavioural_trace() {
                 beh.micro_op.starts_with("write back sum"),
                 beh.micro_op.starts_with("write back carry"),
             );
-            let got = (gate.fetch_en, gate.act_r4, gate.act_ov, gate.wb_sum, gate.wb_carry);
+            let got = (
+                gate.fetch_en,
+                gate.act_r4,
+                gate.act_ov,
+                gate.wb_sum,
+                gate.wb_carry,
+            );
             assert_eq!(got, want, "cycle {cycle} a={a:#x}: {}", beh.micro_op);
         }
     }

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// Little-endian bus value.
 fn bus_value(bits: &[bool]) -> u64 {
-    bits.iter()
-        .enumerate()
-        .map(|(i, &b)| (b as u64) << i)
-        .sum()
+    bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
 }
 
 proptest! {

@@ -285,10 +285,7 @@ impl SramArray {
         self.stats.activations += 1;
         self.stats.wl_pulses += rows.len() as u64;
         self.stats.sa_fires += 3 * self.config.cols as u64;
-        self.stats.energy_pj += self
-            .config
-            .energy
-            .activate_pj(self.config.cols, rows.len());
+        self.stats.energy_pj += self.config.energy.activate_pj(self.config.cols, rows.len());
         self.record(OpKind::Activate, rows.to_vec());
         out
     }

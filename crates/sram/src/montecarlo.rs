@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(points[0].failures, 0, "ideal sensing never fails");
         assert_eq!(points[1].failures, 0, "5% of a level is comfortably safe");
         assert!(points[3].failure_rate() > points[2].failure_rate() * 0.5);
-        assert!(points[3].failure_rate() > 0.9, "σ=1 breaks almost every 64-col read");
+        assert!(
+            points[3].failure_rate() > 0.9,
+            "σ=1 breaks almost every 64-col read"
+        );
     }
 
     #[test]

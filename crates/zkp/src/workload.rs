@@ -110,7 +110,9 @@ pub fn msm_workload(log_n: usize, preset: MsmPreset) -> WorkloadCounts {
         points.push(curve.to_affine(&cur));
         cur = curve.add(&cur, &g);
     }
-    let scalars: Vec<UBig> = (0..n).map(|_| ubig_below(&mut rng, curve.order())).collect();
+    let scalars: Vec<UBig> = (0..n)
+        .map(|_| ubig_below(&mut rng, curve.order()))
+        .collect();
 
     let window = match preset {
         MsmPreset::Auto => modsram_ecc::msm::optimal_window(n),

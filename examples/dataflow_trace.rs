@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", snap.render(6));
     }
     println!("\nresult  : {c} (= 21*18 mod 24 = 18)");
-    println!("cycles  : {} (= 6*3 - 1 for three radix-4 digits)", stats.cycles);
+    println!(
+        "cycles  : {} (= 6*3 - 1 for three radix-4 digits)",
+        stats.cycles
+    );
     println!("max ov  : {}", stats.max_ov_index);
     assert_eq!(c, UBig::from(18u64));
     Ok(())

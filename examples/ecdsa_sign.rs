@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mul_scalar_wnaf(&curve, &curve.generator(), &sig.s); // one k*G-scale op
     let muls_per_scalar_mul = curve.ctx().counts().mul;
     let cycles = R4CsaLutEngine::new().cycles(256);
-    println!(
-        "\none 256-bit scalar multiplication ≈ {muls_per_scalar_mul} field multiplications;"
-    );
+    println!("\none 256-bit scalar multiplication ≈ {muls_per_scalar_mul} field multiplications;");
     println!(
         "on ModSRAM that is {muls_per_scalar_mul} × {cycles} cycles ≈ {:.2} ms at 420 MHz —",
         muls_per_scalar_mul as f64 * cycles as f64 / 420e6 * 1e3

@@ -41,7 +41,9 @@ fn main() {
 
     println!("\nexperiment 2: 8T cells, same disturb knob");
     match run_once(CellKind::EightT, 0.02, 0.0, 7) {
-        Ok(()) => println!("  clean run — the decoupled read port is immune (the §4.2 design point)"),
+        Ok(()) => {
+            println!("  clean run — the decoupled read port is immune (the §4.2 design point)")
+        }
         Err(e) => println!("  UNEXPECTED failure: {e}"),
     }
 

@@ -48,16 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same executor scales to the paper's 256-bit target; the
     // compiled schedule reproduces Table 3's 767 cycles.
-    let p256 = UBig::from_hex(
-        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-    )?;
+    let p256 = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")?;
     let mut wide = ModSram::for_modulus(&p256)?;
     wide.load_multiplicand(&UBig::from_hex(
         "0fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321",
     )?)?;
-    let a256 = UBig::from_hex(
-        "7234567812345678123456781234567812345678123456781234567812345678",
-    )?;
+    let a256 = UBig::from_hex("7234567812345678123456781234567812345678123456781234567812345678")?;
     let (_, wide_stats) = exec.run_mod_mul(&mut wide, &a256)?;
     println!(
         "\n256-bit run: {} cycles on a {}-op program (paper: 767)",

@@ -1,5 +1,5 @@
-//! Quickstart: multiply two 256-bit numbers inside the simulated
-//! ModSRAM macro and inspect the run statistics.
+//! Quickstart: the prepare/execute engine API, then the same
+//! multiplication cycle-accurately inside the simulated ModSRAM macro.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -7,33 +7,58 @@
 
 use modsram::arch::ModSram;
 use modsram::bigint::UBig;
+use modsram::modmul::{ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The secp256k1 field prime — a 256-bit modulus, the paper's target.
-    let p = UBig::from_hex(
-        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-    )?;
+    let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")?;
 
-    // Build the device (64x256 8T array) and load the modulus; this
-    // fills the Table 2 overflow LUT wordlines once.
-    let mut device = ModSram::for_modulus(&p)?;
+    let a = UBig::from_hex("7234567812345678123456781234567812345678123456781234567812345678")?;
+    let b = UBig::from_hex("0fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321")?;
 
-    let a = UBig::from_hex(
-        "7234567812345678123456781234567812345678123456781234567812345678",
-    )?;
-    let b = UBig::from_hex(
-        "0fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321",
-    )?;
+    // ---- Phase 1: prepare -------------------------------------------------
+    // All per-modulus precomputation happens once. The returned context
+    // is immutable and Send + Sync: one context per prime serves any
+    // number of threads.
+    let ctx = R4CsaLutEngine::new().prepare(&p)?;
 
-    // One in-SRAM modular multiplication, cycle-accurately simulated and
-    // verified in lock-step against the word-level functional model.
-    let (c, stats) = device.mod_mul(&a, &b)?;
-
+    // ---- Phase 2: execute -------------------------------------------------
+    let c = ctx.mod_mul(&a, &b)?;
     println!("A           = 0x{}", a.to_hex());
     println!("B           = 0x{}", b.to_hex());
     println!("A*B mod p   = 0x{}", c.to_hex());
     assert_eq!(c, &(&a * &b) % &p, "must match big-integer arithmetic");
 
+    // Streams go through the batch entry point, which hoists the
+    // per-call overhead; results are identical.
+    let pairs: Vec<(UBig, UBig)> = (1u64..=4)
+        .map(|i| (&(&a >> i as usize) + &UBig::from(i), b.clone()))
+        .collect();
+    let batch = ctx.mod_mul_batch(&pairs)?;
+    for ((x, y), got) in pairs.iter().zip(&batch) {
+        assert_eq!(got, &(&(x * y) % &p));
+    }
+    println!("\nbatch of {} through the same context: ok", batch.len());
+
+    // Montgomery amortisation, the reason the API is split: the R²/−p⁻¹
+    // constants are computed once, so the context multiplies in two REDC
+    // passes instead of the four the per-call engine spells out.
+    let mont = MontgomeryEngine::new().prepare(&p)?;
+    assert_eq!(mont.mod_mul(&a, &b)?, c);
+    println!("montgomery context agrees: ok");
+
+    // ---- The accelerator as a prepared context ---------------------------
+    // The cycle-accurate device offers the same two-phase shape; its
+    // context holds a modulus-loaded 64x256 8T macro (Table 2 wordlines
+    // written once — the paper's §3.2 data-reuse claim).
+    let device_ctx = ModSram::for_modulus(&p)?.prepare(&p)?;
+    assert_eq!(device_ctx.mod_mul(&a, &b)?, c);
+    println!("prepared ModSRAM device agrees: ok");
+
+    // For run statistics, drive the device directly.
+    let mut device = ModSram::for_modulus(&p)?;
+    let (c2, stats) = device.mod_mul(&a, &b)?;
+    assert_eq!(c2, c);
     println!("\nrun statistics:");
     println!("  cycles           : {} (paper Table 3: 767)", stats.cycles);
     println!("  iterations       : {} radix-4 digits", stats.iterations);
@@ -41,16 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  SRAM row writes  : {}", stats.row_writes);
     println!("  register writes  : {}", stats.register_writes);
     println!("  energy (modelled): {:.1} pJ", stats.energy_pj);
-    println!(
-        "  latency @420 MHz : {:.2} us",
-        stats.latency_us(420.0)
-    );
+    println!("  latency @420 MHz : {:.2} us", stats.latency_us(420.0));
 
     // The LUTs are reused while B and p stay the same (the paper's
     // data-reuse claim): a second multiplication does no precompute.
     let before = device.precompute_total.clone();
     let (_, stats2) = device.mod_mul(&UBig::from(12345u64), &b)?;
     assert_eq!(device.precompute_total, before);
-    println!("\nsecond multiply reused the LUTs: {} cycles", stats2.cycles);
+    println!(
+        "\nsecond multiply reused the LUTs: {} cycles",
+        stats2.cycles
+    );
     Ok(())
 }

@@ -21,8 +21,14 @@ fn main() {
         println!("{} (n = 2^{log_n}):", w.name);
         println!("  modular multiplications : {:>12}  (measured)", w.modmuls);
         println!("  modular additions       : {:>12}  (measured)", w.modadds);
-        println!("  memory accesses         : {:>12}  (64-bit datapath model)", w.mem_accesses);
-        println!("  register writes         : {:>12}  (64-bit datapath model)", w.reg_writes);
+        println!(
+            "  memory accesses         : {:>12}  (64-bit datapath model)",
+            w.mem_accesses
+        );
+        println!(
+            "  register writes         : {:>12}  (64-bit datapath model)",
+            w.reg_writes
+        );
         let saved = w.modmuls * arch.reg_writes_per_modmul(w.bits);
         println!(
             "  -> in-SRAM execution avoids {saved} of those register writes\n     ({} per multiplication stay in the array as sum/carry rows)",

@@ -23,6 +23,32 @@
 //!
 //! # Quickstart
 //!
+//! Engines follow a **prepare/execute** split: all per-modulus
+//! precomputation (Montgomery `R²`/`−p⁻¹`, Barrett `µ`, R4CSA LUT rows)
+//! happens once in `prepare`, and the returned context is immutable and
+//! `Send + Sync`, so one context per modulus serves any number of
+//! threads — the fixed-prime, high-volume shape of ZKP/ECC workloads.
+//!
+//! ```
+//! use modsram::bigint::UBig;
+//! use modsram::modmul::{ModMulEngine, R4CsaLutEngine};
+//!
+//! let p = UBig::from(97u64);
+//! // Phase 1: pay the per-modulus precompute once.
+//! let ctx = R4CsaLutEngine::new().prepare(&p).unwrap();
+//! // Phase 2: the immutable hot path — per call or batched.
+//! let c = ctx.mod_mul(&UBig::from(55u64), &UBig::from(44u64)).unwrap();
+//! assert_eq!(c, UBig::from((55u64 * 44) % 97));
+//! let batch = ctx
+//!     .mod_mul_batch(&[(UBig::from(6u64), UBig::from(7u64)), (UBig::from(8u64), UBig::from(9u64))])
+//!     .unwrap();
+//! assert_eq!(batch, vec![UBig::from(42u64), UBig::from(72u64)]);
+//! ```
+//!
+//! The cycle-accurate accelerator exposes the same two-phase API (its
+//! prepared context holds a modulus-loaded device), alongside the
+//! stats-returning device methods:
+//!
 //! ```
 //! use modsram::arch::ModSram;
 //! use modsram::bigint::UBig;

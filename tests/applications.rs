@@ -18,8 +18,7 @@ fn secp_p() -> UBig {
 fn ecdsa_end_to_end_many_keys() {
     let mut rng = SmallRng::seed_from_u64(31);
     let order =
-        UBig::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
-            .unwrap();
+        UBig::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141").unwrap();
     for i in 0..3 {
         let d = ubig_below(&mut rng, &order);
         let Ok(sk) = SigningKey::new(&d) else {

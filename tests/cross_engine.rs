@@ -37,6 +37,43 @@ fn engines_and_device_agree_across_widths() {
 }
 
 #[test]
+fn prepared_contexts_agree_across_widths() {
+    // The same sweep through the prepare/execute API: every functional
+    // engine AND the prepared accelerator context, per-call and batch.
+    let mut rng = SmallRng::seed_from_u64(0xA12);
+    for bits in [8usize, 16, 64, 256] {
+        let p = random_odd_modulus(&mut rng, bits);
+        let pairs: Vec<(UBig, UBig)> = (0..4)
+            .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+            .collect();
+        let want: Vec<UBig> = pairs.iter().map(|(a, b)| &(a * b) % &p).collect();
+        for engine in all_engines() {
+            let prep = engine.prepare(&p).unwrap();
+            for ((a, b), want) in pairs.iter().zip(&want) {
+                assert_eq!(
+                    &prep.mod_mul(a, b).unwrap(),
+                    want,
+                    "{} prepared at {bits} bits",
+                    engine.name()
+                );
+            }
+            assert_eq!(
+                &prep.mod_mul_batch(&pairs).unwrap(),
+                &want,
+                "{} batch at {bits} bits",
+                engine.name()
+            );
+        }
+        let dev_ctx = ModSram::for_modulus(&p).unwrap().prepare(&p).unwrap();
+        assert_eq!(
+            &dev_ctx.mod_mul_batch(&pairs).unwrap(),
+            &want,
+            "modsram prepared context at {bits} bits"
+        );
+    }
+}
+
+#[test]
 fn even_moduli_only_montgomery_refuses() {
     let p = UBig::from(1000u64);
     let a = UBig::from(123u64);
@@ -70,16 +107,9 @@ fn device_engine_trait_in_generic_context() {
 #[test]
 fn boundary_operands() {
     // a or b ∈ {0, 1, p−1, p} at a production modulus.
-    let p = UBig::from_hex(
-        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-    )
-    .unwrap();
-    let cases = [
-        UBig::zero(),
-        UBig::one(),
-        &p - &UBig::one(),
-        p.clone(),
-    ];
+    let p =
+        UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap();
+    let cases = [UBig::zero(), UBig::one(), &p - &UBig::one(), p.clone()];
     let mut dev = ModSram::for_modulus(&p).unwrap();
     for a in &cases {
         for b in &cases {

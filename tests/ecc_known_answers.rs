@@ -4,9 +4,7 @@
 
 use modsram::arch::{ModSram, ModSramConfig};
 use modsram::bigint::UBig;
-use modsram::ecc::curves::{
-    bn254_fast, bn254_with_engine, secp256k1_fast, secp256k1_with_engine,
-};
+use modsram::ecc::curves::{bn254_fast, bn254_with_engine, secp256k1_fast, secp256k1_with_engine};
 use modsram::ecc::scalar::{mul_scalar, mul_scalar_wnaf};
 use modsram::ecc::FieldCtx;
 

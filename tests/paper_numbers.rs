@@ -69,7 +69,11 @@ fn section_5_4_mentt_infeasibility() {
 fn figure5_area_breakdown() {
     let model = AreaModel::modsram_default();
     let b = model.modsram_breakdown();
-    assert!((b.total_mm2() - 0.053).abs() < 0.003, "total {}", b.total_mm2());
+    assert!(
+        (b.total_mm2() - 0.053).abs() < 0.003,
+        "total {}",
+        b.total_mm2()
+    );
     assert!((b.share(Component::Array) - 0.67).abs() < 0.03);
     assert!((b.share(Component::InMemory) - 0.20).abs() < 0.03);
     assert!((b.share(Component::NearMemory) - 0.11).abs() < 0.03);
@@ -100,7 +104,10 @@ fn complexity_is_linear_o_n() {
     let c64 = e.cycles(64) as f64;
     let c256 = e.cycles(256) as f64;
     let ratio = c256 / c64;
-    assert!((ratio - 4.0).abs() < 0.1, "cycles must scale ~linearly, got {ratio}");
+    assert!(
+        (ratio - 4.0).abs() < 0.1,
+        "cycles must scale ~linearly, got {ratio}"
+    );
 }
 
 #[test]
@@ -124,7 +131,10 @@ fn gate_level_csa_is_constant_depth_ripple_is_not() {
     let csa_257 = timing::analyze(&circuits::carry_save_adder(257), &lib).critical_ps;
     assert_eq!(csa_8, csa_257, "CSA depth is width-independent");
     let ripple_257 = timing::analyze(&circuits::final_adder(257), &lib).critical_ps;
-    assert!(ripple_257 > 100.0 * csa_257, "the carry chain is the cost CSA removes");
+    assert!(
+        ripple_257 > 100.0 * csa_257,
+        "the carry chain is the cost CSA removes"
+    );
 }
 
 #[test]

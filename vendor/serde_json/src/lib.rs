@@ -1,0 +1,389 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! what the benchmark binaries use to emit artifacts: the [`Value`]
+//! tree, the [`json!`] constructor macro (object literals, nested
+//! objects, `null`, arrays, and arbitrary expressions convertible via
+//! [`Value::from`]), and [`to_string_pretty`]. There is no
+//! deserialisation and no serde integration — artifacts are write-only.
+
+use std::fmt;
+
+/// A JSON document tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialised without a decimal point).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialisation errors. The shim's writer is total, so this is never
+/// produced; it exists so call sites can keep `.expect(...)`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate's signature shapes.
+pub type Result<T> = std::result::Result<T, Error>;
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i128)
+            }
+        }
+
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Int(*v as i128)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Float(v as f64)
+            }
+        }
+
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Float(*v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_float!(f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Value::from)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: whole floats keep a trailing `.0`.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                out.push('"');
+                escape_into(out, k);
+                out.push_str(if pretty { "\": " } else { "\":" });
+                write_value(out, val, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises with two-space indentation.
+pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.clone().into(), 0, true);
+    Ok(out)
+}
+
+/// Serialises compactly.
+pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.clone().into(), 0, false);
+    Ok(out)
+}
+
+#[doc(hidden)]
+pub fn __collect<T>(fill: impl FnOnce(&mut Vec<T>)) -> Vec<T> {
+    let mut items = Vec::new();
+    fill(&mut items);
+    items
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax: `null`, `[..]` arrays,
+/// `{"key": value}` objects (values may be nested literals or arbitrary
+/// expressions), or any expression with a `Value::from` conversion.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::__collect(|array| {
+            $crate::json_internal!(@array array $($tt)*);
+        }))
+    };
+    ({ $($tt:tt)* }) => {
+        $crate::Value::Object($crate::__collect(|object| {
+            $crate::json_internal!(@object object $($tt)*);
+        }))
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Recursive munchers behind [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- objects -------------------------------------------------------
+    (@object $obj:ident) => {};
+    (@object $obj:ident ,) => {};
+    (@object $obj:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_internal!(@object $obj $($($rest)*)?);
+    };
+    (@object $obj:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_internal!(@object $obj $($($rest)*)?);
+    };
+    (@object $obj:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_internal!(@object $obj $($($rest)*)?);
+    };
+    (@object $obj:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@objval $obj $key [] $($rest)*);
+    };
+    // Accumulate value tokens until a top-level comma (commas nested in
+    // groups are single token trees and never match here).
+    (@objval $obj:ident $key:literal [$($val:tt)*] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::from($($val)*)));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@objval $obj:ident $key:literal [$($val:tt)*]) => {
+        $obj.push(($key.to_string(), $crate::Value::from($($val)*)));
+    };
+    (@objval $obj:ident $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objval $obj $key [$($val)* $next] $($rest)*);
+    };
+    // ---- arrays --------------------------------------------------------
+    (@array $arr:ident) => {};
+    (@array $arr:ident ,) => {};
+    (@array $arr:ident null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident $($rest:tt)*) => {
+        $crate::json_internal!(@arrval $arr [] $($rest)*);
+    };
+    (@arrval $arr:ident [$($val:tt)*] , $($rest:tt)*) => {
+        $arr.push($crate::Value::from($($val)*));
+        $crate::json_internal!(@array $arr $($rest)*);
+    };
+    (@arrval $arr:ident [$($val:tt)*]) => {
+        $arr.push($crate::Value::from($($val)*));
+    };
+    (@arrval $arr:ident [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@arrval $arr [$($val)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_literals_nest() {
+        let inner = vec![json!({ "x": 1u64 }), json!({ "x": 2u64 })];
+        let v = json!({
+            "name": "modsram",
+            "nested": { "pi": 3.5, "ok": true },
+            "items": inner.clone(),
+            "none": null,
+        });
+        let Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0].1, Value::String("modsram".into()));
+        assert_eq!(
+            fields[1].1,
+            Value::Object(vec![
+                ("pi".into(), Value::Float(3.5)),
+                ("ok".into(), Value::Bool(true)),
+            ])
+        );
+        assert_eq!(fields[2].1, Value::from(inner));
+        assert_eq!(fields[3].1, Value::Null);
+    }
+
+    #[test]
+    fn exprs_with_commas_in_groups() {
+        let data = [1u64, 2, 3];
+        let v = json!({
+            "sum": data.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
+            "len": data.len(),
+        });
+        assert_eq!(to_string(&v).unwrap(), r#"{"sum":6,"len":3}"#);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({ "a": 1u64, "b": [1u64, 2u64] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("\n}"));
+    }
+
+    #[test]
+    fn float_formatting_keeps_point() {
+        assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&Value::Float(2.25)).unwrap(), "2.25");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+}
