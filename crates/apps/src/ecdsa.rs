@@ -10,11 +10,12 @@ use core::fmt;
 use std::sync::Arc;
 
 use modsram_bigint::{mod_inv, UBig};
+use modsram_core::dispatch::{ContextPool, Dispatcher};
 use modsram_ecc::curve::Curve;
-use modsram_ecc::curves::secp256k1_fast;
+use modsram_ecc::curves::{secp256k1_fast, secp256k1_with_pool, SECP256K1_N};
 use modsram_ecc::scalar::{mul_double_scalar, mul_scalar_wnaf};
 use modsram_ecc::{FieldCtx, Fp256Ctx};
-use modsram_modmul::{DirectEngine, ModMulEngine, PreparedModMul};
+use modsram_modmul::{DirectEngine, ModMulEngine, ModMulError, PreparedModMul};
 
 use crate::sha256::sha256;
 
@@ -240,27 +241,108 @@ impl VerifyingKey {
     /// [`EcdsaError::InvalidSignature`] for out-of-range `r`/`s`; a
     /// well-formed but wrong signature returns `Ok(false)`.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<bool, EcdsaError> {
-        let n = self.curve.order().clone();
-        if sig.r.is_zero() || sig.r >= n || sig.s.is_zero() || sig.s >= n {
-            return Err(EcdsaError::InvalidSignature);
-        }
-        let z = message_scalar(msg, &n);
-        let w = mod_inv(&sig.s, &n).expect("prime order");
-        let u1 = self.scalar.mod_mul(&z, &w).expect("prepared for n");
-        let u2 = self.scalar.mod_mul(&sig.r, &w).expect("prepared for n");
-        let q = self.curve.from_affine(&modsram_ecc::Affine {
-            x: self.curve.ctx().from_ubig(&self.x),
-            y: self.curve.ctx().from_ubig(&self.y),
-            infinity: false,
-        });
-        // u1·G + u2·Q in one shared pass (Shamir's trick).
-        let point = mul_double_scalar(&self.curve, &self.curve.generator(), &u1, &q, &u2);
-        if self.curve.is_identity(&point) {
-            return Ok(false);
-        }
-        let aff = self.curve.to_affine(&point);
-        Ok(&self.curve.ctx().to_ubig(&aff.x) % &n == sig.r)
+        verify_parts(
+            &self.curve,
+            self.scalar.as_ref(),
+            &self.x,
+            &self.y,
+            msg,
+            sig,
+        )
     }
+}
+
+/// The verification equation over any field backend: assumes `(x, y)`
+/// was already validated as an on-curve, non-identity point.
+fn verify_parts<C: FieldCtx>(
+    curve: &Curve<C>,
+    scalar: &dyn PreparedModMul,
+    x: &UBig,
+    y: &UBig,
+    msg: &[u8],
+    sig: &Signature,
+) -> Result<bool, EcdsaError> {
+    let n = curve.order().clone();
+    if sig.r.is_zero() || sig.r >= n || sig.s.is_zero() || sig.s >= n {
+        return Err(EcdsaError::InvalidSignature);
+    }
+    let z = message_scalar(msg, &n);
+    let w = mod_inv(&sig.s, &n).expect("prime order");
+    let u1 = scalar.mod_mul(&z, &w).expect("prepared for n");
+    let u2 = scalar.mod_mul(&sig.r, &w).expect("prepared for n");
+    let q = curve.from_affine(&modsram_ecc::Affine {
+        x: curve.ctx().from_ubig(x),
+        y: curve.ctx().from_ubig(y),
+        infinity: false,
+    });
+    // u1·G + u2·Q in one shared pass (Shamir's trick).
+    let point = mul_double_scalar(curve, &curve.generator(), &u1, &q, &u2);
+    if curve.is_identity(&point) {
+        return Ok(false);
+    }
+    let aff = curve.to_affine(&point);
+    Ok(&curve.ctx().to_ubig(&aff.x) % &n == sig.r)
+}
+
+/// One request in a batch verification: raw public-key coordinates, the
+/// message, and the claimed signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRequest {
+    /// Public point affine x.
+    pub x: UBig,
+    /// Public point affine y.
+    pub y: UBig,
+    /// The signed message.
+    pub msg: Vec<u8>,
+    /// The signature to check.
+    pub sig: Signature,
+}
+
+/// Verifies a batch of independent signatures, fanned out over a
+/// [`Dispatcher`]'s workers with both secp256k1 moduli — the group
+/// order `n` (scalar arithmetic) and the field prime `p` (curve
+/// arithmetic) — resolved through one shared [`ContextPool`], so the
+/// per-modulus preparation is paid once for the whole batch.
+///
+/// Returns one verdict per request, in order: `Ok(true)`/`Ok(false)`
+/// for well-formed requests, `Err` for malformed keys or signatures.
+///
+/// # Errors
+///
+/// The outer `Err` is a pool preparation failure (e.g. a backend that
+/// rejects one of the curve moduli); per-request failures land in the
+/// inner results.
+pub fn verify_batch(
+    requests: &[VerifyRequest],
+    pool: &ContextPool,
+    dispatcher: &Dispatcher,
+) -> Result<Vec<Result<bool, EcdsaError>>, ModMulError> {
+    let n = UBig::from_hex(SECP256K1_N).expect("const");
+    let scalar = pool.context(&n)?;
+    // Warm the field-prime context so per-worker curve construction
+    // below cannot fail on a cold pool.
+    let _ = secp256k1_with_pool(pool)?;
+    let (verdicts, _) = dispatcher
+        .run_items(
+            requests.len(),
+            |_| secp256k1_with_pool(pool).expect("field context warmed above"),
+            |curve, i| {
+                let req = &requests[i];
+                let aff = modsram_ecc::Affine {
+                    x: curve.ctx().from_ubig(&req.x),
+                    y: curve.ctx().from_ubig(&req.y),
+                    infinity: false,
+                };
+                if !curve.is_on_curve(&aff) {
+                    return Ok(Err(EcdsaError::InvalidPublicKey));
+                }
+                Ok::<_, core::convert::Infallible>(verify_parts(
+                    curve, &*scalar, &req.x, &req.y, &req.msg, &req.sig,
+                ))
+            },
+        )
+        .expect("verification tasks are infallible");
+    Ok(verdicts)
 }
 
 /// Big-endian 32-byte encoding of a value < 2²⁵⁶.
@@ -355,6 +437,90 @@ mod tests {
             let vk = sk.verifying_key();
             let vk2 = VerifyingKey::with_scalar_engine(&vk.x, &vk.y, engine).unwrap();
             assert_eq!(vk2.verify(b"engine-agnostic", &sig), Ok(true));
+        }
+    }
+
+    #[test]
+    fn batch_verify_over_shared_pool() {
+        let sk1 = key();
+        let sk2 = SigningKey::new(&UBig::from(987_654_321u64)).unwrap();
+        let (vk1, vk2) = (sk1.verifying_key(), sk2.verifying_key());
+        let mut requests: Vec<VerifyRequest> = [
+            (&sk1, &vk1, b"first message".to_vec()),
+            (&sk2, &vk2, b"second message".to_vec()),
+            (&sk1, &vk1, b"third message".to_vec()),
+        ]
+        .iter()
+        .map(|(sk, vk, msg)| VerifyRequest {
+            x: vk.x.clone(),
+            y: vk.y.clone(),
+            msg: msg.clone(),
+            sig: sk.sign(msg),
+        })
+        .collect();
+        // A wrong-message request, a tampered signature, an off-curve
+        // key, and an out-of-range signature.
+        requests.push(VerifyRequest {
+            msg: b"not what was signed".to_vec(),
+            ..requests[0].clone()
+        });
+        let mut tampered = requests[1].clone();
+        tampered.sig.s = &tampered.sig.s + &UBig::one();
+        requests.push(tampered);
+        requests.push(VerifyRequest {
+            x: UBig::from(1u64),
+            y: UBig::from(1u64),
+            ..requests[0].clone()
+        });
+        requests.push(VerifyRequest {
+            sig: Signature {
+                r: UBig::zero(),
+                s: UBig::one(),
+            },
+            ..requests[0].clone()
+        });
+
+        let pool = modsram_core::ContextPool::for_engine_name("montgomery").unwrap();
+        for workers in [1usize, 4] {
+            let dispatcher = Dispatcher::new(workers);
+            let verdicts = verify_batch(&requests, &pool, &dispatcher).unwrap();
+            assert_eq!(
+                verdicts,
+                vec![
+                    Ok(true),
+                    Ok(true),
+                    Ok(true),
+                    Ok(false),
+                    Ok(false),
+                    Err(EcdsaError::InvalidPublicKey),
+                    Err(EcdsaError::InvalidSignature),
+                ],
+                "workers={workers}"
+            );
+        }
+        // The mixed-modulus pool holds exactly n and p.
+        assert_eq!(pool.len(), 2);
+        assert!(pool.hits() > 0, "the second dispatch reuses both contexts");
+    }
+
+    #[test]
+    fn batch_verify_agrees_with_per_key_verify() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![b'm', i]).collect();
+        let requests: Vec<VerifyRequest> = msgs
+            .iter()
+            .map(|m| VerifyRequest {
+                x: vk.x.clone(),
+                y: vk.y.clone(),
+                msg: m.clone(),
+                sig: sk.sign(m),
+            })
+            .collect();
+        let pool = modsram_core::ContextPool::for_engine_name("barrett").unwrap();
+        let verdicts = verify_batch(&requests, &pool, &Dispatcher::new(2)).unwrap();
+        for (req, verdict) in requests.iter().zip(&verdicts) {
+            assert_eq!(*verdict, vk.verify(&req.msg, &req.sig));
         }
     }
 

@@ -43,7 +43,7 @@ pub mod schnorr;
 pub mod sha256;
 
 pub use ecdh::EcdhKey;
-pub use ecdsa::{EcdsaError, Signature, SigningKey, VerifyingKey};
+pub use ecdsa::{verify_batch, EcdsaError, Signature, SigningKey, VerifyRequest, VerifyingKey};
 pub use ipa::{IpaParams, IpaProof};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use modexp::modexp_on_device;

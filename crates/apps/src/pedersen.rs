@@ -7,12 +7,13 @@
 //! bases being unknown.
 
 use modsram_bigint::{ubig_below, UBig};
+use modsram_core::dispatch::ContextPool;
 use modsram_ecc::curve::{Affine, Curve, Jacobian};
-use modsram_ecc::curves::{bn254_fast, bn254_with_engine};
+use modsram_ecc::curves::{bn254_fast, bn254_with_engine, bn254_with_pool};
 use modsram_ecc::msm::msm;
 use modsram_ecc::scalar::mul_scalar_wnaf;
 use modsram_ecc::{DynCtx, FieldCtx, Fp256Ctx};
-use modsram_modmul::ModMulEngine;
+use modsram_modmul::{ModMulEngine, ModMulError};
 use rand::Rng;
 
 use crate::sha256::sha256;
@@ -49,6 +50,21 @@ impl PedersenCommitter<DynCtx> {
     /// goes through `engine`, prepared once for the BN254 base field.
     pub fn new_with_engine(size: usize, tag: &[u8], engine: Box<dyn ModMulEngine>) -> Self {
         Self::with_curve(bn254_with_engine(engine), size, tag)
+    }
+
+    /// As [`PedersenCommitter::new`], but the BN254 base-field context
+    /// is drawn from (and cached in) a shared [`ContextPool`], so
+    /// committers over several curves — or repeated construction — pay
+    /// the per-modulus preparation once. Pair with
+    /// [`PedersenCommitter::with_curve`] over e.g.
+    /// [`modsram_ecc::curves::p256_with_pool`] for a second curve on
+    /// the same pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's preparation error.
+    pub fn new_with_pool(size: usize, tag: &[u8], pool: &ContextPool) -> Result<Self, ModMulError> {
+        Ok(Self::with_curve(bn254_with_pool(pool)?, size, tag))
     }
 }
 
@@ -174,6 +190,36 @@ mod tests {
     #[should_panic(expected = "value count")]
     fn size_mismatch_panics() {
         committer().commit(&[UBig::one()], &UBig::one());
+    }
+
+    #[test]
+    fn pooled_committers_over_two_curves_share_preparations() {
+        use modsram_ecc::curves::p256_with_pool;
+
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let values: Vec<UBig> = [4u64, 8].map(UBig::from).to_vec();
+        let r = UBig::from(2024u64);
+
+        // BN254 committer through the pool matches the fast backend.
+        let fast = PedersenCommitter::new(2, b"modsram-pool");
+        let pooled = PedersenCommitter::new_with_pool(2, b"modsram-pool", &pool).unwrap();
+        let fast_affine = fast.curve().to_affine(&fast.commit(&values, &r));
+        let pooled_affine = pooled.curve().to_affine(&pooled.commit(&values, &r));
+        assert_eq!(
+            fast.curve().ctx().to_ubig(&fast_affine.x),
+            pooled.curve().ctx().to_ubig(&pooled_affine.x)
+        );
+        assert!(pooled.open(&pooled.commit(&values, &r), &values, &r));
+
+        // A second committer over a *different* curve rides the same
+        // pool; a second BN254 committer hits the cached context.
+        let p256 =
+            PedersenCommitter::with_curve(p256_with_pool(&pool).unwrap(), 2, b"modsram-pool-p256");
+        assert!(p256.open(&p256.commit(&values, &r), &values, &r));
+        assert_eq!(pool.len(), 2, "bn254 p and p256 p");
+        let misses_before = pool.misses();
+        let _again = PedersenCommitter::new_with_pool(2, b"modsram-pool", &pool).unwrap();
+        assert_eq!(pool.misses(), misses_before, "cached context reused");
     }
 
     #[test]

@@ -4,8 +4,9 @@ use std::time::Instant;
 
 use modsram_baselines::{BpNttModel, DataOrg, MenttModel};
 use modsram_bigint::{ubig_below, UBig};
-use modsram_core::{ModSram, ModSramConfig, RunStats};
-use modsram_modmul::{all_engines, CycleModel, LutOverflow, R4CsaLutEngine};
+use modsram_core::dispatch::{Dispatcher, StealPolicy};
+use modsram_core::{BankedModSram, ModSram, ModSramConfig, RunStats};
+use modsram_modmul::{all_engines, engine_by_name, CycleModel, LutOverflow, R4CsaLutEngine};
 use modsram_phys::{AreaModel, Component, FreqModel};
 use modsram_zkp::{figure7, MsmPreset, WorkloadCounts};
 use rand::rngs::SmallRng;
@@ -244,6 +245,174 @@ pub fn batch_throughput(bits: usize, pairs: usize, seed: u64) -> Vec<BatchThroug
         .collect()
 }
 
+/// Picks the sweep modulus for a bitwidth (shared by the batch and
+/// shard sweeps): the named 64/256-bit primes, else a full-width odd
+/// value.
+fn sweep_modulus(bits: usize) -> UBig {
+    match bits {
+        64 => UBig::from(0xffff_ffff_ffff_ffc5u64),
+        256 => UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .expect("const"),
+        _ => &UBig::pow2(bits) - &UBig::from(1u64),
+    }
+}
+
+/// One worker-count point of the engine sharding sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSweepRow {
+    /// Engine name from the registry.
+    pub engine: String,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Pairs dispatched per measurement.
+    pub pairs: usize,
+    /// Dispatcher workers.
+    pub workers: usize,
+    /// Host wall-clock per multiplication (work-stealing pass,
+    /// best of three) — tracks the modelled speedup only when the host
+    /// has at least `workers` idle cores.
+    pub wall_ns_per_mul: f64,
+    /// Wall-clock speedup vs the sweep's 1-worker row (or its first
+    /// row, when 1 worker was not swept).
+    pub wall_speedup: f64,
+    /// Modelled lane speedup (static-assignment pass): total per-worker
+    /// busy time over the busiest worker — what a tile with one
+    /// physical lane per worker achieves, host core count aside.
+    pub modelled_speedup: f64,
+    /// Chunks executed away from their seeded worker during the
+    /// work-stealing pass.
+    pub steals: u64,
+}
+
+/// Runs the engine sharding sweep: one shared prepared context, the
+/// batch dispatched across 1..n workers. Each worker count runs a
+/// work-stealing pass (wall clock, steals) and a static-assignment
+/// pass (deterministic modelled lane speedup), best of three each.
+///
+/// # Panics
+///
+/// Panics on an unknown engine name, on a modulus the engine rejects,
+/// or if any dispatched batch diverges from the direct oracle.
+pub fn shard_sweep(
+    engine: &str,
+    bits: usize,
+    pairs: usize,
+    workers_list: &[usize],
+    seed: u64,
+) -> Vec<ShardSweepRow> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = sweep_modulus(bits);
+    let operands: Vec<(UBig, UBig)> = (0..pairs)
+        .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+        .collect();
+    let ctx = engine_by_name(engine)
+        .unwrap_or_else(|| panic!("unknown engine '{engine}'"))
+        .prepare(&p)
+        .expect("engine accepts the sweep modulus");
+    let oracle: Vec<UBig> = operands.iter().map(|(a, b)| &(a * b) % &p).collect();
+
+    let mut rows = Vec::new();
+    for &workers in workers_list {
+        let mut best_wall = f64::INFINITY;
+        let mut steals = 0u64;
+        for _ in 0..3 {
+            let d = Dispatcher::new(workers);
+            let (results, stats) = d.dispatch(ctx.as_ref(), &operands).expect("prepared");
+            assert_eq!(results, oracle, "{engine}: dispatch diverged");
+            let wall = stats.elapsed_ns as f64 / pairs as f64;
+            if wall < best_wall {
+                best_wall = wall;
+                steals = stats.steals;
+            }
+        }
+        let mut modelled_speedup = 0.0f64;
+        for _ in 0..3 {
+            let d = Dispatcher::new(workers).policy(StealPolicy::Static);
+            let (results, stats) = d.dispatch(ctx.as_ref(), &operands).expect("prepared");
+            assert_eq!(results, oracle, "{engine}: static dispatch diverged");
+            modelled_speedup = modelled_speedup.max(stats.busy_speedup());
+        }
+        rows.push(ShardSweepRow {
+            engine: engine.to_string(),
+            bits,
+            pairs,
+            workers,
+            wall_ns_per_mul: best_wall,
+            wall_speedup: 1.0, // filled in below once the baseline row is known
+            modelled_speedup,
+            steals,
+        });
+    }
+    let wall_baseline = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .or(rows.first())
+        .map(|r| r.wall_ns_per_mul)
+        .unwrap_or(f64::NAN);
+    for row in &mut rows {
+        row.wall_speedup = wall_baseline / row.wall_ns_per_mul;
+    }
+    rows
+}
+
+/// One bank-count point of the cycle-accurate device sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSweepRow {
+    /// Banks in the tile.
+    pub banks: usize,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Pairs in the batch.
+    pub pairs: usize,
+    /// Busiest bank's cycles (multiplications + LUT refills).
+    pub makespan_cycles: u64,
+    /// Modelled speedup: summed per-bank cycles over the makespan.
+    pub speedup: f64,
+    /// Total array energy for the batch, picojoules.
+    pub energy_pj: f64,
+}
+
+/// Runs the banked-device sweep: the same batch on tiles of 1..n
+/// cycle-accurate macros, reporting the deterministic cycle-modelled
+/// speedup-vs-banks.
+///
+/// # Panics
+///
+/// Panics if a tile rejects the batch or diverges from the oracle.
+pub fn banked_shard_sweep(
+    bits: usize,
+    pairs: usize,
+    banks_list: &[usize],
+    seed: u64,
+) -> Vec<BankSweepRow> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = sweep_modulus(bits);
+    let operands: Vec<(UBig, UBig)> = (0..pairs)
+        .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
+        .collect();
+    let oracle: Vec<UBig> = operands.iter().map(|(a, b)| &(a * b) % &p).collect();
+    banks_list
+        .iter()
+        .map(|&banks| {
+            let config = ModSramConfig {
+                n_bits: bits,
+                ..Default::default()
+            };
+            let tile = BankedModSram::new(banks, config, &p).expect("valid tile");
+            let (results, stats) = tile.mod_mul_batch(&operands).expect("in-range batch");
+            assert_eq!(results, oracle, "banked tile diverged");
+            BankSweepRow {
+                banks,
+                bits,
+                pairs,
+                makespan_cycles: stats.makespan_cycles,
+                speedup: stats.speedup(),
+                energy_pj: stats.energy_pj,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +494,42 @@ mod tests {
                 "{name}: best batch-vs-per-call speedup over 3 sweeps was {speedup:.3}x"
             );
         }
+    }
+
+    #[test]
+    fn shard_sweep_small_run() {
+        let rows = shard_sweep("montgomery", 64, 32, &[1, 2], 5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workers, 1);
+        assert!((rows[0].wall_speedup - 1.0).abs() < 1e-9);
+        assert!(rows[0].modelled_speedup >= 0.99);
+        for row in &rows {
+            assert!(row.wall_ns_per_mul > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn shard_sweep_modelled_speedup_scales_with_workers() {
+        // The acceptance shape of the sharding refactor, in miniature:
+        // the static-assignment lane model must put roughly equal work
+        // on each worker, so the modelled speedup tracks the worker
+        // count even on a single-core host. The full 8-worker, 256-bit
+        // sweep is bin/shard's job.
+        let rows = shard_sweep("montgomery", 256, 96, &[1, 4], 9);
+        let at4 = rows.iter().find(|r| r.workers == 4).expect("swept");
+        assert!(
+            at4.modelled_speedup > 2.0,
+            "modelled speedup at 4 workers was {:.2}",
+            at4.modelled_speedup
+        );
+    }
+
+    #[test]
+    fn banked_sweep_speedup_tracks_banks() {
+        let rows = banked_shard_sweep(32, 16, &[1, 4], 13);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].speedup > 3.0, "speedup {:.2}", rows[1].speedup);
+        assert!(rows[1].makespan_cycles < rows[0].makespan_cycles);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub enum CoreError {
     NoMultiplicand,
     /// An algorithm-level error (zero modulus etc.).
     ModMul(ModMulError),
+    /// A bank/dispatch construction named an engine absent from the
+    /// registry.
+    UnknownEngine {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// A structurally invalid micro-program (see [`crate::isa`]).
     Program(crate::isa::ProgramError),
     /// Lock-step verification against the functional model diverged —
@@ -66,6 +72,9 @@ impl fmt::Display for CoreError {
             CoreError::NoModulus => write!(f, "no modulus loaded"),
             CoreError::NoMultiplicand => write!(f, "no multiplicand loaded"),
             CoreError::ModMul(e) => write!(f, "{e}"),
+            CoreError::UnknownEngine { name } => {
+                write!(f, "no engine named '{name}' in the registry")
+            }
             CoreError::Program(e) => write!(f, "{e}"),
             CoreError::ModelDivergence { iteration, what } => write!(
                 f,

@@ -23,6 +23,10 @@
 //!   unchanged — the paper's data-reuse claim), executes multiplications,
 //!   and optionally verifies every phase against the word-level
 //!   functional model from `modsram-modmul` in lock-step.
+//! * [`dispatch`] — the serving layer: a work-stealing
+//!   [`dispatch::Dispatcher`] over chunked batches, a per-modulus
+//!   [`dispatch::ContextPool`], and the cost-aware chunk planner that
+//!   [`BankedModSram`] seeds its banks with.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 
 pub mod bank;
 mod controller;
+pub mod dispatch;
 mod error;
 pub mod isa;
 mod memmap;
@@ -51,6 +56,7 @@ mod stats;
 pub mod trace;
 
 pub use bank::{BankedModSram, BatchStats};
+pub use dispatch::{ContextPool, DispatchStats, Dispatcher, MulJob, StealPolicy};
 pub use error::CoreError;
 pub use isa::{Executor, MicroOp, Program, ProgramError};
 pub use memmap::{MemoryMap, PointAddWorkingSet};

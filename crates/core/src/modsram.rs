@@ -76,6 +76,11 @@ pub struct ModSram {
     pub(crate) lutov: Option<LutOverflow>,
     /// Precompute statistics accumulated since construction.
     pub precompute_total: PrecomputeStats,
+    /// Multiplication cycles accumulated since construction (the sum of
+    /// every run's `RunStats::cycles`; together with
+    /// `precompute_total.cycles` this is the bank-busy metric the
+    /// multi-bank dispatcher aggregates).
+    pub run_cycles_total: u64,
     /// Statistics of the most recent multiplication.
     pub last_run: Option<RunStats>,
     /// Dataflow snapshots of the most recent run (when tracing).
@@ -117,6 +122,7 @@ impl ModSram {
             lut4: None,
             lutov: None,
             precompute_total: PrecomputeStats::default(),
+            run_cycles_total: 0,
             last_run: None,
             last_trace: Vec::new(),
         })
@@ -257,7 +263,11 @@ impl ModSram {
     /// multiplicand is loaded; [`CoreError::ModelDivergence`] when
     /// verification is on and fault injection corrupted the computation.
     pub fn mod_mul_loaded(&mut self, a: &UBig) -> Result<(UBig, RunStats), CoreError> {
-        controller::execute(self, a)
+        let outcome = controller::execute(self, a);
+        if let Ok((_, stats)) = &outcome {
+            self.run_cycles_total += stats.cycles;
+        }
+        outcome
     }
 
     /// Convenience: (re)loads `b` if needed, then multiplies. This is the
@@ -362,9 +372,36 @@ impl PreparedModSram {
         })
     }
 
+    /// Wraps an already-configured, modulus-loaded device. Unlike
+    /// [`PreparedModSram::new`] the device keeps its configured width,
+    /// so a tile of identical macros can be wider than the modulus.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoModulus`] if no modulus has been loaded.
+    pub fn from_device(dev: ModSram) -> Result<Self, CoreError> {
+        let p = dev.modulus().cloned().ok_or(CoreError::NoModulus)?;
+        Ok(PreparedModSram {
+            dev: Mutex::new(dev),
+            p,
+        })
+    }
+
     /// Runs `f` on the locked device (stats inspection, fault injection).
     pub fn with_device<T>(&self, f: impl FnOnce(&mut ModSram) -> T) -> T {
         f(&mut self.dev.lock().expect("device lock poisoned"))
+    }
+
+    /// Cycles the device has been busy since construction: LUT
+    /// precompute plus every multiplication run. The banked dispatcher
+    /// reads this before and after a batch to attribute per-bank cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.with_device(|d| d.precompute_total.cycles + d.run_cycles_total)
+    }
+
+    /// Energy the device's array has accumulated, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.with_device(|d| d.array().stats().energy_pj)
     }
 
     /// Maps a device error onto the engine error space — **after** the

@@ -5,7 +5,8 @@
 //! (FIPS 186-5).
 
 use modsram_bigint::UBig;
-use modsram_modmul::{ModMulEngine, PreparedModMul};
+use modsram_core::dispatch::ContextPool;
+use modsram_modmul::{ModMulEngine, ModMulError, PreparedModMul};
 
 use crate::curve::Curve;
 use crate::field::{DynCtx, Fp256Ctx};
@@ -92,6 +93,19 @@ pub fn secp256k1_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCt
     )
 }
 
+/// secp256k1 over a context drawn from (and cached in) a
+/// [`ContextPool`] — repeated construction for the same pool reuses the
+/// field-prime preparation.
+///
+/// # Errors
+///
+/// Propagates the pool's preparation error.
+pub fn secp256k1_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+    Ok(secp256k1_with_prepared(Box::new(
+        pool.context(&UBig::from_hex(SECP256K1_P).expect("const"))?,
+    )))
+}
+
 /// BN254 G1 over the fast Montgomery backend.
 pub fn bn254_fast() -> Curve<Fp256Ctx> {
     let (p, a, b, gx, gy, n) = bn254_params();
@@ -121,6 +135,18 @@ pub fn bn254_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
         &n,
         "bn254",
     )
+}
+
+/// BN254 G1 over a context drawn from (and cached in) a
+/// [`ContextPool`].
+///
+/// # Errors
+///
+/// Propagates the pool's preparation error.
+pub fn bn254_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+    Ok(bn254_with_prepared(Box::new(
+        pool.context(&UBig::from_dec(BN254_P).expect("const"))?,
+    )))
 }
 
 /// The BN254 scalar field `Fr` (for NTT workloads).
@@ -170,6 +196,18 @@ pub fn p256_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
         &n,
         "p256",
     )
+}
+
+/// NIST P-256 over a context drawn from (and cached in) a
+/// [`ContextPool`].
+///
+/// # Errors
+///
+/// Propagates the pool's preparation error.
+pub fn p256_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+    Ok(p256_with_prepared(Box::new(
+        pool.context(&UBig::from_hex(P256_P).expect("const"))?,
+    )))
 }
 
 #[cfg(test)]

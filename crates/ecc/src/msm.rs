@@ -8,9 +8,10 @@
 //! and windows combine with `c` doublings each.
 
 use modsram_bigint::UBig;
+use modsram_core::dispatch::Dispatcher;
 
 use crate::curve::{Affine, Curve, Jacobian};
-use crate::field::FieldCtx;
+use crate::field::{DynCtx, FieldCtx};
 
 /// Operation counts of one MSM execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -101,25 +102,106 @@ pub fn msm_with_window<C: FieldCtx>(
             }
         }
 
-        // Bucket accumulation.
-        let mut buckets: Vec<Jacobian<C::El>> = vec![curve.identity(); (1 << c) - 1];
-        for (point, scalar) in points.iter().zip(scalars) {
-            let digit = window_digit(scalar, w, c);
-            if digit != 0 {
-                buckets[digit - 1] = curve.add_mixed(&buckets[digit - 1], point);
-                stats.bucket_adds += 1;
+        let sum = window_sum(curve, points, scalars, w, c, &mut stats);
+        acc = curve.add(&acc, &sum);
+        stats.reduction_adds += 1;
+    }
+    (acc, stats)
+}
+
+/// One window's bucket accumulation + running-sum reduction: the
+/// window-local layer of Pippenger, shared by the serial and dispatched
+/// paths.
+fn window_sum<C: FieldCtx>(
+    curve: &Curve<C>,
+    points: &[Affine<C::El>],
+    scalars: &[UBig],
+    w: usize,
+    c: usize,
+    stats: &mut MsmStats,
+) -> Jacobian<C::El> {
+    // Bucket accumulation.
+    let mut buckets: Vec<Jacobian<C::El>> = vec![curve.identity(); (1 << c) - 1];
+    for (point, scalar) in points.iter().zip(scalars) {
+        let digit = window_digit(scalar, w, c);
+        if digit != 0 {
+            buckets[digit - 1] = curve.add_mixed(&buckets[digit - 1], point);
+            stats.bucket_adds += 1;
+        }
+    }
+
+    // Running-sum reduction: Σ j·B_j with 2·(2^c − 1) additions.
+    let mut running = curve.identity();
+    let mut sum = curve.identity();
+    for bucket in buckets.iter().rev() {
+        running = curve.add(&running, bucket);
+        sum = curve.add(&sum, &running);
+        stats.reduction_adds += 2;
+    }
+    sum
+}
+
+/// Computes `Σ kᵢ·Pᵢ` with the windows fanned out across a
+/// [`Dispatcher`]'s workers — the per-layer batch submission of the
+/// ROADMAP's "NTT/MSM over the batch API" item. Every window's bucket
+/// accumulation and reduction is independent, so worker `w` builds its
+/// own curve over the shared prepared context (`make_curve` typically
+/// closes over a pooled `Arc<dyn PreparedModMul>`) and computes whole
+/// window sums; only the final `c`-doubling combine runs serially.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `c` is outside `1..=24`.
+pub fn msm_dispatched(
+    dispatcher: &Dispatcher,
+    make_curve: impl Fn() -> Curve<DynCtx> + Sync,
+    points: &[Affine<UBig>],
+    scalars: &[UBig],
+    c: usize,
+) -> (Jacobian<UBig>, MsmStats) {
+    assert_eq!(points.len(), scalars.len(), "points/scalars mismatch");
+    assert!((1..=24).contains(&c), "window must be 1..=24 bits");
+    let combine_curve = make_curve();
+    let mut stats = MsmStats {
+        window_bits: c,
+        ..Default::default()
+    };
+    if points.is_empty() {
+        return (combine_curve.identity(), stats);
+    }
+    let max_bits = scalars
+        .iter()
+        .map(|s| s.bit_len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let windows = max_bits.div_ceil(c);
+    stats.windows = windows as u64;
+
+    let (sums, _) = dispatcher
+        .run_items(
+            windows,
+            |_| make_curve(),
+            |curve, w| {
+                let mut partial = MsmStats::default();
+                let sum = window_sum(curve, points, scalars, w, c, &mut partial);
+                Ok::<_, core::convert::Infallible>((sum, partial))
+            },
+        )
+        .expect("window tasks are infallible");
+
+    // Serial combine, highest window first: shift by c bits then add.
+    let mut acc = combine_curve.identity();
+    for (w, (sum, partial)) in sums.iter().enumerate().rev() {
+        stats.bucket_adds += partial.bucket_adds;
+        stats.reduction_adds += partial.reduction_adds;
+        if !combine_curve.is_identity(&acc) || w != windows - 1 {
+            for _ in 0..c {
+                acc = combine_curve.double(&acc);
+                stats.doublings += 1;
             }
         }
-
-        // Running-sum reduction: Σ j·B_j with 2·(2^c − 1) additions.
-        let mut running = curve.identity();
-        let mut window_sum = curve.identity();
-        for bucket in buckets.iter().rev() {
-            running = curve.add(&running, bucket);
-            window_sum = curve.add(&window_sum, &running);
-            stats.reduction_adds += 2;
-        }
-        acc = curve.add(&acc, &window_sum);
+        acc = combine_curve.add(&acc, sum);
         stats.reduction_adds += 1;
     }
     (acc, stats)
@@ -216,6 +298,71 @@ mod tests {
         let want = naive(&c, &pts, &scalars);
         let (got, _) = msm(&c, &pts, &scalars);
         assert!(c.points_equal(&got, &want));
+    }
+
+    #[test]
+    fn dispatched_msm_matches_serial() {
+        use crate::curves::{secp256k1_fast, secp256k1_with_pool};
+        use modsram_core::dispatch::ContextPool;
+
+        let fast = secp256k1_fast();
+        let mut rng = SmallRng::seed_from_u64(123);
+        let g = fast.generator();
+        let mut pts_fast = Vec::new();
+        let mut cur = g.clone();
+        for _ in 0..12 {
+            pts_fast.push(fast.to_affine(&cur));
+            cur = fast.double(&cur);
+        }
+        let scalars: Vec<UBig> = (0..12)
+            .map(|_| ubig_below(&mut rng, fast.order()))
+            .collect();
+        let (want, want_stats) = msm_with_window(&fast, &pts_fast, &scalars, 4);
+
+        // The dispatched path over pooled prepared contexts: every
+        // worker's curve shares one preparation through the pool.
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let make_curve = || secp256k1_with_pool(&pool).expect("odd prime");
+        let curve = make_curve();
+        let points: Vec<Affine<UBig>> = pts_fast
+            .iter()
+            .map(|a| Affine {
+                x: fast.ctx().to_ubig(&a.x),
+                y: fast.ctx().to_ubig(&a.y),
+                infinity: a.infinity,
+            })
+            .collect();
+        for workers in [1usize, 3] {
+            let d = Dispatcher::new(workers);
+            let (got, stats) = msm_dispatched(&d, make_curve, &points, &scalars, 4);
+            let got_aff = curve.to_affine(&got);
+            let want_aff = fast.to_affine(&want);
+            assert_eq!(
+                curve.ctx().to_ubig(&got_aff.x),
+                fast.ctx().to_ubig(&want_aff.x),
+                "workers={workers}"
+            );
+            assert_eq!(
+                curve.ctx().to_ubig(&got_aff.y),
+                fast.ctx().to_ubig(&want_aff.y),
+                "workers={workers}"
+            );
+            assert_eq!(stats.windows, want_stats.windows);
+            assert_eq!(stats.bucket_adds, want_stats.bucket_adds);
+        }
+        assert_eq!(pool.len(), 1, "one prime prepared once");
+    }
+
+    #[test]
+    fn dispatched_msm_empty_input() {
+        use crate::curves::secp256k1_with_pool;
+        use modsram_core::dispatch::ContextPool;
+        let pool = ContextPool::for_engine_name("barrett").unwrap();
+        let d = Dispatcher::new(2);
+        let (r, stats) = msm_dispatched(&d, || secp256k1_with_pool(&pool).unwrap(), &[], &[], 4);
+        let curve = secp256k1_with_pool(&pool).unwrap();
+        assert!(curve.is_identity(&r));
+        assert_eq!(stats.bucket_adds, 0);
     }
 
     #[test]

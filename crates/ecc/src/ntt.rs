@@ -5,9 +5,13 @@
 //! `r − 1` is divisible by `2^s` (BN254's scalar field has `s = 28`,
 //! plenty for the paper's `2¹⁵`-point transforms).
 
-use modsram_bigint::{mod_pow, UBig};
+use std::sync::Arc;
 
-use crate::field::FieldCtx;
+use modsram_bigint::{mod_pow, UBig};
+use modsram_core::dispatch::Dispatcher;
+use modsram_modmul::{ModMulError, PreparedModMul};
+
+use crate::field::{DynCtx, FieldCtx};
 
 /// A planned NTT of fixed size over a field context.
 ///
@@ -174,6 +178,116 @@ impl<'a, C: FieldCtx> NttPlan<'a, C> {
     }
 }
 
+/// The dispatched execution path: available when the plan's field
+/// context is engine-backed ([`DynCtx`]), whose elements are canonical
+/// `UBig` residues that a [`PreparedModMul`] shard can multiply
+/// directly.
+///
+/// Each butterfly stage is one *layer*: all `n/2` twiddle
+/// multiplications of the stage are independent, so they are submitted
+/// as a single batch, ordered twiddle-major — every run of consecutive
+/// pairs shares its multiplicand, which is exactly the reuse pattern
+/// the radix-4 LUT engines and the ModSRAM device amortise (`B`
+/// wordlines rewritten only on change). The cheap adds/subs between
+/// stages stay serial on the plan's context.
+impl<'a> NttPlan<'a, DynCtx> {
+    /// In-place forward NTT with every stage's multiplications fanned
+    /// out over `shards` by `dispatcher`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard multiplication error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`, `shards` is empty, or a
+    /// shard was prepared for a different modulus.
+    pub fn forward_dispatched(
+        &self,
+        data: &mut [UBig],
+        dispatcher: &Dispatcher,
+        shards: &[Arc<dyn PreparedModMul>],
+    ) -> Result<(), ModMulError> {
+        self.transform_dispatched(data, &self.twiddles, dispatcher, shards)
+    }
+
+    /// In-place inverse NTT through the dispatcher; the final `1/n`
+    /// scaling is itself one shared-multiplicand batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard multiplication error.
+    ///
+    /// # Panics
+    ///
+    /// As [`NttPlan::forward_dispatched`].
+    pub fn inverse_dispatched(
+        &self,
+        data: &mut [UBig],
+        dispatcher: &Dispatcher,
+        shards: &[Arc<dyn PreparedModMul>],
+    ) -> Result<(), ModMulError> {
+        self.transform_dispatched(data, &self.twiddles_inv, dispatcher, shards)?;
+        let pairs: Vec<(UBig, UBig)> = data
+            .iter()
+            .map(|v| (v.clone(), self.n_inv.clone()))
+            .collect();
+        let (scaled, _) = dispatcher.dispatch_sharded(shards, &pairs)?;
+        data.clone_from_slice(&scaled);
+        Ok(())
+    }
+
+    fn transform_dispatched(
+        &self,
+        data: &mut [UBig],
+        twiddles: &[Vec<UBig>],
+        dispatcher: &Dispatcher,
+        shards: &[Arc<dyn PreparedModMul>],
+    ) -> Result<(), ModMulError> {
+        let n = self.len();
+        assert_eq!(data.len(), n, "data length must match the plan");
+        assert!(!shards.is_empty(), "need at least one shard");
+        for shard in shards {
+            assert_eq!(
+                shard.modulus(),
+                self.ctx.modulus(),
+                "shard prepared for a different modulus"
+            );
+        }
+        // Bit reversal.
+        for i in 0..n {
+            let j = bit_reverse(i, self.log_n);
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // One dispatched batch per butterfly stage, twiddle-major so
+        // consecutive pairs share their multiplicand.
+        let ctx = self.ctx;
+        for (s, table) in twiddles.iter().enumerate() {
+            let len = 1usize << (s + 1);
+            let mut pairs = Vec::with_capacity(n / 2);
+            for (k, w) in table.iter().enumerate() {
+                for start in (0..n).step_by(len) {
+                    pairs.push((data[start + k + len / 2].clone(), w.clone()));
+                }
+            }
+            let (products, _) = dispatcher.dispatch_sharded(shards, &pairs)?;
+            let mut idx = 0usize;
+            for k in 0..len / 2 {
+                for start in (0..n).step_by(len) {
+                    let u = data[start + k].clone();
+                    let t = &products[idx];
+                    idx += 1;
+                    data[start + k] = ctx.add(&u, t);
+                    data[start + k + len / 2] = ctx.sub(&u, t);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 fn bit_reverse(mut v: usize, bits: usize) -> usize {
     let mut out = 0;
     for _ in 0..bits {
@@ -263,6 +377,51 @@ mod tests {
         plan.forward(&mut data);
         plan.inverse(&mut data);
         assert_eq!(data, original);
+    }
+
+    #[test]
+    fn dispatched_transform_matches_serial() {
+        use modsram_core::dispatch::ContextPool;
+        use modsram_modmul::engine_by_name;
+
+        // Plan over an engine-backed context for BN254 Fr, then run the
+        // same transform serially and through sharded dispatch.
+        let fr = crate::curves::bn254_fr_ctx();
+        let p = fr.modulus().clone();
+        let dyn_ctx = crate::field::DynCtx::new(&p, engine_by_name("montgomery").unwrap());
+        let plan = NttPlan::new(&dyn_ctx, 5, &UBig::from(5u64)).unwrap();
+
+        let mut rng = SmallRng::seed_from_u64(17);
+        let original: Vec<UBig> = (0..32).map(|_| ubig_below(&mut rng, &p)).collect();
+
+        let mut serial = original.clone();
+        plan.forward(&mut serial);
+
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let shards: Vec<_> = (0..3).map(|_| pool.context(&p).unwrap()).collect();
+        for workers in [1usize, 4] {
+            let d = Dispatcher::new(workers);
+            let mut dispatched = original.clone();
+            plan.forward_dispatched(&mut dispatched, &d, &shards)
+                .unwrap();
+            assert_eq!(dispatched, serial, "workers={workers}");
+            plan.inverse_dispatched(&mut dispatched, &d, &shards)
+                .unwrap();
+            assert_eq!(dispatched, original, "workers={workers}");
+        }
+        assert_eq!(pool.misses(), 1, "shards share one preparation");
+    }
+
+    #[test]
+    #[should_panic(expected = "different modulus")]
+    fn dispatched_transform_rejects_foreign_shards() {
+        use modsram_modmul::{DirectEngine, ModMulEngine};
+        let ctx = crate::field::DynCtx::new(&UBig::from(97u64), Box::new(DirectEngine::new()));
+        let plan = NttPlan::new(&ctx, 3, &UBig::from(5u64)).unwrap();
+        let shard: Arc<dyn PreparedModMul> =
+            Arc::from(DirectEngine::new().prepare(&UBig::from(101u64)).unwrap());
+        let mut data: Vec<UBig> = (0..8u64).map(UBig::from).collect();
+        let _ = plan.forward_dispatched(&mut data, &Dispatcher::new(2), &[shard]);
     }
 
     #[test]

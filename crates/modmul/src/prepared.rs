@@ -72,6 +72,29 @@ pub trait PreparedModMul: Send + Sync {
     }
 }
 
+/// Shared ownership delegates: an `Arc<C>` (including
+/// `Arc<dyn PreparedModMul>`) is itself a prepared context, so a cached
+/// context handed out by a pool can be boxed into any API that takes a
+/// `Box<dyn PreparedModMul>` — e.g. `DynCtx::from_prepared` — without
+/// re-running the per-modulus preparation.
+impl<C: PreparedModMul + ?Sized> PreparedModMul for std::sync::Arc<C> {
+    fn engine_name(&self) -> &'static str {
+        (**self).engine_name()
+    }
+
+    fn modulus(&self) -> &UBig {
+        (**self).modulus()
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        (**self).mod_mul(a, b)
+    }
+
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        (**self).mod_mul_batch(pairs)
+    }
+}
+
 /// Canonicalises `v` into `[0, p)`, skipping the division when the
 /// operand is already reduced — the common case on a hot path fed by
 /// field arithmetic.
@@ -363,6 +386,28 @@ mod tests {
         for ((a, b), got) in pairs.iter().zip(&batch) {
             assert_eq!(got, &(&(a * b) % &p));
         }
+    }
+
+    #[test]
+    fn arc_wrapped_context_delegates() {
+        use std::sync::Arc;
+        let p = UBig::from(1_000_003u64);
+        let shared: Arc<dyn PreparedModMul> =
+            Arc::from(crate::MontgomeryEngine::new().prepare(&p).unwrap());
+        assert_eq!(shared.engine_name(), "montgomery");
+        assert_eq!(shared.modulus(), &p);
+        let boxed: Box<dyn PreparedModMul> = Box::new(Arc::clone(&shared));
+        assert_eq!(
+            boxed
+                .mod_mul(&UBig::from(123u64), &UBig::from(456u64))
+                .unwrap(),
+            UBig::from(123u64 * 456)
+        );
+        let pairs = vec![(UBig::from(9u64), UBig::from(9u64)); 3];
+        assert_eq!(
+            boxed.mod_mul_batch(&pairs).unwrap(),
+            shared.mod_mul_batch(&pairs).unwrap()
+        );
     }
 
     #[test]

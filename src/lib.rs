@@ -59,6 +59,39 @@
 //! assert_eq!(c, UBig::from((55u64 * 44) % 97));
 //! assert!(stats.cycles > 0);
 //! ```
+//!
+//! # Scaling out: banks, dispatch, and context pooling
+//!
+//! Above a single context sits the serving layer
+//! ([`modsram_core::dispatch`]): batches are chunked with
+//! LUT-refill-aware cost estimates, seeded least-loaded onto real
+//! scoped-thread workers (with optional work stealing), and mixed-
+//! modulus request streams share per-modulus preparations through a
+//! [`arch::ContextPool`]. A [`arch::BankedModSram`] tile routes the
+//! same machinery over per-bank prepared contexts — any registry
+//! engine or the cycle-accurate device:
+//!
+//! ```
+//! use modsram::arch::{BankedModSram, ContextPool, Dispatcher, MulJob};
+//! use modsram::bigint::UBig;
+//!
+//! // A 4-bank tile over prepared Montgomery contexts.
+//! let p = UBig::from(1_000_003u64);
+//! let tile = BankedModSram::with_engine_name(4, "montgomery", &p).unwrap();
+//! let pairs = vec![(UBig::from(1234u64), UBig::from(5678u64)); 6];
+//! let (results, stats) = tile.mod_mul_batch(&pairs).unwrap();
+//! assert_eq!(results[0], UBig::from(1234u64 * 5678 % 1_000_003));
+//! assert_eq!(stats.multiplications, 6);
+//!
+//! // A mixed-modulus stream through a shared pool.
+//! let pool = ContextPool::for_engine_name("barrett").unwrap();
+//! let jobs = vec![
+//!     MulJob::new(UBig::from(5u64), UBig::from(6u64), UBig::from(97u64)),
+//!     MulJob::new(UBig::from(5u64), UBig::from(6u64), UBig::from(101u64)),
+//! ];
+//! let (out, _) = Dispatcher::new(2).dispatch_jobs(&pool, &jobs).unwrap();
+//! assert_eq!(out, vec![UBig::from(30u64), UBig::from(30u64)]);
+//! ```
 
 pub use modsram_apps as apps;
 pub use modsram_baselines as baselines;

@@ -67,12 +67,37 @@ fn banked_tile_at_256_bits() {
     let pairs: Vec<(UBig, UBig)> = (0..8)
         .map(|_| (ubig_below(&mut rng, &p), ubig_below(&mut rng, &p)))
         .collect();
-    let mut tile = BankedModSram::new(4, ModSramConfig::default(), &p).unwrap();
+    let tile = BankedModSram::new(4, ModSramConfig::default(), &p).unwrap();
     let (results, stats) = tile.mod_mul_batch(&pairs).unwrap();
     for ((a, b), c) in pairs.iter().zip(&results) {
         assert_eq!(c, &(&(a * b) % &p));
     }
     assert!(stats.speedup() > 3.0, "speedup {}", stats.speedup());
+}
+
+#[test]
+fn mixed_modulus_requests_through_one_pool() {
+    // The serving shape: ECDSA-style requests over two moduli (the
+    // secp256k1 field prime and group order) interleaved in one batch,
+    // scheduled by the dispatcher with contexts pooled per modulus.
+    use modsram::arch::{ContextPool, Dispatcher, MulJob};
+    let p = secp_p();
+    let n =
+        UBig::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141").unwrap();
+    let mut rng = SmallRng::seed_from_u64(44);
+    let jobs: Vec<MulJob> = (0..24)
+        .map(|i| {
+            let m = if i % 2 == 0 { p.clone() } else { n.clone() };
+            MulJob::new(ubig_below(&mut rng, &m), ubig_below(&mut rng, &m), m)
+        })
+        .collect();
+    let pool = ContextPool::for_engine_name("montgomery").unwrap();
+    let (results, stats) = Dispatcher::new(4).dispatch_jobs(&pool, &jobs).unwrap();
+    for (job, c) in jobs.iter().zip(&results) {
+        assert_eq!(c, &(&(&job.a * &job.b) % &job.modulus));
+    }
+    assert_eq!(stats.items, 24);
+    assert_eq!(pool.len(), 2, "two moduli, two prepared contexts");
 }
 
 #[test]
