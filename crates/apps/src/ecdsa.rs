@@ -11,11 +11,13 @@ use std::sync::Arc;
 
 use modsram_bigint::{mod_inv, UBig};
 use modsram_core::dispatch::{ContextPool, Dispatcher};
+use modsram_core::service::ExecBackend;
+use modsram_core::CoreError;
 use modsram_ecc::curve::Curve;
-use modsram_ecc::curves::{secp256k1_fast, secp256k1_with_pool, SECP256K1_N};
+use modsram_ecc::curves::{secp256k1_fast, secp256k1_via, SECP256K1_N};
 use modsram_ecc::scalar::{mul_double_scalar, mul_scalar_wnaf};
 use modsram_ecc::{FieldCtx, Fp256Ctx};
-use modsram_modmul::{DirectEngine, ModMulEngine, ModMulError, PreparedModMul};
+use modsram_modmul::{DirectEngine, ModMulEngine, PreparedModMul};
 
 use crate::sha256::sha256;
 
@@ -304,6 +306,10 @@ pub struct VerifyRequest {
 /// arithmetic) — resolved through one shared [`ContextPool`], so the
 /// per-modulus preparation is paid once for the whole batch.
 ///
+/// This is the one-shot staged entry point; see [`verify_batch_via`]
+/// for the backend-generic form that also accepts a shared streaming
+/// service.
+///
 /// Returns one verdict per request, in order: `Ok(true)`/`Ok(false)`
 /// for well-formed requests, `Err` for malformed keys or signatures.
 ///
@@ -316,16 +322,43 @@ pub fn verify_batch(
     requests: &[VerifyRequest],
     pool: &ContextPool,
     dispatcher: &Dispatcher,
-) -> Result<Vec<Result<bool, EcdsaError>>, ModMulError> {
+) -> Result<Vec<Result<bool, EcdsaError>>, CoreError> {
+    verify_batch_via(
+        requests,
+        &ExecBackend::Staged { dispatcher, pool },
+        dispatcher,
+    )
+}
+
+/// Verifies a batch of independent signatures over either execution
+/// backend: a one-shot staged dispatcher+pool, or a shared
+/// [`modsram_core::ModSramService`] whose queue then interleaves these
+/// verifications' modular multiplications with every other tenant's
+/// (Pedersen, NTT, raw batches) on one tile.
+///
+/// Request-level fan-out always runs on `fanout`'s workers; what the
+/// backend decides is where the *field and scalar multiplications*
+/// execute.
+///
+/// # Errors
+///
+/// The outer `Err` is a context/preparation failure; per-request
+/// failures land in the inner results.
+pub fn verify_batch_via(
+    requests: &[VerifyRequest],
+    backend: &ExecBackend<'_>,
+    fanout: &Dispatcher,
+) -> Result<Vec<Result<bool, EcdsaError>>, CoreError> {
     let n = UBig::from_hex(SECP256K1_N).expect("const");
-    let scalar = pool.context(&n)?;
+    let scalar = backend.context(&n)?;
     // Warm the field-prime context so per-worker curve construction
-    // below cannot fail on a cold pool.
-    let _ = secp256k1_with_pool(pool)?;
-    let (verdicts, _) = dispatcher
+    // below cannot fail on a cold pool (the service path defers
+    // preparation to execution and cannot fail here).
+    let _ = secp256k1_via(backend)?;
+    let (verdicts, _) = fanout
         .run_items(
             requests.len(),
-            |_| secp256k1_with_pool(pool).expect("field context warmed above"),
+            |_| secp256k1_via(backend).expect("field context warmed above"),
             |curve, i| {
                 let req = &requests[i];
                 let aff = modsram_ecc::Affine {
@@ -522,6 +555,74 @@ mod tests {
         for (req, verdict) in requests.iter().zip(&verdicts) {
             assert_eq!(*verdict, vk.verify(&req.msg, &req.sig));
         }
+    }
+
+    #[test]
+    fn verify_batch_via_service_matches_staged() {
+        use modsram_core::service::{ExecBackend, ModSramService, ServiceConfig};
+
+        let sk = key();
+        let vk = sk.verifying_key();
+        let mut requests: Vec<VerifyRequest> = (0..3u8)
+            .map(|i| {
+                let msg = vec![b's', i];
+                VerifyRequest {
+                    x: vk.x.clone(),
+                    y: vk.y.clone(),
+                    sig: sk.sign(&msg),
+                    msg,
+                }
+            })
+            .collect();
+        requests.push(VerifyRequest {
+            msg: b"wrong message".to_vec(),
+            ..requests[0].clone()
+        });
+        requests.push(VerifyRequest {
+            x: UBig::from(1u64),
+            y: UBig::from(1u64),
+            ..requests[0].clone()
+        });
+
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let fanout = Dispatcher::new(2);
+        let staged = verify_batch_via(
+            &requests,
+            &ExecBackend::Staged {
+                dispatcher: &fanout,
+                pool: &pool,
+            },
+            &fanout,
+        )
+        .unwrap();
+
+        let service = ModSramService::for_engine_name(
+            "montgomery",
+            ServiceConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let streamed =
+            verify_batch_via(&requests, &ExecBackend::Service(&service), &fanout).unwrap();
+        assert_eq!(streamed, staged);
+        assert_eq!(
+            streamed,
+            vec![
+                Ok(true),
+                Ok(true),
+                Ok(true),
+                Ok(false),
+                Err(EcdsaError::InvalidPublicKey),
+            ]
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(
+            stats.completed > 0,
+            "scalar muls streamed through the service"
+        );
     }
 
     #[test]

@@ -8,12 +8,14 @@
 
 use modsram_bigint::{ubig_below, UBig};
 use modsram_core::dispatch::ContextPool;
+use modsram_core::service::ExecBackend;
+use modsram_core::CoreError;
 use modsram_ecc::curve::{Affine, Curve, Jacobian};
-use modsram_ecc::curves::{bn254_fast, bn254_with_engine, bn254_with_pool};
+use modsram_ecc::curves::{bn254_fast, bn254_via, bn254_with_engine, bn254_with_pool};
 use modsram_ecc::msm::msm;
 use modsram_ecc::scalar::mul_scalar_wnaf;
 use modsram_ecc::{DynCtx, FieldCtx, Fp256Ctx};
-use modsram_modmul::{ModMulEngine, ModMulError};
+use modsram_modmul::ModMulEngine;
 use rand::Rng;
 
 use crate::sha256::sha256;
@@ -63,8 +65,21 @@ impl PedersenCommitter<DynCtx> {
     /// # Errors
     ///
     /// Propagates the pool's preparation error.
-    pub fn new_with_pool(size: usize, tag: &[u8], pool: &ContextPool) -> Result<Self, ModMulError> {
+    pub fn new_with_pool(size: usize, tag: &[u8], pool: &ContextPool) -> Result<Self, CoreError> {
         Ok(Self::with_curve(bn254_with_pool(pool)?, size, tag))
+    }
+
+    /// As [`PedersenCommitter::new_with_pool`], but over either
+    /// execution backend — pass
+    /// [`ExecBackend::Service`] to stream every
+    /// commitment's field multiplications through a shared
+    /// [`modsram_core::ModSramService`] alongside other tenants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's context/preparation error.
+    pub fn new_via(size: usize, tag: &[u8], backend: &ExecBackend<'_>) -> Result<Self, CoreError> {
+        Ok(Self::with_curve(bn254_via(backend)?, size, tag))
     }
 }
 
@@ -220,6 +235,29 @@ mod tests {
         let misses_before = pool.misses();
         let _again = PedersenCommitter::new_with_pool(2, b"modsram-pool", &pool).unwrap();
         assert_eq!(pool.misses(), misses_before, "cached context reused");
+    }
+
+    #[test]
+    fn service_backed_committer_matches_fast() {
+        use modsram_core::service::{ExecBackend, ModSramService, ServiceConfig};
+
+        let service = ModSramService::for_engine_name("montgomery", ServiceConfig::default())
+            .expect("registered engine");
+        let backend = ExecBackend::Service(&service);
+        let streamed = PedersenCommitter::new_via(2, b"modsram-svc", &backend).unwrap();
+        let fast = PedersenCommitter::new(2, b"modsram-svc");
+        let values: Vec<UBig> = [4u64, 8].map(UBig::from).to_vec();
+        let r = UBig::from(2024u64);
+        let fast_aff = fast.curve().to_affine(&fast.commit(&values, &r));
+        let svc_aff = streamed.curve().to_affine(&streamed.commit(&values, &r));
+        assert_eq!(
+            fast.curve().ctx().to_ubig(&fast_aff.x),
+            streamed.curve().ctx().to_ubig(&svc_aff.x)
+        );
+        assert!(streamed.open(&streamed.commit(&values, &r), &values, &r));
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.completed > 0);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The streaming-service sweep: closed-loop streamed-vs-staged
+//! throughput (the acceptance headline — streamed submission through
+//! `ModSramService` must hold ≥ 90 % of staged `dispatch_jobs`
+//! throughput at 8 workers under ≥ 4 concurrent submitters), plus an
+//! open-loop arrival-rate sweep tracing the p50/p99 latency curve.
+//!
+//! The default engine is the paper's own `r4csa-lut` — the functional
+//! model of the device the service fronts. Per-job queue overhead is
+//! then two orders of magnitude below the multiplication itself, which
+//! is exactly the regime a real tile serves in; `--engine montgomery`
+//! shows the harsher software-baseline regime where per-job overhead
+//! is visible (on few-core CI hosts the wall-clock ratio there is
+//! noise, as with `bin/shard`).
+//!
+//! ```sh
+//! cargo run --release --bin serve
+//! # CI-sized run:
+//! cargo run --release --bin serve -- --jobs 1024 --sweep-jobs 512 --rates 2000,0
+//! ```
+//!
+//! Latency is reported twice per row: wall-clock nanoseconds
+//! (submit→complete, queue wait and coalescing delay included) and
+//! modelled device cycles (the batch-makespan estimate from
+//! `service::modelled_batch_cycles`).
+
+use modsram_bench::{print_table, serve_sweep, serve_throughput, write_json_artifact};
+
+struct Args {
+    engine: String,
+    bits: usize,
+    jobs: usize,
+    workers: usize,
+    submitters: usize,
+    sweep_jobs: usize,
+    rates: Vec<f64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            engine: "r4csa-lut".to_string(),
+            bits: 256,
+            jobs: 4096,
+            workers: 8,
+            submitters: 4,
+            sweep_jobs: 1024,
+            rates: vec![2_000.0, 8_000.0, 0.0],
+        }
+    }
+}
+
+fn parse_rates(v: &str) -> Vec<f64> {
+    v.split(',')
+        .map(|s| s.trim().parse().expect("comma-separated rates"))
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--engine" => args.engine = value(),
+            "--bits" => args.bits = value().parse().expect("integer"),
+            "--jobs" => args.jobs = value().parse().expect("integer"),
+            "--workers" => args.workers = value().parse().expect("integer"),
+            "--submitters" => args.submitters = value().parse().expect("integer"),
+            "--sweep-jobs" => args.sweep_jobs = value().parse().expect("integer"),
+            "--rates" => args.rates = parse_rates(&value()),
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Closed loop: the streamed-vs-staged acceptance comparison.
+    let row = serve_throughput(
+        &args.engine,
+        args.bits,
+        args.jobs,
+        args.workers,
+        args.submitters,
+        0x5EE5,
+    );
+    print_table(
+        &format!(
+            "Streamed vs staged: {} at {} bits ({} jobs, {} workers, {} submitters)",
+            args.engine, args.bits, args.jobs, args.workers, args.submitters
+        ),
+        &[
+            "mode",
+            "jobs/s",
+            "ratio",
+            "p50 us",
+            "p99 us",
+            "p50 cycles",
+            "p99 cycles",
+        ],
+        &[
+            vec![
+                "staged".to_string(),
+                format!("{:.0}", row.staged_jobs_per_s),
+                "1.00".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ],
+            vec![
+                "streamed".to_string(),
+                format!("{:.0}", row.streamed_jobs_per_s),
+                format!("{:.2}", row.streamed_vs_staged),
+                format!("{:.1}", row.service.wall_p50_ns as f64 / 1000.0),
+                format!("{:.1}", row.service.wall_p99_ns as f64 / 1000.0),
+                row.service.modelled_p50_cycles.to_string(),
+                row.service.modelled_p99_cycles.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "coalesce: mean {:.1} jobs/batch (min {}, max {}) over {} batches",
+        row.service.coalesce_mean,
+        row.service.coalesce_min,
+        row.service.coalesce_max,
+        row.service.batches
+    );
+
+    // Open loop: arrival rate vs latency.
+    let sweep = serve_sweep(
+        &args.engine,
+        args.bits,
+        args.sweep_jobs,
+        args.workers,
+        args.submitters,
+        &args.rates,
+        0xA11,
+    );
+    let table: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|r| {
+            vec![
+                if r.arrival_per_s > 0.0 {
+                    format!("{:.0}", r.arrival_per_s)
+                } else {
+                    "max".to_string()
+                },
+                format!("{:.0}", r.achieved_per_s),
+                r.rejected.to_string(),
+                format!("{:.1}", r.service.wall_p50_ns as f64 / 1000.0),
+                format!("{:.1}", r.service.wall_p99_ns as f64 / 1000.0),
+                r.service.modelled_p50_cycles.to_string(),
+                r.service.modelled_p99_cycles.to_string(),
+                format!("{:.1}", r.service.coalesce_mean),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Open-loop sweep: {} jobs offered per rate, {} submitters",
+            args.sweep_jobs, args.submitters
+        ),
+        &[
+            "offered/s",
+            "achieved/s",
+            "shed",
+            "p50 us",
+            "p99 us",
+            "p50 cycles",
+            "p99 cycles",
+            "batch",
+        ],
+        &table,
+    );
+
+    let artifact = serde_json::json!({
+        "throughput": {
+            "engine": row.engine.clone(),
+            "bits": row.bits,
+            "jobs": row.jobs,
+            "workers": row.workers,
+            "submitters": row.submitters,
+            "staged_jobs_per_s": row.staged_jobs_per_s,
+            "streamed_jobs_per_s": row.streamed_jobs_per_s,
+            "streamed_vs_staged": row.streamed_vs_staged,
+            "wall_p50_ns": row.service.wall_p50_ns,
+            "wall_p99_ns": row.service.wall_p99_ns,
+            "modelled_p50_cycles": row.service.modelled_p50_cycles,
+            "modelled_p99_cycles": row.service.modelled_p99_cycles,
+            "batches": row.service.batches,
+            "coalesce_mean": row.service.coalesce_mean,
+        },
+        "open_loop_sweep": sweep.iter().map(|r| serde_json::json!({
+            "arrival_per_s": r.arrival_per_s,
+            "offered": r.offered,
+            "accepted": r.accepted,
+            "rejected": r.rejected,
+            "achieved_per_s": r.achieved_per_s,
+            "wall_p50_ns": r.service.wall_p50_ns,
+            "wall_p99_ns": r.service.wall_p99_ns,
+            "modelled_p50_cycles": r.service.modelled_p50_cycles,
+            "modelled_p99_cycles": r.service.modelled_p99_cycles,
+            "coalesce_mean": r.service.coalesce_mean,
+        })).collect::<Vec<_>>(),
+    });
+    let path = write_json_artifact("serve_sweep", &artifact);
+    println!("\nartifact: {path}");
+
+    println!(
+        "\nstreamed/staged throughput at {} workers, {} submitters: {:.2}x",
+        args.workers, args.submitters, row.streamed_vs_staged
+    );
+}

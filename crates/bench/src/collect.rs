@@ -1,10 +1,11 @@
 //! Data collection for every table and figure in the paper's evaluation.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use modsram_baselines::{BpNttModel, DataOrg, MenttModel};
 use modsram_bigint::{ubig_below, UBig};
-use modsram_core::dispatch::{Dispatcher, StealPolicy};
+use modsram_core::dispatch::{ContextPool, Dispatcher, MulJob, StealPolicy};
+use modsram_core::service::{ModSramService, ServiceConfig, ServiceStats, Ticket};
 use modsram_core::{BankedModSram, ModSram, ModSramConfig, RunStats};
 use modsram_modmul::{all_engines, engine_by_name, CycleModel, LutOverflow, R4CsaLutEngine};
 use modsram_phys::{AreaModel, Component, FreqModel};
@@ -413,6 +414,267 @@ pub fn banked_shard_sweep(
         .collect()
 }
 
+/// The closed-loop streamed-vs-staged comparison: the same job batch
+/// executed once through `Dispatcher::dispatch_jobs` (staged) and once
+/// streamed through a `ModSramService` by `submitters` concurrent
+/// threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeThroughputRow {
+    /// Engine name from the registry.
+    pub engine: String,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Jobs executed per mode.
+    pub jobs: usize,
+    /// Dispatcher/service workers.
+    pub workers: usize,
+    /// Concurrent submitter threads on the streamed path.
+    pub submitters: usize,
+    /// Staged throughput, jobs per second (best of three).
+    pub staged_jobs_per_s: f64,
+    /// Streamed throughput, jobs per second (best of three).
+    pub streamed_jobs_per_s: f64,
+    /// `streamed / staged` — the acceptance headline.
+    pub streamed_vs_staged: f64,
+    /// Final service statistics of the best streamed pass.
+    pub service: ServiceStats,
+}
+
+/// Runs the closed-loop comparison at `bits` over `jobs` random jobs.
+///
+/// Multiplicands repeat in runs of 8 (an MSM-window-like reuse
+/// pattern), so the coalescing batcher has real locality to preserve.
+///
+/// # Panics
+///
+/// Panics on an unknown engine, or if either path diverges from the
+/// big-integer oracle.
+pub fn serve_throughput(
+    engine: &str,
+    bits: usize,
+    jobs: usize,
+    workers: usize,
+    submitters: usize,
+    seed: u64,
+) -> ServeThroughputRow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = sweep_modulus(bits);
+    let job_list: Vec<MulJob> = {
+        let mut out = Vec::with_capacity(jobs);
+        let mut b = ubig_below(&mut rng, &p);
+        for i in 0..jobs {
+            if i % 8 == 0 {
+                b = ubig_below(&mut rng, &p);
+            }
+            out.push(MulJob::new(ubig_below(&mut rng, &p), b.clone(), p.clone()));
+        }
+        out
+    };
+    let oracle: Vec<UBig> = job_list
+        .iter()
+        .map(|j| &(&j.a * &j.b) % &j.modulus)
+        .collect();
+
+    // Staged reference: whole batch, one dispatch call.
+    let pool =
+        ContextPool::for_engine_name(engine).unwrap_or_else(|| panic!("unknown engine '{engine}'"));
+    let dispatcher = Dispatcher::new(workers);
+    let mut staged_best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (results, _) = dispatcher.dispatch_jobs(&pool, &job_list).expect("valid");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(results, oracle, "{engine}: staged dispatch diverged");
+        staged_best = staged_best.min(elapsed);
+    }
+
+    // Streamed: `submitters` threads submit interleaved slices and wait
+    // for their own tickets.
+    let mut streamed_best = f64::INFINITY;
+    let mut service_stats = None;
+    for _ in 0..3 {
+        let service = ModSramService::for_engine_name(
+            engine,
+            ServiceConfig {
+                workers,
+                queue_capacity: 16384,
+                max_batch: 4096,
+                flush_interval: Duration::from_micros(50),
+                ..Default::default()
+            },
+        )
+        .expect("engine validated above");
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..submitters {
+                let handle = service.handle();
+                let job_list = &job_list;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mine: Vec<usize> = (0..job_list.len())
+                        .filter(|i| i % submitters == t)
+                        .collect();
+                    let tickets: Vec<Ticket> = mine
+                        .iter()
+                        .map(|&i| handle.submit(job_list[i].clone()).expect("running"))
+                        .collect();
+                    for (&i, ticket) in mine.iter().zip(&tickets) {
+                        assert_eq!(
+                            ticket.wait().expect("valid modulus"),
+                            oracle[i],
+                            "streamed job {i} diverged"
+                        );
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < streamed_best {
+            streamed_best = elapsed;
+            service_stats = Some(service.shutdown());
+        }
+    }
+
+    let staged_jobs_per_s = jobs as f64 / staged_best;
+    let streamed_jobs_per_s = jobs as f64 / streamed_best;
+    ServeThroughputRow {
+        engine: engine.to_string(),
+        bits,
+        jobs,
+        workers,
+        submitters,
+        staged_jobs_per_s,
+        streamed_jobs_per_s,
+        streamed_vs_staged: streamed_jobs_per_s / staged_jobs_per_s,
+        service: service_stats.expect("three passes ran"),
+    }
+}
+
+/// One arrival-rate point of the open-loop latency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSweepRow {
+    /// Offered arrival rate, jobs per second (0 = as fast as possible).
+    pub arrival_per_s: f64,
+    /// Jobs offered across all submitters.
+    pub offered: u64,
+    /// Jobs accepted by the bounded queue.
+    pub accepted: u64,
+    /// Jobs shed with `QueueFull`.
+    pub rejected: u64,
+    /// Achieved completion rate, jobs per second.
+    pub achieved_per_s: f64,
+    /// Final service statistics (p50/p99 wall + modelled latency,
+    /// coalesce shape).
+    pub service: ServiceStats,
+}
+
+/// Runs the open-loop sweep: for each rate, `submitters` threads offer
+/// `jobs_per_rate` jobs total at that aggregate rate via `try_submit`
+/// (shedding on `QueueFull`), then drain. A fresh service per rate
+/// point keeps the latency percentiles rate-specific.
+///
+/// # Panics
+///
+/// Panics on an unknown engine or a diverged result.
+pub fn serve_sweep(
+    engine: &str,
+    bits: usize,
+    jobs_per_rate: usize,
+    workers: usize,
+    submitters: usize,
+    rates: &[f64],
+    seed: u64,
+) -> Vec<ServeSweepRow> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = sweep_modulus(bits);
+    let job_list: Vec<MulJob> = (0..jobs_per_rate)
+        .map(|_| {
+            MulJob::new(
+                ubig_below(&mut rng, &p),
+                ubig_below(&mut rng, &p),
+                p.clone(),
+            )
+        })
+        .collect();
+    let oracle: Vec<UBig> = job_list
+        .iter()
+        .map(|j| &(&j.a * &j.b) % &j.modulus)
+        .collect();
+
+    rates
+        .iter()
+        .map(|&rate| {
+            let service = ModSramService::for_engine_name(
+                engine,
+                ServiceConfig {
+                    workers,
+                    queue_capacity: 2048,
+                    max_batch: 512,
+                    flush_interval: Duration::from_micros(100),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
+            let accepted = std::sync::atomic::AtomicU64::new(0);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..submitters {
+                    let handle = service.handle();
+                    let job_list = &job_list;
+                    let oracle = &oracle;
+                    let accepted = &accepted;
+                    scope.spawn(move || {
+                        let mine: Vec<usize> = (0..job_list.len())
+                            .filter(|i| i % submitters == t)
+                            .collect();
+                        // Per-submitter inter-arrival gap for the
+                        // aggregate offered rate.
+                        let gap = if rate > 0.0 {
+                            Duration::from_secs_f64(submitters as f64 / rate)
+                        } else {
+                            Duration::ZERO
+                        };
+                        let mut next = Instant::now();
+                        let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+                        for &i in &mine {
+                            if !gap.is_zero() {
+                                let now = Instant::now();
+                                if next > now {
+                                    std::thread::sleep(next - now);
+                                }
+                                next += gap;
+                            }
+                            if let Ok(t) = handle.try_submit(job_list[i].clone()) {
+                                tickets.push((i, t));
+                            }
+                        }
+                        accepted
+                            .fetch_add(tickets.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                        for (i, ticket) in tickets {
+                            assert_eq!(
+                                ticket.wait().expect("valid modulus"),
+                                oracle[i],
+                                "open-loop job {i} diverged"
+                            );
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = service.shutdown();
+            let accepted = accepted.into_inner();
+            ServeSweepRow {
+                arrival_per_s: rate,
+                offered: job_list.len() as u64,
+                accepted,
+                rejected: stats.rejected,
+                achieved_per_s: accepted as f64 / elapsed,
+                service: stats,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +792,36 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[1].speedup > 3.0, "speedup {:.2}", rows[1].speedup);
         assert!(rows[1].makespan_cycles < rows[0].makespan_cycles);
+    }
+
+    #[test]
+    fn serve_throughput_small_run() {
+        let row = serve_throughput("montgomery", 64, 64, 2, 2, 3);
+        assert_eq!(row.jobs, 64);
+        assert!(row.staged_jobs_per_s > 0.0);
+        assert!(row.streamed_jobs_per_s > 0.0);
+        assert!(row.streamed_vs_staged > 0.0);
+        assert_eq!(row.service.completed, 64);
+        assert_eq!(row.service.failed, 0);
+        assert!(row.service.wall_p99_ns >= row.service.wall_p50_ns);
+    }
+
+    #[test]
+    fn serve_sweep_small_run() {
+        // One paced point and one flat-out point; correctness of every
+        // accepted job is asserted inside the sweep.
+        let rows = serve_sweep("barrett", 64, 48, 2, 2, &[2000.0, 0.0], 5);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.offered, 48);
+            assert!(row.accepted > 0);
+            assert_eq!(
+                row.accepted + row.rejected,
+                row.service.submitted + row.rejected
+            );
+            assert!(row.achieved_per_s > 0.0);
+            assert!(row.service.modelled_p99_cycles >= row.service.modelled_p50_cycles);
+        }
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! using it directly between batches no longer pollutes the next
 //! batch's energy account.
 //!
+//! A tile serves **staged** batches: the caller already holds every
+//! pair. To keep a tile saturated from callers that produce work one
+//! request at a time, put a [`crate::service::ModSramService`] in
+//! front — its coalescing batcher merges the submission stream into
+//! multiplicand-major batches (bounded by
+//! [`crate::service::ServiceConfig::max_batch`] and flushed at latest
+//! every [`crate::service::ServiceConfig::flush_interval`]) before
+//! handing them to the same dispatcher machinery used here.
+//!
 //! # Examples
 //!
 //! ```
@@ -290,17 +299,15 @@ impl BankedModSram {
         // Device-backed tiles serialise whole batches so the per-bank
         // meter windows of concurrent callers cannot overlap (which
         // would double-count cycles and energy in both batches).
-        let _meter_guard = self
-            .shards
-            .iter()
-            .any(|s| s.dev.is_some())
-            .then(|| self.meter_lock.lock().expect("meter lock"));
+        let _meter_guard = self.shards.iter().any(|s| s.dev.is_some()).then(|| {
+            self.meter_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        });
         let shards: Vec<Arc<dyn PreparedModMul>> =
             self.shards.iter().map(|s| Arc::clone(&s.ctx)).collect();
         let before = self.bank_meters();
-        let (results, dstats) = dispatcher
-            .dispatch_sharded(&shards, pairs)
-            .map_err(CoreError::ModMul)?;
+        let (results, dstats) = dispatcher.dispatch_sharded(&shards, pairs)?;
         let after = self.bank_meters();
         Ok((results, self.aggregate(&before, &after, &dstats)))
     }

@@ -28,6 +28,16 @@
 //! that exactly one worker can win, whether it arrives as the owner or
 //! as a thief.
 //!
+//! This module is the **staged** half of the serving story: callers
+//! materialise a whole batch and dispatch it in one call. The
+//! **streaming** half lives in [`crate::service`]: a
+//! [`crate::service::ModSramService`] owns a bounded submission queue
+//! and a coalescing batcher whose knobs
+//! ([`crate::service::ServiceConfig::max_batch`],
+//! [`crate::service::ServiceConfig::flush_interval`]) control how many
+//! queued jobs are merged into each multiplicand-major batch handed to
+//! this dispatcher.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,12 +60,13 @@
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use modsram_bigint::UBig;
-use modsram_modmul::{engine_by_name, EngineCtor, ModMulError, PreparedModMul};
+use modsram_modmul::{EngineCtor, ModMulError, PreparedModMul, ENGINE_REGISTRY};
 
+use crate::error::CoreError;
 use crate::modsram::{ModSramConfig, PreparedModSram};
 
 /// Relative cost (in multiplication-equivalents) charged per
@@ -154,7 +165,8 @@ pub fn seed_assignments(chunks: &[Chunk], workers: usize) -> Vec<Vec<usize>> {
     let mut load = vec![0u64; workers];
     let mut assignments = vec![Vec::new(); workers];
     for (id, chunk) in chunks.iter().enumerate() {
-        let lightest = (0..workers).min_by_key(|&w| (load[w], w)).expect(">= 1");
+        // `workers >= 1`, so the fold always visits at least index 0.
+        let lightest = (1..workers).fold(0, |best, w| if load[w] < load[best] { w } else { best });
         load[lightest] += chunk.cost;
         assignments[lightest].push(id);
     }
@@ -232,6 +244,13 @@ impl MulJob {
 /// How a [`ContextPool`] prepares a context for a new modulus.
 type Preparer = Box<dyn Fn(&UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> + Send + Sync>;
 
+/// A cached context plus the logical timestamp of its last use (the
+/// LRU ordering key when the pool is capacity-bounded).
+struct PoolEntry {
+    ctx: Arc<dyn PreparedModMul>,
+    last_used: u64,
+}
+
 /// A thread-safe cache of prepared contexts keyed by modulus.
 ///
 /// Preparation (Montgomery `R²`/`−p⁻¹`, Barrett `µ`, LUT rows, or a
@@ -240,21 +259,32 @@ type Preparer = Box<dyn Fn(&UBig) -> Result<Box<dyn PreparedModMul>, ModMulError
 /// `Arc`. Safe to share across threads — concurrent first requests for
 /// one modulus may race to prepare, but exactly one context wins the
 /// cache and everyone receives that winner.
+///
+/// Unbounded by default; [`ContextPool::with_capacity`] bounds the
+/// cache for long mixed-modulus streams, evicting the least-recently
+/// used modulus once the bound is exceeded (contexts already handed
+/// out stay alive through their `Arc`s — eviction only drops the
+/// cache's reference, so a re-request re-prepares).
 pub struct ContextPool {
     preparer: Preparer,
-    cache: Mutex<HashMap<UBig, Arc<dyn PreparedModMul>>>,
+    cache: Mutex<HashMap<UBig, PoolEntry>>,
+    capacity: Option<usize>,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for ContextPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ContextPool {{ moduli: {}, hits: {}, misses: {} }}",
+            "ContextPool {{ moduli: {}, capacity: {:?}, hits: {}, misses: {}, evictions: {} }}",
             self.len(),
+            self.capacity,
             self.hits(),
-            self.misses()
+            self.misses(),
+            self.evictions()
         )
     }
 }
@@ -267,9 +297,21 @@ impl ContextPool {
         ContextPool {
             preparer: Box::new(preparer),
             cache: Mutex::new(HashMap::new()),
+            capacity: None,
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the cache to `max_moduli` distinct moduli (at least 1).
+    /// When a fresh preparation would exceed the bound, the
+    /// least-recently-used modulus is evicted and counted in
+    /// [`ContextPool::evictions`].
+    pub fn with_capacity(mut self, max_moduli: usize) -> Self {
+        self.capacity = Some(max_moduli.max(1));
+        self
     }
 
     /// Pool over a registry engine constructor.
@@ -280,11 +322,8 @@ impl ContextPool {
     /// Pool over a registry engine by name, or `None` for an unknown
     /// name.
     pub fn for_engine_name(name: &str) -> Option<Self> {
-        engine_by_name(name)?;
-        let name = name.to_string();
-        Some(Self::new(move |p| {
-            engine_by_name(&name).expect("validated above").prepare(p)
-        }))
+        let (_, ctor) = ENGINE_REGISTRY.iter().find(|(n, _)| *n == name)?;
+        Some(Self::for_engine_ctor(*ctor))
     }
 
     /// Pool of cycle-accurate ModSRAM devices: each distinct modulus
@@ -295,35 +334,88 @@ impl ContextPool {
         })
     }
 
+    /// Locks the cache, refusing (instead of unwinding) when a previous
+    /// holder panicked mid-update.
+    fn lock_cache(&self) -> Result<std::sync::MutexGuard<'_, HashMap<UBig, PoolEntry>>, CoreError> {
+        self.cache.lock().map_err(|_| CoreError::PoisonedLock {
+            what: "context pool",
+        })
+    }
+
     /// Returns the prepared context for `p`, preparing it on first use.
     ///
     /// # Errors
     ///
     /// Propagates the preparation error (zero modulus, even modulus for
-    /// the Montgomery family, …). Failures are not cached.
-    pub fn context(&self, p: &UBig) -> Result<Arc<dyn PreparedModMul>, ModMulError> {
-        if let Some(ctx) = self.cache.lock().expect("pool lock").get(p) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(ctx));
+    /// the Montgomery family, …) as [`CoreError::ModMul`]; failures are
+    /// not cached. [`CoreError::PoisonedLock`] if a previous caller
+    /// panicked while holding the cache.
+    pub fn context(&self, p: &UBig) -> Result<Arc<dyn PreparedModMul>, CoreError> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut cache = self.lock_cache()?;
+            if let Some(entry) = cache.get_mut(p) {
+                entry.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.ctx));
+            }
         }
         // Prepare outside the lock so a slow preparation (device
         // construction, LUT fill) doesn't serialise unrelated moduli.
-        let fresh: Arc<dyn PreparedModMul> = Arc::from((self.preparer)(p)?);
+        let fresh: Arc<dyn PreparedModMul> =
+            Arc::from((self.preparer)(p).map_err(CoreError::ModMul)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("pool lock");
+        let mut cache = self.lock_cache()?;
         // A concurrent preparer may have won the race; keep the cached
         // one so every caller shares a single canonical context.
-        Ok(Arc::clone(cache.entry(p.clone()).or_insert(fresh)))
+        let entry = cache.entry(p.clone()).or_insert(PoolEntry {
+            ctx: fresh,
+            last_used: stamp,
+        });
+        entry.last_used = entry.last_used.max(stamp);
+        let ctx = Arc::clone(&entry.ctx);
+        self.evict_over_capacity(&mut cache, p);
+        Ok(ctx)
+    }
+
+    /// Evicts least-recently-used entries (never `keep`) until the
+    /// cache fits the configured capacity.
+    fn evict_over_capacity(&self, cache: &mut HashMap<UBig, PoolEntry>, keep: &UBig) {
+        let Some(cap) = self.capacity else { return };
+        while cache.len() > cap {
+            let victim = cache
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    cache.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Number of distinct moduli currently cached.
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("pool lock").len()
+        // Read-only observation: recover the map from a poisoned lock
+        // rather than failing a stats probe.
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when no modulus has been prepared yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Requests served from the cache.
@@ -334,6 +426,11 @@ impl ContextPool {
     /// Requests that had to run the preparer.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Contexts dropped from a capacity-bounded cache.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -469,7 +566,11 @@ impl Dispatcher {
                                 local.push((id, results));
                             }
                             Err(e) => {
-                                let mut slot = first_error.lock().expect("error lock");
+                                // A poisoned error slot means another
+                                // worker panicked; recover the slot —
+                                // the abort flag still wins the race.
+                                let mut slot =
+                                    first_error.lock().unwrap_or_else(PoisonError::into_inner);
                                 slot.get_or_insert(e);
                                 abort.store(true, Ordering::Release);
                             }
@@ -511,7 +612,10 @@ impl Dispatcher {
                             }
                         }
                     }
-                    parts.lock().expect("parts lock").append(&mut local);
+                    parts
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .append(&mut local);
                     worker_items[w].store(items, Ordering::Relaxed);
                     worker_busy[w].store(busy, Ordering::Relaxed);
                 });
@@ -519,7 +623,10 @@ impl Dispatcher {
         });
 
         stats.elapsed_ns = started.elapsed().as_nanos() as u64;
-        if let Some(e) = first_error.into_inner().expect("error lock") {
+        if let Some(e) = first_error
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             return Err(e);
         }
         stats.steals = steals.into_inner();
@@ -529,7 +636,7 @@ impl Dispatcher {
         }
         stats.items = stats.per_worker_items.iter().sum();
 
-        let mut parts = parts.into_inner().expect("parts lock");
+        let mut parts = parts.into_inner().unwrap_or_else(PoisonError::into_inner);
         parts.sort_unstable_by_key(|(id, _)| chunks[*id].range.start);
         let mut results = Vec::with_capacity(total_items);
         for (_, mut part) in parts {
@@ -587,12 +694,15 @@ impl Dispatcher {
         &self,
         ctx: &dyn PreparedModMul,
         pairs: &[(UBig, UBig)],
-    ) -> Result<(Vec<UBig>, DispatchStats), ModMulError> {
+    ) -> Result<(Vec<UBig>, DispatchStats), CoreError> {
         let chunks = plan_mul_chunks(pairs, self.chunk_size_for(pairs.len()));
         self.run_chunks(
             chunks,
             |_| (),
-            |(), chunk| ctx.mod_mul_batch(&pairs[chunk.range.clone()]),
+            |(), chunk| {
+                ctx.mod_mul_batch(&pairs[chunk.range.clone()])
+                    .map_err(CoreError::ModMul)
+            },
         )
     }
 
@@ -612,7 +722,7 @@ impl Dispatcher {
         &self,
         shards: &[Arc<dyn PreparedModMul>],
         pairs: &[(UBig, UBig)],
-    ) -> Result<(Vec<UBig>, DispatchStats), ModMulError> {
+    ) -> Result<(Vec<UBig>, DispatchStats), CoreError> {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(
             shards.iter().all(|s| s.modulus() == shards[0].modulus()),
@@ -622,7 +732,10 @@ impl Dispatcher {
         self.run_chunks(
             chunks,
             |w| Arc::clone(&shards[w % shards.len()]),
-            |ctx, chunk| ctx.mod_mul_batch(&pairs[chunk.range.clone()]),
+            |ctx, chunk| {
+                ctx.mod_mul_batch(&pairs[chunk.range.clone()])
+                    .map_err(CoreError::ModMul)
+            },
         )
     }
 
@@ -638,17 +751,18 @@ impl Dispatcher {
         &self,
         pool: &ContextPool,
         jobs: &[MulJob],
-    ) -> Result<(Vec<UBig>, DispatchStats), ModMulError> {
+    ) -> Result<(Vec<UBig>, DispatchStats), CoreError> {
         let chunks = plan_job_chunks(jobs, self.chunk_size_for(jobs.len()));
         self.run_chunks(
             chunks,
             |_| (),
             |(), chunk| {
                 let slice = &jobs[chunk.range.clone()];
-                let ctx = pool.context(&slice[0].modulus)?;
+                let first = slice.first().ok_or(CoreError::EmptyChunk)?;
+                let ctx = pool.context(&first.modulus)?;
                 let pairs: Vec<(UBig, UBig)> =
                     slice.iter().map(|j| (j.a.clone(), j.b.clone())).collect();
-                ctx.mod_mul_batch(&pairs)
+                ctx.mod_mul_batch(&pairs).map_err(CoreError::ModMul)
             },
         )
     }
@@ -797,13 +911,52 @@ mod tests {
         let pool = ContextPool::for_engine_name("montgomery").unwrap();
         assert_eq!(
             pool.context(&UBig::zero()).err(),
-            Some(ModMulError::ZeroModulus)
+            Some(CoreError::ModMul(ModMulError::ZeroModulus))
         );
         assert_eq!(
             pool.context(&UBig::from(8u64)).err(),
-            Some(ModMulError::EvenModulus)
+            Some(CoreError::ModMul(ModMulError::EvenModulus))
         );
         assert!(pool.is_empty(), "failures are not cached");
+    }
+
+    #[test]
+    fn bounded_pool_evicts_least_recently_used() {
+        let pool = ContextPool::for_engine_ctor(|| Box::new(DirectEngine::new())).with_capacity(2);
+        let (p1, p2, p3) = (UBig::from(97u64), UBig::from(101u64), UBig::from(103u64));
+        let first = pool.context(&p1).unwrap();
+        let _ = pool.context(&p2).unwrap();
+        // Touch p1 so p2 becomes the LRU victim when p3 arrives.
+        let _ = pool.context(&p1).unwrap();
+        let _ = pool.context(&p3).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.evictions(), 1);
+        assert_eq!(pool.capacity(), Some(2));
+        // p1 survived (same Arc), p2 was dropped and re-prepares.
+        let again = pool.context(&p1).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "p1 must still be cached");
+        let misses_before = pool.misses();
+        let _ = pool.context(&p2).unwrap();
+        assert_eq!(pool.misses(), misses_before + 1, "p2 was evicted");
+        // The evicted-then-reprepared context still multiplies correctly.
+        assert_eq!(
+            pool.context(&p2)
+                .unwrap()
+                .mod_mul(&UBig::from(10u64), &UBig::from(11u64))
+                .unwrap(),
+            UBig::from(110u64 % 101)
+        );
+    }
+
+    #[test]
+    fn unbounded_pool_never_evicts() {
+        let pool = ContextPool::for_engine_ctor(|| Box::new(DirectEngine::new()));
+        for i in 0..16u64 {
+            let _ = pool.context(&UBig::from(101 + 2 * i)).unwrap();
+        }
+        assert_eq!(pool.len(), 16);
+        assert_eq!(pool.evictions(), 0);
+        assert_eq!(pool.capacity(), None);
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub enum CoreError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A shared lock was poisoned by a panicking holder; the protected
+    /// state can no longer be trusted, so the operation is refused
+    /// instead of unwinding the caller.
+    PoisonedLock {
+        /// Which lock was found poisoned.
+        what: &'static str,
+    },
+    /// A planner handed the dispatcher a chunk covering no items —
+    /// impossible through the public planning functions, surfaced as an
+    /// error rather than an index panic for callers that build chunks
+    /// by hand.
+    EmptyChunk,
+    /// A streaming submission raced a [`crate::service::ModSramService`]
+    /// shutdown: the job was not executed.
+    ServiceStopped,
     /// A structurally invalid micro-program (see [`crate::isa`]).
     Program(crate::isa::ProgramError),
     /// Lock-step verification against the functional model diverged —
@@ -74,6 +89,13 @@ impl fmt::Display for CoreError {
             CoreError::ModMul(e) => write!(f, "{e}"),
             CoreError::UnknownEngine { name } => {
                 write!(f, "no engine named '{name}' in the registry")
+            }
+            CoreError::PoisonedLock { what } => {
+                write!(f, "the {what} lock was poisoned by a panicking holder")
+            }
+            CoreError::EmptyChunk => write!(f, "a dispatched chunk covered no items"),
+            CoreError::ServiceStopped => {
+                write!(f, "the service shut down before the job could run")
             }
             CoreError::Program(e) => write!(f, "{e}"),
             CoreError::ModelDivergence { iteration, what } => write!(

@@ -23,10 +23,16 @@
 //!   unchanged — the paper's data-reuse claim), executes multiplications,
 //!   and optionally verifies every phase against the word-level
 //!   functional model from `modsram-modmul` in lock-step.
-//! * [`dispatch`] — the serving layer: a work-stealing
+//! * [`dispatch`] — the staged serving layer: a work-stealing
 //!   [`dispatch::Dispatcher`] over chunked batches, a per-modulus
-//!   [`dispatch::ContextPool`], and the cost-aware chunk planner that
-//!   [`BankedModSram`] seeds its banks with.
+//!   (optionally LRU-bounded) [`dispatch::ContextPool`], and the
+//!   cost-aware chunk planner that [`BankedModSram`] seeds its banks
+//!   with.
+//! * [`service`] — the streaming front-end: a [`service::ModSramService`]
+//!   with cloneable submission handles, bounded-queue backpressure,
+//!   completion tickets, and a coalescing batcher that drains the
+//!   request stream into multiplicand-major batches for the
+//!   dispatcher.
 //!
 //! # Examples
 //!
@@ -51,6 +57,7 @@ pub mod isa;
 mod memmap;
 mod modsram;
 mod nmc;
+pub mod service;
 pub mod session;
 mod stats;
 pub mod trace;
@@ -62,6 +69,10 @@ pub use isa::{Executor, MicroOp, Program, ProgramError};
 pub use memmap::{MemoryMap, PointAddWorkingSet};
 pub use modsram::{ModSram, ModSramConfig, PreparedModSram};
 pub use nmc::Nmc;
+pub use service::{
+    ExecBackend, ModSramService, ServiceConfig, ServiceError, ServiceStats, SubmitError,
+    SubmitHandle, Ticket,
+};
 pub use session::{ScratchSession, SessionStats, StagedPoint};
 pub use stats::{PrecomputeStats, RunStats};
 pub use trace::{DataflowSnapshot, Phase};

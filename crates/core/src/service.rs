@@ -1,0 +1,1389 @@
+//! The streaming front-end of the serving stack: a [`ModSramService`]
+//! accepts individual [`MulJob`]s from any number of threads and keeps
+//! the dispatch layer saturated without callers ever staging a batch.
+//!
+//! The ROADMAP's staged path ([`Dispatcher::dispatch_jobs`]) forces
+//! every consumer to materialise a `Vec<MulJob>` before anything runs —
+//! fine for a solver that owns its whole workload, wrong for a server
+//! multiplexing ECDSA verifications, Pedersen commitments, and NTT
+//! stages from independent tenants. The service closes that gap with
+//! three pieces:
+//!
+//! * **Submission handles** — [`ModSramService::handle`] returns a
+//!   cloneable [`SubmitHandle`]; [`SubmitHandle::submit`] enqueues one
+//!   job and returns a [`Ticket`] redeemable for the product
+//!   (blocking [`Ticket::wait`] or non-blocking [`Ticket::try_poll`]).
+//! * **Backpressure** — the queue is bounded
+//!   ([`ServiceConfig::queue_capacity`]). `submit` blocks until space
+//!   frees; [`SubmitHandle::try_submit`] refuses immediately with
+//!   [`SubmitError::QueueFull`] so open-loop producers can shed load.
+//! * **A coalescing batcher** — a dedicated thread drains the queue
+//!   into batches of at most [`ServiceConfig::max_batch`] jobs,
+//!   waiting at most [`ServiceConfig::flush_interval`] for stragglers,
+//!   sorts each batch **multiplicand-major** (modulus-major, then by
+//!   `b`) so the paper's Table 1b reuse survives interleaved tenants,
+//!   and executes it through the existing [`Dispatcher`] over a shared
+//!   [`ContextPool`]. Results are routed back to tickets in
+//!   submission order regardless of the coalesced execution order.
+//!
+//! [`ModSramService::shutdown`] closes the queue, lets the batcher
+//! drain every in-flight ticket, and returns the final
+//! [`ServiceStats`] (queue depth, coalesce sizes, and p50/p99 latency
+//! in both wall-clock nanoseconds and modelled device cycles).
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_bigint::UBig;
+//! use modsram_core::service::{ModSramService, ServiceConfig};
+//! use modsram_core::dispatch::MulJob;
+//!
+//! let service = ModSramService::for_engine_name(
+//!     "montgomery",
+//!     ServiceConfig::default(),
+//! ).unwrap();
+//! let handle = service.handle();
+//! let ticket = handle
+//!     .submit(MulJob::new(UBig::from(55u64), UBig::from(44u64), UBig::from(97u64)))
+//!     .unwrap();
+//! assert_eq!(ticket.wait().unwrap(), UBig::from(55u64 * 44 % 97));
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modsram_bigint::UBig;
+use modsram_modmul::{ModMulError, PreparedModMul};
+
+use crate::dispatch::{
+    plan_job_chunks, seed_assignments, ContextPool, Dispatcher, MulJob, StealPolicy,
+};
+use crate::error::CoreError;
+use crate::modsram::ModSramConfig;
+
+/// Wordline rewrites charged per multiplicand change in the modelled
+/// latency estimate: the 5 radix-4 rows of Table 1b plus the 8
+/// overflow-LUT rows are rewritten whenever `B` changes.
+pub const MODELLED_REFILL_CYCLES: u64 = 13;
+
+/// Modelled cycles of one R4CSA-LUT multiplication at `bits` operand
+/// width: `6·⌈bits/2⌉ − 1` (the paper's Table 3 formula — 767 cycles at
+/// 256 bits).
+pub fn modelled_mul_cycles(bits: usize) -> u64 {
+    let digits = bits.div_ceil(2).max(1) as u64;
+    6 * digits - 1
+}
+
+/// Modelled makespan, in device cycles, of executing `jobs` as one
+/// coalesced batch over `workers` lanes: chunks are planned and seeded
+/// exactly as the dispatcher would, each chunk is costed with
+/// [`modelled_mul_cycles`] per job plus [`MODELLED_REFILL_CYCLES`] per
+/// multiplicand change, and the makespan is the busiest lane's total.
+pub fn modelled_batch_cycles(jobs: &[MulJob], workers: usize, chunk_target: usize) -> u64 {
+    if jobs.is_empty() {
+        return 0;
+    }
+    let chunks = plan_job_chunks(jobs, chunk_target);
+    let cycles: Vec<u64> = chunks
+        .iter()
+        .map(|c| {
+            let mut cyc = 0u64;
+            let mut prev: Option<&UBig> = None;
+            for job in &jobs[c.range.clone()] {
+                cyc += modelled_mul_cycles(job.modulus.bit_len());
+                if prev != Some(&job.b) {
+                    cyc += MODELLED_REFILL_CYCLES;
+                }
+                prev = Some(&job.b);
+            }
+            cyc
+        })
+        .collect();
+    let lanes = workers.min(chunks.len()).max(1);
+    seed_assignments(&chunks, lanes)
+        .iter()
+        .map(|ids| ids.iter().map(|&i| cycles[i]).sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Tuning knobs of a [`ModSramService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Dispatcher workers executing each coalesced batch.
+    pub workers: usize,
+    /// Bound on queued-but-not-yet-drained jobs: `submit` blocks and
+    /// `try_submit` returns [`SubmitError::QueueFull`] beyond it.
+    pub queue_capacity: usize,
+    /// Coalescing size trigger: a batch is dispatched as soon as this
+    /// many jobs have been drained.
+    pub max_batch: usize,
+    /// Coalescing time trigger: after the first job of a batch is
+    /// drained, the batcher waits at most this long for more before
+    /// flushing a short batch. `Duration::ZERO` flushes immediately
+    /// with whatever the queue held.
+    pub flush_interval: Duration,
+    /// Optional dispatcher chunk-size override (defaults to the
+    /// dispatcher's automatic sizing).
+    pub chunk_size: Option<usize>,
+    /// Steal policy for batch execution.
+    pub policy: StealPolicy,
+    /// Executor threads pipelining coalesced batches: while one batch
+    /// executes, the next is already being sorted and planned. `1`
+    /// serialises batches (deterministic batch order; lowest thread
+    /// count); the default of 2 overlaps bookkeeping with execution,
+    /// which closed-loop throughput needs to track staged dispatch.
+    pub pipeline_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch: 512,
+            flush_interval: Duration::from_micros(100),
+            chunk_size: None,
+            policy: StealPolicy::WorkStealing,
+            pipeline_depth: 2,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full ([`SubmitHandle::try_submit`] only —
+    /// the blocking [`SubmitHandle::submit`] waits instead).
+    QueueFull,
+    /// The service has shut down; no further jobs are accepted.
+    Stopped,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::Stopped => write!(f, "service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted job ultimately failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The service stopped before the job completed: an executor
+    /// thread panicked mid-batch (its unwind guard fails the batch's
+    /// remaining tickets rather than leaving waiters hung). A graceful
+    /// [`ModSramService::shutdown`] never produces this — it drains.
+    Stopped,
+    /// The execution layer rejected the job (bad modulus for the
+    /// configured engine, poisoned pool, …).
+    Mul(CoreError),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::Stopped => write!(f, "service stopped before the job ran"),
+            ServiceError::Mul(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ServiceError> for CoreError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Stopped => CoreError::ServiceStopped,
+            ServiceError::Mul(core) => core,
+        }
+    }
+}
+
+/// One ticket's completion slot.
+struct TicketState {
+    slot: Mutex<Option<Result<UBig, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Delivers a result if none has been delivered yet; returns
+    /// whether this call won the slot (later calls are no-ops, which
+    /// makes the executor's panic guard idempotent with normal
+    /// delivery).
+    fn complete(&self, result: Result<UBig, ServiceError>) -> bool {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let won = slot.is_none();
+        if won {
+            *slot = Some(result);
+        }
+        self.ready.notify_all();
+        won
+    }
+}
+
+/// A claim on one submitted job's eventual product.
+///
+/// Redeem with [`Ticket::wait`] (blocking) or poll with
+/// [`Ticket::try_poll`]; both may be called repeatedly and from the
+/// thread of your choice.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl core::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Ticket {{ done: {} }}", self.is_done())
+    }
+}
+
+impl Ticket {
+    /// Blocks until the job completes and returns its result.
+    pub fn wait(&self) -> Result<UBig, ServiceError> {
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns the result if the job has completed, `None` while it is
+    /// still queued or executing.
+    pub fn try_poll(&self) -> Option<Result<UBig, ServiceError>> {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// `true` once a result (success or failure) is available.
+    pub fn is_done(&self) -> bool {
+        self.try_poll().is_some()
+    }
+}
+
+/// One accepted job waiting in the queue.
+struct Queued {
+    job: MulJob,
+    ticket: Arc<TicketState>,
+    submitted: Instant,
+}
+
+/// Queue state guarded by the service mutex.
+struct QueueInner {
+    jobs: VecDeque<Queued>,
+    closed: bool,
+}
+
+/// Fixed-size reservoir sample of `u64` observations with a
+/// deterministic xorshift replacement stream — bounded memory no matter
+/// how long the service runs, unbiased enough for p50/p99 reporting.
+struct Reservoir {
+    cap: usize,
+    seen: u64,
+    rng: u64,
+    samples: Vec<u64>,
+}
+
+impl Reservoir {
+    fn new(cap: usize) -> Self {
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            samples: Vec::new(),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, no external RNG dependency.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+
+    /// Nearest-rank percentile over the sample (`q` in `[0, 1]`); 0
+    /// when nothing has been observed.
+    fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// Counters and latency reservoirs shared by handles, the batcher, and
+/// stats readers.
+struct StatsCell {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    coalesce_min: AtomicU64,
+    coalesce_max: AtomicU64,
+    wall_ns: Mutex<Reservoir>,
+    cycles: Mutex<Reservoir>,
+}
+
+impl StatsCell {
+    fn new() -> Self {
+        StatsCell {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_jobs: AtomicU64::new(0),
+            coalesce_min: AtomicU64::new(u64::MAX),
+            coalesce_max: AtomicU64::new(0),
+            wall_ns: Mutex::new(Reservoir::new(4096)),
+            cycles: Mutex::new(Reservoir::new(4096)),
+        }
+    }
+}
+
+/// Queue + stats shared between the service, its handles, and the
+/// batcher thread.
+struct Shared {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    stats: StatsCell,
+}
+
+impl Shared {
+    fn lock_inner(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The bounded hand-off between the batcher and the executor pool:
+/// coalesced batches queue here so sorting/planning/dispatching of
+/// batch `N+1` overlaps the execution of batch `N`.
+struct ExecQueue {
+    inner: Mutex<(VecDeque<Vec<Queued>>, bool)>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl ExecQueue {
+    fn new(capacity: usize) -> Self {
+        ExecQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a batch, blocking while the pipeline is full.
+    fn push(&self, batch: Vec<Queued>) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        while inner.0.len() >= self.capacity && !inner.1 {
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        inner.0.push_back(batch);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the next batch; `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<Queued>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(batch) = inner.0.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(batch);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the pipeline closed; executors drain what remains.
+    fn close(&self) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A cloneable submission endpoint: cheap to hand to every producer
+/// thread; all clones feed the one bounded queue.
+#[derive(Clone)]
+pub struct SubmitHandle {
+    shared: Arc<Shared>,
+}
+
+impl core::fmt::Debug for SubmitHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "SubmitHandle {{ queue_depth: {} }}",
+            self.shared.lock_inner().jobs.len()
+        )
+    }
+}
+
+impl SubmitHandle {
+    fn enqueue(&self, job: MulJob, inner: &mut QueueInner) -> Ticket {
+        let state = TicketState::new();
+        inner.jobs.push_back(Queued {
+            job,
+            ticket: Arc::clone(&state),
+            submitted: Instant::now(),
+        });
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        Ticket { state }
+    }
+
+    /// Submits one job, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once the service has shut down.
+    pub fn submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
+        let mut inner = self.shared.lock_inner();
+        loop {
+            if inner.closed {
+                return Err(SubmitError::Stopped);
+            }
+            if inner.jobs.len() < self.shared.capacity {
+                break;
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let ticket = self.enqueue(job, &mut inner);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(ticket)
+    }
+
+    /// Submits one job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity (the
+    /// rejection is counted in [`ServiceStats::rejected`]),
+    /// [`SubmitError::Stopped`] after shutdown.
+    pub fn try_submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
+        let mut inner = self.shared.lock_inner();
+        if inner.closed {
+            return Err(SubmitError::Stopped);
+        }
+        if inner.jobs.len() >= self.shared.capacity {
+            drop(inner);
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        let ticket = self.enqueue(job, &mut inner);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(ticket)
+    }
+
+    /// Submits a whole slice of jobs under one queue acquisition —
+    /// per-job locking vanishes from the producer's hot path, while
+    /// backpressure still applies (the call blocks whenever the queue
+    /// is at capacity, releasing the lock until space frees).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] if the service shuts down before every
+    /// job is queued. Jobs already queued by then still execute and
+    /// drain, but their tickets are not returned — treat the whole
+    /// call as failed.
+    pub fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, SubmitError> {
+        let mut tickets = Vec::with_capacity(jobs.len());
+        let mut inner = self.shared.lock_inner();
+        for job in jobs {
+            loop {
+                if inner.closed {
+                    return Err(SubmitError::Stopped);
+                }
+                if inner.jobs.len() < self.shared.capacity {
+                    break;
+                }
+                self.shared.not_empty.notify_one();
+                inner = self
+                    .shared
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            tickets.push(self.enqueue(job, &mut inner));
+        }
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(tickets)
+    }
+
+    /// Jobs currently queued (excludes the batch being executed).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_inner().jobs.len()
+    }
+}
+
+/// Point-in-time statistics snapshot of a running service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs currently queued (not yet drained into a batch).
+    pub queue_depth: usize,
+    /// Jobs accepted (blocking and non-blocking submissions).
+    pub submitted: u64,
+    /// `try_submit` calls refused with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs completed with an error.
+    pub failed: u64,
+    /// Coalesced batches dispatched.
+    pub batches: u64,
+    /// Smallest batch dispatched (0 before the first batch).
+    pub coalesce_min: u64,
+    /// Largest batch dispatched.
+    pub coalesce_max: u64,
+    /// Mean jobs per dispatched batch.
+    pub coalesce_mean: f64,
+    /// Median submit→complete latency, wall-clock nanoseconds
+    /// (includes queue wait and coalescing delay).
+    pub wall_p50_ns: u64,
+    /// 99th-percentile wall-clock latency, nanoseconds.
+    pub wall_p99_ns: u64,
+    /// Median modelled latency in device cycles: the
+    /// [`modelled_batch_cycles`] makespan of the batch the job rode in.
+    pub modelled_p50_cycles: u64,
+    /// 99th-percentile modelled latency, device cycles.
+    pub modelled_p99_cycles: u64,
+    /// Context-pool cache hits.
+    pub pool_hits: u64,
+    /// Context-pool cache misses (preparations run).
+    pub pool_misses: u64,
+    /// Context-pool LRU evictions.
+    pub pool_evictions: u64,
+}
+
+/// The streaming modular-multiplication service (see the module docs).
+pub struct ModSramService {
+    shared: Arc<Shared>,
+    pool: Arc<ContextPool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    config: ServiceConfig,
+}
+
+impl core::fmt::Debug for ModSramService {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ModSramService {{ workers: {}, capacity: {}, queue_depth: {} }}",
+            self.config.workers,
+            self.config.queue_capacity,
+            self.queue_depth()
+        )
+    }
+}
+
+impl ModSramService {
+    /// Starts a service executing through `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers`, `config.queue_capacity`, or
+    /// `config.max_batch` is zero.
+    pub fn new(pool: ContextPool, config: ServiceConfig) -> Self {
+        Self::with_shared_pool(Arc::new(pool), config)
+    }
+
+    /// Starts a service over an already-shared pool (e.g. one also
+    /// serving staged dispatch elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// As [`ModSramService::new`].
+    pub fn with_shared_pool(pool: Arc<ContextPool>, config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        assert!(config.pipeline_depth > 0, "need at least one executor");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity,
+            stats: StatsCell::new(),
+        });
+        let exec_queue = Arc::new(ExecQueue::new(config.pipeline_depth));
+        let mut threads = Vec::with_capacity(1 + config.pipeline_depth);
+        for e in 0..config.pipeline_depth {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            let config = config.clone();
+            let exec_queue = Arc::clone(&exec_queue);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("modsram-exec-{e}"))
+                    .spawn(move || executor_loop(shared, pool, config, exec_queue))
+                    .expect("spawn executor thread"),
+            );
+        }
+        let thread_shared = Arc::clone(&shared);
+        let thread_config = config.clone();
+        threads.insert(
+            0,
+            std::thread::Builder::new()
+                .name("modsram-batcher".into())
+                .spawn(move || batcher_loop(thread_shared, thread_config, exec_queue))
+                .expect("spawn batcher thread"),
+        );
+        ModSramService {
+            shared,
+            pool,
+            threads: Mutex::new(threads),
+            config,
+        }
+    }
+
+    /// Service over a registry engine by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownEngine`] for a name absent from the
+    /// registry.
+    pub fn for_engine_name(name: &str, config: ServiceConfig) -> Result<Self, CoreError> {
+        let pool = ContextPool::for_engine_name(name).ok_or_else(|| CoreError::UnknownEngine {
+            name: name.to_string(),
+        })?;
+        Ok(Self::new(pool, config))
+    }
+
+    /// Service over a pool of cycle-accurate ModSRAM devices (one
+    /// modulus-loaded device per distinct modulus).
+    pub fn for_modsram(device: ModSramConfig, config: ServiceConfig) -> Self {
+        Self::new(ContextPool::for_modsram(device), config)
+    }
+
+    /// A cloneable submission endpoint for producer threads.
+    pub fn handle(&self) -> SubmitHandle {
+        SubmitHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Submits one job, blocking while the queue is at capacity (see
+    /// [`SubmitHandle::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once the service has shut down.
+    pub fn submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
+        self.handle().submit(job)
+    }
+
+    /// Submits one job without blocking (see
+    /// [`SubmitHandle::try_submit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::Stopped`]
+    /// after shutdown.
+    pub fn try_submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
+        self.handle().try_submit(job)
+    }
+
+    /// A [`PreparedModMul`] façade over this service for modulus `p`:
+    /// every `mod_mul` submits through the queue, so existing
+    /// engine-generic consumers (curves, committers, NTT shards)
+    /// stream their multiplications through the shared tile.
+    pub fn prepared(&self, p: &UBig) -> ServicePrepared {
+        ServicePrepared {
+            handle: self.handle(),
+            p: p.clone(),
+        }
+    }
+
+    /// The shared context pool (for staged callers riding the same
+    /// preparations).
+    pub fn pool(&self) -> &Arc<ContextPool> {
+        &self.pool
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_inner().jobs.len()
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared.stats;
+        let batches = s.batches.load(Ordering::Relaxed);
+        let coalesced = s.coalesced_jobs.load(Ordering::Relaxed);
+        let min = s.coalesce_min.load(Ordering::Relaxed);
+        let (wall_p50, wall_p99) = {
+            let r = s.wall_ns.lock().unwrap_or_else(PoisonError::into_inner);
+            (r.percentile(0.50), r.percentile(0.99))
+        };
+        let (cyc_p50, cyc_p99) = {
+            let r = s.cycles.lock().unwrap_or_else(PoisonError::into_inner);
+            (r.percentile(0.50), r.percentile(0.99))
+        };
+        ServiceStats {
+            queue_depth: self.queue_depth(),
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            batches,
+            coalesce_min: if min == u64::MAX { 0 } else { min },
+            coalesce_max: s.coalesce_max.load(Ordering::Relaxed),
+            coalesce_mean: if batches == 0 {
+                0.0
+            } else {
+                coalesced as f64 / batches as f64
+            },
+            wall_p50_ns: wall_p50,
+            wall_p99_ns: wall_p99,
+            modelled_p50_cycles: cyc_p50,
+            modelled_p99_cycles: cyc_p99,
+            pool_hits: self.pool.hits(),
+            pool_misses: self.pool.misses(),
+            pool_evictions: self.pool.evictions(),
+        }
+    }
+
+    /// Gracefully stops the service: refuses new submissions, lets the
+    /// batcher drain and complete every queued ticket, joins the
+    /// batcher thread, and returns the final statistics. Idempotent.
+    pub fn shutdown(&self) -> ServiceStats {
+        {
+            let mut inner = self.shared.lock_inner();
+            inner.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        // The batcher drains the submission queue, forwards the final
+        // batches, and closes the executor pipeline; executors finish
+        // whatever is in flight before exiting — so joining in order
+        // completes every accepted ticket.
+        let threads =
+            std::mem::take(&mut *self.threads.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in threads {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ModSramService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drains queued jobs into `batch` until it holds `max_batch` or the
+/// queue runs dry.
+fn drain_into(inner: &mut QueueInner, batch: &mut Vec<Queued>, max_batch: usize) {
+    while batch.len() < max_batch {
+        match inner.jobs.pop_front() {
+            Some(q) => batch.push(q),
+            None => break,
+        }
+    }
+}
+
+/// The batcher thread: wait → coalesce → forward, until the queue is
+/// both closed and empty; then close the executor pipeline.
+fn batcher_loop(shared: Arc<Shared>, config: ServiceConfig, exec_queue: Arc<ExecQueue>) {
+    loop {
+        let mut batch: Vec<Queued> = Vec::new();
+        {
+            let mut inner = shared.lock_inner();
+            while inner.jobs.is_empty() && !inner.closed {
+                inner = shared
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if inner.jobs.is_empty() && inner.closed {
+                drop(inner);
+                exec_queue.close();
+                return;
+            }
+            drain_into(&mut inner, &mut batch, config.max_batch);
+            // Coalescing window: give stragglers up to `flush_interval`
+            // to join this batch, unless it is already full or the
+            // service is draining for shutdown.
+            if batch.len() < config.max_batch && !inner.closed && !config.flush_interval.is_zero() {
+                let deadline = Instant::now() + config.flush_interval;
+                while batch.len() < config.max_batch && !inner.closed {
+                    if !inner.jobs.is_empty() {
+                        drain_into(&mut inner, &mut batch, config.max_batch);
+                        continue;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .not_empty
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                    if timeout.timed_out() && inner.jobs.is_empty() {
+                        break;
+                    }
+                }
+                drain_into(&mut inner, &mut batch, config.max_batch);
+            }
+        }
+        // Capacity freed: wake every blocked submitter.
+        shared.not_full.notify_all();
+        exec_queue.push(batch);
+    }
+}
+
+/// An executor thread: sorts, plans, dispatches, and delivers batches
+/// handed over by the batcher, until the pipeline closes and drains.
+///
+/// Execution runs under an unwind guard: if anything in the dispatch
+/// path panics, the batch's undelivered tickets fail with
+/// [`ServiceError::Stopped`] instead of hanging their waiters, and the
+/// executor keeps serving later batches.
+fn executor_loop(
+    shared: Arc<Shared>,
+    pool: Arc<ContextPool>,
+    config: ServiceConfig,
+    exec_queue: Arc<ExecQueue>,
+) {
+    let mut dispatcher = Dispatcher::new(config.workers).policy(config.policy);
+    if let Some(chunk) = config.chunk_size {
+        dispatcher = dispatcher.chunk_size(chunk);
+    }
+    while let Some(batch) = exec_queue.pop() {
+        let tickets: Vec<Arc<TicketState>> = batch.iter().map(|q| Arc::clone(&q.ticket)).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(&shared, &pool, &dispatcher, &config, batch);
+        }));
+        if outcome.is_err() {
+            let mut failed = 0u64;
+            for ticket in &tickets {
+                if ticket.complete(Err(ServiceError::Stopped)) {
+                    failed += 1;
+                }
+            }
+            shared.stats.failed.fetch_add(failed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A cheap grouping key for multiplicand-major coalescing: jobs with
+/// equal `(modulus, b)` map to equal keys, so sorting by the key
+/// produces the contiguous shared-multiplicand runs the LUT engines
+/// amortise — without O(n log n) big-integer comparisons on the
+/// batcher's critical path. (A hash collision merely places two
+/// unrelated runs next to each other; the chunk planner still splits
+/// at real modulus boundaries, so correctness never depends on the
+/// key.)
+fn group_key(job: &MulJob) -> (u64, u64) {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    job.modulus.hash(&mut h);
+    let modulus = h.finish();
+    let mut h = DefaultHasher::new();
+    job.b.hash(&mut h);
+    (modulus, h.finish())
+}
+
+/// Sorts a drained batch multiplicand-major, executes it through the
+/// dispatcher, and delivers each result to its ticket.
+fn execute_batch(
+    shared: &Shared,
+    pool: &ContextPool,
+    dispatcher: &Dispatcher,
+    config: &ServiceConfig,
+    mut batch: Vec<Queued>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let stats = &shared.stats;
+    let n = batch.len() as u64;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.coalesced_jobs.fetch_add(n, Ordering::Relaxed);
+    stats.coalesce_min.fetch_min(n, Ordering::Relaxed);
+    stats.coalesce_max.fetch_max(n, Ordering::Relaxed);
+
+    // Multiplicand-major coalescing: group by modulus, then by `b`, so
+    // interleaved tenants still hand the LUT engines long shared-`B`
+    // runs. Each entry carries its own ticket, so execution order and
+    // delivery need no permutation bookkeeping.
+    batch.sort_by_cached_key(|q| group_key(&q.job));
+    let mut jobs = Vec::with_capacity(batch.len());
+    let mut meta = Vec::with_capacity(batch.len());
+    for queued in batch {
+        jobs.push(queued.job);
+        meta.push((queued.ticket, queued.submitted));
+    }
+
+    let chunk_target = dispatcher.chunk_size_for(jobs.len());
+    let makespan_cycles = modelled_batch_cycles(&jobs, config.workers, chunk_target);
+
+    let outcomes: Vec<Result<UBig, ServiceError>> = match dispatcher.dispatch_jobs(pool, &jobs) {
+        Ok((results, _)) => results.into_iter().map(Ok).collect(),
+        // A whole-batch failure (one bad modulus, say) must not take
+        // innocent coalesced neighbours down with it: fall back to
+        // per-job execution and give every ticket its own verdict.
+        Err(_) => jobs
+            .iter()
+            .map(|job| {
+                pool.context(&job.modulus)
+                    .and_then(|ctx| ctx.mod_mul(&job.a, &job.b).map_err(CoreError::ModMul))
+                    .map_err(ServiceError::Mul)
+            })
+            .collect(),
+    };
+
+    let done = Instant::now();
+    let mut wall = stats.wall_ns.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut cycles = stats.cycles.lock().unwrap_or_else(PoisonError::into_inner);
+    let (mut ok, mut errs) = (0u64, 0u64);
+    for ((ticket, submitted), outcome) in meta.into_iter().zip(outcomes) {
+        match &outcome {
+            Ok(_) => ok += 1,
+            Err(_) => errs += 1,
+        }
+        wall.push(done.saturating_duration_since(submitted).as_nanos() as u64);
+        cycles.push(makespan_cycles);
+        ticket.complete(outcome);
+    }
+    stats.completed.fetch_add(ok, Ordering::Relaxed);
+    stats.failed.fetch_add(errs, Ordering::Relaxed);
+}
+
+/// A [`PreparedModMul`] whose every multiplication streams through a
+/// [`ModSramService`] — the bridge that lets engine-generic consumers
+/// (curves over dynamic field contexts, Pedersen committers, NTT
+/// shards) interleave on one shared tile.
+///
+/// Obtained from [`ModSramService::prepared`]. `mod_mul` submits one
+/// job and blocks on its ticket; `mod_mul_batch` submits the whole
+/// batch before waiting, so independent multiplications coalesce.
+pub struct ServicePrepared {
+    handle: SubmitHandle,
+    p: UBig,
+}
+
+impl core::fmt::Debug for ServicePrepared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ServicePrepared {{ p: {} }}", self.p)
+    }
+}
+
+fn backend_error(e: impl core::fmt::Display) -> ModMulError {
+    ModMulError::Backend {
+        reason: e.to_string(),
+    }
+}
+
+/// Unwraps a ticket result into the engine error space: algorithmic
+/// errors pass through, service-level failures become
+/// [`ModMulError::Backend`].
+fn ticket_result(result: Result<UBig, ServiceError>) -> Result<UBig, ModMulError> {
+    match result {
+        Ok(v) => Ok(v),
+        Err(ServiceError::Mul(CoreError::ModMul(e))) => Err(e),
+        Err(other) => Err(backend_error(other)),
+    }
+}
+
+impl PreparedModMul for ServicePrepared {
+    fn engine_name(&self) -> &'static str {
+        "service"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let ticket = self
+            .handle
+            .submit(MulJob::new(a.clone(), b.clone(), self.p.clone()))
+            .map_err(backend_error)?;
+        ticket_result(ticket.wait())
+    }
+
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let jobs: Vec<MulJob> = pairs
+            .iter()
+            .map(|(a, b)| MulJob::new(a.clone(), b.clone(), self.p.clone()))
+            .collect();
+        let tickets = self.handle.submit_many(jobs).map_err(backend_error)?;
+        tickets.iter().map(|t| ticket_result(t.wait())).collect()
+    }
+}
+
+/// The two ways batch consumers execute their modular multiplications:
+/// a **one-shot** staged dispatch the caller owns end to end, or a
+/// **shared** streaming service multiple consumers feed concurrently.
+///
+/// The dispatched NTT (`NttPlan::forward_via`), the `*_via` curve
+/// constructors, and `apps::ecdsa::verify_batch_via` take this, so the
+/// same verification/NTT/MSM code serves both a batch CLI tool and a
+/// mixed-tenant server.
+pub enum ExecBackend<'a> {
+    /// Stage whole batches through a caller-owned dispatcher and pool.
+    Staged {
+        /// The dispatcher executing each staged batch.
+        dispatcher: &'a Dispatcher,
+        /// Per-modulus context cache.
+        pool: &'a ContextPool,
+    },
+    /// Stream every job through a shared service queue.
+    Service(&'a ModSramService),
+}
+
+impl core::fmt::Debug for ExecBackend<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecBackend::Staged { dispatcher, .. } => {
+                write!(
+                    f,
+                    "ExecBackend::Staged {{ workers: {} }}",
+                    dispatcher.workers()
+                )
+            }
+            ExecBackend::Service(_) => write!(f, "ExecBackend::Service"),
+        }
+    }
+}
+
+impl ExecBackend<'_> {
+    /// Executes a batch of jobs, returning products in job order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first preparation/execution error; a stopped
+    /// service surfaces as [`CoreError::ServiceStopped`].
+    pub fn mul_jobs(&self, jobs: &[MulJob]) -> Result<Vec<UBig>, CoreError> {
+        match self {
+            ExecBackend::Staged { dispatcher, pool } => {
+                dispatcher.dispatch_jobs(pool, jobs).map(|(r, _)| r)
+            }
+            ExecBackend::Service(service) => {
+                let tickets = service
+                    .handle()
+                    .submit_many(jobs.to_vec())
+                    .map_err(|_| CoreError::ServiceStopped)?;
+                tickets
+                    .iter()
+                    .map(|t| t.wait().map_err(CoreError::from))
+                    .collect()
+            }
+        }
+    }
+
+    /// A shareable prepared context for `p`: the pooled context on the
+    /// staged path, a [`ServicePrepared`] stream on the service path.
+    ///
+    /// # Errors
+    ///
+    /// Staged: the pool's preparation error. Service: never fails here —
+    /// invalid moduli surface on first use.
+    pub fn context(&self, p: &UBig) -> Result<Arc<dyn PreparedModMul>, CoreError> {
+        match self {
+            ExecBackend::Staged { pool, .. } => pool.context(p),
+            ExecBackend::Service(service) => Ok(Arc::new(service.prepared(p))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_mod(p: u64, count: u64) -> Vec<MulJob> {
+        (0..count)
+            .map(|i| MulJob::new(UBig::from(i * 3 + 1), UBig::from(i * 7 + 2), UBig::from(p)))
+            .collect()
+    }
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            flush_interval: Duration::from_micros(50),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let service = ModSramService::for_engine_name("barrett", tiny_config()).unwrap();
+        let tickets: Vec<Ticket> = jobs_mod(97, 20)
+            .into_iter()
+            .map(|j| service.submit(j).unwrap())
+            .collect();
+        for (i, t) in tickets.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(
+                t.wait().unwrap(),
+                UBig::from((i * 3 + 1) * (i * 7 + 2) % 97)
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.batches >= 1);
+        assert!(stats.coalesce_max <= 8);
+    }
+
+    #[test]
+    fn submit_many_matches_per_job_submission() {
+        let service = ModSramService::for_engine_name("barrett", tiny_config()).unwrap();
+        let jobs = jobs_mod(1_000_003, 25);
+        let tickets = service.handle().submit_many(jobs.clone()).unwrap();
+        assert_eq!(tickets.len(), 25);
+        for (job, ticket) in jobs.iter().zip(&tickets) {
+            assert_eq!(ticket.wait().unwrap(), &(&job.a * &job.b) % &job.modulus);
+        }
+        // Bulk submission larger than the queue capacity still drains
+        // (the call blocks per slot, the batcher frees space).
+        let big = jobs_mod(97, 200);
+        let tickets = service.handle().submit_many(big.clone()).unwrap();
+        for (job, ticket) in big.iter().zip(&tickets) {
+            assert_eq!(ticket.wait().unwrap(), &(&job.a * &job.b) % &job.modulus);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 225);
+        // submit_many after shutdown is refused.
+        assert_eq!(
+            service.handle().submit_many(jobs_mod(97, 2)).err(),
+            Some(SubmitError::Stopped)
+        );
+    }
+
+    #[test]
+    fn try_poll_transitions_to_done() {
+        let service = ModSramService::for_engine_name("direct", tiny_config()).unwrap();
+        let ticket = service
+            .submit(MulJob::new(
+                UBig::from(6u64),
+                UBig::from(7u64),
+                UBig::from(97u64),
+            ))
+            .unwrap();
+        let value = ticket.wait().unwrap();
+        assert_eq!(value, UBig::from(42u64));
+        assert_eq!(ticket.try_poll(), Some(Ok(UBig::from(42u64))));
+        assert!(ticket.is_done());
+    }
+
+    #[test]
+    fn bad_modulus_fails_only_its_own_ticket() {
+        // Montgomery rejects even moduli: a coalesced batch mixing good
+        // and bad jobs must fail only the bad ones.
+        let service = ModSramService::for_engine_name("montgomery", tiny_config()).unwrap();
+        let good = service
+            .submit(MulJob::new(
+                UBig::from(5u64),
+                UBig::from(6u64),
+                UBig::from(97u64),
+            ))
+            .unwrap();
+        let bad = service
+            .submit(MulJob::new(
+                UBig::from(5u64),
+                UBig::from(6u64),
+                UBig::from(96u64),
+            ))
+            .unwrap();
+        assert_eq!(good.wait().unwrap(), UBig::from(30u64));
+        assert_eq!(
+            bad.wait(),
+            Err(ServiceError::Mul(CoreError::ModMul(
+                ModMulError::EvenModulus
+            )))
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let service = ModSramService::for_engine_name("direct", tiny_config()).unwrap();
+        service.shutdown();
+        assert_eq!(
+            service
+                .submit(MulJob::new(
+                    UBig::from(1u64),
+                    UBig::from(2u64),
+                    UBig::from(97u64)
+                ))
+                .err(),
+            Some(SubmitError::Stopped)
+        );
+        assert_eq!(
+            service
+                .try_submit(MulJob::new(
+                    UBig::from(1u64),
+                    UBig::from(2u64),
+                    UBig::from(97u64)
+                ))
+                .err(),
+            Some(SubmitError::Stopped)
+        );
+    }
+
+    #[test]
+    fn service_prepared_context_multiplies() {
+        let service = ModSramService::for_engine_name("montgomery", tiny_config()).unwrap();
+        let ctx = service.prepared(&UBig::from(1_000_003u64));
+        assert_eq!(ctx.engine_name(), "service");
+        assert_eq!(ctx.modulus(), &UBig::from(1_000_003u64));
+        assert_eq!(
+            ctx.mod_mul(&UBig::from(2024u64), &UBig::from(4096u64))
+                .unwrap(),
+            UBig::from(2024u64 * 4096 % 1_000_003)
+        );
+        let pairs = vec![(UBig::from(3u64), UBig::from(5u64)); 4];
+        assert_eq!(
+            ctx.mod_mul_batch(&pairs).unwrap(),
+            vec![UBig::from(15u64); 4]
+        );
+    }
+
+    #[test]
+    fn exec_backend_staged_and_service_agree() {
+        let jobs: Vec<MulJob> = jobs_mod(97, 9)
+            .into_iter()
+            .chain(jobs_mod(1_000_003, 9))
+            .collect();
+        let pool = ContextPool::for_engine_name("barrett").unwrap();
+        let dispatcher = Dispatcher::new(2);
+        let staged = ExecBackend::Staged {
+            dispatcher: &dispatcher,
+            pool: &pool,
+        }
+        .mul_jobs(&jobs)
+        .unwrap();
+        let service = ModSramService::for_engine_name("barrett", tiny_config()).unwrap();
+        let streamed = ExecBackend::Service(&service).mul_jobs(&jobs).unwrap();
+        assert_eq!(staged, streamed);
+        for (job, got) in jobs.iter().zip(&staged) {
+            assert_eq!(got, &(&(&job.a * &job.b) % &job.modulus));
+        }
+    }
+
+    #[test]
+    fn modelled_cycles_match_paper_anchor() {
+        // One 256-bit multiplication: 767 cycles plus one LUT refill.
+        let p = &UBig::pow2(256) - &UBig::from(189u64);
+        let jobs = vec![MulJob::new(UBig::from(3u64), UBig::from(4u64), p)];
+        assert_eq!(modelled_mul_cycles(256), 767);
+        assert_eq!(
+            modelled_batch_cycles(&jobs, 1, 1),
+            767 + MODELLED_REFILL_CYCLES
+        );
+        // A shared-multiplicand run pays one refill; distinct
+        // multiplicands pay one each.
+        let shared: Vec<MulJob> = (0..4u64)
+            .map(|i| MulJob::new(UBig::from(i + 1), UBig::from(9u64), UBig::from(97u64)))
+            .collect();
+        let cycles_97 = modelled_mul_cycles(7);
+        assert_eq!(
+            modelled_batch_cycles(&shared, 1, 64),
+            4 * cycles_97 + MODELLED_REFILL_CYCLES
+        );
+    }
+
+    #[test]
+    fn reservoir_percentiles_are_sane() {
+        let mut r = Reservoir::new(128);
+        for v in 1..=100u64 {
+            r.push(v);
+        }
+        assert_eq!(r.percentile(0.0), 1);
+        assert_eq!(r.percentile(1.0), 100);
+        let p50 = r.percentile(0.5);
+        assert!((49..=52).contains(&p50), "p50 {p50}");
+        // Overflow the capacity: samples stay bounded, stats plausible.
+        let mut r = Reservoir::new(16);
+        for v in 0..10_000u64 {
+            r.push(v);
+        }
+        assert_eq!(r.samples.len(), 16);
+        assert!(r.percentile(1.0) <= 9_999);
+    }
+}

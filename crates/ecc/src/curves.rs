@@ -6,7 +6,9 @@
 
 use modsram_bigint::UBig;
 use modsram_core::dispatch::ContextPool;
-use modsram_modmul::{ModMulEngine, ModMulError, PreparedModMul};
+use modsram_core::service::ExecBackend;
+use modsram_core::CoreError;
+use modsram_modmul::{ModMulEngine, PreparedModMul};
 
 use crate::curve::Curve;
 use crate::field::{DynCtx, Fp256Ctx};
@@ -100,9 +102,22 @@ pub fn secp256k1_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCt
 /// # Errors
 ///
 /// Propagates the pool's preparation error.
-pub fn secp256k1_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+pub fn secp256k1_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, CoreError> {
     Ok(secp256k1_with_prepared(Box::new(
         pool.context(&UBig::from_hex(SECP256K1_P).expect("const"))?,
+    )))
+}
+
+/// As [`secp256k1_with_pool`], but over either execution backend: pooled
+/// staged contexts, or a streaming [`modsram_core::ModSramService`]
+/// (every field multiplication then rides the service queue).
+///
+/// # Errors
+///
+/// Propagates the backend's context/preparation error.
+pub fn secp256k1_via(backend: &ExecBackend<'_>) -> Result<Curve<DynCtx>, CoreError> {
+    Ok(secp256k1_with_prepared(Box::new(
+        backend.context(&UBig::from_hex(SECP256K1_P).expect("const"))?,
     )))
 }
 
@@ -143,9 +158,22 @@ pub fn bn254_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
 /// # Errors
 ///
 /// Propagates the pool's preparation error.
-pub fn bn254_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+pub fn bn254_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, CoreError> {
     Ok(bn254_with_prepared(Box::new(
         pool.context(&UBig::from_dec(BN254_P).expect("const"))?,
+    )))
+}
+
+/// As [`bn254_with_pool`], but over either execution backend: pooled
+/// staged contexts, or a streaming [`modsram_core::ModSramService`]
+/// (every field multiplication then rides the service queue).
+///
+/// # Errors
+///
+/// Propagates the backend's context/preparation error.
+pub fn bn254_via(backend: &ExecBackend<'_>) -> Result<Curve<DynCtx>, CoreError> {
+    Ok(bn254_with_prepared(Box::new(
+        backend.context(&UBig::from_dec(BN254_P).expect("const"))?,
     )))
 }
 
@@ -204,9 +232,22 @@ pub fn p256_with_prepared(prepared: Box<dyn PreparedModMul>) -> Curve<DynCtx> {
 /// # Errors
 ///
 /// Propagates the pool's preparation error.
-pub fn p256_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, ModMulError> {
+pub fn p256_with_pool(pool: &ContextPool) -> Result<Curve<DynCtx>, CoreError> {
     Ok(p256_with_prepared(Box::new(
         pool.context(&UBig::from_hex(P256_P).expect("const"))?,
+    )))
+}
+
+/// As [`p256_with_pool`], but over either execution backend: pooled
+/// staged contexts, or a streaming [`modsram_core::ModSramService`]
+/// (every field multiplication then rides the service queue).
+///
+/// # Errors
+///
+/// Propagates the backend's context/preparation error.
+pub fn p256_via(backend: &ExecBackend<'_>) -> Result<Curve<DynCtx>, CoreError> {
+    Ok(p256_with_prepared(Box::new(
+        backend.context(&UBig::from_hex(P256_P).expect("const"))?,
     )))
 }
 

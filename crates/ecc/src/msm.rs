@@ -149,6 +149,12 @@ fn window_sum<C: FieldCtx>(
 /// closes over a pooled `Arc<dyn PreparedModMul>`) and computes whole
 /// window sums; only the final `c`-doubling combine runs serially.
 ///
+/// `make_curve` is also how the MSM accepts either execution backend:
+/// build it from `curves::secp256k1_via`/`curves::bn254_via` over a
+/// [`modsram_core::service::ExecBackend`] and the window workers'
+/// field multiplications either hit staged pooled contexts or stream
+/// through a shared `ModSramService` alongside other tenants.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length or `c` is outside `1..=24`.
@@ -351,6 +357,51 @@ mod tests {
             assert_eq!(stats.bucket_adds, want_stats.bucket_adds);
         }
         assert_eq!(pool.len(), 1, "one prime prepared once");
+    }
+
+    #[test]
+    fn dispatched_msm_over_streaming_service_matches_serial() {
+        use crate::curves::{secp256k1_fast, secp256k1_via};
+        use modsram_core::service::{ExecBackend, ModSramService, ServiceConfig};
+
+        let fast = secp256k1_fast();
+        let g = fast.generator();
+        let mut pts_fast = Vec::new();
+        let mut cur = g.clone();
+        for _ in 0..8 {
+            pts_fast.push(fast.to_affine(&cur));
+            cur = fast.double(&cur);
+        }
+        let scalars: Vec<UBig> = (1..=8u64).map(|i| UBig::from(i * 977 + 5)).collect();
+        let (want, _) = msm_with_window(&fast, &pts_fast, &scalars, 4);
+        let want_aff = fast.to_affine(&want);
+
+        let service =
+            ModSramService::for_engine_name("montgomery", ServiceConfig::default()).unwrap();
+        let backend = ExecBackend::Service(&service);
+        let make_curve = || secp256k1_via(&backend).expect("service context");
+        let points: Vec<Affine<UBig>> = pts_fast
+            .iter()
+            .map(|a| Affine {
+                x: fast.ctx().to_ubig(&a.x),
+                y: fast.ctx().to_ubig(&a.y),
+                infinity: a.infinity,
+            })
+            .collect();
+        let (got, _) = msm_dispatched(&Dispatcher::new(2), make_curve, &points, &scalars, 4);
+        let curve = make_curve();
+        let got_aff = curve.to_affine(&got);
+        assert_eq!(
+            curve.ctx().to_ubig(&got_aff.x),
+            fast.ctx().to_ubig(&want_aff.x)
+        );
+        assert_eq!(
+            curve.ctx().to_ubig(&got_aff.y),
+            fast.ctx().to_ubig(&want_aff.y)
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.completed > 0, "field muls streamed through the queue");
     }
 
     #[test]

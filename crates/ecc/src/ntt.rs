@@ -8,8 +8,10 @@
 use std::sync::Arc;
 
 use modsram_bigint::{mod_pow, UBig};
-use modsram_core::dispatch::Dispatcher;
-use modsram_modmul::{ModMulError, PreparedModMul};
+use modsram_core::dispatch::{Dispatcher, MulJob};
+use modsram_core::service::ExecBackend;
+use modsram_core::CoreError;
+use modsram_modmul::PreparedModMul;
 
 use crate::field::{DynCtx, FieldCtx};
 
@@ -207,8 +209,77 @@ impl<'a> NttPlan<'a, DynCtx> {
         data: &mut [UBig],
         dispatcher: &Dispatcher,
         shards: &[Arc<dyn PreparedModMul>],
-    ) -> Result<(), ModMulError> {
-        self.transform_dispatched(data, &self.twiddles, dispatcher, shards)
+    ) -> Result<(), CoreError> {
+        self.check_shards(shards);
+        self.transform_with(data, &self.twiddles, &|pairs| {
+            dispatcher.dispatch_sharded(shards, &pairs).map(|(r, _)| r)
+        })
+    }
+
+    /// In-place forward NTT over either execution backend: each stage's
+    /// multiplications go out as one twiddle-major job batch — staged
+    /// through a dispatcher/pool, or streamed through a shared
+    /// [`modsram_core::ModSramService`] where they coalesce with
+    /// whatever other tenants are submitting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward_via(
+        &self,
+        data: &mut [UBig],
+        backend: &ExecBackend<'_>,
+    ) -> Result<(), CoreError> {
+        self.transform_with(data, &self.twiddles, &self.backend_exec(backend))
+    }
+
+    /// In-place inverse NTT over either execution backend (the `1/n`
+    /// scaling is one further shared-multiplicand batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse_via(
+        &self,
+        data: &mut [UBig],
+        backend: &ExecBackend<'_>,
+    ) -> Result<(), CoreError> {
+        let exec = self.backend_exec(backend);
+        self.transform_with(data, &self.twiddles_inv, &exec)?;
+        let pairs: Vec<(UBig, UBig)> = data
+            .iter()
+            .map(|v| (v.clone(), self.n_inv.clone()))
+            .collect();
+        let scaled = exec(pairs)?;
+        data.clone_from_slice(&scaled);
+        Ok(())
+    }
+
+    /// Adapts an [`ExecBackend`] into the stage executor shape: pairs
+    /// become [`MulJob`]s over the plan's modulus.
+    fn backend_exec<'b>(
+        &self,
+        backend: &'b ExecBackend<'_>,
+    ) -> impl Fn(Vec<(UBig, UBig)>) -> Result<Vec<UBig>, CoreError> + 'b
+    where
+        Self: 'b,
+    {
+        let modulus = self.ctx.modulus().clone();
+        move |pairs: Vec<(UBig, UBig)>| {
+            let jobs: Vec<MulJob> = pairs
+                .into_iter()
+                .map(|(a, b)| MulJob::new(a, b, modulus.clone()))
+                .collect();
+            backend.mul_jobs(&jobs)
+        }
     }
 
     /// In-place inverse NTT through the dispatcher; the final `1/n`
@@ -226,8 +297,11 @@ impl<'a> NttPlan<'a, DynCtx> {
         data: &mut [UBig],
         dispatcher: &Dispatcher,
         shards: &[Arc<dyn PreparedModMul>],
-    ) -> Result<(), ModMulError> {
-        self.transform_dispatched(data, &self.twiddles_inv, dispatcher, shards)?;
+    ) -> Result<(), CoreError> {
+        self.check_shards(shards);
+        self.transform_with(data, &self.twiddles_inv, &|pairs| {
+            dispatcher.dispatch_sharded(shards, &pairs).map(|(r, _)| r)
+        })?;
         let pairs: Vec<(UBig, UBig)> = data
             .iter()
             .map(|v| (v.clone(), self.n_inv.clone()))
@@ -237,15 +311,8 @@ impl<'a> NttPlan<'a, DynCtx> {
         Ok(())
     }
 
-    fn transform_dispatched(
-        &self,
-        data: &mut [UBig],
-        twiddles: &[Vec<UBig>],
-        dispatcher: &Dispatcher,
-        shards: &[Arc<dyn PreparedModMul>],
-    ) -> Result<(), ModMulError> {
-        let n = self.len();
-        assert_eq!(data.len(), n, "data length must match the plan");
+    /// Validates the sharded path's contexts against the plan modulus.
+    fn check_shards(&self, shards: &[Arc<dyn PreparedModMul>]) {
         assert!(!shards.is_empty(), "need at least one shard");
         for shard in shards {
             assert_eq!(
@@ -254,6 +321,18 @@ impl<'a> NttPlan<'a, DynCtx> {
                 "shard prepared for a different modulus"
             );
         }
+    }
+
+    /// The stage-batched transform core, generic over how each stage's
+    /// pair batch is executed.
+    fn transform_with(
+        &self,
+        data: &mut [UBig],
+        twiddles: &[Vec<UBig>],
+        exec: &impl Fn(Vec<(UBig, UBig)>) -> Result<Vec<UBig>, CoreError>,
+    ) -> Result<(), CoreError> {
+        let n = self.len();
+        assert_eq!(data.len(), n, "data length must match the plan");
         // Bit reversal.
         for i in 0..n {
             let j = bit_reverse(i, self.log_n);
@@ -272,7 +351,7 @@ impl<'a> NttPlan<'a, DynCtx> {
                     pairs.push((data[start + k + len / 2].clone(), w.clone()));
                 }
             }
-            let (products, _) = dispatcher.dispatch_sharded(shards, &pairs)?;
+            let products = exec(pairs)?;
             let mut idx = 0usize;
             for k in 0..len / 2 {
                 for start in (0..n).step_by(len) {
@@ -410,6 +489,48 @@ mod tests {
             assert_eq!(dispatched, original, "workers={workers}");
         }
         assert_eq!(pool.misses(), 1, "shards share one preparation");
+    }
+
+    #[test]
+    fn backend_generic_transform_matches_serial() {
+        use modsram_core::dispatch::ContextPool;
+        use modsram_core::service::{ModSramService, ServiceConfig};
+        use modsram_modmul::engine_by_name;
+
+        let p = UBig::from(97u64); // 2-adicity 5, generator 5
+        let dyn_ctx = crate::field::DynCtx::new(&p, engine_by_name("montgomery").unwrap());
+        let plan = NttPlan::new(&dyn_ctx, 4, &UBig::from(5u64)).unwrap();
+        let original: Vec<UBig> = (0..16u64).map(|v| UBig::from(v * 7 % 97)).collect();
+        let mut serial = original.clone();
+        plan.forward(&mut serial);
+
+        // Staged backend: dispatcher + pool.
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let dispatcher = Dispatcher::new(2);
+        let staged = ExecBackend::Staged {
+            dispatcher: &dispatcher,
+            pool: &pool,
+        };
+        let mut data = original.clone();
+        plan.forward_via(&mut data, &staged).unwrap();
+        assert_eq!(data, serial);
+        plan.inverse_via(&mut data, &staged).unwrap();
+        assert_eq!(data, original);
+
+        // Streaming backend: every butterfly multiplication rides the
+        // service queue and coalesces twiddle-major.
+        let service =
+            ModSramService::for_engine_name("montgomery", ServiceConfig::default()).unwrap();
+        let streamed = ExecBackend::Service(&service);
+        let mut data = original.clone();
+        plan.forward_via(&mut data, &streamed).unwrap();
+        assert_eq!(data, serial);
+        plan.inverse_via(&mut data, &streamed).unwrap();
+        assert_eq!(data, original);
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 0);
+        // 4 stages × 8 muls, the same again inverse, + 16 scaling muls.
+        assert_eq!(stats.completed, 32 + 32 + 16);
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum ModMulError {
         /// Width limit of the engine configuration.
         limit_bits: usize,
     },
+    /// A remote/streaming execution backend failed for a reason outside
+    /// the algorithmic error set — e.g. a service queue shut down while
+    /// a submission was in flight.
+    Backend {
+        /// Human-readable failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModMulError {
@@ -36,6 +43,7 @@ impl fmt::Display for ModMulError {
                 f,
                 "operand has {operand_bits} bits but the engine is limited to {limit_bits}"
             ),
+            ModMulError::Backend { reason } => write!(f, "execution backend failed: {reason}"),
         }
     }
 }

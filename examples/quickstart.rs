@@ -1,13 +1,17 @@
-//! Quickstart: the prepare/execute engine API, then the same
-//! multiplication cycle-accurately inside the simulated ModSRAM macro.
+//! Quickstart: stream multiplications through the `ModSramService`
+//! front-end, then drop down to the prepare/execute engine API and the
+//! cycle-accurate ModSRAM macro underneath it.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use std::time::Duration;
+
 use modsram::arch::ModSram;
 use modsram::bigint::UBig;
 use modsram::modmul::{ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
+use modsram::{ModSramService, MulJob, ServiceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The secp256k1 field prime — a 256-bit modulus, the paper's target.
@@ -16,29 +20,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = UBig::from_hex("7234567812345678123456781234567812345678123456781234567812345678")?;
     let b = UBig::from_hex("0fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321")?;
 
-    // ---- Phase 1: prepare -------------------------------------------------
-    // All per-modulus precomputation happens once. The returned context
-    // is immutable and Send + Sync: one context per prime serves any
-    // number of threads.
+    // ---- The streaming service: the serving entry point ------------------
+    // A ModSramService owns a bounded submission queue, a coalescing
+    // batcher (knobs: `max_batch` jobs per batch, flushed at latest
+    // every `flush_interval`), and the dispatch workers that execute
+    // each batch. Producers hold cloneable handles and never stage
+    // batches themselves.
+    let service = ModSramService::for_engine_name(
+        "r4csa-lut", // the paper's engine; any registry engine works
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch: 256,
+            flush_interval: Duration::from_micros(100),
+            ..Default::default()
+        },
+    )?;
+
+    // Four producer threads stream jobs and redeem tickets.
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let handle = service.handle();
+            let p = p.clone();
+            let b = b.clone();
+            scope.spawn(move || {
+                for i in 0..50u64 {
+                    let a = UBig::from(t * 1_000_003 + i * 17 + 1);
+                    // Blocking submit: waits when the queue is full
+                    // (use try_submit to shed load instead).
+                    let ticket = handle
+                        .submit(MulJob::new(a.clone(), b.clone(), p.clone()))
+                        .expect("service running");
+                    let c = ticket.wait().expect("valid modulus");
+                    assert_eq!(c, &(&a * &b) % &p);
+                }
+            });
+        }
+    });
+
+    // Graceful shutdown drains every in-flight ticket and returns the
+    // final statistics — including latency percentiles in both
+    // wall-clock time and modelled device cycles.
+    let stats = service.shutdown();
+    println!("streaming service:");
+    println!("  jobs completed   : {}", stats.completed);
+    println!(
+        "  coalesced        : {:.1} jobs/batch over {} batches",
+        stats.coalesce_mean, stats.batches
+    );
+    println!(
+        "  latency p50/p99  : {:.1}/{:.1} us wall, {}/{} modelled cycles",
+        stats.wall_p50_ns as f64 / 1000.0,
+        stats.wall_p99_ns as f64 / 1000.0,
+        stats.modelled_p50_cycles,
+        stats.modelled_p99_cycles
+    );
+
+    // ---- The engine layer: prepare once, execute hot -----------------------
     let ctx = R4CsaLutEngine::new().prepare(&p)?;
-
-    // ---- Phase 2: execute -------------------------------------------------
     let c = ctx.mod_mul(&a, &b)?;
-    println!("A           = 0x{}", a.to_hex());
-    println!("B           = 0x{}", b.to_hex());
-    println!("A*B mod p   = 0x{}", c.to_hex());
+    println!("\nA*B mod p   = 0x{}", c.to_hex());
     assert_eq!(c, &(&a * &b) % &p, "must match big-integer arithmetic");
-
-    // Streams go through the batch entry point, which hoists the
-    // per-call overhead; results are identical.
-    let pairs: Vec<(UBig, UBig)> = (1u64..=4)
-        .map(|i| (&(&a >> i as usize) + &UBig::from(i), b.clone()))
-        .collect();
-    let batch = ctx.mod_mul_batch(&pairs)?;
-    for ((x, y), got) in pairs.iter().zip(&batch) {
-        assert_eq!(got, &(&(x * y) % &p));
-    }
-    println!("\nbatch of {} through the same context: ok", batch.len());
 
     // Montgomery amortisation, the reason the API is split: the R²/−p⁻¹
     // constants are computed once, so the context multiplies in two REDC
@@ -57,25 +99,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // For run statistics, drive the device directly.
     let mut device = ModSram::for_modulus(&p)?;
-    let (c2, stats) = device.mod_mul(&a, &b)?;
+    let (c2, run) = device.mod_mul(&a, &b)?;
     assert_eq!(c2, c);
-    println!("\nrun statistics:");
-    println!("  cycles           : {} (paper Table 3: 767)", stats.cycles);
-    println!("  iterations       : {} radix-4 digits", stats.iterations);
-    println!("  SRAM activations : {}", stats.activations);
-    println!("  SRAM row writes  : {}", stats.row_writes);
-    println!("  register writes  : {}", stats.register_writes);
-    println!("  energy (modelled): {:.1} pJ", stats.energy_pj);
-    println!("  latency @420 MHz : {:.2} us", stats.latency_us(420.0));
+    println!("\ndevice run statistics:");
+    println!("  cycles           : {} (paper Table 3: 767)", run.cycles);
+    println!("  iterations       : {} radix-4 digits", run.iterations);
+    println!("  SRAM activations : {}", run.activations);
+    println!("  energy (modelled): {:.1} pJ", run.energy_pj);
+    println!("  latency @420 MHz : {:.2} us", run.latency_us(420.0));
 
     // The LUTs are reused while B and p stay the same (the paper's
     // data-reuse claim): a second multiplication does no precompute.
     let before = device.precompute_total.clone();
-    let (_, stats2) = device.mod_mul(&UBig::from(12345u64), &b)?;
+    let (_, run2) = device.mod_mul(&UBig::from(12345u64), &b)?;
     assert_eq!(device.precompute_total, before);
-    println!(
-        "\nsecond multiply reused the LUTs: {} cycles",
-        stats2.cycles
-    );
+    println!("\nsecond multiply reused the LUTs: {} cycles", run2.cycles);
     Ok(())
 }

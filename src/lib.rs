@@ -21,28 +21,59 @@
 //! * [`apps`] — application layer: SHA-256, ECDSA, Pedersen
 //!   commitments, on-device modular exponentiation ([`modsram_apps`]).
 //!
-//! # Quickstart
+//! # Quickstart: the streaming service
 //!
-//! Engines follow a **prepare/execute** split: all per-modulus
-//! precomputation (Montgomery `R²`/`−p⁻¹`, Barrett `µ`, R4CSA LUT rows)
-//! happens once in `prepare`, and the returned context is immutable and
-//! `Send + Sync`, so one context per modulus serves any number of
-//! threads — the fixed-prime, high-volume shape of ZKP/ECC workloads.
+//! The primary serving entry point is [`ModSramService`]: submit
+//! individual multiplications from any number of threads, get a
+//! [`Ticket`] per job, and let the service's coalescing batcher keep
+//! the tile saturated. The queue is bounded ([`try_submit`
+//! backpressure](arch::service::SubmitHandle::try_submit)), batches
+//! coalesce multiplicand-major (the paper's Table 1b reuse), and
+//! [`ModSramService::shutdown`] drains every in-flight ticket:
+//!
+//! ```
+//! use modsram::bigint::UBig;
+//! use modsram::{ModSramService, MulJob, ServiceConfig};
+//!
+//! let service = ModSramService::for_engine_name(
+//!     "r4csa-lut", // the paper's engine; any registry engine works
+//!     ServiceConfig::default(),
+//! ).unwrap();
+//!
+//! // Handles are cheap clones — one per producer thread.
+//! let handle = service.handle();
+//! let ticket = handle
+//!     .submit(MulJob::new(UBig::from(55u64), UBig::from(44u64), UBig::from(97u64)))
+//!     .unwrap();
+//! assert_eq!(ticket.wait().unwrap(), UBig::from(55u64 * 44 % 97));
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! assert!(stats.wall_p99_ns >= stats.wall_p50_ns);
+//! ```
+//!
+//! Batch consumers — `apps::ecdsa::verify_batch_via`, the dispatched
+//! NTT stages, `msm_dispatched` over a `*_via` curve — accept an
+//! [`arch::service::ExecBackend`], so the same code runs one-shot
+//! (staged dispatcher + pool) or streams through a shared service
+//! where heterogeneous tenants (ECDSA + Pedersen + NTT) interleave on
+//! one tile.
+//!
+//! # The engine layer: prepare/execute
+//!
+//! Underneath, engines follow a **prepare/execute** split: all
+//! per-modulus precomputation (Montgomery `R²`/`−p⁻¹`, Barrett `µ`,
+//! R4CSA LUT rows) happens once in `prepare`, and the returned context
+//! is immutable and `Send + Sync`:
 //!
 //! ```
 //! use modsram::bigint::UBig;
 //! use modsram::modmul::{ModMulEngine, R4CsaLutEngine};
 //!
 //! let p = UBig::from(97u64);
-//! // Phase 1: pay the per-modulus precompute once.
 //! let ctx = R4CsaLutEngine::new().prepare(&p).unwrap();
-//! // Phase 2: the immutable hot path — per call or batched.
 //! let c = ctx.mod_mul(&UBig::from(55u64), &UBig::from(44u64)).unwrap();
 //! assert_eq!(c, UBig::from((55u64 * 44) % 97));
-//! let batch = ctx
-//!     .mod_mul_batch(&[(UBig::from(6u64), UBig::from(7u64)), (UBig::from(8u64), UBig::from(9u64))])
-//!     .unwrap();
-//! assert_eq!(batch, vec![UBig::from(42u64), UBig::from(72u64)]);
 //! ```
 //!
 //! The cycle-accurate accelerator exposes the same two-phase API (its
@@ -60,16 +91,16 @@
 //! assert!(stats.cycles > 0);
 //! ```
 //!
-//! # Scaling out: banks, dispatch, and context pooling
+//! # Staged batches: banks, dispatch, and context pooling
 //!
-//! Above a single context sits the serving layer
-//! ([`modsram_core::dispatch`]): batches are chunked with
-//! LUT-refill-aware cost estimates, seeded least-loaded onto real
+//! When the caller already holds a whole batch, the staged layer
+//! ([`modsram_core::dispatch`]) runs it directly: batches are chunked
+//! with LUT-refill-aware cost estimates, seeded least-loaded onto real
 //! scoped-thread workers (with optional work stealing), and mixed-
 //! modulus request streams share per-modulus preparations through a
-//! [`arch::ContextPool`]. A [`arch::BankedModSram`] tile routes the
-//! same machinery over per-bank prepared contexts — any registry
-//! engine or the cycle-accurate device:
+//! [`arch::ContextPool`] (optionally LRU-bounded via
+//! `ContextPool::with_capacity`). A [`arch::BankedModSram`] tile
+//! routes the same machinery over per-bank prepared contexts:
 //!
 //! ```
 //! use modsram::arch::{BankedModSram, ContextPool, Dispatcher, MulJob};
@@ -92,6 +123,13 @@
 //! let (out, _) = Dispatcher::new(2).dispatch_jobs(&pool, &jobs).unwrap();
 //! assert_eq!(out, vec![UBig::from(30u64), UBig::from(30u64)]);
 //! ```
+
+// The streaming service is the primary serving entry point; re-export
+// it (and the job type it consumes) at the crate root.
+pub use modsram_core::dispatch::MulJob;
+pub use modsram_core::service::{
+    ExecBackend, ModSramService, ServiceConfig, ServiceStats, SubmitError, SubmitHandle, Ticket,
+};
 
 pub use modsram_apps as apps;
 pub use modsram_baselines as baselines;

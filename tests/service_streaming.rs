@@ -1,0 +1,124 @@
+//! Heterogeneous tenants on one streaming service: ECDSA batch
+//! verification, a Pedersen committer, a dispatched NTT, and a raw
+//! `MulJob` stream all feed a single `ModSramService` concurrently —
+//! the mixed-tenant serving shape the streaming front-end exists for.
+
+use std::time::Duration;
+
+use modsram::apps::ecdsa::{verify_batch_via, SigningKey, VerifyRequest};
+use modsram::apps::PedersenCommitter;
+use modsram::arch::service::{ExecBackend, ModSramService, ServiceConfig};
+use modsram::arch::{Dispatcher, MulJob};
+use modsram::bigint::UBig;
+use modsram::ecc::curves::bn254_fr_ctx;
+use modsram::ecc::ntt::NttPlan;
+use modsram::ecc::{DynCtx, FieldCtx};
+use modsram::modmul::engine_by_name;
+
+#[test]
+fn heterogeneous_tenants_interleave_on_one_service() {
+    // Small coalescing window: tenants trickle dependent
+    // multiplications, so round-trip latency tracks the flush interval.
+    let service = ModSramService::for_engine_name(
+        "montgomery",
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 512,
+            max_batch: 64,
+            flush_interval: Duration::from_micros(20),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Tenant 1 prep: two signed messages (signing itself stays local —
+    // only verification streams).
+    let sk = SigningKey::new(&UBig::from(987_654_321u64)).unwrap();
+    let vk = sk.verifying_key();
+    let requests: Vec<VerifyRequest> = (0..2u8)
+        .map(|i| {
+            let msg = vec![b't', i];
+            VerifyRequest {
+                x: vk.x.clone(),
+                y: vk.y.clone(),
+                sig: sk.sign(&msg),
+                msg,
+            }
+        })
+        .collect();
+
+    // Tenant 3 prep: the NTT field modulus (the plan itself is built
+    // on the tenant thread — its field context is single-threaded).
+    let ntt_modulus = bn254_fr_ctx().modulus().clone();
+    let ntt_input: Vec<UBig> = (0..16u64).map(|v| UBig::from(v * 7919 + 3)).collect();
+
+    std::thread::scope(|scope| {
+        // Tenant 1: ECDSA verification, request fan-out on 2 local
+        // workers, every field/scalar multiplication streamed.
+        let service_ref = &service;
+        let requests = &requests;
+        scope.spawn(move || {
+            let fanout = Dispatcher::new(2);
+            let verdicts =
+                verify_batch_via(requests, &ExecBackend::Service(service_ref), &fanout).unwrap();
+            assert_eq!(verdicts, vec![Ok(true), Ok(true)]);
+        });
+
+        // Tenant 2: Pedersen commitments over BN254.
+        scope.spawn(move || {
+            let backend = ExecBackend::Service(service_ref);
+            let committer = PedersenCommitter::new_via(2, b"svc-tenant", &backend).unwrap();
+            let values: Vec<UBig> = [11u64, 22].map(UBig::from).to_vec();
+            let r = UBig::from(7u64);
+            let commitment = committer.commit(&values, &r);
+            assert!(committer.open(&commitment, &values, &r));
+            assert!(!committer.open(&commitment, &values, &UBig::from(8u64)));
+        });
+
+        // Tenant 3: a forward/inverse NTT roundtrip, stage batches
+        // submitted twiddle-major.
+        let ntt_input = &ntt_input;
+        let ntt_modulus = &ntt_modulus;
+        scope.spawn(move || {
+            let dyn_ctx = DynCtx::new(ntt_modulus, engine_by_name("montgomery").unwrap());
+            let plan = NttPlan::new(&dyn_ctx, 4, &UBig::from(5u64)).unwrap();
+            let mut serial = ntt_input.clone();
+            plan.forward(&mut serial);
+            let backend = ExecBackend::Service(service_ref);
+            let mut data = ntt_input.clone();
+            plan.forward_via(&mut data, &backend).unwrap();
+            assert_eq!(data, serial);
+            plan.inverse_via(&mut data, &backend).unwrap();
+            assert_eq!(&data, ntt_input);
+        });
+
+        // Tenant 4: a raw mixed-modulus job stream through a bare
+        // handle.
+        let handle = service.handle();
+        scope.spawn(move || {
+            let p = UBig::from(0xffff_fffb_u64);
+            for i in 0..50u64 {
+                let a = UBig::from(i * 13 + 1);
+                let b = UBig::from(i * 31 + 2);
+                let ticket = handle
+                    .submit(MulJob::new(a.clone(), b.clone(), p.clone()))
+                    .unwrap();
+                assert_eq!(ticket.wait().unwrap(), &(&a * &b) % &p);
+            }
+        });
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.completed > 100,
+        "all four tenants streamed real work ({} jobs)",
+        stats.completed
+    );
+    // One pool served every tenant: secp256k1 p and n, BN254 base
+    // field, BN254 Fr, and the raw tenant's 32-bit prime — prepared
+    // once each.
+    assert_eq!(stats.pool_misses, 5, "five distinct moduli prepared once");
+    assert!(stats.batches >= 1);
+    assert!(stats.coalesce_mean >= 1.0);
+}
