@@ -626,6 +626,51 @@ mod tests {
     }
 
     #[test]
+    fn verify_batch_via_cluster_matches_staged() {
+        use modsram_core::cluster::{ClusterConfig, ServiceCluster};
+        use modsram_core::service::ExecBackend;
+
+        let sk = key();
+        let vk = sk.verifying_key();
+        let requests: Vec<VerifyRequest> = (0..2u8)
+            .map(|i| {
+                let msg = vec![b'k', i];
+                VerifyRequest {
+                    x: vk.x.clone(),
+                    y: vk.y.clone(),
+                    sig: sk.sign(&msg),
+                    msg,
+                }
+            })
+            .collect();
+
+        let pool = ContextPool::for_engine_name("montgomery").unwrap();
+        let fanout = Dispatcher::new(2);
+        let staged = verify_batch_via(
+            &requests,
+            &ExecBackend::Staged {
+                dispatcher: &fanout,
+                pool: &pool,
+            },
+            &fanout,
+        )
+        .unwrap();
+
+        // The same verification fanned across a 2-tile cluster: the
+        // curve's p and n home on their rendezvous tiles and every
+        // scalar/field multiplication streams through the router.
+        let cluster =
+            ServiceCluster::for_engine_name("montgomery", 2, ClusterConfig::default()).unwrap();
+        let routed = verify_batch_via(&requests, &ExecBackend::Cluster(&cluster), &fanout).unwrap();
+        assert_eq!(routed, staged);
+        assert_eq!(routed, vec![Ok(true), Ok(true)]);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.completed > 0, "muls streamed through the cluster");
+        assert_eq!(stats.spilled, 0, "uncontended cluster keeps affinity");
+    }
+
+    #[test]
     fn cross_key_verification_fails() {
         let sk1 = key();
         let sk2 = SigningKey::new(&UBig::from(12345u64)).unwrap();

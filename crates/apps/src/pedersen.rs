@@ -261,6 +261,31 @@ mod tests {
     }
 
     #[test]
+    fn cluster_backed_committer_matches_fast() {
+        use modsram_core::cluster::{ClusterConfig, ServiceCluster};
+        use modsram_core::service::ExecBackend;
+
+        let cluster = ServiceCluster::for_engine_name("montgomery", 2, ClusterConfig::default())
+            .expect("registered engine");
+        let backend = ExecBackend::Cluster(&cluster);
+        let routed = PedersenCommitter::new_via(2, b"modsram-cluster", &backend).unwrap();
+        let fast = PedersenCommitter::new(2, b"modsram-cluster");
+        let values: Vec<UBig> = [4u64, 8].map(UBig::from).to_vec();
+        let r = UBig::from(2024u64);
+        let fast_aff = fast.curve().to_affine(&fast.commit(&values, &r));
+        let routed_aff = routed.curve().to_affine(&routed.commit(&values, &r));
+        assert_eq!(
+            fast.curve().ctx().to_ubig(&fast_aff.x),
+            routed.curve().ctx().to_ubig(&routed_aff.x)
+        );
+        assert!(routed.open(&routed.commit(&values, &r), &values, &r));
+        let stats = cluster.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.completed > 0);
+        assert_eq!(stats.affinity_hit_rate(), 1.0);
+    }
+
+    #[test]
     fn engine_backend_commits_to_the_same_point() {
         use modsram_modmul::R4CsaLutEngine;
         let fast = PedersenCommitter::new(2, b"modsram-engine");

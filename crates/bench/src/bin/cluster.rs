@@ -1,0 +1,189 @@
+//! The multi-tile cluster sweep: closed-loop throughput and affinity
+//! across tiles × spill policy, plus a deterministic saturation probe
+//! of the spill-vs-shed trade-off — the acceptance artifact for the
+//! `ServiceCluster` router.
+//!
+//! ```sh
+//! cargo run --release --bin cluster
+//! # CI-sized run:
+//! cargo run --release --bin cluster -- --jobs-per-tenant 16 --per-combo 2
+//! ```
+//!
+//! The headline column is the **modelled speedup**: the ratio of
+//! 1-tile to N-tile modelled makespan (busiest tile's device-cycle
+//! occupancy), the multi-macro throughput a rack of independent
+//! ModSRAM tiles achieves. Like `bin/shard`'s lane speedup it is
+//! deterministic on any host; the wall column only tracks it when the
+//! host has a core per lane. Acceptance: ≥ 1.8× at 2 tiles, ≥ 3× at 4
+//! tiles on r4csa-lut, with affinity hit rate ≥ 90% at moderate load.
+
+use modsram_bench::{
+    cluster_spill_probe, cluster_sweep, print_table, write_json_artifact, ClusterSweepSpec,
+};
+
+struct Args {
+    engine: String,
+    bits: usize,
+    tiles: Vec<usize>,
+    policies: Vec<String>,
+    jobs_per_tenant: usize,
+    per_combo: usize,
+    submitters: usize,
+    workers: usize,
+    probe_offered: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            engine: "r4csa-lut".to_string(),
+            bits: 256,
+            tiles: vec![1, 2, 4],
+            policies: vec!["strict".to_string(), "spill1".to_string()],
+            jobs_per_tenant: 32,
+            per_combo: 3,
+            submitters: 4,
+            workers: 4,
+            probe_offered: 64,
+        }
+    }
+}
+
+fn parse_usize_list(v: &str) -> Vec<usize> {
+    v.split(',')
+        .map(|s| s.trim().parse().expect("comma-separated integers"))
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--engine" => args.engine = value(),
+            "--bits" => args.bits = value().parse().expect("integer"),
+            "--tiles" => args.tiles = parse_usize_list(&value()),
+            "--policies" => {
+                args.policies = value().split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--jobs-per-tenant" => args.jobs_per_tenant = value().parse().expect("integer"),
+            "--per-combo" => args.per_combo = value().parse().expect("integer"),
+            "--submitters" => args.submitters = value().parse().expect("integer"),
+            "--workers" => args.workers = value().parse().expect("integer"),
+            "--probe-offered" => args.probe_offered = value().parse().expect("integer"),
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let rows = cluster_sweep(&ClusterSweepSpec {
+        engine: args.engine.clone(),
+        bits: args.bits,
+        tile_counts: args.tiles.clone(),
+        policies: args.policies.clone(),
+        jobs_per_tenant: args.jobs_per_tenant,
+        per_combo: args.per_combo,
+        submitters: args.submitters,
+        workers_per_tile: args.workers,
+        seed: 0xC1A5,
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tiles.to_string(),
+                r.policy.clone(),
+                r.jobs.to_string(),
+                r.modelled_makespan_cycles.to_string(),
+                format!("{:.2}x", r.modelled_speedup),
+                format!("{:.1}%", r.affinity_hit_rate * 100.0),
+                r.spilled.to_string(),
+                format!("{:.0}", r.wall_jobs_per_s),
+                format!("{:?}", r.per_tile_submitted),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Cluster sweep: {} at {} bits ({} tenants x {} jobs, {} lanes/tile, {} submitters)",
+            args.engine,
+            args.bits,
+            rows.first().map_or(0, |r| r.tenants),
+            args.jobs_per_tenant,
+            args.workers,
+            args.submitters
+        ),
+        &[
+            "tiles",
+            "policy",
+            "jobs",
+            "makespan cyc",
+            "modelled",
+            "affinity",
+            "spilled",
+            "wall jobs/s",
+            "per-tile",
+        ],
+        &table,
+    );
+
+    let probe = cluster_spill_probe(args.probe_offered, &args.policies);
+    let probe_table: Vec<Vec<String>> = probe
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.offered.to_string(),
+                r.accepted.to_string(),
+                r.spilled.to_string(),
+                r.shed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Saturation probe: one hot tenant, 2 slow tiles, tiny queues",
+        &["policy", "offered", "accepted", "spilled", "shed"],
+        &probe_table,
+    );
+
+    let artifact = serde_json::json!({
+        "sweep": rows.iter().map(|r| serde_json::json!({
+            "tiles": r.tiles,
+            "policy": r.policy.clone(),
+            "jobs": r.jobs,
+            "tenants": r.tenants,
+            "wall_jobs_per_s": r.wall_jobs_per_s,
+            "modelled_makespan_cycles": r.modelled_makespan_cycles,
+            "modelled_speedup": r.modelled_speedup,
+            "affinity_hit_rate": r.affinity_hit_rate,
+            "spilled": r.spilled,
+            "per_tile_submitted": r.per_tile_submitted.clone(),
+        })).collect::<Vec<_>>(),
+        "saturation_probe": probe.iter().map(|r| serde_json::json!({
+            "policy": r.policy.clone(),
+            "offered": r.offered,
+            "accepted": r.accepted,
+            "spilled": r.spilled,
+            "shed": r.shed,
+        })).collect::<Vec<_>>(),
+    });
+    let path = write_json_artifact("cluster_sweep", &artifact);
+    println!("\nartifact: {path}");
+
+    for r in &rows {
+        if r.tiles > 1 {
+            println!(
+                "{} tiles ({}): {:.2}x modelled closed-loop speedup, affinity {:.1}%",
+                r.tiles,
+                r.policy,
+                r.modelled_speedup,
+                r.affinity_hit_rate * 100.0
+            );
+        }
+    }
+}

@@ -4,8 +4,10 @@ use std::time::{Duration, Instant};
 
 use modsram_baselines::{BpNttModel, DataOrg, MenttModel};
 use modsram_bigint::{ubig_below, UBig};
+use modsram_core::cluster::{home_tile_for, ClusterConfig, ServiceCluster, SpillPolicy};
 use modsram_core::dispatch::{ContextPool, Dispatcher, MulJob, StealPolicy};
 use modsram_core::service::{ModSramService, ServiceConfig, ServiceStats, Ticket};
+use modsram_core::test_util::slow_pool;
 use modsram_core::{BankedModSram, ModSram, ModSramConfig, RunStats};
 use modsram_modmul::{all_engines, engine_by_name, CycleModel, LutOverflow, R4CsaLutEngine};
 use modsram_phys::{AreaModel, Component, FreqModel};
@@ -675,6 +677,405 @@ pub fn serve_sweep(
         .collect()
 }
 
+/// One `(tiles, policy)` point of the multi-tile cluster sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSweepRow {
+    /// Tiles in the cluster.
+    pub tiles: usize,
+    /// Spill policy label (`strict` or `spill<hops>`).
+    pub policy: String,
+    /// Jobs executed in the measured (post-warm-up) phase.
+    pub jobs: usize,
+    /// Distinct tenant moduli in the workload.
+    pub tenants: usize,
+    /// Closed-loop wall throughput, jobs per second (host-core bound —
+    /// only meaningful when the host has a core per lane).
+    pub wall_jobs_per_s: f64,
+    /// The busiest tile's modelled occupancy in device cycles — the
+    /// cluster's modelled makespan (tiles are independent macros).
+    pub modelled_makespan_cycles: u64,
+    /// Modelled closed-loop throughput speedup vs the same policy's
+    /// smallest swept tile count (normally 1): `makespan₁ /
+    /// makespanₙ` — the headline that is deterministic on any host,
+    /// like `bin/shard`'s lane speedup.
+    pub modelled_speedup: f64,
+    /// Fraction of accepted jobs that landed on their home tile.
+    pub affinity_hit_rate: f64,
+    /// Jobs that landed off their home tile.
+    pub spilled: u64,
+    /// Measured-phase jobs accepted per tile (routing balance;
+    /// excludes warm-up, so the entries sum to `jobs`).
+    pub per_tile_submitted: Vec<u64>,
+}
+
+/// Per-combo tenant targets that are simultaneously balanced at every
+/// tile count in `levels` (ascending). Rendezvous homes nest: if a
+/// modulus's home at the largest count is tile `d`, then its home at
+/// any smaller count `t > d` is *forced* to `d` (tile `d` already
+/// out-scores tiles `0..t`), while counts `t ≤ d` are free. The
+/// allocator walks levels largest-first, splits the total evenly over
+/// that level's homes, pins the forced smaller levels, and recurses
+/// into the free ones — producing only *consistent* combos, each with
+/// an integral target.
+fn alloc_home_targets(levels: &[usize], total: usize) -> Vec<(Vec<usize>, usize)> {
+    let Some((&last, rest)) = levels.split_last() else {
+        return vec![(Vec::new(), total)];
+    };
+    let share = total / last;
+    let mut out = Vec::new();
+    for d in 0..last {
+        let free: Vec<usize> = rest.iter().copied().filter(|&t| t <= d).collect();
+        let forced = rest.len() - free.len();
+        for (sub, n) in alloc_home_targets(&free, share) {
+            let mut combo = sub;
+            combo.extend(std::iter::repeat_n(d, forced));
+            combo.push(d);
+            out.push((combo, n));
+        }
+    }
+    out
+}
+
+/// Draws tenant moduli of exactly `bits` bits whose rendezvous homes
+/// are load-balanced at *every* swept cluster size simultaneously
+/// (`per_combo` moduli per consistent home combination — the tenant
+/// count is `per_combo × Π tiles`). This is the steady state a
+/// capacity planner provisions for; a skewed tenant mix spills
+/// instead (see [`cluster_spill_probe`]).
+fn balanced_tenant_moduli(
+    bits: usize,
+    tile_counts: &[usize],
+    per_combo: usize,
+    rng: &mut SmallRng,
+) -> Vec<UBig> {
+    let mut multi: Vec<usize> = tile_counts.iter().copied().filter(|&t| t > 1).collect();
+    multi.sort_unstable();
+    multi.dedup();
+    let total: usize = multi.iter().product::<usize>() * per_combo;
+    let targets: std::collections::HashMap<Vec<usize>, usize> =
+        alloc_home_targets(&multi, total).into_iter().collect();
+    let top = UBig::pow2(bits - 1);
+    let mut buckets: std::collections::HashMap<Vec<usize>, Vec<UBig>> =
+        std::collections::HashMap::new();
+    let mut found = 0usize;
+    for _ in 0..500_000 {
+        if found == total {
+            break;
+        }
+        // Exactly `bits` bits, odd (valid for the Montgomery family
+        // and the LUT engines alike).
+        let mut p = &top + &ubig_below(rng, &top);
+        if &p % &UBig::from(2u64) == UBig::from(0u64) {
+            p = &p + &UBig::from(1u64);
+        }
+        let key: Vec<usize> = multi.iter().map(|&t| home_tile_for(&p, t)).collect();
+        let Some(&target) = targets.get(&key) else {
+            continue;
+        };
+        let bucket = buckets.entry(key).or_default();
+        if bucket.len() < target {
+            bucket.push(p);
+            found += 1;
+        }
+    }
+    assert_eq!(found, total, "failed to fill every home-tile bucket");
+    let mut keys: Vec<Vec<usize>> = buckets.keys().cloned().collect();
+    keys.sort();
+    keys.into_iter()
+        .flat_map(|k| buckets.remove(&k).expect("key from the map"))
+        .collect()
+}
+
+/// Parses a spill-policy label: `"strict"` or `"spill<hops>"`
+/// (e.g. `spill1`) — shared by [`cluster_sweep`] and
+/// [`cluster_spill_probe`] so the two cannot drift.
+fn parse_policy_label(label: &str) -> SpillPolicy {
+    if label == "strict" {
+        SpillPolicy::Strict
+    } else if let Some(hops) = label.strip_prefix("spill") {
+        SpillPolicy::Spill {
+            max_hops: hops.parse().expect("spill<hops> label"),
+        }
+    } else {
+        panic!("unknown policy label '{label}' (use strict or spill<hops>)")
+    }
+}
+
+/// The shape of one [`cluster_sweep`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSweepSpec {
+    /// Engine name from the registry.
+    pub engine: String,
+    /// Operand bitwidth of the tenant moduli.
+    pub bits: usize,
+    /// Tile counts to sweep; the smallest (normally 1) becomes the
+    /// speedup baseline, whatever order they are given in.
+    pub tile_counts: Vec<usize>,
+    /// Policy labels: `"strict"` or `"spill<hops>"` (e.g. `spill1`).
+    pub policies: Vec<String>,
+    /// Measured jobs per tenant modulus.
+    pub jobs_per_tenant: usize,
+    /// Tenants per consistent home combination (tenant count is
+    /// `per_combo × Π tile_counts`).
+    pub per_combo: usize,
+    /// Concurrent submitter threads.
+    pub submitters: usize,
+    /// Dispatcher lanes per tile.
+    pub workers_per_tile: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// Runs the closed-loop cluster sweep over `tile_counts` ×
+/// `policies`: a balanced multi-tenant workload (tenants'
+/// rendezvous homes cover every swept tile count evenly, multiplicands
+/// repeat in runs of 8 per tenant) is streamed by `submitters`
+/// threads through a fresh [`ServiceCluster`] per point, after a
+/// one-job-per-tenant warm-up that pays context preparation and is
+/// then excluded from the latency window via
+/// [`ServiceCluster::reset_window`].
+///
+/// # Panics
+///
+/// Panics on an unknown engine/policy label or a diverged result.
+pub fn cluster_sweep(spec: &ClusterSweepSpec) -> Vec<ClusterSweepRow> {
+    let ClusterSweepSpec {
+        engine,
+        bits,
+        tile_counts,
+        policies,
+        jobs_per_tenant,
+        per_combo,
+        submitters,
+        workers_per_tile,
+        seed,
+    } = spec;
+    let (bits, jobs_per_tenant, per_combo, submitters, workers_per_tile) = (
+        *bits,
+        *jobs_per_tenant,
+        *per_combo,
+        *submitters,
+        *workers_per_tile,
+    );
+    let mut rng = SmallRng::seed_from_u64(*seed);
+    let tenants = balanced_tenant_moduli(bits, tile_counts, per_combo, &mut rng);
+
+    // Tenant-interleaved job order: every submitter's slice mixes all
+    // tenants, with multiplicand reuse runs of 8 inside each tenant.
+    let mut per_tenant_b: Vec<UBig> = tenants.iter().map(|p| ubig_below(&mut rng, p)).collect();
+    let mut jobs: Vec<MulJob> = Vec::with_capacity(tenants.len() * jobs_per_tenant);
+    for i in 0..jobs_per_tenant {
+        for (t, p) in tenants.iter().enumerate() {
+            if i % 8 == 0 {
+                per_tenant_b[t] = ubig_below(&mut rng, p);
+            }
+            jobs.push(MulJob::new(
+                ubig_below(&mut rng, p),
+                per_tenant_b[t].clone(),
+                p.clone(),
+            ));
+        }
+    }
+    let oracle: Vec<UBig> = jobs.iter().map(|j| &(&j.a * &j.b) % &j.modulus).collect();
+
+    // Sweep tile counts ascending so the speedup baseline (the
+    // smallest swept count, normally 1) is always measured first.
+    let mut tile_counts = tile_counts.clone();
+    tile_counts.sort_unstable();
+    tile_counts.dedup();
+
+    let mut rows = Vec::new();
+    for policy_label in policies {
+        let mut baseline_makespan: Option<u64> = None;
+        for &tiles in &tile_counts {
+            let cluster = ServiceCluster::for_engine_name(
+                engine,
+                tiles,
+                ClusterConfig {
+                    spill: parse_policy_label(policy_label),
+                    service: ServiceConfig {
+                        workers: workers_per_tile,
+                        queue_capacity: 8192,
+                        max_batch: 256,
+                        flush_interval: Duration::from_micros(50),
+                        // One batch at a time per tile keeps the
+                        // modelled occupancy additive (a physical tile
+                        // has `workers` lanes, not `workers × depth`).
+                        pipeline_depth: 1,
+                        ..Default::default()
+                    },
+                    poison_after: 3,
+                },
+            )
+            .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
+
+            // Warm-up: prepare every tenant's context on its home
+            // tile, then open a fresh stats window so percentiles and
+            // coalesce shape describe the steady-state phase only.
+            let warmup: Vec<Ticket> = tenants
+                .iter()
+                .map(|p| {
+                    cluster
+                        .submit(MulJob::new(UBig::from(2u64), UBig::from(3u64), p.clone()))
+                        .expect("cluster running")
+                })
+                .collect();
+            for t in &warmup {
+                t.wait().expect("warm-up job valid");
+            }
+            let warmup_stats = cluster.stats();
+            cluster.reset_window();
+
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for s in 0..submitters {
+                    let handle = cluster.handle();
+                    let jobs = &jobs;
+                    let oracle = &oracle;
+                    scope.spawn(move || {
+                        let mine: Vec<usize> =
+                            (0..jobs.len()).filter(|i| i % submitters == s).collect();
+                        let tickets: Vec<Ticket> = mine
+                            .iter()
+                            .map(|&i| handle.submit(jobs[i].clone()).expect("running"))
+                            .collect();
+                        for (&i, ticket) in mine.iter().zip(&tickets) {
+                            assert_eq!(
+                                ticket.wait().expect("valid modulus"),
+                                oracle[i],
+                                "cluster job {i} diverged"
+                            );
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = cluster.shutdown();
+            assert_eq!(stats.failed, 0, "balanced workload never fails");
+
+            // Subtract the warm-up phase per tile *before* taking the
+            // max, so the makespan covers the measured jobs only even
+            // when a different tile was busiest during warm-up.
+            let makespan = stats
+                .tiles
+                .iter()
+                .zip(&warmup_stats.tiles)
+                .map(|(t, w)| {
+                    t.service
+                        .modelled_cycles_total
+                        .saturating_sub(w.service.modelled_cycles_total)
+                })
+                .max()
+                .unwrap_or(0);
+            // The smallest swept tile count (normally 1) is the
+            // speedup baseline; tile_counts was sorted above, so it is
+            // always measured before the larger points.
+            let base = *baseline_makespan.get_or_insert(makespan);
+            let speedup = if makespan > 0 {
+                base as f64 / makespan as f64
+            } else {
+                1.0
+            };
+            rows.push(ClusterSweepRow {
+                tiles,
+                policy: policy_label.clone(),
+                jobs: jobs.len(),
+                tenants: tenants.len(),
+                wall_jobs_per_s: jobs.len() as f64 / elapsed,
+                modelled_makespan_cycles: makespan,
+                modelled_speedup: speedup,
+                affinity_hit_rate: stats.affinity_hit_rate(),
+                spilled: stats.spilled,
+                per_tile_submitted: stats
+                    .tiles
+                    .iter()
+                    .zip(&warmup_stats.tiles)
+                    .map(|(t, w)| t.service.submitted - w.service.submitted)
+                    .collect(),
+            });
+        }
+    }
+    rows
+}
+
+/// One policy point of the deterministic saturation probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillProbeRow {
+    /// Spill policy label.
+    pub policy: String,
+    /// Jobs offered via `try_submit` to one hot tenant.
+    pub offered: u64,
+    /// Jobs accepted somewhere in the cluster.
+    pub accepted: u64,
+    /// Accepted jobs that landed off the hot tenant's home tile.
+    pub spilled: u64,
+    /// Jobs refused with `AllTilesSaturated`.
+    pub shed: u64,
+}
+
+/// The policy trade-off made measurable: one hot tenant bursts
+/// `offered` non-blocking submissions at a 2-tile cluster of
+/// deliberately slow tiles with tiny queues. `Strict` sheds everything
+/// beyond the home queue while the other tile idles; `Spill` fills the
+/// neighbour first and sheds less. Every accepted job is verified
+/// against the oracle.
+pub fn cluster_spill_probe(offered: u64, policies: &[String]) -> Vec<SpillProbeRow> {
+    policies
+        .iter()
+        .map(|label| {
+            let spill = parse_policy_label(label);
+            let cluster = ServiceCluster::new(
+                vec![
+                    slow_pool(Duration::from_millis(2)),
+                    slow_pool(Duration::from_millis(2)),
+                ],
+                ClusterConfig {
+                    spill,
+                    service: ServiceConfig {
+                        workers: 1,
+                        queue_capacity: 4,
+                        max_batch: 1,
+                        flush_interval: Duration::ZERO,
+                        pipeline_depth: 1,
+                        ..Default::default()
+                    },
+                    poison_after: 0,
+                },
+            );
+            // A modulus homed on tile 0 — the hot tenant (the
+            // standalone planner predicts the live cluster's routing).
+            let p = (0..64u64)
+                .map(|i| UBig::from(1_000_003u64 + 2 * i))
+                .find(|p| home_tile_for(p, 2) == 0)
+                .expect("some modulus homes on tile 0");
+            let mut tickets = Vec::new();
+            let mut shed = 0u64;
+            for i in 0..offered {
+                let job = MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
+                match cluster.try_submit(job) {
+                    Ok(t) => tickets.push((i, t)),
+                    Err(_) => shed += 1,
+                }
+            }
+            for (i, ticket) in &tickets {
+                assert_eq!(
+                    ticket.wait().expect("slow tile is correct"),
+                    &UBig::from((i + 2) * (i + 3)) % &p,
+                    "probe job {i} diverged"
+                );
+            }
+            let stats = cluster.shutdown();
+            SpillProbeRow {
+                policy: label.clone(),
+                offered,
+                accepted: tickets.len() as u64,
+                spilled: stats.spilled,
+                shed,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -829,5 +1230,69 @@ mod tests {
         let [ntt, msm] = fig7_data(6);
         assert_eq!(ntt.modmuls, WorkloadCounts::ntt_modmul_model(6));
         assert!(msm.modmuls > ntt.modmuls);
+    }
+
+    #[test]
+    fn balanced_tenants_cover_every_swept_tile_count() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let tenants = balanced_tenant_moduli(64, &[1, 2, 4], 1, &mut rng);
+        assert_eq!(tenants.len(), 8, "per_combo × 2 × 4");
+        for tiles in [2usize, 4] {
+            let mut per_tile = vec![0usize; tiles];
+            for p in &tenants {
+                per_tile[home_tile_for(p, tiles)] += 1;
+            }
+            assert!(
+                per_tile.iter().all(|&c| c == tenants.len() / tiles),
+                "unbalanced at {tiles} tiles: {per_tile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_sweep_small_run_scales_and_keeps_affinity() {
+        // Correctness of every job is asserted inside the sweep; here
+        // the headline invariants: more tiles → smaller modelled
+        // makespan, and an uncontended balanced workload never spills.
+        let rows = cluster_sweep(&ClusterSweepSpec {
+            engine: "montgomery".to_string(),
+            bits: 64,
+            tile_counts: vec![1, 2],
+            policies: vec!["spill1".to_string()],
+            jobs_per_tenant: 4,
+            per_combo: 1,
+            submitters: 2,
+            workers_per_tile: 2,
+            seed: 0xC1A5,
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tiles, 1);
+        assert_eq!(rows[1].tiles, 2);
+        assert!(
+            rows[1].modelled_speedup > 1.5,
+            "2 tiles must cut the modelled makespan ({:.2}x)",
+            rows[1].modelled_speedup
+        );
+        for row in &rows {
+            assert_eq!(row.affinity_hit_rate, 1.0);
+            assert_eq!(row.spilled, 0);
+            assert_eq!(row.per_tile_submitted.len(), row.tiles);
+        }
+    }
+
+    #[test]
+    fn spill_probe_shows_the_policy_tradeoff() {
+        let rows = cluster_spill_probe(24, &["strict".to_string(), "spill1".to_string()]);
+        let strict = &rows[0];
+        let spill = &rows[1];
+        assert_eq!(strict.spilled, 0, "Strict never spills");
+        assert!(strict.shed > 0, "tiny queues must shed under the burst");
+        assert!(spill.spilled > 0, "Spill fills the idle neighbour");
+        assert!(
+            spill.accepted > strict.accepted,
+            "spilling accepts more of the burst ({} vs {})",
+            spill.accepted,
+            strict.accepted
+        );
     }
 }

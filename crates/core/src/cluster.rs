@@ -1,0 +1,929 @@
+//! Multi-tile scale-out: a [`ServiceCluster`] routes a shared job
+//! stream across N independent [`ModSramService`] tiles — the
+//! multi-macro deployment shape (one ModSRAM macro per tile) that
+//! LaMoS argues SRAM-CiM modular multiplication scales out to, grown
+//! from this repo's single-tile streaming front-end.
+//!
+//! # Routing: modulus affinity first
+//!
+//! Every job is routed by **rendezvous hashing** on its modulus: each
+//! `(modulus, tile)` pair gets a deterministic score and the job's
+//! *home* is the highest-scoring live tile. Two properties follow:
+//!
+//! * **Coalescing survives sharding.** All traffic for one modulus
+//!   lands on one tile, so that tile's batcher still sees long
+//!   modulus-major, multiplicand-major runs and the paper's Table 1b
+//!   LUT reuse keeps amortising. Hashing jobs round-robin instead
+//!   would shred exactly the locality the architecture is built on.
+//! * **Stable under membership change.** When a tile is removed from
+//!   the candidate set (poisoned or stopped), only the moduli homed on
+//!   *that* tile move (to their next-ranked tile); every other
+//!   modulus stays put — no global reshuffle, no cold LUT refills on
+//!   healthy tiles.
+//!
+//! # Backpressure: spill policies and their trade-off
+//!
+//! Each tile's queue is bounded, so the router must decide what to do
+//! when a job's home tile refuses it with `QueueFull`. That choice is
+//! the [`SpillPolicy`], and it is a genuine trade-off, not a free
+//! knob:
+//!
+//! * [`SpillPolicy::Strict`] — never leave the home tile. Preserves
+//!   perfect per-modulus affinity (every LUT refill for a modulus is
+//!   paid on exactly one tile) and keeps per-tenant interference
+//!   zero, at the cost of head-of-line blocking: a hot tenant
+//!   saturates its home tile while neighbours idle. Non-blocking
+//!   submission surfaces the saturation as
+//!   [`CoreError::AllTilesSaturated`] so an upstream load-shedder can
+//!   act; blocking submission waits for the home queue.
+//! * [`SpillPolicy::Spill`] — after the home refuses, try up to
+//!   `max_hops` other tiles, least-loaded (most queue headroom)
+//!   first. Tail latency under skew improves — work flows to idle
+//!   macros — but each spilled modulus is *prepared again* on the
+//!   spill tile (a context-pool miss: Montgomery constants, Barrett
+//!   µ, or a full Table 1b LUT fill) and the spill tile's batcher
+//!   coalesces a foreign modulus it will likely never see again, so
+//!   its resident tenants lose some multiplicand-run length. Spilling
+//!   buys throughput under overload by diluting the very locality
+//!   affinity routing exists to protect — which is why `max_hops`
+//!   bounds the dilution.
+//!
+//! Blocking [`ClusterHandle::submit`] falls back to waiting on the
+//! home tile once every allowed tile has refused, so accepted load
+//! eventually lands with affinity; non-blocking
+//! [`ClusterHandle::try_submit`] refuses instead.
+//!
+//! # Fault containment
+//!
+//! Tiles fail independently. A panicking context (see
+//! [`crate::test_util::FailingPrepared`]) unwinds one executor, whose
+//! guard fails that batch's tickets — waiters get
+//! [`ServiceError::Stopped`](crate::service::ServiceError::Stopped)
+//! instead of hanging, and other tiles never notice. The router
+//! consults each tile's [`TileHealth`] and, once a tile's caught-panic
+//! count reaches [`ClusterConfig::poison_after`], treats it as
+//! poisoned and routes around it (its moduli fail over to their
+//! next-ranked tile). [`ServiceCluster::shutdown`] fans out to every
+//! tile and drains each accepted ticket exactly once.
+//!
+//! # Examples
+//!
+//! ```
+//! use modsram_bigint::UBig;
+//! use modsram_core::cluster::{ClusterConfig, ServiceCluster};
+//! use modsram_core::dispatch::MulJob;
+//!
+//! let cluster =
+//!     ServiceCluster::for_engine_name("montgomery", 2, ClusterConfig::default()).unwrap();
+//! let ticket = cluster
+//!     .submit(MulJob::new(UBig::from(55u64), UBig::from(44u64), UBig::from(97u64)))
+//!     .unwrap();
+//! assert_eq!(ticket.wait().unwrap(), UBig::from(55u64 * 44 % 97));
+//! let stats = cluster.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! assert_eq!(stats.affinity_hits, 1);
+//! ```
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use modsram_bigint::UBig;
+use modsram_modmul::{ModMulError, PreparedModMul};
+
+use crate::dispatch::{ContextPool, MulJob};
+use crate::error::CoreError;
+use crate::modsram::ModSramConfig;
+use crate::service::{
+    backend_error, ticket_result, ModSramService, ServiceConfig, ServiceStats, SubmitError, Ticket,
+    TileHealth,
+};
+
+/// What the router does when a job's home tile refuses it with
+/// `QueueFull` (see the module docs for the trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// Stay on the home tile: block there ([`ClusterHandle::submit`])
+    /// or refuse with [`CoreError::AllTilesSaturated`]
+    /// ([`ClusterHandle::try_submit`]).
+    Strict,
+    /// Try up to `max_hops` other live tiles, most queue headroom
+    /// first, before blocking on (or refusing for) the home tile.
+    Spill {
+        /// Maximum non-home tiles to try per submission.
+        max_hops: usize,
+    },
+}
+
+impl Default for SpillPolicy {
+    /// One spill hop: relieves hot-tenant skew while keeping LUT
+    /// dilution bounded to a single foreign tile per overloaded burst.
+    fn default() -> Self {
+        SpillPolicy::Spill { max_hops: 1 }
+    }
+}
+
+/// Tuning knobs of a [`ServiceCluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Backpressure policy (see [`SpillPolicy`]).
+    pub spill: SpillPolicy,
+    /// Per-tile service configuration (every tile is configured
+    /// identically; heterogeneous tiles can be built via
+    /// [`ServiceCluster::from_services`]).
+    pub service: ServiceConfig,
+    /// Caught executor panics after which a tile is considered
+    /// poisoned and routed around (`0` disables poison detection).
+    pub poison_after: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            spill: SpillPolicy::default(),
+            service: ServiceConfig::default(),
+            poison_after: 3,
+        }
+    }
+}
+
+/// Why the cluster refused a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterSubmitError {
+    /// Every tile the spill policy allowed is at queue capacity
+    /// ([`ClusterHandle::try_submit`] only — blocking submission waits
+    /// on the home tile instead).
+    AllTilesSaturated {
+        /// Tiles whose queues refused the job.
+        tried: usize,
+    },
+    /// The cluster (or every routable tile) has shut down.
+    Stopped,
+}
+
+impl core::fmt::Display for ClusterSubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterSubmitError::AllTilesSaturated { tried } => {
+                write!(f, "all {tried} tile(s) the spill policy allows are full")
+            }
+            ClusterSubmitError::Stopped => write!(f, "cluster has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterSubmitError {}
+
+impl From<ClusterSubmitError> for CoreError {
+    fn from(e: ClusterSubmitError) -> Self {
+        match e {
+            ClusterSubmitError::AllTilesSaturated { tried } => {
+                CoreError::AllTilesSaturated { tried }
+            }
+            ClusterSubmitError::Stopped => CoreError::ClusterStopped,
+        }
+    }
+}
+
+/// One tile plus its routing tallies.
+struct TileCell {
+    service: ModSramService,
+    /// Jobs accepted with this tile as their natural home.
+    routed: AtomicU64,
+    /// Jobs accepted here after spilling (or failing over) from
+    /// another tile's home.
+    spilled_in: AtomicU64,
+}
+
+/// State shared by the cluster front, its handles, and its prepared
+/// façades.
+struct ClusterShared {
+    tiles: Vec<TileCell>,
+    spill: SpillPolicy,
+    poison_after: u64,
+    stopped: AtomicBool,
+    affinity_hits: AtomicU64,
+    spilled: AtomicU64,
+    saturated_rejections: AtomicU64,
+}
+
+/// 64-bit finaliser (splitmix64) — mixes the modulus key with a tile
+/// index into a rendezvous score.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The prepared-modulus routing key: equal moduli map to equal keys,
+/// so all traffic for one prepared context shares one home tile.
+fn modulus_key(p: &UBig) -> u64 {
+    let mut h = DefaultHasher::new();
+    p.hash(&mut h);
+    h.finish()
+}
+
+/// The natural home tile for modulus `p` in a cluster of `tiles` —
+/// the same deterministic rendezvous placement a live
+/// [`ServiceCluster`] of that size computes, exposed standalone so
+/// workload planners (capacity sizing, sweep generators) can predict
+/// placement without standing a cluster up.
+pub fn home_tile_for(p: &UBig, tiles: usize) -> usize {
+    let key = modulus_key(p);
+    (0..tiles.max(1))
+        .max_by_key(|&i| {
+            (
+                mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                std::cmp::Reverse(i),
+            )
+        })
+        .unwrap_or(0)
+}
+
+impl ClusterShared {
+    /// Tile indices in rendezvous order (best score first) for a
+    /// modulus key — deterministic for a given key and tile count.
+    fn ranked(&self, key: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.tiles.len()).collect();
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        });
+        order
+    }
+
+    /// The rank-0 tile of [`ClusterShared::ranked`] without allocating
+    /// or sorting — the submission hot path only needs the argmax, and
+    /// only falls back to the full ordering when the home tile is
+    /// unusable.
+    fn natural_home(&self, key: u64) -> usize {
+        (0..self.tiles.len())
+            .max_by_key(|&i| {
+                (
+                    mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    std::cmp::Reverse(i),
+                )
+            })
+            .unwrap_or(0)
+    }
+
+    /// The home tile for a modulus key: the natural (rank-0) tile when
+    /// it is usable — the common case, probed with one health check —
+    /// otherwise the first usable tile in full rendezvous order.
+    /// `None` when every tile is stopped or poisoned.
+    fn route(&self, key: u64) -> Option<(usize, usize)> {
+        let natural = self.natural_home(key);
+        if self.usable(natural) {
+            return Some((natural, natural));
+        }
+        self.ranked(key)
+            .into_iter()
+            .find(|&i| self.usable(i))
+            .map(|home| (home, natural))
+    }
+
+    /// Whether a tile may be targeted at all: not stopped and not
+    /// poisoned.
+    fn usable(&self, tile: usize) -> bool {
+        self.usable_health(&self.tiles[tile].service.health())
+    }
+
+    /// [`ClusterShared::usable`] over an already-taken health snapshot,
+    /// so callers that also need capacity probe each tile only once.
+    fn usable_health(&self, health: &TileHealth) -> bool {
+        !health.stopped && (self.poison_after == 0 || health.executor_panics < self.poison_after)
+    }
+
+    /// Records an accepted job: per-tile tallies plus the cluster's
+    /// affinity accounting (`natural` is the rank-0 tile the modulus
+    /// hashes to, `landed` where the job was actually accepted).
+    fn record(&self, landed: usize, natural: usize) {
+        if landed == natural {
+            self.tiles[landed].routed.fetch_add(1, Ordering::Relaxed);
+            self.affinity_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tiles[landed]
+                .spilled_in
+                .fetch_add(1, Ordering::Relaxed);
+            self.spilled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spill candidates for a job homed on `home`: usable non-home
+    /// tiles, most queue headroom first, truncated to the policy's hop
+    /// budget. Empty under [`SpillPolicy::Strict`].
+    fn spill_candidates(&self, home: usize) -> Vec<usize> {
+        let SpillPolicy::Spill { max_hops } = self.spill else {
+            return Vec::new();
+        };
+        let mut others: Vec<(usize, usize)> = (0..self.tiles.len())
+            .filter(|&i| i != home)
+            .filter_map(|i| {
+                // One health probe per tile covers both liveness and
+                // headroom — this runs on the overloaded path, where
+                // extra lock traffic on tile queues hurts most.
+                let health = self.tiles[i].service.health();
+                self.usable_health(&health).then(|| (health.headroom(), i))
+            })
+            .collect();
+        others.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        others.into_iter().map(|(_, i)| i).take(max_hops).collect()
+    }
+
+    fn submit_inner(&self, job: MulJob, block: bool) -> Result<Ticket, ClusterSubmitError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ClusterSubmitError::Stopped);
+        }
+        let Some((home, natural)) = self.route(modulus_key(&job.modulus)) else {
+            return Err(ClusterSubmitError::Stopped);
+        };
+
+        let mut candidates = vec![home];
+        candidates.extend(self.spill_candidates(home));
+        let tried = candidates.len();
+        for tile in candidates {
+            match self.tiles[tile].service.try_submit(job.clone()) {
+                Ok(ticket) => {
+                    self.record(tile, natural);
+                    return Ok(ticket);
+                }
+                // Full or racing its own shutdown: move to the next
+                // tile the policy allows.
+                Err(SubmitError::QueueFull) | Err(SubmitError::Stopped) => {}
+            }
+        }
+        if block {
+            // Every allowed tile refused without blocking; wait for
+            // the home queue so sustained overload still lands with
+            // affinity (and still backpressures the producer).
+            match self.tiles[home].service.submit(job) {
+                Ok(ticket) => {
+                    self.record(home, natural);
+                    Ok(ticket)
+                }
+                Err(_) => Err(ClusterSubmitError::Stopped),
+            }
+        } else {
+            self.saturated_rejections.fetch_add(1, Ordering::Relaxed);
+            Err(ClusterSubmitError::AllTilesSaturated { tried })
+        }
+    }
+
+    fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, ClusterSubmitError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ClusterSubmitError::Stopped);
+        }
+        // Route every job to its home tile (bulk submission trusts
+        // affinity — spilling inside a batch would interleave two
+        // tiles' completions for one caller), then forward each tile's
+        // share under a single queue acquisition.
+        let mut per_tile: Vec<Vec<(usize, usize, MulJob)>> =
+            (0..self.tiles.len()).map(|_| Vec::new()).collect();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let Some((home, natural)) = self.route(modulus_key(&job.modulus)) else {
+                return Err(ClusterSubmitError::Stopped);
+            };
+            per_tile[home].push((idx, natural, job));
+        }
+        let total: usize = per_tile.iter().map(Vec::len).sum();
+        let mut slots: Vec<Option<Ticket>> = (0..total).map(|_| None).collect();
+        for (tile, share) in per_tile.into_iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let mut meta = Vec::with_capacity(share.len());
+            let mut tile_jobs = Vec::with_capacity(share.len());
+            for (idx, natural, job) in share {
+                meta.push((idx, natural));
+                tile_jobs.push(job);
+            }
+            let tickets = self.tiles[tile]
+                .service
+                .handle()
+                .submit_many(tile_jobs)
+                .map_err(|_| ClusterSubmitError::Stopped)?;
+            // Only now are these jobs actually queued — recording
+            // earlier would overcount `submitted` when a tile stops
+            // mid-batch and its share (plus later tiles') never lands.
+            for ((idx, natural), ticket) in meta.into_iter().zip(tickets) {
+                self.record(tile, natural);
+                slots[idx] = Some(ticket);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|t| t.expect("every job was routed to exactly one tile"))
+            .collect())
+    }
+}
+
+/// A cloneable cluster submission endpoint — the multi-tile analogue
+/// of [`crate::service::SubmitHandle`], cheap to hand to every
+/// producer thread.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    shared: Arc<ClusterShared>,
+}
+
+impl core::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ClusterHandle {{ tiles: {} }}", self.shared.tiles.len())
+    }
+}
+
+impl ClusterHandle {
+    /// Submits one job, blocking on the home tile's queue once every
+    /// tile the spill policy allows has refused without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterSubmitError::Stopped`] once the cluster has shut down
+    /// or no tile is routable.
+    pub fn submit(&self, job: MulJob) -> Result<Ticket, ClusterSubmitError> {
+        self.shared.submit_inner(job, true)
+    }
+
+    /// Submits one job without blocking: home tile first, then (under
+    /// [`SpillPolicy::Spill`]) the least-loaded other tiles.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterSubmitError::AllTilesSaturated`] when every allowed
+    /// tile is full (counted in
+    /// [`ClusterStats::saturated_rejections`]),
+    /// [`ClusterSubmitError::Stopped`] after shutdown.
+    pub fn try_submit(&self, job: MulJob) -> Result<Ticket, ClusterSubmitError> {
+        self.shared.submit_inner(job, false)
+    }
+
+    /// Submits a whole batch, each job routed to its home tile
+    /// (bulk submission never spills), with per-tile bulk queue
+    /// acquisition. Tickets are returned in job order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterSubmitError::Stopped`] if the cluster shuts down
+    /// mid-batch; jobs already queued by then still drain, but their
+    /// tickets are not returned.
+    pub fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, ClusterSubmitError> {
+        self.shared.submit_many(jobs)
+    }
+}
+
+/// Per-tile routing and service statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileStats {
+    /// Jobs accepted with this tile as their natural home.
+    pub routed: u64,
+    /// Jobs accepted here after spilling from another tile's home.
+    pub spilled_in: u64,
+    /// `true` when the router currently treats this tile as poisoned.
+    pub poisoned: bool,
+    /// The tile's capacity/liveness probe at snapshot time.
+    pub health: TileHealth,
+    /// The tile's full service statistics (latency percentiles,
+    /// coalesce shape, pool counters, modelled occupancy).
+    pub service: ServiceStats,
+}
+
+/// Point-in-time statistics snapshot of the whole cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Per-tile breakdown, indexed by tile id.
+    pub tiles: Vec<TileStats>,
+    /// Jobs accepted cluster-wide.
+    pub submitted: u64,
+    /// Jobs that landed on their natural home tile.
+    pub affinity_hits: u64,
+    /// Jobs that landed off their natural home tile (backpressure
+    /// spill or poison failover).
+    pub spilled: u64,
+    /// Non-blocking submissions refused with
+    /// [`CoreError::AllTilesSaturated`].
+    pub saturated_rejections: u64,
+    /// Jobs completed successfully, summed over tiles.
+    pub completed: u64,
+    /// Jobs completed with an error, summed over tiles.
+    pub failed: u64,
+}
+
+impl ClusterStats {
+    /// Fraction of accepted jobs that landed on their natural home
+    /// tile (1.0 when nothing was accepted yet).
+    pub fn affinity_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.affinity_hits as f64 / self.submitted as f64
+        }
+    }
+
+    /// The busiest tile's modelled occupancy, in device cycles — the
+    /// cluster's modelled makespan, since tiles are independent macros
+    /// running concurrently.
+    pub fn modelled_makespan_cycles(&self) -> u64 {
+        self.tiles
+            .iter()
+            .map(|t| t.service.modelled_cycles_total)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The multi-tile router (see the module docs).
+pub struct ServiceCluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl core::fmt::Debug for ServiceCluster {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ServiceCluster {{ tiles: {}, policy: {:?} }}",
+            self.shared.tiles.len(),
+            self.shared.spill
+        )
+    }
+}
+
+impl ServiceCluster {
+    /// Builds a cluster with one tile per pool, every tile running
+    /// `config.service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty (a cluster needs at least one tile),
+    /// or on the per-tile panics of [`ModSramService::new`].
+    pub fn new(pools: Vec<ContextPool>, config: ClusterConfig) -> Self {
+        let services = pools
+            .into_iter()
+            .map(|pool| ModSramService::new(pool, config.service.clone()))
+            .collect();
+        Self::from_services(services, config.spill, config.poison_after)
+    }
+
+    /// Builds a cluster from already-running (possibly heterogeneous)
+    /// tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` is empty.
+    pub fn from_services(
+        services: Vec<ModSramService>,
+        spill: SpillPolicy,
+        poison_after: u64,
+    ) -> Self {
+        assert!(!services.is_empty(), "a cluster needs at least one tile");
+        let tiles = services
+            .into_iter()
+            .map(|service| TileCell {
+                service,
+                routed: AtomicU64::new(0),
+                spilled_in: AtomicU64::new(0),
+            })
+            .collect();
+        ServiceCluster {
+            shared: Arc::new(ClusterShared {
+                tiles,
+                spill,
+                poison_after,
+                stopped: AtomicBool::new(false),
+                affinity_hits: AtomicU64::new(0),
+                spilled: AtomicU64::new(0),
+                saturated_rejections: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Cluster of `tiles` identical tiles over a registry engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownEngine`] for a name absent from the
+    /// registry.
+    pub fn for_engine_name(
+        name: &str,
+        tiles: usize,
+        config: ClusterConfig,
+    ) -> Result<Self, CoreError> {
+        let pools: Result<Vec<ContextPool>, CoreError> = (0..tiles.max(1))
+            .map(|_| {
+                ContextPool::for_engine_name(name).ok_or_else(|| CoreError::UnknownEngine {
+                    name: name.to_string(),
+                })
+            })
+            .collect();
+        Ok(Self::new(pools?, config))
+    }
+
+    /// Cluster of `tiles` identical tiles, each over its own pool of
+    /// cycle-accurate ModSRAM devices.
+    pub fn for_modsram(device: ModSramConfig, tiles: usize, config: ClusterConfig) -> Self {
+        let pools = (0..tiles.max(1))
+            .map(|_| ContextPool::for_modsram(device.clone()))
+            .collect();
+        Self::new(pools, config)
+    }
+
+    /// A cloneable submission endpoint for producer threads.
+    pub fn handle(&self) -> ClusterHandle {
+        ClusterHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Submits one job, blocking once every allowed tile has refused
+    /// (see [`ClusterHandle::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterHandle::submit`].
+    pub fn submit(&self, job: MulJob) -> Result<Ticket, ClusterSubmitError> {
+        self.handle().submit(job)
+    }
+
+    /// Submits one job without blocking (see
+    /// [`ClusterHandle::try_submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterHandle::try_submit`].
+    pub fn try_submit(&self, job: MulJob) -> Result<Ticket, ClusterSubmitError> {
+        self.handle().try_submit(job)
+    }
+
+    /// A [`PreparedModMul`] façade over the cluster for modulus `p`:
+    /// the drop-in that lets engine-generic consumers (curves,
+    /// committers, NTT shards) stream through the router unchanged.
+    pub fn prepared(&self, p: &UBig) -> ClusterPrepared {
+        ClusterPrepared {
+            handle: self.handle(),
+            p: p.clone(),
+        }
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.shared.tiles.len()
+    }
+
+    /// The natural home tile (rendezvous rank 0, health ignored) for a
+    /// modulus — where its traffic lands in steady state.
+    pub fn home_tile(&self, p: &UBig) -> usize {
+        self.shared.natural_home(modulus_key(p))
+    }
+
+    /// A point-in-time statistics snapshot across every tile.
+    pub fn stats(&self) -> ClusterStats {
+        let tiles: Vec<TileStats> = self
+            .shared
+            .tiles
+            .iter()
+            .map(|cell| {
+                let health = cell.service.health();
+                TileStats {
+                    routed: cell.routed.load(Ordering::Relaxed),
+                    spilled_in: cell.spilled_in.load(Ordering::Relaxed),
+                    poisoned: self.shared.poison_after > 0
+                        && health.executor_panics >= self.shared.poison_after,
+                    health,
+                    service: cell.service.stats(),
+                }
+            })
+            .collect();
+        let affinity_hits = self.shared.affinity_hits.load(Ordering::Relaxed);
+        let spilled = self.shared.spilled.load(Ordering::Relaxed);
+        ClusterStats {
+            submitted: affinity_hits + spilled,
+            affinity_hits,
+            spilled,
+            saturated_rejections: self.shared.saturated_rejections.load(Ordering::Relaxed),
+            completed: tiles.iter().map(|t| t.service.completed).sum(),
+            failed: tiles.iter().map(|t| t.service.failed).sum(),
+            tiles,
+        }
+    }
+
+    /// Starts a fresh statistics window on every tile (see
+    /// [`ModSramService::reset_window`]); routing tallies are lifetime
+    /// counters and are untouched.
+    pub fn reset_window(&self) {
+        for cell in &self.shared.tiles {
+            cell.service.reset_window();
+        }
+    }
+
+    /// Gracefully stops the cluster: refuses new submissions, then
+    /// fans out to every tile's draining shutdown — every accepted
+    /// ticket completes exactly once before this returns. Idempotent.
+    pub fn shutdown(&self) -> ClusterStats {
+        self.shared.stopped.store(true, Ordering::Release);
+        // Tiles drain concurrently: each `shutdown` closes that tile's
+        // queue and joins its threads while the remaining tiles keep
+        // executing their own backlogs.
+        for cell in &self.shared.tiles {
+            cell.service.shutdown();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ServiceCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A [`PreparedModMul`] whose every multiplication is routed through a
+/// [`ServiceCluster`] — the cluster analogue of
+/// [`crate::service::ServicePrepared`].
+///
+/// Obtained from [`ServiceCluster::prepared`]. `mod_mul` submits one
+/// job and blocks on its ticket; `mod_mul_batch` submits the whole
+/// batch (routed home-tile-major) before waiting, so independent
+/// multiplications still coalesce on their home tile.
+pub struct ClusterPrepared {
+    handle: ClusterHandle,
+    p: UBig,
+}
+
+impl core::fmt::Debug for ClusterPrepared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ClusterPrepared {{ p: {} }}", self.p)
+    }
+}
+
+impl PreparedModMul for ClusterPrepared {
+    fn engine_name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let ticket = self
+            .handle
+            .submit(MulJob::new(a.clone(), b.clone(), self.p.clone()))
+            .map_err(backend_error)?;
+        ticket_result(ticket.wait())
+    }
+
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let jobs: Vec<MulJob> = pairs
+            .iter()
+            .map(|(a, b)| MulJob::new(a.clone(), b.clone(), self.p.clone()))
+            .collect();
+        let tickets = self.handle.submit_many(jobs).map_err(backend_error)?;
+        tickets.iter().map(|t| ticket_result(t.wait())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn small_config() -> ClusterConfig {
+        ClusterConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 8,
+                flush_interval: Duration::from_micros(50),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rendezvous_order_is_a_stable_permutation() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
+        for m in [97u64, 101, 65537, 1_000_003, 0xffff_fffb] {
+            let p = UBig::from(m);
+            let home = cluster.home_tile(&p);
+            assert!(home < 4);
+            // Stable across calls and equal to the standalone planner.
+            assert_eq!(home, cluster.home_tile(&p));
+            assert_eq!(home, home_tile_for(&p, 4));
+            let order = cluster.shared.ranked(modulus_key(&p));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "ranked() must permute tiles");
+        }
+    }
+
+    #[test]
+    fn moduli_spread_across_tiles() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
+        let mut per_tile = [0usize; 4];
+        for i in 0..128u64 {
+            per_tile[cluster.home_tile(&UBig::from(2 * i + 3))] += 1;
+        }
+        for (tile, &count) in per_tile.iter().enumerate() {
+            assert!(count > 0, "tile {tile} homed no modulus out of 128");
+        }
+    }
+
+    #[test]
+    fn submit_routes_and_completes_with_full_affinity() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 2, small_config()).unwrap();
+        let moduli = [97u64, 101, 1_000_003, 0xffff_fffb];
+        let mut tickets = Vec::new();
+        for i in 0..40u64 {
+            let p = UBig::from(moduli[(i % 4) as usize]);
+            let a = UBig::from(i * 7 + 1);
+            let b = UBig::from(i * 11 + 2);
+            let want = &(&a * &b) % &p;
+            tickets.push((cluster.submit(MulJob::new(a, b, p)).unwrap(), want));
+        }
+        for (ticket, want) in &tickets {
+            assert_eq!(&ticket.wait().unwrap(), want);
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.submitted, 40);
+        assert_eq!(stats.completed, 40);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.spilled, 0, "uncontended cluster never spills");
+        assert_eq!(stats.affinity_hit_rate(), 1.0);
+        // Routing tallies agree with the per-tile service counters.
+        for tile in &stats.tiles {
+            assert_eq!(tile.routed + tile.spilled_in, tile.service.submitted);
+        }
+    }
+
+    #[test]
+    fn submit_many_returns_tickets_in_job_order() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 3, small_config()).unwrap();
+        let jobs: Vec<MulJob> = (0..30u64)
+            .map(|i| {
+                let p = UBig::from([97u64, 101, 65537][(i % 3) as usize]);
+                MulJob::new(UBig::from(i + 2), UBig::from(i + 5), p)
+            })
+            .collect();
+        let tickets = cluster.handle().submit_many(jobs.clone()).unwrap();
+        assert_eq!(tickets.len(), jobs.len());
+        for (job, ticket) in jobs.iter().zip(&tickets) {
+            assert_eq!(ticket.wait().unwrap(), &(&job.a * &job.b) % &job.modulus);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stopped_cluster_refuses_submissions() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 2, small_config()).unwrap();
+        cluster.shutdown();
+        let job = MulJob::new(UBig::from(1u64), UBig::from(2u64), UBig::from(97u64));
+        assert_eq!(
+            cluster.submit(job.clone()).err(),
+            Some(ClusterSubmitError::Stopped)
+        );
+        assert_eq!(
+            cluster.try_submit(job.clone()).err(),
+            Some(ClusterSubmitError::Stopped)
+        );
+        assert_eq!(
+            cluster.handle().submit_many(vec![job]).err(),
+            Some(ClusterSubmitError::Stopped)
+        );
+        // Shutdown is idempotent.
+        let stats = cluster.shutdown();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn cluster_submit_error_maps_into_core_error() {
+        assert_eq!(
+            CoreError::from(ClusterSubmitError::Stopped),
+            CoreError::ClusterStopped
+        );
+        assert_eq!(
+            CoreError::from(ClusterSubmitError::AllTilesSaturated { tried: 2 }),
+            CoreError::AllTilesSaturated { tried: 2 }
+        );
+        assert!(CoreError::AllTilesSaturated { tried: 2 }
+            .to_string()
+            .contains("2 tile(s)"));
+    }
+
+    #[test]
+    fn cluster_prepared_streams_through_the_router() {
+        let cluster = ServiceCluster::for_engine_name("montgomery", 2, small_config()).unwrap();
+        let ctx = cluster.prepared(&UBig::from(1_000_003u64));
+        assert_eq!(ctx.engine_name(), "cluster");
+        assert_eq!(ctx.modulus(), &UBig::from(1_000_003u64));
+        assert_eq!(
+            ctx.mod_mul(&UBig::from(2024u64), &UBig::from(4096u64))
+                .unwrap(),
+            UBig::from(2024u64 * 4096 % 1_000_003)
+        );
+        let pairs = vec![(UBig::from(3u64), UBig::from(5u64)); 6];
+        assert_eq!(
+            ctx.mod_mul_batch(&pairs).unwrap(),
+            vec![UBig::from(15u64); 6]
+        );
+        let stats = cluster.shutdown();
+        assert_eq!(stats.completed, 7);
+    }
+}

@@ -364,16 +364,26 @@ impl ContextPool {
         // construction, LUT fill) doesn't serialise unrelated moduli.
         let fresh: Arc<dyn PreparedModMul> =
             Arc::from((self.preparer)(p).map_err(CoreError::ModMul)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.lock_cache()?;
         // A concurrent preparer may have won the race; keep the cached
-        // one so every caller shares a single canonical context.
-        let entry = cache.entry(p.clone()).or_insert(PoolEntry {
-            ctx: fresh,
-            last_used: stamp,
-        });
-        entry.last_used = entry.last_used.max(stamp);
-        let ctx = Arc::clone(&entry.ctx);
+        // one so every caller shares a single canonical context, and
+        // count the race loser as a hit — `misses` stays "distinct
+        // cache fills", deterministic no matter how requests race.
+        match cache.entry(p.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let entry = entry.get_mut();
+                entry.last_used = entry.last_used.max(stamp);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(PoolEntry {
+                    ctx: fresh,
+                    last_used: stamp,
+                });
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ctx = Arc::clone(&cache.get(p).expect("just inserted or found").ctx);
         self.evict_over_capacity(&mut cache, p);
         Ok(ctx)
     }
@@ -423,7 +433,11 @@ impl ContextPool {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Requests that had to run the preparer.
+    /// Distinct cache fills: requests whose preparation actually
+    /// entered the cache. When concurrent first requests for one
+    /// modulus race, exactly one counts here and the losers count as
+    /// hits — so `misses` equals the number of distinct moduli
+    /// prepared-and-cached, deterministic under any interleaving.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }

@@ -55,6 +55,18 @@ pub enum CoreError {
     /// A streaming submission raced a [`crate::service::ModSramService`]
     /// shutdown: the job was not executed.
     ServiceStopped,
+    /// A routed submission raced a
+    /// [`crate::cluster::ServiceCluster`] shutdown: the job was not
+    /// executed on any tile.
+    ClusterStopped,
+    /// A non-blocking cluster submission found every tile its
+    /// [`crate::cluster::SpillPolicy`] allowed at capacity (under
+    /// `Strict` that is the home tile alone) — the caller should shed
+    /// load or retry with backoff.
+    AllTilesSaturated {
+        /// Tiles whose queues refused the job.
+        tried: usize,
+    },
     /// A structurally invalid micro-program (see [`crate::isa`]).
     Program(crate::isa::ProgramError),
     /// Lock-step verification against the functional model diverged —
@@ -96,6 +108,15 @@ impl fmt::Display for CoreError {
             CoreError::EmptyChunk => write!(f, "a dispatched chunk covered no items"),
             CoreError::ServiceStopped => {
                 write!(f, "the service shut down before the job could run")
+            }
+            CoreError::ClusterStopped => {
+                write!(f, "the cluster shut down before the job could be routed")
+            }
+            CoreError::AllTilesSaturated { tried } => {
+                write!(
+                    f,
+                    "all {tried} tile(s) the spill policy allows are at queue capacity"
+                )
             }
             CoreError::Program(e) => write!(f, "{e}"),
             CoreError::ModelDivergence { iteration, what } => write!(

@@ -33,6 +33,13 @@
 //!   completion tickets, and a coalescing batcher that drains the
 //!   request stream into multiplicand-major batches for the
 //!   dispatcher.
+//! * [`cluster`] — multi-tile scale-out: a [`cluster::ServiceCluster`]
+//!   routes jobs across N service tiles by per-modulus rendezvous
+//!   affinity, spills to the least-loaded tile on backpressure
+//!   ([`cluster::SpillPolicy`]), and routes around poisoned tiles.
+//! * [`test_util`] — deterministic fault-injection doubles
+//!   ([`test_util::FailingPrepared`], [`test_util::SlowPrepared`]) the
+//!   service/cluster test suites drive the failure paths with.
 //!
 //! # Examples
 //!
@@ -50,6 +57,7 @@
 //! ```
 
 pub mod bank;
+pub mod cluster;
 mod controller;
 pub mod dispatch;
 mod error;
@@ -60,9 +68,14 @@ mod nmc;
 pub mod service;
 pub mod session;
 mod stats;
+pub mod test_util;
 pub mod trace;
 
 pub use bank::{BankedModSram, BatchStats};
+pub use cluster::{
+    ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError, ServiceCluster, SpillPolicy,
+    TileStats,
+};
 pub use dispatch::{ContextPool, DispatchStats, Dispatcher, MulJob, StealPolicy};
 pub use error::CoreError;
 pub use isa::{Executor, MicroOp, Program, ProgramError};
@@ -71,7 +84,7 @@ pub use modsram::{ModSram, ModSramConfig, PreparedModSram};
 pub use nmc::Nmc;
 pub use service::{
     ExecBackend, ModSramService, ServiceConfig, ServiceError, ServiceStats, SubmitError,
-    SubmitHandle, Ticket,
+    SubmitHandle, Ticket, TileHealth,
 };
 pub use session::{ScratchSession, SessionStats, StagedPoint};
 pub use stats::{PrecomputeStats, RunStats};

@@ -60,6 +60,7 @@ use std::time::{Duration, Instant};
 use modsram_bigint::UBig;
 use modsram_modmul::{ModMulError, PreparedModMul};
 
+use crate::cluster::ServiceCluster;
 use crate::dispatch::{
     plan_job_chunks, seed_assignments, ContextPool, Dispatcher, MulJob, StealPolicy,
 };
@@ -344,6 +345,14 @@ impl Reservoir {
         }
     }
 
+    /// Forgets every observation (the sample and the seen-count); the
+    /// replacement stream keeps its position so refilled windows stay
+    /// deterministic per service lifetime.
+    fn clear(&mut self) {
+        self.seen = 0;
+        self.samples.clear();
+    }
+
     /// Nearest-rank percentile over the sample (`q` in `[0, 1]`); 0
     /// when nothing has been observed.
     fn percentile(&self, q: f64) -> u64 {
@@ -359,13 +368,23 @@ impl Reservoir {
 
 /// Counters and latency reservoirs shared by handles, the batcher, and
 /// stats readers.
+///
+/// Two lifetimes coexist here: the plain counters (`submitted`,
+/// `completed`, `batches`, …) accumulate forever, while the
+/// **window** metrics (coalesce shape and the two latency reservoirs)
+/// cover the span since construction or the last
+/// [`ModSramService::reset_window`] — the distinction sweeps need to
+/// measure a steady-state phase instead of a lifetime aggregate.
 struct StatsCell {
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
-    coalesced_jobs: AtomicU64,
+    executor_panics: AtomicU64,
+    modelled_cycles_total: AtomicU64,
+    window_batches: AtomicU64,
+    window_jobs: AtomicU64,
     coalesce_min: AtomicU64,
     coalesce_max: AtomicU64,
     wall_ns: Mutex<Reservoir>,
@@ -380,12 +399,32 @@ impl StatsCell {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
-            coalesced_jobs: AtomicU64::new(0),
+            executor_panics: AtomicU64::new(0),
+            modelled_cycles_total: AtomicU64::new(0),
+            window_batches: AtomicU64::new(0),
+            window_jobs: AtomicU64::new(0),
             coalesce_min: AtomicU64::new(u64::MAX),
             coalesce_max: AtomicU64::new(0),
             wall_ns: Mutex::new(Reservoir::new(4096)),
             cycles: Mutex::new(Reservoir::new(4096)),
         }
+    }
+
+    /// Clears the window metrics (coalesce min/mean/max and both
+    /// latency reservoirs); lifetime counters are untouched.
+    fn reset_window(&self) {
+        self.window_batches.store(0, Ordering::Relaxed);
+        self.window_jobs.store(0, Ordering::Relaxed);
+        self.coalesce_min.store(u64::MAX, Ordering::Relaxed);
+        self.coalesce_max.store(0, Ordering::Relaxed);
+        self.wall_ns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.cycles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -587,6 +626,11 @@ impl SubmitHandle {
 }
 
 /// Point-in-time statistics snapshot of a running service.
+///
+/// Lifetime counters (`submitted` through `modelled_cycles_total`)
+/// accumulate from construction; the coalesce shape and the latency
+/// percentiles are **window** metrics covering the span since
+/// construction or the last [`ModSramService::reset_window`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Jobs currently queued (not yet drained into a batch).
@@ -601,21 +645,31 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Coalesced batches dispatched.
     pub batches: u64,
-    /// Smallest batch dispatched (0 before the first batch).
+    /// Executor panics caught by the unwind guard (each one failed its
+    /// batch's undelivered tickets with [`ServiceError::Stopped`]).
+    pub executor_panics: u64,
+    /// Total modelled device occupancy, in cycles: the sum of every
+    /// dispatched batch's [`modelled_batch_cycles`] makespan. Batches
+    /// on one tile are serialised in the modelled domain, so this is
+    /// the tile's busy time — the quantity a multi-tile cluster sweep
+    /// takes the per-tile max of.
+    pub modelled_cycles_total: u64,
+    /// Smallest batch dispatched in the window (0 before the first).
     pub coalesce_min: u64,
-    /// Largest batch dispatched.
+    /// Largest batch dispatched in the window.
     pub coalesce_max: u64,
-    /// Mean jobs per dispatched batch.
+    /// Mean jobs per dispatched batch in the window.
     pub coalesce_mean: f64,
     /// Median submit→complete latency, wall-clock nanoseconds
-    /// (includes queue wait and coalescing delay).
+    /// (includes queue wait and coalescing delay). Window metric.
     pub wall_p50_ns: u64,
-    /// 99th-percentile wall-clock latency, nanoseconds.
+    /// 99th-percentile wall-clock latency, nanoseconds. Window metric.
     pub wall_p99_ns: u64,
     /// Median modelled latency in device cycles: the
     /// [`modelled_batch_cycles`] makespan of the batch the job rode in.
+    /// Window metric.
     pub modelled_p50_cycles: u64,
-    /// 99th-percentile modelled latency, device cycles.
+    /// 99th-percentile modelled latency, device cycles. Window metric.
     pub modelled_p99_cycles: u64,
     /// Context-pool cache hits.
     pub pool_hits: u64,
@@ -623,6 +677,33 @@ pub struct ServiceStats {
     pub pool_misses: u64,
     /// Context-pool LRU evictions.
     pub pool_evictions: u64,
+}
+
+/// A point-in-time capacity/liveness probe of one service tile — the
+/// seam a [`ServiceCluster`](crate::cluster::ServiceCluster) routes on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileHealth {
+    /// Jobs currently queued (not yet drained into a batch).
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// `true` once the tile has shut down (or begun draining).
+    pub stopped: bool,
+    /// Executor panics caught so far — a tile whose panics keep
+    /// climbing has a poisoned context and should be routed around.
+    pub executor_panics: u64,
+}
+
+impl TileHealth {
+    /// Queue slots still free.
+    pub fn headroom(&self) -> usize {
+        self.queue_capacity.saturating_sub(self.queue_depth)
+    }
+
+    /// `true` while the tile can accept a non-blocking submission.
+    pub fn accepting(&self) -> bool {
+        !self.stopped && self.headroom() > 0
+    }
 }
 
 /// The streaming modular-multiplication service (see the module docs).
@@ -785,8 +866,8 @@ impl ModSramService {
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.shared.stats;
-        let batches = s.batches.load(Ordering::Relaxed);
-        let coalesced = s.coalesced_jobs.load(Ordering::Relaxed);
+        let window_batches = s.window_batches.load(Ordering::Relaxed);
+        let window_jobs = s.window_jobs.load(Ordering::Relaxed);
         let min = s.coalesce_min.load(Ordering::Relaxed);
         let (wall_p50, wall_p99) = {
             let r = s.wall_ns.lock().unwrap_or_else(PoisonError::into_inner);
@@ -802,13 +883,15 @@ impl ModSramService {
             rejected: s.rejected.load(Ordering::Relaxed),
             completed: s.completed.load(Ordering::Relaxed),
             failed: s.failed.load(Ordering::Relaxed),
-            batches,
+            batches: s.batches.load(Ordering::Relaxed),
+            executor_panics: s.executor_panics.load(Ordering::Relaxed),
+            modelled_cycles_total: s.modelled_cycles_total.load(Ordering::Relaxed),
             coalesce_min: if min == u64::MAX { 0 } else { min },
             coalesce_max: s.coalesce_max.load(Ordering::Relaxed),
-            coalesce_mean: if batches == 0 {
+            coalesce_mean: if window_batches == 0 {
                 0.0
             } else {
-                coalesced as f64 / batches as f64
+                window_jobs as f64 / window_batches as f64
             },
             wall_p50_ns: wall_p50,
             wall_p99_ns: wall_p99,
@@ -817,6 +900,31 @@ impl ModSramService {
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
             pool_evictions: self.pool.evictions(),
+        }
+    }
+
+    /// Starts a fresh statistics **window**: clears the coalesce
+    /// min/mean/max aggregates and both latency reservoirs while
+    /// leaving every lifetime counter (submitted, completed, batches,
+    /// panics, modelled occupancy) untouched.
+    ///
+    /// Sweeps call this between phases — e.g. after a warm-up pass that
+    /// paid the per-modulus preparation cost — so the percentiles and
+    /// coalesce shape they report describe one steady-state phase
+    /// instead of a lifetime aggregate that smears phases together.
+    pub fn reset_window(&self) {
+        self.shared.stats.reset_window();
+    }
+
+    /// The capacity/liveness probe a cluster router consults before
+    /// targeting this tile.
+    pub fn health(&self) -> TileHealth {
+        let inner = self.shared.lock_inner();
+        TileHealth {
+            queue_depth: inner.jobs.len(),
+            queue_capacity: self.config.queue_capacity,
+            stopped: inner.closed,
+            executor_panics: self.shared.stats.executor_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -934,6 +1042,7 @@ fn executor_loop(
             execute_batch(&shared, &pool, &dispatcher, &config, batch);
         }));
         if outcome.is_err() {
+            shared.stats.executor_panics.fetch_add(1, Ordering::Relaxed);
             let mut failed = 0u64;
             for ticket in &tickets {
                 if ticket.complete(Err(ServiceError::Stopped)) {
@@ -978,7 +1087,8 @@ fn execute_batch(
     let stats = &shared.stats;
     let n = batch.len() as u64;
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.coalesced_jobs.fetch_add(n, Ordering::Relaxed);
+    stats.window_batches.fetch_add(1, Ordering::Relaxed);
+    stats.window_jobs.fetch_add(n, Ordering::Relaxed);
     stats.coalesce_min.fetch_min(n, Ordering::Relaxed);
     stats.coalesce_max.fetch_max(n, Ordering::Relaxed);
 
@@ -996,6 +1106,9 @@ fn execute_batch(
 
     let chunk_target = dispatcher.chunk_size_for(jobs.len());
     let makespan_cycles = modelled_batch_cycles(&jobs, config.workers, chunk_target);
+    stats
+        .modelled_cycles_total
+        .fetch_add(makespan_cycles, Ordering::Relaxed);
 
     let outcomes: Vec<Result<UBig, ServiceError>> = match dispatcher.dispatch_jobs(pool, &jobs) {
         Ok((results, _)) => results.into_iter().map(Ok).collect(),
@@ -1048,7 +1161,7 @@ impl core::fmt::Debug for ServicePrepared {
     }
 }
 
-fn backend_error(e: impl core::fmt::Display) -> ModMulError {
+pub(crate) fn backend_error(e: impl core::fmt::Display) -> ModMulError {
     ModMulError::Backend {
         reason: e.to_string(),
     }
@@ -1057,7 +1170,7 @@ fn backend_error(e: impl core::fmt::Display) -> ModMulError {
 /// Unwraps a ticket result into the engine error space: algorithmic
 /// errors pass through, service-level failures become
 /// [`ModMulError::Backend`].
-fn ticket_result(result: Result<UBig, ServiceError>) -> Result<UBig, ModMulError> {
+pub(crate) fn ticket_result(result: Result<UBig, ServiceError>) -> Result<UBig, ModMulError> {
     match result {
         Ok(v) => Ok(v),
         Err(ServiceError::Mul(CoreError::ModMul(e))) => Err(e),
@@ -1110,6 +1223,11 @@ pub enum ExecBackend<'a> {
     },
     /// Stream every job through a shared service queue.
     Service(&'a ModSramService),
+    /// Stream every job through a multi-tile cluster: the router picks
+    /// each job's home tile by modulus affinity (spilling on
+    /// backpressure per the cluster's policy), so the same consumer
+    /// code scales from one macro to a rack of them.
+    Cluster(&'a ServiceCluster),
 }
 
 impl core::fmt::Debug for ExecBackend<'_> {
@@ -1123,6 +1241,9 @@ impl core::fmt::Debug for ExecBackend<'_> {
                 )
             }
             ExecBackend::Service(_) => write!(f, "ExecBackend::Service"),
+            ExecBackend::Cluster(cluster) => {
+                write!(f, "ExecBackend::Cluster {{ tiles: {} }}", cluster.tiles())
+            }
         }
     }
 }
@@ -1133,7 +1254,8 @@ impl ExecBackend<'_> {
     /// # Errors
     ///
     /// Propagates the first preparation/execution error; a stopped
-    /// service surfaces as [`CoreError::ServiceStopped`].
+    /// service surfaces as [`CoreError::ServiceStopped`], a stopped
+    /// cluster as [`CoreError::ClusterStopped`].
     pub fn mul_jobs(&self, jobs: &[MulJob]) -> Result<Vec<UBig>, CoreError> {
         match self {
             ExecBackend::Staged { dispatcher, pool } => {
@@ -1149,20 +1271,32 @@ impl ExecBackend<'_> {
                     .map(|t| t.wait().map_err(CoreError::from))
                     .collect()
             }
+            ExecBackend::Cluster(cluster) => {
+                let tickets = cluster
+                    .handle()
+                    .submit_many(jobs.to_vec())
+                    .map_err(CoreError::from)?;
+                tickets
+                    .iter()
+                    .map(|t| t.wait().map_err(CoreError::from))
+                    .collect()
+            }
         }
     }
 
     /// A shareable prepared context for `p`: the pooled context on the
-    /// staged path, a [`ServicePrepared`] stream on the service path.
+    /// staged path, a [`ServicePrepared`] stream on the service path, a
+    /// cluster-routed stream on the cluster path.
     ///
     /// # Errors
     ///
-    /// Staged: the pool's preparation error. Service: never fails here —
-    /// invalid moduli surface on first use.
+    /// Staged: the pool's preparation error. Service/cluster: never
+    /// fails here — invalid moduli surface on first use.
     pub fn context(&self, p: &UBig) -> Result<Arc<dyn PreparedModMul>, CoreError> {
         match self {
             ExecBackend::Staged { pool, .. } => pool.context(p),
             ExecBackend::Service(service) => Ok(Arc::new(service.prepared(p))),
+            ExecBackend::Cluster(cluster) => Ok(Arc::new(cluster.prepared(p))),
         }
     }
 }

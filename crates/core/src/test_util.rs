@@ -1,0 +1,209 @@
+//! Deterministic test doubles for the serving stack, shared by this
+//! crate's integration tests, the workspace suite, and downstream
+//! consumers hardening their own service/cluster wiring.
+//!
+//! Production code never constructs these; they live in the library
+//! (rather than `#[cfg(test)]`) because fault-injection suites in
+//! *other* crates — `tests/` at the workspace root, app-level soak
+//! tests — need the same doubles, and a feature gate would just be an
+//! extra knob for the offline build to mis-set.
+//!
+//! * [`FailingPrepared`] — a [`PreparedModMul`] that succeeds for the
+//!   first `k − 1` calls and then, from the k-th call on, either
+//!   returns an error or panics ([`FailureMode`]). The panic flavour
+//!   is how a test poisons one tile of a cluster: the executing
+//!   worker unwinds, the tile's panic guard fails the batch's
+//!   tickets, and the router must route subsequent jobs around the
+//!   sick tile.
+//! * [`SlowPrepared`] — a correct context that sleeps before every
+//!   multiplication: the deterministic way to hold a tile's executor
+//!   busy so its bounded queue fills and backpressure/spill paths
+//!   trigger on cue.
+//!
+//! Both ship pool constructors ([`failing_pool`], [`slow_pool`]) so a
+//! test can stand up a whole [`crate::service::ModSramService`] tile —
+//! or one tile of a [`crate::cluster::ServiceCluster`] — over them in
+//! one line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use modsram_bigint::UBig;
+use modsram_modmul::{ModMulError, PreparedModMul};
+
+use crate::dispatch::ContextPool;
+
+/// What a [`FailingPrepared`] does once its fuse runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Return [`ModMulError::Backend`] — the polite failure; coalesced
+    /// neighbours in the same batch still complete via the service's
+    /// per-job fallback.
+    Error,
+    /// Panic on the executing worker thread — the violent failure; the
+    /// service's unwind guard must fail the batch's tickets instead of
+    /// hanging their waiters.
+    Panic,
+}
+
+/// A [`PreparedModMul`] that multiplies correctly until its k-th call,
+/// then fails every call from there on (see [`FailureMode`]).
+///
+/// Call counting is global across threads (one shared atomic), so
+/// "the k-th call" is well-defined even when dispatch workers race.
+pub struct FailingPrepared {
+    p: UBig,
+    fail_from: u64,
+    mode: FailureMode,
+    calls: AtomicU64,
+}
+
+impl FailingPrepared {
+    /// A context for modulus `p` whose calls numbered `fail_from` and
+    /// above (1-based) fail with `mode`. `fail_from == 1` fails from
+    /// the very first multiplication; `fail_from == 0` is treated as 1.
+    pub fn new(p: UBig, fail_from: u64, mode: FailureMode) -> Self {
+        FailingPrepared {
+            p,
+            fail_from: fail_from.max(1),
+            mode,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Multiplications attempted so far (including failed ones).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl core::fmt::Debug for FailingPrepared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FailingPrepared {{ fail_from: {}, mode: {:?}, calls: {} }}",
+            self.fail_from,
+            self.mode,
+            self.calls()
+        )
+    }
+}
+
+impl PreparedModMul for FailingPrepared {
+    fn engine_name(&self) -> &'static str {
+        "failing-test-double"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call >= self.fail_from {
+            match self.mode {
+                FailureMode::Error => {
+                    return Err(ModMulError::Backend {
+                        reason: format!("injected failure on call {call}"),
+                    })
+                }
+                FailureMode::Panic => panic!("injected panic on call {call}"),
+            }
+        }
+        Ok(&(a * b) % &self.p)
+    }
+}
+
+/// A correct [`PreparedModMul`] that sleeps for a fixed delay before
+/// every multiplication — the deterministic executor stall that forces
+/// bounded queues to fill.
+pub struct SlowPrepared {
+    p: UBig,
+    delay: Duration,
+}
+
+impl SlowPrepared {
+    /// A context for `p` that sleeps `delay` per call.
+    pub fn new(p: UBig, delay: Duration) -> Self {
+        SlowPrepared { p, delay }
+    }
+}
+
+impl core::fmt::Debug for SlowPrepared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SlowPrepared {{ delay: {:?} }}", self.delay)
+    }
+}
+
+impl PreparedModMul for SlowPrepared {
+    fn engine_name(&self) -> &'static str {
+        "slow-test-double"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        std::thread::sleep(self.delay);
+        Ok(&(a * b) % &self.p)
+    }
+}
+
+/// A [`ContextPool`] whose every prepared context is a
+/// [`FailingPrepared`] with the given fuse — each distinct modulus gets
+/// its own call counter.
+pub fn failing_pool(fail_from: u64, mode: FailureMode) -> ContextPool {
+    ContextPool::new(move |p| {
+        Ok(Box::new(FailingPrepared::new(p.clone(), fail_from, mode)) as Box<dyn PreparedModMul>)
+    })
+}
+
+/// A [`ContextPool`] whose every prepared context is a
+/// [`SlowPrepared`] with the given per-call delay.
+pub fn slow_pool(delay: Duration) -> ContextPool {
+    ContextPool::new(move |p| {
+        Ok(Box::new(SlowPrepared::new(p.clone(), delay)) as Box<dyn PreparedModMul>)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_prepared_counts_down_then_errors() {
+        let ctx = FailingPrepared::new(UBig::from(97u64), 3, FailureMode::Error);
+        let a = UBig::from(5u64);
+        let b = UBig::from(6u64);
+        assert_eq!(ctx.mod_mul(&a, &b).unwrap(), UBig::from(30u64));
+        assert_eq!(ctx.mod_mul(&a, &b).unwrap(), UBig::from(30u64));
+        assert!(matches!(
+            ctx.mod_mul(&a, &b),
+            Err(ModMulError::Backend { .. })
+        ));
+        assert!(matches!(
+            ctx.mod_mul(&a, &b),
+            Err(ModMulError::Backend { .. })
+        ));
+        assert_eq!(ctx.calls(), 4);
+    }
+
+    #[test]
+    fn failing_prepared_panics_on_cue() {
+        let ctx = FailingPrepared::new(UBig::from(97u64), 1, FailureMode::Panic);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = ctx.mod_mul(&UBig::from(2u64), &UBig::from(3u64));
+        }));
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn slow_prepared_is_correct() {
+        let ctx = SlowPrepared::new(UBig::from(101u64), Duration::from_millis(1));
+        assert_eq!(
+            ctx.mod_mul(&UBig::from(20u64), &UBig::from(30u64)).unwrap(),
+            UBig::from(600u64 % 101)
+        );
+    }
+}

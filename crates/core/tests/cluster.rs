@@ -1,0 +1,394 @@
+//! Cluster hardening: deterministic fault injection (a panicking tile
+//! fails only its batch's tickets and gets routed around), forced
+//! backpressure (spill lands on the least-loaded tile; `Strict`
+//! surfaces `AllTilesSaturated`), and a concurrent soak in which a
+//! mid-stream `shutdown()` must drain every accepted ticket exactly
+//! once.
+
+use std::time::Duration;
+
+use modsram_bigint::UBig;
+use modsram_core::cluster::{
+    home_tile_for, ClusterConfig, ClusterSubmitError, ServiceCluster, SpillPolicy,
+};
+use modsram_core::dispatch::{ContextPool, MulJob};
+use modsram_core::service::{ServiceConfig, ServiceError, Ticket};
+use modsram_core::test_util::{failing_pool, slow_pool, FailureMode};
+
+fn oracle(job: &MulJob) -> UBig {
+    &(&job.a * &job.b) % &job.modulus
+}
+
+/// The first odd modulus from `seed_base` upward whose rendezvous home
+/// in a cluster of `tiles` is `tile` — computed with the standalone
+/// planner, no live cluster needed.
+fn modulus_homed_on(tile: usize, tiles: usize, seed_base: u64) -> UBig {
+    (0..64u64)
+        .map(|i| UBig::from(seed_base + 2 * i))
+        .find(|p| home_tile_for(p, tiles) == tile)
+        .unwrap_or_else(|| panic!("no probed modulus homes on tile {tile}"))
+}
+
+/// Builds a 2-tile cluster where the sick pool sits on tile 0 and the
+/// other tile is a healthy Barrett tile, returning it with a modulus
+/// whose natural home is the sick tile.
+fn two_tiles_one_sick(
+    sick_pool: ContextPool,
+    config: ClusterConfig,
+) -> (ServiceCluster, UBig, usize) {
+    let sick = 0;
+    let modulus = modulus_homed_on(sick, 2, 1_000_003);
+    let healthy = ContextPool::for_engine_name("barrett").unwrap();
+    let cluster = ServiceCluster::new(vec![sick_pool, healthy], config);
+    assert_eq!(cluster.home_tile(&modulus), sick);
+    (cluster, modulus, sick)
+}
+
+fn tiny_tile_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 2,
+        flush_interval: Duration::ZERO,
+        pipeline_depth: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tile_panic_fails_only_its_batch_and_gets_routed_around() {
+    let config = ClusterConfig {
+        spill: SpillPolicy::Spill { max_hops: 1 },
+        service: tiny_tile_config(),
+        poison_after: 2,
+    };
+    // The sick tile panics on every multiplication from the first call.
+    let (cluster, modulus, sick) = two_tiles_one_sick(failing_pool(1, FailureMode::Panic), config);
+    let healthy_tile = 1 - sick;
+    let job = |i: u64| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), modulus.clone());
+
+    // Phase 1: jobs routed to the sick tile fail their tickets (no
+    // hang — the panic guard delivers) while a healthy-homed modulus
+    // is untouched by the neighbour's panics.
+    let healthy_modulus = modulus_homed_on(healthy_tile, 2, 2_000_003);
+    for i in 0..2u64 {
+        let sick_ticket = cluster.submit(job(i)).unwrap();
+        assert_eq!(
+            sick_ticket.wait(),
+            Err(ServiceError::Stopped),
+            "panicked batch must fail its tickets, not hang"
+        );
+        let ok_job = MulJob::new(
+            UBig::from(i + 7),
+            UBig::from(i + 9),
+            healthy_modulus.clone(),
+        );
+        let want = oracle(&ok_job);
+        let ok_ticket = cluster.submit(ok_job).unwrap();
+        assert_eq!(ok_ticket.wait().unwrap(), want, "healthy tile unaffected");
+    }
+
+    // Phase 2: the sick tile has now caught >= poison_after panics, so
+    // the router fails its moduli over to the healthy tile — later
+    // jobs for the same modulus succeed.
+    let mut stats = cluster.stats();
+    assert!(
+        stats.tiles[sick].service.executor_panics >= 2,
+        "panic guard counted the unwinds"
+    );
+    assert!(stats.tiles[sick].poisoned, "tile marked poisoned");
+    for i in 10..20u64 {
+        let j = job(i);
+        let want = oracle(&j);
+        let ticket = cluster.submit(j).unwrap();
+        assert_eq!(
+            ticket.wait().unwrap(),
+            want,
+            "poisoned tile must be routed around"
+        );
+    }
+    stats = cluster.stats();
+    assert!(
+        stats.spilled >= 10,
+        "failover jobs counted as off-home placements ({} spilled)",
+        stats.spilled
+    );
+    assert_eq!(stats.tiles[sick].service.completed, 0);
+
+    let final_stats = cluster.shutdown();
+    assert_eq!(final_stats.failed, 2, "exactly the two panicked-batch jobs");
+    assert_eq!(final_stats.completed, final_stats.submitted - 2);
+}
+
+#[test]
+fn error_mode_fails_only_jobs_from_the_kth_call_on() {
+    // The polite failure mode: calls from the k-th on return an error
+    // instead of panicking; each failing job gets its own error
+    // verdict and earlier jobs are untouched. One-job batches keep the
+    // call numbering deterministic (a failed multi-job batch would be
+    // re-run per job by the service's fallback, shifting the count).
+    let config = ClusterConfig {
+        spill: SpillPolicy::Strict,
+        service: tiny_tile_config_with_batch(1),
+        poison_after: 0,
+    };
+    let cluster = ServiceCluster::new(vec![failing_pool(3, FailureMode::Error)], config);
+    let p = UBig::from(97u64);
+    let tickets: Vec<Ticket> = (0..5u64)
+        .map(|i| {
+            cluster
+                .submit(MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone()))
+                .unwrap()
+        })
+        .collect();
+    let outcomes: Vec<bool> = tickets.iter().map(|t| t.wait().is_ok()).collect();
+    let stats = cluster.shutdown();
+    // Calls 1 and 2 (jobs 0 and 1) succeed; job 2 trips the fuse and
+    // every later call keeps failing.
+    assert_eq!(outcomes, vec![true, true, false, false, false]);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 3);
+    assert_eq!(
+        stats.tiles[0].service.executor_panics, 0,
+        "error mode never unwinds"
+    );
+}
+
+fn tiny_tile_config_with_batch(max_batch: usize) -> ServiceConfig {
+    ServiceConfig {
+        max_batch,
+        ..tiny_tile_config()
+    }
+}
+
+#[test]
+fn backpressure_spills_to_least_loaded_tile_and_strict_saturates() {
+    // Two deliberately slow tiles, tiny queues: the home tile jams
+    // after a couple of jobs, so non-blocking submissions must spill.
+    let slow_config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_batch: 1,
+        flush_interval: Duration::ZERO,
+        pipeline_depth: 1,
+        ..Default::default()
+    };
+    let config = ClusterConfig {
+        spill: SpillPolicy::Spill { max_hops: 1 },
+        service: slow_config.clone(),
+        poison_after: 0,
+    };
+    let delay = Duration::from_millis(25);
+    let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
+    let p = modulus_homed_on(0, 2, 1_000_003);
+    let job = |i: u64| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
+
+    // Offered burst >> capacity of both tiles: accepts fill the home
+    // tile, spill to tile 1, then saturate.
+    let mut tickets = Vec::new();
+    let mut saturated = 0u64;
+    for i in 0..32u64 {
+        match cluster.try_submit(job(i)) {
+            Ok(t) => tickets.push((i, t)),
+            Err(ClusterSubmitError::AllTilesSaturated { tried }) => {
+                assert_eq!(tried, 2, "home plus one spill hop");
+                saturated += 1;
+            }
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+    assert!(saturated > 0, "burst must exhaust both tiny queues");
+
+    let stats = cluster.stats();
+    assert!(
+        stats.spilled > 0,
+        "home-tile QueueFull must spill to the other tile"
+    );
+    assert_eq!(stats.saturated_rejections, saturated);
+    assert!(stats.tiles[1].spilled_in > 0, "tile 1 took the spill");
+
+    // Every accepted ticket completes with the right product.
+    for (i, ticket) in &tickets {
+        assert_eq!(ticket.wait().unwrap(), oracle(&job(*i)), "job {i}");
+    }
+    let final_stats = cluster.shutdown();
+    assert_eq!(final_stats.completed as usize, tickets.len());
+    assert_eq!(final_stats.failed, 0);
+
+    // Strict policy, same pressure: no spilling — the home tile fills
+    // and every further non-blocking submission is refused as
+    // AllTilesSaturated{tried: 1} while the other tile sits idle.
+    let strict = ClusterConfig {
+        spill: SpillPolicy::Strict,
+        service: slow_config,
+        poison_after: 0,
+    };
+    let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], strict);
+    let p = modulus_homed_on(0, 2, 1_000_003);
+    let mut accepted = 0u64;
+    let mut strict_saturated = 0u64;
+    for i in 0..32u64 {
+        match cluster.try_submit(MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone())) {
+            Ok(_) => accepted += 1,
+            Err(ClusterSubmitError::AllTilesSaturated { tried }) => {
+                assert_eq!(tried, 1, "Strict only ever tries the home tile");
+                strict_saturated += 1;
+            }
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+    assert!(strict_saturated > 0);
+    let stats = cluster.shutdown();
+    assert_eq!(stats.spilled, 0, "Strict never spills");
+    assert_eq!(stats.tiles[1].service.submitted, 0, "off-home tile idle");
+    assert_eq!(stats.completed, accepted);
+}
+
+#[test]
+fn soak_shutdown_mid_stream_drains_every_ticket_exactly_once() {
+    // 4 submitter threads x 3 tiles x 5 moduli; the main thread pulls
+    // the plug mid-stream. Every accepted ticket must complete exactly
+    // once (tile counters sum to the accepted count) and none may be
+    // left pending — the promoted, cluster-wide version of the
+    // single-tile shutdown-drains test.
+    let cluster = ServiceCluster::for_engine_name(
+        "montgomery",
+        3,
+        ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 2 },
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 128,
+                max_batch: 16,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            poison_after: 3,
+        },
+    )
+    .unwrap();
+    let moduli: Vec<UBig> = [97u64, 1_000_003, 999_979, 0xffff_fffb, 2_000_003]
+        .map(UBig::from)
+        .to_vec();
+    let all_tickets: std::sync::Mutex<Vec<(MulJob, Ticket)>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let handle = cluster.handle();
+            let moduli = &moduli;
+            let all_tickets = &all_tickets;
+            scope.spawn(move || {
+                let mut tickets: Vec<(MulJob, Ticket)> = Vec::new();
+                for i in 0..10_000u64 {
+                    let p = moduli[((t + i) % 5) as usize].clone();
+                    let job = MulJob::new(
+                        UBig::from(t * 1_000_003 + i * 17 + 1),
+                        UBig::from(t * 999_979 + i * 31 + 2),
+                        p,
+                    );
+                    match handle.submit(job.clone()) {
+                        Ok(ticket) => tickets.push((job, ticket)),
+                        Err(ClusterSubmitError::Stopped) => break,
+                        Err(e) => panic!("blocking submit never saturates: {e}"),
+                    }
+                }
+                all_tickets.lock().unwrap().extend(tickets);
+            });
+        }
+        // Let the submitters build up real in-flight depth, then pull
+        // the plug while they are mid-stream. `shutdown` returns only
+        // after every tile has drained.
+        std::thread::sleep(Duration::from_millis(40));
+        cluster.shutdown();
+    });
+
+    // `shutdown()` has returned: every accepted ticket must already be
+    // delivered — redeeming it now must never block.
+    let tickets = all_tickets.into_inner().unwrap();
+    let accepted = tickets.len() as u64;
+    for (job, ticket) in &tickets {
+        assert!(ticket.is_done(), "shutdown returned with a pending ticket");
+        assert_eq!(ticket.wait().unwrap(), oracle(job));
+    }
+    let stats = cluster.stats();
+    assert!(accepted > 0, "soak accepted no work");
+    assert_eq!(
+        stats.completed + stats.failed,
+        accepted,
+        "every accepted ticket completed exactly once (no leak, no double-complete)"
+    );
+    assert_eq!(stats.failed, 0, "all moduli are montgomery-valid");
+    assert_eq!(stats.submitted, accepted);
+    // Every tile's queue fully drained.
+    for (i, tile) in stats.tiles.iter().enumerate() {
+        assert_eq!(tile.service.queue_depth, 0, "tile {i} queue not drained");
+        assert_eq!(
+            tile.service.completed + tile.service.failed,
+            tile.service.submitted,
+            "tile {i} leaked tickets"
+        );
+    }
+}
+
+#[test]
+fn reset_window_clears_coalesce_and_latency_but_not_lifetime_counters() {
+    let cluster = ServiceCluster::for_engine_name(
+        "barrett",
+        2,
+        ClusterConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 4,
+                flush_interval: Duration::from_micros(20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let p = UBig::from(1_000_003u64);
+    let tickets: Vec<Ticket> = (0..20u64)
+        .map(|i| {
+            cluster
+                .submit(MulJob::new(UBig::from(i + 1), UBig::from(i + 2), p.clone()))
+                .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    let before = cluster.stats();
+    let home = cluster.home_tile(&p);
+    assert!(before.tiles[home].service.coalesce_max > 0);
+    assert!(before.tiles[home].service.wall_p99_ns > 0);
+
+    cluster.reset_window();
+    let after = cluster.stats();
+    let svc = &after.tiles[home].service;
+    // Window metrics cleared...
+    assert_eq!(svc.coalesce_min, 0);
+    assert_eq!(svc.coalesce_max, 0);
+    assert_eq!(svc.coalesce_mean, 0.0);
+    assert_eq!(svc.wall_p50_ns, 0);
+    assert_eq!(svc.wall_p99_ns, 0);
+    assert_eq!(svc.modelled_p99_cycles, 0);
+    // ...lifetime counters kept.
+    assert_eq!(svc.completed, before.tiles[home].service.completed);
+    assert_eq!(svc.batches, before.tiles[home].service.batches);
+    assert_eq!(
+        svc.modelled_cycles_total,
+        before.tiles[home].service.modelled_cycles_total
+    );
+    assert_eq!(after.submitted, 20);
+
+    // A fresh window fills with fresh observations.
+    let t = cluster
+        .submit(MulJob::new(UBig::from(3u64), UBig::from(4u64), p.clone()))
+        .unwrap();
+    t.wait().unwrap();
+    cluster.shutdown();
+    let last = cluster.stats();
+    assert!(last.tiles[home].service.coalesce_max >= 1);
+    assert_eq!(last.completed, 21);
+}

@@ -122,38 +122,13 @@ fn shutdown_drains_all_tickets() {
     );
 }
 
-/// A prepared context whose every multiplication stalls — the
-/// deterministic way to keep the service's executors busy so the
-/// bounded queue must fill behind them.
-struct SlowCtx {
-    p: UBig,
-    delay: Duration,
-}
-
-impl PreparedModMul for SlowCtx {
-    fn engine_name(&self) -> &'static str {
-        "slow-direct"
-    }
-
-    fn modulus(&self) -> &UBig {
-        &self.p
-    }
-
-    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, modsram_modmul::ModMulError> {
-        std::thread::sleep(self.delay);
-        Ok(&(a * b) % &self.p)
-    }
-}
-
 #[test]
 fn backpressure_try_submit_reports_queue_full() {
+    // The deterministic stall comes from the shared fault-injection
+    // doubles: a slow context keeps the executor busy so the bounded
+    // queue must fill behind it.
     let service = ModSramService::new(
-        ContextPool::new(|p| {
-            Ok(Box::new(SlowCtx {
-                p: p.clone(),
-                delay: Duration::from_millis(30),
-            }) as Box<dyn PreparedModMul>)
-        }),
+        modsram_core::test_util::slow_pool(Duration::from_millis(30)),
         ServiceConfig {
             workers: 1,
             queue_capacity: 3,

@@ -531,6 +531,25 @@ mod tests {
         assert_eq!(stats.failed, 0);
         // 4 stages × 8 muls, the same again inverse, + 16 scaling muls.
         assert_eq!(stats.completed, 32 + 32 + 16);
+
+        // Cluster backend: the one-modulus transform rides the router
+        // unchanged — everything homes on a single tile, so the job
+        // count matches the single-service path exactly.
+        use modsram_core::cluster::{ClusterConfig, ServiceCluster};
+        let cluster =
+            ServiceCluster::for_engine_name("montgomery", 2, ClusterConfig::default()).unwrap();
+        let routed = ExecBackend::Cluster(&cluster);
+        let mut data = original.clone();
+        plan.forward_via(&mut data, &routed).unwrap();
+        assert_eq!(data, serial);
+        plan.inverse_via(&mut data, &routed).unwrap();
+        assert_eq!(data, original);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.completed, 32 + 32 + 16);
+        assert_eq!(stats.affinity_hit_rate(), 1.0);
+        let home = cluster.home_tile(&p);
+        assert_eq!(stats.tiles[home].service.completed, 32 + 32 + 16);
     }
 
     #[test]

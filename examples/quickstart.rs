@@ -1,6 +1,7 @@
-//! Quickstart: stream multiplications through the `ModSramService`
-//! front-end, then drop down to the prepare/execute engine API and the
-//! cycle-accurate ModSRAM macro underneath it.
+//! Quickstart: stream multiplications through a single-tile
+//! `ModSramService`, scale the same traffic out to a multi-tile
+//! `ServiceCluster`, then drop down to the prepare/execute engine API
+//! and the cycle-accurate ModSRAM macro underneath it all.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -11,7 +12,7 @@ use std::time::Duration;
 use modsram::arch::ModSram;
 use modsram::bigint::UBig;
 use modsram::modmul::{ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
-use modsram::{ModSramService, MulJob, ServiceConfig};
+use modsram::{ClusterConfig, ModSramService, MulJob, ServiceCluster, ServiceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The secp256k1 field prime — a 256-bit modulus, the paper's target.
@@ -75,6 +76,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.modelled_p50_cycles,
         stats.modelled_p99_cycles
     );
+
+    // ---- Scale-out: the same traffic across a cluster of tiles -----------
+    // A ServiceCluster owns N tiles and routes each job to its
+    // modulus's rendezvous home tile, so per-modulus coalescing (and
+    // the paper's LUT reuse) survives the sharding. On backpressure
+    // jobs spill to the least-loaded tile (SpillPolicy::Spill), and a
+    // tile whose executor keeps panicking is routed around.
+    let cluster = ServiceCluster::for_engine_name("r4csa-lut", 2, ClusterConfig::default())?;
+    let moduli = [p.clone(), UBig::from(0xffff_fffb_u64)];
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let handle = cluster.handle();
+            let moduli = &moduli;
+            scope.spawn(move || {
+                for i in 0..25u64 {
+                    let p = &moduli[((t + i) % 2) as usize];
+                    let a = UBig::from(t * 999_979 + i * 13 + 1);
+                    let b = UBig::from(i / 8 + 2); // multiplicand reuse runs
+                    let ticket = handle
+                        .submit(MulJob::new(a.clone(), b.clone(), p.clone()))
+                        .expect("cluster running");
+                    assert_eq!(ticket.wait().expect("valid modulus"), &(&a * &b) % p);
+                }
+            });
+        }
+    });
+    let cstats = cluster.shutdown();
+    println!("\nservice cluster (2 tiles):");
+    println!("  jobs completed   : {}", cstats.completed);
+    println!(
+        "  affinity         : {:.1}% home-tile hits, {} spilled",
+        cstats.affinity_hit_rate() * 100.0,
+        cstats.spilled
+    );
+    for (i, tile) in cstats.tiles.iter().enumerate() {
+        println!(
+            "  tile {i}           : {} routed, {} spilled in, {} modelled cycles",
+            tile.routed, tile.spilled_in, tile.service.modelled_cycles_total
+        );
+    }
 
     // ---- The engine layer: prepare once, execute hot -----------------------
     let ctx = R4CsaLutEngine::new().prepare(&p)?;

@@ -21,15 +21,15 @@
 //! * [`apps`] — application layer: SHA-256, ECDSA, Pedersen
 //!   commitments, on-device modular exponentiation ([`modsram_apps`]).
 //!
-//! # Quickstart: the streaming service
+//! # Quickstart: serving, from one tile to a cluster
 //!
-//! The primary serving entry point is [`ModSramService`]: submit
-//! individual multiplications from any number of threads, get a
-//! [`Ticket`] per job, and let the service's coalescing batcher keep
-//! the tile saturated. The queue is bounded ([`try_submit`
-//! backpressure](arch::service::SubmitHandle::try_submit)), batches
-//! coalesce multiplicand-major (the paper's Table 1b reuse), and
-//! [`ModSramService::shutdown`] drains every in-flight ticket:
+//! Serving starts at the **tile**: a [`ModSramService`] owns one
+//! macro's worth of execution — submit individual multiplications
+//! from any number of threads, get a [`Ticket`] per job, and let the
+//! coalescing batcher keep the tile saturated. The queue is bounded
+//! ([`try_submit` backpressure](arch::service::SubmitHandle::try_submit)),
+//! batches coalesce multiplicand-major (the paper's Table 1b reuse),
+//! and [`ModSramService::shutdown`] drains every in-flight ticket:
 //!
 //! ```
 //! use modsram::bigint::UBig;
@@ -52,12 +52,43 @@
 //! assert!(stats.wall_p99_ns >= stats.wall_p50_ns);
 //! ```
 //!
+//! A deployment serves many tenants across many macros, so the tile
+//! scales out to a [`ServiceCluster`]: the same submit/ticket surface
+//! over N tiles, with each job routed to its modulus's rendezvous
+//! *home* tile (so per-modulus coalescing and LUT reuse survive the
+//! sharding), spill to the least-loaded tile on backpressure under a
+//! configurable [`SpillPolicy`], and poisoned tiles routed around:
+//!
+//! ```
+//! use modsram::bigint::UBig;
+//! use modsram::{ClusterConfig, MulJob, ServiceCluster};
+//!
+//! let cluster = ServiceCluster::for_engine_name(
+//!     "r4csa-lut",
+//!     4, // tiles
+//!     ClusterConfig::default(),
+//! ).unwrap();
+//! let handle = cluster.handle();
+//! let ticket = handle
+//!     .submit(MulJob::new(UBig::from(55u64), UBig::from(44u64), UBig::from(97u64)))
+//!     .unwrap();
+//! assert_eq!(ticket.wait().unwrap(), UBig::from(55u64 * 44 % 97));
+//!
+//! let stats = cluster.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! assert_eq!(stats.affinity_hit_rate(), 1.0); // uncontended: all home
+//! ```
+//!
 //! Batch consumers — `apps::ecdsa::verify_batch_via`, the dispatched
 //! NTT stages, `msm_dispatched` over a `*_via` curve — accept an
 //! [`arch::service::ExecBackend`], so the same code runs one-shot
-//! (staged dispatcher + pool) or streams through a shared service
-//! where heterogeneous tenants (ECDSA + Pedersen + NTT) interleave on
-//! one tile.
+//! (staged dispatcher + pool), streams through a shared single-tile
+//! service, or fans across a cluster
+//! ([`ExecBackend::Cluster`](arch::service::ExecBackend::Cluster))
+//! where heterogeneous tenants (ECDSA + Pedersen + NTT) interleave
+//! with per-modulus tile affinity. The [`SpillPolicy`] trade-offs
+//! (affinity and LUT-refill cost vs tail latency under skew) are
+//! documented in [`arch::cluster`].
 //!
 //! # The engine layer: prepare/execute
 //!
@@ -124,8 +155,12 @@
 //! assert_eq!(out, vec![UBig::from(30u64), UBig::from(30u64)]);
 //! ```
 
-// The streaming service is the primary serving entry point; re-export
-// it (and the job type it consumes) at the crate root.
+// The streaming service and its multi-tile cluster are the primary
+// serving entry points; re-export them (and the job type they
+// consume) at the crate root.
+pub use modsram_core::cluster::{
+    ClusterConfig, ClusterHandle, ClusterStats, ServiceCluster, SpillPolicy,
+};
 pub use modsram_core::dispatch::MulJob;
 pub use modsram_core::service::{
     ExecBackend, ModSramService, ServiceConfig, ServiceStats, SubmitError, SubmitHandle, Ticket,
