@@ -1,7 +1,10 @@
 //! The multi-tile cluster sweep: closed-loop throughput and affinity
-//! across tiles × spill policy, plus a deterministic saturation probe
-//! of the spill-vs-shed trade-off — the acceptance artifact for the
-//! `ServiceCluster` router.
+//! across tiles × spill policy, a deterministic saturation probe of
+//! the spill-vs-shed trade-off, and the **elasticity sweep** — a live
+//! drain-under-load → probation re-admission → live-add cycle whose
+//! acceptance gates are zero lost tickets in every phase and ≥ 95 %
+//! affinity in the first full window after the add
+//! (`results/elasticity_sweep.json`).
 //!
 //! ```sh
 //! cargo run --release --bin cluster
@@ -18,7 +21,8 @@
 //! tiles on r4csa-lut, with affinity hit rate ≥ 90% at moderate load.
 
 use modsram_bench::{
-    cluster_spill_probe, cluster_sweep, print_table, write_json_artifact, ClusterSweepSpec,
+    cluster_spill_probe, cluster_sweep, elasticity_sweep, print_table, write_json_artifact,
+    ClusterSweepSpec, ElasticitySweepSpec,
 };
 
 struct Args {
@@ -31,6 +35,9 @@ struct Args {
     submitters: usize,
     workers: usize,
     probe_offered: u64,
+    elasticity_tiles: usize,
+    elasticity_tenants: usize,
+    elasticity_jobs: usize,
 }
 
 impl Default for Args {
@@ -45,6 +52,9 @@ impl Default for Args {
             submitters: 4,
             workers: 4,
             probe_offered: 64,
+            elasticity_tiles: 4,
+            elasticity_tenants: 12,
+            elasticity_jobs: 480,
         }
     }
 }
@@ -72,6 +82,9 @@ fn parse_args() -> Args {
             "--submitters" => args.submitters = value().parse().expect("integer"),
             "--workers" => args.workers = value().parse().expect("integer"),
             "--probe-offered" => args.probe_offered = value().parse().expect("integer"),
+            "--elasticity-tiles" => args.elasticity_tiles = value().parse().expect("integer"),
+            "--elasticity-tenants" => args.elasticity_tenants = value().parse().expect("integer"),
+            "--elasticity-jobs" => args.elasticity_jobs = value().parse().expect("integer"),
             other => panic!("unknown flag '{other}'"),
         }
     }
@@ -186,4 +199,91 @@ fn main() {
             );
         }
     }
+
+    // --- Elasticity: drain-under-load → probation → live add ------------
+    let phases = elasticity_sweep(&ElasticitySweepSpec {
+        engine: args.engine.clone(),
+        bits: args.bits,
+        tiles: args.elasticity_tiles,
+        tenants: args.elasticity_tenants,
+        jobs_per_phase: args.elasticity_jobs,
+        submitters: args.submitters,
+        workers_per_tile: args.workers,
+        seed: 0xE1A5,
+    });
+    let phase_table: Vec<Vec<String>> = phases
+        .iter()
+        .map(|r| {
+            vec![
+                r.phase.clone(),
+                r.active_tiles.to_string(),
+                r.membership_epoch.to_string(),
+                r.jobs.to_string(),
+                format!("{:.0}", r.wall_jobs_per_s),
+                format!("{:.1}%", r.affinity_hit_rate * 100.0),
+                r.lost_tickets.to_string(),
+                r.rehomed_moduli.to_string(),
+                format!("{:.1}%", r.moved_tile_share * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Elasticity sweep: {} at {} bits ({} tiles, {} tenants, {} jobs/phase)",
+            args.engine,
+            args.bits,
+            args.elasticity_tiles,
+            args.elasticity_tenants,
+            args.elasticity_jobs
+        ),
+        &[
+            "phase",
+            "active",
+            "epoch",
+            "jobs",
+            "wall jobs/s",
+            "affinity",
+            "lost",
+            "rehomed",
+            "moved share",
+        ],
+        &phase_table,
+    );
+
+    let elasticity_artifact = serde_json::json!({
+        "engine": args.engine,
+        "bits": args.bits,
+        "tiles": args.elasticity_tiles,
+        "tenants": args.elasticity_tenants,
+        "jobs_per_phase": args.elasticity_jobs,
+        "phases": phases.iter().map(|r| serde_json::json!({
+            "phase": r.phase.clone(),
+            "active_tiles": r.active_tiles,
+            "membership_epoch": r.membership_epoch,
+            "jobs": r.jobs,
+            "wall_jobs_per_s": r.wall_jobs_per_s,
+            "affinity_hit_rate": r.affinity_hit_rate,
+            "lost_tickets": r.lost_tickets,
+            "rehomed_moduli": r.rehomed_moduli,
+            "moved_tile_share": r.moved_tile_share,
+        })).collect::<Vec<_>>(),
+    });
+    let epath = write_json_artifact("elasticity_sweep", &elasticity_artifact);
+    println!("\nelasticity artifact: {epath}");
+
+    let lost: u64 = phases.iter().map(|r| r.lost_tickets).sum();
+    let post_add = phases.last().expect("phases non-empty");
+    println!(
+        "elasticity: {} phases, {} lost tickets, post-add affinity {:.1}% ({} active tiles)",
+        phases.len(),
+        lost,
+        post_add.affinity_hit_rate * 100.0,
+        post_add.active_tiles
+    );
+    assert_eq!(lost, 0, "elasticity acceptance: zero lost tickets");
+    assert!(
+        post_add.affinity_hit_rate >= 0.95,
+        "elasticity acceptance: post-add affinity {:.3} < 0.95",
+        post_add.affinity_hit_rate
+    );
 }

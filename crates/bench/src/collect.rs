@@ -905,6 +905,7 @@ pub fn cluster_sweep(spec: &ClusterSweepSpec) -> Vec<ClusterSweepRow> {
                         ..Default::default()
                     },
                     poison_after: 3,
+                    ..Default::default()
                 },
             )
             .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
@@ -1040,6 +1041,7 @@ pub fn cluster_spill_probe(offered: u64, policies: &[String]) -> Vec<SpillProbeR
                         ..Default::default()
                     },
                     poison_after: 0,
+                    ..Default::default()
                 },
             );
             // A modulus homed on tile 0 — the hot tenant (the
@@ -1076,9 +1078,348 @@ pub fn cluster_spill_probe(offered: u64, policies: &[String]) -> Vec<SpillProbeR
         .collect()
 }
 
+/// One phase of the [`elasticity_sweep`]: a measurement window
+/// delimited by [`ServiceCluster::reset_window`] calls, with the
+/// affinity hit rate computed from counter deltas over exactly that
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticityPhaseRow {
+    /// Phase label (`steady-4`, `drain-live`, `drained-3`,
+    /// `readmit-4`, `add-5`).
+    pub phase: String,
+    /// Routable tiles at the end of the phase.
+    pub active_tiles: usize,
+    /// Membership epoch at the end of the phase.
+    pub membership_epoch: u64,
+    /// Jobs submitted (and verified) in this phase.
+    pub jobs: u64,
+    /// Closed-loop wall throughput over the phase (host-core bound).
+    pub wall_jobs_per_s: f64,
+    /// Fraction of this phase's accepted jobs that landed on their
+    /// natural home tile (counter delta, not lifetime).
+    pub affinity_hit_rate: f64,
+    /// Accepted tickets that failed to deliver — the drain-safety
+    /// headline; must be 0.
+    pub lost_tickets: u64,
+    /// Tracked moduli re-homed by this phase's membership change (0
+    /// for steady phases).
+    pub rehomed_moduli: u64,
+    /// Fraction of tenants whose home was the moved tile when the
+    /// change happened (the re-home fraction should track this — the
+    /// minimal-disruption yardstick).
+    pub moved_tile_share: f64,
+}
+
+/// The shape of one [`elasticity_sweep`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticitySweepSpec {
+    /// Engine name from the registry.
+    pub engine: String,
+    /// Operand bitwidth of the tenant moduli.
+    pub bits: usize,
+    /// Tiles the cluster starts with.
+    pub tiles: usize,
+    /// Distinct tenant moduli.
+    pub tenants: usize,
+    /// Jobs per measurement phase.
+    pub jobs_per_phase: usize,
+    /// Concurrent submitter threads.
+    pub submitters: usize,
+    /// Dispatcher lanes per tile.
+    pub workers_per_tile: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// The live-elasticity acceptance run: one cluster walks
+/// steady → **drain under load** → drained steady → probation
+/// re-admission → **live add**, with every phase a fresh
+/// `reset_window()` measurement window. Each phase verifies every
+/// ticket against the oracle and counts lost tickets (always 0 — the
+/// drain path must deliver the drained tile's backlog and re-route
+/// the rest). Membership-change phases record how many tracked moduli
+/// re-homed against the moved tile's tenant share.
+///
+/// # Panics
+///
+/// Panics on an unknown engine, a diverged result, a lost ticket, or
+/// a failed membership operation.
+pub fn elasticity_sweep(spec: &ElasticitySweepSpec) -> Vec<ElasticityPhaseRow> {
+    let ElasticitySweepSpec {
+        engine,
+        bits,
+        tiles,
+        tenants,
+        jobs_per_phase,
+        submitters,
+        workers_per_tile,
+        seed,
+    } = spec;
+    let (bits, tiles, tenants, jobs_per_phase, submitters, workers_per_tile) = (
+        *bits,
+        *tiles,
+        *tenants,
+        *jobs_per_phase,
+        *submitters,
+        *workers_per_tile,
+    );
+    let mut rng = SmallRng::seed_from_u64(*seed);
+    let top = UBig::pow2(bits - 1);
+    let moduli: Vec<UBig> = (0..tenants)
+        .map(|_| {
+            // Exactly `bits` bits, odd (valid for the Montgomery
+            // family and the LUT engines alike).
+            let mut p = &top + &ubig_below(&mut rng, &top);
+            if &p % &UBig::from(2u64) == UBig::from(0u64) {
+                p = &p + &UBig::from(1u64);
+            }
+            p
+        })
+        .collect();
+
+    let service_config = ServiceConfig {
+        workers: workers_per_tile,
+        queue_capacity: 8192,
+        max_batch: 256,
+        flush_interval: Duration::from_micros(50),
+        // One batch at a time per tile keeps the modelled occupancy
+        // additive (a physical tile has `workers` lanes).
+        pipeline_depth: 1,
+        ..Default::default()
+    };
+    let cluster = ServiceCluster::for_engine_name(
+        engine,
+        tiles,
+        ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 1 },
+            service: service_config.clone(),
+            poison_after: 3,
+            probation_after: 2,
+        },
+    )
+    .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
+
+    // Warm-up: prepare every tenant's context on its home tile.
+    for p in &moduli {
+        cluster
+            .submit(MulJob::new(UBig::from(2u64), UBig::from(3u64), p.clone()))
+            .expect("cluster running")
+            .wait()
+            .expect("warm-up job valid");
+    }
+
+    // One phase = one measurement window: generate a tenant-interleaved
+    // job list (multiplicand runs of 8 per tenant), stream it with
+    // `submitters` threads, optionally perform a mid-stream membership
+    // action, verify every ticket, and report windowed affinity.
+    let mut phase_seed = *seed;
+    let mut run_phase = |label: &str,
+                         action: Option<&dyn Fn(&ServiceCluster)>,
+                         rehomed: u64,
+                         moved_share: f64|
+     -> ElasticityPhaseRow {
+        phase_seed = phase_seed.wrapping_add(0x9E37_79B9);
+        let mut rng = SmallRng::seed_from_u64(phase_seed);
+        let mut per_tenant_b: Vec<UBig> = moduli.iter().map(|p| ubig_below(&mut rng, p)).collect();
+        let mut jobs: Vec<MulJob> = Vec::with_capacity(jobs_per_phase);
+        for i in 0..jobs_per_phase {
+            let t = i % moduli.len();
+            if i % (8 * moduli.len()) < moduli.len() {
+                per_tenant_b[t] = ubig_below(&mut rng, &moduli[t]);
+            }
+            jobs.push(MulJob::new(
+                ubig_below(&mut rng, &moduli[t]),
+                per_tenant_b[t].clone(),
+                moduli[t].clone(),
+            ));
+        }
+        let oracle: Vec<UBig> = jobs.iter().map(|j| &(&j.a * &j.b) % &j.modulus).collect();
+
+        cluster.reset_window();
+        let before = cluster.stats();
+        let lost = std::sync::atomic::AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for s in 0..submitters {
+                let handle = cluster.handle();
+                let jobs = &jobs;
+                let oracle = &oracle;
+                let lost = &lost;
+                scope.spawn(move || {
+                    let mine: Vec<usize> =
+                        (0..jobs.len()).filter(|i| i % submitters == s).collect();
+                    let tickets: Vec<Ticket> = mine
+                        .iter()
+                        .map(|&i| handle.submit(jobs[i].clone()).expect("cluster routable"))
+                        .collect();
+                    for (&i, ticket) in mine.iter().zip(&tickets) {
+                        match ticket.wait() {
+                            Ok(got) => assert_eq!(got, oracle[i], "job {i} diverged"),
+                            Err(_) => {
+                                lost.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            if let Some(act) = action {
+                // Let the submitters build real in-flight depth, then
+                // change membership under load.
+                std::thread::sleep(Duration::from_millis(10));
+                act(&cluster);
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let after = cluster.stats();
+        let accepted = after.submitted - before.submitted;
+        assert_eq!(accepted as usize, jobs.len(), "phase accepted every job");
+        let hits = after.affinity_hits - before.affinity_hits;
+        ElasticityPhaseRow {
+            phase: label.to_string(),
+            active_tiles: after.active_tiles,
+            membership_epoch: after.membership_epoch,
+            jobs: accepted,
+            wall_jobs_per_s: accepted as f64 / elapsed,
+            affinity_hit_rate: if accepted == 0 {
+                1.0
+            } else {
+                hits as f64 / accepted as f64
+            },
+            lost_tickets: lost.into_inner(),
+            rehomed_moduli: rehomed,
+            moved_tile_share: moved_share,
+        }
+    };
+
+    let mut rows = Vec::new();
+    rows.push(run_phase("steady-4", None, 0, 0.0));
+
+    // Live drain: pick the tile homing tenant 0, measure its tenant
+    // share, and drain it while the submitters stream.
+    let victim = cluster.home_tile(&moduli[0]);
+    let victim_share = moduli
+        .iter()
+        .filter(|p| cluster.home_tile(p) == victim)
+        .count() as f64
+        / moduli.len() as f64;
+    let drain_report = std::sync::Mutex::new(None);
+    {
+        let drain_report = &drain_report;
+        rows.push(run_phase(
+            "drain-live",
+            Some(&move |c: &ServiceCluster| {
+                let report = c.drain_tile(victim).expect("live drain succeeds");
+                *drain_report.lock().unwrap() = Some(report);
+            }),
+            0,
+            victim_share,
+        ));
+    }
+    let drain_report = drain_report.into_inner().unwrap().expect("drain ran");
+    rows.last_mut().unwrap().rehomed_moduli = drain_report.rehomed_moduli;
+
+    rows.push(run_phase("drained-3", None, 0, 0.0));
+
+    // Probation: first probe baselines, second re-admits (healthy
+    // drained tile, probation_after = 2).
+    cluster.probe_tiles();
+    let probe = cluster.probe_tiles();
+    assert_eq!(
+        probe.readmitted,
+        vec![victim],
+        "probation re-admits the tile"
+    );
+    let readmit_rehomed = cluster.stats().moduli_rehomed - drain_report.rehomed_moduli;
+    rows.push(run_phase("readmit-4", None, readmit_rehomed, victim_share));
+
+    // Live add: a fresh tile joins under load.
+    let add_report = std::sync::Mutex::new(None);
+    {
+        let add_report = &add_report;
+        let engine = engine.to_string();
+        let service_config = service_config.clone();
+        rows.push(run_phase(
+            "add-5",
+            Some(&move |c: &ServiceCluster| {
+                let extra = ModSramService::for_engine_name(&engine, service_config.clone())
+                    .expect("engine exists");
+                let report = c.add_tile(extra).expect("live add succeeds");
+                *add_report.lock().unwrap() = Some(report);
+            }),
+            0,
+            0.0,
+        ));
+    }
+    let add_report = add_report.into_inner().unwrap().expect("add ran");
+    let last = rows.last_mut().unwrap();
+    last.rehomed_moduli = add_report.rehomed_moduli;
+    last.moved_tile_share = moduli
+        .iter()
+        .filter(|p| cluster.home_tile(p) == add_report.tile)
+        .count() as f64
+        / moduli.len() as f64;
+
+    // A clean post-add window: affinity here is measured entirely
+    // under the grown membership — the acceptance gate (≥ 95 % within
+    // one reset_window() window of the add).
+    rows.push(run_phase("steady-5", None, 0, 0.0));
+
+    let stats = cluster.shutdown();
+    assert_eq!(stats.failed, 0, "elasticity workload never fails");
+    for row in &rows {
+        assert_eq!(row.lost_tickets, 0, "phase '{}' lost tickets", row.phase);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn elasticity_sweep_small_run_keeps_tickets_and_recovers_affinity() {
+        // Tiny but complete: drain-under-load, probation re-admission,
+        // and live add all happen; no phase may lose a ticket, and the
+        // post-add window must restore >= 95% affinity.
+        let rows = elasticity_sweep(&ElasticitySweepSpec {
+            engine: "barrett".to_string(),
+            bits: 64,
+            tiles: 4,
+            tenants: 8,
+            jobs_per_phase: 96,
+            submitters: 2,
+            workers_per_tile: 2,
+            seed: 0xE1A5,
+        });
+        assert_eq!(rows.len(), 6);
+        let labels: Vec<&str> = rows.iter().map(|r| r.phase.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "steady-4",
+                "drain-live",
+                "drained-3",
+                "readmit-4",
+                "add-5",
+                "steady-5"
+            ]
+        );
+        for row in &rows {
+            assert_eq!(row.lost_tickets, 0, "phase '{}'", row.phase);
+            assert_eq!(row.jobs, 96);
+        }
+        assert_eq!(rows[0].active_tiles, 4);
+        assert_eq!(rows[2].active_tiles, 3, "drain sidelined one tile");
+        assert_eq!(rows[3].active_tiles, 4, "probation re-admitted it");
+        assert_eq!(rows[4].active_tiles, 5, "live add grew the cluster");
+        assert!(rows[1].membership_epoch > rows[0].membership_epoch);
+        let last = rows.last().unwrap();
+        assert!(
+            last.affinity_hit_rate >= 0.95,
+            "post-add affinity {:.3} below the acceptance floor",
+            last.affinity_hit_rate
+        );
+    }
 
     #[test]
     fn fig1_matches_paper_anchors() {

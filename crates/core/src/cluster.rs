@@ -8,18 +8,61 @@
 //!
 //! Every job is routed by **rendezvous hashing** on its modulus: each
 //! `(modulus, tile)` pair gets a deterministic score and the job's
-//! *home* is the highest-scoring live tile. Two properties follow:
+//! *home* is the highest-scoring routable tile. Two properties follow:
 //!
 //! * **Coalescing survives sharding.** All traffic for one modulus
 //!   lands on one tile, so that tile's batcher still sees long
 //!   modulus-major, multiplicand-major runs and the paper's Table 1b
 //!   LUT reuse keeps amortising. Hashing jobs round-robin instead
 //!   would shred exactly the locality the architecture is built on.
-//! * **Stable under membership change.** When a tile is removed from
-//!   the candidate set (poisoned or stopped), only the moduli homed on
-//!   *that* tile move (to their next-ranked tile); every other
-//!   modulus stays put — no global reshuffle, no cold LUT refills on
-//!   healthy tiles.
+//! * **Stable under membership change.** When a tile leaves the
+//!   routable set (drained, poisoned, or stopped), only the moduli
+//!   homed on *that* tile move (to their next-ranked tile); every
+//!   other modulus keeps the same score ordering and stays put — no
+//!   global reshuffle, no cold LUT refills on healthy tiles. The same
+//!   holds in reverse when a tile joins: only the moduli the new tile
+//!   out-scores everywhere move onto it.
+//!
+//! # Elasticity: membership change at runtime
+//!
+//! Tile membership is an **epoch-versioned snapshot**
+//! (`Arc<Membership>` behind an `RwLock`): every submission routes
+//! against one consistent view, and [`ServiceCluster::add_tile`] /
+//! [`ServiceCluster::drain_tile`] swap in a new snapshot atomically.
+//! The lifecycle of a tile:
+//!
+//! ```text
+//!   add_tile ─────────► Active ──drain_tile──► Draining ──(queue empty)──► Drained
+//!                         ▲                                                  │
+//!                         └── probe_tiles × probation_after (re-admission) ──┘
+//! ```
+//!
+//! * **Draining** ([`ServiceCluster::drain_tile`]) pauses the tile's
+//!   admissions (the [`ModSramService::pause_admissions`] seam), lets
+//!   the existing ticket machinery deliver every already-accepted job,
+//!   and re-homes *only* the moduli whose rendezvous rank-0 was the
+//!   drained tile — the minimal-disruption property consistent-hashing
+//!   caches rely on, proven by the `elasticity` proptest. The tile is
+//!   never shut down, so it can return.
+//! * **Probation** ([`ServiceCluster::probe_tiles`]) is how a drained
+//!   or poisoned tile re-earns traffic: each probe passes when the
+//!   tile is live and its caught-panic count has not grown since the
+//!   previous probe; after [`ClusterConfig::probation_after`]
+//!   consecutive passes the tile re-enters the routable set (drained
+//!   tiles resume admissions; poisoned tiles get their panic count
+//!   pardoned). Re-homing runs again, moving only the returning
+//!   tile's moduli back.
+//! * **Growing** ([`ServiceCluster::add_tile`]) appends a tile at a
+//!   fresh index. Tile indices are stable for the life of the cluster
+//!   (they are the rendezvous hash inputs), so draining never renumbers
+//!   survivors — a drained tile's slot stays occupied until probation
+//!   re-admits it.
+//!
+//! Re-homing invalidates LUT warmth: a moved modulus pays one context
+//! preparation (Table 1b fill) on its new home, which is exactly why
+//! only the moved tile's share of moduli — `1/active_tiles` of the
+//! tracked set in expectation — may move per membership change.
+//! [`ClusterStats::moduli_rehomed`] counts those moves.
 //!
 //! # Backpressure: spill policies and their trade-off
 //!
@@ -49,9 +92,12 @@
 //!   bounds the dilution.
 //!
 //! Blocking [`ClusterHandle::submit`] falls back to waiting on the
-//! home tile once every allowed tile has refused, so accepted load
-//! eventually lands with affinity; non-blocking
-//! [`ClusterHandle::try_submit`] refuses instead.
+//! home tile once every allowed tile has refused without blocking; if
+//! the home stops or drains mid-wait, the submission **re-routes**
+//! against a fresh membership view instead of failing — the cluster
+//! only reports [`ClusterSubmitError::Stopped`] when no routable tile
+//! remains. Non-blocking [`ClusterHandle::try_submit`] refuses
+//! instead.
 //!
 //! # Fault containment
 //!
@@ -61,10 +107,11 @@
 //! [`ServiceError::Stopped`](crate::service::ServiceError::Stopped)
 //! instead of hanging, and other tiles never notice. The router
 //! consults each tile's [`TileHealth`] and, once a tile's caught-panic
-//! count reaches [`ClusterConfig::poison_after`], treats it as
-//! poisoned and routes around it (its moduli fail over to their
-//! next-ranked tile). [`ServiceCluster::shutdown`] fans out to every
-//! tile and drains each accepted ticket exactly once.
+//! count (minus any probation pardon) reaches
+//! [`ClusterConfig::poison_after`], treats it as poisoned and routes
+//! around it (its moduli fail over to their next-ranked tile).
+//! [`ServiceCluster::shutdown`] fans out to every tile and drains each
+//! accepted ticket exactly once.
 //!
 //! # Examples
 //!
@@ -83,10 +130,30 @@
 //! assert_eq!(stats.completed, 1);
 //! assert_eq!(stats.affinity_hits, 1);
 //! ```
+//!
+//! Live membership change — drain a tile, let probation re-admit it:
+//!
+//! ```
+//! use modsram_core::cluster::{ClusterConfig, ServiceCluster, TileState};
+//!
+//! let config = ClusterConfig { probation_after: 2, ..Default::default() };
+//! let cluster = ServiceCluster::for_engine_name("barrett", 3, config).unwrap();
+//! let report = cluster.drain_tile(1).unwrap();
+//! assert_eq!(cluster.tile_state(1), Some(TileState::Drained));
+//! assert_eq!(report.active_tiles, 2);
+//! // Two clean probes later the tile is routable again.
+//! cluster.probe_tiles();
+//! let probe = cluster.probe_tiles();
+//! assert_eq!(probe.readmitted, vec![1]);
+//! assert_eq!(cluster.tile_state(1), Some(TileState::Active));
+//! cluster.shutdown();
+//! ```
 
+use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
 
 use modsram_bigint::UBig;
 use modsram_modmul::{ModMulError, PreparedModMul};
@@ -128,13 +195,19 @@ impl Default for SpillPolicy {
 pub struct ClusterConfig {
     /// Backpressure policy (see [`SpillPolicy`]).
     pub spill: SpillPolicy,
-    /// Per-tile service configuration (every tile is configured
-    /// identically; heterogeneous tiles can be built via
-    /// [`ServiceCluster::from_services`]).
+    /// Per-tile service configuration (every tile the cluster builds
+    /// itself is configured identically; heterogeneous tiles can be
+    /// built via [`ServiceCluster::from_services`] or added live via
+    /// [`ServiceCluster::add_tile`]).
     pub service: ServiceConfig,
     /// Caught executor panics after which a tile is considered
     /// poisoned and routed around (`0` disables poison detection).
     pub poison_after: u64,
+    /// Consecutive passing [`ServiceCluster::probe_tiles`] checks after
+    /// which a drained tile is re-admitted to the routable set (and a
+    /// poisoned tile's panic count is pardoned). `0` disables
+    /// probation: drained tiles sit out until shutdown.
+    pub probation_after: u64,
 }
 
 impl Default for ClusterConfig {
@@ -143,6 +216,7 @@ impl Default for ClusterConfig {
             spill: SpillPolicy::default(),
             service: ServiceConfig::default(),
             poison_after: 3,
+            probation_after: 3,
         }
     }
 }
@@ -185,7 +259,76 @@ impl From<ClusterSubmitError> for CoreError {
     }
 }
 
-/// One tile plus its routing tallies.
+/// A bulk submission that could not queue every job: the error plus
+/// the tickets of the jobs that **were** accepted before the cluster
+/// lost its last routable tile. Those jobs still execute and drain —
+/// dropping their tickets would strand waiters on work that will run
+/// anyway, so the router hands them back instead.
+#[derive(Debug)]
+pub struct BulkSubmitFailure {
+    /// Why the remainder could not be queued.
+    pub error: ClusterSubmitError,
+    /// `(job index, ticket)` for every job that was accepted, in job
+    /// order. Indices refer to the submitted `Vec<MulJob>`.
+    pub accepted: Vec<(usize, Ticket)>,
+}
+
+impl core::fmt::Display for BulkSubmitFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "bulk submission failed ({}) after {} job(s) were accepted",
+            self.error,
+            self.accepted.len()
+        )
+    }
+}
+
+impl std::error::Error for BulkSubmitFailure {}
+
+/// Where a tile sits in the membership lifecycle (see the module
+/// docs' elasticity section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileState {
+    /// In the routable set.
+    Active,
+    /// [`ServiceCluster::drain_tile`] is pausing admissions and
+    /// waiting for the tile's accepted tickets to deliver.
+    Draining,
+    /// Fully drained and out of the routable set; eligible for
+    /// probation re-admission via [`ServiceCluster::probe_tiles`].
+    Drained,
+}
+
+/// The outcome of one membership change ([`ServiceCluster::add_tile`]
+/// or [`ServiceCluster::drain_tile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// The membership epoch after the change.
+    pub epoch: u64,
+    /// The tile that was added or drained.
+    pub tile: usize,
+    /// Tracked moduli whose natural home moved because of this change
+    /// (a subset of the moduli the router has seen; see
+    /// [`ClusterStats::tracked_moduli`]).
+    pub rehomed_moduli: u64,
+    /// Routable tiles after the change.
+    pub active_tiles: usize,
+}
+
+/// The outcome of one [`ServiceCluster::probe_tiles`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProbeReport {
+    /// Drained tiles that completed probation and re-entered the
+    /// routable set on this pass.
+    pub readmitted: Vec<usize>,
+    /// Poisoned-but-active tiles whose panic count was pardoned on
+    /// this pass (they become routable again without a membership
+    /// change).
+    pub unpoisoned: Vec<usize>,
+}
+
+/// One tile plus its routing tallies and probation bookkeeping.
 struct TileCell {
     service: ModSramService,
     /// Jobs accepted with this tile as their natural home.
@@ -193,18 +336,29 @@ struct TileCell {
     /// Jobs accepted here after spilling (or failing over) from
     /// another tile's home.
     spilled_in: AtomicU64,
+    /// Panics forgiven by a completed probation: the poison check
+    /// compares `executor_panics - pardoned_panics` against
+    /// `poison_after`, so a recovered tile starts from a clean slate
+    /// without the lifetime counter ever going backwards.
+    pardoned_panics: AtomicU64,
+    /// Consecutive passing probation probes.
+    probe_ok: AtomicU64,
+    /// Panic count observed by the previous probe (a probe passes only
+    /// when this has not grown).
+    probe_last_panics: AtomicU64,
 }
 
-/// State shared by the cluster front, its handles, and its prepared
-/// façades.
-struct ClusterShared {
-    tiles: Vec<TileCell>,
-    spill: SpillPolicy,
-    poison_after: u64,
-    stopped: AtomicBool,
-    affinity_hits: AtomicU64,
-    spilled: AtomicU64,
-    saturated_rejections: AtomicU64,
+impl TileCell {
+    fn new(service: ModSramService) -> Self {
+        TileCell {
+            service,
+            routed: AtomicU64::new(0),
+            spilled_in: AtomicU64::new(0),
+            pardoned_panics: AtomicU64::new(0),
+            probe_ok: AtomicU64::new(0),
+            probe_last_panics: AtomicU64::new(0),
+        }
+    }
 }
 
 /// 64-bit finaliser (splitmix64) — mixes the modulus key with a tile
@@ -223,87 +377,221 @@ fn modulus_key(p: &UBig) -> u64 {
     h.finish()
 }
 
+/// The rendezvous score of `(modulus key, tile)` — **the single
+/// definition** of both the score and its tie-break, shared by
+/// [`home_tile_for`], the router's hot-path argmax, and the full
+/// ranking, so the three can never drift. Higher is better; equal
+/// mixes break toward the lower tile index (`Reverse`), so the
+/// ordering is total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RendezvousScore {
+    mix: u64,
+    tie: std::cmp::Reverse<usize>,
+}
+
+fn rendezvous_score(key: u64, tile: usize) -> RendezvousScore {
+    RendezvousScore {
+        mix: mix64(key ^ (tile as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        tie: std::cmp::Reverse(tile),
+    }
+}
+
 /// The natural home tile for modulus `p` in a cluster of `tiles` —
 /// the same deterministic rendezvous placement a live
-/// [`ServiceCluster`] of that size computes, exposed standalone so
-/// workload planners (capacity sizing, sweep generators) can predict
-/// placement without standing a cluster up.
+/// [`ServiceCluster`] of that size computes (with every tile active),
+/// exposed standalone so workload planners (capacity sizing, sweep
+/// generators) can predict placement without standing a cluster up.
 pub fn home_tile_for(p: &UBig, tiles: usize) -> usize {
     let key = modulus_key(p);
     (0..tiles.max(1))
-        .max_by_key(|&i| {
-            (
-                mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                std::cmp::Reverse(i),
-            )
-        })
+        .max_by_key(|&i| rendezvous_score(key, i))
         .unwrap_or(0)
 }
 
-impl ClusterShared {
-    /// Tile indices in rendezvous order (best score first) for a
-    /// modulus key — deterministic for a given key and tile count.
+/// Tile indices `0..tiles` in rendezvous order (best score first) for
+/// modulus `p` — the full failover ranking behind [`home_tile_for`]
+/// (which is its first element). Drain planners use the second-ranked
+/// tile to predict where a modulus lands when its home leaves.
+pub fn rendezvous_ranking(p: &UBig, tiles: usize) -> Vec<usize> {
+    let key = modulus_key(p);
+    let mut order: Vec<usize> = (0..tiles).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
+    order
+}
+
+/// One epoch-versioned membership snapshot: which tiles exist and
+/// which are routable. Submissions clone the `Arc` once and route
+/// against a consistent view; membership changes publish a new
+/// snapshot instead of mutating this one.
+struct Membership {
+    epoch: u64,
+    tiles: Vec<Arc<TileCell>>,
+    states: Vec<TileState>,
+}
+
+impl Membership {
+    fn routable(&self, tile: usize) -> bool {
+        self.states[tile] == TileState::Active
+    }
+
+    fn active_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|&&s| s == TileState::Active)
+            .count()
+    }
+
+    /// Rank-0 routable tile for a modulus key; `None` when no tile is
+    /// routable (all drained/draining).
+    fn natural_home(&self, key: u64) -> Option<usize> {
+        (0..self.tiles.len())
+            .filter(|&i| self.routable(i))
+            .max_by_key(|&i| rendezvous_score(key, i))
+    }
+
+    /// Routable tile indices in rendezvous order (best score first) —
+    /// deterministic for a given key and membership.
     fn ranked(&self, key: u64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.tiles.len()).collect();
-        order.sort_by_key(|&i| {
-            std::cmp::Reverse(mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-        });
+        let mut order: Vec<usize> = (0..self.tiles.len())
+            .filter(|&i| self.routable(i))
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
         order
     }
+}
 
-    /// The rank-0 tile of [`ClusterShared::ranked`] without allocating
-    /// or sorting — the submission hot path only needs the argmax, and
-    /// only falls back to the full ordering when the home tile is
-    /// unusable.
-    fn natural_home(&self, key: u64) -> usize {
-        (0..self.tiles.len())
-            .max_by_key(|&i| {
-                (
-                    mix64(key ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                    std::cmp::Reverse(i),
-                )
-            })
-            .unwrap_or(0)
+/// Bound on the tracked-modulus map: beyond this many distinct moduli
+/// the router stops recording new ones (re-home statistics become a
+/// sample; routing itself is unaffected).
+const TRACKED_MODULI_CAP: usize = 1 << 16;
+
+/// State shared by the cluster front, its handles, and its prepared
+/// façades.
+struct ClusterShared {
+    membership: RwLock<Arc<Membership>>,
+    spill: SpillPolicy,
+    poison_after: u64,
+    probation_after: u64,
+    stopped: AtomicBool,
+    affinity_hits: AtomicU64,
+    spilled: AtomicU64,
+    saturated_rejections: AtomicU64,
+    tiles_added: AtomicU64,
+    tiles_drained: AtomicU64,
+    tiles_readmitted: AtomicU64,
+    moduli_rehomed: AtomicU64,
+    /// Moduli the router has routed, keyed by [`modulus_key`], each
+    /// with its last-known natural home — the sample set membership
+    /// changes walk to count (and republish) re-homings.
+    homes: RwLock<HashMap<u64, usize>>,
+    /// Set once `homes` reaches [`TRACKED_MODULI_CAP`], so the
+    /// submission hot path stops touching the map's lock entirely.
+    homes_full: AtomicBool,
+}
+
+impl ClusterShared {
+    /// The current membership snapshot (one `Arc` clone).
+    fn snapshot(&self) -> Arc<Membership> {
+        Arc::clone(
+            &self
+                .membership
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
-    /// The home tile for a modulus key: the natural (rank-0) tile when
-    /// it is usable — the common case, probed with one health check —
-    /// otherwise the first usable tile in full rendezvous order.
-    /// `None` when every tile is stopped or poisoned.
-    fn route(&self, key: u64) -> Option<(usize, usize)> {
-        let natural = self.natural_home(key);
-        if self.usable(natural) {
+    /// Whether a tile may be targeted at all: routable in this
+    /// membership, not stopped, not paused, and not poisoned.
+    fn usable(&self, m: &Membership, tile: usize) -> bool {
+        m.routable(tile) && self.usable_health(&m.tiles[tile], &m.tiles[tile].service.health())
+    }
+
+    /// [`ClusterShared::usable`]'s health half over an already-taken
+    /// snapshot, so callers that also need capacity probe each tile
+    /// only once.
+    fn usable_health(&self, cell: &TileCell, health: &TileHealth) -> bool {
+        !health.stopped && !health.paused && !self.poisoned(cell, health)
+    }
+
+    /// Poison check with the probation pardon applied.
+    fn poisoned(&self, cell: &TileCell, health: &TileHealth) -> bool {
+        self.poison_after != 0
+            && health
+                .executor_panics
+                .saturating_sub(cell.pardoned_panics.load(Ordering::Relaxed))
+                >= self.poison_after
+    }
+
+    /// Records a first-seen modulus in the tracked-home map (bounded
+    /// by [`TRACKED_MODULI_CAP`]): once the cap is hit a `Relaxed`
+    /// flag short-circuits the whole thing, and before that the fast
+    /// path is one uncontended read lock + probe — cheap next to the
+    /// tile-queue mutex every submission takes anyway, and the price
+    /// of per-membership-change re-home accounting.
+    fn track_home(&self, key: u64, natural: usize) {
+        if self.homes_full.load(Ordering::Relaxed) {
+            return;
+        }
+        {
+            let homes = self.homes.read().unwrap_or_else(PoisonError::into_inner);
+            if homes.contains_key(&key) {
+                return;
+            }
+        }
+        let mut homes = self.homes.write().unwrap_or_else(PoisonError::into_inner);
+        if homes.len() < TRACKED_MODULI_CAP {
+            homes.entry(key).or_insert(natural);
+        } else {
+            self.homes_full.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-computes every tracked modulus's natural home against a new
+    /// membership, counting (and recording) the ones that moved.
+    /// Called with the membership write lock held, so concurrent
+    /// membership changes serialise their re-home accounting.
+    fn rehome_tracked(&self, m: &Membership) -> u64 {
+        let mut homes = self.homes.write().unwrap_or_else(PoisonError::into_inner);
+        let mut moved = 0u64;
+        for (key, home) in homes.iter_mut() {
+            if let Some(natural) = m.natural_home(*key) {
+                if natural != *home {
+                    *home = natural;
+                    moved += 1;
+                }
+            }
+        }
+        self.moduli_rehomed.fetch_add(moved, Ordering::Relaxed);
+        moved
+    }
+
+    /// The home tile for a modulus key under membership `m`: the
+    /// natural (rank-0 routable) tile when it is usable — the common
+    /// case, probed with one health check — otherwise the first usable
+    /// tile in routable rendezvous order. `None` when every routable
+    /// tile is stopped or poisoned (or none is routable).
+    fn route(&self, m: &Membership, key: u64) -> Option<(usize, usize)> {
+        let natural = m.natural_home(key)?;
+        self.track_home(key, natural);
+        if self.usable(m, natural) {
             return Some((natural, natural));
         }
-        self.ranked(key)
+        m.ranked(key)
             .into_iter()
-            .find(|&i| self.usable(i))
+            .find(|&i| self.usable(m, i))
             .map(|home| (home, natural))
     }
 
-    /// Whether a tile may be targeted at all: not stopped and not
-    /// poisoned.
-    fn usable(&self, tile: usize) -> bool {
-        self.usable_health(&self.tiles[tile].service.health())
-    }
-
-    /// [`ClusterShared::usable`] over an already-taken health snapshot,
-    /// so callers that also need capacity probe each tile only once.
-    fn usable_health(&self, health: &TileHealth) -> bool {
-        !health.stopped && (self.poison_after == 0 || health.executor_panics < self.poison_after)
-    }
-
     /// Records an accepted job: per-tile tallies plus the cluster's
-    /// affinity accounting (`natural` is the rank-0 tile the modulus
-    /// hashes to, `landed` where the job was actually accepted).
-    fn record(&self, landed: usize, natural: usize) {
+    /// affinity accounting (`natural` is the rank-0 routable tile the
+    /// modulus hashes to, `landed` where the job was actually
+    /// accepted).
+    fn record(&self, m: &Membership, landed: usize, natural: usize) {
         if landed == natural {
-            self.tiles[landed].routed.fetch_add(1, Ordering::Relaxed);
+            m.tiles[landed].routed.fetch_add(1, Ordering::Relaxed);
             self.affinity_hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.tiles[landed]
-                .spilled_in
-                .fetch_add(1, Ordering::Relaxed);
+            m.tiles[landed].spilled_in.fetch_add(1, Ordering::Relaxed);
             self.spilled.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -311,18 +599,19 @@ impl ClusterShared {
     /// Spill candidates for a job homed on `home`: usable non-home
     /// tiles, most queue headroom first, truncated to the policy's hop
     /// budget. Empty under [`SpillPolicy::Strict`].
-    fn spill_candidates(&self, home: usize) -> Vec<usize> {
+    fn spill_candidates(&self, m: &Membership, home: usize) -> Vec<usize> {
         let SpillPolicy::Spill { max_hops } = self.spill else {
             return Vec::new();
         };
-        let mut others: Vec<(usize, usize)> = (0..self.tiles.len())
-            .filter(|&i| i != home)
+        let mut others: Vec<(usize, usize)> = (0..m.tiles.len())
+            .filter(|&i| i != home && m.routable(i))
             .filter_map(|i| {
                 // One health probe per tile covers both liveness and
                 // headroom — this runs on the overloaded path, where
                 // extra lock traffic on tile queues hurts most.
-                let health = self.tiles[i].service.health();
-                self.usable_health(&health).then(|| (health.headroom(), i))
+                let health = m.tiles[i].service.health();
+                self.usable_health(&m.tiles[i], &health)
+                    .then(|| (health.headroom(), i))
             })
             .collect();
         others.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -330,88 +619,138 @@ impl ClusterShared {
     }
 
     fn submit_inner(&self, job: MulJob, block: bool) -> Result<Ticket, ClusterSubmitError> {
-        if self.stopped.load(Ordering::Acquire) {
-            return Err(ClusterSubmitError::Stopped);
-        }
-        let Some((home, natural)) = self.route(modulus_key(&job.modulus)) else {
-            return Err(ClusterSubmitError::Stopped);
-        };
-
-        let mut candidates = vec![home];
-        candidates.extend(self.spill_candidates(home));
-        let tried = candidates.len();
-        for tile in candidates {
-            match self.tiles[tile].service.try_submit(job.clone()) {
-                Ok(ticket) => {
-                    self.record(tile, natural);
-                    return Ok(ticket);
-                }
-                // Full or racing its own shutdown: move to the next
-                // tile the policy allows.
-                Err(SubmitError::QueueFull) | Err(SubmitError::Stopped) => {}
+        let key = modulus_key(&job.modulus);
+        // The blocking path may find its home tile gone (stopped or
+        // drained) by the time its queue wait resolves; re-route
+        // against a fresh membership/health view instead of reporting
+        // the whole cluster down. Bounded: each retry needs the home
+        // to have changed state, capped defensively against flapping.
+        let mut reroutes = 0usize;
+        loop {
+            if self.stopped.load(Ordering::Acquire) {
+                return Err(ClusterSubmitError::Stopped);
             }
-        }
-        if block {
+            let m = self.snapshot();
+            let Some((home, natural)) = self.route(&m, key) else {
+                return Err(ClusterSubmitError::Stopped);
+            };
+
+            let mut candidates = vec![home];
+            candidates.extend(self.spill_candidates(&m, home));
+            let tried = candidates.len();
+            for tile in candidates {
+                match m.tiles[tile].service.try_submit(job.clone()) {
+                    Ok(ticket) => {
+                        self.record(&m, tile, natural);
+                        return Ok(ticket);
+                    }
+                    // Full, draining, or racing its own shutdown: move
+                    // to the next tile the policy allows.
+                    Err(SubmitError::QueueFull)
+                    | Err(SubmitError::Stopped)
+                    | Err(SubmitError::Paused) => {}
+                }
+            }
+            if !block {
+                self.saturated_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(ClusterSubmitError::AllTilesSaturated { tried });
+            }
             // Every allowed tile refused without blocking; wait for
             // the home queue so sustained overload still lands with
             // affinity (and still backpressures the producer).
-            match self.tiles[home].service.submit(job) {
+            match m.tiles[home].service.submit(job.clone()) {
                 Ok(ticket) => {
-                    self.record(home, natural);
-                    Ok(ticket)
+                    self.record(&m, home, natural);
+                    return Ok(ticket);
                 }
-                Err(_) => Err(ClusterSubmitError::Stopped),
+                Err(_) => {
+                    // The home stopped or paused mid-wait. A fresh
+                    // route() excludes it, so the job lands on the
+                    // next-ranked live tile — the cluster is only down
+                    // when no routable tile remains.
+                    reroutes += 1;
+                    if reroutes > m.tiles.len() + 1 {
+                        return Err(ClusterSubmitError::Stopped);
+                    }
+                }
             }
-        } else {
-            self.saturated_rejections.fetch_add(1, Ordering::Relaxed);
-            Err(ClusterSubmitError::AllTilesSaturated { tried })
         }
     }
 
-    fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, ClusterSubmitError> {
-        if self.stopped.load(Ordering::Acquire) {
-            return Err(ClusterSubmitError::Stopped);
-        }
-        // Route every job to its home tile (bulk submission trusts
-        // affinity — spilling inside a batch would interleave two
-        // tiles' completions for one caller), then forward each tile's
-        // share under a single queue acquisition.
-        let mut per_tile: Vec<Vec<(usize, usize, MulJob)>> =
-            (0..self.tiles.len()).map(|_| Vec::new()).collect();
-        for (idx, job) in jobs.into_iter().enumerate() {
-            let Some((home, natural)) = self.route(modulus_key(&job.modulus)) else {
-                return Err(ClusterSubmitError::Stopped);
-            };
-            per_tile[home].push((idx, natural, job));
-        }
-        let total: usize = per_tile.iter().map(Vec::len).sum();
+    fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, BulkSubmitFailure> {
+        let total = jobs.len();
         let mut slots: Vec<Option<Ticket>> = (0..total).map(|_| None).collect();
-        for (tile, share) in per_tile.into_iter().enumerate() {
-            if share.is_empty() {
-                continue;
+        let mut pending: Vec<(usize, MulJob)> = jobs.into_iter().enumerate().collect();
+        let fail = |slots: Vec<Option<Ticket>>, error: ClusterSubmitError| BulkSubmitFailure {
+            error,
+            accepted: slots
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.map(|t| (i, t)))
+                .collect(),
+        };
+        let mut stalled_rounds = 0usize;
+        while !pending.is_empty() {
+            if self.stopped.load(Ordering::Acquire) {
+                return Err(fail(slots, ClusterSubmitError::Stopped));
             }
-            let mut meta = Vec::with_capacity(share.len());
-            let mut tile_jobs = Vec::with_capacity(share.len());
-            for (idx, natural, job) in share {
-                meta.push((idx, natural));
-                tile_jobs.push(job);
+            let m = self.snapshot();
+            // Route every pending job to its home tile under this
+            // snapshot (bulk submission trusts affinity — spilling
+            // inside a batch would interleave two tiles' completions
+            // for one caller), then forward each tile's share under a
+            // single queue acquisition.
+            let mut per_tile: Vec<Vec<(usize, usize, MulJob)>> =
+                (0..m.tiles.len()).map(|_| Vec::new()).collect();
+            for (idx, job) in pending.drain(..) {
+                let Some((home, natural)) = self.route(&m, modulus_key(&job.modulus)) else {
+                    return Err(fail(slots, ClusterSubmitError::Stopped));
+                };
+                per_tile[home].push((idx, natural, job));
             }
-            let tickets = self.tiles[tile]
-                .service
-                .handle()
-                .submit_many(tile_jobs)
-                .map_err(|_| ClusterSubmitError::Stopped)?;
-            // Only now are these jobs actually queued — recording
-            // earlier would overcount `submitted` when a tile stops
-            // mid-batch and its share (plus later tiles') never lands.
-            for ((idx, natural), ticket) in meta.into_iter().zip(tickets) {
-                self.record(tile, natural);
-                slots[idx] = Some(ticket);
+            let mut progressed = false;
+            for (tile, share) in per_tile.into_iter().enumerate() {
+                if share.is_empty() {
+                    continue;
+                }
+                // The tile may stop mid-share; keep the originals so
+                // the unqueued remainder can re-route next round
+                // instead of being dropped with its waiters stranded.
+                let tile_jobs: Vec<MulJob> = share.iter().map(|(_, _, job)| job.clone()).collect();
+                let (tickets, err) = m.tiles[tile]
+                    .service
+                    .handle()
+                    .submit_many_partial(tile_jobs);
+                let accepted = tickets.len();
+                for ((idx, natural, _), ticket) in share.iter().take(accepted).zip(tickets) {
+                    self.record(&m, tile, *natural);
+                    slots[*idx] = Some(ticket);
+                    progressed = true;
+                }
+                if err.is_some() {
+                    pending.extend(
+                        share
+                            .into_iter()
+                            .skip(accepted)
+                            .map(|(idx, _, job)| (idx, job)),
+                    );
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            if progressed {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds > m.tiles.len() + 1 {
+                    return Err(fail(slots, ClusterSubmitError::Stopped));
+                }
             }
         }
         Ok(slots
             .into_iter()
-            .map(|t| t.expect("every job was routed to exactly one tile"))
+            .map(|t| t.expect("every job was queued on exactly one tile"))
             .collect())
     }
 }
@@ -426,13 +765,19 @@ pub struct ClusterHandle {
 
 impl core::fmt::Debug for ClusterHandle {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "ClusterHandle {{ tiles: {} }}", self.shared.tiles.len())
+        write!(
+            f,
+            "ClusterHandle {{ tiles: {} }}",
+            self.shared.snapshot().tiles.len()
+        )
     }
 }
 
 impl ClusterHandle {
     /// Submits one job, blocking on the home tile's queue once every
-    /// tile the spill policy allows has refused without blocking.
+    /// tile the spill policy allows has refused without blocking. If
+    /// the home tile stops or drains mid-wait the submission re-routes
+    /// to the next live tile.
     ///
     /// # Errors
     ///
@@ -457,14 +802,16 @@ impl ClusterHandle {
 
     /// Submits a whole batch, each job routed to its home tile
     /// (bulk submission never spills), with per-tile bulk queue
-    /// acquisition. Tickets are returned in job order.
+    /// acquisition. Tickets are returned in job order. A tile that
+    /// stops or drains mid-batch only re-routes its unqueued
+    /// remainder — accepted tickets are never dropped.
     ///
     /// # Errors
     ///
-    /// [`ClusterSubmitError::Stopped`] if the cluster shuts down
-    /// mid-batch; jobs already queued by then still drain, but their
-    /// tickets are not returned.
-    pub fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, ClusterSubmitError> {
+    /// [`BulkSubmitFailure`] when no routable tile remains for the
+    /// remainder; it carries the accepted prefix's tickets (those jobs
+    /// still execute and drain).
+    pub fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, BulkSubmitFailure> {
         self.shared.submit_many(jobs)
     }
 }
@@ -476,8 +823,11 @@ pub struct TileStats {
     pub routed: u64,
     /// Jobs accepted here after spilling from another tile's home.
     pub spilled_in: u64,
-    /// `true` when the router currently treats this tile as poisoned.
+    /// `true` when the router currently treats this tile as poisoned
+    /// (caught panics minus probation pardons ≥ `poison_after`).
     pub poisoned: bool,
+    /// The tile's membership lifecycle state.
+    pub state: TileState,
     /// The tile's capacity/liveness probe at snapshot time.
     pub health: TileHealth,
     /// The tile's full service statistics (latency percentiles,
@@ -488,8 +838,24 @@ pub struct TileStats {
 /// Point-in-time statistics snapshot of the whole cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterStats {
-    /// Per-tile breakdown, indexed by tile id.
+    /// Per-tile breakdown, indexed by tile id (drained tiles keep
+    /// their slot — tile ids are stable for the cluster's lifetime).
     pub tiles: Vec<TileStats>,
+    /// The membership epoch (bumped by every add/drain/re-admission).
+    pub membership_epoch: u64,
+    /// Tiles currently in the routable set.
+    pub active_tiles: usize,
+    /// Tiles added live via [`ServiceCluster::add_tile`].
+    pub tiles_added: u64,
+    /// Tiles drained live via [`ServiceCluster::drain_tile`].
+    pub tiles_drained: u64,
+    /// Drained tiles re-admitted by probation.
+    pub tiles_readmitted: u64,
+    /// Tracked moduli whose natural home moved across all membership
+    /// changes so far.
+    pub moduli_rehomed: u64,
+    /// Distinct moduli the router has tracked (bounded sample).
+    pub tracked_moduli: u64,
     /// Jobs accepted cluster-wide.
     pub submitted: u64,
     /// Jobs that landed on their natural home tile.
@@ -536,10 +902,13 @@ pub struct ServiceCluster {
 
 impl core::fmt::Debug for ServiceCluster {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.shared.snapshot();
         write!(
             f,
-            "ServiceCluster {{ tiles: {}, policy: {:?} }}",
-            self.shared.tiles.len(),
+            "ServiceCluster {{ tiles: {}, active: {}, epoch: {}, policy: {:?} }}",
+            m.tiles.len(),
+            m.active_count(),
+            m.epoch,
             self.shared.spill
         )
     }
@@ -558,38 +927,43 @@ impl ServiceCluster {
             .into_iter()
             .map(|pool| ModSramService::new(pool, config.service.clone()))
             .collect();
-        Self::from_services(services, config.spill, config.poison_after)
+        Self::from_services(services, &config)
     }
 
     /// Builds a cluster from already-running (possibly heterogeneous)
-    /// tiles.
+    /// tiles. `config.service` is ignored here — it only shapes tiles
+    /// the cluster builds itself.
     ///
     /// # Panics
     ///
     /// Panics if `services` is empty.
-    pub fn from_services(
-        services: Vec<ModSramService>,
-        spill: SpillPolicy,
-        poison_after: u64,
-    ) -> Self {
+    pub fn from_services(services: Vec<ModSramService>, config: &ClusterConfig) -> Self {
         assert!(!services.is_empty(), "a cluster needs at least one tile");
-        let tiles = services
+        let tiles: Vec<Arc<TileCell>> = services
             .into_iter()
-            .map(|service| TileCell {
-                service,
-                routed: AtomicU64::new(0),
-                spilled_in: AtomicU64::new(0),
-            })
+            .map(|service| Arc::new(TileCell::new(service)))
             .collect();
+        let states = vec![TileState::Active; tiles.len()];
         ServiceCluster {
             shared: Arc::new(ClusterShared {
-                tiles,
-                spill,
-                poison_after,
+                membership: RwLock::new(Arc::new(Membership {
+                    epoch: 0,
+                    tiles,
+                    states,
+                })),
+                spill: config.spill,
+                poison_after: config.poison_after,
+                probation_after: config.probation_after,
                 stopped: AtomicBool::new(false),
                 affinity_hits: AtomicU64::new(0),
                 spilled: AtomicU64::new(0),
                 saturated_rejections: AtomicU64::new(0),
+                tiles_added: AtomicU64::new(0),
+                tiles_drained: AtomicU64::new(0),
+                tiles_readmitted: AtomicU64::new(0),
+                moduli_rehomed: AtomicU64::new(0),
+                homes: RwLock::new(HashMap::new()),
+                homes_full: AtomicBool::new(false),
             }),
         }
     }
@@ -661,30 +1035,290 @@ impl ServiceCluster {
         }
     }
 
-    /// Number of tiles.
+    /// Number of tile slots, including drained ones (tile ids are
+    /// stable; see [`ServiceCluster::active_tiles`] for the routable
+    /// count).
     pub fn tiles(&self) -> usize {
-        self.shared.tiles.len()
+        self.shared.snapshot().tiles.len()
     }
 
-    /// The natural home tile (rendezvous rank 0, health ignored) for a
-    /// modulus — where its traffic lands in steady state.
+    /// Tiles currently in the routable set.
+    pub fn active_tiles(&self) -> usize {
+        self.shared.snapshot().active_count()
+    }
+
+    /// The current membership epoch (bumped by every add, drain, and
+    /// probation re-admission).
+    pub fn membership_epoch(&self) -> u64 {
+        self.shared.snapshot().epoch
+    }
+
+    /// A tile's membership lifecycle state, `None` for an out-of-range
+    /// index.
+    pub fn tile_state(&self, tile: usize) -> Option<TileState> {
+        self.shared.snapshot().states.get(tile).copied()
+    }
+
+    /// The natural home tile (rendezvous rank 0 among **routable**
+    /// tiles, health ignored) for a modulus — where its traffic lands
+    /// in steady state under the current membership. When *no* tile is
+    /// routable (every tile drained — possible on a fully-drained
+    /// cluster) this returns the sentinel `0`, matching the router,
+    /// which refuses submissions with [`ClusterSubmitError::Stopped`]
+    /// in that state; check [`ServiceCluster::active_tiles`] first if
+    /// the distinction matters.
     pub fn home_tile(&self, p: &UBig) -> usize {
-        self.shared.natural_home(modulus_key(p))
+        self.shared
+            .snapshot()
+            .natural_home(modulus_key(p))
+            .unwrap_or(0)
+    }
+
+    /// Adds a running tile to the cluster at a fresh index and
+    /// publishes a new membership epoch. Only the moduli the new tile
+    /// out-scores everywhere re-home onto it; everything else stays
+    /// put (each move costs its modulus one cold context preparation
+    /// on the new tile).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ClusterStopped`] after shutdown.
+    pub fn add_tile(&self, service: ModSramService) -> Result<MembershipChange, CoreError> {
+        let mut guard = self
+            .shared
+            .membership
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Checked under the write lock: shutdown() stores the flag
+        // before snapshotting the tile list, so any add that passes
+        // this check publishes its tile in time to be drained by that
+        // very shutdown — a stopped cluster can never grow a live,
+        // never-joined tile.
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(CoreError::ClusterStopped);
+        }
+        let tile = guard.tiles.len();
+        let mut tiles = guard.tiles.clone();
+        let mut states = guard.states.clone();
+        tiles.push(Arc::new(TileCell::new(service)));
+        states.push(TileState::Active);
+        let next = Arc::new(Membership {
+            epoch: guard.epoch + 1,
+            tiles,
+            states,
+        });
+        *guard = Arc::clone(&next);
+        self.shared.tiles_added.fetch_add(1, Ordering::Relaxed);
+        let rehomed = self.shared.rehome_tracked(&next);
+        Ok(MembershipChange {
+            epoch: next.epoch,
+            tile,
+            rehomed_moduli: rehomed,
+            active_tiles: next.active_count(),
+        })
+    }
+
+    /// Drains a tile live: atomically removes it from the routable set
+    /// (new epoch — in-flight submissions racing the swap are refused
+    /// by the paused tile and re-route), pauses its admissions, waits
+    /// until the existing ticket machinery has delivered every job the
+    /// tile had accepted, then marks it [`TileState::Drained`]
+    /// (probation-eligible). Only the moduli whose rendezvous rank-0
+    /// was this tile move; the proptest in `tests/elasticity.rs` pins
+    /// that property.
+    ///
+    /// Draining the last routable tile is allowed (maintenance on a
+    /// 1-tile cluster); submissions are refused with
+    /// [`ClusterSubmitError::Stopped`] until a tile returns.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTile`] for an out-of-range index,
+    /// [`CoreError::TileDraining`] if the tile is already draining or
+    /// drained, [`CoreError::ClusterStopped`] after shutdown.
+    pub fn drain_tile(&self, tile: usize) -> Result<MembershipChange, CoreError> {
+        // Phase 1: atomically publish the tile as non-routable and
+        // pause its admissions, so no submission — racing or future —
+        // can land on it past this point.
+        let (cell, rehomed) = {
+            let mut guard = self
+                .shared
+                .membership
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Under the write lock, like add_tile: a drain racing
+            // shutdown() either errors here or completes its pause
+            // before the shutdown snapshot fans out.
+            if self.shared.stopped.load(Ordering::Acquire) {
+                return Err(CoreError::ClusterStopped);
+            }
+            if tile >= guard.tiles.len() {
+                return Err(CoreError::UnknownTile { tile });
+            }
+            if guard.states[tile] != TileState::Active {
+                return Err(CoreError::TileDraining { tile });
+            }
+            let mut states = guard.states.clone();
+            states[tile] = TileState::Draining;
+            let next = Arc::new(Membership {
+                epoch: guard.epoch + 1,
+                tiles: guard.tiles.clone(),
+                states,
+            });
+            *guard = Arc::clone(&next);
+            let cell = Arc::clone(&next.tiles[tile]);
+            cell.service.pause_admissions();
+            let rehomed = self.shared.rehome_tracked(&next);
+            (cell, rehomed)
+        };
+        // Phase 2: the existing ticket machinery drains the tile —
+        // admissions are paused, so delivered == submitted is a
+        // monotone barrier.
+        while !cell.service.quiesced() {
+            if self.shared.stopped.load(Ordering::Acquire) {
+                // A concurrent shutdown drains every tile itself.
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Phase 3: mark the empty tile Drained (probation-eligible).
+        let (epoch, active_tiles) = {
+            let mut guard = self
+                .shared
+                .membership
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            if guard.states[tile] == TileState::Draining {
+                let mut states = guard.states.clone();
+                states[tile] = TileState::Drained;
+                *guard = Arc::new(Membership {
+                    epoch: guard.epoch + 1,
+                    tiles: guard.tiles.clone(),
+                    states,
+                });
+            }
+            (guard.epoch, guard.active_count())
+        };
+        self.shared.tiles_drained.fetch_add(1, Ordering::Relaxed);
+        Ok(MembershipChange {
+            epoch,
+            tile,
+            rehomed_moduli: rehomed,
+            active_tiles,
+        })
+    }
+
+    /// Runs one probation pass over every sidelined tile: drained
+    /// tiles and poisoned-but-active tiles each take a [`TileHealth`]
+    /// probe, which **passes** when the tile is live and its caught
+    /// panic count has not grown since the previous probe. After
+    /// [`ClusterConfig::probation_after`] consecutive passes a drained
+    /// tile resumes admissions and re-enters the routable set (new
+    /// membership epoch, its moduli re-home back), and a poisoned
+    /// tile's panics are pardoned. Call this on whatever cadence the
+    /// deployment's health checker runs; a pass with nothing on
+    /// probation is cheap. `probation_after == 0` disables
+    /// re-admission entirely.
+    pub fn probe_tiles(&self) -> ProbeReport {
+        let mut report = ProbeReport::default();
+        if self.probation() == 0 || self.shared.stopped.load(Ordering::Acquire) {
+            return report;
+        }
+        let m = self.shared.snapshot();
+        for (tile, cell) in m.tiles.iter().enumerate() {
+            match m.states[tile] {
+                TileState::Draining => continue,
+                TileState::Drained => {
+                    if self.probe_cell(cell) && self.readmit(tile) {
+                        report.readmitted.push(tile);
+                    }
+                }
+                TileState::Active => {
+                    let health = cell.service.health();
+                    if !self.shared.poisoned(cell, &health) {
+                        continue;
+                    }
+                    // A completed probation pardons inside probe_cell
+                    // (the poison comparison starts over from the
+                    // current count), so the tile is routable again
+                    // without a membership change — it never left the
+                    // Active set.
+                    if self.probe_cell(cell) {
+                        report.unpoisoned.push(tile);
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    fn probation(&self) -> u64 {
+        self.shared.probation_after
+    }
+
+    /// One probe of one sidelined tile: pass ⇔ live and no new panics
+    /// since the previous probe. Returns `true` when the tile has just
+    /// completed its probation window.
+    fn probe_cell(&self, cell: &TileCell) -> bool {
+        let health = cell.service.health();
+        let last = cell
+            .probe_last_panics
+            .swap(health.executor_panics, Ordering::Relaxed);
+        if health.stopped || health.executor_panics != last {
+            cell.probe_ok.store(0, Ordering::Relaxed);
+            return false;
+        }
+        let ok = cell.probe_ok.fetch_add(1, Ordering::Relaxed) + 1;
+        if ok < self.probation() {
+            return false;
+        }
+        cell.probe_ok.store(0, Ordering::Relaxed);
+        cell.pardoned_panics
+            .store(health.executor_panics, Ordering::Relaxed);
+        true
+    }
+
+    /// Re-admits a drained tile that completed probation: resumes its
+    /// admissions and publishes a new epoch with the tile Active.
+    /// Returns `false` if the tile was concurrently moved out of
+    /// `Drained` (e.g. by a racing shutdown).
+    fn readmit(&self, tile: usize) -> bool {
+        let mut guard = self
+            .shared
+            .membership
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.states.get(tile) != Some(&TileState::Drained) {
+            return false;
+        }
+        let mut states = guard.states.clone();
+        states[tile] = TileState::Active;
+        let next = Arc::new(Membership {
+            epoch: guard.epoch + 1,
+            tiles: guard.tiles.clone(),
+            states,
+        });
+        *guard = Arc::clone(&next);
+        next.tiles[tile].service.resume_admissions();
+        self.shared.tiles_readmitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.rehome_tracked(&next);
+        true
     }
 
     /// A point-in-time statistics snapshot across every tile.
     pub fn stats(&self) -> ClusterStats {
-        let tiles: Vec<TileStats> = self
-            .shared
+        let m = self.shared.snapshot();
+        let tiles: Vec<TileStats> = m
             .tiles
             .iter()
-            .map(|cell| {
+            .enumerate()
+            .map(|(i, cell)| {
                 let health = cell.service.health();
                 TileStats {
                     routed: cell.routed.load(Ordering::Relaxed),
                     spilled_in: cell.spilled_in.load(Ordering::Relaxed),
-                    poisoned: self.shared.poison_after > 0
-                        && health.executor_panics >= self.shared.poison_after,
+                    poisoned: self.shared.poisoned(cell, &health),
+                    state: m.states[i],
                     health,
                     service: cell.service.stats(),
                 }
@@ -693,6 +1327,18 @@ impl ServiceCluster {
         let affinity_hits = self.shared.affinity_hits.load(Ordering::Relaxed);
         let spilled = self.shared.spilled.load(Ordering::Relaxed);
         ClusterStats {
+            membership_epoch: m.epoch,
+            active_tiles: m.active_count(),
+            tiles_added: self.shared.tiles_added.load(Ordering::Relaxed),
+            tiles_drained: self.shared.tiles_drained.load(Ordering::Relaxed),
+            tiles_readmitted: self.shared.tiles_readmitted.load(Ordering::Relaxed),
+            moduli_rehomed: self.shared.moduli_rehomed.load(Ordering::Relaxed),
+            tracked_moduli: self
+                .shared
+                .homes
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len() as u64,
             submitted: affinity_hits + spilled,
             affinity_hits,
             spilled,
@@ -707,7 +1353,7 @@ impl ServiceCluster {
     /// [`ModSramService::reset_window`]); routing tallies are lifetime
     /// counters and are untouched.
     pub fn reset_window(&self) {
-        for cell in &self.shared.tiles {
+        for cell in &self.shared.snapshot().tiles {
             cell.service.reset_window();
         }
     }
@@ -719,8 +1365,8 @@ impl ServiceCluster {
         self.shared.stopped.store(true, Ordering::Release);
         // Tiles drain concurrently: each `shutdown` closes that tile's
         // queue and joins its threads while the remaining tiles keep
-        // executing their own backlogs.
-        for cell in &self.shared.tiles {
+        // executing their own backlogs. Drained/paused tiles stop too.
+        for cell in &self.shared.snapshot().tiles {
             cell.service.shutdown();
         }
         self.stats()
@@ -774,7 +1420,10 @@ impl PreparedModMul for ClusterPrepared {
             .iter()
             .map(|(a, b)| MulJob::new(a.clone(), b.clone(), self.p.clone()))
             .collect();
-        let tickets = self.handle.submit_many(jobs).map_err(backend_error)?;
+        let tickets = self
+            .handle
+            .submit_many(jobs)
+            .map_err(|f| backend_error(f.error))?;
         tickets.iter().map(|t| ticket_result(t.wait())).collect()
     }
 }
@@ -782,6 +1431,7 @@ impl PreparedModMul for ClusterPrepared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_util::{slow_pool, FailureMode};
     use std::time::Duration;
 
     fn small_config() -> ClusterConfig {
@@ -798,6 +1448,42 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_tie_break_prefers_the_lower_tile_index() {
+        // The shared score is (mix, Reverse(index)): on a mix collision
+        // the *lower* index must win, for all three call sites at once
+        // — this is the single definition they share.
+        let a = RendezvousScore {
+            mix: 7,
+            tie: std::cmp::Reverse(1),
+        };
+        let b = RendezvousScore {
+            mix: 7,
+            tie: std::cmp::Reverse(2),
+        };
+        assert!(a > b, "equal mix must break toward the lower index");
+        assert!(
+            RendezvousScore {
+                mix: 8,
+                tie: std::cmp::Reverse(9),
+            } > a,
+            "mix dominates the tie-break"
+        );
+        // The argmax and the full ranking agree on every probed key —
+        // they both go through rendezvous_score, so the rank-0 of the
+        // ranking IS the home.
+        for key in [0u64, 1, 97, 0xDEAD_BEEF, u64::MAX] {
+            for tiles in 1..=6usize {
+                let best = (0..tiles)
+                    .max_by_key(|&i| rendezvous_score(key, i))
+                    .unwrap();
+                let mut order: Vec<usize> = (0..tiles).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
+                assert_eq!(order[0], best, "key {key}, {tiles} tiles");
+            }
+        }
+    }
+
+    #[test]
     fn rendezvous_order_is_a_stable_permutation() {
         let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
         for m in [97u64, 101, 65537, 1_000_003, 0xffff_fffb] {
@@ -807,7 +1493,10 @@ mod tests {
             // Stable across calls and equal to the standalone planner.
             assert_eq!(home, cluster.home_tile(&p));
             assert_eq!(home, home_tile_for(&p, 4));
-            let order = cluster.shared.ranked(modulus_key(&p));
+            let order = rendezvous_ranking(&p, 4);
+            assert_eq!(order[0], home, "ranking rank-0 is the home");
+            let live = cluster.shared.snapshot().ranked(modulus_key(&p));
+            assert_eq!(order, live, "standalone ranking == live ranking");
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2, 3], "ranked() must permute tiles");
@@ -847,6 +1536,8 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.spilled, 0, "uncontended cluster never spills");
         assert_eq!(stats.affinity_hit_rate(), 1.0);
+        assert_eq!(stats.tracked_moduli, 4, "router tracked every modulus");
+        assert_eq!(stats.membership_epoch, 0, "no membership change");
         // Routing tallies agree with the per-tile service counters.
         for tile in &stats.tiles {
             assert_eq!(tile.routed + tile.spilled_in, tile.service.submitted);
@@ -883,13 +1574,283 @@ mod tests {
             cluster.try_submit(job.clone()).err(),
             Some(ClusterSubmitError::Stopped)
         );
-        assert_eq!(
-            cluster.handle().submit_many(vec![job]).err(),
-            Some(ClusterSubmitError::Stopped)
-        );
+        let bulk = cluster.handle().submit_many(vec![job]).unwrap_err();
+        assert_eq!(bulk.error, ClusterSubmitError::Stopped);
+        assert!(bulk.accepted.is_empty(), "nothing was queued");
+        // Membership changes are refused too.
+        assert_eq!(cluster.drain_tile(0).err(), Some(CoreError::ClusterStopped));
         // Shutdown is idempotent.
         let stats = cluster.shutdown();
         assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn blocking_submit_survives_a_home_tile_stop_mid_wait() {
+        // Regression (ISSUE 5 satellite 1): one stopped tile + one
+        // live tile. The home tile's queue is full, so the blocking
+        // path parks on it; the home then stops underneath the waiter.
+        // The old router mapped the home's `Stopped` to cluster-wide
+        // `Stopped` even though the neighbour was live — the fix
+        // re-routes and must land the job on the surviving tile.
+        let config = ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                flush_interval: Duration::ZERO,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let delay = Duration::from_millis(50);
+        let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
+        // A modulus homed on tile 0.
+        let p = (0..64u64)
+            .map(|i| UBig::from(1_000_003u64 + 2 * i))
+            .find(|p| cluster.home_tile(p) == 0)
+            .expect("some modulus homes on tile 0");
+        // Saturate tile 0 in two phases: the batcher drains the
+        // bounded queue into the exec pipeline within microseconds, so
+        // first let the pipeline absorb its fill (executor + exec
+        // queue + batcher hand-off), then fill the queue itself. It
+        // then stays full until the executor finishes its current
+        // 50 ms multiplication — far past the shutdown below.
+        let mut warm = Vec::new();
+        for i in 0..3u64 {
+            if let Ok(t) =
+                cluster.try_submit(MulJob::new(UBig::from(i + 2), UBig::from(3u64), p.clone()))
+            {
+                warm.push(t);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let mut refused = false;
+        for i in 0..8u64 {
+            match cluster.try_submit(MulJob::new(UBig::from(i + 20), UBig::from(3u64), p.clone())) {
+                Ok(t) => warm.push(t),
+                Err(_) => refused = true,
+            }
+        }
+        assert!(
+            refused,
+            "home tile must be saturated before the blocking submit"
+        );
+        let shared = Arc::clone(&cluster.shared);
+        let job = MulJob::new(UBig::from(11u64), UBig::from(13u64), p.clone());
+        let want = &(&job.a * &job.b) % &p;
+        let waiter = std::thread::spawn({
+            let handle = cluster.handle();
+            move || handle.submit(job)
+        });
+        // Give the waiter time to park on tile 0's full queue, then
+        // stop tile 0's service directly (not the cluster).
+        std::thread::sleep(Duration::from_millis(10));
+        shared.snapshot().tiles[0].service.shutdown();
+        let ticket = waiter
+            .join()
+            .unwrap()
+            .expect("submit must re-route to the live tile, not report Stopped");
+        assert_eq!(ticket.wait().unwrap(), want);
+        let stats = cluster.stats();
+        assert!(
+            stats.tiles[1].service.submitted >= 1,
+            "re-routed job landed on the live tile"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn submit_many_mid_batch_stop_returns_the_accepted_prefix() {
+        // Regression (ISSUE 5 satellite 2): a bulk submission that
+        // blocks on a slow tile's capacity while the cluster shuts
+        // down must hand back the tickets it already queued — those
+        // jobs still execute, and dropping their handles would strand
+        // the waiter.
+        let config = ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                flush_interval: Duration::ZERO,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cluster = ServiceCluster::new(vec![slow_pool(Duration::from_millis(20))], config);
+        let p = UBig::from(1_000_003u64);
+        let jobs: Vec<MulJob> = (0..16u64)
+            .map(|i| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone()))
+            .collect();
+        let oracle: Vec<UBig> = jobs.iter().map(|j| &(&j.a * &j.b) % &j.modulus).collect();
+        let bulk = std::thread::spawn({
+            let handle = cluster.handle();
+            move || handle.submit_many(jobs)
+        });
+        // Let the bulk call queue a couple of jobs and block on the
+        // tiny queue, then pull the plug.
+        std::thread::sleep(Duration::from_millis(15));
+        cluster.shutdown();
+        let failure = bulk
+            .join()
+            .unwrap()
+            .expect_err("shutdown mid-batch fails the bulk call");
+        assert_eq!(failure.error, ClusterSubmitError::Stopped);
+        assert!(
+            !failure.accepted.is_empty(),
+            "jobs queued before the stop must keep their tickets"
+        );
+        // Every accepted ticket was drained by shutdown and is correct.
+        for (idx, ticket) in &failure.accepted {
+            assert!(ticket.is_done(), "shutdown drains accepted tickets");
+            assert_eq!(ticket.wait().unwrap(), oracle[*idx], "job {idx}");
+        }
+    }
+
+    #[test]
+    fn drain_tile_rejects_bad_and_repeated_indices() {
+        let config = ClusterConfig {
+            probation_after: 2,
+            ..small_config()
+        };
+        let cluster = ServiceCluster::for_engine_name("barrett", 3, config).unwrap();
+        assert_eq!(
+            cluster.drain_tile(7).err(),
+            Some(CoreError::UnknownTile { tile: 7 })
+        );
+        let report = cluster.drain_tile(1).unwrap();
+        assert_eq!(report.tile, 1);
+        assert_eq!(report.active_tiles, 2);
+        assert!(report.epoch >= 1);
+        assert_eq!(cluster.tile_state(1), Some(TileState::Drained));
+        assert_eq!(
+            cluster.drain_tile(1).err(),
+            Some(CoreError::TileDraining { tile: 1 }),
+            "double drain is refused"
+        );
+        // Jobs for every modulus still complete on the 2 live tiles,
+        // and none land on the drained tile.
+        let mut tickets = Vec::new();
+        for i in 0..12u64 {
+            let p = UBig::from(2 * i + 97);
+            assert_ne!(cluster.home_tile(&p), 1, "drained tile is not routable");
+            let job = MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
+            let want = &(&job.a * &job.b) % &p;
+            tickets.push((cluster.submit(job).unwrap(), want));
+        }
+        for (t, want) in &tickets {
+            assert_eq!(&t.wait().unwrap(), want);
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.tiles[1].service.submitted, 0);
+        assert_eq!(stats.tiles_drained, 1);
+        assert_eq!(stats.active_tiles, 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn add_tile_grows_the_routable_set_and_rehomes_minimally() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 2, small_config()).unwrap();
+        // Route (and track) a spread of moduli, recording their homes.
+        let moduli: Vec<UBig> = (0..48u64).map(|i| UBig::from(2 * i + 101)).collect();
+        for p in &moduli {
+            let t = cluster
+                .submit(MulJob::new(UBig::from(3u64), UBig::from(5u64), p.clone()))
+                .unwrap();
+            t.wait().unwrap();
+        }
+        let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let service = ModSramService::for_engine_name("barrett", small_config().service).unwrap();
+        let report = cluster.add_tile(service).unwrap();
+        assert_eq!(report.tile, 2);
+        assert_eq!(report.active_tiles, 3);
+        let after: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let mut moved = 0u64;
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                assert_eq!(*a, 2, "modulus {i} may only move TO the new tile");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "a new tile must win some moduli");
+        assert_eq!(
+            report.rehomed_moduli, moved,
+            "re-home accounting matches observed home moves"
+        );
+        // New-tile traffic actually lands there.
+        let Some(p) = moduli.iter().find(|p| cluster.home_tile(p) == 2) else {
+            panic!("some tracked modulus homes on the new tile");
+        };
+        let t = cluster
+            .submit(MulJob::new(UBig::from(7u64), UBig::from(9u64), p.clone()))
+            .unwrap();
+        t.wait().unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.tiles.len(), 3);
+        assert_eq!(stats.tiles_added, 1);
+        assert!(stats.tiles[2].service.submitted >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn poisoned_tile_is_pardoned_after_probation() {
+        use crate::test_util::recovering_pool;
+        // Tile 0 panics on calls 1..=2 then recovers for good. With
+        // poison_after = 2 the router sidelines it; two clean probes
+        // later probe_tiles() pardons it and its modulus comes home.
+        let config = ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 1 },
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                max_batch: 1,
+                flush_interval: Duration::ZERO,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            poison_after: 2,
+            probation_after: 2,
+        };
+        let sick = recovering_pool(1, 2, FailureMode::Panic);
+        let healthy = ContextPool::for_engine_name("barrett").unwrap();
+        let cluster = ServiceCluster::new(vec![sick, healthy], config);
+        let p = (0..64u64)
+            .map(|i| UBig::from(1_000_003u64 + 2 * i))
+            .find(|p| cluster.home_tile(p) == 0)
+            .expect("some modulus homes on tile 0");
+        let job = |i: u64| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
+        // Two panicking batches poison tile 0.
+        for i in 0..2u64 {
+            let t = cluster.submit(job(i)).unwrap();
+            assert!(t.wait().is_err(), "panicked batch fails its ticket");
+        }
+        let stats = cluster.stats();
+        assert!(stats.tiles[0].poisoned, "tile 0 hit poison_after");
+        // Its modulus fails over to tile 1 (counted as spilled).
+        let t = cluster.submit(job(10)).unwrap();
+        t.wait().unwrap();
+        assert!(cluster.stats().spilled >= 1);
+        // Probation: the first probe only records the panic baseline
+        // (the count grew since construction, so it cannot pass); the
+        // next two clean probes complete the window and pardon.
+        assert_eq!(cluster.probe_tiles(), ProbeReport::default());
+        assert_eq!(cluster.probe_tiles(), ProbeReport::default());
+        let report = cluster.probe_tiles();
+        assert_eq!(report.unpoisoned, vec![0]);
+        assert!(!cluster.stats().tiles[0].poisoned, "pardon cleared poison");
+        // Traffic returns to the recovered home tile and succeeds
+        // (the pool's fuse has burned out).
+        let t = cluster.submit(job(20)).unwrap();
+        let want = &(&UBig::from(22u64) * &UBig::from(23u64)) % &p;
+        assert_eq!(t.wait().unwrap(), want);
+        let stats = cluster.shutdown();
+        assert!(
+            stats.tiles[0].service.completed >= 1,
+            "home tile serves again"
+        );
     }
 
     #[test]
@@ -905,6 +1866,10 @@ mod tests {
         assert!(CoreError::AllTilesSaturated { tried: 2 }
             .to_string()
             .contains("2 tile(s)"));
+        assert!(CoreError::UnknownTile { tile: 9 }.to_string().contains("9"));
+        assert!(CoreError::TileDraining { tile: 3 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

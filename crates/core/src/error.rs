@@ -67,6 +67,21 @@ pub enum CoreError {
         /// Tiles whose queues refused the job.
         tried: usize,
     },
+    /// A membership operation named a tile index outside the cluster
+    /// (tile ids are stable: indices never shrink, so this means the
+    /// tile never existed).
+    UnknownTile {
+        /// The out-of-range tile index.
+        tile: usize,
+    },
+    /// [`crate::cluster::ServiceCluster::drain_tile`] targeted a tile
+    /// that is already draining or drained — a drain is in progress
+    /// (or complete); wait for probation to re-admit the tile before
+    /// draining it again.
+    TileDraining {
+        /// The tile already out of the routable set.
+        tile: usize,
+    },
     /// A structurally invalid micro-program (see [`crate::isa`]).
     Program(crate::isa::ProgramError),
     /// Lock-step verification against the functional model diverged —
@@ -117,6 +132,12 @@ impl fmt::Display for CoreError {
                     f,
                     "all {tried} tile(s) the spill policy allows are at queue capacity"
                 )
+            }
+            CoreError::UnknownTile { tile } => {
+                write!(f, "no tile with index {tile} exists in this cluster")
+            }
+            CoreError::TileDraining { tile } => {
+                write!(f, "tile {tile} is already draining or drained")
             }
             CoreError::Program(e) => write!(f, "{e}"),
             CoreError::ModelDivergence { iteration, what } => write!(

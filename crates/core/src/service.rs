@@ -164,6 +164,12 @@ pub enum SubmitError {
     QueueFull,
     /// The service has shut down; no further jobs are accepted.
     Stopped,
+    /// Admissions are paused ([`ModSramService::pause_admissions`]) —
+    /// the tile is draining or on probation. Already-queued jobs keep
+    /// executing; new ones are refused without blocking, so a cluster
+    /// router can re-route them instead of wedging a producer on a
+    /// tile that will never admit again this epoch.
+    Paused,
 }
 
 impl core::fmt::Display for SubmitError {
@@ -171,6 +177,7 @@ impl core::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue is full"),
             SubmitError::Stopped => write!(f, "service has shut down"),
+            SubmitError::Paused => write!(f, "service admissions are paused"),
         }
     }
 }
@@ -301,6 +308,10 @@ struct Queued {
 struct QueueInner {
     jobs: VecDeque<Queued>,
     closed: bool,
+    /// Admissions paused (drain/probation seam): submissions are
+    /// refused with [`SubmitError::Paused`] while queued jobs keep
+    /// draining. Unlike `closed`, this is reversible.
+    paused: bool,
 }
 
 /// Fixed-size reservoir sample of `u64` observations with a
@@ -382,6 +393,7 @@ struct StatsCell {
     failed: AtomicU64,
     batches: AtomicU64,
     executor_panics: AtomicU64,
+    health_probes: AtomicU64,
     modelled_cycles_total: AtomicU64,
     window_batches: AtomicU64,
     window_jobs: AtomicU64,
@@ -400,6 +412,7 @@ impl StatsCell {
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             executor_panics: AtomicU64::new(0),
+            health_probes: AtomicU64::new(0),
             modelled_cycles_total: AtomicU64::new(0),
             window_batches: AtomicU64::new(0),
             window_jobs: AtomicU64::new(0),
@@ -538,12 +551,17 @@ impl SubmitHandle {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Stopped`] once the service has shut down.
+    /// [`SubmitError::Stopped`] once the service has shut down,
+    /// [`SubmitError::Paused`] while admissions are paused (returned
+    /// without blocking, even if the pause lands mid-wait).
     pub fn submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
         let mut inner = self.shared.lock_inner();
         loop {
             if inner.closed {
                 return Err(SubmitError::Stopped);
+            }
+            if inner.paused {
+                return Err(SubmitError::Paused);
             }
             if inner.jobs.len() < self.shared.capacity {
                 break;
@@ -566,11 +584,15 @@ impl SubmitHandle {
     ///
     /// [`SubmitError::QueueFull`] when the queue is at capacity (the
     /// rejection is counted in [`ServiceStats::rejected`]),
-    /// [`SubmitError::Stopped`] after shutdown.
+    /// [`SubmitError::Stopped`] after shutdown, [`SubmitError::Paused`]
+    /// while admissions are paused.
     pub fn try_submit(&self, job: MulJob) -> Result<Ticket, SubmitError> {
         let mut inner = self.shared.lock_inner();
         if inner.closed {
             return Err(SubmitError::Stopped);
+        }
+        if inner.paused {
+            return Err(SubmitError::Paused);
         }
         if inner.jobs.len() >= self.shared.capacity {
             drop(inner);
@@ -590,17 +612,43 @@ impl SubmitHandle {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Stopped`] if the service shuts down before every
-    /// job is queued. Jobs already queued by then still execute and
-    /// drain, but their tickets are not returned — treat the whole
-    /// call as failed.
+    /// [`SubmitError::Stopped`] (or [`SubmitError::Paused`]) if the
+    /// service stops admitting before every job is queued. Jobs
+    /// already queued by then still execute and drain, but their
+    /// tickets are not returned — treat the whole call as failed, or
+    /// use [`SubmitHandle::submit_many_partial`] to keep the accepted
+    /// prefix's tickets.
     pub fn submit_many(&self, jobs: Vec<MulJob>) -> Result<Vec<Ticket>, SubmitError> {
+        let (tickets, err) = self.submit_many_partial(jobs);
+        match err {
+            None => Ok(tickets),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Bulk submission that never orphans a ticket: queues jobs in
+    /// order under one lock acquisition (blocking on capacity like
+    /// [`SubmitHandle::submit_many`]) and, if the service stops or
+    /// pauses admissions mid-batch, returns the tickets of the
+    /// **accepted prefix** alongside the error instead of dropping
+    /// them. The accepted jobs still execute and drain; the remainder
+    /// was never queued. This is the primitive a cluster router uses so
+    /// a tile stopping mid-batch cannot strand waiters whose jobs will
+    /// still run.
+    pub fn submit_many_partial(&self, jobs: Vec<MulJob>) -> (Vec<Ticket>, Option<SubmitError>) {
         let mut tickets = Vec::with_capacity(jobs.len());
         let mut inner = self.shared.lock_inner();
         for job in jobs {
             loop {
                 if inner.closed {
-                    return Err(SubmitError::Stopped);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return (tickets, Some(SubmitError::Stopped));
+                }
+                if inner.paused {
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return (tickets, Some(SubmitError::Paused));
                 }
                 if inner.jobs.len() < self.shared.capacity {
                     break;
@@ -616,7 +664,7 @@ impl SubmitHandle {
         }
         drop(inner);
         self.shared.not_empty.notify_one();
-        Ok(tickets)
+        (tickets, None)
     }
 
     /// Jobs currently queued (excludes the batch being executed).
@@ -648,6 +696,13 @@ pub struct ServiceStats {
     /// Executor panics caught by the unwind guard (each one failed its
     /// batch's undelivered tickets with [`ServiceError::Stopped`]).
     pub executor_panics: u64,
+    /// [`ModSramService::health`] probes taken, from every caller:
+    /// routing consults health per submission, probation per check,
+    /// and statistics snapshots (including
+    /// [`ServiceCluster`](crate::cluster::ServiceCluster)`::stats`)
+    /// once per tile — so on an idle cluster this climbs with the
+    /// monitoring cadence, not with traffic.
+    pub health_probes: u64,
     /// Total modelled device occupancy, in cycles: the sum of every
     /// dispatched batch's [`modelled_batch_cycles`] makespan. Batches
     /// on one tile are serialised in the modelled domain, so this is
@@ -687,8 +742,12 @@ pub struct TileHealth {
     pub queue_depth: usize,
     /// The bounded queue's capacity.
     pub queue_capacity: usize,
-    /// `true` once the tile has shut down (or begun draining).
+    /// `true` once the tile has shut down.
     pub stopped: bool,
+    /// `true` while admissions are paused
+    /// ([`ModSramService::pause_admissions`]) — the tile is draining
+    /// or sitting out a probation window; queued jobs keep executing.
+    pub paused: bool,
     /// Executor panics caught so far — a tile whose panics keep
     /// climbing has a poisoned context and should be routed around.
     pub executor_panics: u64,
@@ -702,7 +761,7 @@ impl TileHealth {
 
     /// `true` while the tile can accept a non-blocking submission.
     pub fn accepting(&self) -> bool {
-        !self.stopped && self.headroom() > 0
+        !self.stopped && !self.paused && self.headroom() > 0
     }
 }
 
@@ -752,6 +811,7 @@ impl ModSramService {
             inner: Mutex::new(QueueInner {
                 jobs: VecDeque::new(),
                 closed: false,
+                paused: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -885,6 +945,7 @@ impl ModSramService {
             failed: s.failed.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             executor_panics: s.executor_panics.load(Ordering::Relaxed),
+            health_probes: s.health_probes.load(Ordering::Relaxed),
             modelled_cycles_total: s.modelled_cycles_total.load(Ordering::Relaxed),
             coalesce_min: if min == u64::MAX { 0 } else { min },
             coalesce_max: s.coalesce_max.load(Ordering::Relaxed),
@@ -917,15 +978,66 @@ impl ModSramService {
     }
 
     /// The capacity/liveness probe a cluster router consults before
-    /// targeting this tile.
+    /// targeting this tile. Every probe is counted in
+    /// [`ServiceStats::health_probes`].
     pub fn health(&self) -> TileHealth {
+        self.shared
+            .stats
+            .health_probes
+            .fetch_add(1, Ordering::Relaxed);
         let inner = self.shared.lock_inner();
         TileHealth {
             queue_depth: inner.jobs.len(),
             queue_capacity: self.config.queue_capacity,
             stopped: inner.closed,
+            paused: inner.paused,
             executor_panics: self.shared.stats.executor_panics.load(Ordering::Relaxed),
         }
+    }
+
+    /// Pauses admissions: every subsequent (or currently blocked)
+    /// submission is refused with [`SubmitError::Paused`], while the
+    /// queue keeps draining and every already-accepted ticket still
+    /// completes. This is the drain seam a
+    /// [`ServiceCluster`](crate::cluster::ServiceCluster) uses: pause,
+    /// wait for [`ModSramService::quiesced`], and the tile is empty
+    /// without ever being shut down — so it can
+    /// [`resume_admissions`](ModSramService::resume_admissions) after a
+    /// probation window instead of being rebuilt. Idempotent.
+    pub fn pause_admissions(&self) {
+        {
+            let mut inner = self.shared.lock_inner();
+            inner.paused = true;
+        }
+        // Wake blocked submitters so they observe the pause and refuse
+        // instead of waiting for capacity that may never be offered to
+        // them again this epoch.
+        self.shared.not_full.notify_all();
+    }
+
+    /// Re-opens admissions after [`ModSramService::pause_admissions`].
+    /// Idempotent; a no-op on a stopped service.
+    pub fn resume_admissions(&self) {
+        {
+            let mut inner = self.shared.lock_inner();
+            inner.paused = false;
+        }
+        self.shared.not_full.notify_all();
+    }
+
+    /// `true` while admissions are paused.
+    pub fn admissions_paused(&self) -> bool {
+        self.shared.lock_inner().paused
+    }
+
+    /// `true` once every accepted job has been delivered (completed or
+    /// failed) — with admissions paused, the moment the tile is fully
+    /// drained. Meaningful as a drain barrier only while no new
+    /// submissions can land (paused or stopped).
+    pub fn quiesced(&self) -> bool {
+        let s = &self.shared.stats;
+        let delivered = s.completed.load(Ordering::Acquire) + s.failed.load(Ordering::Acquire);
+        delivered == s.submitted.load(Ordering::Acquire)
     }
 
     /// Gracefully stops the service: refuses new submissions, lets the
@@ -1275,7 +1387,7 @@ impl ExecBackend<'_> {
                 let tickets = cluster
                     .handle()
                     .submit_many(jobs.to_vec())
-                    .map_err(CoreError::from)?;
+                    .map_err(|failure| CoreError::from(failure.error))?;
                 tickets
                     .iter()
                     .map(|t| t.wait().map_err(CoreError::from))

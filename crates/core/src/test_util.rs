@@ -47,13 +47,19 @@ pub enum FailureMode {
 }
 
 /// A [`PreparedModMul`] that multiplies correctly until its k-th call,
-/// then fails every call from there on (see [`FailureMode`]).
+/// then fails — either every call from there on ([`FailingPrepared::new`])
+/// or a bounded window of calls after which it recovers for good
+/// ([`FailingPrepared::recovering`], the double that exercises poison
+/// **probation**: a tile that was sick, got routed around, and is
+/// healthy again when the probes come knocking).
 ///
 /// Call counting is global across threads (one shared atomic), so
 /// "the k-th call" is well-defined even when dispatch workers race.
 pub struct FailingPrepared {
     p: UBig,
     fail_from: u64,
+    /// First call (1-based) that succeeds again; `u64::MAX` = never.
+    recover_from: u64,
     mode: FailureMode,
     calls: AtomicU64,
 }
@@ -66,6 +72,21 @@ impl FailingPrepared {
         FailingPrepared {
             p,
             fail_from: fail_from.max(1),
+            recover_from: u64::MAX,
+            mode,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// A context whose calls `fail_from .. fail_from + fail_count`
+    /// (1-based) fail with `mode`, and every call after that window
+    /// succeeds again — a transient fault, not a terminal one.
+    pub fn recovering(p: UBig, fail_from: u64, fail_count: u64, mode: FailureMode) -> Self {
+        let fail_from = fail_from.max(1);
+        FailingPrepared {
+            p,
+            fail_from,
+            recover_from: fail_from.saturating_add(fail_count),
             mode,
             calls: AtomicU64::new(0),
         }
@@ -100,7 +121,7 @@ impl PreparedModMul for FailingPrepared {
 
     fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
         let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if call >= self.fail_from {
+        if call >= self.fail_from && call < self.recover_from {
             match self.mode {
                 FailureMode::Error => {
                     return Err(ModMulError::Backend {
@@ -159,6 +180,22 @@ pub fn failing_pool(fail_from: u64, mode: FailureMode) -> ContextPool {
     })
 }
 
+/// A [`ContextPool`] whose every prepared context is a *recovering*
+/// [`FailingPrepared`]: calls `fail_from .. fail_from + fail_count`
+/// fail with `mode`, later calls succeed — each distinct modulus gets
+/// its own call counter. The pool for probation tests: poison a tile,
+/// let the fuse burn out, and probe it back into the routable set.
+pub fn recovering_pool(fail_from: u64, fail_count: u64, mode: FailureMode) -> ContextPool {
+    ContextPool::new(move |p| {
+        Ok(Box::new(FailingPrepared::recovering(
+            p.clone(),
+            fail_from,
+            fail_count,
+            mode,
+        )) as Box<dyn PreparedModMul>)
+    })
+}
+
 /// A [`ContextPool`] whose every prepared context is a
 /// [`SlowPrepared`] with the given per-call delay.
 pub fn slow_pool(delay: Duration) -> ContextPool {
@@ -196,6 +233,22 @@ mod tests {
             let _ = ctx.mod_mul(&UBig::from(2u64), &UBig::from(3u64));
         }));
         assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn recovering_prepared_heals_after_its_window() {
+        let ctx = FailingPrepared::recovering(UBig::from(97u64), 2, 2, FailureMode::Error);
+        let a = UBig::from(5u64);
+        let b = UBig::from(6u64);
+        assert_eq!(ctx.mod_mul(&a, &b).unwrap(), UBig::from(30u64));
+        assert!(ctx.mod_mul(&a, &b).is_err(), "call 2 inside the window");
+        assert!(ctx.mod_mul(&a, &b).is_err(), "call 3 inside the window");
+        assert_eq!(
+            ctx.mod_mul(&a, &b).unwrap(),
+            UBig::from(30u64),
+            "call 4 is past the window: recovered for good"
+        );
+        assert_eq!(ctx.mod_mul(&a, &b).unwrap(), UBig::from(30u64));
     }
 
     #[test]

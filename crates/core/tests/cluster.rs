@@ -61,6 +61,7 @@ fn tile_panic_fails_only_its_batch_and_gets_routed_around() {
         spill: SpillPolicy::Spill { max_hops: 1 },
         service: tiny_tile_config(),
         poison_after: 2,
+        ..Default::default()
     };
     // The sick tile panics on every multiplication from the first call.
     let (cluster, modulus, sick) = two_tiles_one_sick(failing_pool(1, FailureMode::Panic), config);
@@ -131,6 +132,7 @@ fn error_mode_fails_only_jobs_from_the_kth_call_on() {
         spill: SpillPolicy::Strict,
         service: tiny_tile_config_with_batch(1),
         poison_after: 0,
+        ..Default::default()
     };
     let cluster = ServiceCluster::new(vec![failing_pool(3, FailureMode::Error)], config);
     let p = UBig::from(97u64);
@@ -177,6 +179,7 @@ fn backpressure_spills_to_least_loaded_tile_and_strict_saturates() {
         spill: SpillPolicy::Spill { max_hops: 1 },
         service: slow_config.clone(),
         poison_after: 0,
+        ..Default::default()
     };
     let delay = Duration::from_millis(25);
     let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
@@ -222,6 +225,7 @@ fn backpressure_spills_to_least_loaded_tile_and_strict_saturates() {
         spill: SpillPolicy::Strict,
         service: slow_config,
         poison_after: 0,
+        ..Default::default()
     };
     let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], strict);
     let p = modulus_homed_on(0, 2, 1_000_003);
@@ -264,6 +268,7 @@ fn soak_shutdown_mid_stream_drains_every_ticket_exactly_once() {
                 ..Default::default()
             },
             poison_after: 3,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -1,0 +1,325 @@
+//! Runtime elasticity: membership change under load. The proptest
+//! pins the minimal-disruption re-homing property (a drain moves
+//! exactly the drained tile's moduli), the soak drains a tile
+//! mid-stream without losing a single accepted ticket, and the
+//! lifecycle test walks drain → probation → re-admission → add
+//! through the public API.
+
+use std::time::Duration;
+
+use modsram_bigint::UBig;
+use modsram_core::cluster::{
+    home_tile_for, rendezvous_ranking, ClusterConfig, ServiceCluster, SpillPolicy, TileState,
+};
+use modsram_core::dispatch::MulJob;
+use modsram_core::service::{ModSramService, ServiceConfig, Ticket};
+use modsram_core::test_util::slow_pool;
+use modsram_core::CoreError;
+use proptest::prelude::*;
+
+fn oracle(job: &MulJob) -> UBig {
+    &(&job.a * &job.b) % &job.modulus
+}
+
+fn quick_config() -> ClusterConfig {
+    ClusterConfig {
+        service: ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 8,
+            flush_interval: Duration::ZERO,
+            pipeline_depth: 1,
+            ..Default::default()
+        },
+        probation_after: 2,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    // Each case stands up (and tears down) a live cluster; keep the
+    // case count modest — the property space is (tiles × drained ×
+    // modulus offset), and 24 cases cover it densely.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **The minimal-disruption property.** Draining tile `d` re-homes
+    /// exactly the moduli whose rendezvous rank-0 was `d` — each to
+    /// its rank-1 tile — and every other modulus keeps its home. This
+    /// is what makes live membership change affordable: a drain costs
+    /// `~1/active` of the moduli one cold context preparation, never a
+    /// global reshuffle.
+    #[test]
+    fn drain_rehomes_exactly_the_drained_tiles_moduli(
+        tiles in 2usize..=5,
+        drained in 0usize..5,
+        offset in 0u64..1000,
+    ) {
+        let drained = drained % tiles;
+        let cluster = ServiceCluster::for_engine_name("barrett", tiles, quick_config()).unwrap();
+        let moduli: Vec<UBig> = (0..40u64)
+            .map(|i| UBig::from(2 * (offset + i) + 101))
+            .collect();
+        let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        // The live router agrees with the standalone planner while
+        // every tile is routable.
+        for (p, &b) in moduli.iter().zip(&before) {
+            prop_assert_eq!(b, home_tile_for(p, tiles));
+        }
+        let report = cluster.drain_tile(drained).unwrap();
+        prop_assert_eq!(report.active_tiles, tiles - 1);
+        prop_assert_eq!(cluster.tile_state(drained), Some(TileState::Drained));
+        for (i, p) in moduli.iter().enumerate() {
+            let after = cluster.home_tile(p);
+            if before[i] == drained {
+                // Moved — and precisely to its rank-1 tile, the next
+                // entry of the full rendezvous ranking.
+                let ranking = rendezvous_ranking(p, tiles);
+                prop_assert_eq!(ranking[0], drained);
+                prop_assert_eq!(
+                    after, ranking[1],
+                    "modulus {} must fail over to its rank-1 tile", i
+                );
+            } else {
+                prop_assert_eq!(
+                    after, before[i],
+                    "modulus {} was not homed on the drained tile and must not move", i
+                );
+            }
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn drain_mid_stream_loses_no_accepted_ticket() {
+    // 4 submitter threads stream against a 4-tile cluster; the main
+    // thread drains one tile while they are mid-stream. Every accepted
+    // ticket must complete exactly once with the right product —
+    // drained-tile jobs via its paused-queue drain, re-routed jobs on
+    // the survivors.
+    let cluster = ServiceCluster::for_engine_name(
+        "montgomery",
+        4,
+        ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 2 },
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 128,
+                max_batch: 16,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            probation_after: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let moduli: Vec<UBig> = [97u64, 1_000_003, 999_979, 0xffff_fffb, 2_000_003, 750_019]
+        .map(UBig::from)
+        .to_vec();
+    // Drain a tile that actually homes at least one tenant, so the
+    // drain forces a live re-home, not a no-op.
+    let victim = cluster.home_tile(&moduli[0]);
+    let all_tickets: std::sync::Mutex<Vec<(MulJob, Ticket)>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let handle = cluster.handle();
+            let moduli = &moduli;
+            let all_tickets = &all_tickets;
+            scope.spawn(move || {
+                let mut tickets: Vec<(MulJob, Ticket)> = Vec::new();
+                for i in 0..4_000u64 {
+                    let p = moduli[((t + i) % 6) as usize].clone();
+                    let job = MulJob::new(
+                        UBig::from(t * 1_000_003 + i * 17 + 1),
+                        UBig::from(t * 999_979 + i * 31 + 2),
+                        p,
+                    );
+                    match handle.submit(job.clone()) {
+                        Ok(ticket) => tickets.push((job, ticket)),
+                        // Only a full shutdown may refuse — a drain
+                        // must be invisible to producers.
+                        Err(e) => panic!("submit failed during a drain: {e}"),
+                    }
+                }
+                all_tickets.lock().unwrap().extend(tickets);
+            });
+        }
+        // Let the submitters build real in-flight depth, then drain
+        // the victim tile under load.
+        std::thread::sleep(Duration::from_millis(15));
+        let report = cluster.drain_tile(victim).expect("live drain succeeds");
+        assert_eq!(report.active_tiles, 3);
+    });
+
+    // Every accepted ticket redeems exactly once, correctly.
+    let tickets = all_tickets.into_inner().unwrap();
+    let accepted = tickets.len() as u64;
+    assert_eq!(accepted, 16_000, "every submission was accepted");
+    for (job, ticket) in &tickets {
+        assert_eq!(ticket.wait().unwrap(), oracle(job));
+    }
+    let stats = cluster.stats();
+    assert_eq!(
+        stats.completed + stats.failed,
+        accepted,
+        "every accepted ticket completed exactly once (no leak, no double-complete)"
+    );
+    assert_eq!(stats.failed, 0, "all moduli are montgomery-valid");
+    // The drained tile is empty and sidelined; its moduli moved.
+    assert_eq!(stats.tiles[victim].state, TileState::Drained);
+    assert_eq!(stats.tiles[victim].health.queue_depth, 0);
+    assert!(stats.tiles[victim].health.paused);
+    assert_ne!(cluster.home_tile(&moduli[0]), victim);
+    assert!(stats.tiles_drained == 1 && stats.moduli_rehomed > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn blocked_submit_rideses_out_a_drain_of_its_home() {
+    // Public-API twin of the in-module stopped-home regression test:
+    // a blocking submit parked on its full home queue must survive
+    // that tile being *drained* mid-wait by re-routing to a live tile.
+    let config = ClusterConfig {
+        spill: SpillPolicy::Strict,
+        service: ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 1,
+            flush_interval: Duration::ZERO,
+            pipeline_depth: 1,
+            ..Default::default()
+        },
+        probation_after: 2,
+        ..Default::default()
+    };
+    let delay = Duration::from_millis(50);
+    let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
+    let p = (0..64u64)
+        .map(|i| UBig::from(1_000_003u64 + 2 * i))
+        .find(|p| cluster.home_tile(p) == 0)
+        .expect("some modulus homes on tile 0");
+    // Saturate tile 0: pipeline first (the batcher empties the queue
+    // within microseconds), then the queue itself.
+    let mut warm = Vec::new();
+    for i in 0..3u64 {
+        if let Ok(t) =
+            cluster.try_submit(MulJob::new(UBig::from(i + 2), UBig::from(3u64), p.clone()))
+        {
+            warm.push(t);
+        }
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    let mut refused = false;
+    for i in 0..8u64 {
+        match cluster.try_submit(MulJob::new(UBig::from(i + 20), UBig::from(3u64), p.clone())) {
+            Ok(t) => warm.push(t),
+            Err(_) => refused = true,
+        }
+    }
+    assert!(refused, "home tile must be saturated first");
+
+    let job = MulJob::new(UBig::from(11u64), UBig::from(13u64), p.clone());
+    let want = oracle(&job);
+    let waiter = std::thread::spawn({
+        let handle = cluster.handle();
+        move || handle.submit(job)
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    // Drain the home under the parked waiter. The drain pauses
+    // admissions (waking the waiter to re-route) and blocks until the
+    // tile's backlog delivers.
+    let report = cluster.drain_tile(0).unwrap();
+    assert_eq!(report.active_tiles, 1);
+    let ticket = waiter
+        .join()
+        .unwrap()
+        .expect("blocked submit must re-route to the live tile, not fail");
+    assert_eq!(ticket.wait().unwrap(), want);
+    // The drain delivered the whole warm backlog too.
+    for t in &warm {
+        assert!(t.is_done(), "drain returned with a pending ticket");
+    }
+    let stats = cluster.stats();
+    assert!(
+        stats.tiles[1].service.submitted >= 1,
+        "re-route landed on tile 1"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn drain_probation_readmit_add_lifecycle() {
+    // The full elasticity loop on one cluster: drain a tile, serve
+    // without it, probe it back in (its moduli come home), then grow
+    // the cluster with a brand-new tile.
+    let cluster = ServiceCluster::for_engine_name("barrett", 3, quick_config()).unwrap();
+    let moduli: Vec<UBig> = (0..30u64).map(|i| UBig::from(2 * i + 1_001)).collect();
+    let run = |tag: u64| {
+        let mut tickets = Vec::new();
+        for (i, p) in moduli.iter().enumerate() {
+            let job = MulJob::new(
+                UBig::from(tag + i as u64 + 2),
+                UBig::from(tag + i as u64 + 3),
+                p.clone(),
+            );
+            let want = oracle(&job);
+            tickets.push((cluster.submit(job).unwrap(), want));
+        }
+        for (t, want) in &tickets {
+            assert_eq!(&t.wait().unwrap(), want);
+        }
+    };
+    run(0);
+    let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+    let victim = before[0];
+    let epoch0 = cluster.membership_epoch();
+
+    // Drain: victim's moduli move, the rest stay (proptest covers the
+    // exact set; here we just exercise the lifecycle end to end).
+    let drained = cluster.drain_tile(victim).unwrap();
+    assert!(drained.epoch > epoch0);
+    assert!(drained.rehomed_moduli > 0, "victim homed tracked moduli");
+    let victim_jobs_before = cluster.stats().tiles[victim].service.submitted;
+    run(100);
+    assert_eq!(
+        cluster.stats().tiles[victim].service.submitted,
+        victim_jobs_before,
+        "a drained tile takes no new work"
+    );
+
+    // Probation: a drained healthy tile passes every probe; after
+    // `probation_after = 2` consecutive passes it is re-admitted and
+    // its moduli return.
+    assert_eq!(cluster.probe_tiles().readmitted, Vec::<usize>::new());
+    let probe = cluster.probe_tiles();
+    assert_eq!(probe.readmitted, vec![victim]);
+    assert_eq!(cluster.tile_state(victim), Some(TileState::Active));
+    let after_readmit: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+    assert_eq!(after_readmit, before, "re-admission restores every home");
+    run(200);
+
+    // Growth: a fresh tile joins at a fresh index and wins only the
+    // moduli it out-scores everywhere.
+    let extra = ModSramService::for_engine_name("barrett", quick_config().service).unwrap();
+    let added = cluster.add_tile(extra).unwrap();
+    assert_eq!(added.tile, 3);
+    assert_eq!(added.active_tiles, 4);
+    for (i, p) in moduli.iter().enumerate() {
+        let h = cluster.home_tile(p);
+        assert!(
+            h == before[i] || h == 3,
+            "modulus {i} may only move onto the new tile"
+        );
+    }
+    run(300);
+    let stats = cluster.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.tiles_drained, 1);
+    assert_eq!(stats.tiles_readmitted, 1);
+    assert_eq!(stats.tiles_added, 1);
+
+    // Membership ops on a stopped cluster are refused.
+    assert_eq!(cluster.drain_tile(0).err(), Some(CoreError::ClusterStopped));
+}

@@ -117,6 +117,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // ---- Elasticity: change tile membership at runtime -------------------
+    // Membership is an epoch-versioned snapshot, so tiles can be
+    // drained for maintenance (admissions pause, the queue delivers
+    // every accepted ticket, and ONLY the drained tile's moduli
+    // re-home — each re-homed modulus pays one cold LUT fill on its
+    // new tile, everyone else's warmth is untouched), re-admitted by
+    // health probation, and added live for capacity.
+    let cluster = ServiceCluster::for_engine_name(
+        "r4csa-lut",
+        3,
+        ClusterConfig {
+            probation_after: 2, // consecutive clean probes to re-admit
+            ..Default::default()
+        },
+    )?;
+    // Route once so the router tracks the modulus (re-home accounting
+    // covers the moduli the cluster has actually seen).
+    cluster
+        .submit(MulJob::new(a.clone(), b.clone(), p.clone()))?
+        .wait()
+        .expect("valid modulus");
+    let victim = cluster.home_tile(&p);
+    let report = cluster.drain_tile(victim)?; // live: safe under traffic
+    println!("\nelasticity:");
+    println!(
+        "  drained tile {victim}   : epoch {}, {} moduli re-homed, {} tiles active",
+        report.epoch, report.rehomed_moduli, report.active_tiles
+    );
+    assert_ne!(cluster.home_tile(&p), victim, "modulus failed over");
+    let ticket = cluster.submit(MulJob::new(a.clone(), b.clone(), p.clone()))?;
+    ticket
+        .wait()
+        .expect("survivors serve the drained tile's moduli");
+    // Probation: the drained tile passes `probation_after` consecutive
+    // health probes and re-enters the routable set; its moduli return
+    // (and pay one LUT refill coming home).
+    cluster.probe_tiles();
+    let probe = cluster.probe_tiles();
+    println!("  re-admitted      : tiles {:?}", probe.readmitted);
+    assert_eq!(cluster.home_tile(&p), victim, "modulus came home");
+    // Growth: a brand-new tile joins at the next index and wins only
+    // the moduli it out-scores everywhere.
+    let extra = ModSramService::for_engine_name("r4csa-lut", ServiceConfig::default())?;
+    let added = cluster.add_tile(extra)?;
+    println!(
+        "  added tile {}     : epoch {}, {} moduli re-homed onto it",
+        added.tile, added.epoch, added.rehomed_moduli
+    );
+    cluster.shutdown();
+
     // ---- The engine layer: prepare once, execute hot -----------------------
     let ctx = R4CsaLutEngine::new().prepare(&p)?;
     let c = ctx.mod_mul(&a, &b)?;

@@ -79,6 +79,34 @@
 //! assert_eq!(stats.affinity_hit_rate(), 1.0); // uncontended: all home
 //! ```
 //!
+//! Cluster membership is **elastic**: tiles can be added, drained for
+//! maintenance, and re-admitted at runtime, with in-flight traffic
+//! routing against epoch-versioned membership snapshots. A drain
+//! pauses the tile, delivers every accepted ticket, and re-homes only
+//! the moduli the tile was rank-0 for — nobody else's LUT warmth is
+//! touched; probation ([`ServiceCluster::probe_tiles`]) brings a
+//! recovered (drained or formerly poisoned) tile back:
+//!
+//! ```
+//! use modsram::{ClusterConfig, ServiceCluster, TileState};
+//!
+//! let config = ClusterConfig { probation_after: 2, ..Default::default() };
+//! let cluster = ServiceCluster::for_engine_name("r4csa-lut", 4, config).unwrap();
+//! // Take tile 2 out for maintenance: admissions pause, its queue
+//! // drains through the normal ticket machinery, its moduli fail over.
+//! let report = cluster.drain_tile(2).unwrap();
+//! assert_eq!(report.active_tiles, 3);
+//! assert_eq!(cluster.tile_state(2), Some(TileState::Drained));
+//! // Health probes re-admit it (probation_after consecutive passes)...
+//! cluster.probe_tiles();
+//! assert_eq!(cluster.probe_tiles().readmitted, vec![2]);
+//! // ...and capacity can grow live with a brand-new tile.
+//! use modsram::{ModSramService, ServiceConfig};
+//! let extra = ModSramService::for_engine_name("r4csa-lut", ServiceConfig::default()).unwrap();
+//! assert_eq!(cluster.add_tile(extra).unwrap().tile, 4);
+//! cluster.shutdown();
+//! ```
+//!
 //! Batch consumers — `apps::ecdsa::verify_batch_via`, the dispatched
 //! NTT stages, `msm_dispatched` over a `*_via` curve — accept an
 //! [`arch::service::ExecBackend`], so the same code runs one-shot
@@ -87,8 +115,8 @@
 //! ([`ExecBackend::Cluster`](arch::service::ExecBackend::Cluster))
 //! where heterogeneous tenants (ECDSA + Pedersen + NTT) interleave
 //! with per-modulus tile affinity. The [`SpillPolicy`] trade-offs
-//! (affinity and LUT-refill cost vs tail latency under skew) are
-//! documented in [`arch::cluster`].
+//! (affinity and LUT-refill cost vs tail latency under skew) and the
+//! add/drain/probation lifecycle are documented in [`arch::cluster`].
 //!
 //! # The engine layer: prepare/execute
 //!
@@ -159,7 +187,8 @@
 // serving entry points; re-export them (and the job type they
 // consume) at the crate root.
 pub use modsram_core::cluster::{
-    ClusterConfig, ClusterHandle, ClusterStats, ServiceCluster, SpillPolicy,
+    BulkSubmitFailure, ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError,
+    MembershipChange, ProbeReport, ServiceCluster, SpillPolicy, TileState,
 };
 pub use modsram_core::dispatch::MulJob;
 pub use modsram_core::service::{

@@ -149,6 +149,7 @@ fn heterogeneous_tenants_interleave_on_a_cluster() {
                 ..Default::default()
             },
             poison_after: 3,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -296,6 +297,7 @@ proptest! {
                     ..Default::default()
                 },
                 poison_after: 3,
+                ..Default::default()
             },
         )
         .unwrap();
