@@ -248,6 +248,200 @@ pub fn batch_throughput(bits: usize, pairs: usize, seed: u64) -> Vec<BatchThroug
         .collect()
 }
 
+/// One engine × bitwidth point of the lane-vectorization sweep behind
+/// `results/hotpath_sweep.json`: the forced scalar batch path against
+/// the forced laned batch path on identical operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathSweepRow {
+    /// Engine name from the registry.
+    pub engine: &'static str,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Pairs multiplied per mode.
+    pub pairs: usize,
+    /// Lane count of the laned pass.
+    pub lanes: usize,
+    /// Nanoseconds per multiplication, forced scalar batch (best pass).
+    pub scalar_ns: f64,
+    /// Nanoseconds per multiplication, forced laned batch (best pass).
+    pub laned_ns: f64,
+    /// `scalar_ns / laned_ns` — the lane-vectorization win.
+    pub speedup: f64,
+}
+
+/// The engines with a structure-of-arrays laned batch path, in sweep
+/// order.
+pub const HOTPATH_ENGINES: [&str; 4] = ["montgomery", "barrett", "r4csa-lut", "carryfree"];
+
+/// Runs the scalar-vs-laned sweep at each bitwidth over `pairs` operand
+/// pairs with multiplicand reuse runs of 8 (so the R4CSA run detection
+/// sees the same locality the coalescing batcher produces). Each mode is
+/// timed best-of-`reps`; both modes are asserted identical to the
+/// big-integer oracle every pass.
+///
+/// # Panics
+///
+/// Panics if either path diverges from the oracle — an engine bug, not
+/// a measurement artifact.
+pub fn hotpath_sweep(
+    bits_list: &[usize],
+    pairs_for_bits: impl Fn(usize) -> usize,
+    reps: usize,
+    seed: u64,
+) -> Vec<HotpathSweepRow> {
+    use modsram_modmul::DEFAULT_LANES;
+    let mut rows = Vec::new();
+    for &bits in bits_list {
+        let pairs = pairs_for_bits(bits).max(1);
+        let p = sweep_modulus(bits);
+        let mut rng = SmallRng::seed_from_u64(seed ^ bits as u64);
+        let operands: Vec<(UBig, UBig)> = {
+            let mut out = Vec::with_capacity(pairs);
+            let mut b = ubig_below(&mut rng, &p);
+            for i in 0..pairs {
+                if i % 8 == 0 {
+                    b = ubig_below(&mut rng, &p);
+                }
+                out.push((ubig_below(&mut rng, &p), b.clone()));
+            }
+            out
+        };
+        let oracle: Vec<UBig> = operands.iter().map(|(a, b)| &(a * b) % &p).collect();
+        for name in HOTPATH_ENGINES {
+            let engine = engine_by_name(name).expect("registry name");
+            let prep = engine.prepare(&p).expect("odd sweep modulus");
+            let mut scalar_best = f64::INFINITY;
+            let mut laned_best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                let scalar = prep.mod_mul_batch_scalar(&operands).expect("scalar path");
+                scalar_best = scalar_best.min(start.elapsed().as_secs_f64());
+                let start = Instant::now();
+                let laned = prep
+                    .mod_mul_batch_laned(&operands, DEFAULT_LANES)
+                    .expect("laned path");
+                laned_best = laned_best.min(start.elapsed().as_secs_f64());
+                assert_eq!(scalar, oracle, "{name}: scalar diverged at {bits} bits");
+                assert_eq!(laned, oracle, "{name}: laned diverged at {bits} bits");
+            }
+            let scalar_ns = scalar_best * 1e9 / pairs as f64;
+            let laned_ns = laned_best * 1e9 / pairs as f64;
+            rows.push(HotpathSweepRow {
+                engine: name,
+                bits,
+                pairs,
+                lanes: DEFAULT_LANES,
+                scalar_ns,
+                laned_ns,
+                speedup: scalar_ns / laned_ns,
+            });
+        }
+    }
+    rows
+}
+
+/// One end-to-end point of the hot-path sweep: streamed throughput of a
+/// multi-tile cluster whose tiles now execute the laned batch kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathStreamRow {
+    /// Engine name from the registry.
+    pub engine: &'static str,
+    /// Operand bitwidth.
+    pub bits: usize,
+    /// Jobs streamed per pass.
+    pub jobs: usize,
+    /// Cluster tiles.
+    pub tiles: usize,
+    /// Concurrent submitter threads.
+    pub submitters: usize,
+    /// Streamed throughput, jobs per second (best of three).
+    pub jobs_per_s: f64,
+}
+
+/// Streams `jobs` random jobs (multiplicand runs of 8) through a
+/// `tiles`-tile [`ServiceCluster`] on `engine` and reports the best
+/// closed-loop throughput of three passes. Every ticket is checked
+/// against the big-integer oracle.
+pub fn hotpath_streamed(
+    engine: &'static str,
+    bits: usize,
+    jobs: usize,
+    tiles: usize,
+    submitters: usize,
+    seed: u64,
+) -> HotpathStreamRow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = sweep_modulus(bits);
+    let job_list: Vec<MulJob> = {
+        let mut out = Vec::with_capacity(jobs);
+        let mut b = ubig_below(&mut rng, &p);
+        for i in 0..jobs {
+            if i % 8 == 0 {
+                b = ubig_below(&mut rng, &p);
+            }
+            out.push(MulJob::new(ubig_below(&mut rng, &p), b.clone(), p.clone()));
+        }
+        out
+    };
+    let oracle: Vec<UBig> = job_list
+        .iter()
+        .map(|j| &(&j.a * &j.b) % &j.modulus)
+        .collect();
+
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let cluster = ServiceCluster::for_engine_name(
+            engine,
+            tiles,
+            ClusterConfig {
+                service: ServiceConfig {
+                    workers: 2,
+                    queue_capacity: 8192,
+                    max_batch: 256,
+                    flush_interval: Duration::from_micros(50),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for s in 0..submitters {
+                let handle = cluster.handle();
+                let job_list = &job_list;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mine: Vec<usize> = (0..job_list.len())
+                        .filter(|i| i % submitters == s)
+                        .collect();
+                    let tickets: Vec<Ticket> = mine
+                        .iter()
+                        .map(|&i| handle.submit(job_list[i].clone()).expect("running"))
+                        .collect();
+                    for (&i, ticket) in mine.iter().zip(&tickets) {
+                        assert_eq!(
+                            ticket.wait().expect("valid modulus"),
+                            oracle[i],
+                            "streamed job {i} diverged"
+                        );
+                    }
+                });
+            }
+        });
+        best = best.min(start.elapsed().as_secs_f64());
+        cluster.shutdown();
+    }
+    HotpathStreamRow {
+        engine,
+        bits,
+        jobs,
+        tiles,
+        submitters,
+        jobs_per_s: jobs as f64 / best,
+    }
+}
+
 /// Picks the sweep modulus for a bitwidth (shared by the batch and
 /// shard sweeps): the named 64/256-bit primes, else a full-width odd
 /// value.
@@ -1469,7 +1663,7 @@ mod tests {
         // Small sweep: correctness of the three modes is asserted inside
         // batch_throughput; here we check coverage and sane timings.
         let rows = batch_throughput(64, 8, 7);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         for row in &rows {
             assert!(row.per_call_ns > 0.0 && row.batch_ns > 0.0, "{:?}", row);
         }

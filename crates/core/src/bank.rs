@@ -188,9 +188,7 @@ impl BankedModSram {
     /// [`CoreError::UnknownEngine`] for a name absent from the
     /// registry; otherwise as [`BankedModSram::with_engine`].
     pub fn with_engine_name(n_banks: usize, name: &str, p: &UBig) -> Result<Self, CoreError> {
-        let engine = engine_by_name(name).ok_or_else(|| CoreError::UnknownEngine {
-            name: name.to_string(),
-        })?;
+        let engine = engine_by_name(name).ok_or_else(|| CoreError::unknown_engine(name))?;
         Self::with_engine(n_banks, engine.as_ref(), p)
     }
 
@@ -415,12 +413,13 @@ mod tests {
     fn unknown_engine_name_is_reported() {
         let err =
             BankedModSram::with_engine_name(2, "no-such-engine", &UBig::from(97u64)).unwrap_err();
-        assert_eq!(
-            err,
-            CoreError::UnknownEngine {
-                name: "no-such-engine".into()
-            }
-        );
+        assert_eq!(err, CoreError::unknown_engine("no-such-engine"));
+        // The message names every registered engine so the fix is in the
+        // error itself.
+        let msg = err.to_string();
+        assert!(msg.contains("'no-such-engine'"), "{msg}");
+        assert!(msg.contains("r4csa-lut"), "{msg}");
+        assert!(msg.contains("carryfree"), "{msg}");
     }
 
     #[test]

@@ -981,9 +981,7 @@ impl ServiceCluster {
     ) -> Result<Self, CoreError> {
         let pools: Result<Vec<ContextPool>, CoreError> = (0..tiles.max(1))
             .map(|_| {
-                ContextPool::for_engine_name(name).ok_or_else(|| CoreError::UnknownEngine {
-                    name: name.to_string(),
-                })
+                ContextPool::for_engine_name(name).ok_or_else(|| CoreError::unknown_engine(name))
             })
             .collect();
         Ok(Self::new(pools?, config))

@@ -69,11 +69,10 @@ use modsram_modmul::{EngineCtor, ModMulError, PreparedModMul, ENGINE_REGISTRY};
 use crate::error::CoreError;
 use crate::modsram::{ModSramConfig, PreparedModSram};
 
-/// Relative cost (in multiplication-equivalents) charged per
-/// multiplicand change when estimating chunk costs: rebuilding the five
-/// Table 1b wordlines plus the near-memory derivations is on the order
-/// of several multiplications' worth of row writes.
-pub const LUT_REFILL_COST: u64 = 8;
+// The refill cost constant moved to `crate::cycles` alongside the other
+// modelled-cycle numbers; the re-export keeps `dispatch::LUT_REFILL_COST`
+// paths compiling.
+pub use crate::cycles::LUT_REFILL_COST;
 
 /// A contiguous slice of the work queue plus its estimated cost.
 #[derive(Debug, Clone, PartialEq, Eq)]

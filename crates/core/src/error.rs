@@ -35,10 +35,13 @@ pub enum CoreError {
     /// An algorithm-level error (zero modulus etc.).
     ModMul(ModMulError),
     /// A bank/dispatch construction named an engine absent from the
-    /// registry.
+    /// registry. Build it with [`CoreError::unknown_engine`] so the
+    /// message lists what *is* registered.
     UnknownEngine {
         /// The name that failed to resolve.
         name: String,
+        /// The names that would have resolved, in registry order.
+        known: Vec<String>,
     },
     /// A shared lock was poisoned by a panicking holder; the protected
     /// state can no longer be trusted, so the operation is refused
@@ -94,6 +97,21 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Builds [`CoreError::UnknownEngine`] for `name`, capturing the
+    /// registry's current engine list so the message tells the caller
+    /// what would have worked.
+    pub fn unknown_engine(name: &str) -> Self {
+        CoreError::UnknownEngine {
+            name: name.to_string(),
+            known: modsram_modmul::engine_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -114,8 +132,12 @@ impl fmt::Display for CoreError {
             CoreError::NoModulus => write!(f, "no modulus loaded"),
             CoreError::NoMultiplicand => write!(f, "no multiplicand loaded"),
             CoreError::ModMul(e) => write!(f, "{e}"),
-            CoreError::UnknownEngine { name } => {
-                write!(f, "no engine named '{name}' in the registry")
+            CoreError::UnknownEngine { name, known } => {
+                write!(
+                    f,
+                    "no engine named '{name}' in the registry (registered: {})",
+                    known.join(", ")
+                )
             }
             CoreError::PoisonedLock { what } => {
                 write!(f, "the {what} lock was poisoned by a panicking holder")
@@ -177,5 +199,19 @@ mod tests {
         assert_eq!(e.to_string(), "operand width 300 exceeds array columns 256");
         let e: CoreError = ModMulError::ZeroModulus.into();
         assert_eq!(e.to_string(), "modulus must be non-zero");
+    }
+
+    #[test]
+    fn unknown_engine_lists_the_registry() {
+        let e = CoreError::unknown_engine("no-such-engine");
+        let msg = e.to_string();
+        assert!(
+            msg.starts_with("no engine named 'no-such-engine' in the registry"),
+            "unexpected message: {msg}"
+        );
+        // Every registered name must appear so a typo is self-correcting.
+        for name in modsram_modmul::engine_names() {
+            assert!(msg.contains(name), "message misses '{name}': {msg}");
+        }
     }
 }

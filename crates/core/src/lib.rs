@@ -23,6 +23,10 @@
 //!   unchanged — the paper's data-reuse claim), executes multiplications,
 //!   and optionally verifies every phase against the word-level
 //!   functional model from `modsram-modmul` in lock-step.
+//! * [`cycles`] — the single home of the modelled-cycle constants and
+//!   formulas (`6k − 1` per multiplication, the 13-wordline refill
+//!   charge, per-engine latency models) shared by the service,
+//!   dispatcher, and benches.
 //! * [`dispatch`] — the staged serving layer: a work-stealing
 //!   [`dispatch::Dispatcher`] over chunked batches, a per-modulus
 //!   (optionally LRU-bounded) [`dispatch::ContextPool`], and the
@@ -59,6 +63,7 @@
 pub mod bank;
 pub mod cluster;
 mod controller;
+pub mod cycles;
 pub mod dispatch;
 mod error;
 pub mod isa;
@@ -75,6 +80,10 @@ pub use bank::{BankedModSram, BatchStats};
 pub use cluster::{
     ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError, ServiceCluster, SpillPolicy,
     TileStats,
+};
+pub use cycles::{
+    modelled_batch_cycles, modelled_engine_mul_cycles, modelled_mul_cycles, LUT_REFILL_COST,
+    MODELLED_REFILL_CYCLES,
 };
 pub use dispatch::{ContextPool, DispatchStats, Dispatcher, MulJob, StealPolicy};
 pub use error::CoreError;

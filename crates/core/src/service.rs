@@ -61,57 +61,14 @@ use modsram_bigint::UBig;
 use modsram_modmul::{ModMulError, PreparedModMul};
 
 use crate::cluster::ServiceCluster;
-use crate::dispatch::{
-    plan_job_chunks, seed_assignments, ContextPool, Dispatcher, MulJob, StealPolicy,
-};
+use crate::dispatch::{ContextPool, Dispatcher, MulJob, StealPolicy};
 use crate::error::CoreError;
 use crate::modsram::ModSramConfig;
 
-/// Wordline rewrites charged per multiplicand change in the modelled
-/// latency estimate: the 5 radix-4 rows of Table 1b plus the 8
-/// overflow-LUT rows are rewritten whenever `B` changes.
-pub const MODELLED_REFILL_CYCLES: u64 = 13;
-
-/// Modelled cycles of one R4CSA-LUT multiplication at `bits` operand
-/// width: `6·⌈bits/2⌉ − 1` (the paper's Table 3 formula — 767 cycles at
-/// 256 bits).
-pub fn modelled_mul_cycles(bits: usize) -> u64 {
-    let digits = bits.div_ceil(2).max(1) as u64;
-    6 * digits - 1
-}
-
-/// Modelled makespan, in device cycles, of executing `jobs` as one
-/// coalesced batch over `workers` lanes: chunks are planned and seeded
-/// exactly as the dispatcher would, each chunk is costed with
-/// [`modelled_mul_cycles`] per job plus [`MODELLED_REFILL_CYCLES`] per
-/// multiplicand change, and the makespan is the busiest lane's total.
-pub fn modelled_batch_cycles(jobs: &[MulJob], workers: usize, chunk_target: usize) -> u64 {
-    if jobs.is_empty() {
-        return 0;
-    }
-    let chunks = plan_job_chunks(jobs, chunk_target);
-    let cycles: Vec<u64> = chunks
-        .iter()
-        .map(|c| {
-            let mut cyc = 0u64;
-            let mut prev: Option<&UBig> = None;
-            for job in &jobs[c.range.clone()] {
-                cyc += modelled_mul_cycles(job.modulus.bit_len());
-                if prev != Some(&job.b) {
-                    cyc += MODELLED_REFILL_CYCLES;
-                }
-                prev = Some(&job.b);
-            }
-            cyc
-        })
-        .collect();
-    let lanes = workers.min(chunks.len()).max(1);
-    seed_assignments(&chunks, lanes)
-        .iter()
-        .map(|ids| ids.iter().map(|&i| cycles[i]).sum::<u64>())
-        .max()
-        .unwrap_or(0)
-}
+// The modelled-cycle constants and formulas were defined here before
+// `crate::cycles` became their shared home; the re-export keeps every
+// historical `service::modelled_*` path compiling.
+pub use crate::cycles::{modelled_batch_cycles, modelled_mul_cycles, MODELLED_REFILL_CYCLES};
 
 /// Tuning knobs of a [`ModSramService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -856,9 +813,8 @@ impl ModSramService {
     /// [`CoreError::UnknownEngine`] for a name absent from the
     /// registry.
     pub fn for_engine_name(name: &str, config: ServiceConfig) -> Result<Self, CoreError> {
-        let pool = ContextPool::for_engine_name(name).ok_or_else(|| CoreError::UnknownEngine {
-            name: name.to_string(),
-        })?;
+        let pool =
+            ContextPool::for_engine_name(name).ok_or_else(|| CoreError::unknown_engine(name))?;
         Ok(Self::new(pool, config))
     }
 

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use modsram_bigint::UBig;
 
+use crate::lanes::{BarrettLanes, DEFAULT_LANES, LANE_MIN_PAIRS};
 use crate::prepared::{canonical, check_modulus};
 use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
@@ -25,6 +26,8 @@ pub struct PreparedBarrett {
     /// Widest intermediate (bits) seen since preparation — demonstrates
     /// the 3n-bit blow-up of §3 even on the shared hot path.
     peak_intermediate_bits: AtomicUsize,
+    /// The structure-of-arrays kernel behind the laned batch path.
+    lanes: BarrettLanes,
 }
 
 impl Clone for PreparedBarrett {
@@ -36,6 +39,7 @@ impl Clone for PreparedBarrett {
             peak_intermediate_bits: AtomicUsize::new(
                 self.peak_intermediate_bits.load(Ordering::Relaxed),
             ),
+            lanes: self.lanes.clone(),
         }
     }
 }
@@ -55,6 +59,7 @@ impl PreparedBarrett {
             mu,
             k,
             peak_intermediate_bits: AtomicUsize::new(0),
+            lanes: BarrettLanes::new(p)?,
         })
     }
 
@@ -103,9 +108,22 @@ impl PreparedModMul for PreparedBarrett {
         Ok(self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
     }
 
-    /// Batch override: the `p = 1` check is hoisted out of the loop and
-    /// each pair runs the same path as [`PreparedModMul::mod_mul`].
+    /// Batch override: long batches take the lane-vectorized kernel
+    /// ([`crate::lanes::BarrettLanes`]), short ones the scalar path (the
+    /// transpose doesn't amortise). The laned kernel does not record the
+    /// intermediate-width probe — it never materialises the 3n-bit
+    /// value as one big integer in the first place.
     fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if pairs.len() >= LANE_MIN_PAIRS {
+            self.mod_mul_batch_laned(pairs, DEFAULT_LANES)
+        } else {
+            self.mod_mul_batch_scalar(pairs)
+        }
+    }
+
+    /// The pre-lanes batch path: the `p = 1` check hoisted, each pair on
+    /// the same scalar sequence as [`PreparedModMul::mod_mul`].
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
         if self.p.is_one() {
             return Ok(vec![UBig::zero(); pairs.len()]);
         }
@@ -113,6 +131,14 @@ impl PreparedModMul for PreparedBarrett {
             .iter()
             .map(|(a, b)| self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
             .collect())
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        Ok(self.lanes.mod_mul_batch(pairs, lanes))
     }
 }
 

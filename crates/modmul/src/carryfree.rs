@@ -1,0 +1,321 @@
+//! **Carry-free** modular multiplication — Mazonka-style carry-save
+//! accumulation with bit-inspection reduction (arXiv 2207.14401).
+//!
+//! The R4CSA-LUT loop ([`crate::r4csa`]) already keeps the accumulator
+//! in redundant `(sum, carry)` form, but it is tied to radix-4 Booth
+//! digits and a per-multiplicand Table 1b. This engine is the radix-2
+//! distillation of the same idea: per multiplier bit (MSB first) the
+//! window shifts left once, the multiplicand is carry-save-added when
+//! the bit is set, and reduction happens purely by **inspecting the
+//! bits that escape the window** — the shifted-out sum/carry bits, the
+//! CSA carry-out, and last iteration's deferred carry together index a
+//! tiny table of `(w·2^W) mod p` rows that is re-injected carry-save.
+//! No carry is ever propagated until the final near-memory normalize
+//! (`sum + carry (+ pending·2^W) mod p`).
+//!
+//! Two properties distinguish it in the zoo:
+//!
+//! * **Any modulus parity.** Nothing needs an inverse of `p`, so even
+//!   moduli work (unlike Montgomery) — the reduction table is plain
+//!   modular arithmetic, as in [`crate::LutOverflow`], which this
+//!   engine reuses at window `bit_len(p) + 1`.
+//! * **Per-iteration state is O(1) beyond the window.** The overflow
+//!   word is at most `ov_s + ov_c + msb + 2·pending ≤ 5`, so the
+//!   paper-style 8-row table always suffices (the shared table type
+//!   holds 16).
+//!
+//! The loop invariant, property-tested in `tests/proptests.rs` and
+//! cross-checked against Montgomery in `prepared.rs` tests, is
+//!
+//! ```text
+//! sum + carry + pending·2^W  ≡  (processed prefix of A)·B   (mod p)
+//! ```
+//!
+//! The prepared context also carries a [`CarryFreeLanes`] kernel, so
+//! batches of at least [`LANE_MIN_PAIRS`] pairs run the
+//! structure-of-arrays laned path ([`crate::lanes`]); unlike R4CSA-LUT,
+//! laning needs no shared multiplicand, so the whole batch vectorizes.
+
+use std::sync::Arc;
+
+use modsram_bigint::UBig;
+
+use crate::lanes::{CarryFreeLanes, DEFAULT_LANES, LANE_MIN_PAIRS};
+use crate::prepared::{canonical, check_modulus};
+use crate::{CsaState, CycleModel, LutOverflow, ModMulEngine, ModMulError, PreparedModMul};
+
+/// Largest overflow index the radix-2 accounting can produce:
+/// `1 + 1 + 1 + 2·1`.
+pub const MAX_OVERFLOW_INDEX: usize = 5;
+
+/// Thread-safe prepared context for the carry-free engine: the
+/// reduction table (`w·2^W mod p` rows) and the window width are fixed
+/// per modulus; per-multiplication state is just the windowed
+/// `(sum, carry)` pair and one deferred carry bit.
+#[derive(Debug, Clone)]
+pub struct PreparedCarryFree {
+    p: UBig,
+    /// Register window `W = bit_len(p) + 1`.
+    width: usize,
+    /// Re-injection rows `(w·2^W) mod p`, shared with any concurrent
+    /// caller.
+    red: Arc<LutOverflow>,
+    lanes: CarryFreeLanes,
+}
+
+impl PreparedCarryFree {
+    /// Performs the per-modulus precomputation (reduction rows).
+    ///
+    /// # Errors
+    ///
+    /// [`ModMulError::ZeroModulus`] for `p = 0`. Even moduli are fine.
+    pub fn new(p: &UBig) -> Result<Self, ModMulError> {
+        check_modulus(p)?;
+        let width = p.bit_len().max(1) + 1;
+        let red = Arc::new(LutOverflow::new(p, width)?);
+        let lanes = CarryFreeLanes::new(p, &red);
+        Ok(PreparedCarryFree {
+            p: p.clone(),
+            width,
+            red,
+            lanes,
+        })
+    }
+
+    /// The reduction table (reused as Table 2 is in R4CSA-LUT).
+    pub fn reduction_table(&self) -> &LutOverflow {
+        self.red.as_ref()
+    }
+
+    /// One multiplication over canonical operands: the scalar bit loop.
+    fn mul_canonical(&self, a: &UBig, b: &UBig) -> UBig {
+        let mut state = CsaState::new(self.width);
+        let mut pending = 0u8;
+        for i in (0..a.bit_len()).rev() {
+            // C ← 2·C, capturing the bit dropped from each word.
+            let (ov_s, ov_c) = state.shl1();
+            // Conditional CSA injection of B (bit-serial partial product).
+            let msb = if a.bit(i) { state.inject(b).1 } else { 0 };
+            // Bit inspection: every escaped bit has weight 2^W except the
+            // deferred carry, which the shift just doubled.
+            let ov = ov_s as usize + ov_c as usize + msb as usize + 2 * pending as usize;
+            debug_assert!(ov <= MAX_OVERFLOW_INDEX);
+            let (_, pending_out) = state.inject(&self.red.value(ov).clone());
+            pending = pending_out;
+        }
+        // The only carry propagation in the whole multiplication.
+        let mut total = state.value();
+        if pending != 0 {
+            total = &total + &UBig::pow2(self.width);
+        }
+        &total % &self.p
+    }
+}
+
+impl PreparedModMul for PreparedCarryFree {
+    fn engine_name(&self) -> &'static str {
+        "carryfree"
+    }
+
+    fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        if self.p.is_one() {
+            return Ok(UBig::zero());
+        }
+        Ok(self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+    }
+
+    /// Batch override: long batches take the laned SoA kernel, short
+    /// ones the scalar loop (the transpose doesn't amortise).
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if pairs.len() >= LANE_MIN_PAIRS {
+            self.mod_mul_batch_laned(pairs, DEFAULT_LANES)
+        } else {
+            self.mod_mul_batch_scalar(pairs)
+        }
+    }
+
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if self.p.is_one() {
+            return Ok(vec![UBig::zero(); pairs.len()]);
+        }
+        Ok(pairs
+            .iter()
+            .map(|(a, b)| self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
+            .collect())
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        Ok(self.lanes.mod_mul_batch(pairs, lanes))
+    }
+}
+
+/// The carry-free functional engine (eighth registry entry).
+///
+/// The legacy entry point keeps a per-modulus cache of the prepared
+/// context plus instrumentation counters; the prepared context is the
+/// hot path.
+#[derive(Debug, Clone, Default)]
+pub struct CarryFreeEngine {
+    cache: Option<PreparedCarryFree>,
+    /// Multiplier bits processed across the engine's lifetime (= loop
+    /// iterations, since the loop is one iteration per bit).
+    pub bits_processed: u64,
+}
+
+impl CarryFreeEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cache_for(&mut self, p: &UBig) -> Result<&PreparedCarryFree, ModMulError> {
+        let stale = match &self.cache {
+            Some(c) => c.modulus() != p,
+            None => true,
+        };
+        if stale {
+            self.cache = Some(PreparedCarryFree::new(p)?);
+        }
+        Ok(self.cache.as_ref().expect("cache just filled"))
+    }
+}
+
+impl ModMulEngine for CarryFreeEngine {
+    fn name(&self) -> &'static str {
+        "carryfree"
+    }
+
+    fn prepare(&self, p: &UBig) -> Result<Box<dyn PreparedModMul>, ModMulError> {
+        Ok(Box::new(PreparedCarryFree::new(p)?))
+    }
+
+    fn mod_mul(&mut self, a: &UBig, b: &UBig, p: &UBig) -> Result<UBig, ModMulError> {
+        if p.is_zero() {
+            return Err(ModMulError::ZeroModulus);
+        }
+        let a = a % p;
+        let b = b % p;
+        self.bits_processed += a.bit_len() as u64;
+        let cache = self.cache_for(p)?;
+        cache.mod_mul(&a, &b)
+    }
+}
+
+impl CycleModel for CarryFreeEngine {
+    /// `3n + 2` cycles: one shift and two CSA injections per multiplier
+    /// bit — every phase is carry-propagation-free — plus a two-cycle
+    /// near-memory normalize. Twice the iterations of R4CSA-LUT's Booth
+    /// loop, but with no Table 1b refill on a multiplicand change.
+    fn cycles(&self, n_bits: usize) -> u64 {
+        3 * n_bits as u64 + 2
+    }
+
+    fn model_description(&self) -> &'static str {
+        "3 cycles per multiplier bit (shift + two CSA phases), carry propagation only at normalize"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectEngine;
+
+    #[test]
+    fn exhaustive_small_moduli_any_parity() {
+        let mut e = CarryFreeEngine::new();
+        let mut oracle = DirectEngine::new();
+        for p in 1u64..=32 {
+            for a in 0..p {
+                for b in 0..p {
+                    let (pa, pb, pp) = (UBig::from(a), UBig::from(b), UBig::from(p));
+                    assert_eq!(
+                        e.mod_mul(&pa, &pb, &pp).unwrap(),
+                        oracle.mod_mul(&pa, &pb, &pp).unwrap(),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_even_moduli() {
+        let prep = PreparedCarryFree::new(&UBig::from(100u64)).unwrap();
+        assert_eq!(
+            prep.mod_mul(&UBig::from(77u64), &UBig::from(88u64))
+                .unwrap(),
+            UBig::from(77u64 * 88 % 100)
+        );
+    }
+
+    #[test]
+    fn secp256k1_sized_operands() {
+        let p = UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        let a = &UBig::pow2(255) + &UBig::from(12345u64);
+        let b = &UBig::pow2(200) + &UBig::from(6789u64);
+        let prep = PreparedCarryFree::new(&p).unwrap();
+        assert_eq!(prep.mod_mul(&a, &b).unwrap(), &(&a * &b) % &p);
+    }
+
+    #[test]
+    fn batch_scalar_and_laned_agree_with_oracle() {
+        let p = &UBig::pow2(128) - &UBig::from(159u64);
+        let prep = PreparedCarryFree::new(&p).unwrap();
+        let pairs: Vec<(UBig, UBig)> = (1..20u64)
+            .map(|i| {
+                (
+                    &UBig::pow2(120) + &UBig::from(i * 7919),
+                    &UBig::pow2(99) + &UBig::from(i * 104729),
+                )
+            })
+            .collect();
+        let want: Vec<UBig> = pairs.iter().map(|(a, b)| &(a * b) % &p).collect();
+        assert_eq!(prep.mod_mul_batch_scalar(&pairs).unwrap(), want);
+        for lanes in [1, 3, 8, 16] {
+            assert_eq!(prep.mod_mul_batch_laned(&pairs, lanes).unwrap(), want);
+        }
+        assert_eq!(prep.mod_mul_batch(&pairs).unwrap(), want);
+    }
+
+    #[test]
+    fn modulus_edge_cases() {
+        assert_eq!(
+            PreparedCarryFree::new(&UBig::zero()).err(),
+            Some(ModMulError::ZeroModulus)
+        );
+        let one = PreparedCarryFree::new(&UBig::one()).unwrap();
+        assert_eq!(
+            one.mod_mul(&UBig::from(5u64), &UBig::from(7u64)).unwrap(),
+            UBig::zero()
+        );
+        assert_eq!(
+            one.mod_mul_batch(&vec![(UBig::from(5u64), UBig::from(7u64)); 6])
+                .unwrap(),
+            vec![UBig::zero(); 6]
+        );
+    }
+
+    #[test]
+    fn cycle_model_is_linear_in_bits() {
+        let e = CarryFreeEngine::new();
+        assert_eq!(e.cycles(256), 3 * 256 + 2);
+        assert!(!e.model_description().is_empty());
+    }
+
+    #[test]
+    fn reduction_table_window_matches_modulus() {
+        let p = UBig::from(0xffff_fffb_u64);
+        let prep = PreparedCarryFree::new(&p).unwrap();
+        assert_eq!(prep.reduction_table().width(), p.bit_len() + 1);
+        assert_eq!(prep.reduction_table().modulus(), &p);
+    }
+}

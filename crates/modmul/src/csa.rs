@@ -92,6 +92,17 @@ impl CsaState {
         (ov_s, ov_c)
     }
 
+    /// Radix-2 variant of [`Self::shl2`] for the carry-free engine's
+    /// per-bit loop: `C ← 2·C`, returning the single bit shifted out of
+    /// each word.
+    pub fn shl1(&mut self) -> (u8, u8) {
+        let ov_s = (&self.sum >> (self.width - 1)).low_u64() as u8;
+        let ov_c = (&self.carry >> (self.width - 1)).low_u64() as u8;
+        self.sum = (&self.sum << 1).low_bits(self.width);
+        self.carry = (&self.carry << 1).low_bits(self.width);
+        (ov_s, ov_c)
+    }
+
     /// One carry-save injection (either LUT phase of Algorithm 3):
     ///
     /// 1. `XOR3(value, sum, carry)` → new sum,

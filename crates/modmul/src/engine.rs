@@ -143,6 +143,7 @@ registry_ctor!(make_radix8, crate::Radix8Engine);
 registry_ctor!(make_r4csa, crate::R4CsaLutEngine);
 registry_ctor!(make_montgomery, crate::MontgomeryEngine);
 registry_ctor!(make_barrett, crate::BarrettEngine);
+registry_ctor!(make_carryfree, crate::CarryFreeEngine);
 
 /// The engine registry: `(name, constructor)` for every functional
 /// engine, in sweep/report order. Sweeps iterate this; lookup by name is
@@ -155,7 +156,14 @@ pub const ENGINE_REGISTRY: &[(&str, EngineCtor)] = &[
     ("r4csa-lut", make_r4csa),
     ("montgomery", make_montgomery),
     ("barrett", make_barrett),
+    ("carryfree", make_carryfree),
 ];
+
+/// The names of every registered engine, in registry order — used for
+/// diagnostics such as `UnknownEngine` error messages.
+pub fn engine_names() -> Vec<&'static str> {
+    ENGINE_REGISTRY.iter().map(|(n, _)| *n).collect()
+}
 
 /// All functional engines, boxed, for cross-checking sweeps — a thin
 /// view over [`ENGINE_REGISTRY`].
@@ -194,7 +202,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_contains_all_seven() {
+    fn registry_contains_all_eight() {
         let names: Vec<&str> = all_engines().iter().map(|e| e.name()).collect();
         assert_eq!(
             names,
@@ -205,9 +213,11 @@ mod tests {
                 "radix8",
                 "r4csa-lut",
                 "montgomery",
-                "barrett"
+                "barrett",
+                "carryfree"
             ]
         );
+        assert_eq!(engine_names(), names);
     }
 
     #[test]

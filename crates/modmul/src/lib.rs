@@ -12,9 +12,15 @@
 //!   form executed in SRAM by `modsram-core`.
 //! * [`montgomery`] / [`barrett`] — the "reduce after multiplying" family
 //!   discussed in §3 (2n-/3n-bit intermediates, conversion costs).
+//! * [`carryfree`] — Mazonka-style radix-2 carry-save multiplication
+//!   with bit-inspection reduction: no carry propagation until the
+//!   final normalize, any modulus parity.
 //! * [`csa`] — carry-save primitives (`XOR3`, `MAJ`) and the windowed
 //!   register model shared with the hardware simulator.
 //! * [`lut`] — the two precomputed tables (Tables 1b and 2).
+//! * [`lanes`] — the structure-of-arrays batch kernels behind
+//!   `mod_mul_batch`: coalesced runs transposed into limb-major lanes
+//!   so several multiplications advance per limb pass.
 //!
 //! Every engine implements [`ModMulEngine`], so they are interchangeable
 //! in the ECC/NTT substrate and can be cross-checked against each other.
@@ -44,9 +50,11 @@
 //! ```
 
 pub mod barrett;
+pub mod carryfree;
 pub mod csa;
 mod engine;
 pub mod interleaved;
+pub mod lanes;
 pub mod lut;
 pub mod montgomery;
 pub mod prepared;
@@ -55,12 +63,16 @@ pub mod radix4;
 pub mod radix8;
 
 pub use barrett::{BarrettEngine, PreparedBarrett};
+pub use carryfree::{CarryFreeEngine, PreparedCarryFree};
 pub use csa::CsaState;
 pub use engine::{
-    all_engines, engine_by_name, CycleModel, DirectEngine, EngineCtor, ModMulEngine, ModMulError,
-    ENGINE_REGISTRY,
+    all_engines, engine_by_name, engine_names, CycleModel, DirectEngine, EngineCtor, ModMulEngine,
+    ModMulError, ENGINE_REGISTRY,
 };
 pub use interleaved::InterleavedEngine;
+pub use lanes::{
+    BarrettLanes, CarryFreeLanes, MontLanes, R4CsaLanes, DEFAULT_LANES, LANE_MIN_PAIRS, MAX_LANES,
+};
 pub use lut::{LutOverflow, LutRadix4};
 pub use montgomery::{MontgomeryEngine, PreparedMontgomery};
 pub use prepared::{

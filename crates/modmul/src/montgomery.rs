@@ -16,6 +16,7 @@
 
 use modsram_bigint::{mod_inv, UBig};
 
+use crate::lanes::{MontLanes, DEFAULT_LANES, LANE_MIN_PAIRS};
 use crate::prepared::{canonical, check_modulus};
 use crate::{CycleModel, ModMulEngine, ModMulError, PreparedModMul};
 
@@ -29,6 +30,8 @@ pub struct PreparedMontgomery {
     p_inv_neg: UBig,
     /// `R² mod p`, to enter Montgomery form with one REDC.
     r2: UBig,
+    /// The structure-of-arrays CIOS kernel behind the laned batch path.
+    lanes: MontLanes,
 }
 
 impl PreparedMontgomery {
@@ -54,6 +57,7 @@ impl PreparedMontgomery {
             r_bits,
             p_inv_neg,
             r2,
+            lanes: MontLanes::new(p)?,
         })
     }
 
@@ -99,9 +103,20 @@ impl PreparedModMul for PreparedMontgomery {
         Ok(self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
     }
 
-    /// Batch override: the `p = 1` check is hoisted out of the loop and
-    /// each pair runs the same fused path as [`PreparedModMul::mod_mul`].
+    /// Batch override: long batches take the lane-vectorized CIOS kernel
+    /// ([`crate::lanes::MontLanes`]), short ones the scalar fused path
+    /// (the transpose doesn't amortise).
     fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if pairs.len() >= LANE_MIN_PAIRS {
+            self.mod_mul_batch_laned(pairs, DEFAULT_LANES)
+        } else {
+            self.mod_mul_batch_scalar(pairs)
+        }
+    }
+
+    /// The pre-lanes batch path: the `p = 1` check hoisted, each pair on
+    /// the same fused two-REDC sequence as [`PreparedModMul::mod_mul`].
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
         if self.p.is_one() {
             return Ok(vec![UBig::zero(); pairs.len()]);
         }
@@ -109,6 +124,14 @@ impl PreparedModMul for PreparedMontgomery {
             .iter()
             .map(|(a, b)| self.mul_canonical(&canonical(a, &self.p), &canonical(b, &self.p)))
             .collect())
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        Ok(self.lanes.mod_mul_batch(pairs, lanes))
     }
 }
 

@@ -70,6 +70,38 @@ pub trait PreparedModMul: Send + Sync {
     fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
         pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
     }
+
+    /// The scalar batch path: per-pair limb loops, with only per-modulus
+    /// and per-multiplicand work amortised. This is what
+    /// [`PreparedModMul::mod_mul_batch`] runs on short batches; it is
+    /// exposed separately so benchmarks and equivalence tests can pin
+    /// each path explicitly.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedModMul::mod_mul_batch`].
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
+    }
+
+    /// The lane-vectorized batch path: the batch is transposed into
+    /// limb-major structure-of-arrays lanes and `lanes` multiplications
+    /// advance per limb pass (see [`crate::lanes`]). Engines without a
+    /// laned kernel fall back to the scalar path, so this is always
+    /// safe to call; `lanes` is clamped to
+    /// [`crate::lanes::MAX_LANES`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedModMul::mod_mul_batch`].
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        let _ = lanes;
+        self.mod_mul_batch_scalar(pairs)
+    }
 }
 
 /// Shared ownership delegates: an `Arc<C>` (including
@@ -92,6 +124,18 @@ impl<C: PreparedModMul + ?Sized> PreparedModMul for std::sync::Arc<C> {
 
     fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
         (**self).mod_mul_batch(pairs)
+    }
+
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        (**self).mod_mul_batch_scalar(pairs)
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        (**self).mod_mul_batch_laned(pairs, lanes)
     }
 }
 
@@ -408,6 +452,55 @@ mod tests {
             boxed.mod_mul_batch(&pairs).unwrap(),
             shared.mod_mul_batch(&pairs).unwrap()
         );
+    }
+
+    /// The carry-free engine against the Montgomery reference (and the
+    /// oracle) across widths from one limb to secp256k1 size: two
+    /// completely unrelated reduction strategies agreeing bit-for-bit on
+    /// the same prepared-context API.
+    #[test]
+    fn carryfree_agrees_with_montgomery_across_widths() {
+        let moduli = [
+            UBig::from(97u64),
+            UBig::from(0xffff_fffb_u64),
+            UBig::from_hex("ffffffffffffffc5").unwrap(),
+            &UBig::pow2(127) - &UBig::one(), // Mersenne prime M127
+            UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap(),
+        ];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for p in &moduli {
+            let limbs = p.bit_len().div_ceil(64);
+            let cf = crate::CarryFreeEngine::new().prepare(p).unwrap();
+            let mont = crate::MontgomeryEngine::new().prepare(p).unwrap();
+            for _ in 0..12 {
+                let a = &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % p;
+                let b = &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % p;
+                let want = &(&a * &b) % p;
+                let got_cf = cf.mod_mul(&a, &b).unwrap();
+                assert_eq!(got_cf, mont.mod_mul(&a, &b).unwrap(), "p={p:?}");
+                assert_eq!(got_cf, want, "carryfree vs oracle, p={p:?}");
+            }
+        }
+        // Even moduli: Montgomery refuses, carry-free must still match
+        // the oracle — that coverage gap is why the engine exists.
+        let even = UBig::from(0xffff_fff0_u64);
+        assert_eq!(
+            crate::MontgomeryEngine::new().prepare(&even).err(),
+            Some(ModMulError::EvenModulus)
+        );
+        let cf = crate::CarryFreeEngine::new().prepare(&even).unwrap();
+        for _ in 0..8 {
+            let a = &UBig::from(next()) % &even;
+            let b = &UBig::from(next()) % &even;
+            assert_eq!(cf.mod_mul(&a, &b).unwrap(), &(&a * &b) % &even);
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use modsram_bigint::{radix4_digits_msb_first, Radix4Digit, UBig};
 
+use crate::lanes::{R4CsaLanes, DEFAULT_LANES, LANE_MIN_PAIRS};
 use crate::prepared::{canonical, check_modulus};
 use crate::{
     CsaState, CycleModel, LutOverflow, LutRadix4, ModMulEngine, ModMulError, PreparedModMul,
@@ -375,6 +376,9 @@ pub struct PreparedR4Csa {
     n: usize,
     lutov: Arc<LutOverflow>,
     policy: TimingPolicy,
+    /// The structure-of-arrays digit-loop kernel behind the laned batch
+    /// path (one multiplicand run at a time).
+    lanes: R4CsaLanes,
 }
 
 impl PreparedR4Csa {
@@ -386,11 +390,14 @@ impl PreparedR4Csa {
     pub fn new(p: &UBig, policy: TimingPolicy) -> Result<Self, ModMulError> {
         check_modulus(p)?;
         let n = p.bit_len().max(1);
+        let lutov = Arc::new(LutOverflow::new(p, n + 1)?);
+        let lanes = R4CsaLanes::new(p, &lutov, n);
         Ok(PreparedR4Csa {
             p: p.clone(),
             n,
-            lutov: Arc::new(LutOverflow::new(p, n + 1)?),
+            lutov,
             policy,
+            lanes,
         })
     }
 
@@ -399,6 +406,57 @@ impl PreparedR4Csa {
             stepper.step(d);
         }
         stepper.finalize().0
+    }
+
+    /// Splits the batch into maximal equal-multiplicand runs and hands
+    /// each run to `per_run` — the access pattern the service batcher's
+    /// multiplicand-major coalescing produces.
+    fn for_each_run(
+        &self,
+        pairs: &[(UBig, UBig)],
+        out: &mut Vec<UBig>,
+        mut per_run: impl FnMut(&[(UBig, UBig)], &mut Vec<UBig>) -> Result<(), ModMulError>,
+    ) -> Result<(), ModMulError> {
+        let mut start = 0;
+        while start < pairs.len() {
+            let b = &pairs[start].1;
+            let mut end = start + 1;
+            while end < pairs.len() && &pairs[end].1 == b {
+                end += 1;
+            }
+            per_run(&pairs[start..end], out)?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// One multiplicand run through the scalar stepper (Table 1b built
+    /// once, accumulator cloned per pair).
+    fn run_scalar(&self, run: &[(UBig, UBig)], out: &mut Vec<UBig>) -> Result<(), ModMulError> {
+        let template =
+            R4CsaStepper::with_overflow_lut(&run[0].1, &self.p, self.n, self.lutov.clone())?;
+        for (a, _) in run {
+            let mut stepper = template.clone();
+            let a = canonical(a, &self.p);
+            out.push(self.run(&a, &mut stepper));
+        }
+        Ok(())
+    }
+
+    /// One multiplicand run through the laned kernel.
+    fn run_laned(
+        &self,
+        run: &[(UBig, UBig)],
+        lanes: usize,
+        out: &mut Vec<UBig>,
+    ) -> Result<(), ModMulError> {
+        let lut4 = LutRadix4::new(&run[0].1, &self.p)?;
+        let multipliers: Vec<UBig> = run.iter().map(|(a, _)| a.clone()).collect();
+        out.extend(
+            self.lanes
+                .run_batch(&multipliers, &lut4, self.policy, lanes),
+        );
+        Ok(())
     }
 }
 
@@ -417,33 +475,39 @@ impl PreparedModMul for PreparedR4Csa {
         Ok(self.run(&a, &mut stepper))
     }
 
-    /// Batch override: Table 2 is shared by construction; Table 1b is
-    /// rebuilt only when the multiplicand changes between consecutive
-    /// pairs (the repeated-`B` pattern of point addition). The reuse
-    /// check compares the raw multiplicand, so a repeated `b` costs one
-    /// equality test, not a canonicalising division, per pair.
+    /// Batch override: Table 2 is shared by construction, Table 1b is
+    /// built once per maximal equal-multiplicand run (the repeated-`B`
+    /// pattern of point addition; the run check compares the raw
+    /// multiplicand, so a repeated `b` costs one equality test, not a
+    /// canonicalising division, per pair). Runs of at least
+    /// [`LANE_MIN_PAIRS`] multipliers take the lane-vectorized digit
+    /// loop ([`crate::lanes::R4CsaLanes`]); shorter runs clone a scalar
+    /// stepper template per pair as before.
     fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
         let mut out = Vec::with_capacity(pairs.len());
-        let mut current: Option<(UBig, R4CsaStepper)> = None;
-        for (a, b) in pairs {
-            let rebuild = match &current {
-                Some((cached_b, _)) => cached_b != b,
-                None => true,
-            };
-            if rebuild {
-                let stepper =
-                    R4CsaStepper::with_overflow_lut(b, &self.p, self.n, self.lutov.clone())?;
-                current = Some((b.clone(), stepper));
+        self.for_each_run(pairs, &mut out, |run, out| {
+            if run.len() >= LANE_MIN_PAIRS {
+                self.run_laned(run, DEFAULT_LANES, out)
+            } else {
+                self.run_scalar(run, out)
             }
-            let (_, template) = current.as_ref().expect("just built");
-            // The stepper accumulates state, so each pair runs on a
-            // fresh copy of the precomputed template (the overflow LUT
-            // is behind an Arc, so only Table 1b and the accumulator
-            // are actually copied).
-            let mut stepper = template.clone();
-            let a = canonical(a, &self.p);
-            out.push(self.run(&a, &mut stepper));
-        }
+        })?;
+        Ok(out)
+    }
+
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.for_each_run(pairs, &mut out, |run, out| self.run_scalar(run, out))?;
+        Ok(out)
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.for_each_run(pairs, &mut out, |run, out| self.run_laned(run, lanes, out))?;
         Ok(out)
     }
 }

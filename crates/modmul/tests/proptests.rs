@@ -5,7 +5,7 @@
 use modsram_bigint::{radix4_digits_msb_first, UBig};
 use modsram_modmul::{
     all_engines, DirectEngine, ModMulEngine, ModMulError, R4CsaLutEngine, R4CsaStepper,
-    TimingPolicy,
+    TimingPolicy, MAX_LANES,
 };
 use proptest::prelude::*;
 
@@ -116,6 +116,167 @@ proptest! {
                     &want,
                     "{} per-call diverged",
                     engine.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The lane-vectorization contract: for every engine, forcing the
+    /// laned batch path at a random lane count gives bit-identical
+    /// results to the forced scalar path and to the oracle. Batches are
+    /// built from runs of equal multiplicands (run lengths 1..64) so the
+    /// R4CSA run-detection sees realistic coalesced input.
+    #[test]
+    fn laned_equals_scalar_equals_oracle(input in laned_batch_input(2)) {
+        let (pairs, p, lanes) = input;
+        let oracle = DirectEngine::new().prepare(&p).expect("non-zero modulus");
+        for engine in all_engines() {
+            let prep = match engine.prepare(&p) {
+                Ok(prep) => prep,
+                Err(ModMulError::EvenModulus) => {
+                    prop_assert!(p.is_even(), "{} refused an odd modulus", engine.name());
+                    continue;
+                }
+                Err(e) => panic!("{} unexpected error {e}", engine.name()),
+            };
+            let scalar = prep.mod_mul_batch_scalar(&pairs).expect("scalar path");
+            let laned = prep
+                .mod_mul_batch_laned(&pairs, lanes)
+                .expect("laned path");
+            prop_assert_eq!(
+                &scalar,
+                &laned,
+                "{} scalar/laned diverge at {} lanes",
+                engine.name(),
+                lanes
+            );
+            for ((a, b), got) in pairs.iter().zip(&laned) {
+                prop_assert_eq!(
+                    got,
+                    &oracle.mod_mul(a, b).expect("oracle"),
+                    "{} laned diverged from oracle",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Runs of equal multiplicands (lengths 1..64), a modulus of `limbs`
+/// limbs that is even roughly half the time, and a lane count in
+/// `1..=MAX_LANES`. Multipliers are unreduced, exercising in-path
+/// canonicalisation.
+fn laned_batch_input(limbs: usize) -> impl Strategy<Value = (Vec<(UBig, UBig)>, UBig, usize)> {
+    (
+        prop::collection::vec(
+            (prop::collection::vec(any::<u64>(), limbs), 1usize..64),
+            1..4,
+        ),
+        prop::collection::vec(any::<u64>(), limbs),
+        1usize..=MAX_LANES,
+        any::<u64>(),
+    )
+        .prop_map(move |(runs, p, lanes, seed)| {
+            let mut p = UBig::from_limbs(p);
+            if p.is_zero() {
+                p = UBig::from(6u64);
+            }
+            let mut x = seed | 1;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let limb_count = limbs;
+            let mut pairs = Vec::new();
+            for (b_limbs, len) in runs {
+                let b = UBig::from_limbs(b_limbs);
+                for _ in 0..len {
+                    let a = UBig::from_limbs((0..limb_count).map(|_| next()).collect());
+                    pairs.push((a, b.clone()));
+                }
+            }
+            (pairs, p, lanes)
+        })
+}
+
+/// Deterministic scalar/laned/dispatch equivalence sweep across the
+/// 64–2048-bit widths of the hot-path benchmark, odd and even moduli,
+/// all eight engines. Complements the proptest above with the widths too
+/// slow to sample at volume.
+#[test]
+fn laned_batch_width_sweep() {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    // (bits, pairs, run length, lanes) — pair counts shrink as widths
+    // grow to keep the scalar reference paths fast.
+    for (bits, n_pairs, run_len, lanes) in [
+        (64, 24, 8, 8),
+        (128, 18, 5, 3),
+        (256, 16, 8, 16),
+        (2048, 6, 3, 4),
+    ] {
+        let limbs = bits / 64;
+        for make_even in [false, true] {
+            let p = {
+                let mut v: Vec<u64> = (0..limbs).map(|_| next()).collect();
+                v[limbs - 1] |= 1 << 63; // keep the full width
+                if make_even {
+                    v[0] &= !1;
+                } else {
+                    v[0] |= 1;
+                }
+                UBig::from_limbs(v)
+            };
+            let pairs: Vec<(UBig, UBig)> = {
+                let mut out = Vec::with_capacity(n_pairs);
+                let mut b = UBig::zero();
+                for i in 0..n_pairs {
+                    if i % run_len == 0 {
+                        b = &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % &p;
+                    }
+                    out.push((
+                        &UBig::from_limbs((0..limbs).map(|_| next()).collect()) % &p,
+                        b.clone(),
+                    ));
+                }
+                out
+            };
+            let want: Vec<UBig> = pairs.iter().map(|(a, b)| &(a * b) % &p).collect();
+            for engine in all_engines() {
+                let prep = match engine.prepare(&p) {
+                    Ok(prep) => prep,
+                    Err(ModMulError::EvenModulus) => {
+                        assert!(p.is_even(), "{} refused an odd modulus", engine.name());
+                        continue;
+                    }
+                    Err(e) => panic!("{} unexpected error {e}", engine.name()),
+                };
+                let name = engine.name();
+                assert_eq!(
+                    prep.mod_mul_batch_scalar(&pairs).unwrap(),
+                    want,
+                    "{name} scalar diverged at {bits} bits (even={make_even})"
+                );
+                assert_eq!(
+                    prep.mod_mul_batch_laned(&pairs, lanes).unwrap(),
+                    want,
+                    "{name} laned diverged at {bits} bits (even={make_even})"
+                );
+                assert_eq!(
+                    prep.mod_mul_batch(&pairs).unwrap(),
+                    want,
+                    "{name} dispatch diverged at {bits} bits (even={make_even})"
                 );
             }
         }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use modsram::arch::ModSram;
 use modsram::bigint::UBig;
-use modsram::modmul::{ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
+use modsram::modmul::{CarryFreeEngine, ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
 use modsram::{ClusterConfig, ModSramService, MulJob, ServiceCluster, ServiceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -179,6 +179,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mont = MontgomeryEngine::new().prepare(&p)?;
     assert_eq!(mont.mod_mul(&a, &b)?, c);
     println!("montgomery context agrees: ok");
+
+    // The carry-free engine accumulates in carry-save form and reduces
+    // by inspecting overflow bits, so carries propagate only in the
+    // final normalize — and unlike Montgomery it accepts any modulus
+    // parity, covering the even moduli REDC must refuse.
+    let cf = CarryFreeEngine::new().prepare(&p)?;
+    assert_eq!(cf.mod_mul(&a, &b)?, c);
+    let even = UBig::from(1_000_000u64);
+    let cf_even = CarryFreeEngine::new().prepare(&even)?;
+    assert_eq!(cf_even.mod_mul(&a, &b)?, &(&a * &b) % &even);
+    println!("carryfree context agrees (odd and even moduli): ok");
+
+    // When does laning win? mod_mul_batch transposes batches of
+    // LANE_MIN_PAIRS (4) or more pairs into structure-of-arrays lanes,
+    // advancing eight multiplications per limb pass; shorter batches
+    // run scalar because the transpose doesn't amortise. The win is
+    // several-fold on the bit/digit-serial engines (r4csa-lut,
+    // carryfree) and >= 1.3x on montgomery/barrett at 256 bits —
+    // `cargo run --release --bin hotpath` sweeps it on your host.
+    let pairs: Vec<(UBig, UBig)> = (1..=16u64)
+        .map(|i| (UBig::from(i * 7919), b.clone()))
+        .collect();
+    let batch = mont.mod_mul_batch(&pairs)?; // 16 pairs: the laned path
+    for ((x, y), got) in pairs.iter().zip(&batch) {
+        assert_eq!(got, &(&(x * y) % &p));
+    }
+    println!("laned batch of {} agrees: ok", pairs.len());
 
     // ---- The accelerator as a prepared context ---------------------------
     // The cycle-accurate device offers the same two-phase shape; its

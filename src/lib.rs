@@ -135,6 +135,32 @@
 //! assert_eq!(c, UBig::from((55u64 * 44) % 97));
 //! ```
 //!
+//! The registry ([`modmul::ENGINE_REGISTRY`]) holds eight engines:
+//!
+//! | engine | reduction strategy | modulus | laned batch |
+//! |---|---|---|---|
+//! | `direct` | full product + Knuth-D remainder (the oracle) | any | — |
+//! | `interleaved` | Algorithm 1 shift-add, reduce each bit | any | — |
+//! | `radix4` | Algorithm 2 Booth radix-4 + Table 1b | any | — |
+//! | `radix8` | radix-8 variant of Algorithm 2 | any | — |
+//! | `r4csa-lut` | Algorithm 3: radix-4 + carry-save + LUTs | any | ✓ |
+//! | `montgomery` | REDC in Montgomery domain | odd | ✓ |
+//! | `barrett` | precomputed-reciprocal reduction | any | ✓ |
+//! | `carryfree` | carry-save accumulation + bit-inspection reduction; carries propagate only at the final normalize | any | ✓ |
+//!
+//! **When does laning win?** Engines marked ✓ transpose batches into
+//! structure-of-arrays lanes ([`modmul::lanes`]) so eight independent
+//! multiplications advance per limb pass. The transpose amortises from
+//! roughly [`modmul::LANE_MIN_PAIRS`] pairs up (below that the batch
+//! runs scalar automatically), and the win is largest when per-pair
+//! bookkeeping dominates limb arithmetic: expect several-fold on the
+//! bit/digit-serial engines (`r4csa-lut`, `carryfree`) and a more
+//! modest but still ≥ 1.3× gain on `montgomery`/`barrett` at 256 bits,
+//! shrinking as operands grow past ~2048 bits where big-integer limb
+//! work dominates either way. `cargo run --release --bin hotpath`
+//! regenerates `results/hotpath_sweep.json` with the numbers for your
+//! host.
+//!
 //! The cycle-accurate accelerator exposes the same two-phase API (its
 //! prepared context holds a modulus-loaded device), alongside the
 //! stats-returning device methods:
