@@ -1,0 +1,205 @@
+//! The self-tuning engine-selection sweep: one `TunePolicy::Race`
+//! tuner picks an engine per `(bit_width, parity)` modulus, then the
+//! chosen engine is timed against the always-`r4csa-lut` and
+//! always-`montgomery` pinned baselines on a shared oracle-checked
+//! batch (`results/autotune_sweep.json`). The profile table the races
+//! filled in lands in `results/engine_profile.json`, ready to
+//! warm-start a `TunePolicy::Profile` pool.
+//!
+//! ```sh
+//! cargo run --release --bin autotune
+//! # CI-sized run:
+//! cargo run --release --bin autotune -- --pairs 256 --reps 2
+//! ```
+//!
+//! Acceptance: the autotuned choice is ≥ 1.0× the best pinned baseline
+//! on every row and > 1.15× on at least two rows, with every
+//! calibration and timed pass checked against the big-integer oracle.
+
+use modsram_bench::{autotune_sweep, print_table, write_json_artifact};
+
+struct Args {
+    bits: Vec<usize>,
+    /// Pair-count override; 0 keeps the per-bitwidth defaults.
+    pairs: usize,
+    calib_pairs: usize,
+    reps: usize,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            bits: vec![64, 128, 256, 1024, 2048],
+            pairs: 0,
+            calib_pairs: 48,
+            reps: 3,
+            seed: 0x0A07_077E,
+        }
+    }
+}
+
+/// Default pair counts shrink with width so the slowest baseline pass
+/// stays fast at 2048 bits.
+fn default_pairs(bits: usize) -> usize {
+    match bits {
+        0..=128 => 4096,
+        129..=256 => 2048,
+        257..=1024 => 384,
+        _ => 192,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--bits" => {
+                args.bits = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("comma-separated integers"))
+                    .collect()
+            }
+            "--pairs" => args.pairs = value().parse().expect("integer"),
+            "--calib-pairs" => args.calib_pairs = value().parse().expect("integer"),
+            "--reps" => args.reps = value().parse().expect("integer"),
+            "--seed" => args.seed = value().parse().expect("integer"),
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    args
+}
+
+fn fmt_opt(ns: Option<f64>) -> String {
+    ns.map_or("-".to_string(), |v| format!("{v:.0}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let fixed_pairs = args.pairs;
+    let sweep = autotune_sweep(
+        &args.bits,
+        |bits| {
+            if fixed_pairs > 0 {
+                fixed_pairs
+            } else {
+                default_pairs(bits)
+            }
+        },
+        args.calib_pairs,
+        args.reps,
+        args.seed,
+    );
+
+    let table: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bits.to_string(),
+                r.parity.to_string(),
+                r.chosen_engine.clone(),
+                format!("{:.0}", r.auto_ns),
+                format!("{:.0}", r.r4csa_ns),
+                fmt_opt(r.montgomery_ns),
+                format!("{:.2}x", r.speedup_vs_r4csa),
+                r.speedup_vs_montgomery
+                    .map_or("-".to_string(), |s| format!("{s:.2}x")),
+                format!("{:.2}x", r.speedup_vs_best),
+            ]
+        })
+        .collect();
+    print_table(
+        "Autotune sweep: chosen engine vs pinned baselines (ns per multiplication)",
+        &[
+            "bits",
+            "parity",
+            "chosen",
+            "auto",
+            "r4csa-lut",
+            "montgomery",
+            "vs r4csa",
+            "vs mont",
+            "vs best",
+        ],
+        &table,
+    );
+
+    let stats = &sweep.stats;
+    println!(
+        "\ntuned moduli: {}  races: {} (skipped {})  refinements: {}  calibration: {:.2} ms",
+        stats.tuned_moduli,
+        stats.races_run,
+        stats.races_skipped,
+        stats.refinements,
+        stats.calibration_ns as f64 / 1e6
+    );
+    let wins: Vec<String> = stats
+        .engine_wins
+        .iter()
+        .map(|(engine, n)| format!("{engine}:{n}"))
+        .collect();
+    println!("engine wins: [{}]", wins.join(", "));
+
+    let artifact = serde_json::json!({
+        "policy": stats.policy.as_str(),
+        "calib_pairs": args.calib_pairs,
+        "rows": sweep.rows.iter().map(|r| serde_json::json!({
+            "bits": r.bits,
+            "parity": r.parity,
+            "pairs": r.pairs,
+            "chosen_engine": r.chosen_engine.as_str(),
+            "auto_ns": r.auto_ns,
+            "r4csa_ns": r.r4csa_ns,
+            "montgomery_ns": r.montgomery_ns.map_or(serde_json::Value::Null, serde_json::Value::Float),
+            "speedup_vs_r4csa": r.speedup_vs_r4csa,
+            "speedup_vs_montgomery": r.speedup_vs_montgomery.map_or(serde_json::Value::Null, serde_json::Value::Float),
+            "speedup_vs_best": r.speedup_vs_best,
+        })).collect::<Vec<_>>(),
+        "tuner": serde_json::json!({
+            "tuned_moduli": stats.tuned_moduli,
+            "races_run": stats.races_run,
+            "races_skipped": stats.races_skipped,
+            "refinements": stats.refinements,
+            "calibration_ns": stats.calibration_ns,
+            "engine_wins": stats.engine_wins.iter().map(|(engine, n)| serde_json::json!({
+                "engine": engine.as_str(),
+                "wins": *n,
+            })).collect::<Vec<_>>(),
+        }),
+    });
+    let path = write_json_artifact("autotune_sweep", &artifact);
+    println!("\nartifact: {path}");
+
+    sweep
+        .profile
+        .save("results/engine_profile.json")
+        .expect("write profile");
+    println!("profile:  results/engine_profile.json");
+
+    // Acceptance: never lose to the best pinned baseline, and beat it
+    // clearly (> 1.15x) on at least two rows.
+    for row in &sweep.rows {
+        assert!(
+            row.speedup_vs_best >= 1.0,
+            "acceptance: auto lost to a pinned baseline on ({} bits, {}): {:.3}x (chose {})",
+            row.bits,
+            row.parity,
+            row.speedup_vs_best,
+            row.chosen_engine
+        );
+    }
+    let clear_wins: Vec<String> = sweep
+        .rows
+        .iter()
+        .filter(|r| r.speedup_vs_best > 1.15)
+        .map(|r| format!("{}/{} {:.2}x", r.bits, r.parity, r.speedup_vs_best))
+        .collect();
+    println!("clear wins > 1.15x: [{}]", clear_wins.join(", "));
+    assert!(
+        clear_wins.len() >= 2,
+        "acceptance: need > 1.15x vs the best pinned baseline on >= 2 rows, got {clear_wins:?}"
+    );
+}

@@ -1566,6 +1566,194 @@ pub fn elasticity_sweep(spec: &ElasticitySweepSpec) -> Vec<ElasticityPhaseRow> {
     rows
 }
 
+/// One `(bit_width, parity)` row of the autotune sweep: what the
+/// self-tuning pool picked there and how it compares, on the same
+/// oracle-checked operand batch, against the two pinned baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutotuneSweepRow {
+    /// Operand/modulus bitwidth.
+    pub bits: usize,
+    /// `"odd"` or `"even"` — the modulus parity of the row.
+    pub parity: &'static str,
+    /// Pairs multiplied per timed pass.
+    pub pairs: usize,
+    /// The engine the autotuner chose for this row's modulus.
+    pub chosen_engine: String,
+    /// Nanoseconds per multiplication through the chosen engine
+    /// (best-of-reps, oracle-checked every pass).
+    pub auto_ns: f64,
+    /// Always-`r4csa-lut` pinned baseline, same batch.
+    pub r4csa_ns: f64,
+    /// Always-`montgomery` pinned baseline; `None` on even rows where
+    /// Montgomery cannot prepare the modulus at all.
+    pub montgomery_ns: Option<f64>,
+    /// `r4csa_ns / auto_ns`.
+    pub speedup_vs_r4csa: f64,
+    /// `montgomery_ns / auto_ns`, when the baseline exists.
+    pub speedup_vs_montgomery: Option<f64>,
+    /// Speedup against the **best** pinned baseline of the row — the
+    /// win-condition column (`>= 1.0` everywhere, `> 1.15` on at least
+    /// two rows).
+    pub speedup_vs_best: f64,
+}
+
+/// The autotune sweep result: the chosen-engine matrix, the tuner's
+/// aggregate counters, and the profile table the races filled in
+/// (written to `results/engine_profile.json` by `bin/autotune`).
+#[derive(Debug, Clone)]
+pub struct AutotuneSweep {
+    /// One row per `(bit_width, parity)` point.
+    pub rows: Vec<AutotuneSweepRow>,
+    /// The tuner's counters after the whole sweep (races, calibration
+    /// nanoseconds, per-engine wins).
+    pub stats: modsram_core::AutotuneStats,
+    /// The measured profile the sweep's races produced.
+    pub profile: modsram_core::EngineProfile,
+}
+
+/// Times every engine in `engines` on the same operand batch: one
+/// untimed warmup pass each (page faults, allocator growth, and
+/// branch-predictor warm-up land there, not in the first timed rep),
+/// then the timed reps interleaved round-robin across the engines
+/// with a per-engine minimum — so slow drift in process state hits
+/// every engine equally instead of whichever happened to run last.
+/// Every pass, warmup included, is asserted against `oracle`. Returns
+/// `(engine, ns_per_mul)` in input order; one measurement per engine
+/// name, so when the autotuner's choice is itself a baseline its
+/// speedup is exactly 1.0 rather than measurement noise.
+fn measure_row(
+    engines: &[String],
+    p: &UBig,
+    operands: &[(UBig, UBig)],
+    oracle: &[UBig],
+    reps: usize,
+) -> Vec<(String, f64)> {
+    let prepared: Vec<_> = engines
+        .iter()
+        .map(|engine| {
+            let prep = engine_by_name(engine)
+                .expect("registry name")
+                .prepare(p)
+                .expect("parity-legal candidate");
+            let warm = prep.mod_mul_batch(operands).expect("warmup batch");
+            assert_eq!(warm, oracle, "{engine} diverged from the oracle");
+            prep
+        })
+        .collect();
+    let mut best = vec![f64::INFINITY; engines.len()];
+    for _ in 0..reps.max(1) {
+        for (i, prep) in prepared.iter().enumerate() {
+            let start = Instant::now();
+            let out = prep.mod_mul_batch(operands).expect("batch");
+            best[i] = best[i].min(start.elapsed().as_secs_f64());
+            assert_eq!(out, oracle, "{} diverged from the oracle", engines[i]);
+        }
+    }
+    engines
+        .iter()
+        .zip(best)
+        .map(|(engine, secs)| (engine.clone(), secs * 1e9 / operands.len() as f64))
+        .collect()
+}
+
+/// The self-tuning sweep: one `TunePolicy::Race` tuner serves every
+/// `(bit_width, parity)` modulus in `bits_list` × {odd, even}; each
+/// row then times the chosen engine against the always-`r4csa-lut`
+/// and always-`montgomery` pinned baselines on one shared operand
+/// batch (multiplicand reuse runs of 8, like the coalescing batcher
+/// produces). Every calibration pass inside the tuner and every timed
+/// pass here is checked against the big-integer oracle.
+///
+/// # Panics
+///
+/// Panics if any engine diverges from the oracle — an engine bug, not
+/// a measurement artifact.
+pub fn autotune_sweep(
+    bits_list: &[usize],
+    pairs_for_bits: impl Fn(usize) -> usize,
+    calib_pairs: usize,
+    reps: usize,
+    seed: u64,
+) -> AutotuneSweep {
+    use modsram_core::{AutoTuner, TunePolicy};
+    let tuner = AutoTuner::new(TunePolicy::Race {
+        calib_pairs,
+        repay_mults: u64::MAX,
+    });
+    let mut rows = Vec::new();
+    for &bits in bits_list {
+        let odd = sweep_modulus(bits);
+        let even = &odd - &UBig::from(1u64);
+        for (parity, p) in [("odd", odd), ("even", even)] {
+            let pairs = pairs_for_bits(bits).max(1);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (bits as u64) ^ (parity.len() as u64));
+            let operands: Vec<(UBig, UBig)> = {
+                let mut out = Vec::with_capacity(pairs);
+                let mut b = ubig_below(&mut rng, &p);
+                for i in 0..pairs {
+                    if i % 8 == 0 {
+                        b = ubig_below(&mut rng, &p);
+                    }
+                    out.push((ubig_below(&mut rng, &p), b.clone()));
+                }
+                out
+            };
+            let oracle: Vec<UBig> = operands.iter().map(|(a, b)| &(a * b) % &p).collect();
+            tuner.prepare(&p).expect("race prepares a legal candidate");
+            let mut chosen = tuner.chosen_engine(&p).expect("decision committed");
+            let mut engines: Vec<String> = vec!["r4csa-lut".to_string()];
+            if parity == "odd" {
+                engines.push("montgomery".to_string());
+            }
+            if !engines.contains(&chosen) {
+                engines.push(chosen.clone());
+            }
+            let measured = measure_row(&engines, &p, &operands, &oracle, reps);
+            // Close the loop: this batch is production-shaped traffic,
+            // so the tuner learns its measurements — and when the race's
+            // small-batch winner is beaten here (near-tied engines flip
+            // with batch shape), the choice follows the evidence.
+            for (engine, ns) in &measured {
+                tuner.observe(&p, engine, *ns);
+            }
+            let (fastest, _) = measured
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one engine measured");
+            if *fastest != chosen && tuner.adopt_choice(&p, fastest) {
+                chosen = fastest.clone();
+            }
+            let ns_of = |engine: &str| {
+                measured
+                    .iter()
+                    .find(|(name, _)| name == engine)
+                    .map(|(_, ns)| *ns)
+            };
+            let auto_ns = ns_of(&chosen).expect("chosen engine was measured");
+            let r4csa_ns = ns_of("r4csa-lut").expect("baseline measured");
+            let montgomery_ns = ns_of("montgomery");
+            let best_baseline = montgomery_ns.map_or(r4csa_ns, |m| m.min(r4csa_ns));
+            rows.push(AutotuneSweepRow {
+                bits,
+                parity,
+                pairs,
+                chosen_engine: chosen,
+                auto_ns,
+                r4csa_ns,
+                montgomery_ns,
+                speedup_vs_r4csa: r4csa_ns / auto_ns,
+                speedup_vs_montgomery: montgomery_ns.map(|m| m / auto_ns),
+                speedup_vs_best: best_baseline / auto_ns,
+            });
+        }
+    }
+    AutotuneSweep {
+        rows,
+        stats: tuner.stats(),
+        profile: tuner.profile_snapshot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1813,6 +2001,29 @@ mod tests {
             assert_eq!(row.spilled, 0);
             assert_eq!(row.per_tile_submitted.len(), row.tiles);
         }
+    }
+
+    #[test]
+    fn autotune_sweep_covers_both_parities_and_never_loses() {
+        let sweep = autotune_sweep(&[64], |_| 96, 16, 2, 7);
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.rows[0].parity, "odd");
+        assert_eq!(sweep.rows[1].parity, "even");
+        assert!(sweep.rows[0].montgomery_ns.is_some());
+        assert!(
+            sweep.rows[1].montgomery_ns.is_none(),
+            "montgomery cannot baseline an even modulus"
+        );
+        for row in &sweep.rows {
+            assert_ne!(row.chosen_engine, "direct", "oracle never serves");
+            assert!(
+                row.speedup_vs_best > 0.0 && row.auto_ns > 0.0,
+                "timing must be positive"
+            );
+        }
+        assert_eq!(sweep.stats.races_run, 2);
+        assert_eq!(sweep.stats.tuned_moduli, 2);
+        assert!(!sweep.profile.is_empty());
     }
 
     #[test]

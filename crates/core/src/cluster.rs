@@ -158,6 +158,7 @@ use std::time::Duration;
 use modsram_bigint::UBig;
 use modsram_modmul::{ModMulError, PreparedModMul};
 
+use crate::autotune::{AutoTuner, AutotuneStats, TunePolicy};
 use crate::dispatch::{ContextPool, MulJob};
 use crate::error::CoreError;
 use crate::modsram::ModSramConfig;
@@ -870,6 +871,10 @@ pub struct ClusterStats {
     pub completed: u64,
     /// Jobs completed with an error, summed over tiles.
     pub failed: u64,
+    /// Aggregated self-tuning counters when tiles run autotuning pools
+    /// ([`ServiceCluster::auto`]). Tiles sharing one tuner (the
+    /// default for `auto`) are counted once, not once per tile.
+    pub autotune: Option<AutotuneStats>,
 }
 
 impl ClusterStats {
@@ -992,6 +997,19 @@ impl ServiceCluster {
     pub fn for_modsram(device: ModSramConfig, tiles: usize, config: ClusterConfig) -> Self {
         let pools = (0..tiles.max(1))
             .map(|_| ContextPool::for_modsram(device.clone()))
+            .collect();
+        Self::new(pools, config)
+    }
+
+    /// A self-tuning cluster: every tile runs an autotuning pool, and
+    /// all tiles share **one** [`AutoTuner`] — a calibration race run
+    /// on any tile warms the profile every tile consults, and a pool
+    /// eviction on one tile never forgets a choice another tile still
+    /// uses. Aggregated counters appear in [`ClusterStats::autotune`].
+    pub fn auto(policy: TunePolicy, tiles: usize, config: ClusterConfig) -> Self {
+        let tuner = Arc::new(AutoTuner::new(policy));
+        let pools = (0..tiles.max(1))
+            .map(|_| ContextPool::with_tuner(Arc::clone(&tuner)))
             .collect();
         Self::new(pools, config)
     }
@@ -1324,6 +1342,27 @@ impl ServiceCluster {
             .collect();
         let affinity_hits = self.shared.affinity_hits.load(Ordering::Relaxed);
         let spilled = self.shared.spilled.load(Ordering::Relaxed);
+        // Aggregate tuning counters over the *distinct* tuners behind
+        // the tiles: `ServiceCluster::auto` shares one tuner
+        // cluster-wide, and counting it per tile would multiply every
+        // number by the tile count.
+        let mut seen_tuners: Vec<*const AutoTuner> = Vec::new();
+        let mut autotune: Option<AutotuneStats> = None;
+        for cell in m.tiles.iter() {
+            let Some(tuner) = cell.service.pool().tuner() else {
+                continue;
+            };
+            let ptr = Arc::as_ptr(tuner);
+            if seen_tuners.contains(&ptr) {
+                continue;
+            }
+            seen_tuners.push(ptr);
+            let snapshot = tuner.stats();
+            match &mut autotune {
+                None => autotune = Some(snapshot),
+                Some(agg) => agg.merge(&snapshot),
+            }
+        }
         ClusterStats {
             membership_epoch: m.epoch,
             active_tiles: m.active_count(),
@@ -1343,6 +1382,7 @@ impl ServiceCluster {
             saturated_rejections: self.shared.saturated_rejections.load(Ordering::Relaxed),
             completed: tiles.iter().map(|t| t.service.completed).sum(),
             failed: tiles.iter().map(|t| t.service.failed).sum(),
+            autotune,
             tiles,
         }
     }

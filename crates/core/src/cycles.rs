@@ -9,7 +9,7 @@
 //! [`modelled_engine_mul_cycles`].
 
 use modsram_bigint::UBig;
-use modsram_modmul::{CarryFreeEngine, CycleModel, MontgomeryEngine, R4CsaLutEngine};
+use modsram_modmul::modelled_cycles_by_name;
 
 use crate::dispatch::{plan_job_chunks, seed_assignments, MulJob};
 
@@ -33,16 +33,12 @@ pub fn modelled_mul_cycles(bits: usize) -> u64 {
 }
 
 /// Modelled cycles of one multiplication on a named registry engine,
-/// routed through the engine's own [`CycleModel`] where it has one.
-/// Unrecognised names fall back to the R4CSA-LUT device formula — the
-/// service models an R4CSA device unless told otherwise.
+/// routed through the engine's own `CycleModel` via
+/// [`modelled_cycles_by_name`]. Names with no hardware model (`direct`,
+/// unknown) fall back to the R4CSA-LUT device formula — the service
+/// models an R4CSA device unless told otherwise.
 pub fn modelled_engine_mul_cycles(engine_name: &str, bits: usize) -> u64 {
-    match engine_name {
-        "carryfree" => CarryFreeEngine::new().cycles(bits),
-        "montgomery" => MontgomeryEngine::new().cycles(bits),
-        "r4csa-lut" => R4CsaLutEngine::new().cycles(bits),
-        _ => modelled_mul_cycles(bits),
-    }
+    modelled_cycles_by_name(engine_name, bits).unwrap_or_else(|| modelled_mul_cycles(bits))
 }
 
 /// Modelled makespan, in device cycles, of executing `jobs` as one

@@ -66,6 +66,7 @@ use std::time::Instant;
 use modsram_bigint::UBig;
 use modsram_modmul::{EngineCtor, ModMulError, PreparedModMul, ENGINE_REGISTRY};
 
+use crate::autotune::{AutoTuner, TunePolicy};
 use crate::error::CoreError;
 use crate::modsram::{ModSramConfig, PreparedModSram};
 
@@ -272,6 +273,10 @@ pub struct ContextPool {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Present on autotuning pools ([`ContextPool::auto`]): the
+    /// decision engine that picks a per-modulus engine and remembers
+    /// the choice across evictions.
+    tuner: Option<Arc<AutoTuner>>,
 }
 
 impl std::fmt::Debug for ContextPool {
@@ -301,7 +306,33 @@ impl ContextPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tuner: None,
         }
+    }
+
+    /// A self-tuning pool: each distinct modulus gets whatever engine
+    /// `policy` decides — pinned, profile-table lookup, or a prepare-
+    /// time calibration race — instead of one pool-wide constructor.
+    /// See [`crate::autotune`] for the decision machinery.
+    pub fn auto(policy: TunePolicy) -> Self {
+        Self::with_tuner(Arc::new(AutoTuner::new(policy)))
+    }
+
+    /// A self-tuning pool sharing an existing [`AutoTuner`] — the way a
+    /// cluster gives every tile the benefit of every tile's
+    /// calibration (and an eviction on one tile never forgets a
+    /// choice another tile still uses).
+    pub fn with_tuner(tuner: Arc<AutoTuner>) -> Self {
+        let decision = Arc::clone(&tuner);
+        let mut pool = Self::new(move |p| decision.prepare(p));
+        pool.tuner = Some(tuner);
+        pool
+    }
+
+    /// The autotuner behind this pool, if it was built with
+    /// [`ContextPool::auto`]/[`ContextPool::with_tuner`].
+    pub fn tuner(&self) -> Option<&Arc<AutoTuner>> {
+        self.tuner.as_ref()
     }
 
     /// Bounds the cache to `max_moduli` distinct moduli (at least 1).
@@ -401,6 +432,12 @@ impl ContextPool {
                 Some(k) => {
                     cache.remove(&k);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    // The tuner's learned choice outlives the context:
+                    // a re-request re-prepares the remembered winner
+                    // without re-racing.
+                    if let Some(tuner) = &self.tuner {
+                        tuner.note_eviction(&k);
+                    }
                 }
                 None => break,
             }

@@ -32,6 +32,11 @@
 //!   (optionally LRU-bounded) [`dispatch::ContextPool`], and the
 //!   cost-aware chunk planner that [`BankedModSram`] seeds its banks
 //!   with.
+//! * [`autotune`] — self-tuning engine selection: an
+//!   [`autotune::AutoTuner`] behind [`dispatch::ContextPool::auto`]
+//!   picks the fastest registry engine per modulus (pinned, cached
+//!   [`autotune::EngineProfile`] lookup, or a prepare-time calibration
+//!   race) the way a JIT picks a code path.
 //! * [`service`] — the streaming front-end: a [`service::ModSramService`]
 //!   with cloneable submission handles, bounded-queue backpressure,
 //!   completion tickets, and a coalescing batcher that drains the
@@ -60,6 +65,7 @@
 //! assert_eq!(stats.cycles, 6 * 16 - 1); // ⌈32/2⌉ digits, MSB-clear multiplier
 //! ```
 
+pub mod autotune;
 pub mod bank;
 pub mod cluster;
 mod controller;
@@ -76,6 +82,7 @@ mod stats;
 pub mod test_util;
 pub mod trace;
 
+pub use autotune::{AutoTuner, AutotuneStats, EngineProfile, Parity, TunePolicy};
 pub use bank::{BankedModSram, BatchStats};
 pub use cluster::{
     ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError, ServiceCluster, SpillPolicy,

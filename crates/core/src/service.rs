@@ -60,6 +60,7 @@ use std::time::{Duration, Instant};
 use modsram_bigint::UBig;
 use modsram_modmul::{ModMulError, PreparedModMul};
 
+use crate::autotune::{AutotuneStats, TunePolicy};
 use crate::cluster::ServiceCluster;
 use crate::dispatch::{ContextPool, Dispatcher, MulJob, StealPolicy};
 use crate::error::CoreError;
@@ -689,6 +690,11 @@ pub struct ServiceStats {
     pub pool_misses: u64,
     /// Context-pool LRU evictions.
     pub pool_evictions: u64,
+    /// Self-tuning counters when the tile runs an autotuning pool
+    /// ([`ModSramService::auto`]): tuned moduli, races run/skipped,
+    /// calibration nanoseconds, per-engine wins. `None` on pinned
+    /// pools.
+    pub autotune: Option<AutotuneStats>,
 }
 
 /// A point-in-time capacity/liveness probe of one service tile — the
@@ -824,6 +830,15 @@ impl ModSramService {
         Self::new(ContextPool::for_modsram(device), config)
     }
 
+    /// A self-tuning service: each distinct modulus is served by
+    /// whatever engine `policy` decides — pinned, profile-table
+    /// lookup, or a prepare-time calibration race (see
+    /// [`crate::autotune`]). Tuning counters appear in
+    /// [`ServiceStats::autotune`].
+    pub fn auto(policy: TunePolicy, config: ServiceConfig) -> Self {
+        Self::new(ContextPool::auto(policy), config)
+    }
+
     /// A cloneable submission endpoint for producer threads.
     pub fn handle(&self) -> SubmitHandle {
         SubmitHandle {
@@ -917,6 +932,7 @@ impl ModSramService {
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
             pool_evictions: self.pool.evictions(),
+            autotune: self.pool.tuner().map(|t| t.stats()),
         }
     }
 

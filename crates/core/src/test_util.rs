@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use modsram_bigint::UBig;
-use modsram_modmul::{ModMulError, PreparedModMul};
+use modsram_modmul::{ModMulError, PreparedModMul, DEFAULT_LANES, LANE_MIN_PAIRS};
 
 use crate::dispatch::ContextPool;
 
@@ -62,6 +62,7 @@ pub struct FailingPrepared {
     recover_from: u64,
     mode: FailureMode,
     calls: AtomicU64,
+    laned_batches: AtomicU64,
 }
 
 impl FailingPrepared {
@@ -75,6 +76,7 @@ impl FailingPrepared {
             recover_from: u64::MAX,
             mode,
             calls: AtomicU64::new(0),
+            laned_batches: AtomicU64::new(0),
         }
     }
 
@@ -89,12 +91,20 @@ impl FailingPrepared {
             recover_from: fail_from.saturating_add(fail_count),
             mode,
             calls: AtomicU64::new(0),
+            laned_batches: AtomicU64::new(0),
         }
     }
 
     /// Multiplications attempted so far (including failed ones).
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Batches that entered through the lane-vectorized seam
+    /// ([`PreparedModMul::mod_mul_batch_laned`]) — lets a test assert
+    /// the fault actually fired on the laned path.
+    pub fn laned_batches(&self) -> u64 {
+        self.laned_batches.load(Ordering::Relaxed)
     }
 }
 
@@ -133,20 +143,61 @@ impl PreparedModMul for FailingPrepared {
         }
         Ok(&(a * b) % &self.p)
     }
+
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        // Mirror the real engines' dispatch: batches of
+        // `LANE_MIN_PAIRS` and up take the laned seam, shorter ones the
+        // scalar seam — so fault-injection suites exercise the same
+        // path production traffic does.
+        if pairs.len() >= LANE_MIN_PAIRS {
+            self.mod_mul_batch_laned(pairs, DEFAULT_LANES)
+        } else {
+            self.mod_mul_batch_scalar(pairs)
+        }
+    }
+
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        _lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        self.laned_batches.fetch_add(1, Ordering::Relaxed);
+        // Per-pair call counting is unchanged on the laned path, so
+        // "the k-th call fails" means the same thing on every seam.
+        pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
+    }
 }
 
 /// A correct [`PreparedModMul`] that sleeps for a fixed delay before
 /// every multiplication — the deterministic executor stall that forces
-/// bounded queues to fill.
+/// bounded queues to fill. On the lane-vectorized seam the stall is
+/// charged once per lane *group* (a laned kernel advances `lanes`
+/// multiplications per limb pass), so slow-tile tests see the same
+/// relative laned-over-scalar shape real engines have.
 pub struct SlowPrepared {
     p: UBig,
     delay: Duration,
+    sleeps: AtomicU64,
 }
 
 impl SlowPrepared {
     /// A context for `p` that sleeps `delay` per call.
     pub fn new(p: UBig, delay: Duration) -> Self {
-        SlowPrepared { p, delay }
+        SlowPrepared {
+            p,
+            delay,
+            sleeps: AtomicU64::new(0),
+        }
+    }
+
+    /// Stalls taken so far — per multiplication on the per-call and
+    /// scalar seams, per lane group on the laned seam.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps.load(Ordering::Relaxed)
     }
 }
 
@@ -166,8 +217,38 @@ impl PreparedModMul for SlowPrepared {
     }
 
     fn mod_mul(&self, a: &UBig, b: &UBig) -> Result<UBig, ModMulError> {
+        self.sleeps.fetch_add(1, Ordering::Relaxed);
         std::thread::sleep(self.delay);
         Ok(&(a * b) % &self.p)
+    }
+
+    fn mod_mul_batch(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        if pairs.len() >= LANE_MIN_PAIRS {
+            self.mod_mul_batch_laned(pairs, DEFAULT_LANES)
+        } else {
+            self.mod_mul_batch_scalar(pairs)
+        }
+    }
+
+    fn mod_mul_batch_scalar(&self, pairs: &[(UBig, UBig)]) -> Result<Vec<UBig>, ModMulError> {
+        pairs.iter().map(|(a, b)| self.mod_mul(a, b)).collect()
+    }
+
+    fn mod_mul_batch_laned(
+        &self,
+        pairs: &[(UBig, UBig)],
+        lanes: usize,
+    ) -> Result<Vec<UBig>, ModMulError> {
+        let lanes = lanes.max(1);
+        let mut out = Vec::with_capacity(pairs.len());
+        for group in pairs.chunks(lanes) {
+            self.sleeps.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.delay);
+            for (a, b) in group {
+                out.push(&(a * b) % &self.p);
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -258,5 +339,42 @@ mod tests {
             ctx.mod_mul(&UBig::from(20u64), &UBig::from(30u64)).unwrap(),
             UBig::from(600u64 % 101)
         );
+    }
+
+    fn pairs(n: u64) -> Vec<(UBig, UBig)> {
+        (0..n)
+            .map(|i| (UBig::from(i + 2), UBig::from(2 * i + 3)))
+            .collect()
+    }
+
+    #[test]
+    fn failing_batch_dispatches_laned_and_fires_the_fuse_there() {
+        let ctx = FailingPrepared::new(UBig::from(97u64), 6, FailureMode::Error);
+        let batch = pairs(LANE_MIN_PAIRS as u64 + 4);
+        assert!(ctx.mod_mul_batch(&batch).is_err(), "fuse is inside batch");
+        assert_eq!(
+            ctx.laned_batches(),
+            1,
+            "long batch must take the laned seam"
+        );
+        // Short batches stay scalar.
+        let short = FailingPrepared::new(UBig::from(97u64), u64::MAX, FailureMode::Error);
+        short
+            .mod_mul_batch(&pairs(LANE_MIN_PAIRS as u64 - 1))
+            .unwrap();
+        assert_eq!(short.laned_batches(), 0);
+    }
+
+    #[test]
+    fn slow_batch_amortizes_the_stall_per_lane_group() {
+        let p = UBig::from(101u64);
+        let ctx = SlowPrepared::new(p.clone(), Duration::from_micros(10));
+        let batch = pairs(16);
+        let out = ctx.mod_mul_batch_laned(&batch, 8).unwrap();
+        let expect: Vec<UBig> = batch.iter().map(|(a, b)| &(a * b) % &p).collect();
+        assert_eq!(out, expect, "laned seam must stay correct");
+        assert_eq!(ctx.sleeps(), 2, "one stall per group of 8, not per pair");
+        ctx.mod_mul_batch_scalar(&batch[..3]).unwrap();
+        assert_eq!(ctx.sleeps(), 5, "scalar seam stalls per pair");
     }
 }

@@ -1,0 +1,223 @@
+//! Self-tuning pool invariants: engine choice must never change
+//! results (autotuned ≡ pinned ≡ oracle under every `TunePolicy`),
+//! `Profile` decisions must be deterministic for a fixed profile
+//! table, and LRU eviction must never discard what a pool learned
+//! about a modulus.
+
+use std::sync::Arc;
+
+use modsram_bigint::UBig;
+use modsram_core::autotune::{AutoTuner, EngineProfile, Parity, TunePolicy};
+use modsram_core::dispatch::ContextPool;
+use modsram_core::service::{ModSramService, ServiceConfig};
+use modsram_core::MulJob;
+use proptest::prelude::*;
+
+/// Odd and even moduli > 1, from 1 to 4 limbs.
+fn modulus_strategy() -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 1..=4).prop_map(|limbs| {
+        let p = UBig::from_limbs(limbs);
+        if p <= UBig::one() {
+            UBig::from(3u64)
+        } else {
+            p
+        }
+    })
+}
+
+fn policies() -> Vec<TunePolicy> {
+    vec![
+        TunePolicy::pinned("r4csa-lut"),
+        TunePolicy::Profile,
+        TunePolicy::Race {
+            calib_pairs: 6,
+            repay_mults: 1_000_000,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The correctness core of the tentpole: whatever engine any
+    /// policy picks for whatever modulus parity, results equal the
+    /// pinned pool and the direct oracle.
+    #[test]
+    fn autotuned_pool_matches_pinned_and_oracle(
+        p in modulus_strategy(),
+        a_limbs in prop::collection::vec(any::<u64>(), 4),
+        b_limbs in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        let a = &UBig::from_limbs(a_limbs) % &p;
+        let b = &UBig::from_limbs(b_limbs) % &p;
+        let oracle = &(&a * &b) % &p;
+        let pinned = ContextPool::for_engine_name("r4csa-lut").unwrap();
+        let pinned_out = pinned.context(&p).unwrap().mod_mul(&a, &b).unwrap();
+        prop_assert_eq!(&pinned_out, &oracle);
+        for policy in policies() {
+            let pool = ContextPool::auto(policy.clone());
+            let ctx = pool.context(&p).unwrap();
+            let got = ctx.mod_mul(&a, &b).unwrap();
+            prop_assert_eq!(
+                &got, &oracle,
+                "policy {:?} chose {:?} and diverged",
+                policy,
+                pool.tuner().and_then(|t| t.chosen_engine(&p))
+            );
+            // The decision respects parity: an even modulus never
+            // lands on the Montgomery family.
+            if p.is_even() {
+                let chosen = pool.tuner().unwrap().chosen_engine(&p).unwrap();
+                prop_assert_ne!(chosen, "montgomery".to_string());
+            }
+        }
+    }
+
+    /// `Profile` with one fixed table always picks the same engine —
+    /// across fresh tuners and repeated asks.
+    #[test]
+    fn profile_policy_is_deterministic(p in modulus_strategy()) {
+        let mut profile = EngineProfile::new();
+        let parity = Parity::of(&p);
+        // A table that contradicts the model ranking, so the test
+        // fails if the tuner silently ignores the table.
+        profile.record(p.bit_len(), parity, "carryfree", 10.0);
+        profile.record(p.bit_len(), parity, "barrett", 20.0);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let tuner = AutoTuner::with_profile(TunePolicy::Profile, profile.clone());
+            tuner.prepare(&p).unwrap();
+            seen.push(tuner.chosen_engine(&p).unwrap());
+        }
+        prop_assert!(seen.iter().all(|s| s == "carryfree"), "got {:?}", seen);
+    }
+}
+
+/// A `Profile` tuner fed from a serialized `engine_profile.json` file
+/// behaves exactly like one fed the in-memory table: save → load →
+/// same deterministic pick.
+#[test]
+fn profile_round_trip_through_disk_preserves_choice() {
+    let p = UBig::from(0xffff_ffff_ffff_ffc5u64);
+    let mut profile = EngineProfile::new();
+    profile.record(p.bit_len(), Parity::Odd, "montgomery", 5.0);
+    profile.record(p.bit_len(), Parity::Odd, "barrett", 50.0);
+    let path =
+        std::env::temp_dir().join(format!("modsram_autotune_test_{}.json", std::process::id()));
+    profile.save(&path).unwrap();
+    let loaded = EngineProfile::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, profile);
+    for _ in 0..3 {
+        let tuner = AutoTuner::with_profile(TunePolicy::Profile, loaded.clone());
+        tuner.prepare(&p).unwrap();
+        assert_eq!(tuner.chosen_engine(&p).unwrap(), "montgomery");
+    }
+}
+
+/// Regression: a capacity-bounded autotuning pool that evicts a
+/// modulus must keep its learned engine choice — the re-prepared
+/// modulus skips the race and lands on the same engine.
+#[test]
+fn lru_eviction_preserves_learned_engine_choice() {
+    let pool = ContextPool::auto(TunePolicy::Race {
+        calib_pairs: 6,
+        repay_mults: 1_000_000,
+    })
+    .with_capacity(2);
+    // Three distinct (bits, parity) shapes so each prepare races.
+    let m1 = UBig::from(0xffff_ffff_ffff_ffc5u64); // 64-bit odd
+    let m2 = UBig::from(0xffff_fffeu64); // 32-bit even
+    let m3 = UBig::from_limbs(vec![0x1d, 0, 0, 1]); // 193-bit odd
+    pool.context(&m1).unwrap();
+    let tuner = Arc::clone(pool.tuner().unwrap());
+    let first_choice = tuner.chosen_engine(&m1).unwrap();
+    pool.context(&m2).unwrap();
+    pool.context(&m3).unwrap(); // capacity 2 → m1 evicted
+    assert_eq!(pool.evictions(), 1);
+    assert_eq!(tuner.stats().evicted_tuned, 1);
+    let races_before = tuner.stats().races_run;
+    let ctx = pool.context(&m1).unwrap(); // re-prepare the evicted modulus
+    assert_eq!(
+        tuner.stats().races_run,
+        races_before,
+        "re-preparing an evicted modulus must not re-race"
+    );
+    assert_eq!(tuner.chosen_engine(&m1).unwrap(), first_choice);
+    assert_eq!(
+        tuner.stats().tuned_moduli,
+        3,
+        "eviction must not forget decisions"
+    );
+    // And the re-prepared context still computes correctly.
+    let a = UBig::from(123_456_789u64);
+    let b = UBig::from(987_654_321u64);
+    assert_eq!(ctx.mod_mul(&a, &b).unwrap(), &(&a * &b) % &m1);
+}
+
+/// The continuous-tuning hook: production evidence moves a race's
+/// choice (transferring the win, not duplicating it), but never
+/// overrides a `Pinned` policy or a parity constraint.
+#[test]
+fn adopt_choice_follows_production_evidence_but_respects_policy_and_parity() {
+    let p = UBig::from(1_000_003u64);
+    let tuner = AutoTuner::new(TunePolicy::race());
+    tuner.prepare(&p).unwrap();
+    let first = tuner.chosen_engine(&p).unwrap();
+    let other = if first == "barrett" {
+        "carryfree"
+    } else {
+        "barrett"
+    };
+    tuner.observe(&p, other, 1.0);
+    assert!(tuner.adopt_choice(&p, other));
+    assert_eq!(tuner.chosen_engine(&p).unwrap(), other);
+    let stats = tuner.stats();
+    assert_eq!(stats.refinements, 1);
+    let total: u64 = stats.engine_wins.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, 1, "a refinement moves the win, not duplicates it");
+    // Re-adopting the current choice is a no-op, not a refinement.
+    assert!(tuner.adopt_choice(&p, other));
+    assert_eq!(tuner.stats().refinements, 1);
+    // Parity guard: an even modulus can never adopt montgomery.
+    let even = UBig::from(1_000_006u64);
+    tuner.prepare(&even).unwrap();
+    assert!(!tuner.adopt_choice(&even, "montgomery"));
+    // Pinned tuners never move.
+    let pinned = AutoTuner::new(TunePolicy::pinned("barrett"));
+    pinned.prepare(&p).unwrap();
+    assert!(!pinned.adopt_choice(&p, "carryfree"));
+    assert_eq!(pinned.chosen_engine(&p).unwrap(), "barrett");
+}
+
+/// End-to-end: a self-tuning service serves mixed-parity traffic
+/// correctly and surfaces tuning counters through `ServiceStats`.
+#[test]
+fn auto_service_serves_mixed_parity_and_reports_stats() {
+    let service = ModSramService::auto(TunePolicy::race(), ServiceConfig::default());
+    let odd = UBig::from(1_000_003u64);
+    let even = UBig::from(1_000_006u64);
+    let mut tickets = Vec::new();
+    for i in 0..32u64 {
+        let p = if i % 2 == 0 { &odd } else { &even };
+        let a = UBig::from(3 * i + 7);
+        let b = UBig::from(5 * i + 11);
+        tickets.push((
+            a.clone(),
+            b.clone(),
+            p.clone(),
+            service.submit(MulJob::new(a, b, p.clone())).unwrap(),
+        ));
+    }
+    for (a, b, p, t) in tickets {
+        assert_eq!(t.wait().unwrap(), &(&a * &b) % &p);
+    }
+    let stats = service.shutdown();
+    let tuning = stats
+        .autotune
+        .expect("auto service must report tuning stats");
+    assert_eq!(tuning.tuned_moduli, 2);
+    assert_eq!(tuning.policy, "race");
+    let total_wins: u64 = tuning.engine_wins.iter().map(|(_, n)| n).sum();
+    assert_eq!(total_wins, 2);
+}

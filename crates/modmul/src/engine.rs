@@ -183,6 +183,48 @@ pub fn engine_by_name(name: &str) -> Option<Box<dyn ModMulEngine>> {
         .map(|(_, ctor)| ctor())
 }
 
+/// Engines whose `prepare` rejects even moduli (the Montgomery family:
+/// REDC needs `gcd(p, 2) = 1`). Candidate enumeration for autotuning
+/// filters on this so a racing pool never wastes a calibration pass on
+/// an engine that cannot prepare the modulus at all.
+pub const ODD_ONLY_ENGINES: &[&str] = &["montgomery"];
+
+/// `true` when the named engine can prepare a modulus of `p`'s parity.
+/// Unknown names are `false`.
+pub fn engine_supports_modulus(name: &str, p: &UBig) -> bool {
+    ENGINE_REGISTRY.iter().any(|(n, _)| *n == name)
+        && (!p.is_even() || !ODD_ONLY_ENGINES.contains(&name))
+}
+
+/// The registry engines able to prepare `p`, in registry order: every
+/// engine for an odd modulus, everything but [`ODD_ONLY_ENGINES`] for
+/// an even one. This is the candidate set a self-tuning pool races.
+pub fn engine_candidates_for(p: &UBig) -> Vec<&'static str> {
+    ENGINE_REGISTRY
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| engine_supports_modulus(n, p))
+        .collect()
+}
+
+/// Modelled cycles of one `n_bits` multiplication on the named registry
+/// engine, routed through that engine's [`CycleModel`]. `None` for
+/// `direct` (the oracle corresponds to no hardware design) and for
+/// unknown names — callers ranking candidates treat `None` as "never
+/// wins the model ranking".
+pub fn modelled_cycles_by_name(name: &str, n_bits: usize) -> Option<u64> {
+    match name {
+        "interleaved" => Some(crate::InterleavedEngine::new().cycles(n_bits)),
+        "radix4" => Some(crate::Radix4Engine::new().cycles(n_bits)),
+        "radix8" => Some(crate::Radix8Engine::new().cycles(n_bits)),
+        "r4csa-lut" => Some(crate::R4CsaLutEngine::new().cycles(n_bits)),
+        "montgomery" => Some(crate::MontgomeryEngine::new().cycles(n_bits)),
+        "barrett" => Some(crate::BarrettEngine::new().cycles(n_bits)),
+        "carryfree" => Some(crate::CarryFreeEngine::new().cycles(n_bits)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,8 +66,9 @@ pub use barrett::{BarrettEngine, PreparedBarrett};
 pub use carryfree::{CarryFreeEngine, PreparedCarryFree};
 pub use csa::CsaState;
 pub use engine::{
-    all_engines, engine_by_name, engine_names, CycleModel, DirectEngine, EngineCtor, ModMulEngine,
-    ModMulError, ENGINE_REGISTRY,
+    all_engines, engine_by_name, engine_candidates_for, engine_names, engine_supports_modulus,
+    modelled_cycles_by_name, CycleModel, DirectEngine, EngineCtor, ModMulEngine, ModMulError,
+    ENGINE_REGISTRY, ODD_ONLY_ENGINES,
 };
 pub use interleaved::InterleavedEngine;
 pub use lanes::{

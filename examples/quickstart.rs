@@ -12,7 +12,9 @@ use std::time::Duration;
 use modsram::arch::ModSram;
 use modsram::bigint::UBig;
 use modsram::modmul::{CarryFreeEngine, ModMulEngine, MontgomeryEngine, R4CsaLutEngine};
-use modsram::{ClusterConfig, ModSramService, MulJob, ServiceCluster, ServiceConfig};
+use modsram::{
+    AutoTuner, ClusterConfig, ModSramService, MulJob, ServiceCluster, ServiceConfig, TunePolicy,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The secp256k1 field prime — a 256-bit modulus, the paper's target.
@@ -166,6 +168,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         added.tile, added.epoch, added.rehomed_moduli
     );
     cluster.shutdown();
+
+    // ---- Self-tuning engine selection -------------------------------------
+    // Instead of naming an engine, let the service measure: under
+    // TunePolicy::Race the first prepare of each modulus races every
+    // parity-legal engine on a deterministic, oracle-checked
+    // calibration batch and pins the winner (montgomery is skipped
+    // for even moduli automatically). The measured table is an
+    // EngineProfile keyed by (bit_width, parity).
+    let service = ModSramService::auto(TunePolicy::race(), ServiceConfig::default());
+    let even = UBig::from(1_000_006u64);
+    for p in [&p, &even] {
+        let ticket = service.submit(MulJob::new(a.clone(), b.clone(), p.clone()))?;
+        assert_eq!(ticket.wait().expect("valid modulus"), &(&a * &b) % p);
+    }
+    let stats = service.shutdown();
+    let tuning = stats.autotune.expect("auto service reports tuning stats");
+    println!("\nself-tuning service:");
+    println!(
+        "  policy {}: {} moduli tuned in {} races ({:.2} ms calibration)",
+        tuning.policy,
+        tuning.tuned_moduli,
+        tuning.races_run,
+        tuning.calibration_ns as f64 / 1e6
+    );
+    for (engine, wins) in &tuning.engine_wins {
+        println!("  winner           : {engine} x{wins}");
+    }
+
+    // Day two: warm a Profile pool from the table the races filled in
+    // — the same winners, no races paid. (bin/autotune persists such
+    // a table to results/engine_profile.json; EngineProfile::load
+    // warm-starts from disk.)
+    let race_tuner = AutoTuner::new(TunePolicy::race());
+    race_tuner.prepare(&p)?;
+    let chosen = race_tuner
+        .chosen_engine(&p)
+        .expect("race committed a choice");
+    let warmed = AutoTuner::with_profile(TunePolicy::Profile, race_tuner.profile_snapshot());
+    warmed.prepare(&p)?;
+    assert_eq!(warmed.chosen_engine(&p).expect("table hit"), chosen);
+    assert_eq!(warmed.stats().races_run, 0, "profile pools never race");
+    println!("  profile warm-start re-picks {chosen} without racing: ok");
 
     // ---- The engine layer: prepare once, execute hot -----------------------
     let ctx = R4CsaLutEngine::new().prepare(&p)?;

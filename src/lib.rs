@@ -147,6 +147,7 @@
 //! | `montgomery` | REDC in Montgomery domain | odd | ✓ |
 //! | `barrett` | precomputed-reciprocal reduction | any | ✓ |
 //! | `carryfree` | carry-save accumulation + bit-inspection reduction; carries propagate only at the final normalize | any | ✓ |
+//! | *auto* | self-tuning: races the parity-legal engines per modulus and pins the measured winner ([`TunePolicy`]) | any | per winner |
 //!
 //! **When does laning win?** Engines marked ✓ transpose batches into
 //! structure-of-arrays lanes ([`modmul::lanes`]) so eight independent
@@ -160,6 +161,53 @@
 //! work dominates either way. `cargo run --release --bin hotpath`
 //! regenerates `results/hotpath_sweep.json` with the numbers for your
 //! host.
+//!
+//! # Self-tuning engine selection
+//!
+//! Picking from that table by hand bakes one host's trade-offs into
+//! the code. The *auto* row instead lets the pool measure: under
+//! [`TunePolicy::Race`] the first `prepare` of a modulus runs a
+//! micro-race of every parity-legal engine on a deterministic,
+//! oracle-checked calibration batch and pins the winner for that
+//! modulus; the measured nanoseconds land in an [`EngineProfile`]
+//! table keyed by `(bit_width, parity)`. [`TunePolicy::Profile`]
+//! consumes such a table (from a prior run, or
+//! `results/engine_profile.json` written by `cargo run --release
+//! --bin autotune`) without racing at all, falling back to the cycle
+//! models when a shape is cold, and [`TunePolicy::Pinned`] recovers
+//! the old fixed-engine behaviour. Decisions survive LRU eviction,
+//! and [`ServiceStats`]/[`ClusterStats`] report the tuning counters:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use modsram::arch::{AutoTuner, ContextPool};
+//! use modsram::bigint::UBig;
+//! use modsram::TunePolicy;
+//!
+//! // Day one: race. The first prepare measures every candidate on an
+//! // oracle-checked calibration batch and pins the winner.
+//! let pool = ContextPool::auto(TunePolicy::race());
+//! let p = UBig::from(1_000_003u64);
+//! let c = pool.context(&p).unwrap()
+//!     .mod_mul(&UBig::from(55u64), &UBig::from(44u64)).unwrap();
+//! assert_eq!(c, UBig::from(55u64 * 44 % 1_000_003));
+//! let tuner = pool.tuner().unwrap();
+//! let chosen = tuner.chosen_engine(&p).unwrap();
+//!
+//! // Day two: the measured table warms a Profile pool — same winner,
+//! // zero races paid.
+//! let warmed = ContextPool::with_tuner(Arc::new(AutoTuner::with_profile(
+//!     TunePolicy::Profile,
+//!     tuner.profile_snapshot(),
+//! )));
+//! warmed.context(&p).unwrap();
+//! assert_eq!(warmed.tuner().unwrap().chosen_engine(&p).unwrap(), chosen);
+//! assert_eq!(warmed.tuner().unwrap().stats().races_run, 0);
+//! ```
+//!
+//! The same policies plug into the serving layer via
+//! [`ModSramService::auto`] and [`ServiceCluster::auto`] (one shared
+//! tuner across all tiles, so a modulus races once cluster-wide).
 //!
 //! The cycle-accurate accelerator exposes the same two-phase API (its
 //! prepared context holds a modulus-loaded device), alongside the
@@ -212,6 +260,7 @@
 // The streaming service and its multi-tile cluster are the primary
 // serving entry points; re-export them (and the job type they
 // consume) at the crate root.
+pub use modsram_core::autotune::{AutoTuner, AutotuneStats, EngineProfile, TunePolicy};
 pub use modsram_core::cluster::{
     BulkSubmitFailure, ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError,
     MembershipChange, ProbeReport, ServiceCluster, SpillPolicy, TileState,

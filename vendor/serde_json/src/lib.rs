@@ -4,8 +4,13 @@
 //! what the benchmark binaries use to emit artifacts: the [`Value`]
 //! tree, the [`json!`] constructor macro (object literals, nested
 //! objects, `null`, arrays, and arbitrary expressions convertible via
-//! [`Value::from`]), and [`to_string_pretty`]. There is no
-//! deserialisation and no serde integration — artifacts are write-only.
+//! [`Value::from`]), and [`to_string_pretty`]. Since the autotuner
+//! round-trips engine profiles through `results/engine_profile.json`,
+//! the shim also carries a small recursive-descent parser
+//! ([`from_str`]) and the typed accessors ([`Value::get`],
+//! [`Value::as_u64`], …) consumers use to walk a parsed tree. There is
+//! still no serde derive integration — callers build and destructure
+//! [`Value`] trees by hand.
 
 use std::fmt;
 
@@ -28,14 +33,112 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
-/// Serialisation errors. The shim's writer is total, so this is never
-/// produced; it exists so call sites can keep `.expect(...)`.
+impl Value {
+    /// Object field lookup by key (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup by index (`None` on non-arrays).
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (or a
+    /// float with an exact non-negative integral value).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert losslessly enough for
+    /// artifact metrics).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object fields, in document order.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialisation/deserialisation errors. The shim's writer is total, so
+/// serialisation never produces one; the parser ([`from_str`]) reports
+/// malformed input with a byte offset.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset,
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error (unreachable)")
+        write!(f, "{} at byte {}", self.message, self.offset)
     }
 }
 
@@ -223,6 +326,236 @@ fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
     }
 }
 
+/// Recursive-descent JSON parser over the input bytes. Supports the
+/// full [`Value`] surface this shim can serialise: `null`, booleans,
+/// integers, floats (including exponents), escaped strings (`\uXXXX`
+/// included), arrays, and objects.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected '{lit}'"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::parse(
+                format!("unexpected byte 0x{other:02x}"),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::parse("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates (emitted only for exotic input)
+                            // degrade to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                format!("bad escape '\\{}'", other as char),
+                                self.pos - 1,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is a &str,
+                    // so boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| Error::parse("invalid UTF-8 inside string", start))?,
+                    );
+                    self.pos = end;
+                }
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(format!("bad float '{text}'"), start))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error::parse(format!("bad integer '{text}'"), start))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Reports the first malformed construct with its byte offset. Trailing
+/// non-whitespace after the document is an error.
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut parser = Parser::new(input);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse("trailing characters", parser.pos));
+    }
+    Ok(value)
+}
+
 /// Serialises with two-space indentation.
 pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String> {
     let mut out = String::new();
@@ -250,14 +583,16 @@ pub fn __collect<T>(fill: impl FnOnce(&mut Vec<T>)) -> Vec<T> {
 #[macro_export]
 macro_rules! json {
     (null) => { $crate::Value::Null };
+    // The closure bindings are underscore-prefixed so an empty literal
+    // (`json!([])`, `json!({})`) expands without an unused-variable lint.
     ([ $($tt:tt)* ]) => {
-        $crate::Value::Array($crate::__collect(|array| {
-            $crate::json_internal!(@array array $($tt)*);
+        $crate::Value::Array($crate::__collect(|_array| {
+            $crate::json_internal!(@array _array $($tt)*);
         }))
     };
     ({ $($tt:tt)* }) => {
-        $crate::Value::Object($crate::__collect(|object| {
-            $crate::json_internal!(@object object $($tt)*);
+        $crate::Value::Object($crate::__collect(|_object| {
+            $crate::json_internal!(@object _object $($tt)*);
         }))
     };
     ($other:expr) => { $crate::Value::from($other) };
@@ -385,5 +720,47 @@ mod tests {
     fn string_escaping() {
         let v = json!({ "s": "a\"b\\c\nd" });
         assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = json!({
+            "name": "engine_profile",
+            "version": 1u64,
+            "ratio": 2.25,
+            "neg": -17i64,
+            "whole_float": 3.0,
+            "flags": [true, false, null],
+            "nested": { "s": "a\"b\\c\nd", "empty_arr": [], "empty_obj": {} },
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn parser_reads_typed_fields() {
+        let v = from_str(r#"{"bits": 256, "ns": 12.5, "engine": "barrett", "exp": 1e3}"#).unwrap();
+        assert_eq!(v.get("bits").and_then(Value::as_u64), Some(256));
+        assert_eq!(v.get("ns").and_then(Value::as_f64), Some(12.5));
+        assert_eq!(v.get("engine").and_then(Value::as_str), Some("barrett"));
+        assert_eq!(v.get("exp").and_then(Value::as_f64), Some(1000.0));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"open"] {
+            assert!(from_str(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_and_raw_utf8() {
+        let v = from_str("[\"\\u00e9\", \"é\", \"A\"]").unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("é"));
+        assert_eq!(items[1].as_str(), Some("é"));
+        assert_eq!(items[2].as_str(), Some("A"));
     }
 }
