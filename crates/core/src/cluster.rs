@@ -330,8 +330,13 @@ pub struct ProbeReport {
 }
 
 /// One tile plus its routing tallies and probation bookkeeping.
+///
+/// The service is behind an `Arc` so out-of-band consumers (the wire
+/// front-end, health scrapers) can hold a tile's submission seam via
+/// [`ServiceCluster::tile_service`] while the cluster keeps routing to
+/// it — both sides observe the same admissions gate.
 struct TileCell {
-    service: ModSramService,
+    service: Arc<ModSramService>,
     /// Jobs accepted with this tile as their natural home.
     routed: AtomicU64,
     /// Jobs accepted here after spilling (or failing over) from
@@ -350,7 +355,7 @@ struct TileCell {
 }
 
 impl TileCell {
-    fn new(service: ModSramService) -> Self {
+    fn new(service: Arc<ModSramService>) -> Self {
         TileCell {
             service,
             routed: AtomicU64::new(0),
@@ -946,7 +951,7 @@ impl ServiceCluster {
         assert!(!services.is_empty(), "a cluster needs at least one tile");
         let tiles: Vec<Arc<TileCell>> = services
             .into_iter()
-            .map(|service| Arc::new(TileCell::new(service)))
+            .map(|service| Arc::new(TileCell::new(Arc::new(service))))
             .collect();
         let states = vec![TileState::Active; tiles.len()];
         ServiceCluster {
@@ -1075,6 +1080,23 @@ impl ServiceCluster {
         self.shared.snapshot().states.get(tile).copied()
     }
 
+    /// A shared handle to one tile's underlying service, `None` for an
+    /// out-of-range index.
+    ///
+    /// This is the seam a wire front-end uses to expose a single tile
+    /// directly (tenant pinned to one tile) while the cluster keeps
+    /// owning its lifecycle: both sides submit through the same
+    /// admissions gate, so a live [`ServiceCluster::drain_tile`] is
+    /// observed by the out-of-band holder as
+    /// [`SubmitError`](crate::service::SubmitError)`::Paused`.
+    pub fn tile_service(&self, tile: usize) -> Option<Arc<ModSramService>> {
+        self.shared
+            .snapshot()
+            .tiles
+            .get(tile)
+            .map(|cell| Arc::clone(&cell.service))
+    }
+
     /// The natural home tile (rendezvous rank 0 among **routable**
     /// tiles, health ignored) for a modulus — where its traffic lands
     /// in steady state under the current membership. When *no* tile is
@@ -1116,7 +1138,7 @@ impl ServiceCluster {
         let tile = guard.tiles.len();
         let mut tiles = guard.tiles.clone();
         let mut states = guard.states.clone();
-        tiles.push(Arc::new(TileCell::new(service)));
+        tiles.push(Arc::new(TileCell::new(Arc::new(service))));
         states.push(TileState::Active);
         let next = Arc::new(Membership {
             epoch: guard.epoch + 1,

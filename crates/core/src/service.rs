@@ -239,6 +239,44 @@ impl Ticket {
         }
     }
 
+    /// Blocks until the job completes or `timeout` elapses.
+    ///
+    /// Returns `None` on timeout — the ticket is still live and may be
+    /// waited on again (connection handlers use this to bound how long
+    /// a writer thread parks on one response without abandoning it).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<UBig, ServiceError>> {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// Like [`Ticket::wait_timeout`], but against an absolute deadline:
+    /// a `try_poll` loop that parks on the completion condvar between
+    /// polls, so callers iterating many tickets toward one shared
+    /// deadline don't accumulate per-ticket timeout drift.
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<Result<UBig, ServiceError>> {
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())?;
+            let (guard, timed_out) = self
+                .state
+                .ready
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+            if timed_out.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+
     /// Returns the result if the job has completed, `None` while it is
     /// still queued or executing.
     pub fn try_poll(&self) -> Option<Result<UBig, ServiceError>> {
@@ -1465,6 +1503,61 @@ mod tests {
         assert_eq!(value, UBig::from(42u64));
         assert_eq!(ticket.try_poll(), Some(Ok(UBig::from(42u64))));
         assert!(ticket.is_done());
+    }
+
+    #[test]
+    fn wait_timeout_on_time_path_returns_result() {
+        let service = ModSramService::for_engine_name("direct", tiny_config()).unwrap();
+        let ticket = service
+            .submit(MulJob::new(
+                UBig::from(6u64),
+                UBig::from(7u64),
+                UBig::from(97u64),
+            ))
+            .unwrap();
+        // Generous budget: the job completes well inside it.
+        let got = ticket.wait_timeout(Duration::from_secs(30));
+        assert_eq!(got, Some(Ok(UBig::from(42u64))));
+        // A completed ticket keeps answering instantly, even with a
+        // zero budget or an already-expired deadline.
+        assert_eq!(
+            ticket.wait_timeout(Duration::ZERO),
+            Some(Ok(UBig::from(42u64)))
+        );
+        assert_eq!(
+            ticket.wait_deadline(Instant::now() - Duration::from_secs(1)),
+            Some(Ok(UBig::from(42u64)))
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_pending_ticket_then_redeems() {
+        // A hand-built pending ticket: nothing completes it until the
+        // test does, so the timeout path is deterministic.
+        let state = TicketState::new();
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+        };
+        let start = Instant::now();
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(20)), None);
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "timeout returned early"
+        );
+        assert_eq!(ticket.wait_deadline(Instant::now()), None);
+        assert!(!ticket.is_done(), "timing out must not consume the ticket");
+        // Late delivery still redeems: the same ticket can be waited on
+        // again after any number of timeouts.
+        let deliverer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            state.complete(Ok(UBig::from(9u64)));
+        });
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(30)),
+            Some(Ok(UBig::from(9u64)))
+        );
+        deliverer.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Per-tenant identity and admission limits.
+//!
+//! A [`TenantRegistry`] maps tenant names to API keys and limits.
+//! Limits are enforced **per tenant, across all of that tenant's
+//! connections**: one [`TenantCell`] is shared by every connection
+//! that authenticated as the tenant, so the in-flight count and the
+//! token bucket see the tenant's aggregate traffic, not one socket's.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Admission limits for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLimits {
+    /// Jobs the tenant may have in flight (accepted, response not yet
+    /// delivered) across all its connections.
+    pub max_inflight: u32,
+    /// Sustained submissions per second, `0.0` for unlimited. Enforced
+    /// by a token bucket refilled continuously.
+    pub rate_per_sec: f64,
+    /// Bucket depth: how far above the sustained rate a burst may go.
+    pub burst: u32,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        TenantLimits {
+            max_inflight: 4096,
+            rate_per_sec: 0.0,
+            burst: 256,
+        }
+    }
+}
+
+/// Why a tenant-level admission check refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantRefusal {
+    /// Token bucket empty; a token accrues in roughly `retry_after`.
+    RateLimited { retry_after: Duration },
+    /// At [`TenantLimits::max_inflight`]; capacity frees when
+    /// responses are delivered.
+    InflightFull,
+}
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// One authenticated tenant's shared admission state.
+pub struct TenantCell {
+    name: String,
+    key: u64,
+    limits: TenantLimits,
+    inflight: AtomicU64,
+    bucket: Mutex<Bucket>,
+}
+
+// The API key stays out of Debug output on purpose.
+impl std::fmt::Debug for TenantCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantCell")
+            .field("name", &self.name)
+            .field("limits", &self.limits)
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+impl TenantCell {
+    fn new(name: String, key: u64, limits: TenantLimits) -> Self {
+        TenantCell {
+            name,
+            key,
+            limits,
+            inflight: AtomicU64::new(0),
+            bucket: Mutex::new(Bucket {
+                tokens: limits.burst.max(1) as f64,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// The tenant's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's limits as registered.
+    pub fn limits(&self) -> TenantLimits {
+        self.limits
+    }
+
+    /// Jobs currently in flight for this tenant.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Claims one admission slot: charges the token bucket and takes
+    /// an in-flight slot. On `Ok(())` the caller **must** pair the
+    /// claim with [`TenantCell::end_job`] once the job's terminal
+    /// response is delivered.
+    pub fn begin_job(&self) -> Result<(), TenantRefusal> {
+        // Rate first: a rate-limited refusal must not consume an
+        // in-flight slot.
+        if self.limits.rate_per_sec > 0.0 {
+            let mut bucket = self.bucket.lock().unwrap_or_else(PoisonError::into_inner);
+            let now = Instant::now();
+            let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * self.limits.rate_per_sec)
+                .min(self.limits.burst.max(1) as f64);
+            bucket.last_refill = now;
+            if bucket.tokens < 1.0 {
+                let deficit = 1.0 - bucket.tokens;
+                let secs = deficit / self.limits.rate_per_sec;
+                return Err(TenantRefusal::RateLimited {
+                    retry_after: Duration::from_secs_f64(secs.max(0.001)),
+                });
+            }
+            bucket.tokens -= 1.0;
+        }
+        // In-flight cap, taken optimistically and rolled back on
+        // overshoot so concurrent connections can't leak past the cap.
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= u64::from(self.limits.max_inflight) {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            // Refund the token the refused job charged.
+            if self.limits.rate_per_sec > 0.0 {
+                let mut bucket = self.bucket.lock().unwrap_or_else(PoisonError::into_inner);
+                bucket.tokens = (bucket.tokens + 1.0).min(self.limits.burst.max(1) as f64);
+            }
+            return Err(TenantRefusal::InflightFull);
+        }
+        Ok(())
+    }
+
+    /// Releases the in-flight slot claimed by [`TenantCell::begin_job`].
+    pub fn end_job(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Why a `Hello` was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// No tenant registered under the presented name.
+    UnknownTenant,
+    /// The name exists but the key does not match.
+    BadKey,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::UnknownTenant => write!(f, "unknown tenant"),
+            AuthError::BadKey => write!(f, "bad API key"),
+        }
+    }
+}
+
+/// The tenant directory a [`crate::server::WireServer`] authenticates
+/// against. Registration is allowed while the server runs.
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<TenantCell>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry (every `Hello` is refused until tenants are
+    /// registered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a tenant under `name` with API `key`.
+    pub fn register(&self, name: &str, key: u64, limits: TenantLimits) -> Arc<TenantCell> {
+        let cell = Arc::new(TenantCell::new(name.to_string(), key, limits));
+        self.tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    /// Authenticates a `Hello`; constant shape regardless of which
+    /// check fails so the reply doesn't oracle tenant existence any
+    /// more than its typed variant admits.
+    pub fn authenticate(&self, name: &str, key: u64) -> Result<Arc<TenantCell>, AuthError> {
+        let tenants = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
+        let cell = tenants.get(name).ok_or(AuthError::UnknownTenant)?;
+        if cell.key != key {
+            return Err(AuthError::BadKey);
+        }
+        Ok(Arc::clone(cell))
+    }
+
+    /// Registered tenant names, sorted (for stats rendering).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authenticate_checks_name_and_key() {
+        let registry = TenantRegistry::new();
+        registry.register("alice", 42, TenantLimits::default());
+        assert!(registry.authenticate("alice", 42).is_ok());
+        assert_eq!(
+            registry.authenticate("alice", 41).unwrap_err(),
+            AuthError::BadKey
+        );
+        assert_eq!(
+            registry.authenticate("bob", 42).unwrap_err(),
+            AuthError::UnknownTenant
+        );
+    }
+
+    #[test]
+    fn inflight_cap_is_claimed_and_released() {
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 2,
+                ..Default::default()
+            },
+        );
+        cell.begin_job().unwrap();
+        cell.begin_job().unwrap();
+        assert_eq!(cell.begin_job().unwrap_err(), TenantRefusal::InflightFull);
+        cell.end_job();
+        cell.begin_job().unwrap();
+        assert_eq!(cell.inflight(), 2);
+    }
+
+    #[test]
+    fn token_bucket_limits_sustained_rate() {
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 100,
+                rate_per_sec: 5.0,
+                burst: 2,
+            },
+        );
+        cell.begin_job().unwrap();
+        cell.begin_job().unwrap();
+        let refusal = cell.begin_job().unwrap_err();
+        let TenantRefusal::RateLimited { retry_after } = refusal else {
+            panic!("expected rate refusal, got {refusal:?}");
+        };
+        assert!(retry_after > Duration::ZERO);
+        assert!(retry_after <= Duration::from_millis(250));
+        // Tokens accrue with time: after a full token's worth of wait
+        // the tenant is admitted again.
+        std::thread::sleep(Duration::from_millis(220));
+        cell.begin_job().unwrap();
+    }
+
+    #[test]
+    fn refused_inflight_does_not_eat_a_token() {
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 1,
+                rate_per_sec: 1000.0,
+                burst: 2,
+            },
+        );
+        cell.begin_job().unwrap();
+        assert_eq!(cell.begin_job().unwrap_err(), TenantRefusal::InflightFull);
+        cell.end_job();
+        // The refund above means this immediate retry still has a
+        // token available.
+        cell.begin_job().unwrap();
+    }
+}

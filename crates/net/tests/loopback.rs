@@ -1,0 +1,418 @@
+//! Loopback-socket integration tests: admission edge cases surfaced
+//! at the wire boundary, tenant limits over a real TCP connection,
+//! and the multi-client drain-on-shutdown soak the CI tier-1 step
+//! runs by name.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use modsram_bigint::UBig;
+use modsram_core::cluster::{ClusterConfig, ServiceCluster, SpillPolicy};
+use modsram_core::dispatch::MulJob;
+use modsram_core::service::ServiceConfig;
+use modsram_net::{
+    NetBackend, RetryReason, TenantLimits, TenantRegistry, WireClient, WireConfig, WireError,
+    WireResponse, WireServer,
+};
+
+fn job(a: u64, b: u64, p: u64) -> MulJob {
+    MulJob::new(UBig::from(a), UBig::from(b), UBig::from(p))
+}
+
+fn registry_with(name: &str, key: u64, limits: TenantLimits) -> Arc<TenantRegistry> {
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register(name, key, limits);
+    registry
+}
+
+#[test]
+fn hello_is_authenticated_against_the_registry() {
+    let cluster = ServiceCluster::for_engine_name("barrett", 1, ClusterConfig::default()).unwrap();
+    let registry = registry_with("alice", 7, TenantLimits::default());
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Cluster(cluster.handle()),
+        registry,
+        WireConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    match WireClient::connect(addr, "alice", 8) {
+        Err(WireError::AuthRefused(_)) => {}
+        other => panic!("bad key must be refused, got {other:?}"),
+    }
+    match WireClient::connect(addr, "mallory", 7) {
+        Err(WireError::AuthRefused(_)) => {}
+        other => panic!("unknown tenant must be refused, got {other:?}"),
+    }
+    let ok = WireClient::connect(addr, "alice", 7).unwrap();
+    assert_eq!(ok.max_inflight(), TenantLimits::default().max_inflight);
+    drop(ok);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.auth_failures, 2);
+    assert_eq!(stats.connections_accepted, 3);
+    cluster.shutdown();
+}
+
+/// Satellite: a live `drain_tile` pauses the tile's admissions, and a
+/// wire server fronting that tile (via `tile_service`) must answer
+/// with a `TilePaused` retry-after frame — while every job accepted
+/// before the pause is still delivered with the right product.
+#[test]
+fn paused_tile_during_live_drain_maps_to_tile_paused_retry_frame() {
+    let cluster = ServiceCluster::for_engine_name(
+        "barrett",
+        2,
+        ClusterConfig {
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 256,
+                max_batch: 16,
+                flush_interval: Duration::from_micros(200),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let victim = 0usize;
+    let tile = cluster.tile_service(victim).unwrap();
+    let registry = registry_with("pinned", 11, TenantLimits::default());
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Tile(tile.handle()),
+        registry,
+        WireConfig::default(),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr(), "pinned", 11).unwrap();
+
+    // Jobs accepted before the drain: the drain must deliver them.
+    let before: Vec<u64> = (0..32u64)
+        .map(|i| client.submit(job(i + 2, 3, 1_000_003)).unwrap())
+        .collect();
+
+    // The drain is live: the cluster keeps serving on the other tile,
+    // and this wire server's tile refuses from the instant admissions
+    // pause.
+    let report = cluster.drain_tile(victim).unwrap();
+    assert!(report.active_tiles >= 1);
+
+    for (i, id) in before.iter().enumerate() {
+        let i = i as u64;
+        match client.wait(*id).unwrap() {
+            WireResponse::Done(product) => {
+                assert_eq!(product, UBig::from((i + 2) * 3 % 1_000_003));
+            }
+            // A job racing the pause itself may be refused — but then
+            // it must be refused as paused, not dropped.
+            WireResponse::RetryAfter { reason, .. } => {
+                assert_eq!(reason, RetryReason::TilePaused);
+            }
+            other => panic!("job {i} neither delivered nor typed-refused: {other:?}"),
+        }
+    }
+
+    // Post-drain the tile is paused for good (until probation): the
+    // refusal must be the typed TilePaused frame with a backoff hint.
+    let id = client.submit(job(5, 7, 1_000_003)).unwrap();
+    match client.wait(id).unwrap() {
+        WireResponse::RetryAfter { reason, millis } => {
+            assert_eq!(reason, RetryReason::TilePaused);
+            assert!(millis >= 1);
+        }
+        other => panic!("expected TilePaused retry-after, got {other:?}"),
+    }
+
+    client.close().unwrap();
+    let stats = server.shutdown();
+    assert!(stats.retries("tile_paused") >= 1);
+    assert_eq!(stats.retries("queue_full"), 0);
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.failed,
+        "every accepted job got a terminal frame"
+    );
+    cluster.shutdown();
+}
+
+/// Satellite: under `SpillPolicy::Strict` a full home queue has
+/// nowhere to go — the wire answer must be the `Saturated` retry-after
+/// frame carrying the tried-tile count, distinct from `TilePaused`.
+#[test]
+fn strict_saturation_maps_to_saturated_retry_frame() {
+    let cluster = ServiceCluster::for_engine_name(
+        "r4csa-lut", // slow enough that a burst outruns one worker
+        1,
+        ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                max_batch: 4,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let registry = registry_with("burst", 3, TenantLimits::default());
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Cluster(cluster.handle()),
+        registry,
+        WireConfig::default(),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr(), "burst", 3).unwrap();
+
+    // One big 256-bit batch: the reader admits far faster than one
+    // worker multiplies, so the 4-deep queue must overflow.
+    let p =
+        UBig::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f").unwrap();
+    let jobs: Vec<MulJob> = (0..256u64)
+        .map(|i| MulJob::new(UBig::from(i + 1), UBig::from(12345u64), p.clone()))
+        .collect();
+    let ids = client.submit_batch(jobs.clone()).unwrap();
+
+    let mut done = 0u64;
+    let mut saturated = 0u64;
+    for (i, id) in ids.enumerate() {
+        match client.wait(id).unwrap() {
+            WireResponse::Done(product) => {
+                let expect = &(&jobs[i].a * &jobs[i].b) % &p;
+                assert_eq!(product, expect);
+                done += 1;
+            }
+            WireResponse::RetryAfter { reason, .. } => {
+                // Strict: exactly one tile was offered the job.
+                assert_eq!(reason, RetryReason::Saturated { tried: 1 });
+                saturated += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(done + saturated, 256);
+    assert!(done >= 1, "some of the burst must land");
+    assert!(
+        saturated >= 1,
+        "a 4-deep queue cannot swallow a 256-job burst"
+    );
+
+    client.close().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.retries("saturated"), saturated);
+    assert_eq!(stats.retries("tile_paused"), 0, "distinct retry reasons");
+    assert_eq!(stats.accepted, done);
+    cluster.shutdown();
+}
+
+#[test]
+fn tenant_rate_limit_and_inflight_cap_are_typed_refusals() {
+    let cluster = ServiceCluster::for_engine_name("barrett", 1, ClusterConfig::default()).unwrap();
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register(
+        "throttled",
+        1,
+        TenantLimits {
+            max_inflight: 1024,
+            rate_per_sec: 2.0,
+            burst: 2,
+        },
+    );
+    registry.register(
+        "narrow",
+        2,
+        TenantLimits {
+            max_inflight: 1,
+            rate_per_sec: 0.0,
+            burst: 1,
+        },
+    );
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Cluster(cluster.handle()),
+        registry,
+        WireConfig::default(),
+    )
+    .unwrap();
+
+    // Token bucket: burst of 2 admitted, the third refused with a
+    // positive backoff computed from the deficit.
+    let mut throttled = WireClient::connect(server.local_addr(), "throttled", 1).unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|_| throttled.submit(job(6, 7, 97)).unwrap())
+        .collect();
+    let mut rate_limited = 0;
+    for id in ids {
+        match throttled.wait(id).unwrap() {
+            WireResponse::Done(product) => assert_eq!(product, UBig::from(42u64)),
+            WireResponse::RetryAfter {
+                reason: RetryReason::RateLimited,
+                millis,
+            } => {
+                assert!(millis >= 1);
+                rate_limited += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(rate_limited, 1, "burst 2 admits 2 of 3");
+    throttled.close().unwrap();
+
+    // In-flight cap of 1, cap shared across the tenant's connections:
+    // a second connection's submit while the first job is in flight is
+    // refused as InflightCap. A paused-forever job holds the slot.
+    // (The "narrow" tenant has rate 0, so only the cap can refuse.)
+    let mut first = WireClient::connect(server.local_addr(), "narrow", 2).unwrap();
+    let mut second = WireClient::connect(server.local_addr(), "narrow", 2).unwrap();
+    // Burst both connections; with a cap of 1 at least one of the
+    // four submissions must be refused with InflightCap.
+    let first_ids: Vec<u64> = (0..2)
+        .map(|_| first.submit(job(3, 5, 97)).unwrap())
+        .collect();
+    let second_ids: Vec<u64> = (0..2)
+        .map(|_| second.submit(job(3, 5, 97)).unwrap())
+        .collect();
+    let mut capped = 0;
+    for (client, ids) in [(&mut first, first_ids), (&mut second, second_ids)] {
+        for id in ids {
+            match client.wait(id).unwrap() {
+                WireResponse::Done(product) => assert_eq!(product, UBig::from(15u64)),
+                WireResponse::RetryAfter {
+                    reason: RetryReason::InflightCap,
+                    ..
+                } => capped += 1,
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+    }
+    assert!(capped >= 1, "cap of 1 must refuse a 4-deep double burst");
+    first.close().unwrap();
+    second.close().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.retries("rate_limited"), 1);
+    assert!(stats.retries("inflight_cap") >= 1);
+    cluster.shutdown();
+}
+
+/// The CI tier-1 soak, run by name: several clients stream batches
+/// while the server drains on shutdown mid-traffic. Every accepted
+/// job's response must be delivered (server-side invariant), every
+/// delivered product must match the oracle, and no request id may see
+/// two terminal frames.
+#[test]
+fn multi_client_drain_on_shutdown_delivers_every_accepted_response() {
+    let cluster = ServiceCluster::for_engine_name(
+        "barrett",
+        2,
+        ClusterConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 512,
+                max_batch: 64,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register("even", 10, TenantLimits::default());
+    registry.register("odd", 11, TenantLimits::default());
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Cluster(cluster.handle()),
+        Arc::clone(&registry),
+        WireConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients = 4usize;
+    let mut workers = Vec::new();
+    for c in 0..clients {
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let (tenant, key) = if c % 2 == 0 {
+                ("even", 10)
+            } else {
+                ("odd", 11)
+            };
+            let modulus = 1_000_003u64 + 2 * c as u64; // per-client modulus
+            let mut client = match WireClient::connect(addr, tenant, key) {
+                Ok(client) => client,
+                // The drain can beat a late connection to the
+                // listener; that is the advertised behaviour.
+                Err(_) => return (0u64, 0u64),
+            };
+            let mut delivered = 0u64;
+            let mut refused = 0u64;
+            'outer: loop {
+                let jobs: Vec<MulJob> = (0..32u64)
+                    .map(|i| job(i * 5 + c as u64 + 1, 7, modulus))
+                    .collect();
+                let ids = match client.submit_batch(jobs.clone()) {
+                    Ok(ids) => ids,
+                    Err(_) => break, // socket closed by the drain
+                };
+                for (i, id) in ids.enumerate() {
+                    match client.wait(id) {
+                        Ok(WireResponse::Done(product)) => {
+                            let expect = &(&jobs[i].a * &jobs[i].b) % &jobs[i].modulus;
+                            assert_eq!(product, expect, "oracle mismatch over the wire");
+                            delivered += 1;
+                        }
+                        Ok(WireResponse::RetryAfter { .. }) => refused += 1,
+                        Ok(WireResponse::Failed(reason)) => {
+                            panic!("no job may fail in this soak: {reason}")
+                        }
+                        // Ids written after the server stopped reading
+                        // never got accepted; the connection closing
+                        // is their (legitimate) outcome.
+                        Err(_) => break 'outer,
+                    }
+                }
+                if stop.load(Ordering::Acquire) && client.closed() {
+                    break;
+                }
+            }
+            assert_eq!(client.duplicates(), 0, "no id may complete twice");
+            (delivered, refused)
+        }));
+    }
+
+    // Let traffic flow, then drain mid-stream.
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Release);
+    let stats = server.shutdown();
+    let mut client_delivered = 0u64;
+    for worker in workers {
+        let (delivered, _refused) = worker.join().unwrap();
+        client_delivered += delivered;
+    }
+
+    assert!(stats.accepted > 0, "the soak must move real traffic");
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.failed,
+        "drain lost accepted responses: {stats:?}"
+    );
+    assert_eq!(stats.failed, 0);
+    // Every response the server delivered reached a client map; the
+    // clients may not have waited on all of them before exiting, but
+    // none may exceed what the server sent.
+    assert!(client_delivered <= stats.completed);
+    assert_eq!(
+        stats.connections_accepted, stats.connections_closed,
+        "every connection fully torn down"
+    );
+    cluster.shutdown();
+}

@@ -16,6 +16,9 @@
 //! * [`rtl`] — gate-level netlists of the peripheral logic with
 //!   equivalence checking, static timing, and Verilog export
 //!   ([`modsram_rtl`]).
+//! * [`net`] — the TCP wire front-end: a length-prefixed binary
+//!   protocol, tenant auth with admission control, and a blocking
+//!   client ([`modsram_net`]).
 //! * [`ecc`] — elliptic curves, NTT, and MSM ([`modsram_ecc`]).
 //! * [`zkp`] — the ZKP component op-count study ([`modsram_zkp`]).
 //! * [`apps`] — application layer: SHA-256, ECDSA, Pedersen
@@ -106,6 +109,53 @@
 //! assert_eq!(cluster.add_tile(extra).unwrap().tile, 4);
 //! cluster.shutdown();
 //! ```
+//!
+//! Remote callers reach the same serving stack over TCP through the
+//! [`net`] front-end: a [`net::WireServer`] fronts a tile handle or a
+//! cluster handle with a length-prefixed binary protocol — tenants
+//! authenticate with an API key, admission control answers
+//! backpressure with typed retry-after frames instead of stalling the
+//! socket, and responses stream back in completion order under
+//! client-assigned request ids. The blocking [`net::WireClient`]
+//! files out-of-order arrivals locally, so callers redeem ids in any
+//! order:
+//!
+//! ```
+//! use modsram::bigint::UBig;
+//! use modsram::net::{
+//!     NetBackend, TenantLimits, TenantRegistry, WireClient, WireConfig, WireResponse,
+//!     WireServer,
+//! };
+//! use modsram::{ModSramService, MulJob, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let service = ModSramService::for_engine_name("r4csa-lut", ServiceConfig::default()).unwrap();
+//! let registry = Arc::new(TenantRegistry::new());
+//! registry.register("acme", 0xACE, TenantLimits::default());
+//! let server = WireServer::bind(
+//!     "127.0.0.1:0", // loopback; any bindable address works
+//!     NetBackend::Tile(service.handle()),
+//!     registry,
+//!     WireConfig::default(),
+//! ).unwrap();
+//!
+//! let mut client = WireClient::connect(server.local_addr(), "acme", 0xACE).unwrap();
+//! let id = client
+//!     .submit(MulJob::new(UBig::from(55u64), UBig::from(44u64), UBig::from(97u64)))
+//!     .unwrap();
+//! match client.wait(id).unwrap() {
+//!     WireResponse::Done(product) => assert_eq!(product, UBig::from(55u64 * 44 % 97)),
+//!     other => panic!("refused or failed: {other:?}"),
+//! }
+//! client.close().unwrap();
+//! assert_eq!(server.shutdown().completed, 1);
+//! service.shutdown();
+//! ```
+//!
+//! `cargo run --release --bin wire` exercises this stack end to end:
+//! a closed-loop load generator over loopback TCP per client count,
+//! checked against the oracle and an identical in-process closed loop
+//! (`results/wire_sweep.json`).
 //!
 //! Batch consumers — `apps::ecdsa::verify_batch_via`, the dispatched
 //! NTT stages, `msm_dispatched` over a `*_via` curve — accept an
@@ -276,6 +326,7 @@ pub use modsram_bigint as bigint;
 pub use modsram_core as arch;
 pub use modsram_ecc as ecc;
 pub use modsram_modmul as modmul;
+pub use modsram_net as net;
 pub use modsram_phys as phys;
 pub use modsram_rtl as rtl;
 pub use modsram_sram as sram;

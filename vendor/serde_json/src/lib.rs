@@ -756,6 +756,35 @@ mod tests {
     }
 
     #[test]
+    fn escapes_round_trip_in_keys_and_values() {
+        // Every control character (the writer must emit \uXXXX or a
+        // short escape; the parser must map it back), plus quote and
+        // backslash — in values AND in object keys, where the escape
+        // path is easy to miss because keys are written separately.
+        let gauntlet: String = (0u32..0x20)
+            .map(|c| char::from_u32(c).unwrap())
+            .chain(['"', '\\', '/', 'é', '\u{7f}'])
+            .collect();
+        let v = Value::Object(vec![
+            (gauntlet.clone(), Value::String(gauntlet.clone())),
+            (
+                "plain".into(),
+                Value::Array(vec![Value::String(gauntlet.clone())]),
+            ),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            // The encoded form must be pure ASCII-printable except for
+            // the raw UTF-8 'é' — no naked control bytes on the wire.
+            assert!(
+                !text.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+                "unescaped control character in {text:?}"
+            );
+            let back = from_str(&text).unwrap_or_else(|e| panic!("reparse of {text:?}: {e}"));
+            assert_eq!(back, v, "round-trip of {text:?}");
+        }
+    }
+
+    #[test]
     fn unicode_escapes_and_raw_utf8() {
         let v = from_str("[\"\\u00e9\", \"é\", \"A\"]").unwrap();
         let items = v.as_array().unwrap();
