@@ -1,10 +1,15 @@
 //! The multi-tile cluster sweep: closed-loop throughput and affinity
 //! across tiles × spill policy, a deterministic saturation probe of
-//! the spill-vs-shed trade-off, and the **elasticity sweep** — a live
+//! the spill-vs-shed trade-off, the **elasticity sweep** — a live
 //! drain-under-load → probation re-admission → live-add cycle whose
 //! acceptance gates are zero lost tickets in every phase and ≥ 95 %
 //! affinity in the first full window after the add
-//! (`results/elasticity_sweep.json`).
+//! (`results/elasticity_sweep.json`) — and the **weighted sweep**
+//! (`results/weighted_sweep.json`): modulus share vs weight share on
+//! a 2:1:1:1 fleet (±10 %), equal-weights ≡ legacy placement, a
+//! capacity-normalised makespan win for the weighted router, ≥ 1.5×
+//! hot-modulus throughput once replication kicks in, and zero lost
+//! tickets through a live `set_tile_weight`.
 //!
 //! ```sh
 //! cargo run --release --bin cluster
@@ -21,8 +26,8 @@
 //! tiles on r4csa-lut, with affinity hit rate ≥ 90% at moderate load.
 
 use modsram_bench::{
-    cluster_spill_probe, cluster_sweep, elasticity_sweep, print_table, write_json_artifact,
-    ClusterSweepSpec, ElasticitySweepSpec,
+    cluster_spill_probe, cluster_sweep, elasticity_sweep, print_table, weighted_sweep,
+    write_json_artifact, ClusterSweepSpec, ElasticitySweepSpec, WeightedSweepSpec,
 };
 
 struct Args {
@@ -38,6 +43,12 @@ struct Args {
     elasticity_tiles: usize,
     elasticity_tenants: usize,
     elasticity_jobs: usize,
+    weighted_moduli: usize,
+    weighted_per_tile: usize,
+    weighted_jobs: usize,
+    hot_rounds: usize,
+    hot_burst: u64,
+    reweigh_jobs: usize,
 }
 
 impl Default for Args {
@@ -55,6 +66,12 @@ impl Default for Args {
             elasticity_tiles: 4,
             elasticity_tenants: 12,
             elasticity_jobs: 480,
+            weighted_moduli: 4000,
+            weighted_per_tile: 15,
+            weighted_jobs: 12,
+            hot_rounds: 6,
+            hot_burst: 24,
+            reweigh_jobs: 600,
         }
     }
 }
@@ -85,6 +102,12 @@ fn parse_args() -> Args {
             "--elasticity-tiles" => args.elasticity_tiles = value().parse().expect("integer"),
             "--elasticity-tenants" => args.elasticity_tenants = value().parse().expect("integer"),
             "--elasticity-jobs" => args.elasticity_jobs = value().parse().expect("integer"),
+            "--weighted-moduli" => args.weighted_moduli = value().parse().expect("integer"),
+            "--weighted-per-tile" => args.weighted_per_tile = value().parse().expect("integer"),
+            "--weighted-jobs" => args.weighted_jobs = value().parse().expect("integer"),
+            "--hot-rounds" => args.hot_rounds = value().parse().expect("integer"),
+            "--hot-burst" => args.hot_burst = value().parse().expect("integer"),
+            "--reweigh-jobs" => args.reweigh_jobs = value().parse().expect("integer"),
             other => panic!("unknown flag '{other}'"),
         }
     }
@@ -251,7 +274,7 @@ fn main() {
     );
 
     let elasticity_artifact = serde_json::json!({
-        "engine": args.engine,
+        "engine": args.engine.clone(),
         "bits": args.bits,
         "tiles": args.elasticity_tiles,
         "tenants": args.elasticity_tenants,
@@ -285,5 +308,155 @@ fn main() {
         post_add.affinity_hit_rate >= 0.95,
         "elasticity acceptance: post-add affinity {:.3} < 0.95",
         post_add.affinity_hit_rate
+    );
+
+    // --- Weighted routing + hot-modulus replication ---------------------
+    let weighted = weighted_sweep(&WeightedSweepSpec {
+        engine: args.engine.clone(),
+        bits: args.bits,
+        planner_moduli: args.weighted_moduli,
+        per_tile: args.weighted_per_tile,
+        jobs_per_tenant: args.weighted_jobs,
+        submitters: args.submitters,
+        hot_rounds: args.hot_rounds,
+        hot_burst: args.hot_burst,
+        reweigh_jobs: args.reweigh_jobs,
+        seed: 0x57E1,
+    });
+
+    let share_table: Vec<Vec<String>> = weighted
+        .share
+        .weights
+        .iter()
+        .enumerate()
+        .map(|(tile, &w)| {
+            vec![
+                tile.to_string(),
+                w.to_string(),
+                format!("{:.1}%", weighted.share.weight_share[tile] * 100.0),
+                format!("{:.1}%", weighted.share.share[tile] * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Weighted share: {} moduli over a 2:1:1:1 fleet (max rel err {:.1}%, {} moved at equal weights)",
+            weighted.share.moduli,
+            weighted.share.max_rel_err * 100.0,
+            weighted.share.equal_weight_moved
+        ),
+        &["tile", "weight", "weight share", "modulus share"],
+        &share_table,
+    );
+
+    print_table(
+        &format!(
+            "Weighted makespan: {} jobs on a fleet whose tile 0 is a 2x macro",
+            weighted.makespan.jobs
+        ),
+        &["router", "makespan cyc (cap-normalised)", "per-tile"],
+        &[
+            vec![
+                "weighted".to_string(),
+                weighted.makespan.weighted_makespan_cycles.to_string(),
+                format!("{:?}", weighted.makespan.weighted_per_tile),
+            ],
+            vec![
+                "unweighted".to_string(),
+                weighted.makespan.unweighted_makespan_cycles.to_string(),
+                format!("{:?}", weighted.makespan.unweighted_per_tile),
+            ],
+        ],
+    );
+
+    println!(
+        "hot modulus: {} offered, {} accepted without replication, {} with ({:.2}x, {} replica-routed, promoted: {})",
+        weighted.hot.offered,
+        weighted.hot.accepted_without,
+        weighted.hot.accepted_with,
+        weighted.hot.throughput_gain,
+        weighted.hot.replica_routed,
+        weighted.hot.promoted
+    );
+    println!(
+        "live reweigh: {} accepted, {} lost, {} rehomed up / {} back, {} on republish",
+        weighted.reweigh.accepted,
+        weighted.reweigh.lost_tickets,
+        weighted.reweigh.rehomed_up,
+        weighted.reweigh.rehomed_down,
+        weighted.reweigh.republish_rehomed
+    );
+
+    let weighted_artifact = serde_json::json!({
+        "engine": args.engine.clone(),
+        "bits": args.bits,
+        "share": {
+            "weights": weighted.share.weights.clone(),
+            "moduli": weighted.share.moduli,
+            "share": weighted.share.share.clone(),
+            "weight_share": weighted.share.weight_share.clone(),
+            "max_rel_err": weighted.share.max_rel_err,
+            "equal_weight_moved": weighted.share.equal_weight_moved,
+        },
+        "makespan": {
+            "capacity": weighted.makespan.capacity.clone(),
+            "jobs": weighted.makespan.jobs,
+            "weighted_makespan_cycles": weighted.makespan.weighted_makespan_cycles,
+            "unweighted_makespan_cycles": weighted.makespan.unweighted_makespan_cycles,
+            "makespan_gain": weighted.makespan.makespan_gain,
+            "weighted_per_tile": weighted.makespan.weighted_per_tile.clone(),
+            "unweighted_per_tile": weighted.makespan.unweighted_per_tile.clone(),
+        },
+        "hot_modulus": {
+            "offered": weighted.hot.offered,
+            "accepted_without": weighted.hot.accepted_without,
+            "accepted_with": weighted.hot.accepted_with,
+            "throughput_gain": weighted.hot.throughput_gain,
+            "jobs_per_s_without": weighted.hot.jobs_per_s_without,
+            "jobs_per_s_with": weighted.hot.jobs_per_s_with,
+            "replica_routed": weighted.hot.replica_routed,
+            "promoted": weighted.hot.promoted,
+        },
+        "live_reweigh": {
+            "accepted": weighted.reweigh.accepted,
+            "lost_tickets": weighted.reweigh.lost_tickets,
+            "rehomed_up": weighted.reweigh.rehomed_up,
+            "rehomed_down": weighted.reweigh.rehomed_down,
+            "republish_rehomed": weighted.reweigh.republish_rehomed,
+        },
+    });
+    let wpath = write_json_artifact("weighted_sweep", &weighted_artifact);
+    println!("\nweighted artifact: {wpath}");
+
+    // Acceptance: the four weighted-routing gates, asserted in-binary
+    // so CI fails loudly rather than publishing a regressed artifact.
+    assert!(
+        weighted.share.max_rel_err <= 0.10,
+        "weighted acceptance: modulus share off weight share by {:.1}% (> 10%)",
+        weighted.share.max_rel_err * 100.0
+    );
+    assert_eq!(
+        weighted.share.equal_weight_moved, 0,
+        "weighted acceptance: equal weights must reproduce the legacy placement"
+    );
+    assert_eq!(
+        weighted.reweigh.republish_rehomed, 0,
+        "weighted acceptance: a weight-1 republish must move nothing"
+    );
+    assert!(
+        weighted.makespan.makespan_gain > 1.0,
+        "weighted acceptance: weighted makespan {} must beat unweighted {}",
+        weighted.makespan.weighted_makespan_cycles,
+        weighted.makespan.unweighted_makespan_cycles
+    );
+    assert!(weighted.hot.promoted, "weighted acceptance: no promotion");
+    assert!(
+        weighted.hot.throughput_gain >= 1.5,
+        "weighted acceptance: hot-modulus gain {:.2}x < 1.5x",
+        weighted.hot.throughput_gain
+    );
+    assert_eq!(
+        weighted.reweigh.lost_tickets, 0,
+        "weighted acceptance: zero lost tickets through a live reweigh"
     );
 }

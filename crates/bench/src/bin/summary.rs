@@ -8,7 +8,7 @@
 //! cargo run --release --bin summary
 //! # CI: fail unless every expected artifact is present.
 //! cargo run --release --bin summary -- \
-//!   --require shard_sweep,serve_sweep,hotpath_sweep,cluster_sweep,elasticity_sweep,autotune_sweep,wire_sweep
+//!   --require shard_sweep,serve_sweep,hotpath_sweep,cluster_sweep,elasticity_sweep,autotune_sweep,wire_sweep,weighted_sweep
 //! ```
 //!
 //! Artifacts that are absent are skipped (and listed as skipped), so
@@ -201,6 +201,32 @@ fn summarize(name: &str, v: &Value) -> (Value, String) {
                 ),
             )
         }
+        "weighted_sweep" => {
+            let share = v.get("share").cloned().unwrap_or(Value::Null);
+            let makespan = v.get("makespan").cloned().unwrap_or(Value::Null);
+            let hot = v.get("hot_modulus").cloned().unwrap_or(Value::Null);
+            let reweigh = v.get("live_reweigh").cloned().unwrap_or(Value::Null);
+            let rel_err = num(&share, "max_rel_err");
+            let moved = count(&share, "equal_weight_moved");
+            let gain = num(&makespan, "makespan_gain");
+            let hot_gain = num(&hot, "throughput_gain");
+            let lost = count(&reweigh, "lost_tickets");
+            (
+                serde_json::json!({
+                    "share_max_rel_err": rel_err,
+                    "equal_weight_moved": moved,
+                    "makespan_gain": gain,
+                    "hot_modulus_gain": hot_gain,
+                    "replica_routed": count(&hot, "replica_routed"),
+                    "reweigh_lost_tickets": lost,
+                    "republish_rehomed": count(&reweigh, "republish_rehomed"),
+                }),
+                format!(
+                    "share err {:.1}%, {moved} moved at equal weights, makespan gain {gain:.2}x, hot gain {hot_gain:.2}x, {lost} lost",
+                    rel_err * 100.0
+                ),
+            )
+        }
         "batch_throughput" => {
             let all = v.as_array().unwrap_or(&[]);
             let best = all
@@ -235,6 +261,7 @@ const ARTIFACTS: &[&str] = &[
     "elasticity_sweep",
     "autotune_sweep",
     "wire_sweep",
+    "weighted_sweep",
     "batch_throughput",
 ];
 

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 use modsram_baselines::{BpNttModel, DataOrg, MenttModel};
 use modsram_bigint::{ubig_below, UBig};
 use modsram_core::cluster::{
-    home_tile_for, ClusterConfig, ClusterHandle, ServiceCluster, SpillPolicy,
+    home_tile_for, weighted_home_tile_for, ClusterConfig, ClusterHandle, ServiceCluster,
+    SpillPolicy,
 };
 use modsram_core::dispatch::{ContextPool, Dispatcher, MulJob, StealPolicy};
 use modsram_core::service::{ModSramService, ServiceConfig, ServiceStats, Ticket};
@@ -971,7 +972,10 @@ fn balanced_tenant_moduli(
         if &p % &UBig::from(2u64) == UBig::from(0u64) {
             p = &p + &UBig::from(1u64);
         }
-        let key: Vec<usize> = multi.iter().map(|&t| home_tile_for(&p, t)).collect();
+        let key: Vec<usize> = multi
+            .iter()
+            .map(|&t| home_tile_for(&p, t).expect("at least one tile"))
+            .collect();
         let Some(&target) = targets.get(&key) else {
             continue;
         };
@@ -1251,7 +1255,7 @@ pub fn cluster_spill_probe(offered: u64, policies: &[String]) -> Vec<SpillProbeR
             // standalone planner predicts the live cluster's routing).
             let p = (0..64u64)
                 .map(|i| UBig::from(1_000_003u64 + 2 * i))
-                .find(|p| home_tile_for(p, 2) == 0)
+                .find(|p| home_tile_for(p, 2) == Some(0))
                 .expect("some modulus homes on tile 0");
             let mut tickets = Vec::new();
             let mut shed = 0u64;
@@ -1398,6 +1402,7 @@ pub fn elasticity_sweep(spec: &ElasticitySweepSpec) -> Vec<ElasticityPhaseRow> {
             service: service_config.clone(),
             poison_after: 3,
             probation_after: 2,
+            ..Default::default()
         },
     )
     .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
@@ -1499,10 +1504,12 @@ pub fn elasticity_sweep(spec: &ElasticitySweepSpec) -> Vec<ElasticityPhaseRow> {
 
     // Live drain: pick the tile homing tenant 0, measure its tenant
     // share, and drain it while the submitters stream.
-    let victim = cluster.home_tile(&moduli[0]);
+    let victim = cluster
+        .home_tile(&moduli[0])
+        .expect("a routable tile homes tenant 0");
     let victim_share = moduli
         .iter()
-        .filter(|p| cluster.home_tile(p) == victim)
+        .filter(|p| cluster.home_tile(p) == Some(victim))
         .count() as f64
         / moduli.len() as f64;
     let drain_report = std::sync::Mutex::new(None);
@@ -1558,7 +1565,7 @@ pub fn elasticity_sweep(spec: &ElasticitySweepSpec) -> Vec<ElasticityPhaseRow> {
     last.rehomed_moduli = add_report.rehomed_moduli;
     last.moved_tile_share = moduli
         .iter()
-        .filter(|p| cluster.home_tile(p) == add_report.tile)
+        .filter(|p| cluster.home_tile(p) == Some(add_report.tile))
         .count() as f64
         / moduli.len() as f64;
 
@@ -2213,7 +2220,9 @@ fn wire_drain_soak(
     .expect("loopback bind");
     let addr = server.local_addr();
     let epoch_before = cluster.membership_epoch();
-    let victim = cluster.home_tile(&job_lists[0].0[0].modulus);
+    let victim = cluster
+        .home_tile(&job_lists[0].0[0].modulus)
+        .expect("a routable tile homes client 0");
 
     let rounds_done = AtomicU64::new(0);
     let mut delivered = 0u64;
@@ -2426,6 +2435,517 @@ pub fn wire_sweep(spec: &WireSweepSpec) -> WireSweep {
         drain,
         saturation,
         staged_reference_ok,
+    }
+}
+
+/// The shape of one [`weighted_sweep`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedSweepSpec {
+    /// Engine name from the registry.
+    pub engine: String,
+    /// Operand bitwidth of the moduli.
+    pub bits: usize,
+    /// Sample size for the planner-level share measurement.
+    pub planner_moduli: usize,
+    /// Tenants per tile under the *unweighted* router in the makespan
+    /// section (the fleet carries `4 × per_tile` tenants, balanced so
+    /// the unweighted makespan is exact).
+    pub per_tile: usize,
+    /// Measured jobs per tenant in the makespan section.
+    pub jobs_per_tenant: usize,
+    /// Concurrent submitter threads (makespan + reweigh sections).
+    pub submitters: usize,
+    /// Burst rounds in the hot-modulus scenario.
+    pub hot_rounds: usize,
+    /// Non-blocking submissions per burst round.
+    pub hot_burst: u64,
+    /// Jobs per submitter thread in the live-reweigh soak.
+    pub reweigh_jobs: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// Planner-level share of a 2:1:1:1 fleet, plus the equal-weights ≡
+/// legacy calibration check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedShareStats {
+    /// The fleet's weight vector.
+    pub weights: Vec<u32>,
+    /// Moduli sampled.
+    pub moduli: usize,
+    /// Fraction of the sample homed per tile.
+    pub share: Vec<f64>,
+    /// Each tile's weight over the total weight.
+    pub weight_share: Vec<f64>,
+    /// Largest relative error of `share` against `weight_share`.
+    pub max_rel_err: f64,
+    /// Sampled moduli whose uniform-weight home differs from the
+    /// legacy unweighted planner — must be zero.
+    pub equal_weight_moved: u64,
+}
+
+/// Capacity-normalised modelled makespan of the weighted vs the
+/// unweighted router on the same skewed fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedMakespanStats {
+    /// Per-tile capacity (tile 0 is the 2× macro).
+    pub capacity: Vec<u32>,
+    /// Measured jobs per run.
+    pub jobs: usize,
+    /// `max_i(modelled_cycles_i / capacity_i)` with weights published.
+    pub weighted_makespan_cycles: u64,
+    /// Same fleet, same jobs, weights left uniform.
+    pub unweighted_makespan_cycles: u64,
+    /// `unweighted / weighted` — > 1.0 means the weighted router won.
+    pub makespan_gain: f64,
+    /// Measured-phase submissions per tile, weighted run.
+    pub weighted_per_tile: Vec<u64>,
+    /// Measured-phase submissions per tile, unweighted run.
+    pub unweighted_per_tile: Vec<u64>,
+}
+
+/// The single-hot-modulus Strict scenario, with and without
+/// replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotModulusStats {
+    /// Non-blocking submissions offered per run.
+    pub offered: u64,
+    /// Jobs accepted with `replicate_after = 0` (replication off).
+    pub accepted_without: u64,
+    /// Jobs accepted with replication on.
+    pub accepted_with: u64,
+    /// `accepted_with / accepted_without`.
+    pub throughput_gain: f64,
+    /// Wall throughput with replication off.
+    pub jobs_per_s_without: f64,
+    /// Wall throughput with replication on.
+    pub jobs_per_s_with: f64,
+    /// Jobs the replication run landed on a non-home replica.
+    pub replica_routed: u64,
+    /// Whether the hot modulus was promoted during the run.
+    pub promoted: bool,
+}
+
+/// The live `set_tile_weight` soak: a capacity flip under load must
+/// lose nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveReweighStats {
+    /// Jobs accepted across all submitters.
+    pub accepted: u64,
+    /// Accepted tickets that failed to redeem with the right product.
+    pub lost_tickets: u64,
+    /// Moduli re-homed by the mid-stream weight raise.
+    pub rehomed_up: u64,
+    /// Moduli re-homed by the mid-stream drop back to uniform.
+    pub rehomed_down: u64,
+    /// Moduli re-homed by a final weight-1 republish — must be zero.
+    pub republish_rehomed: u64,
+}
+
+/// Everything [`weighted_sweep`] measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSweep {
+    /// Planner share + equal-weights calibration.
+    pub share: WeightedShareStats,
+    /// Weighted-vs-unweighted makespan on the skewed fleet.
+    pub makespan: WeightedMakespanStats,
+    /// Hot-modulus replication throughput.
+    pub hot: HotModulusStats,
+    /// Live reweigh soak.
+    pub reweigh: LiveReweighStats,
+}
+
+/// A random odd modulus of exactly `bits` bits.
+fn odd_modulus(bits: usize, rng: &mut SmallRng) -> UBig {
+    let top = UBig::pow2(bits - 1);
+    let mut p = &top + &ubig_below(rng, &top);
+    if &p % &UBig::from(2u64) == UBig::from(0u64) {
+        p = &p + &UBig::from(1u64);
+    }
+    p
+}
+
+/// One closed-loop run of the makespan section: publish `weights`
+/// (uniform = skip), stream every job, and return the
+/// capacity-normalised makespan plus measured per-tile submissions.
+fn weighted_fleet_run(
+    engine: &str,
+    tenants: &[UBig],
+    jobs: &[MulJob],
+    oracle: &[UBig],
+    submitters: usize,
+    weights: &[u32],
+    capacity: &[u32],
+) -> (u64, Vec<u64>) {
+    let cluster = ServiceCluster::for_engine_name(
+        engine,
+        capacity.len(),
+        ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 8192,
+                max_batch: 256,
+                flush_interval: Duration::from_micros(50),
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            poison_after: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|_| panic!("unknown engine '{engine}'"));
+    // Publish the weight vector *before* warm-up so every tenant's
+    // context is prepared on its final home.
+    for (tile, &w) in weights.iter().enumerate() {
+        if w != 1 {
+            cluster.set_tile_weight(tile, w).expect("live cluster");
+        }
+    }
+    let warmup: Vec<Ticket> = tenants
+        .iter()
+        .map(|p| {
+            cluster
+                .submit(MulJob::new(UBig::from(2u64), UBig::from(3u64), p.clone()))
+                .expect("cluster running")
+        })
+        .collect();
+    for t in &warmup {
+        t.wait().expect("warm-up job valid");
+    }
+    let warmup_stats = cluster.stats();
+    cluster.reset_window();
+    std::thread::scope(|scope| {
+        for s in 0..submitters {
+            let handle = cluster.handle();
+            scope.spawn(move || {
+                let mine: Vec<usize> = (0..jobs.len()).filter(|i| i % submitters == s).collect();
+                let tickets: Vec<Ticket> = mine
+                    .iter()
+                    .map(|&i| handle.submit(jobs[i].clone()).expect("running"))
+                    .collect();
+                for (&i, ticket) in mine.iter().zip(&tickets) {
+                    assert_eq!(
+                        ticket.wait().expect("valid modulus"),
+                        oracle[i],
+                        "weighted fleet job {i} diverged"
+                    );
+                }
+            });
+        }
+    });
+    let stats = cluster.shutdown();
+    assert_eq!(stats.failed, 0, "the fleet workload never fails");
+    let per_tile: Vec<u64> = stats
+        .tiles
+        .iter()
+        .zip(&warmup_stats.tiles)
+        .map(|(t, w)| t.service.submitted - w.service.submitted)
+        .collect();
+    // A 2× macro retires its occupancy on two lanes: normalise each
+    // tile's measured device-cycles by its capacity before taking the
+    // fleet makespan.
+    let makespan = stats
+        .tiles
+        .iter()
+        .zip(&warmup_stats.tiles)
+        .zip(capacity)
+        .map(|((t, w), &cap)| {
+            let cycles = t
+                .service
+                .modelled_cycles_total
+                .saturating_sub(w.service.modelled_cycles_total);
+            (cycles as f64 / f64::from(cap.max(1))).round() as u64
+        })
+        .max()
+        .unwrap_or(0);
+    (makespan, per_tile)
+}
+
+/// One hot-modulus run: `rounds` bursts of `burst` non-blocking
+/// submissions of a single tile-0-homed modulus at a 2-tile Strict
+/// cluster of slow tiles, with a probe (the replication cadence)
+/// closing each round. Returns accepted jobs, wall seconds,
+/// replica-routed jobs, and whether promotion happened.
+fn hot_modulus_run(rounds: usize, burst: u64, replicate_after: u64) -> (u64, f64, u64, bool) {
+    let cluster = ServiceCluster::new(
+        vec![
+            slow_pool(Duration::from_millis(2)),
+            slow_pool(Duration::from_millis(2)),
+        ],
+        ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                max_batch: 1,
+                flush_interval: Duration::ZERO,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            poison_after: 0,
+            // High enough that the sustained burst can never demote
+            // the replica mid-run.
+            probation_after: rounds as u64 + 1,
+            replicate_after,
+            replica_tiles: 2,
+        },
+    );
+    let p = (0..64u64)
+        .map(|i| UBig::from(1_000_003u64 + 2 * i))
+        .find(|p| home_tile_for(p, 2) == Some(0))
+        .expect("some modulus homes on tile 0");
+    let mut accepted = 0u64;
+    let mut promoted = false;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let mut tickets = Vec::new();
+        for i in 0..burst {
+            let n = round as u64 * burst + i;
+            let job = MulJob::new(UBig::from(n + 2), UBig::from(n + 3), p.clone());
+            if let Ok(t) = cluster.try_submit(job) {
+                tickets.push((n, t));
+            }
+        }
+        for (n, ticket) in &tickets {
+            assert_eq!(
+                ticket.wait().expect("slow tile is correct"),
+                &UBig::from((n + 2) * (n + 3)) % &p,
+                "hot-modulus job {n} diverged"
+            );
+        }
+        accepted += tickets.len() as u64;
+        // The probe cadence is what closes a saturation window; after
+        // the first saturated round the modulus is promoted.
+        promoted |= !cluster.probe_tiles().promoted.is_empty();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = cluster.shutdown();
+    (accepted, elapsed, stats.replica_routed, promoted)
+}
+
+/// The live-reweigh soak: `submitters` threads stream blocking
+/// submissions against a 4-tile cluster while the main thread raises
+/// one tile's weight and drops it back. Every accepted ticket must
+/// redeem with the right product.
+fn live_reweigh_soak(spec: &WeightedSweepSpec, rng: &mut SmallRng) -> LiveReweighStats {
+    let cluster = ServiceCluster::for_engine_name(
+        &spec.engine,
+        4,
+        ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 2 },
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 1024,
+                max_batch: 64,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            probation_after: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|_| panic!("unknown engine '{}'", spec.engine));
+    let moduli: Vec<UBig> = (0..6).map(|_| odd_modulus(spec.bits, rng)).collect();
+    // Raise a tile that does not home tenant 0, so the upgrade pulls
+    // real moduli onto it.
+    let home0 = cluster
+        .home_tile(&moduli[0])
+        .expect("a routable tile homes tenant 0");
+    let upgraded = (home0 + 1) % 4;
+    let lost = AtomicU64::new(0);
+    let accepted = AtomicU64::new(0);
+    let mut rehomed_up = 0u64;
+    let mut rehomed_down = 0u64;
+
+    std::thread::scope(|scope| {
+        for t in 0..spec.submitters as u64 {
+            let handle = cluster.handle();
+            let moduli = &moduli;
+            let lost = &lost;
+            let accepted = &accepted;
+            let jobs = spec.reweigh_jobs as u64;
+            scope.spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..jobs {
+                    let p = moduli[((t + i) % 6) as usize].clone();
+                    let job = MulJob::new(
+                        UBig::from(t * 1_000_003 + i * 17 + 1),
+                        UBig::from(t * 999_979 + i * 31 + 2),
+                        p,
+                    );
+                    let want = &(&job.a * &job.b) % &job.modulus;
+                    match handle.submit(job) {
+                        Ok(ticket) => {
+                            accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            tickets.push((ticket, want));
+                        }
+                        // A reweigh must be invisible to producers.
+                        Err(e) => panic!("submit failed during a reweigh: {e}"),
+                    }
+                }
+                for (ticket, want) in tickets {
+                    if ticket.wait().ok() != Some(want) {
+                        lost.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let up = cluster
+            .set_tile_weight(upgraded, 8)
+            .expect("live reweigh succeeds");
+        rehomed_up = up.rehomed_moduli;
+        std::thread::sleep(Duration::from_millis(5));
+        let down = cluster
+            .set_tile_weight(upgraded, 1)
+            .expect("live reweigh back succeeds");
+        rehomed_down = down.rehomed_moduli;
+    });
+    // A weight-1 republish after the fleet is uniform again must move
+    // nothing — the live twin of the equal-weights calibration.
+    let republish = cluster
+        .set_tile_weight(upgraded, 1)
+        .expect("republish succeeds");
+    cluster.shutdown();
+    LiveReweighStats {
+        accepted: accepted.into_inner(),
+        lost_tickets: lost.into_inner(),
+        rehomed_up,
+        rehomed_down,
+        republish_rehomed: republish.rehomed_moduli,
+    }
+}
+
+/// Runs the weighted-routing sweep: (1) planner-level modulus share of
+/// a 2:1:1:1 fleet against its weight share, with the equal-weights ≡
+/// legacy calibration check; (2) capacity-normalised modelled makespan
+/// of the weighted vs the unweighted router on a fleet whose tile 0 is
+/// a 2× macro; (3) the single-hot-modulus Strict scenario with and
+/// without replication; (4) a live `set_tile_weight` soak.
+///
+/// # Panics
+///
+/// Panics on an unknown engine or a diverged result. The acceptance
+/// assertions themselves live in `bin/cluster`, next to the artifact.
+pub fn weighted_sweep(spec: &WeightedSweepSpec) -> WeightedSweep {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let weights = vec![2u32, 1, 1, 1];
+
+    // --- (1) planner share + equal-weights calibration ---------------
+    let mut counts = vec![0u64; weights.len()];
+    let mut equal_weight_moved = 0u64;
+    let uniform = vec![1u32; weights.len()];
+    for _ in 0..spec.planner_moduli {
+        let p = odd_modulus(spec.bits, &mut rng);
+        let home = weighted_home_tile_for(&p, &weights).expect("a non-empty fleet");
+        counts[home] += 1;
+        if weighted_home_tile_for(&p, &uniform) != home_tile_for(&p, weights.len()) {
+            equal_weight_moved += 1;
+        }
+    }
+    let total_weight: u32 = weights.iter().sum();
+    let share: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / spec.planner_moduli as f64)
+        .collect();
+    let weight_share: Vec<f64> = weights
+        .iter()
+        .map(|&w| f64::from(w) / f64::from(total_weight))
+        .collect();
+    let max_rel_err = share
+        .iter()
+        .zip(&weight_share)
+        .map(|(s, w)| (s - w).abs() / w)
+        .fold(0.0f64, f64::max);
+    let share = WeightedShareStats {
+        weights: weights.clone(),
+        moduli: spec.planner_moduli,
+        share,
+        weight_share,
+        max_rel_err,
+        equal_weight_moved,
+    };
+
+    // --- (2) makespan on the skewed fleet -----------------------------
+    // Tenants balanced under the *unweighted* router, so the
+    // unweighted makespan is exact: the 1× tiles each carry `per_tile`
+    // tenants while the 2× macro runs half-occupied. The weighted
+    // router shifts ~2/5 of the fleet onto the 2× macro instead.
+    let tenants = balanced_tenant_moduli(spec.bits, &[4], spec.per_tile, &mut rng);
+    let mut jobs: Vec<MulJob> = Vec::with_capacity(tenants.len() * spec.jobs_per_tenant);
+    let mut per_tenant_b: Vec<UBig> = tenants.iter().map(|p| ubig_below(&mut rng, p)).collect();
+    for i in 0..spec.jobs_per_tenant {
+        for (t, p) in tenants.iter().enumerate() {
+            if i % 8 == 0 {
+                per_tenant_b[t] = ubig_below(&mut rng, p);
+            }
+            jobs.push(MulJob::new(
+                ubig_below(&mut rng, p),
+                per_tenant_b[t].clone(),
+                p.clone(),
+            ));
+        }
+    }
+    let oracle: Vec<UBig> = jobs.iter().map(|j| &(&j.a * &j.b) % &j.modulus).collect();
+    let capacity = weights.clone();
+    let (weighted_makespan, weighted_per_tile) = weighted_fleet_run(
+        &spec.engine,
+        &tenants,
+        &jobs,
+        &oracle,
+        spec.submitters,
+        &weights,
+        &capacity,
+    );
+    let (unweighted_makespan, unweighted_per_tile) = weighted_fleet_run(
+        &spec.engine,
+        &tenants,
+        &jobs,
+        &oracle,
+        spec.submitters,
+        &uniform,
+        &capacity,
+    );
+    let makespan = WeightedMakespanStats {
+        capacity,
+        jobs: jobs.len(),
+        weighted_makespan_cycles: weighted_makespan,
+        unweighted_makespan_cycles: unweighted_makespan,
+        makespan_gain: if weighted_makespan > 0 {
+            unweighted_makespan as f64 / weighted_makespan as f64
+        } else {
+            1.0
+        },
+        weighted_per_tile,
+        unweighted_per_tile,
+    };
+
+    // --- (3) hot-modulus replication ----------------------------------
+    let offered = spec.hot_rounds as u64 * spec.hot_burst;
+    let (accepted_without, secs_without, _, _) =
+        hot_modulus_run(spec.hot_rounds, spec.hot_burst, 0);
+    let (accepted_with, secs_with, replica_routed, promoted) =
+        hot_modulus_run(spec.hot_rounds, spec.hot_burst, 4);
+    let hot = HotModulusStats {
+        offered,
+        accepted_without,
+        accepted_with,
+        throughput_gain: accepted_with as f64 / accepted_without.max(1) as f64,
+        jobs_per_s_without: accepted_without as f64 / secs_without,
+        jobs_per_s_with: accepted_with as f64 / secs_with,
+        replica_routed,
+        promoted,
+    };
+
+    // --- (4) live reweigh soak ----------------------------------------
+    let reweigh = live_reweigh_soak(spec, &mut rng);
+
+    WeightedSweep {
+        share,
+        makespan,
+        hot,
+        reweigh,
     }
 }
 
@@ -2680,7 +3200,7 @@ mod tests {
         for tiles in [2usize, 4] {
             let mut per_tile = vec![0usize; tiles];
             for p in &tenants {
-                per_tile[home_tile_for(p, tiles)] += 1;
+                per_tile[home_tile_for(p, tiles).unwrap()] += 1;
             }
             assert!(
                 per_tile.iter().all(|&c| c == tenants.len() / tiles),
@@ -2741,6 +3261,38 @@ mod tests {
         assert_eq!(sweep.stats.races_run, 2);
         assert_eq!(sweep.stats.tuned_moduli, 2);
         assert!(!sweep.profile.is_empty());
+    }
+
+    #[test]
+    fn weighted_sweep_small_run_holds_its_invariants() {
+        let sweep = weighted_sweep(&WeightedSweepSpec {
+            engine: "barrett".to_string(),
+            bits: 64,
+            planner_moduli: 400,
+            per_tile: 4,
+            jobs_per_tenant: 8,
+            submitters: 2,
+            hot_rounds: 3,
+            hot_burst: 16,
+            reweigh_jobs: 200,
+            seed: 0x57E1,
+        });
+        assert_eq!(
+            sweep.share.equal_weight_moved, 0,
+            "uniform weights are the legacy planner"
+        );
+        assert!(sweep.hot.promoted, "the hot modulus was promoted");
+        assert!(
+            sweep.hot.accepted_with > sweep.hot.accepted_without,
+            "replication accepts more of the burst ({} vs {})",
+            sweep.hot.accepted_with,
+            sweep.hot.accepted_without
+        );
+        assert_eq!(sweep.reweigh.lost_tickets, 0, "reweigh loses nothing");
+        assert_eq!(
+            sweep.reweigh.republish_rehomed, 0,
+            "a weight-1 republish is a placement no-op"
+        );
     }
 
     #[test]

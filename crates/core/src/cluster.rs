@@ -64,6 +64,57 @@
 //! tracked set in expectation — may move per membership change.
 //! [`ClusterStats::moduli_rehomed`] counts those moves.
 //!
+//! # Weighted routing: heterogeneous macros
+//!
+//! Tiles need not be equal: a tile backed by a bigger macro (or more
+//! workers) can carry a proportionally larger modulus share via its
+//! **capacity weight**. Weights live *inside* the epoch-versioned
+//! membership snapshot, so [`ServiceCluster::set_tile_weight`] /
+//! [`ServiceCluster::add_tile_weighted`] are one atomic publish plus
+//! the same minimal re-home pass a drain runs — in-flight submissions
+//! keep routing against the consistent snapshot they took. The score
+//! uses the logarithmic method (`weight / -ln(u)` with `u` derived
+//! from the rendezvous mix), which has two properties the tests pin:
+//!
+//! * **Equal weights ≡ legacy.** A cluster with every weight at 1
+//!   places every modulus exactly where the unweighted router did —
+//!   republishing weight 1 re-homes zero moduli.
+//! * **Monotonicity.** Raising one tile's weight only ever pulls
+//!   moduli *onto* that tile; no modulus homed elsewhere moves
+//!   between two unchanged tiles. Each pulled modulus pays the usual
+//!   one context preparation on its new home.
+//!
+//! The standalone planners have weighted variants
+//! ([`weighted_home_tile_for`], [`weighted_rendezvous_ranking`]).
+//!
+//! # Hot-modulus replication
+//!
+//! Affinity routing's failure mode is a single modulus hot enough to
+//! saturate its home tile while neighbours idle — under
+//! [`SpillPolicy::Strict`] nothing relieves it. The cluster watches
+//! for exactly that signature: every submission that finds **all** of
+//! its allowed tiles full records one *saturation event* against its
+//! modulus, and each [`ServiceCluster::probe_tiles`] pass closes a
+//! window over those events. A modulus whose window delta reaches
+//! [`ClusterConfig::replicate_after`] is **promoted** to a replica
+//! set: its top-[`ClusterConfig::replica_tiles`] weighted rendezvous
+//! tiles. From then on the router sends its jobs to the replica with
+//! the most queue headroom (bypassing the spill policy — every
+//! replica holds the modulus's prepared context, so coalescing and
+//! LUT reuse survive), which is what turns one saturated macro into k
+//! macros sharing the flood. The cost is one context preparation — a
+//! Table 1b LUT refill on the ModSRAM backend — per replica tile,
+//! paid lazily on each replica's first job, which is why promotion
+//! demands *sustained* saturation rather than one refused burst.
+//! Once the modulus stays calm for
+//! [`ClusterConfig::probation_after`] consecutive probes it is
+//! **demoted** back to plain single-home routing (the same probation
+//! cadence sick tiles use). Replica sets are rebuilt on every
+//! membership change and surfaced through
+//! [`ClusterStats::replicated_moduli`] /
+//! [`ClusterStats::replica_routed`] and
+//! [`ProbeReport::promoted`] / [`ProbeReport::demoted`].
+//!
 //! # Backpressure: spill policies and their trade-off
 //!
 //! Each tile's queue is bounded, so the router must decide what to do
@@ -207,8 +258,22 @@ pub struct ClusterConfig {
     /// Consecutive passing [`ServiceCluster::probe_tiles`] checks after
     /// which a drained tile is re-admitted to the routable set (and a
     /// poisoned tile's panic count is pardoned). `0` disables
-    /// probation: drained tiles sit out until shutdown.
+    /// probation: drained tiles sit out until shutdown. Hot-modulus
+    /// replica sets also de-replicate after this many consecutive
+    /// calm probes.
     pub probation_after: u64,
+    /// Saturation events (submissions that found every allowed tile
+    /// full) one modulus must accumulate between two
+    /// [`ServiceCluster::probe_tiles`] passes before it is promoted to
+    /// a replica set of its top-k weighted rendezvous tiles. `0`
+    /// disables hot-modulus replication entirely.
+    pub replicate_after: u64,
+    /// Replica-set size for a promoted hot modulus (the `k` in top-k;
+    /// values below 2 are treated as 2 — a 1-replica set is just the
+    /// home tile again). Each replica tile pays one context
+    /// preparation (a Table 1b LUT refill for the ModSRAM backend) for
+    /// the replicated modulus.
+    pub replica_tiles: usize,
 }
 
 impl Default for ClusterConfig {
@@ -218,6 +283,8 @@ impl Default for ClusterConfig {
             service: ServiceConfig::default(),
             poison_after: 3,
             probation_after: 3,
+            replicate_after: 64,
+            replica_tiles: 2,
         }
     }
 }
@@ -327,6 +394,14 @@ pub struct ProbeReport {
     /// this pass (they become routable again without a membership
     /// change).
     pub unpoisoned: Vec<usize>,
+    /// Hot moduli promoted to a replica set on this pass (their
+    /// saturation-event delta since the previous pass reached
+    /// [`ClusterConfig::replicate_after`]).
+    pub promoted: Vec<UBig>,
+    /// Replicated moduli demoted back to single-home routing on this
+    /// pass (calm for [`ClusterConfig::probation_after`] consecutive
+    /// passes).
+    pub demoted: Vec<UBig>,
 }
 
 /// One tile plus its routing tallies and probation bookkeeping.
@@ -383,45 +458,106 @@ fn modulus_key(p: &UBig) -> u64 {
     h.finish()
 }
 
-/// The rendezvous score of `(modulus key, tile)` — **the single
-/// definition** of both the score and its tie-break, shared by
-/// [`home_tile_for`], the router's hot-path argmax, and the full
-/// ranking, so the three can never drift. Higher is better; equal
-/// mixes break toward the lower tile index (`Reverse`), so the
-/// ordering is total and deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// The weighted rendezvous score of `(modulus key, tile, weight)` —
+/// **the single definition** of both the score and its tie-break,
+/// shared by [`home_tile_for`] / [`weighted_home_tile_for`], the
+/// router's hot-path argmax, and the full ranking, so they can never
+/// drift. Higher is better.
+///
+/// The score uses the logarithmic method for weighted rendezvous
+/// hashing: the mix is mapped to `u ∈ (0, 1)` and the score is
+/// `weight / -ln(u)`, which makes each tile's win probability exactly
+/// proportional to its weight. Because `u` is monotone in the mix,
+/// **equal weights reproduce the unweighted mix ordering exactly** —
+/// a weight-1 cluster places every modulus where the legacy
+/// unweighted router did. Ties (the f64 mapping collapses nearby
+/// mixes) fall back to the raw mix, then to the lower tile index
+/// (`Reverse`), so the ordering stays total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct RendezvousScore {
+    score: f64,
     mix: u64,
     tie: std::cmp::Reverse<usize>,
 }
 
-fn rendezvous_score(key: u64, tile: usize) -> RendezvousScore {
+impl Eq for RendezvousScore {}
+
+impl Ord for RendezvousScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(self.mix.cmp(&other.mix))
+            .then(self.tie.cmp(&other.tie))
+    }
+}
+
+impl PartialOrd for RendezvousScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn rendezvous_score(key: u64, tile: usize, weight: u32) -> RendezvousScore {
+    let mix = mix64(key ^ (tile as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Top 52 mix bits → odd 53-bit numerator / 2^53: exactly
+    // representable, strictly inside (0, 1) at both ends (so `ln` is
+    // finite and negative), and monotone in the mix — the property the
+    // equal-weights-≡-legacy guarantee rests on.
+    let u = (((mix >> 12) << 1) | 1) as f64 / (1u64 << 53) as f64;
     RendezvousScore {
-        mix: mix64(key ^ (tile as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        score: weight as f64 / -u.ln(),
+        mix,
         tie: std::cmp::Reverse(tile),
     }
 }
 
-/// The natural home tile for modulus `p` in a cluster of `tiles` —
-/// the same deterministic rendezvous placement a live
-/// [`ServiceCluster`] of that size computes (with every tile active),
-/// exposed standalone so workload planners (capacity sizing, sweep
-/// generators) can predict placement without standing a cluster up.
-pub fn home_tile_for(p: &UBig, tiles: usize) -> usize {
+/// The natural home tile for modulus `p` in a cluster of `tiles`
+/// equal-weight tiles — the same deterministic rendezvous placement a
+/// live [`ServiceCluster`] of that size computes (with every tile
+/// active at weight 1), exposed standalone so workload planners
+/// (capacity sizing, sweep generators) can predict placement without
+/// standing a cluster up. `None` when `tiles == 0`, consistent with
+/// [`rendezvous_ranking`] returning the empty ranking (and with the
+/// membership's own `natural_home` when no tile is routable).
+pub fn home_tile_for(p: &UBig, tiles: usize) -> Option<usize> {
     let key = modulus_key(p);
-    (0..tiles.max(1))
-        .max_by_key(|&i| rendezvous_score(key, i))
-        .unwrap_or(0)
+    (0..tiles).max_by_key(|&i| rendezvous_score(key, i, 1))
 }
 
-/// Tile indices `0..tiles` in rendezvous order (best score first) for
-/// modulus `p` — the full failover ranking behind [`home_tile_for`]
-/// (which is its first element). Drain planners use the second-ranked
-/// tile to predict where a modulus lands when its home leaves.
+/// Tile indices `0..tiles` in rendezvous order (best score first,
+/// equal weights) for modulus `p` — the full failover ranking behind
+/// [`home_tile_for`] (which is its first element). Drain planners use
+/// the second-ranked tile to predict where a modulus lands when its
+/// home leaves.
 pub fn rendezvous_ranking(p: &UBig, tiles: usize) -> Vec<usize> {
     let key = modulus_key(p);
     let mut order: Vec<usize> = (0..tiles).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
+    order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i, 1)));
+    order
+}
+
+/// The weighted natural home for modulus `p` over a fleet described
+/// by one capacity weight per tile: tile `i`'s probability of homing
+/// a random modulus is `weights[i] / Σ weights`. With all weights
+/// equal this is exactly [`home_tile_for`] — the placement the legacy
+/// unweighted router computes. A zero-weight tile scores 0 and never
+/// wins while any positive-weight tile exists (the live cluster
+/// refuses weight 0 outright; see
+/// [`ServiceCluster::set_tile_weight`]). `None` when `weights` is
+/// empty.
+pub fn weighted_home_tile_for(p: &UBig, weights: &[u32]) -> Option<usize> {
+    let key = modulus_key(p);
+    (0..weights.len()).max_by_key(|&i| rendezvous_score(key, i, weights[i]))
+}
+
+/// Tile indices `0..weights.len()` in weighted rendezvous order (best
+/// score first) for modulus `p` — the weighted analogue of
+/// [`rendezvous_ranking`], and the ranking hot-modulus replication
+/// takes its top-k replica tiles from.
+pub fn weighted_rendezvous_ranking(p: &UBig, weights: &[u32]) -> Vec<usize> {
+    let key = modulus_key(p);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i, weights[i])));
     order
 }
 
@@ -433,6 +569,11 @@ struct Membership {
     epoch: u64,
     tiles: Vec<Arc<TileCell>>,
     states: Vec<TileState>,
+    /// Per-tile capacity weight (never 0 — [`ServiceCluster`] refuses
+    /// zero weights). Lives *inside* the snapshot so a weight change
+    /// is one atomic epoch publish and in-flight submissions keep
+    /// routing against a consistent weighted view.
+    weights: Vec<u32>,
 }
 
 impl Membership {
@@ -447,21 +588,25 @@ impl Membership {
             .count()
     }
 
+    fn score(&self, key: u64, tile: usize) -> RendezvousScore {
+        rendezvous_score(key, tile, self.weights[tile])
+    }
+
     /// Rank-0 routable tile for a modulus key; `None` when no tile is
     /// routable (all drained/draining).
     fn natural_home(&self, key: u64) -> Option<usize> {
         (0..self.tiles.len())
             .filter(|&i| self.routable(i))
-            .max_by_key(|&i| rendezvous_score(key, i))
+            .max_by_key(|&i| self.score(key, i))
     }
 
-    /// Routable tile indices in rendezvous order (best score first) —
-    /// deterministic for a given key and membership.
+    /// Routable tile indices in weighted rendezvous order (best score
+    /// first) — deterministic for a given key and membership.
     fn ranked(&self, key: u64) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.tiles.len())
             .filter(|&i| self.routable(i))
             .collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
+        order.sort_by_key(|&i| std::cmp::Reverse(self.score(key, i)));
         order
     }
 }
@@ -471,6 +616,37 @@ impl Membership {
 /// sample; routing itself is unaffected).
 const TRACKED_MODULI_CAP: usize = 1 << 16;
 
+/// Bound on the saturation-event map hot-modulus replication watches:
+/// beyond this many distinct saturating moduli, new ones are no
+/// longer candidates for promotion (existing replica sets are
+/// unaffected).
+const SATURATION_TRACK_CAP: usize = 1 << 12;
+
+/// One promoted hot modulus: the replica tiles serving it and the
+/// calm-probe counter that eventually demotes it.
+struct ReplicaEntry {
+    /// The replicated modulus (for reporting demotions).
+    p: UBig,
+    /// Top-k weighted rendezvous tiles at promotion time, rebuilt on
+    /// every membership change (rank 0 is the natural home).
+    tiles: Vec<usize>,
+    /// Consecutive probe passes without a new saturation event;
+    /// reaching `probation_after` demotes the modulus.
+    calm: u64,
+}
+
+/// Per-modulus saturation bookkeeping feeding promotion decisions.
+struct SatWindow {
+    /// The saturating modulus itself, kept so promotion can report it
+    /// and future warm-up hooks can prepare replica contexts eagerly.
+    p: UBig,
+    /// Lifetime saturation events for this modulus.
+    events: u64,
+    /// `events` as of the previous [`ServiceCluster::probe_tiles`]
+    /// pass — the delta over one probe window drives promotion.
+    seen: u64,
+}
+
 /// State shared by the cluster front, its handles, and its prepared
 /// façades.
 struct ClusterShared {
@@ -478,10 +654,13 @@ struct ClusterShared {
     spill: SpillPolicy,
     poison_after: u64,
     probation_after: u64,
+    replicate_after: u64,
+    replica_tiles: usize,
     stopped: AtomicBool,
     affinity_hits: AtomicU64,
     spilled: AtomicU64,
     saturated_rejections: AtomicU64,
+    replica_routed: AtomicU64,
     tiles_added: AtomicU64,
     tiles_drained: AtomicU64,
     tiles_readmitted: AtomicU64,
@@ -493,6 +672,16 @@ struct ClusterShared {
     /// Set once `homes` reaches [`TRACKED_MODULI_CAP`], so the
     /// submission hot path stops touching the map's lock entirely.
     homes_full: AtomicBool,
+    /// Per-modulus saturation events, keyed by [`modulus_key`] —
+    /// written by refused/blocked submissions, read by the promotion
+    /// pass in [`ServiceCluster::probe_tiles`].
+    saturation: RwLock<HashMap<u64, SatWindow>>,
+    /// Currently replicated hot moduli, keyed by [`modulus_key`].
+    replicas: RwLock<HashMap<u64, ReplicaEntry>>,
+    /// Mirror of `replicas.len()`: lets the submission hot path skip
+    /// the replica map's lock entirely while nothing is replicated —
+    /// the common case.
+    replicas_active: AtomicU64,
 }
 
 impl ClusterShared {
@@ -553,9 +742,11 @@ impl ClusterShared {
     }
 
     /// Re-computes every tracked modulus's natural home against a new
-    /// membership, counting (and recording) the ones that moved.
-    /// Called with the membership write lock held, so concurrent
-    /// membership changes serialise their re-home accounting.
+    /// membership, counting (and recording) the ones that moved, and
+    /// rebuilds every live replica set against the new weighted
+    /// ranking. Called with the membership write lock held, so
+    /// concurrent membership changes serialise their re-home
+    /// accounting.
     fn rehome_tracked(&self, m: &Membership) -> u64 {
         let mut homes = self.homes.write().unwrap_or_else(PoisonError::into_inner);
         let mut moved = 0u64;
@@ -567,8 +758,136 @@ impl ClusterShared {
                 }
             }
         }
+        drop(homes);
         self.moduli_rehomed.fetch_add(moved, Ordering::Relaxed);
+        if self.replicas_active.load(Ordering::Relaxed) > 0 {
+            let mut replicas = self
+                .replicas
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (key, entry) in replicas.iter_mut() {
+                entry.tiles = m
+                    .ranked(*key)
+                    .into_iter()
+                    .take(self.replica_tiles.max(2))
+                    .collect();
+            }
+        }
         moved
+    }
+
+    /// Records one saturation event for a modulus: every submission
+    /// that found all its allowed tiles full bumps this, and the
+    /// promotion pass in [`ServiceCluster::probe_tiles`] compares the
+    /// delta over a probe window against
+    /// [`ClusterConfig::replicate_after`].
+    fn note_saturation(&self, key: u64, p: &UBig) {
+        if self.replicate_after == 0 {
+            return;
+        }
+        let mut sat = self
+            .saturation
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(window) = sat.get_mut(&key) {
+            window.events += 1;
+        } else if sat.len() < SATURATION_TRACK_CAP {
+            sat.insert(
+                key,
+                SatWindow {
+                    p: p.clone(),
+                    events: 1,
+                    seen: 0,
+                },
+            );
+        }
+    }
+
+    /// The usable replica tiles for a replicated modulus, most queue
+    /// headroom first — `None` when the modulus is not replicated (the
+    /// hot path's one `Relaxed` load answers that without a lock) or
+    /// when every replica is unusable (normal routing takes over).
+    fn replica_candidates(&self, m: &Membership, key: u64) -> Option<Vec<usize>> {
+        if self.replicas_active.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let replicas = self.replicas.read().unwrap_or_else(PoisonError::into_inner);
+        let entry = replicas.get(&key)?;
+        let mut live: Vec<(usize, usize)> = entry
+            .tiles
+            .iter()
+            .copied()
+            .filter(|&t| t < m.tiles.len() && m.routable(t))
+            .filter_map(|t| {
+                let health = m.tiles[t].service.health();
+                self.usable_health(&m.tiles[t], &health)
+                    .then(|| (health.headroom(), t))
+            })
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        live.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        Some(live.into_iter().map(|(_, t)| t).collect())
+    }
+
+    /// One promotion/demotion pass over the saturation windows, run by
+    /// [`ServiceCluster::probe_tiles`]: a modulus whose saturation
+    /// delta since the previous pass reaches `replicate_after` is
+    /// promoted to its top-k weighted rendezvous tiles; a replicated
+    /// modulus that stayed calm for `probation_after` consecutive
+    /// passes is demoted back to single-home routing.
+    fn replication_pass(&self, m: &Membership, report: &mut ProbeReport) {
+        let mut sat = self
+            .saturation
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut replicas = self
+            .replicas
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let demote_after = self.probation_after.max(1);
+        let mut demote = Vec::new();
+        for (key, window) in sat.iter_mut() {
+            let delta = window.events - window.seen;
+            window.seen = window.events;
+            if let Some(entry) = replicas.get_mut(key) {
+                if delta == 0 {
+                    entry.calm += 1;
+                    if entry.calm >= demote_after {
+                        demote.push(*key);
+                    }
+                } else {
+                    entry.calm = 0;
+                }
+            } else if delta >= self.replicate_after {
+                let tiles: Vec<usize> = m
+                    .ranked(*key)
+                    .into_iter()
+                    .take(self.replica_tiles.max(2))
+                    .collect();
+                // A replica set needs at least two live tiles to be
+                // more than the home it already has.
+                if tiles.len() >= 2 {
+                    report.promoted.push(window.p.clone());
+                    replicas.insert(
+                        *key,
+                        ReplicaEntry {
+                            p: window.p.clone(),
+                            tiles,
+                            calm: 0,
+                        },
+                    );
+                }
+            }
+        }
+        for key in demote {
+            if let Some(entry) = replicas.remove(&key) {
+                report.demoted.push(entry.p);
+            }
+        }
+        self.replicas_active
+            .store(replicas.len() as u64, Ordering::Relaxed);
     }
 
     /// The home tile for a modulus key under membership `m`: the
@@ -591,11 +910,19 @@ impl ClusterShared {
     /// Records an accepted job: per-tile tallies plus the cluster's
     /// affinity accounting (`natural` is the rank-0 routable tile the
     /// modulus hashes to, `landed` where the job was actually
-    /// accepted).
-    fn record(&self, m: &Membership, landed: usize, natural: usize) {
-        if landed == natural {
+    /// accepted). A landing on any member of the modulus's replica set
+    /// counts as an affinity hit — the replica holds a prepared
+    /// context for that modulus by design, so its coalescing and LUT
+    /// reuse are intact — and as `replica_routed` when it was not the
+    /// natural home.
+    fn record(&self, m: &Membership, landed: usize, natural: usize, replicas: Option<&[usize]>) {
+        let on_replica = replicas.is_some_and(|r| r.contains(&landed));
+        if landed == natural || on_replica {
             m.tiles[landed].routed.fetch_add(1, Ordering::Relaxed);
             self.affinity_hits.fetch_add(1, Ordering::Relaxed);
+            if on_replica && landed != natural {
+                self.replica_routed.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             m.tiles[landed].spilled_in.fetch_add(1, Ordering::Relaxed);
             self.spilled.fetch_add(1, Ordering::Relaxed);
@@ -641,13 +968,27 @@ impl ClusterShared {
                 return Err(ClusterSubmitError::Stopped);
             };
 
-            let mut candidates = vec![home];
-            candidates.extend(self.spill_candidates(&m, home));
+            // A replicated hot modulus routes across its replica set,
+            // most headroom first, instead of home-then-spill; the
+            // spill policy is bypassed because every replica already
+            // holds the modulus's prepared context.
+            let replicas = self.replica_candidates(&m, key);
+            let candidates = match &replicas {
+                Some(r) => r.clone(),
+                None => {
+                    let mut c = vec![home];
+                    c.extend(self.spill_candidates(&m, home));
+                    c
+                }
+            };
+            // The tile the blocking fall-through waits on: the best
+            // replica for a replicated modulus, the home otherwise.
+            let anchor = candidates[0];
             let tried = candidates.len();
             for tile in candidates {
                 match m.tiles[tile].service.try_submit(job.clone()) {
                     Ok(ticket) => {
-                        self.record(&m, tile, natural);
+                        self.record(&m, tile, natural, replicas.as_deref());
                         return Ok(ticket);
                     }
                     // Full, draining, or racing its own shutdown: move
@@ -657,16 +998,21 @@ impl ClusterShared {
                     | Err(SubmitError::Paused) => {}
                 }
             }
+            // Every allowed tile refused without blocking — a
+            // saturation event for this modulus either way; enough of
+            // them inside one probe window promotes it to a replica
+            // set (see the module docs' replication section).
+            self.note_saturation(key, &job.modulus);
             if !block {
                 self.saturated_rejections.fetch_add(1, Ordering::Relaxed);
                 return Err(ClusterSubmitError::AllTilesSaturated { tried });
             }
-            // Every allowed tile refused without blocking; wait for
-            // the home queue so sustained overload still lands with
-            // affinity (and still backpressures the producer).
-            match m.tiles[home].service.submit(job.clone()) {
+            // Wait for the anchor queue so sustained overload still
+            // lands with affinity (and still backpressures the
+            // producer).
+            match m.tiles[anchor].service.submit(job.clone()) {
                 Ok(ticket) => {
-                    self.record(&m, home, natural);
+                    self.record(&m, anchor, natural, replicas.as_deref());
                     return Ok(ticket);
                 }
                 Err(_) => {
@@ -729,7 +1075,7 @@ impl ClusterShared {
                     .submit_many_partial(tile_jobs);
                 let accepted = tickets.len();
                 for ((idx, natural, _), ticket) in share.iter().take(accepted).zip(tickets) {
-                    self.record(&m, tile, *natural);
+                    self.record(&m, tile, *natural, None);
                     slots[*idx] = Some(ticket);
                     progressed = true;
                 }
@@ -825,10 +1171,13 @@ impl ClusterHandle {
 /// Per-tile routing and service statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileStats {
-    /// Jobs accepted with this tile as their natural home.
+    /// Jobs accepted with this tile as their natural home (or as a
+    /// replica of their modulus).
     pub routed: u64,
     /// Jobs accepted here after spilling from another tile's home.
     pub spilled_in: u64,
+    /// The tile's capacity weight in the weighted rendezvous score.
+    pub weight: u32,
     /// `true` when the router currently treats this tile as poisoned
     /// (caught panics minus probation pardons ≥ `poison_after`).
     pub poisoned: bool,
@@ -872,6 +1221,12 @@ pub struct ClusterStats {
     /// Non-blocking submissions refused with
     /// [`CoreError::AllTilesSaturated`].
     pub saturated_rejections: u64,
+    /// Hot moduli currently served by a replica set.
+    pub replicated_moduli: u64,
+    /// Jobs that landed on a non-home member of their modulus's
+    /// replica set (lifetime count — the traffic replication moved
+    /// off saturated home tiles).
+    pub replica_routed: u64,
     /// Jobs completed successfully, summed over tiles.
     pub completed: u64,
     /// Jobs completed with an error, summed over tiles.
@@ -954,26 +1309,34 @@ impl ServiceCluster {
             .map(|service| Arc::new(TileCell::new(Arc::new(service))))
             .collect();
         let states = vec![TileState::Active; tiles.len()];
+        let weights = vec![1u32; tiles.len()];
         ServiceCluster {
             shared: Arc::new(ClusterShared {
                 membership: RwLock::new(Arc::new(Membership {
                     epoch: 0,
                     tiles,
                     states,
+                    weights,
                 })),
                 spill: config.spill,
                 poison_after: config.poison_after,
                 probation_after: config.probation_after,
+                replicate_after: config.replicate_after,
+                replica_tiles: config.replica_tiles,
                 stopped: AtomicBool::new(false),
                 affinity_hits: AtomicU64::new(0),
                 spilled: AtomicU64::new(0),
                 saturated_rejections: AtomicU64::new(0),
+                replica_routed: AtomicU64::new(0),
                 tiles_added: AtomicU64::new(0),
                 tiles_drained: AtomicU64::new(0),
                 tiles_readmitted: AtomicU64::new(0),
                 moduli_rehomed: AtomicU64::new(0),
                 homes: RwLock::new(HashMap::new()),
                 homes_full: AtomicBool::new(false),
+                saturation: RwLock::new(HashMap::new()),
+                replicas: RwLock::new(HashMap::new()),
+                replicas_active: AtomicU64::new(0),
             }),
         }
     }
@@ -1097,31 +1460,47 @@ impl ServiceCluster {
             .map(|cell| Arc::clone(&cell.service))
     }
 
-    /// The natural home tile (rendezvous rank 0 among **routable**
-    /// tiles, health ignored) for a modulus — where its traffic lands
-    /// in steady state under the current membership. When *no* tile is
-    /// routable (every tile drained — possible on a fully-drained
-    /// cluster) this returns the sentinel `0`, matching the router,
-    /// which refuses submissions with [`ClusterSubmitError::Stopped`]
-    /// in that state; check [`ServiceCluster::active_tiles`] first if
-    /// the distinction matters.
-    pub fn home_tile(&self, p: &UBig) -> usize {
-        self.shared
-            .snapshot()
-            .natural_home(modulus_key(p))
-            .unwrap_or(0)
+    /// The natural home tile (weighted rendezvous rank 0 among
+    /// **routable** tiles, health ignored) for a modulus — where its
+    /// traffic lands in steady state under the current membership.
+    /// `None` when no tile is routable (every tile drained — possible
+    /// on a fully-drained cluster), the state in which the router
+    /// refuses submissions with [`ClusterSubmitError::Stopped`].
+    pub fn home_tile(&self, p: &UBig) -> Option<usize> {
+        self.shared.snapshot().natural_home(modulus_key(p))
     }
 
-    /// Adds a running tile to the cluster at a fresh index and
-    /// publishes a new membership epoch. Only the moduli the new tile
-    /// out-scores everywhere re-home onto it; everything else stays
-    /// put (each move costs its modulus one cold context preparation
-    /// on the new tile).
+    /// A tile's capacity weight under the current membership, `None`
+    /// for an out-of-range index.
+    pub fn tile_weight(&self, tile: usize) -> Option<u32> {
+        self.shared.snapshot().weights.get(tile).copied()
+    }
+
+    /// Adds a running tile to the cluster at a fresh index with
+    /// weight 1 (see [`ServiceCluster::add_tile_weighted`]).
     ///
     /// # Errors
     ///
     /// [`CoreError::ClusterStopped`] after shutdown.
     pub fn add_tile(&self, service: ModSramService) -> Result<MembershipChange, CoreError> {
+        self.add_tile_weighted(service, 1)
+    }
+
+    /// Adds a running tile to the cluster at a fresh index with the
+    /// given capacity weight and publishes a new membership epoch.
+    /// Only the moduli the new tile out-scores everywhere re-home onto
+    /// it; everything else stays put (each move costs its modulus one
+    /// cold context preparation on the new tile).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ZeroTileWeight`] for `weight == 0`,
+    /// [`CoreError::ClusterStopped`] after shutdown.
+    pub fn add_tile_weighted(
+        &self,
+        service: ModSramService,
+        weight: u32,
+    ) -> Result<MembershipChange, CoreError> {
         let mut guard = self
             .shared
             .membership
@@ -1136,17 +1515,75 @@ impl ServiceCluster {
             return Err(CoreError::ClusterStopped);
         }
         let tile = guard.tiles.len();
+        if weight == 0 {
+            return Err(CoreError::ZeroTileWeight { tile });
+        }
         let mut tiles = guard.tiles.clone();
         let mut states = guard.states.clone();
+        let mut weights = guard.weights.clone();
         tiles.push(Arc::new(TileCell::new(Arc::new(service))));
         states.push(TileState::Active);
+        weights.push(weight);
         let next = Arc::new(Membership {
             epoch: guard.epoch + 1,
             tiles,
             states,
+            weights,
         });
         *guard = Arc::clone(&next);
         self.shared.tiles_added.fetch_add(1, Ordering::Relaxed);
+        let rehomed = self.shared.rehome_tracked(&next);
+        Ok(MembershipChange {
+            epoch: next.epoch,
+            tile,
+            rehomed_moduli: rehomed,
+            active_tiles: next.active_count(),
+        })
+    }
+
+    /// Re-weights one tile live: publishes a new membership epoch with
+    /// the tile's capacity weight changed and re-homes the tracked
+    /// moduli the new weighted ranking moves — raising a tile's
+    /// weight only ever pulls moduli *onto* it, lowering it only ever
+    /// pushes moduli *off* it (monotonicity of the weighted score),
+    /// and republishing the same weight moves nothing. In-flight
+    /// submissions keep routing against the snapshot they took;
+    /// accepted tickets are never lost across the swap (pinned by the
+    /// live-reweigh soak in `tests/elasticity.rs`).
+    ///
+    /// Re-weighting a draining or drained tile is allowed — the new
+    /// weight takes effect when probation re-admits it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ZeroTileWeight`] for `weight == 0` (weights are
+    /// multiplicative capacity, not membership — drain the tile
+    /// instead), [`CoreError::UnknownTile`] for an out-of-range index,
+    /// [`CoreError::ClusterStopped`] after shutdown.
+    pub fn set_tile_weight(&self, tile: usize, weight: u32) -> Result<MembershipChange, CoreError> {
+        if weight == 0 {
+            return Err(CoreError::ZeroTileWeight { tile });
+        }
+        let mut guard = self
+            .shared
+            .membership
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(CoreError::ClusterStopped);
+        }
+        if tile >= guard.tiles.len() {
+            return Err(CoreError::UnknownTile { tile });
+        }
+        let mut weights = guard.weights.clone();
+        weights[tile] = weight;
+        let next = Arc::new(Membership {
+            epoch: guard.epoch + 1,
+            tiles: guard.tiles.clone(),
+            states: guard.states.clone(),
+            weights,
+        });
+        *guard = Arc::clone(&next);
         let rehomed = self.shared.rehome_tracked(&next);
         Ok(MembershipChange {
             epoch: next.epoch,
@@ -1202,6 +1639,7 @@ impl ServiceCluster {
                 epoch: guard.epoch + 1,
                 tiles: guard.tiles.clone(),
                 states,
+                weights: guard.weights.clone(),
             });
             *guard = Arc::clone(&next);
             let cell = Arc::clone(&next.tiles[tile]);
@@ -1233,6 +1671,7 @@ impl ServiceCluster {
                     epoch: guard.epoch + 1,
                     tiles: guard.tiles.clone(),
                     states,
+                    weights: guard.weights.clone(),
                 });
             }
             (guard.epoch, guard.active_count())
@@ -1259,10 +1698,18 @@ impl ServiceCluster {
     /// re-admission entirely.
     pub fn probe_tiles(&self) -> ProbeReport {
         let mut report = ProbeReport::default();
-        if self.probation() == 0 || self.shared.stopped.load(Ordering::Acquire) {
+        if self.shared.stopped.load(Ordering::Acquire) {
             return report;
         }
         let m = self.shared.snapshot();
+        // Hot-modulus promotion/demotion rides the same cadence as
+        // tile probation: each pass closes one saturation window.
+        if self.shared.replicate_after > 0 {
+            self.shared.replication_pass(&m, &mut report);
+        }
+        if self.probation() == 0 {
+            return report;
+        }
         for (tile, cell) in m.tiles.iter().enumerate() {
             match m.states[tile] {
                 TileState::Draining => continue,
@@ -1335,6 +1782,7 @@ impl ServiceCluster {
             epoch: guard.epoch + 1,
             tiles: guard.tiles.clone(),
             states,
+            weights: guard.weights.clone(),
         });
         *guard = Arc::clone(&next);
         next.tiles[tile].service.resume_admissions();
@@ -1355,6 +1803,7 @@ impl ServiceCluster {
                 TileStats {
                     routed: cell.routed.load(Ordering::Relaxed),
                     spilled_in: cell.spilled_in.load(Ordering::Relaxed),
+                    weight: m.weights[i],
                     poisoned: self.shared.poisoned(cell, &health),
                     state: m.states[i],
                     health,
@@ -1402,6 +1851,13 @@ impl ServiceCluster {
             affinity_hits,
             spilled,
             saturated_rejections: self.shared.saturated_rejections.load(Ordering::Relaxed),
+            replicated_moduli: self
+                .shared
+                .replicas
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len() as u64,
+            replica_routed: self.shared.replica_routed.load(Ordering::Relaxed),
             completed: tiles.iter().map(|t| t.service.completed).sum(),
             failed: tiles.iter().map(|t| t.service.failed).sum(),
             autotune,
@@ -1509,24 +1965,38 @@ mod tests {
 
     #[test]
     fn rendezvous_tie_break_prefers_the_lower_tile_index() {
-        // The shared score is (mix, Reverse(index)): on a mix collision
-        // the *lower* index must win, for all three call sites at once
-        // — this is the single definition they share.
+        // The shared score is (score, mix, Reverse(index)): on a full
+        // collision the *lower* index must win, for all call sites at
+        // once — this is the single definition they share.
         let a = RendezvousScore {
+            score: 1.0,
             mix: 7,
             tie: std::cmp::Reverse(1),
         };
         let b = RendezvousScore {
+            score: 1.0,
             mix: 7,
             tie: std::cmp::Reverse(2),
         };
-        assert!(a > b, "equal mix must break toward the lower index");
+        assert!(
+            a > b,
+            "equal score and mix must break toward the lower index"
+        );
         assert!(
             RendezvousScore {
+                score: 1.0,
                 mix: 8,
                 tie: std::cmp::Reverse(9),
             } > a,
-            "mix dominates the tie-break"
+            "mix breaks equal scores"
+        );
+        assert!(
+            RendezvousScore {
+                score: 2.0,
+                mix: 0,
+                tie: std::cmp::Reverse(9),
+            } > a,
+            "the weighted score dominates the mix"
         );
         // The argmax and the full ranking agree on every probed key —
         // they both go through rendezvous_score, so the rank-0 of the
@@ -1534,12 +2004,79 @@ mod tests {
         for key in [0u64, 1, 97, 0xDEAD_BEEF, u64::MAX] {
             for tiles in 1..=6usize {
                 let best = (0..tiles)
-                    .max_by_key(|&i| rendezvous_score(key, i))
+                    .max_by_key(|&i| rendezvous_score(key, i, 1))
                     .unwrap();
                 let mut order: Vec<usize> = (0..tiles).collect();
-                order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i)));
+                order.sort_by_key(|&i| std::cmp::Reverse(rendezvous_score(key, i, 1)));
                 assert_eq!(order[0], best, "key {key}, {tiles} tiles");
             }
+        }
+    }
+
+    #[test]
+    fn planners_agree_on_degenerate_tile_counts() {
+        // Regression (ISSUE 9 satellite 1): home_tile_for(p, 0) used
+        // to return tile index 0 — out of range for an empty cluster —
+        // while rendezvous_ranking(p, 0) returned []. Both planners
+        // (and their weighted variants) must agree with
+        // Membership::natural_home: no tiles, no home.
+        let p = UBig::from(1_000_003u64);
+        assert_eq!(home_tile_for(&p, 0), None);
+        assert!(rendezvous_ranking(&p, 0).is_empty());
+        assert_eq!(weighted_home_tile_for(&p, &[]), None);
+        assert!(weighted_rendezvous_ranking(&p, &[]).is_empty());
+        // One tile: the only possible answer, for every modulus.
+        for m in [3u64, 97, 65537, 0xffff_fffb] {
+            let p = UBig::from(m);
+            assert_eq!(home_tile_for(&p, 1), Some(0));
+            assert_eq!(rendezvous_ranking(&p, 1), vec![0]);
+            assert_eq!(weighted_home_tile_for(&p, &[7]), Some(0));
+            assert_eq!(weighted_rendezvous_ranking(&p, &[7]), vec![0]);
+        }
+    }
+
+    #[test]
+    fn equal_weights_reproduce_the_legacy_placement() {
+        // The logarithmic score is monotone in the mix, so an
+        // all-equal-weights fleet must rank every tile exactly as the
+        // unweighted planner does — at any common weight, not just 1.
+        for i in 0..200u64 {
+            let p = UBig::from(2 * i + 3);
+            for tiles in 1..=5usize {
+                let legacy = rendezvous_ranking(&p, tiles);
+                for w in [1u32, 2, 7, u32::MAX] {
+                    let weights = vec![w; tiles];
+                    assert_eq!(
+                        weighted_rendezvous_ranking(&p, &weights),
+                        legacy,
+                        "weight {w}, {tiles} tiles, modulus {p}"
+                    );
+                    assert_eq!(weighted_home_tile_for(&p, &weights), Some(legacy[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_share_tracks_weights() {
+        // 2:1:1:1 over a large modulus sample: the 2× tile should home
+        // ~40% of moduli (double each 1× tile's ~20%).
+        let weights = [2u32, 1, 1, 1];
+        let mut per_tile = [0usize; 4];
+        let samples = 4000u64;
+        for i in 0..samples {
+            let p = UBig::from(2 * i + 3);
+            per_tile[weighted_home_tile_for(&p, &weights).unwrap()] += 1;
+        }
+        let total: f64 = samples as f64;
+        let weight_sum: u32 = weights.iter().sum();
+        for (tile, &count) in per_tile.iter().enumerate() {
+            let want = weights[tile] as f64 / weight_sum as f64;
+            let got = count as f64 / total;
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "tile {tile}: share {got:.3} vs weight share {want:.3}"
+            );
         }
     }
 
@@ -1548,11 +2085,11 @@ mod tests {
         let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
         for m in [97u64, 101, 65537, 1_000_003, 0xffff_fffb] {
             let p = UBig::from(m);
-            let home = cluster.home_tile(&p);
+            let home = cluster.home_tile(&p).unwrap();
             assert!(home < 4);
             // Stable across calls and equal to the standalone planner.
-            assert_eq!(home, cluster.home_tile(&p));
-            assert_eq!(home, home_tile_for(&p, 4));
+            assert_eq!(Some(home), cluster.home_tile(&p));
+            assert_eq!(Some(home), home_tile_for(&p, 4));
             let order = rendezvous_ranking(&p, 4);
             assert_eq!(order[0], home, "ranking rank-0 is the home");
             let live = cluster.shared.snapshot().ranked(modulus_key(&p));
@@ -1568,7 +2105,7 @@ mod tests {
         let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
         let mut per_tile = [0usize; 4];
         for i in 0..128u64 {
-            per_tile[cluster.home_tile(&UBig::from(2 * i + 3))] += 1;
+            per_tile[cluster.home_tile(&UBig::from(2 * i + 3)).unwrap()] += 1;
         }
         for (tile, &count) in per_tile.iter().enumerate() {
             assert!(count > 0, "tile {tile} homed no modulus out of 128");
@@ -1669,7 +2206,7 @@ mod tests {
         // A modulus homed on tile 0.
         let p = (0..64u64)
             .map(|i| UBig::from(1_000_003u64 + 2 * i))
-            .find(|p| cluster.home_tile(p) == 0)
+            .find(|p| cluster.home_tile(p) == Some(0))
             .expect("some modulus homes on tile 0");
         // Saturate tile 0 in two phases: the batcher drains the
         // bounded queue into the exec pipeline within microseconds, so
@@ -1796,7 +2333,11 @@ mod tests {
         let mut tickets = Vec::new();
         for i in 0..12u64 {
             let p = UBig::from(2 * i + 97);
-            assert_ne!(cluster.home_tile(&p), 1, "drained tile is not routable");
+            assert_ne!(
+                cluster.home_tile(&p),
+                Some(1),
+                "drained tile is not routable"
+            );
             let job = MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
             let want = &(&job.a * &job.b) % &p;
             tickets.push((cluster.submit(job).unwrap(), want));
@@ -1822,16 +2363,16 @@ mod tests {
                 .unwrap();
             t.wait().unwrap();
         }
-        let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let before: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
         let service = ModSramService::for_engine_name("barrett", small_config().service).unwrap();
         let report = cluster.add_tile(service).unwrap();
         assert_eq!(report.tile, 2);
         assert_eq!(report.active_tiles, 3);
-        let after: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let after: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
         let mut moved = 0u64;
         for (i, (b, a)) in before.iter().zip(&after).enumerate() {
             if b != a {
-                assert_eq!(*a, 2, "modulus {i} may only move TO the new tile");
+                assert_eq!(*a, Some(2), "modulus {i} may only move TO the new tile");
                 moved += 1;
             }
         }
@@ -1841,7 +2382,7 @@ mod tests {
             "re-home accounting matches observed home moves"
         );
         // New-tile traffic actually lands there.
-        let Some(p) = moduli.iter().find(|p| cluster.home_tile(p) == 2) else {
+        let Some(p) = moduli.iter().find(|p| cluster.home_tile(p) == Some(2)) else {
             panic!("some tracked modulus homes on the new tile");
         };
         let t = cluster
@@ -1873,13 +2414,14 @@ mod tests {
             },
             poison_after: 2,
             probation_after: 2,
+            ..Default::default()
         };
         let sick = recovering_pool(1, 2, FailureMode::Panic);
         let healthy = ContextPool::for_engine_name("barrett").unwrap();
         let cluster = ServiceCluster::new(vec![sick, healthy], config);
         let p = (0..64u64)
             .map(|i| UBig::from(1_000_003u64 + 2 * i))
-            .find(|p| cluster.home_tile(p) == 0)
+            .find(|p| cluster.home_tile(p) == Some(0))
             .expect("some modulus homes on tile 0");
         let job = |i: u64| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
         // Two panicking batches poison tile 0.
@@ -1930,6 +2472,144 @@ mod tests {
         assert!(CoreError::TileDraining { tile: 3 }
             .to_string()
             .contains("3"));
+    }
+
+    #[test]
+    fn set_tile_weight_rejects_zero_and_unknown() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 2, small_config()).unwrap();
+        assert_eq!(
+            cluster.set_tile_weight(0, 0).err(),
+            Some(CoreError::ZeroTileWeight { tile: 0 })
+        );
+        assert_eq!(
+            cluster.set_tile_weight(9, 3).err(),
+            Some(CoreError::UnknownTile { tile: 9 })
+        );
+        let service = ModSramService::for_engine_name("barrett", small_config().service).unwrap();
+        assert!(matches!(
+            cluster.add_tile_weighted(service, 0).err(),
+            Some(CoreError::ZeroTileWeight { tile: 2 })
+        ));
+        assert_eq!(cluster.tile_weight(0), Some(1));
+        assert_eq!(cluster.tile_weight(9), None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn set_tile_weight_pulls_moduli_only_onto_the_raised_tile() {
+        let cluster = ServiceCluster::for_engine_name("barrett", 4, small_config()).unwrap();
+        // Route (and track) a spread of moduli.
+        let moduli: Vec<UBig> = (0..64u64).map(|i| UBig::from(2 * i + 101)).collect();
+        for p in &moduli {
+            cluster
+                .submit(MulJob::new(UBig::from(3u64), UBig::from(5u64), p.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let before: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        // Republishing the same weight is a no-op placement-wise.
+        let change = cluster.set_tile_weight(2, 1).unwrap();
+        assert_eq!(change.rehomed_moduli, 0, "weight-1 republish moves nothing");
+        // Raising tile 2's weight only ever pulls moduli onto tile 2.
+        let change = cluster.set_tile_weight(2, 4).unwrap();
+        assert_eq!(cluster.tile_weight(2), Some(4));
+        let after: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let mut moved = 0u64;
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                assert_eq!(*a, Some(2), "modulus {i} may only move TO the raised tile");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "a 4x tile must win some moduli from 64");
+        assert_eq!(change.rehomed_moduli, moved, "re-home accounting matches");
+        assert_eq!(cluster.stats().tiles[2].weight, 4);
+        // The weighted standalone planner predicts the live router.
+        for (p, a) in moduli.iter().zip(&after) {
+            assert_eq!(weighted_home_tile_for(p, &[1, 1, 4, 1]), *a);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn hot_modulus_replication_promotes_routes_and_demotes() {
+        // One modulus hot enough to saturate its Strict home must be
+        // promoted to a replica set, served by both replicas, and
+        // demoted once the pressure subsides.
+        let config = ClusterConfig {
+            spill: SpillPolicy::Strict,
+            service: ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                flush_interval: Duration::ZERO,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+            poison_after: 0,
+            probation_after: 2,
+            replicate_after: 3,
+            replica_tiles: 2,
+        };
+        let delay = Duration::from_millis(2);
+        let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
+        let p = (0..64u64)
+            .map(|i| UBig::from(1_000_003u64 + 2 * i))
+            .find(|p| cluster.home_tile(p) == Some(0))
+            .expect("some modulus homes on tile 0");
+        let job = |i: u64| MulJob::new(UBig::from(i + 2), UBig::from(i + 3), p.clone());
+        // Saturate the home: accepted jobs fill the tiny queue, then
+        // refused try_submits rack up saturation events.
+        let mut tickets = Vec::new();
+        let mut refused = 0u64;
+        for i in 0..32u64 {
+            match cluster.try_submit(job(i)) {
+                Ok(t) => tickets.push(t),
+                Err(_) => refused += 1,
+            }
+        }
+        assert!(refused >= 3, "the Strict home must have refused a burst");
+        for t in tickets.drain(..) {
+            t.wait().unwrap();
+        }
+        // The probe window closes: the modulus is promoted.
+        let report = cluster.probe_tiles();
+        assert_eq!(report.promoted, vec![p.clone()], "hot modulus promoted");
+        assert_eq!(cluster.stats().replicated_moduli, 1);
+        // A modest burst (within the two replicas' combined buffering,
+        // so it saturates nothing and the calm window below is clean)
+        // now lands across both replicas, most headroom first.
+        for i in 100..106u64 {
+            tickets.push(cluster.submit(job(i)).unwrap());
+        }
+        for t in tickets.drain(..) {
+            t.wait().unwrap();
+        }
+        let stats = cluster.stats();
+        assert!(
+            stats.replica_routed >= 1,
+            "some jobs must land on the non-home replica (stats: {} replica_routed)",
+            stats.replica_routed
+        );
+        assert!(
+            stats.tiles[1].routed >= 1,
+            "the replica tile serves the hot modulus as affinity traffic"
+        );
+        assert_eq!(stats.spilled, 0, "replica landings are not spills");
+        // Demotion takes `probation_after = 2` *consecutive* calm
+        // probes, so the very next probe can never demote: the calm
+        // counter is at most 1 (it is 0 if the burst itself recorded a
+        // saturation event before the replicas absorbed it).
+        assert!(cluster.probe_tiles().demoted.is_empty());
+        // Within two further idle probes the calm window closes.
+        let mut demoted = cluster.probe_tiles().demoted;
+        if demoted.is_empty() {
+            demoted = cluster.probe_tiles().demoted;
+        }
+        assert_eq!(demoted, vec![p.clone()], "calm modulus demoted");
+        assert_eq!(cluster.stats().replicated_moduli, 0);
+        cluster.shutdown();
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub enum CoreError {
         /// The tile already out of the routable set.
         tile: usize,
     },
+    /// A membership operation tried to set a tile's capacity weight to
+    /// zero. Weights are multiplicative capacity in the weighted
+    /// rendezvous score, not membership — take a tile out of service
+    /// with [`crate::cluster::ServiceCluster::drain_tile`] instead.
+    ZeroTileWeight {
+        /// The tile the zero weight was aimed at.
+        tile: usize,
+    },
     /// A structurally invalid micro-program (see [`crate::isa`]).
     Program(crate::isa::ProgramError),
     /// Lock-step verification against the functional model diverged —
@@ -160,6 +168,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::TileDraining { tile } => {
                 write!(f, "tile {tile} is already draining or drained")
+            }
+            CoreError::ZeroTileWeight { tile } => {
+                write!(
+                    f,
+                    "tile {tile} cannot take capacity weight 0 (drain it instead)"
+                )
             }
             CoreError::Program(e) => write!(f, "{e}"),
             CoreError::ModelDivergence { iteration, what } => write!(

@@ -85,8 +85,9 @@ pub mod trace;
 pub use autotune::{AutoTuner, AutotuneStats, EngineProfile, Parity, TunePolicy};
 pub use bank::{BankedModSram, BatchStats};
 pub use cluster::{
-    ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError, ServiceCluster, SpillPolicy,
-    TileStats,
+    home_tile_for, rendezvous_ranking, weighted_home_tile_for, weighted_rendezvous_ranking,
+    ClusterConfig, ClusterHandle, ClusterStats, ClusterSubmitError, MembershipChange, ProbeReport,
+    ServiceCluster, SpillPolicy, TileStats,
 };
 pub use cycles::{
     modelled_batch_cycles, modelled_engine_mul_cycles, modelled_mul_cycles, LUT_REFILL_COST,

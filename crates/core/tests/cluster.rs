@@ -25,7 +25,7 @@ fn oracle(job: &MulJob) -> UBig {
 fn modulus_homed_on(tile: usize, tiles: usize, seed_base: u64) -> UBig {
     (0..64u64)
         .map(|i| UBig::from(seed_base + 2 * i))
-        .find(|p| home_tile_for(p, tiles) == tile)
+        .find(|p| home_tile_for(p, tiles) == Some(tile))
         .unwrap_or_else(|| panic!("no probed modulus homes on tile {tile}"))
 }
 
@@ -40,7 +40,7 @@ fn two_tiles_one_sick(
     let modulus = modulus_homed_on(sick, 2, 1_000_003);
     let healthy = ContextPool::for_engine_name("barrett").unwrap();
     let cluster = ServiceCluster::new(vec![sick_pool, healthy], config);
-    assert_eq!(cluster.home_tile(&modulus), sick);
+    assert_eq!(cluster.home_tile(&modulus), Some(sick));
     (cluster, modulus, sick)
 }
 
@@ -364,7 +364,7 @@ fn reset_window_clears_coalesce_and_latency_but_not_lifetime_counters() {
         t.wait().unwrap();
     }
     let before = cluster.stats();
-    let home = cluster.home_tile(&p);
+    let home = cluster.home_tile(&p).expect("a routable tile homes p");
     assert!(before.tiles[home].service.coalesce_max > 0);
     assert!(before.tiles[home].service.wall_p99_ns > 0);
 

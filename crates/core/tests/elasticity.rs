@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use modsram_bigint::UBig;
 use modsram_core::cluster::{
-    home_tile_for, rendezvous_ranking, ClusterConfig, ServiceCluster, SpillPolicy, TileState,
+    home_tile_for, rendezvous_ranking, weighted_home_tile_for, weighted_rendezvous_ranking,
+    ClusterConfig, ServiceCluster, SpillPolicy, TileState,
 };
 use modsram_core::dispatch::MulJob;
 use modsram_core::service::{ModSramService, ServiceConfig, Ticket};
@@ -59,7 +60,7 @@ proptest! {
         let moduli: Vec<UBig> = (0..40u64)
             .map(|i| UBig::from(2 * (offset + i) + 101))
             .collect();
-        let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+        let before: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
         // The live router agrees with the standalone planner while
         // every tile is routable.
         for (p, &b) in moduli.iter().zip(&before) {
@@ -70,13 +71,13 @@ proptest! {
         prop_assert_eq!(cluster.tile_state(drained), Some(TileState::Drained));
         for (i, p) in moduli.iter().enumerate() {
             let after = cluster.home_tile(p);
-            if before[i] == drained {
+            if before[i] == Some(drained) {
                 // Moved — and precisely to its rank-1 tile, the next
                 // entry of the full rendezvous ranking.
                 let ranking = rendezvous_ranking(p, tiles);
                 prop_assert_eq!(ranking[0], drained);
                 prop_assert_eq!(
-                    after, ranking[1],
+                    after, Some(ranking[1]),
                     "modulus {} must fail over to its rank-1 tile", i
                 );
             } else {
@@ -88,6 +89,198 @@ proptest! {
         }
         cluster.shutdown();
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Equal weights are the legacy planner.** The weighted
+    /// rendezvous score is calibrated so a uniform weight vector —
+    /// any uniform value, not just 1 — reproduces the unweighted
+    /// placement ranking exactly. This is what makes adopting
+    /// weights free: publishing a uniform-weight membership moves
+    /// zero moduli.
+    #[test]
+    fn all_equal_weights_reproduce_the_unweighted_planner(
+        tiles in 1usize..=8,
+        w in 1u32..1000,
+        offset in 0u64..10_000,
+    ) {
+        // Cover the extremes too: the calibration must hold at any
+        // uniform magnitude, including saturating weights.
+        for weights in [vec![w; tiles], vec![u32::MAX; tiles]] {
+            for i in 0..16u64 {
+                let p = UBig::from(2 * (offset + i) + 3);
+                prop_assert_eq!(weighted_home_tile_for(&p, &weights), home_tile_for(&p, tiles));
+                prop_assert_eq!(
+                    weighted_rendezvous_ranking(&p, &weights),
+                    rendezvous_ranking(&p, tiles)
+                );
+            }
+        }
+    }
+
+    /// **Monotonicity.** Raising one tile's weight only ever pulls
+    /// moduli onto that tile — a modulus already homed there never
+    /// leaves, and no modulus moves between two *other* tiles. This
+    /// bounds the re-home cost of a capacity upgrade to the moduli
+    /// the upgraded tile wins.
+    #[test]
+    fn raising_one_tiles_weight_never_moves_a_modulus_away(
+        tiles in 2usize..=6,
+        raised in 0usize..6,
+        mult in 2u32..=64,
+        offset in 0u64..10_000,
+    ) {
+        let raised = raised % tiles;
+        let before = vec![1u32; tiles];
+        let mut after = before.clone();
+        after[raised] = mult;
+        for i in 0..16u64 {
+            let p = UBig::from(2 * (offset + i) + 3);
+            let b = weighted_home_tile_for(&p, &before);
+            let a = weighted_home_tile_for(&p, &after);
+            if b == Some(raised) {
+                prop_assert_eq!(a, Some(raised), "a raised tile never loses a modulus");
+            } else {
+                prop_assert!(
+                    a == b || a == Some(raised),
+                    "a modulus may only move TO the raised tile (was {:?}, now {:?})",
+                    b,
+                    a
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case stands up a live cluster, so keep the count modest —
+    // the property is exact (zero rehomed), not statistical.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// **A weight-1 republish is a placement no-op.** Re-publishing a
+    /// tile's existing weight bumps the membership epoch but re-homes
+    /// nothing — the live-cluster twin of
+    /// `all_equal_weights_reproduce_the_unweighted_planner`.
+    #[test]
+    fn weight_one_republish_rehomes_nothing(
+        tiles in 1usize..=4,
+        tile in 0usize..4,
+        offset in 0u64..1000,
+    ) {
+        let tile = tile % tiles;
+        let cluster = ServiceCluster::for_engine_name("barrett", tiles, quick_config()).unwrap();
+        // Track some moduli so the re-home pass has homes to recount.
+        for i in 0..12u64 {
+            let p = UBig::from(2 * (offset + i) + 101);
+            cluster
+                .submit(MulJob::new(UBig::from(7u64), UBig::from(9u64), p))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let epoch0 = cluster.membership_epoch();
+        let change = cluster.set_tile_weight(tile, 1).unwrap();
+        prop_assert!(change.epoch > epoch0, "a republish is a real epoch");
+        prop_assert_eq!(change.rehomed_moduli, 0, "uniform weights move nothing");
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn reweigh_mid_stream_loses_no_accepted_ticket() {
+    // The weighted twin of `drain_mid_stream_loses_no_accepted_ticket`:
+    // 4 submitter threads stream against a 4-tile cluster while the
+    // main thread doubles one tile's weight (a live capacity upgrade)
+    // and then publishes it back to 1. Every accepted ticket must
+    // complete exactly once with the right product — jobs in flight
+    // keep routing against their consistent membership snapshot.
+    let cluster = ServiceCluster::for_engine_name(
+        "montgomery",
+        4,
+        ClusterConfig {
+            spill: SpillPolicy::Spill { max_hops: 2 },
+            service: ServiceConfig {
+                workers: 2,
+                queue_capacity: 128,
+                max_batch: 16,
+                flush_interval: Duration::from_micros(100),
+                ..Default::default()
+            },
+            probation_after: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let moduli: Vec<UBig> = [97u64, 1_000_003, 999_979, 0xffff_fffb, 2_000_003, 750_019]
+        .map(UBig::from)
+        .to_vec();
+    // Raise a tile that does NOT home tenant 0, so the upgrade can
+    // actually pull moduli onto it.
+    let home0 = cluster
+        .home_tile(&moduli[0])
+        .expect("a routable tile homes tenant 0");
+    let upgraded = (home0 + 1) % 4;
+    let all_tickets: std::sync::Mutex<Vec<(MulJob, Ticket)>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let handle = cluster.handle();
+            let moduli = &moduli;
+            let all_tickets = &all_tickets;
+            scope.spawn(move || {
+                let mut tickets: Vec<(MulJob, Ticket)> = Vec::new();
+                for i in 0..4_000u64 {
+                    let p = moduli[((t + i) % 6) as usize].clone();
+                    let job = MulJob::new(
+                        UBig::from(t * 1_000_003 + i * 17 + 1),
+                        UBig::from(t * 999_979 + i * 31 + 2),
+                        p,
+                    );
+                    match handle.submit(job.clone()) {
+                        Ok(ticket) => tickets.push((job, ticket)),
+                        // A reweigh must be invisible to producers.
+                        Err(e) => panic!("submit failed during a reweigh: {e}"),
+                    }
+                }
+                all_tickets.lock().unwrap().extend(tickets);
+            });
+        }
+        // Let the submitters build real in-flight depth, then flip the
+        // weight up and back down under load.
+        std::thread::sleep(Duration::from_millis(10));
+        let up = cluster
+            .set_tile_weight(upgraded, 8)
+            .expect("live reweigh succeeds");
+        assert_eq!(cluster.tile_weight(upgraded), Some(8));
+        std::thread::sleep(Duration::from_millis(10));
+        let down = cluster
+            .set_tile_weight(upgraded, 1)
+            .expect("live reweigh back succeeds");
+        assert!(down.epoch > up.epoch, "each publish is one atomic epoch");
+    });
+
+    // Every accepted ticket redeems exactly once, correctly.
+    let tickets = all_tickets.into_inner().unwrap();
+    let accepted = tickets.len() as u64;
+    assert_eq!(accepted, 16_000, "every submission was accepted");
+    for (job, ticket) in &tickets {
+        assert_eq!(ticket.wait().unwrap(), oracle(job));
+    }
+    let stats = cluster.stats();
+    assert_eq!(
+        stats.completed + stats.failed,
+        accepted,
+        "every accepted ticket completed exactly once (no leak, no double-complete)"
+    );
+    assert_eq!(stats.failed, 0, "all moduli are montgomery-valid");
+    assert_eq!(
+        stats.tiles.iter().map(|t| t.weight).collect::<Vec<_>>(),
+        vec![1, 1, 1, 1],
+        "the fleet ended uniform again"
+    );
+    cluster.shutdown();
 }
 
 #[test]
@@ -119,7 +312,9 @@ fn drain_mid_stream_loses_no_accepted_ticket() {
         .to_vec();
     // Drain a tile that actually homes at least one tenant, so the
     // drain forces a live re-home, not a no-op.
-    let victim = cluster.home_tile(&moduli[0]);
+    let victim = cluster
+        .home_tile(&moduli[0])
+        .expect("a routable tile homes modulus 0");
     let all_tickets: std::sync::Mutex<Vec<(MulJob, Ticket)>> = std::sync::Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
@@ -171,7 +366,7 @@ fn drain_mid_stream_loses_no_accepted_ticket() {
     assert_eq!(stats.tiles[victim].state, TileState::Drained);
     assert_eq!(stats.tiles[victim].health.queue_depth, 0);
     assert!(stats.tiles[victim].health.paused);
-    assert_ne!(cluster.home_tile(&moduli[0]), victim);
+    assert_ne!(cluster.home_tile(&moduli[0]), Some(victim));
     assert!(stats.tiles_drained == 1 && stats.moduli_rehomed > 0);
     cluster.shutdown();
 }
@@ -198,7 +393,7 @@ fn blocked_submit_rideses_out_a_drain_of_its_home() {
     let cluster = ServiceCluster::new(vec![slow_pool(delay), slow_pool(delay)], config);
     let p = (0..64u64)
         .map(|i| UBig::from(1_000_003u64 + 2 * i))
-        .find(|p| cluster.home_tile(p) == 0)
+        .find(|p| cluster.home_tile(p) == Some(0))
         .expect("some modulus homes on tile 0");
     // Saturate tile 0: pipeline first (the batcher empties the queue
     // within microseconds), then the queue itself.
@@ -272,8 +467,8 @@ fn drain_probation_readmit_add_lifecycle() {
         }
     };
     run(0);
-    let before: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
-    let victim = before[0];
+    let before: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+    let victim = before[0].expect("modulus 0 homes on a routable tile");
     let epoch0 = cluster.membership_epoch();
 
     // Drain: victim's moduli move, the rest stay (proptest covers the
@@ -296,7 +491,7 @@ fn drain_probation_readmit_add_lifecycle() {
     let probe = cluster.probe_tiles();
     assert_eq!(probe.readmitted, vec![victim]);
     assert_eq!(cluster.tile_state(victim), Some(TileState::Active));
-    let after_readmit: Vec<usize> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
+    let after_readmit: Vec<Option<usize>> = moduli.iter().map(|p| cluster.home_tile(p)).collect();
     assert_eq!(after_readmit, before, "re-admission restores every home");
     run(200);
 
@@ -309,7 +504,7 @@ fn drain_probation_readmit_add_lifecycle() {
     for (i, p) in moduli.iter().enumerate() {
         let h = cluster.home_tile(p);
         assert!(
-            h == before[i] || h == 3,
+            h == before[i] || h == Some(3),
             "modulus {i} may only move onto the new tile"
         );
     }

@@ -548,7 +548,7 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.completed, 32 + 32 + 16);
         assert_eq!(stats.affinity_hit_rate(), 1.0);
-        let home = cluster.home_tile(&p);
+        let home = cluster.home_tile(&p).expect("a routable tile homes p");
         assert_eq!(stats.tiles[home].service.completed, 32 + 32 + 16);
     }
 

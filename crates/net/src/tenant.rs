@@ -37,12 +37,24 @@ impl Default for TenantLimits {
 /// Why a tenant-level admission check refused a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TenantRefusal {
-    /// Token bucket empty; a token accrues in roughly `retry_after`.
+    /// Token bucket empty; a token accrues in roughly `retry_after`,
+    /// clamped to [`MAX_RETRY_AFTER`].
     RateLimited { retry_after: Duration },
     /// At [`TenantLimits::max_inflight`]; capacity frees when
-    /// responses are delivered.
+    /// responses are delivered. When a tenant is at both limits this
+    /// refusal wins: retrying on a timer is pointless while every
+    /// slot is occupied.
     InflightFull,
 }
+
+/// Ceiling on [`TenantRefusal::RateLimited`]'s `retry_after`. A
+/// pathologically tiny [`TenantLimits::rate_per_sec`] (down to
+/// `f64::MIN_POSITIVE`) makes the deficit division produce hours,
+/// infinities, or NaN — all of which `Duration::from_secs_f64` would
+/// panic on or faithfully report as a useless multi-year backoff.
+/// Clamping here keeps the advice honest: "not before an hour" is as
+/// much as a retry hint can usefully say.
+pub const MAX_RETRY_AFTER: Duration = Duration::from_secs(3600);
 
 struct Bucket {
     tokens: f64,
@@ -98,13 +110,39 @@ impl TenantCell {
         self.inflight.load(Ordering::Relaxed)
     }
 
-    /// Claims one admission slot: charges the token bucket and takes
-    /// an in-flight slot. On `Ok(())` the caller **must** pair the
-    /// claim with [`TenantCell::end_job`] once the job's terminal
+    /// Claims one admission slot: takes an in-flight slot, then
+    /// charges the token bucket. On `Ok(())` the caller **must** pair
+    /// the claim with [`TenantCell::end_job`] once the job's terminal
     /// response is delivered.
+    ///
+    /// The in-flight cap is checked first so a refusal at the cap
+    /// never touches the bucket — there is no token refund path, and
+    /// therefore no refund/refill race to under-admit a bursty
+    /// tenant. A rate refusal releases the slot it just claimed;
+    /// releasing an `AcqRel` increment is exact, unlike refunding a
+    /// token into a bucket a concurrent refill may have topped up.
     pub fn begin_job(&self) -> Result<(), TenantRefusal> {
-        // Rate first: a rate-limited refusal must not consume an
-        // in-flight slot.
+        // The CAS loop (rather than optimistic fetch_add + rollback)
+        // means `inflight` can never transiently exceed the cap:
+        // a reader always sees `inflight() <= max_inflight`, and a
+        // peer arriving at exactly the cap is never refused by a
+        // doomed increment that was about to roll back.
+        let cap = u64::from(self.limits.max_inflight);
+        let mut seen = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if seen >= cap {
+                return Err(TenantRefusal::InflightFull);
+            }
+            match self.inflight.compare_exchange_weak(
+                seen,
+                seen + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
         if self.limits.rate_per_sec > 0.0 {
             let mut bucket = self.bucket.lock().unwrap_or_else(PoisonError::into_inner);
             let now = Instant::now();
@@ -114,24 +152,20 @@ impl TenantCell {
             bucket.last_refill = now;
             if bucket.tokens < 1.0 {
                 let deficit = 1.0 - bucket.tokens;
+                drop(bucket);
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                // `deficit / rate` overflows Duration's range (or
+                // divides to inf/NaN) for tiny rates; clamp rather
+                // than panic.
                 let secs = deficit / self.limits.rate_per_sec;
-                return Err(TenantRefusal::RateLimited {
-                    retry_after: Duration::from_secs_f64(secs.max(0.001)),
-                });
+                let retry_after = if secs.is_finite() && secs < MAX_RETRY_AFTER.as_secs_f64() {
+                    Duration::from_secs_f64(secs.max(0.001))
+                } else {
+                    MAX_RETRY_AFTER
+                };
+                return Err(TenantRefusal::RateLimited { retry_after });
             }
             bucket.tokens -= 1.0;
-        }
-        // In-flight cap, taken optimistically and rolled back on
-        // overshoot so concurrent connections can't leak past the cap.
-        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
-        if prev >= u64::from(self.limits.max_inflight) {
-            self.inflight.fetch_sub(1, Ordering::AcqRel);
-            // Refund the token the refused job charged.
-            if self.limits.rate_per_sec > 0.0 {
-                let mut bucket = self.bucket.lock().unwrap_or_else(PoisonError::into_inner);
-                bucket.tokens = (bucket.tokens + 1.0).min(self.limits.burst.max(1) as f64);
-            }
-            return Err(TenantRefusal::InflightFull);
         }
         Ok(())
     }
@@ -289,8 +323,94 @@ mod tests {
         cell.begin_job().unwrap();
         assert_eq!(cell.begin_job().unwrap_err(), TenantRefusal::InflightFull);
         cell.end_job();
-        // The refund above means this immediate retry still has a
-        // token available.
+        // The inflight refusal never touched the bucket, so this
+        // immediate retry still has a token available.
         cell.begin_job().unwrap();
+    }
+
+    #[test]
+    fn at_both_limits_the_inflight_refusal_wins_and_costs_nothing() {
+        // Regression: the old rate-first ordering charged (then
+        // refunded) a token for a job that was doomed at the in-flight
+        // cap, and reported `RateLimited` — telling the client to back
+        // off on a timer when the real wait is for a response slot.
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 1,
+                rate_per_sec: 5.0,
+                burst: 1,
+            },
+        );
+        // Takes the only slot AND the only token: both limits are now
+        // simultaneously exhausted.
+        cell.begin_job().unwrap();
+        assert_eq!(cell.begin_job().unwrap_err(), TenantRefusal::InflightFull);
+        assert_eq!(cell.inflight(), 1, "a refusal holds no slot");
+    }
+
+    #[test]
+    fn contended_begin_jobs_never_overshoot_the_cap() {
+        // Regression for the optimistic fetch_add/fetch_sub window:
+        // with the cap fully held, hammering `begin_job` from several
+        // threads must never let a reader observe `inflight()` above
+        // `max_inflight` (the old rollback left a transient overshoot
+        // that also refused a peer arriving at exactly the cap).
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 2,
+                rate_per_sec: 0.0,
+                burst: 256,
+            },
+        );
+        cell.begin_job().unwrap();
+        cell.begin_job().unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..20_000 {
+                        assert_eq!(cell.begin_job().unwrap_err(), TenantRefusal::InflightFull);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..100_000 {
+                    let seen = cell.inflight();
+                    assert!(seen <= 2, "inflight overshot the cap: {seen}");
+                }
+            });
+        });
+        assert_eq!(cell.inflight(), 2);
+    }
+
+    #[test]
+    fn tiny_rates_clamp_retry_after_instead_of_panicking() {
+        // Regression: `deficit / f64::MIN_POSITIVE` is ~4.5e307
+        // seconds, far past `Duration::from_secs_f64`'s panic
+        // threshold. The refusal must clamp to MAX_RETRY_AFTER and
+        // release the in-flight slot it claimed.
+        let registry = TenantRegistry::new();
+        let cell = registry.register(
+            "t",
+            1,
+            TenantLimits {
+                max_inflight: 4,
+                rate_per_sec: f64::MIN_POSITIVE,
+                burst: 1,
+            },
+        );
+        // The bucket starts at burst (one token); eat it.
+        cell.begin_job().unwrap();
+        let refusal = cell.begin_job().unwrap_err();
+        let TenantRefusal::RateLimited { retry_after } = refusal else {
+            panic!("expected rate refusal, got {refusal:?}");
+        };
+        assert_eq!(retry_after, MAX_RETRY_AFTER);
+        assert_eq!(cell.inflight(), 1, "the rate refusal released its slot");
     }
 }

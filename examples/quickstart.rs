@@ -145,14 +145,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .submit(MulJob::new(a.clone(), b.clone(), p.clone()))?
         .wait()
         .expect("valid modulus");
-    let victim = cluster.home_tile(&p);
+    let victim = cluster.home_tile(&p).expect("a routable tile homes p");
     let report = cluster.drain_tile(victim)?; // live: safe under traffic
     println!("\nelasticity:");
     println!(
         "  drained tile {victim}   : epoch {}, {} moduli re-homed, {} tiles active",
         report.epoch, report.rehomed_moduli, report.active_tiles
     );
-    assert_ne!(cluster.home_tile(&p), victim, "modulus failed over");
+    assert_ne!(cluster.home_tile(&p), Some(victim), "modulus failed over");
     let ticket = cluster.submit(MulJob::new(a.clone(), b.clone(), p.clone()))?;
     ticket
         .wait()
@@ -163,7 +163,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.probe_tiles();
     let probe = cluster.probe_tiles();
     println!("  re-admitted      : tiles {:?}", probe.readmitted);
-    assert_eq!(cluster.home_tile(&p), victim, "modulus came home");
+    assert_eq!(cluster.home_tile(&p), Some(victim), "modulus came home");
     // Growth: a brand-new tile joins at the next index and wins only
     // the moduli it out-scores everywhere.
     let extra = ModSramService::for_engine_name("r4csa-lut", ServiceConfig::default())?;
@@ -171,6 +171,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  added tile {}     : epoch {}, {} moduli re-homed onto it",
         added.tile, added.epoch, added.rehomed_moduli
+    );
+    // ---- Weighted routing: heterogeneous tiles ---------------------------
+    // Tiles need not be equal. A capacity weight inside the membership
+    // snapshot gives a bigger macro a proportionally larger modulus
+    // share: doubling tile 0's weight is one atomic epoch publish plus
+    // the same minimal re-home pass a drain runs — only moduli pulled
+    // ONTO tile 0 move (each pays one LUT fill there), and a weight-1
+    // republish moves nothing. Under sustained single-modulus overload
+    // the cluster also replicates: a modulus whose home keeps
+    // saturating is promoted (at the probe_tiles cadence) to its top-k
+    // rendezvous tiles — each replica pays one LUT refill for it — and
+    // demoted again once the pressure subsides.
+    let reweigh = cluster.set_tile_weight(0, 2)?;
+    println!(
+        "  tile 0 weight 2  : epoch {}, {} moduli pulled onto it",
+        reweigh.epoch, reweigh.rehomed_moduli
+    );
+    let wstats = cluster.stats();
+    println!(
+        "  tile weights     : {:?} ({} moduli replicated)",
+        wstats.tiles.iter().map(|t| t.weight).collect::<Vec<_>>(),
+        wstats.replicated_moduli
     );
     cluster.shutdown();
 

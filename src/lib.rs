@@ -110,6 +110,39 @@
 //! cluster.shutdown();
 //! ```
 //!
+//! Tiles need not be identical macros. Each tile carries a capacity
+//! **weight** inside the same epoch-versioned membership snapshot,
+//! and the weighted rendezvous router hands a 2× macro twice the
+//! modulus share — equal weights reproduce the unweighted placement
+//! exactly, so merely adopting weights re-homes nothing:
+//!
+//! ```
+//! use modsram::{ClusterConfig, ServiceCluster};
+//!
+//! let cluster =
+//!     ServiceCluster::for_engine_name("r4csa-lut", 4, ClusterConfig::default()).unwrap();
+//! // Tile 0 is a double-capacity macro: one atomic epoch publish, and
+//! // only moduli that move *onto* tile 0 are re-homed (each pays one
+//! // context preparation — a Table 1b LUT refill — on arrival).
+//! let change = cluster.set_tile_weight(0, 2).unwrap();
+//! assert_eq!(cluster.tile_weight(0), Some(2));
+//! // Re-publishing the same weight moves nothing.
+//! assert_eq!(cluster.set_tile_weight(0, 2).unwrap().rehomed_moduli, 0);
+//! cluster.shutdown();
+//! ```
+//!
+//! Weights fix *persistent* skew; a single hot modulus under
+//! [`SpillPolicy::Strict`] is transient skew, and the cluster watches
+//! for exactly that. Sustained saturation over a probe window
+//! promotes the modulus to a **replica set** of its top-k weighted
+//! rendezvous tiles; the router then picks the replica with the most
+//! queue headroom, and `probation_after` calm probes demote it again.
+//! Each replica prepares its own context — one Table 1b LUT refill
+//! per replica tile, paid lazily on that replica's first job — which
+//! is why promotion demands sustained pressure rather than one
+//! refused burst. [`ClusterStats`] surfaces the lifecycle as
+//! `replicated_moduli` and `replica_routed`.
+//!
 //! Remote callers reach the same serving stack over TCP through the
 //! [`net`] front-end: a [`net::WireServer`] fronts a tile handle or a
 //! cluster handle with a length-prefixed binary protocol — tenants
