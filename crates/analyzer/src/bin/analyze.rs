@@ -1,0 +1,152 @@
+//! `analyze` — the CI driver for `modsram_analyzer`.
+//!
+//! Walks the workspace, runs every rule, prints findings as
+//! `file:line [rule] message (fix: hint)`, writes per-rule counts to
+//! `results/analyzer_report.json`, and (with `--deny`) exits non-zero
+//! if any finding is not covered by a reasoned allow.
+//!
+//! ```sh
+//! cargo run -p modsram_analyzer --release -- --deny
+//! cargo run -p modsram_analyzer --release -- --root /path/to/ws --report out.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use modsram_analyzer::config::Config;
+use modsram_analyzer::{analyze, RULE_IDS};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut report: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage("--root"))),
+            "--report" => {
+                report = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--report")),
+                ))
+            }
+            other => {
+                usage(other);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "analyze: no Cargo.toml under {} — run from the workspace root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report_path = report.unwrap_or_else(|| root.join("results/analyzer_report.json"));
+
+    let findings = analyze(&root, &Config::workspace());
+
+    // Per-rule counts: every known rule appears in the report even at
+    // zero, so a rule silently going dark is itself visible.
+    let mut denied_by_rule: BTreeMap<&str, u32> = RULE_IDS.iter().map(|r| (*r, 0)).collect();
+    let mut allowed_by_rule: BTreeMap<&str, u32> = RULE_IDS.iter().map(|r| (*r, 0)).collect();
+    for f in &findings {
+        let bucket = if f.denied() {
+            &mut denied_by_rule
+        } else {
+            &mut allowed_by_rule
+        };
+        *bucket.entry(f.rule).or_insert(0) += 1;
+    }
+    let denied_total: u32 = denied_by_rule.values().sum();
+    let allowed_total: u32 = allowed_by_rule.values().sum();
+
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "\nanalyzer: {} finding(s) denied, {} allowed with reason, {} rule(s) active",
+        denied_total,
+        allowed_total,
+        RULE_IDS.len()
+    );
+    for rule in RULE_IDS {
+        println!(
+            "  {rule:>15}: {} denied / {} allowed",
+            denied_by_rule[rule], allowed_by_rule[rule]
+        );
+    }
+
+    // Hand-rolled JSON (this crate is dependency-free by design); the
+    // shape is consumed by `bin/summary` via the vendored serde_json.
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"modsram-analyzer-report/v1\",\n");
+    out.push_str(&format!("  \"denied\": {denied_total},\n"));
+    out.push_str(&format!("  \"allowed\": {allowed_total},\n"));
+    out.push_str("  \"rules\": {\n");
+    for (i, rule) in RULE_IDS.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{rule}\": {{ \"denied\": {}, \"allowed\": {} }}{}\n",
+            denied_by_rule[rule],
+            allowed_by_rule[rule],
+            if i + 1 < RULE_IDS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let allowed = match &f.allowed {
+            Some(reason) => format!("\"{}\"", json_escape(reason)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\", \"allowed\": {} }}{}\n",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.hint),
+            allowed,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = report_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&report_path, out) {
+        Ok(()) => println!("\nreport: {}", report_path.display()),
+        Err(e) => {
+            eprintln!("analyze: cannot write {}: {e}", report_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if deny && denied_total > 0 {
+        eprintln!("\nanalyze --deny: failing on {denied_total} unsuppressed finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(arg: &str) -> String {
+    eprintln!("analyze: unexpected argument '{arg}'");
+    eprintln!("usage: analyze [--deny] [--root <dir>] [--report <file>]");
+    std::process::exit(2)
+}

@@ -1,0 +1,397 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for
+//! token-stream rules: identifiers, punctuation, and literals with
+//! line numbers, comments collected on the side (that is where the
+//! `// analyzer: allow(rule, reason)` escape hatch lives), and
+//! correct skipping of strings, raw strings, char literals, and
+//! lifetimes so none of them can masquerade as code.
+//!
+//! No external parser dependencies by design: the analyzer has to run
+//! in offline CI on every PR, and a lexer is the deepest machinery
+//! the rules actually need — every invariant they check is visible in
+//! the token stream plus brace depth.
+
+/// What a significant (non-comment, non-whitespace) token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules treat keywords as plain words).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+    /// String literal (plain, raw, or byte); `text` is the unquoted body.
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A lifetime such as `'a` (kept distinct so `'a` never looks like
+    /// an unterminated char literal).
+    Lifetime,
+}
+
+/// One significant token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier text, literal body, or the punctuation character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` when the token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with its source position; block
+/// comments keep embedded newlines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, splitting it into significant tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let push = |kind: TokenKind, text: String, line: u32, out: &mut Lexed| {
+        out.tokens.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..i.min(n)].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (body, consumed, newlines) = scan_string(&bytes[i..]);
+                push(TokenKind::Str, body, line, &mut out);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes[i..]) => {
+                let (body, consumed, newlines) = scan_raw_or_byte(&bytes[i..]);
+                push(TokenKind::Str, body, line, &mut out);
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a` not followed by a closing quote) or a
+                // char literal (everything else).
+                if is_lifetime(&bytes[i..]) {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    push(
+                        TokenKind::Lifetime,
+                        bytes[i..j].iter().collect(),
+                        line,
+                        &mut out,
+                    );
+                    i = j;
+                } else {
+                    let (body, consumed) = scan_char(&bytes[i..]);
+                    push(TokenKind::Char, body, line, &mut out);
+                    i += consumed;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                push(
+                    TokenKind::Ident,
+                    bytes[i..j].iter().collect(),
+                    line,
+                    &mut out,
+                );
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                push(TokenKind::Num, bytes[i..j].iter().collect(), line, &mut out);
+                i = j;
+            }
+            c => {
+                push(TokenKind::Punct(c), c.to_string(), line, &mut out);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the slice starts a raw/byte string (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, `b'` is NOT one — byte chars fall through to ident
+/// handling safely because they start with `b` followed by `'`).
+fn starts_raw_or_byte_string(s: &[char]) -> bool {
+    match s.first() {
+        Some('r') => matches!(s.get(1), Some('"') | Some('#')) && raw_has_quote(&s[1..]),
+        Some('b') => match s.get(1) {
+            Some('"') => true,
+            Some('r') => matches!(s.get(2), Some('"') | Some('#')) && raw_has_quote(&s[2..]),
+            _ => false,
+        },
+        _ => None::<()>.is_some(),
+    }
+}
+
+/// For `r##...`-style prefixes, checks hashes are followed by `"` (so
+/// the ident `r#for` — a raw identifier — is not mistaken for a raw
+/// string).
+fn raw_has_quote(s: &[char]) -> bool {
+    let mut i = 0;
+    while s.get(i) == Some(&'#') {
+        i += 1;
+    }
+    s.get(i) == Some(&'"')
+}
+
+/// Scans a plain `"..."` string starting at `s[0] == '"'`. Returns
+/// (body, chars consumed, newlines inside).
+fn scan_string(s: &[char]) -> (String, usize, u32) {
+    let mut i = 1;
+    let mut body = String::new();
+    let mut newlines = 0u32;
+    while i < s.len() {
+        match s[i] {
+            '\\' if i + 1 < s.len() => {
+                body.push(s[i]);
+                body.push(s[i + 1]);
+                i += 2;
+            }
+            '"' => return (body, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                body.push(c);
+                i += 1;
+            }
+        }
+    }
+    (body, i, newlines)
+}
+
+/// Scans a raw or byte string (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`).
+fn scan_raw_or_byte(s: &[char]) -> (String, usize, u32) {
+    let mut i = 0;
+    if s.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let raw = s.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while s.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    // s[i] is the opening quote.
+    i += 1;
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        let (body, consumed, newlines) = scan_string(&s[i - 1..]);
+        return (body, i - 1 + consumed, newlines);
+    }
+    let mut body = String::new();
+    let mut newlines = 0u32;
+    while i < s.len() {
+        if s[i] == '"' {
+            let mut j = 0;
+            while j < hashes && s.get(i + 1 + j) == Some(&'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return (body, i + 1 + hashes, newlines);
+            }
+        }
+        if s[i] == '\n' {
+            newlines += 1;
+        }
+        body.push(s[i]);
+        i += 1;
+    }
+    (body, i, newlines)
+}
+
+/// Scans a char literal starting at `s[0] == '\''`. Returns (body,
+/// chars consumed).
+fn scan_char(s: &[char]) -> (String, usize) {
+    let mut i = 1;
+    let mut body = String::new();
+    while i < s.len() {
+        match s[i] {
+            '\\' if i + 1 < s.len() => {
+                body.push(s[i]);
+                body.push(s[i + 1]);
+                i += 2;
+            }
+            '\'' => return (body, i + 1),
+            c => {
+                body.push(c);
+                i += 1;
+            }
+        }
+    }
+    (body, i)
+}
+
+/// `true` when `s` (starting at `'`) is a lifetime, not a char
+/// literal: `'ident` with no closing quote right after.
+fn is_lifetime(s: &[char]) -> bool {
+    match s.get(1) {
+        Some(&c) if c.is_alphabetic() || c == '_' => {
+            // `'a'` is a char; `'a` / `'static` are lifetimes.
+            let mut j = 2;
+            while let Some(&d) = s.get(j) {
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else {
+                    return d != '\'';
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let lexed = lex("fn main() {\n    x.y();\n}\n");
+        let words: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            words,
+            vec!["fn", "main", "(", ")", "{", "x", ".", "y", "(", ")", ";", "}"]
+        );
+        assert_eq!(lexed.tokens[5].line, 2); // `x`
+        assert_eq!(lexed.tokens[11].line, 3); // `}`
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let lexed = lex("a // analyzer: allow(no_panic, reason)\n/* block\nstill */ b");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("allow(no_panic"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let lexed = lex(r#"let s = "x.unwrap() // not code"; done"#);
+        assert!(lexed.comments.is_empty());
+        let unwraps = lexed.tokens.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 0);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lexed = lex("let s = r#\"quote \" inside\"#; after");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert_eq!(s.text, "quote \" inside");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+}

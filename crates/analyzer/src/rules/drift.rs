@@ -1,0 +1,460 @@
+//! Rule `drift`: cross-file consistency checks that catch the ways
+//! this workspace has actually drifted in past PRs —
+//!
+//! 1. every engine in `ENGINE_REGISTRY` is exercised by the
+//!    cross-engine tests and listed in the facade docs (a file that
+//!    iterates the registry passes automatically; one that hardcodes
+//!    names must name every engine);
+//! 2. every `results/<name>_sweep.json` artifact written by a bench
+//!    binary is uploaded in CI *and* required by `bin/summary
+//!    --require` *and* known to its `ARTIFACTS` table;
+//! 3. every `CoreError` variant is both constructed and matched
+//!    somewhere (a variant nobody builds is dead API; one nobody
+//!    matches is an error consumers cannot handle specifically).
+//!
+//! Drift findings are not allowlistable: each one is mechanically
+//! fixable at the site it names, so an escape hatch would only let
+//! the lists rot.
+
+use crate::config::DriftSpec;
+use crate::findings::Finding;
+use crate::lexer::{lex, Lexed, TokenKind};
+use crate::rules::{contains_word, skip_balanced};
+
+pub const RULE: &str = "drift";
+
+/// One workspace file: (workspace-relative path, contents).
+pub type FileSet = Vec<(String, String)>;
+
+fn source<'a>(files: &'a FileSet, path: &str) -> Option<&'a str> {
+    files
+        .iter()
+        .find(|(p, _)| p == path)
+        .map(|(_, s)| s.as_str())
+}
+
+/// 1-based line of the first occurrence of `needle` in `text`.
+fn line_of(text: &str, needle: &str) -> u32 {
+    match text.find(needle) {
+        Some(pos) => 1 + text[..pos].matches('\n').count() as u32,
+        None => 1,
+    }
+}
+
+fn finding(file: &str, line: u32, message: String, hint: String) -> Finding {
+    Finding {
+        rule: RULE,
+        file: file.to_string(),
+        line,
+        message,
+        hint,
+        allowed: None,
+    }
+}
+
+/// Engine names out of `ENGINE_REGISTRY`: the string literals between
+/// the `=` and the terminating `;` of the const item.
+fn registry_engines(lexed: &Lexed) -> Vec<(String, u32)> {
+    let tokens = &lexed.tokens;
+    let Some(start) = tokens.iter().position(|t| t.is_ident("ENGINE_REGISTRY")) else {
+        return Vec::new();
+    };
+    let mut names = Vec::new();
+    for t in &tokens[start..] {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokenKind::Str {
+            names.push((t.text.clone(), t.line));
+        }
+    }
+    names
+}
+
+/// Variant names of `enum <name>` in `lexed`.
+fn enum_variants(lexed: &Lexed, name: &str) -> Vec<(String, u32)> {
+    let tokens = &lexed.tokens;
+    let Some(pos) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))
+    else {
+        return Vec::new();
+    };
+    let Some(open_rel) = tokens[pos..].iter().position(|t| t.is_punct('{')) else {
+        return Vec::new();
+    };
+    let open = pos + open_rel;
+    let end = skip_balanced(tokens, open);
+    let mut variants = Vec::new();
+    let mut i = open + 1;
+    while i < end.saturating_sub(1) {
+        // Skip attributes on the variant.
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = skip_balanced(tokens, i + 1);
+            continue;
+        }
+        if tokens[i].kind == TokenKind::Ident {
+            variants.push((tokens[i].text.clone(), tokens[i].line));
+            i += 1;
+            // Skip the payload and/or discriminant up to the comma.
+            while i < end.saturating_sub(1) && !tokens[i].is_punct(',') {
+                if tokens[i].is_punct('{') || tokens[i].is_punct('(') {
+                    i = skip_balanced(tokens, i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    variants
+}
+
+pub fn check(files: &FileSet, spec: &DriftSpec, findings: &mut Vec<Finding>) {
+    check_engines(files, spec, findings);
+    check_sweep_artifacts(files, spec, findings);
+    check_error_variants(files, spec, findings);
+}
+
+fn check_engines(files: &FileSet, spec: &DriftSpec, findings: &mut Vec<Finding>) {
+    let Some(registry_src) = source(files, spec.registry_file) else {
+        findings.push(finding(
+            spec.registry_file,
+            1,
+            "engine registry file is missing from the workspace".into(),
+            "restore the file or update DriftSpec::registry_file".into(),
+        ));
+        return;
+    };
+    let engines = registry_engines(&lex(registry_src));
+    if engines.is_empty() {
+        findings.push(finding(
+            spec.registry_file,
+            1,
+            "could not parse any engine names out of ENGINE_REGISTRY".into(),
+            "keep ENGINE_REGISTRY a literal `&[(\"name\", ctor), …]` table".into(),
+        ));
+        return;
+    }
+    const REGISTRY_ITERATORS: &[&str] = &["all_engines", "engine_names", "ENGINE_REGISTRY"];
+    for cov in spec.engine_coverage_files {
+        let Some(src) = source(files, cov) else {
+            findings.push(finding(
+                cov,
+                1,
+                "engine-coverage file is missing from the workspace".into(),
+                "restore the file or update DriftSpec::engine_coverage_files".into(),
+            ));
+            continue;
+        };
+        let lexed = lex(src);
+        let registry_driven = lexed
+            .tokens
+            .iter()
+            .any(|t| REGISTRY_ITERATORS.iter().any(|r| t.is_ident(r)));
+        if registry_driven {
+            continue;
+        }
+        for (engine, _) in &engines {
+            let in_strings = lexed
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Str && t.text == *engine);
+            let in_comments = lexed
+                .comments
+                .iter()
+                .any(|c| contains_word(&c.text, engine));
+            if !in_strings && !in_comments {
+                findings.push(finding(
+                    cov,
+                    1,
+                    format!("engine `{engine}` from ENGINE_REGISTRY is not covered here"),
+                    format!(
+                        "name `{engine}` in this file, or iterate all_engines()/engine_names() \
+                         so new engines are covered automatically"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_sweep_artifacts(files: &FileSet, spec: &DriftSpec, findings: &mut Vec<Finding>) {
+    // Collect `write_json_artifact("<x>_sweep", …)` literals from the
+    // bench binaries.
+    let mut artifacts: Vec<(String, String, u32)> = Vec::new();
+    let prefix = format!("{}/", spec.bench_bin_dir);
+    for (path, src) in files {
+        if !path.starts_with(&prefix) || !path.ends_with(".rs") {
+            continue;
+        }
+        let lexed = lex(src);
+        for (i, t) in lexed.tokens.iter().enumerate() {
+            if t.is_ident("write_json_artifact")
+                && lexed.tokens.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                if let Some(name_tok) = lexed
+                    .tokens
+                    .get(i + 2)
+                    .filter(|x| x.kind == TokenKind::Str && x.text.ends_with("_sweep"))
+                {
+                    artifacts.push((name_tok.text.clone(), path.clone(), name_tok.line));
+                }
+            }
+        }
+    }
+
+    let ci = source(files, spec.ci_file).unwrap_or("");
+    let require_line: Option<&str> = ci.lines().find(|l| l.contains("--require"));
+    let summary_src = source(files, spec.summary_file).unwrap_or("");
+    let summary_lexed = lex(summary_src);
+    let artifacts_const: Vec<String> = {
+        let tokens = &summary_lexed.tokens;
+        match tokens.iter().position(|t| t.is_ident("ARTIFACTS")) {
+            Some(start) => tokens[start..]
+                .iter()
+                .take_while(|t| !t.is_punct(';'))
+                .filter(|t| t.kind == TokenKind::Str)
+                .map(|t| t.text.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+
+    for (name, written_in, line) in &artifacts {
+        if !ci.contains(&format!("results/{name}.json")) {
+            findings.push(finding(
+                spec.ci_file,
+                1,
+                format!("sweep artifact `{name}` (written by {written_in}:{line}) is never uploaded in CI"),
+                format!("add `results/{name}.json` to an upload-artifact step in {}", spec.ci_file),
+            ));
+        }
+        match require_line {
+            Some(l) if contains_word(l, name) => {}
+            _ => findings.push(finding(
+                spec.ci_file,
+                line_of(ci, "--require"),
+                format!("sweep artifact `{name}` is missing from the summary --require list"),
+                format!(
+                    "append `{name}` to the --require list so CI fails if it stops being produced"
+                ),
+            )),
+        }
+        if !artifacts_const.iter().any(|a| a == name) {
+            findings.push(finding(
+                spec.summary_file,
+                line_of(summary_src, "ARTIFACTS"),
+                format!("sweep artifact `{name}` is missing from bin/summary's ARTIFACTS table"),
+                format!(
+                    "add `{name}` (and a summarize() branch) to {}",
+                    spec.summary_file
+                ),
+            ));
+        }
+    }
+}
+
+fn check_error_variants(files: &FileSet, spec: &DriftSpec, findings: &mut Vec<Finding>) {
+    let Some(error_src) = source(files, spec.error_file) else {
+        return;
+    };
+    let variants = enum_variants(&lex(error_src), spec.error_enum);
+    if variants.is_empty() {
+        findings.push(finding(
+            spec.error_file,
+            1,
+            format!("could not parse any variants of enum {}", spec.error_enum),
+            "keep the error enum a plain `pub enum` with literal variants".into(),
+        ));
+        return;
+    }
+
+    let mut constructed: Vec<&str> = Vec::new();
+    let mut matched: Vec<&str> = Vec::new();
+    for (path, src) in files {
+        if !path.ends_with(".rs") {
+            continue;
+        }
+        let lexed = lex(src);
+        let tokens = &lexed.tokens;
+        for i in 0..tokens.len() {
+            if !(tokens[i].is_ident(spec.error_enum)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':')))
+            {
+                continue;
+            }
+            let Some(vt) = tokens.get(i + 3) else {
+                continue;
+            };
+            let Some((vname, _)) = variants.iter().find(|(v, _)| vt.is_ident(v)) else {
+                continue;
+            };
+            // Inside the enum definition itself: skip (that is the
+            // declaration, neither a construction nor a match).
+            // The definition has no `EnumName::` prefix, so any
+            // occurrence we see here is a use site.
+            let mut j = i + 4;
+            if tokens
+                .get(j)
+                .is_some_and(|t| t.is_punct('{') || t.is_punct('('))
+            {
+                j = skip_balanced(tokens, j);
+            }
+            // A pattern position is recognizable from what FOLLOWS the
+            // variant (`=>` or an or-pattern `|`); what precedes it is
+            // unreliable — a closure like `|_| CoreError::X { … }` puts
+            // a `|` right before a construction.
+            let is_match = matches!(
+                (tokens.get(j), tokens.get(j + 1)),
+                (Some(a), Some(b)) if a.is_punct('=') && b.is_punct('>')
+            ) || tokens.get(j).is_some_and(|t| t.is_punct('|'));
+            if is_match {
+                matched.push(vname);
+            } else {
+                constructed.push(vname);
+            }
+        }
+    }
+
+    for (variant, line) in &variants {
+        let path = format!("{}::{variant}", spec.error_enum);
+        if !constructed.iter().any(|c| c == variant) {
+            findings.push(finding(
+                spec.error_file,
+                *line,
+                format!("error variant `{path}` is never constructed anywhere in the workspace"),
+                "construct it on the failure path it describes, or delete the dead variant".into(),
+            ));
+        }
+        if !matched.iter().any(|m| m == variant) {
+            findings.push(finding(
+                spec.error_file,
+                *line,
+                format!("error variant `{path}` is never matched anywhere in the workspace"),
+                "match it somewhere (Display at minimum) so consumers can handle it".into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DriftSpec {
+        DriftSpec {
+            registry_file: "engine.rs",
+            engine_coverage_files: &["cov.rs"],
+            bench_bin_dir: "bin",
+            ci_file: "ci.yml",
+            summary_file: "summary.rs",
+            error_file: "error.rs",
+            error_enum: "E",
+        }
+    }
+
+    fn base_files() -> FileSet {
+        vec![
+            (
+                "engine.rs".into(),
+                "pub const ENGINE_REGISTRY: &[(&str, fn())] = &[(\"alpha\", a), (\"beta\", b)];"
+                    .into(),
+            ),
+            ("cov.rs".into(), "fn t() { run(\"alpha\"); run(\"beta\"); }".into()),
+            (
+                "bin/x.rs".into(),
+                "fn main() { write_json_artifact(\"x_sweep\", &v); }".into(),
+            ),
+            (
+                "ci.yml".into(),
+                "path: results/x_sweep.json\nrun: summary -- --require x_sweep\n".into(),
+            ),
+            (
+                "summary.rs".into(),
+                "const ARTIFACTS: &[&str] = &[\"x_sweep\"];".into(),
+            ),
+            (
+                "error.rs".into(),
+                "pub enum E { A, B { n: u32 } }\nfn c() -> E { E::A }\nfn b() -> E { E::B { n: 1 } }\nfn d(e: &E) { match e { E::A => {}, E::B { .. } => {} } }\n".into(),
+            ),
+        ]
+    }
+
+    fn run(files: &FileSet) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        check(files, &spec(), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn clean_workspace_passes() {
+        assert!(run(&base_files()).is_empty());
+    }
+
+    #[test]
+    fn seeded_uncovered_engine_is_caught() {
+        let mut files = base_files();
+        files[1].1 = "fn t() { run(\"alpha\"); }".into();
+        let found = run(&files);
+        assert!(found.iter().any(|f| f.message.contains("`beta`")));
+    }
+
+    #[test]
+    fn registry_driven_coverage_passes_without_literals() {
+        let mut files = base_files();
+        files[1].1 = "fn t() { for e in all_engines() { run(e); } }".into();
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn seeded_unuploaded_artifact_is_caught() {
+        let mut files = base_files();
+        files[3].1 = "run: summary -- --require x_sweep\n".into();
+        let found = run(&files);
+        assert!(found.iter().any(|f| f.message.contains("never uploaded")));
+    }
+
+    #[test]
+    fn seeded_missing_require_is_caught() {
+        let mut files = base_files();
+        files[3].1 = "path: results/x_sweep.json\nrun: summary -- --require other\n".into();
+        let found = run(&files);
+        assert!(found.iter().any(|f| f.message.contains("--require list")));
+    }
+
+    #[test]
+    fn seeded_missing_summary_entry_is_caught() {
+        let mut files = base_files();
+        files[4].1 = "const ARTIFACTS: &[&str] = &[];".into();
+        let found = run(&files);
+        assert!(found.iter().any(|f| f.message.contains("ARTIFACTS table")));
+    }
+
+    #[test]
+    fn closure_body_construction_counts_as_construction() {
+        let mut files = base_files();
+        files[5].1 = "pub enum E { A, B { n: u32 } }\n\
+                      fn c() -> Result<(), E> { x().map_err(|_| E::B { n: 1 })?; Ok(()) }\n\
+                      fn a() -> E { E::A }\n\
+                      fn d(e: &E) { match e { E::A | E::B { .. } => {} } }\n"
+            .into();
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn seeded_unconstructed_and_unmatched_variants_are_caught() {
+        let mut files = base_files();
+        files[5].1 =
+            "pub enum E { A, B { n: u32 } }\nfn c() -> E { E::A }\nfn d(e: &E) { match e { E::A => {}, _ => {} } }\n"
+                .into();
+        let found = run(&files);
+        assert!(found
+            .iter()
+            .any(|f| f.message.contains("`E::B` is never constructed")));
+        assert!(found
+            .iter()
+            .any(|f| f.message.contains("`E::B` is never matched")));
+    }
+}

@@ -1,0 +1,69 @@
+//! Workspace file collection: every `.rs` file under the roots the
+//! rules care about, plus the CI workflow for the drift checks, as
+//! `(workspace-relative forward-slash path, contents)` pairs.
+//!
+//! Skipped on purpose:
+//! - `target/` and `.git/` — generated;
+//! - `crates/analyzer/` — the analyzer does not audit itself; its
+//!   tests are wall-to-wall seeded violations (as string fixtures)
+//!   and auditing them would be all noise, no signal.
+
+use std::fs;
+use std::path::Path;
+
+use crate::rules::drift::FileSet;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Workspace-relative path prefixes excluded from analysis.
+const SKIP_PREFIXES: &[&str] = &["crates/analyzer"];
+
+/// Extra non-Rust files the drift rule reads.
+const EXTRA_FILES: &[&str] = &[".github/workflows/ci.yml"];
+
+/// Collects the analyzable file set under `root`.
+pub fn collect(root: &Path) -> FileSet {
+    let mut files = FileSet::new();
+    for top in ["src", "crates", "tests", "examples", "benches"] {
+        gather(root, &root.join(top), &mut files);
+    }
+    for extra in EXTRA_FILES {
+        if let Ok(text) = fs::read_to_string(root.join(extra)) {
+            files.push(((*extra).to_string(), text));
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+fn gather(root: &Path, dir: &Path, files: &mut FileSet) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.iter().any(|s| *s == name) {
+                continue;
+            }
+            gather(root, &path, files);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            if let Ok(text) = fs::read_to_string(&path) {
+                files.push((rel, text));
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! cargo run --release --bin summary
 //! # CI: fail unless every expected artifact is present.
 //! cargo run --release --bin summary -- \
-//!   --require shard_sweep,serve_sweep,hotpath_sweep,cluster_sweep,elasticity_sweep,autotune_sweep,wire_sweep,weighted_sweep
+//!   --require shard_sweep,serve_sweep,hotpath_sweep,cluster_sweep,elasticity_sweep,autotune_sweep,wire_sweep,weighted_sweep,analyzer_report
 //! ```
 //!
 //! Artifacts that are absent are skipped (and listed as skipped), so
@@ -249,6 +249,37 @@ fn summarize(name: &str, v: &Value) -> (Value, String) {
                 ),
             )
         }
+        "analyzer_report" => {
+            let denied = count(v, "denied");
+            let allowed = count(v, "allowed");
+            let per_rule: Vec<String> = v
+                .get("rules")
+                .and_then(Value::as_object)
+                .map(|rules| {
+                    rules
+                        .iter()
+                        .map(|(rule, counts)| {
+                            format!(
+                                "{rule}={}+{}",
+                                count(counts, "denied"),
+                                count(counts, "allowed")
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            (
+                serde_json::json!({
+                    "denied": denied,
+                    "allowed": allowed,
+                    "per_rule": per_rule.join(" ").as_str(),
+                }),
+                format!(
+                    "{denied} denied, {allowed} allowed ({})",
+                    per_rule.join(", ")
+                ),
+            )
+        }
         _ => unreachable!("unknown artifact '{name}'"),
     }
 }
@@ -263,6 +294,7 @@ const ARTIFACTS: &[&str] = &[
     "wire_sweep",
     "weighted_sweep",
     "batch_throughput",
+    "analyzer_report",
 ];
 
 fn main() {

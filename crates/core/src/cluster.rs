@@ -713,6 +713,7 @@ impl ClusterShared {
         self.poison_after != 0
             && health
                 .executor_panics
+                // analyzer: allow(relaxed_atomic, monotonic pardon counter; a stale read only delays or hastens one poison verdict by a single probe)
                 .saturating_sub(cell.pardoned_panics.load(Ordering::Relaxed))
                 >= self.poison_after
     }
@@ -724,6 +725,7 @@ impl ClusterShared {
     /// tile-queue mutex every submission takes anyway, and the price
     /// of per-membership-change re-home accounting.
     fn track_home(&self, key: u64, natural: usize) {
+        // analyzer: allow(relaxed_atomic, one-way latch written under the homes write lock; a stale false costs one extra locked probe and can never lose a home)
         if self.homes_full.load(Ordering::Relaxed) {
             return;
         }
@@ -737,6 +739,7 @@ impl ClusterShared {
         if homes.len() < TRACKED_MODULI_CAP {
             homes.entry(key).or_insert(natural);
         } else {
+            // analyzer: allow(relaxed_atomic, latch set while holding the homes write lock that guards the state it summarises)
             self.homes_full.store(true, Ordering::Relaxed);
         }
     }
@@ -760,7 +763,10 @@ impl ClusterShared {
         }
         drop(homes);
         self.moduli_rehomed.fetch_add(moved, Ordering::Relaxed);
-        if self.replicas_active.load(Ordering::Relaxed) > 0 {
+        // Acquire pairs with replication_pass's Release store: a
+        // non-zero count means the replica map it summarises is
+        // visible, so the rebuild below touches every live entry.
+        if self.replicas_active.load(Ordering::Acquire) > 0 {
             let mut replicas = self
                 .replicas
                 .write()
@@ -808,7 +814,10 @@ impl ClusterShared {
     /// hot path's one `Relaxed` load answers that without a lock) or
     /// when every replica is unusable (normal routing takes over).
     fn replica_candidates(&self, m: &Membership, key: u64) -> Option<Vec<usize>> {
-        if self.replicas_active.load(Ordering::Relaxed) == 0 {
+        // Acquire pairs with replication_pass's Release store so the
+        // hot path that sees a non-zero count also sees the promoted
+        // entries behind it (this load gates reading the replica map).
+        if self.replicas_active.load(Ordering::Acquire) == 0 {
             return None;
         }
         let replicas = self.replicas.read().unwrap_or_else(PoisonError::into_inner);
@@ -886,8 +895,10 @@ impl ClusterShared {
                 report.demoted.push(entry.p);
             }
         }
+        // Release publishes the promotions/demotions above to the
+        // Acquire loads that gate the lock-free fast path.
         self.replicas_active
-            .store(replicas.len() as u64, Ordering::Relaxed);
+            .store(replicas.len() as u64, Ordering::Release);
     }
 
     /// The home tile for a modulus key under membership `m`: the
@@ -1102,6 +1113,7 @@ impl ClusterShared {
         }
         Ok(slots
             .into_iter()
+            // analyzer: allow(no_panic, loop above only breaks when pending is empty and every drained pending entry filled its slot, so None here is a routing-logic bug worth a loud stop)
             .map(|t| t.expect("every job was queued on exactly one tile"))
             .collect())
     }
@@ -1759,6 +1771,7 @@ impl ServiceCluster {
         }
         cell.probe_ok.store(0, Ordering::Relaxed);
         cell.pardoned_panics
+            // analyzer: allow(relaxed_atomic, pardon level only trails the monotonic panic counter; a stale read re-poisons for at most one probe round)
             .store(health.executor_panics, Ordering::Relaxed);
         true
     }

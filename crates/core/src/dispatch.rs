@@ -399,21 +399,25 @@ impl ContextPool {
         // one so every caller shares a single canonical context, and
         // count the race loser as a hit — `misses` stays "distinct
         // cache fills", deterministic no matter how requests race.
-        match cache.entry(p.clone()) {
+        let ctx = match cache.entry(p.clone()) {
             std::collections::hash_map::Entry::Occupied(mut entry) => {
                 let entry = entry.get_mut();
                 entry.last_used = entry.last_used.max(stamp);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&entry.ctx)
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(PoolEntry {
-                    ctx: fresh,
-                    last_used: stamp,
-                });
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(
+                    &slot
+                        .insert(PoolEntry {
+                            ctx: fresh,
+                            last_used: stamp,
+                        })
+                        .ctx,
+                )
             }
-        }
-        let ctx = Arc::clone(&cache.get(p).expect("just inserted or found").ctx);
+        };
         self.evict_over_capacity(&mut cache, p);
         Ok(ctx)
     }

@@ -103,6 +103,13 @@ pub enum CoreError {
         /// Which value diverged.
         what: &'static str,
     },
+    /// The OS refused to spawn a service thread (resource exhaustion).
+    /// Only [`crate::service::ModSramService::try_with_shared_pool`]
+    /// surfaces this; the panicking constructors treat it as fatal.
+    Spawn {
+        /// Which thread failed to start.
+        what: &'static str,
+    },
 }
 
 impl CoreError {
@@ -180,6 +187,9 @@ impl fmt::Display for CoreError {
                 f,
                 "in-SRAM result diverged from the functional model at iteration {iteration} ({what})"
             ),
+            CoreError::Spawn { what } => {
+                write!(f, "could not spawn the {what} (thread resources exhausted)")
+            }
         }
     }
 }

@@ -346,8 +346,8 @@ impl Reservoir {
             self.samples.push(v);
         } else {
             let j = self.next_rand() % self.seen;
-            if (j as usize) < self.cap {
-                self.samples[j as usize] = v;
+            if let Some(slot) = self.samples.get_mut(j as usize) {
+                *slot = v;
             }
         }
     }
@@ -369,7 +369,7 @@ impl Reservoir {
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
         let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank]
+        sorted.get(rank).copied().unwrap_or(0)
     }
 }
 
@@ -802,8 +802,34 @@ impl ModSramService {
     ///
     /// # Panics
     ///
-    /// As [`ModSramService::new`].
+    /// As [`ModSramService::new`], plus when the OS refuses to spawn a
+    /// service thread — use
+    /// [`ModSramService::try_with_shared_pool`] to handle that case.
     pub fn with_shared_pool(pool: Arc<ContextPool>, config: ServiceConfig) -> Self {
+        // analyzer: allow(no_panic, panicking convenience ctor by contract; the fallible path is try_with_shared_pool)
+        Self::try_with_shared_pool(pool, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Starts a service over an already-shared pool, surfacing a
+    /// thread-spawn refusal as [`CoreError::Spawn`] instead of
+    /// panicking — the constructor an admission-controlled front-end
+    /// (which must shed load, not unwind) should call.
+    ///
+    /// # Panics
+    ///
+    /// As [`ModSramService::new`] for zero `workers`,
+    /// `queue_capacity`, `max_batch`, or `pipeline_depth` (those are
+    /// caller bugs, not runtime conditions).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Spawn`] when the OS cannot start an executor or
+    /// batcher thread; every thread spawned before the failure is shut
+    /// down cleanly before returning.
+    pub fn try_with_shared_pool(
+        pool: Arc<ContextPool>,
+        config: ServiceConfig,
+    ) -> Result<Self, CoreError> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.max_batch > 0, "max batch must be positive");
@@ -825,29 +851,50 @@ impl ModSramService {
             let shared = Arc::clone(&shared);
             let pool = Arc::clone(&pool);
             let config = config.clone();
-            let exec_queue = Arc::clone(&exec_queue);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("modsram-exec-{e}"))
-                    .spawn(move || executor_loop(shared, pool, config, exec_queue))
-                    .expect("spawn executor thread"),
-            );
+            let thread_queue = Arc::clone(&exec_queue);
+            let spawned = std::thread::Builder::new()
+                .name(format!("modsram-exec-{e}"))
+                .spawn(move || executor_loop(shared, pool, config, thread_queue));
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(_) => {
+                    // Unwind the partial construction: closing the exec
+                    // queue wakes and retires the executors spawned so
+                    // far, so no thread outlives the failed ctor.
+                    exec_queue.close();
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(CoreError::Spawn {
+                        what: "executor thread",
+                    });
+                }
+            }
         }
         let thread_shared = Arc::clone(&shared);
         let thread_config = config.clone();
-        threads.insert(
-            0,
-            std::thread::Builder::new()
-                .name("modsram-batcher".into())
-                .spawn(move || batcher_loop(thread_shared, thread_config, exec_queue))
-                .expect("spawn batcher thread"),
-        );
-        ModSramService {
+        let exec_handoff = Arc::clone(&exec_queue);
+        let batcher = std::thread::Builder::new()
+            .name("modsram-batcher".into())
+            .spawn(move || batcher_loop(thread_shared, thread_config, exec_handoff));
+        match batcher {
+            Ok(handle) => threads.insert(0, handle),
+            Err(_) => {
+                exec_queue.close();
+                for t in threads {
+                    let _ = t.join();
+                }
+                return Err(CoreError::Spawn {
+                    what: "batcher thread",
+                });
+            }
+        }
+        Ok(ModSramService {
             shared,
             pool,
             threads: Mutex::new(threads),
             config,
-        }
+        })
     }
 
     /// Service over a registry engine by name.
@@ -953,7 +1000,10 @@ impl ModSramService {
             completed: s.completed.load(Ordering::Relaxed),
             failed: s.failed.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
-            executor_panics: s.executor_panics.load(Ordering::Relaxed),
+            // Acquire pairs with the executor's Release bump so a
+            // non-zero panic count implies the ticket failures that
+            // accompanied it are visible too.
+            executor_panics: s.executor_panics.load(Ordering::Acquire),
             health_probes: s.health_probes.load(Ordering::Relaxed),
             modelled_cycles_total: s.modelled_cycles_total.load(Ordering::Relaxed),
             coalesce_min: if min == u64::MAX { 0 } else { min },
@@ -1001,7 +1051,10 @@ impl ModSramService {
             queue_capacity: self.config.queue_capacity,
             stopped: inner.closed,
             paused: inner.paused,
-            executor_panics: self.shared.stats.executor_panics.load(Ordering::Relaxed),
+            // Acquire pairs with the executor's Release bump: a router
+            // steering away from a panicking tile must also observe the
+            // failure state that justified the bump.
+            executor_panics: self.shared.stats.executor_panics.load(Ordering::Acquire),
         }
     }
 
@@ -1164,7 +1217,10 @@ fn executor_loop(
             execute_batch(&shared, &pool, &dispatcher, &config, batch);
         }));
         if outcome.is_err() {
-            shared.stats.executor_panics.fetch_add(1, Ordering::Relaxed);
+            // Release so a monitor that observes the bumped count also
+            // sees the ticket failures published below it (the counter
+            // gates "did anything go wrong" health probes).
+            shared.stats.executor_panics.fetch_add(1, Ordering::Release);
             let mut failed = 0u64;
             for ticket in &tickets {
                 if ticket.complete(Err(ServiceError::Stopped)) {

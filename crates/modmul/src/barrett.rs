@@ -157,15 +157,13 @@ impl BarrettEngine {
         Self::default()
     }
 
-    fn cache_for(&mut self, p: &UBig) -> &PreparedBarrett {
-        let stale = match &self.cache {
-            Some(c) => c.modulus() != p,
-            None => true,
+    fn cache_for(&mut self, p: &UBig) -> Result<&PreparedBarrett, ModMulError> {
+        let reusable = matches!(&self.cache, Some(c) if c.modulus() == p);
+        let prep = match (reusable, self.cache.take()) {
+            (true, Some(c)) => c,
+            _ => PreparedBarrett::new(p)?,
         };
-        if stale {
-            self.cache = Some(PreparedBarrett::new(p).expect("caller checked p != 0"));
-        }
-        self.cache.as_ref().expect("cache just filled")
+        Ok(self.cache.insert(prep))
     }
 }
 
@@ -187,16 +185,11 @@ impl ModMulEngine for BarrettEngine {
         }
         let a = a % p;
         let b = b % p;
-        let out = {
-            let cache = self.cache_for(p);
-            cache.mul_canonical(&a, &b)
+        let (out, peak) = {
+            let cache = self.cache_for(p)?;
+            (cache.mul_canonical(&a, &b), cache.peak_intermediate_bits())
         };
-        self.peak_intermediate_bits = self.peak_intermediate_bits.max(
-            self.cache
-                .as_ref()
-                .expect("filled")
-                .peak_intermediate_bits(),
-        );
+        self.peak_intermediate_bits = self.peak_intermediate_bits.max(peak);
         Ok(out)
     }
 }

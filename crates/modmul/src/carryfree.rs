@@ -177,14 +177,12 @@ impl CarryFreeEngine {
     }
 
     fn cache_for(&mut self, p: &UBig) -> Result<&PreparedCarryFree, ModMulError> {
-        let stale = match &self.cache {
-            Some(c) => c.modulus() != p,
-            None => true,
+        let reusable = matches!(&self.cache, Some(c) if c.modulus() == p);
+        let prep = match (reusable, self.cache.take()) {
+            (true, Some(c)) => c,
+            _ => PreparedCarryFree::new(p)?,
         };
-        if stale {
-            self.cache = Some(PreparedCarryFree::new(p)?);
-        }
-        Ok(self.cache.as_ref().expect("cache just filled"))
+        Ok(self.cache.insert(prep))
     }
 }
 

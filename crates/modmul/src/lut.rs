@@ -71,6 +71,7 @@ impl LutRadix4 {
             2 => 2,
             -2 => 3,
             -1 => 4,
+            // analyzer: allow(no_panic, Radix4Digit's constructor bounds value to -2..=2; this arm is type-system-provably dead)
             _ => unreachable!("radix-4 digits are in -2..=2"),
         }
     }

@@ -49,7 +49,10 @@ impl PreparedMontgomery {
         }
         let r_bits = p.bit_len().div_ceil(64) * 64;
         let r = UBig::pow2(r_bits);
-        let p_inv = mod_inv(p, &r).expect("odd p is invertible mod 2^k");
+        // Odd p is always invertible mod 2^k, so a None here can only
+        // mean mod_inv itself regressed — surface it as the same error
+        // an even modulus earns rather than unwinding the caller.
+        let p_inv = mod_inv(p, &r).ok_or(ModMulError::EvenModulus)?;
         let p_inv_neg = &r - &p_inv;
         let r2 = &(&r * &r) % p;
         Ok(PreparedMontgomery {
@@ -154,14 +157,12 @@ impl MontgomeryEngine {
     }
 
     fn cache_for(&mut self, p: &UBig) -> Result<&PreparedMontgomery, ModMulError> {
-        let stale = match &self.cache {
-            Some(c) => c.modulus() != p,
-            None => true,
+        let reusable = matches!(&self.cache, Some(c) if c.modulus() == p);
+        let prep = match (reusable, self.cache.take()) {
+            (true, Some(c)) => c,
+            _ => PreparedMontgomery::new(p)?,
         };
-        if stale {
-            self.cache = Some(PreparedMontgomery::new(p)?);
-        }
-        Ok(self.cache.as_ref().expect("cache just filled"))
+        Ok(self.cache.insert(prep))
     }
 }
 

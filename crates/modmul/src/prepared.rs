@@ -294,14 +294,12 @@ impl PreparedModMul for PreparedRadix4 {
         let mut out = Vec::with_capacity(pairs.len());
         let mut lut: Option<(UBig, LutRadix4)> = None;
         for (a, b) in pairs {
-            let rebuild = match &lut {
-                Some((cached_b, _)) => cached_b != b,
-                None => true,
+            let reusable = matches!(&lut, Some((cached_b, _)) if cached_b == b);
+            let entry = match (reusable, lut.take()) {
+                (true, Some(cached)) => cached,
+                _ => (b.clone(), LutRadix4::new(b, &self.p)?),
             };
-            if rebuild {
-                lut = Some((b.clone(), LutRadix4::new(b, &self.p)?));
-            }
-            let (_, table) = lut.as_ref().expect("just built");
+            let (_, table) = lut.insert(entry);
             out.push(self.mul_with_lut(a, table));
         }
         Ok(out)

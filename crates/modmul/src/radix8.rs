@@ -60,6 +60,7 @@ impl LutRadix8 {
         let idx = match digit.value() {
             d @ 0..=4 => d as usize,
             d @ -4..=-1 => (9 + d as isize) as usize,
+            // analyzer: allow(no_panic, Radix8Digit's constructor bounds value to -4..=4; this arm is type-system-provably dead)
             _ => unreachable!("radix-8 digits are in -4..=4"),
         };
         &self.entries[idx]

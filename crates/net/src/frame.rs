@@ -396,7 +396,7 @@ pub fn read_frame_into(
         return Err(WireError::BadVersion(header[4]));
     }
     let frame_type = header[5];
-    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let payload_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
     if payload_len > max_payload {
         return Err(WireError::FrameTooLarge {
             len: payload_len,
@@ -503,11 +503,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes: [u8; 4] = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn str(&mut self) -> Result<String, WireError> {

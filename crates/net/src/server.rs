@@ -264,10 +264,11 @@ impl WireServer {
         let acceptor = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
+            // bind() already returns io::Result, so a refused thread
+            // spawn reports through the same channel as a refused port.
             std::thread::Builder::new()
                 .name("wire-acceptor".into())
-                .spawn(move || accept_loop(listener, shared, conns))
-                .expect("spawn acceptor")
+                .spawn(move || accept_loop(listener, shared, conns))?
         };
         Ok(WireServer {
             shared,
@@ -342,15 +343,20 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.meter.connection_accepted();
-                let shared = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
                     .name("wire-conn".into())
-                    .spawn(move || connection_main(stream, shared))
-                    .expect("spawn connection thread");
-                conns
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(handle);
+                    .spawn(move || connection_main(stream, conn_shared));
+                match spawned {
+                    Ok(handle) => conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(handle),
+                    // Thread exhaustion sheds this connection (the
+                    // dropped stream closes the socket) instead of
+                    // killing the acceptor for everyone.
+                    Err(_) => shared.meter.connection_closed(),
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -458,18 +464,31 @@ fn connection_main(mut stream: TcpStream, shared: Arc<ServerShared>) {
     };
 
     // ---- completer ----------------------------------------------------
-    let writer = Arc::new(ConnWriter::new(
-        stream.try_clone().expect("clone stream for writes"),
-    ));
+    // A socket that can't be cloned can't carry responses; close it
+    // before any job is admitted rather than panic the acceptor's
+    // child and strand the tenant session.
+    let Ok(write_half) = stream.try_clone() else {
+        shared.meter.connection_closed();
+        return;
+    };
+    let writer = Arc::new(ConnWriter::new(write_half));
     let completer = {
-        let shared = Arc::clone(&shared);
+        let conn_shared = Arc::clone(&shared);
         let pending = Arc::clone(&pending);
         let tenant = Arc::clone(&tenant);
         let writer = Arc::clone(&writer);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("wire-completer".into())
-            .spawn(move || completer_loop(shared, pending, tenant, writer))
-            .expect("spawn completer")
+            .spawn(move || completer_loop(conn_shared, pending, tenant, writer));
+        match spawned {
+            Ok(handle) => handle,
+            // Without a completer no response can ever be delivered;
+            // shed the connection while nothing is in flight yet.
+            Err(_) => {
+                shared.meter.connection_closed();
+                return;
+            }
+        }
     };
 
     // ---- reader loop (this thread) ------------------------------------
@@ -613,9 +632,11 @@ fn reject(
 /// arrival order among the remainder.
 fn sweep_ready(queue: &mut VecDeque<Pending>, batch: &mut Vec<Pending>) {
     let mut i = 0;
-    while i < queue.len() {
-        if queue[i].ticket.is_done() {
-            batch.push(queue.remove(i).expect("index in range"));
+    while let Some(p) = queue.get(i) {
+        if p.ticket.is_done() {
+            if let Some(done) = queue.remove(i) {
+                batch.push(done);
+            }
         } else {
             i += 1;
         }
@@ -753,10 +774,17 @@ fn resolve_unmetered(
     done: Pending,
     outcomes: &mut DeliveryOutcomes,
 ) -> Frame {
-    let result = done
-        .ticket
-        .try_poll()
-        .expect("resolve called on a completed ticket");
+    // sweep_ready only queues tickets whose is_done() returned true,
+    // so a None here is a ticket-state bug — fail the request instead
+    // of taking the whole connection's completer down with a panic.
+    let Some(result) = done.ticket.try_poll() else {
+        outcomes.failed += 1;
+        tenant.end_job();
+        return Frame::JobFailed {
+            req_id: done.req_id,
+            reason: "internal: ticket incomplete at delivery".into(),
+        };
+    };
     outcomes
         .latencies_ns
         .push(done.t0.elapsed().as_nanos() as u64);

@@ -360,5 +360,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, run2) = device.mod_mul(&UBig::from(12345u64), &b)?;
     assert_eq!(device.precompute_total, before);
     println!("\nsecond multiply reused the LUTs: {} cycles", run2.cycles);
+
+    // ---- Keeping the stack honest ----------------------------------------
+    // Everything above leans on concurrency invariants (no-panic hot
+    // paths, a declared lock hierarchy, Acquire/Release on data-gating
+    // atomics) that `cargo test` cannot see. The in-repo analyzer
+    // checks them statically — CI runs it as a tier-1 step, and any
+    // intentional exception must carry a reasoned
+    // `// analyzer: allow(rule, reason)` annotation:
+    //
+    //     cargo run -p modsram_analyzer --release -- --deny
+    println!(
+        "\n(invariants are machine-checked: cargo run -p modsram_analyzer --release -- --deny)"
+    );
     Ok(())
 }

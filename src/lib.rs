@@ -339,6 +339,45 @@
 //! let (out, _) = Dispatcher::new(2).dispatch_jobs(&pool, &jobs).unwrap();
 //! assert_eq!(out, vec![UBig::from(30u64), UBig::from(30u64)]);
 //! ```
+//!
+//! # The in-repo analyzer
+//!
+//! The serving stack above is deeply concurrent, and its worst failure
+//! modes — a panic unwinding a dispatcher worker, an inverted lock
+//! pair, an `Ordering::Relaxed` on a flag that gates data — are
+//! invisible to `cargo test` until they bite under load. The
+//! `modsram_analyzer` crate checks them statically on every PR, as a
+//! tier-1 CI step that must exit clean:
+//!
+//! ```sh
+//! cargo run -p modsram_analyzer --release -- --deny
+//! ```
+//!
+//! Four rule families run over a hand-rolled lexer (no external parser
+//! dependencies, so the step works offline):
+//!
+//! * **`no_panic`** — no `unwrap`/`expect`/panic macros (and, in the
+//!   queue-juggling service/server files, no slice indexing) in the
+//!   declared hot-path modules: the modmul kernels, dispatch, service,
+//!   cluster, and the wire server/frame codecs.
+//! * **`lock_order`** — lock acquisitions respect the declared
+//!   hierarchy (`membership` ≺ router maps ≺ tile queues ≺ stats
+//!   reservoirs ≺ ticket slots; the full table lives in
+//!   `modsram_analyzer::config`), and no known lock is held across a
+//!   `Ticket::wait*` park.
+//! * **`relaxed_atomic`** — `Ordering::Relaxed` on a manifest-declared
+//!   data-gating atomic (`stopped`, `draining`, `replicas_active`, …)
+//!   is a finding; plain counters stay relaxed.
+//! * **`drift`** — the engine registry matches the cross-engine tests
+//!   and these docs, every sweep artifact a bench binary writes is
+//!   uploaded and `--require`d in CI, and every `CoreError` variant is
+//!   both constructed and matched.
+//!
+//! A finding that is intentional is suppressed *visibly* with a plain
+//! line comment on the flagged line or the one above —
+//! `// analyzer: allow(rule, reason)` — where the reason is mandatory;
+//! reasonless or stale allows are themselves findings, and every
+//! suppression is counted per rule in `results/analyzer_report.json`.
 
 // The streaming service and its multi-tile cluster are the primary
 // serving entry points; re-export them (and the job type they
